@@ -1,0 +1,267 @@
+//! The classic delta list: an ordered timer queue storing *relative*
+//! increments.
+//!
+//! §3.1 notes every scheme can either store absolute expiry times and
+//! COMPARE, or store intervals and DECREMENT. [`OrderedListScheme`] is the
+//! COMPARE variant of Scheme 2; this is the DECREMENT variant, as deployed
+//! in classic BSD-style kernels: each element holds the number of ticks
+//! between its predecessor's expiry and its own, so `PER_TICK_BOOKKEEPING`
+//! decrements *only the head* and a run of zero-delta elements expires
+//! together. Start cost is the same O(n) search as Scheme 2; the win is that
+//! the tick path touches one counter regardless of the clock width.
+//!
+//! [`OrderedListScheme`]: crate::ordered_list::OrderedListScheme
+
+use tw_core::arena::{ListHead, TimerArena};
+use tw_core::counters::{OpCounters, VaxCostModel};
+use tw_core::scheme::{DeadlinePeek, Expired, TimerScheme};
+use tw_core::{Tick, TickDelta, TimerError, TimerHandle};
+
+/// A delta-encoded ordered timer queue. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use tw_baselines::DeltaListScheme;
+/// use tw_core::{TickDelta, TimerScheme, TimerSchemeExt};
+///
+/// let mut q: DeltaListScheme<&str> = DeltaListScheme::new();
+/// q.start_timer(TickDelta(4), "a").unwrap();
+/// q.start_timer(TickDelta(10), "b").unwrap();
+/// assert_eq!(q.deltas(), vec![4, 6]); // relative increments
+/// assert_eq!(q.collect_ticks(10).len(), 2);
+/// ```
+pub struct DeltaListScheme<T> {
+    queue: ListHead,
+    now: Tick,
+    /// `aux` of each node holds its delta from the predecessor's expiry;
+    /// the head's delta counts down from "ticks until head expires".
+    arena: TimerArena<T>,
+    counters: OpCounters,
+    cost: VaxCostModel,
+}
+
+impl<T> DeltaListScheme<T> {
+    /// Creates an empty delta list.
+    #[must_use]
+    pub fn new() -> DeltaListScheme<T> {
+        DeltaListScheme {
+            queue: ListHead::new(),
+            now: Tick::ZERO,
+            arena: TimerArena::new(),
+            counters: OpCounters::new(),
+            cost: VaxCostModel::PAPER,
+        }
+    }
+
+    /// The queue's deltas, front to back (test introspection).
+    #[must_use]
+    pub fn deltas(&self) -> Vec<u64> {
+        self.arena
+            .iter(&self.queue)
+            .map(|i| self.arena.node(i).aux)
+            .collect()
+    }
+}
+
+impl<T> Default for DeltaListScheme<T> {
+    fn default() -> Self {
+        DeltaListScheme::new()
+    }
+}
+
+impl<T> TimerScheme<T> for DeltaListScheme<T> {
+    fn start_timer(&mut self, interval: TickDelta, payload: T) -> Result<TimerHandle, TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let deadline = self.now + interval;
+        let (idx, handle) = self.arena.alloc(payload, deadline);
+        // Walk forward consuming deltas; insert where the remaining interval
+        // no longer covers the next element. Equal deadlines chain as
+        // zero-delta runs in FIFO order.
+        let mut remaining = interval.as_u64();
+        let mut steps = 0u64;
+        let mut at = self.queue.first();
+        while let Some(cur) = at {
+            steps += 1;
+            let d = self.arena.node(cur).aux;
+            if d > remaining {
+                break;
+            }
+            remaining -= d;
+            at = self.arena.next(cur);
+        }
+        self.arena.node_mut(idx).aux = remaining;
+        match at {
+            Some(before) => {
+                // The successor's delta shrinks by our remainder.
+                let d = self.arena.node(before).aux;
+                self.arena.node_mut(before).aux = d - remaining;
+                self.arena.insert_before(&mut self.queue, before, idx);
+            }
+            None => self.arena.push_back(&mut self.queue, idx),
+        }
+        self.counters.starts += 1;
+        self.counters.start_steps += steps;
+        self.counters.vax_instructions += self.cost.insert + steps * self.cost.decrement_step;
+        Ok(handle)
+    }
+
+    fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError> {
+        let idx = self.arena.resolve(handle)?;
+        // Our delta flows into the successor.
+        let d = self.arena.node(idx).aux;
+        if let Some(next) = self.arena.next(idx) {
+            self.arena.node_mut(next).aux += d;
+        }
+        self.arena.unlink(&mut self.queue, idx);
+        self.counters.stops += 1;
+        self.counters.vax_instructions += self.cost.delete;
+        Ok(self.arena.free(idx))
+    }
+
+    fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
+        self.now = self.now.next();
+        self.counters.ticks += 1;
+        self.counters.vax_instructions += self.cost.skip_empty;
+        let Some(head) = self.queue.first() else {
+            return;
+        };
+        // Decrement only the head (the scheme's defining property) …
+        self.counters.decrements += 1;
+        self.counters.vax_instructions += self.cost.decrement_step;
+        let d = self.arena.node(head).aux;
+        debug_assert!(d > 0, "delta list head already expired");
+        self.arena.node_mut(head).aux = d - 1;
+        // … then expire the zero-delta run.
+        while let Some(idx) = self.queue.first() {
+            if self.arena.node(idx).aux != 0 {
+                break;
+            }
+            self.arena.unlink(&mut self.queue, idx);
+            let handle = self.arena.handle_of(idx);
+            let deadline = self.arena.node(idx).deadline;
+            debug_assert_eq!(deadline, self.now);
+            let payload = self.arena.free(idx);
+            self.counters.expiries += 1;
+            self.counters.vax_instructions += self.cost.expire;
+            expired(Expired {
+                handle,
+                payload,
+                deadline,
+                fired_at: self.now,
+            });
+        }
+    }
+
+    fn now(&self) -> Tick {
+        self.now
+    }
+
+    fn outstanding(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "delta-list"
+    }
+}
+
+impl<T> DeadlinePeek for DeltaListScheme<T> {
+    fn next_deadline(&self) -> Option<Tick> {
+        self.queue.first().map(|i| self.arena.node(i).deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_core::TimerSchemeExt;
+
+    #[test]
+    fn deltas_encode_gaps() {
+        let mut q: DeltaListScheme<u64> = DeltaListScheme::new();
+        q.start_timer(TickDelta(10), 10).unwrap();
+        q.start_timer(TickDelta(3), 3).unwrap();
+        q.start_timer(TickDelta(7), 7).unwrap();
+        q.start_timer(TickDelta(7), 70).unwrap();
+        assert_eq!(q.deltas(), vec![3, 4, 0, 3]);
+        let fired = q.collect_ticks(10);
+        let got: Vec<(u64, u64)> = fired
+            .iter()
+            .map(|e| (e.payload, e.fired_at.as_u64()))
+            .collect();
+        assert_eq!(got, vec![(3, 3), (7, 7), (70, 7), (10, 10)]);
+    }
+
+    #[test]
+    fn stop_reflows_delta_to_successor() {
+        let mut q: DeltaListScheme<u64> = DeltaListScheme::new();
+        let _a = q.start_timer(TickDelta(2), 2).unwrap();
+        let b = q.start_timer(TickDelta(5), 5).unwrap();
+        let _c = q.start_timer(TickDelta(9), 9).unwrap();
+        assert_eq!(q.deltas(), vec![2, 3, 4]);
+        q.stop_timer(b).unwrap();
+        assert_eq!(q.deltas(), vec![2, 7]);
+        let fired = q.collect_ticks(9);
+        let got: Vec<(u64, u64)> = fired
+            .iter()
+            .map(|e| (e.payload, e.fired_at.as_u64()))
+            .collect();
+        assert_eq!(got, vec![(2, 2), (9, 9)]);
+    }
+
+    #[test]
+    fn stop_head_then_continue() {
+        let mut q: DeltaListScheme<u64> = DeltaListScheme::new();
+        let a = q.start_timer(TickDelta(4), 4).unwrap();
+        q.start_timer(TickDelta(6), 6).unwrap();
+        q.run_ticks(2);
+        q.stop_timer(a).unwrap();
+        assert_eq!(q.deltas(), vec![4]); // 2 remaining on head + 2 reflowed
+        let fired = q.collect_ticks(4);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(6));
+    }
+
+    #[test]
+    fn tick_touches_only_head() {
+        let mut q: DeltaListScheme<()> = DeltaListScheme::new();
+        for j in 1..=50u64 {
+            q.start_timer(TickDelta(j * 100), ()).unwrap();
+        }
+        q.reset_counters();
+        q.run_ticks(99);
+        assert_eq!(q.counters().decrements, 99);
+    }
+
+    #[test]
+    fn equal_deadlines_fifo_via_zero_deltas() {
+        let mut q: DeltaListScheme<u32> = DeltaListScheme::new();
+        for i in 0..5 {
+            q.start_timer(TickDelta(4), i).unwrap();
+        }
+        assert_eq!(q.deltas(), vec![4, 0, 0, 0, 0]);
+        let fired = q.collect_ticks(4);
+        let got: Vec<u32> = fired.iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        let mut q: DeltaListScheme<()> = DeltaListScheme::new();
+        assert_eq!(
+            q.start_timer(TickDelta::ZERO, ()),
+            Err(TimerError::ZeroInterval)
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! Scheme 3a — a binary min-heap priority queue (§4.1.1).
+//!
+//! Tree-based structures "attempt to reduce the latency in Scheme 2 for
+//! START_TIMER from O(n) to O(log n)". A binary heap keyed on the absolute
+//! deadline gives O(log n) `START_TIMER`; to keep `STOP_TIMER` fast without
+//! the unbounded-memory lazy-deletion approach the paper warns against
+//! (§4.2: "such an approach can cause the memory needs to grow unboundedly"),
+//! every timer records its current heap position, so deletion is a swap with
+//! the last slot plus one sift — O(log n).
+//!
+//! Equal deadlines fire in unspecified order (§4.2: timer modules need not
+//! preserve FIFO order).
+
+use tw_core::arena::{NodeIdx, TimerArena};
+use tw_core::counters::{OpCounters, VaxCostModel};
+use tw_core::scheme::{DeadlinePeek, Expired, TimerScheme};
+use tw_core::{Tick, TickDelta, TimerError, TimerHandle};
+
+/// Scheme 3a: indexed binary min-heap on deadlines.
+/// See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use tw_baselines::BinaryHeapScheme;
+/// use tw_core::{TickDelta, TimerScheme, TimerSchemeExt};
+///
+/// let mut h: BinaryHeapScheme<u32> = BinaryHeapScheme::new();
+/// let cancel_me = h.start_timer(TickDelta(5), 1).unwrap();
+/// h.start_timer(TickDelta(9), 2).unwrap();
+/// h.stop_timer(cancel_me).unwrap(); // O(log n) true deletion
+/// assert_eq!(h.collect_ticks(9)[0].payload, 2);
+/// ```
+pub struct BinaryHeapScheme<T> {
+    /// Heap of node indices, ordered by node deadline.
+    heap: Vec<NodeIdx>,
+    now: Tick,
+    /// Nodes are never linked into arena lists; `bucket` stores the heap
+    /// position so `stop_timer` can find the element in O(1).
+    arena: TimerArena<T>,
+    counters: OpCounters,
+    cost: VaxCostModel,
+}
+
+impl<T> BinaryHeapScheme<T> {
+    /// Creates an empty heap-based timer module.
+    #[must_use]
+    pub fn new() -> BinaryHeapScheme<T> {
+        BinaryHeapScheme {
+            heap: Vec::new(),
+            now: Tick::ZERO,
+            arena: TimerArena::new(),
+            counters: OpCounters::new(),
+            cost: VaxCostModel::PAPER,
+        }
+    }
+
+    fn deadline_at(&self, pos: usize) -> Tick {
+        self.arena.node(self.heap[pos]).deadline
+    }
+
+    fn set_pos(&mut self, pos: usize) {
+        let idx = self.heap[pos];
+        self.arena.node_mut(idx).bucket = pos as u32;
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.set_pos(a);
+        self.set_pos(b);
+    }
+
+    /// Restores the heap property upward from `pos`; returns steps taken.
+    fn sift_up(&mut self, mut pos: usize) -> u64 {
+        let mut steps = 0;
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            steps += 1;
+            if self.deadline_at(parent) <= self.deadline_at(pos) {
+                break;
+            }
+            self.swap(parent, pos);
+            pos = parent;
+        }
+        steps
+    }
+
+    /// Restores the heap property downward from `pos`; returns steps taken.
+    fn sift_down(&mut self, mut pos: usize) -> u64 {
+        let mut steps = 0;
+        loop {
+            let left = 2 * pos + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let smaller =
+                if right < self.heap.len() && self.deadline_at(right) < self.deadline_at(left) {
+                    right
+                } else {
+                    left
+                };
+            steps += 1;
+            if self.deadline_at(pos) <= self.deadline_at(smaller) {
+                break;
+            }
+            self.swap(pos, smaller);
+            pos = smaller;
+        }
+        steps
+    }
+
+    /// Removes the element at heap position `pos`, restoring the invariant.
+    fn remove_at(&mut self, pos: usize) -> NodeIdx {
+        let last = self.heap.len() - 1;
+        if pos != last {
+            self.swap(pos, last);
+        }
+        let idx = self.heap.pop().expect("remove from empty heap");
+        if pos < self.heap.len() {
+            let steps = self.sift_down(pos) + self.sift_up(pos);
+            self.counters.vax_instructions += steps * self.cost.decrement_step;
+        }
+        idx
+    }
+
+    /// Checks the heap invariant (test support).
+    #[cfg(test)]
+    fn assert_heap(&self) {
+        for pos in 1..self.heap.len() {
+            let parent = (pos - 1) / 2;
+            assert!(
+                self.deadline_at(parent) <= self.deadline_at(pos),
+                "heap property violated at {pos}"
+            );
+            assert_eq!(self.arena.node(self.heap[pos]).bucket as usize, pos);
+        }
+    }
+}
+
+impl<T> Default for BinaryHeapScheme<T> {
+    fn default() -> Self {
+        BinaryHeapScheme::new()
+    }
+}
+
+impl<T> TimerScheme<T> for BinaryHeapScheme<T> {
+    fn start_timer(&mut self, interval: TickDelta, payload: T) -> Result<TimerHandle, TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let deadline = self.now + interval;
+        let (idx, handle) = self.arena.alloc(payload, deadline);
+        self.heap.push(idx);
+        let pos = self.heap.len() - 1;
+        self.set_pos(pos);
+        let steps = self.sift_up(pos);
+        self.counters.starts += 1;
+        self.counters.start_steps += steps;
+        self.counters.vax_instructions += self.cost.insert + steps * self.cost.decrement_step;
+        Ok(handle)
+    }
+
+    fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError> {
+        let idx = self.arena.resolve(handle)?;
+        let pos = self.arena.node(idx).bucket as usize;
+        debug_assert_eq!(self.heap[pos], idx, "heap position map corrupted");
+        let removed = self.remove_at(pos);
+        debug_assert_eq!(removed, idx);
+        self.counters.stops += 1;
+        self.counters.vax_instructions += self.cost.delete;
+        Ok(self.arena.free(idx))
+    }
+
+    fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
+        self.now = self.now.next();
+        self.counters.ticks += 1;
+        self.counters.vax_instructions += self.cost.skip_empty;
+        while let Some(&root) = self.heap.first() {
+            self.counters.decrements += 1;
+            self.counters.vax_instructions += self.cost.decrement_step;
+            let deadline = self.arena.node(root).deadline;
+            debug_assert!(deadline >= self.now, "heap missed an expiry");
+            if deadline > self.now {
+                break;
+            }
+            let idx = self.remove_at(0);
+            let handle = self.arena.handle_of(idx);
+            let payload = self.arena.free(idx);
+            self.counters.expiries += 1;
+            self.counters.vax_instructions += self.cost.expire;
+            expired(Expired {
+                handle,
+                payload,
+                deadline,
+                fired_at: self.now,
+            });
+        }
+    }
+
+    fn now(&self) -> Tick {
+        self.now
+    }
+
+    fn outstanding(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "scheme3a(binary-heap)"
+    }
+}
+
+impl<T> DeadlinePeek for BinaryHeapScheme<T> {
+    fn next_deadline(&self) -> Option<Tick> {
+        self.heap.first().map(|&i| self.arena.node(i).deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_core::TimerSchemeExt;
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut h: BinaryHeapScheme<u64> = BinaryHeapScheme::new();
+        for &j in &[9u64, 2, 7, 2, 100, 1, 50] {
+            h.start_timer(TickDelta(j), j).unwrap();
+        }
+        h.assert_heap();
+        let fired = h.collect_ticks(100);
+        let got: Vec<u64> = fired.iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![1, 2, 2, 7, 9, 50, 100]);
+        for e in &fired {
+            assert_eq!(e.fired_at.as_u64(), e.payload);
+        }
+    }
+
+    #[test]
+    fn stop_arbitrary_positions_keeps_invariant() {
+        let mut h: BinaryHeapScheme<u64> = BinaryHeapScheme::new();
+        let handles: Vec<_> = (1..=31u64)
+            .map(|j| h.start_timer(TickDelta(j * 3), j).unwrap())
+            .collect();
+        // Remove every third timer, from the middle out.
+        for (i, hd) in handles.iter().enumerate() {
+            if i % 3 == 1 {
+                assert_eq!(h.stop_timer(*hd), Ok(i as u64 + 1));
+                h.assert_heap();
+            }
+        }
+        let fired = h.collect_ticks(31 * 3);
+        let got: Vec<u64> = fired.iter().map(|e| e.payload).collect();
+        let want: Vec<u64> = (1..=31u64).filter(|j| (j - 1) % 3 != 1).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn start_cost_is_logarithmic() {
+        let mut h: BinaryHeapScheme<()> = BinaryHeapScheme::new();
+        // Adversarial: each new timer is the earliest, sifting to the root.
+        for j in (1..=1024u64).rev() {
+            h.start_timer(TickDelta(j * 2), ()).unwrap();
+        }
+        let per_start = h.counters().steps_per_start();
+        // log2(1024) = 10; average sift depth must stay well under that.
+        assert!(per_start <= 10.0, "avg sift steps {per_start}");
+        assert!(per_start >= 5.0, "adversarial order should sift deep");
+    }
+
+    #[test]
+    fn next_deadline_is_min() {
+        let mut h: BinaryHeapScheme<()> = BinaryHeapScheme::new();
+        assert_eq!(h.next_deadline(), None);
+        h.start_timer(TickDelta(5), ()).unwrap();
+        let x = h.start_timer(TickDelta(2), ()).unwrap();
+        h.start_timer(TickDelta(8), ()).unwrap();
+        assert_eq!(h.next_deadline(), Some(Tick(2)));
+        h.stop_timer(x).unwrap();
+        assert_eq!(h.next_deadline(), Some(Tick(5)));
+    }
+
+    #[test]
+    fn zero_interval_rejected_and_stale_handles() {
+        let mut h: BinaryHeapScheme<()> = BinaryHeapScheme::new();
+        assert_eq!(
+            h.start_timer(TickDelta::ZERO, ()),
+            Err(TimerError::ZeroInterval)
+        );
+        let hd = h.start_timer(TickDelta(1), ()).unwrap();
+        h.run_ticks(1);
+        assert_eq!(h.stop_timer(hd), Err(TimerError::Stale));
+    }
+}

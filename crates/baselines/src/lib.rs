@@ -1,0 +1,30 @@
+//! Baseline timer schemes from Varghese & Lauck (SOSP 1987) — everything the
+//! timing wheels are compared against.
+//!
+//! * [`UnorderedScheme`] — Scheme 1 (§3.1): decrement every record each tick.
+//! * [`OrderedListScheme`] — Scheme 2 (§3.2): sorted timer queue, with
+//!   front- and rear-search strategies for the Figure 3 analysis.
+//! * [`BinaryHeapScheme`], [`UnbalancedBstScheme`], [`LeftistScheme`] —
+//!   Scheme 3 (§4.1.1): tree-based priority queues.
+//! * [`DeltaListScheme`] — the DECREMENT variant of the ordered queue, as in
+//!   classic BSD kernels (§3.1's "DECREMENT option").
+//!
+//! All implement [`tw_core::TimerScheme`] and (except Scheme 1) the
+//! [`tw_core::DeadlinePeek`] trait used by event-driven simulation and the
+//! single-timer hardware assist.
+
+#![warn(missing_docs)]
+
+pub mod bst;
+pub mod delta_list;
+pub mod heap;
+pub mod leftist;
+pub mod ordered_list;
+pub mod unordered;
+
+pub use bst::UnbalancedBstScheme;
+pub use delta_list::DeltaListScheme;
+pub use heap::BinaryHeapScheme;
+pub use leftist::LeftistScheme;
+pub use ordered_list::{OrderedListScheme, SearchFrom};
+pub use unordered::UnorderedScheme;

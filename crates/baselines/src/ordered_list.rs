@@ -1,0 +1,359 @@
+//! Scheme 2 — the ordered timer queue (§3.2, Figure 2).
+//!
+//! Timers are kept on a doubly-linked list sorted by *absolute* expiry time;
+//! the earliest sits at the head. `PER_TICK_BOOKKEEPING` only compares the
+//! head with the clock — O(1) — but `START_TIMER` must search for the insert
+//! position: O(n) worst case. "Algorithms similar to Scheme 2 are used by
+//! both VMS and UNIX in implementing their timer modules."
+//!
+//! The §3.2 queueing analysis (Figure 3) quantifies the *average* insert
+//! cost as a function of where the search starts:
+//!
+//! * front search, negative-exponential intervals: `2 + 2n/3`
+//! * front search, uniform intervals: `2 + n/2`
+//! * rear search, negative-exponential intervals: `2 + n/3`
+//!
+//! [`SearchFrom`] selects the strategy; the per-insert comparison counts
+//! feed the `fig3_queueing` experiment that reproduces those curves.
+//! This scheme also implements [`DeadlinePeek`], enabling the §3.2
+//! hardware-assisted mode where "the hardware intercepts all clock ticks and
+//! interrupts the host only when a timer actually expires" (see `tw-hwsim`).
+
+use tw_core::arena::{ListHead, TimerArena};
+use tw_core::counters::{OpCounters, VaxCostModel};
+use tw_core::scheme::{DeadlinePeek, Expired, TimerScheme};
+use tw_core::{Tick, TickDelta, TimerError, TimerHandle};
+
+/// Which end of the queue `START_TIMER` searches from (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchFrom {
+    /// Search from the earliest timer toward the latest.
+    #[default]
+    Front,
+    /// Search from the latest timer toward the earliest — O(1) when timers
+    /// are started in non-decreasing deadline order (e.g. constant
+    /// intervals), and 2× cheaper on average for exponential intervals.
+    Rear,
+}
+
+/// Scheme 2: a sorted doubly-linked timer queue. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use tw_baselines::{OrderedListScheme, SearchFrom};
+/// use tw_core::{DeadlinePeek, TickDelta, TimerScheme, TimerSchemeExt};
+///
+/// let mut q: OrderedListScheme<&str> = OrderedListScheme::with_search(SearchFrom::Rear);
+/// q.start_timer(TickDelta(30), "late").unwrap();
+/// q.start_timer(TickDelta(10), "early").unwrap();
+/// assert_eq!(q.next_deadline().unwrap().as_u64(), 10);
+/// assert_eq!(q.collect_ticks(30).len(), 2);
+/// ```
+pub struct OrderedListScheme<T> {
+    queue: ListHead,
+    search: SearchFrom,
+    now: Tick,
+    arena: TimerArena<T>,
+    counters: OpCounters,
+    cost: VaxCostModel,
+    last_steps: u64,
+}
+
+impl<T> OrderedListScheme<T> {
+    /// Creates an empty queue searching from the front (the textbook form).
+    #[must_use]
+    pub fn new() -> OrderedListScheme<T> {
+        OrderedListScheme::with_search(SearchFrom::Front)
+    }
+
+    /// Creates an empty queue with an explicit search strategy.
+    #[must_use]
+    pub fn with_search(search: SearchFrom) -> OrderedListScheme<T> {
+        OrderedListScheme {
+            queue: ListHead::new(),
+            search,
+            now: Tick::ZERO,
+            arena: TimerArena::new(),
+            counters: OpCounters::new(),
+            cost: VaxCostModel::PAPER,
+            last_steps: 0,
+        }
+    }
+
+    /// The queue's deadlines, front to back (test/experiment introspection).
+    #[must_use]
+    pub fn deadlines(&self) -> Vec<Tick> {
+        self.arena
+            .iter(&self.queue)
+            .map(|i| self.arena.node(i).deadline)
+            .collect()
+    }
+
+    /// Comparisons performed by the most recent `start_timer` call.
+    ///
+    /// The §3.2 cost model charges 2 units (the link writes) plus one unit
+    /// per element examined; `fig3_queueing` accumulates this per insert.
+    #[must_use]
+    pub fn last_insert_steps(&self) -> u64 {
+        self.last_steps
+    }
+}
+
+impl<T> Default for OrderedListScheme<T> {
+    fn default() -> Self {
+        OrderedListScheme::new()
+    }
+}
+
+impl<T> OrderedListScheme<T> {
+    fn insert_sorted(&mut self, idx: tw_core::arena::NodeIdx, deadline: Tick) -> u64 {
+        match self.search {
+            SearchFrom::Front => {
+                // Walk forward past all deadlines ≤ ours (FIFO ties), insert
+                // before the first strictly later one.
+                let mut steps = 0;
+                let mut at = self.queue.first();
+                while let Some(cur) = at {
+                    steps += 1;
+                    if self.arena.node(cur).deadline > deadline {
+                        break;
+                    }
+                    at = self.arena.next(cur);
+                }
+                match at {
+                    Some(before) => self.arena.insert_before(&mut self.queue, before, idx),
+                    None => self.arena.push_back(&mut self.queue, idx),
+                }
+                steps
+            }
+            SearchFrom::Rear => {
+                // Walk backward past all deadlines > ours, insert after the
+                // first with deadline ≤ ours (keeps FIFO ties too).
+                let mut steps = 0;
+                let mut at = self.queue.last();
+                while let Some(cur) = at {
+                    if self.arena.node(cur).deadline <= deadline {
+                        break;
+                    }
+                    steps += 1;
+                    at = self.arena.prev(cur);
+                }
+                match at {
+                    Some(after) => match self.arena.next(after) {
+                        Some(before) => self.arena.insert_before(&mut self.queue, before, idx),
+                        None => self.arena.push_back(&mut self.queue, idx),
+                    },
+                    None => self.arena.push_front(&mut self.queue, idx),
+                }
+                steps
+            }
+        }
+    }
+}
+
+impl<T> TimerScheme<T> for OrderedListScheme<T> {
+    fn start_timer(&mut self, interval: TickDelta, payload: T) -> Result<TimerHandle, TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let deadline = self.now + interval;
+        let (idx, handle) = self.arena.alloc(payload, deadline);
+        let steps = self.insert_sorted(idx, deadline);
+        self.last_steps = steps;
+        self.counters.starts += 1;
+        self.counters.start_steps += steps;
+        self.counters.vax_instructions += self.cost.insert + steps * self.cost.decrement_step;
+        Ok(handle)
+    }
+
+    fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError> {
+        let idx = self.arena.resolve(handle)?;
+        self.arena.unlink(&mut self.queue, idx);
+        self.counters.stops += 1;
+        self.counters.vax_instructions += self.cost.delete;
+        Ok(self.arena.free(idx))
+    }
+
+    fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
+        self.now = self.now.next();
+        self.counters.ticks += 1;
+        self.counters.vax_instructions += self.cost.skip_empty;
+        // Compare the head with the time of day; delete while due (§3.2).
+        while let Some(idx) = self.queue.first() {
+            self.counters.decrements += 1;
+            self.counters.vax_instructions += self.cost.decrement_step;
+            let deadline = self.arena.node(idx).deadline;
+            debug_assert!(deadline >= self.now, "ordered list missed an expiry");
+            if deadline > self.now {
+                break;
+            }
+            self.arena.unlink(&mut self.queue, idx);
+            let handle = self.arena.handle_of(idx);
+            let payload = self.arena.free(idx);
+            self.counters.expiries += 1;
+            self.counters.vax_instructions += self.cost.expire;
+            expired(Expired {
+                handle,
+                payload,
+                deadline,
+                fired_at: self.now,
+            });
+        }
+    }
+
+    fn now(&self) -> Tick {
+        self.now
+    }
+
+    fn outstanding(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        match self.search {
+            SearchFrom::Front => "scheme2(ordered-front)",
+            SearchFrom::Rear => "scheme2(ordered-rear)",
+        }
+    }
+}
+
+impl<T> DeadlinePeek for OrderedListScheme<T> {
+    fn next_deadline(&self) -> Option<Tick> {
+        self.queue.first().map(|i| self.arena.node(i).deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_core::TimerSchemeExt;
+
+    #[test]
+    fn fig2_worked_example() {
+        // Figure 2: queue holds timers expiring at 10:23:12, 10:23:24 and
+        // 10:24:03 (seconds since midnight below); "START_TIMER will insert
+        // a new timer due to expire at 10:24:01 between the second and third
+        // elements."
+        let t = |h: u64, m: u64, s: u64| h * 3600 + m * 60 + s;
+        let mut q: OrderedListScheme<&str> = OrderedListScheme::new();
+        q.start_timer(TickDelta(t(10, 23, 12)), "first").unwrap();
+        q.start_timer(TickDelta(t(10, 23, 24)), "second").unwrap();
+        q.start_timer(TickDelta(t(10, 24, 3)), "third").unwrap();
+        q.start_timer(TickDelta(t(10, 24, 1)), "new").unwrap();
+        assert_eq!(
+            q.deadlines(),
+            vec![
+                Tick(t(10, 23, 12)),
+                Tick(t(10, 23, 24)),
+                Tick(t(10, 24, 1)),
+                Tick(t(10, 24, 3)),
+            ]
+        );
+        // The insert examined the two earlier elements plus the blocker.
+        assert_eq!(q.last_insert_steps(), 3);
+    }
+
+    #[test]
+    fn front_and_rear_produce_identical_queues() {
+        let intervals = [50u64, 3, 17, 17, 90, 1, 64, 8];
+        let mut f: OrderedListScheme<u64> = OrderedListScheme::with_search(SearchFrom::Front);
+        let mut r: OrderedListScheme<u64> = OrderedListScheme::with_search(SearchFrom::Rear);
+        for &j in &intervals {
+            f.start_timer(TickDelta(j), j).unwrap();
+            r.start_timer(TickDelta(j), j).unwrap();
+        }
+        assert_eq!(f.deadlines(), r.deadlines());
+        let ff = f.collect_ticks(100);
+        let rr = r.collect_ticks(100);
+        let fo: Vec<u64> = ff.iter().map(|e| e.payload).collect();
+        let ro: Vec<u64> = rr.iter().map(|e| e.payload).collect();
+        assert_eq!(fo, ro, "tie order must match (FIFO) for both strategies");
+    }
+
+    #[test]
+    fn rear_search_is_free_for_constant_intervals() {
+        // §3.2: "if timers are always inserted at the rear of the list, this
+        // search strategy yields an O(1) START_TIMER latency. This happens,
+        // for instance, if all timer intervals have the same value."
+        let mut q: OrderedListScheme<()> = OrderedListScheme::with_search(SearchFrom::Rear);
+        for _ in 0..1000 {
+            q.start_timer(TickDelta(500), ()).unwrap();
+            q.tick(&mut |_| {});
+        }
+        assert_eq!(q.counters().start_steps, 0);
+    }
+
+    #[test]
+    fn front_search_is_linear_for_constant_intervals() {
+        let mut q: OrderedListScheme<()> = OrderedListScheme::with_search(SearchFrom::Front);
+        for _ in 0..100 {
+            q.start_timer(TickDelta(10_000), ()).unwrap();
+        }
+        // i-th insert walks the i existing elements.
+        assert_eq!(q.counters().start_steps, (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn per_tick_only_touches_head() {
+        let mut q: OrderedListScheme<()> = OrderedListScheme::new();
+        for j in 1..=100u64 {
+            q.start_timer(TickDelta(j * 10), ()).unwrap();
+        }
+        q.reset_counters();
+        q.run_ticks(9); // nothing due
+        assert_eq!(q.counters().decrements, 9); // one head compare per tick
+    }
+
+    #[test]
+    fn expires_in_deadline_order_with_fifo_ties() {
+        let mut q: OrderedListScheme<u32> = OrderedListScheme::new();
+        q.start_timer(TickDelta(5), 0).unwrap();
+        q.start_timer(TickDelta(3), 1).unwrap();
+        q.start_timer(TickDelta(5), 2).unwrap();
+        q.start_timer(TickDelta(1), 3).unwrap();
+        let fired = q.collect_ticks(5);
+        let got: Vec<u32> = fired.iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![3, 1, 0, 2]);
+    }
+
+    #[test]
+    fn stop_timer_constant_via_handle() {
+        // §3.2: "STOP_TIMER need not search the list if the list is doubly
+        // linked."
+        let mut q: OrderedListScheme<u32> = OrderedListScheme::new();
+        let hs: Vec<_> = (0..50)
+            .map(|i| q.start_timer(TickDelta(100 + u64::from(i)), i).unwrap())
+            .collect();
+        for (i, h) in hs.into_iter().enumerate().rev() {
+            assert_eq!(q.stop_timer(h), Ok(i as u32));
+        }
+        assert!(q.collect_ticks(200).is_empty());
+    }
+
+    #[test]
+    fn next_deadline_peeks_head() {
+        let mut q: OrderedListScheme<()> = OrderedListScheme::new();
+        assert_eq!(q.next_deadline(), None);
+        q.start_timer(TickDelta(9), ()).unwrap();
+        q.start_timer(TickDelta(2), ()).unwrap();
+        assert_eq!(q.next_deadline(), Some(Tick(2)));
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        let mut q: OrderedListScheme<()> = OrderedListScheme::new();
+        assert_eq!(
+            q.start_timer(TickDelta::ZERO, ()),
+            Err(TimerError::ZeroInterval)
+        );
+    }
+}

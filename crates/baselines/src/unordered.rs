@@ -1,0 +1,199 @@
+//! Scheme 1 — the straightforward scheme (§3.1).
+//!
+//! `START_TIMER` "finds a memory location and sets that location to the
+//! specified timer interval. Every T units, PER_TICK_BOOKKEEPING will
+//! decrement each outstanding timer; if any timer becomes zero,
+//! EXPIRY_PROCESSING is called."
+//!
+//! Start and stop are "extremely fast" — O(1) — and the space is the minimum
+//! possible (one record per timer), but every tick touches every outstanding
+//! timer: `PER_TICK_BOOKKEEPING` is O(n). The paper recommends it only when
+//! few timers are outstanding, timers are stopped within a few ticks, or the
+//! per-tick work is done by dedicated hardware.
+
+use tw_core::arena::{ListHead, TimerArena};
+use tw_core::counters::{OpCounters, VaxCostModel};
+use tw_core::scheme::{Expired, TimerScheme};
+use tw_core::{Tick, TickDelta, TimerError, TimerHandle};
+
+/// Scheme 1: one record per timer, decremented every tick.
+/// See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use tw_baselines::UnorderedScheme;
+/// use tw_core::{TickDelta, TimerScheme, TimerSchemeExt};
+///
+/// let mut s: UnorderedScheme<()> = UnorderedScheme::new();
+/// s.start_timer(TickDelta(3), ()).unwrap();
+/// assert_eq!(s.collect_ticks(3).len(), 1);
+/// // The price: every tick touched every outstanding timer.
+/// assert_eq!(s.counters().decrements, 3);
+/// ```
+pub struct UnorderedScheme<T> {
+    /// All outstanding records, unsorted (insertion order).
+    active: ListHead,
+    now: Tick,
+    arena: TimerArena<T>,
+    counters: OpCounters,
+    cost: VaxCostModel,
+}
+
+impl<T> UnorderedScheme<T> {
+    /// Creates an empty Scheme 1 timer module.
+    #[must_use]
+    pub fn new() -> UnorderedScheme<T> {
+        UnorderedScheme {
+            active: ListHead::new(),
+            now: Tick::ZERO,
+            arena: TimerArena::new(),
+            counters: OpCounters::new(),
+            cost: VaxCostModel::PAPER,
+        }
+    }
+}
+
+impl<T> Default for UnorderedScheme<T> {
+    fn default() -> Self {
+        UnorderedScheme::new()
+    }
+}
+
+impl<T> TimerScheme<T> for UnorderedScheme<T> {
+    fn start_timer(&mut self, interval: TickDelta, payload: T) -> Result<TimerHandle, TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let deadline = self.now + interval;
+        let (idx, handle) = self.arena.alloc(payload, deadline);
+        // `aux` holds the remaining interval, decremented in place (§3.1's
+        // DECREMENT option).
+        self.arena.node_mut(idx).aux = interval.as_u64();
+        self.arena.push_back(&mut self.active, idx);
+        self.counters.starts += 1;
+        self.counters.vax_instructions += self.cost.insert;
+        Ok(handle)
+    }
+
+    fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError> {
+        let idx = self.arena.resolve(handle)?;
+        self.arena.unlink(&mut self.active, idx);
+        self.counters.stops += 1;
+        self.counters.vax_instructions += self.cost.delete;
+        Ok(self.arena.free(idx))
+    }
+
+    fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
+        self.now = self.now.next();
+        self.counters.ticks += 1;
+        self.counters.vax_instructions += self.cost.skip_empty;
+        // Decrement every outstanding timer — the defining O(n) cost.
+        let mut cur = self.active.first();
+        while let Some(idx) = cur {
+            cur = self.arena.next(idx);
+            self.counters.decrements += 1;
+            self.counters.vax_instructions += self.cost.decrement_step;
+            let remaining = self.arena.node(idx).aux - 1;
+            if remaining == 0 {
+                self.arena.unlink(&mut self.active, idx);
+                let handle = self.arena.handle_of(idx);
+                let deadline = self.arena.node(idx).deadline;
+                debug_assert_eq!(deadline, self.now);
+                let payload = self.arena.free(idx);
+                self.counters.expiries += 1;
+                self.counters.vax_instructions += self.cost.expire;
+                expired(Expired {
+                    handle,
+                    payload,
+                    deadline,
+                    fired_at: self.now,
+                });
+            } else {
+                self.arena.node_mut(idx).aux = remaining;
+            }
+        }
+    }
+
+    fn now(&self) -> Tick {
+        self.now
+    }
+
+    fn outstanding(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "scheme1(unordered)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_core::TimerSchemeExt;
+
+    #[test]
+    fn fires_in_start_order_at_deadline() {
+        let mut s: UnorderedScheme<u32> = UnorderedScheme::new();
+        s.start_timer(TickDelta(2), 0).unwrap();
+        s.start_timer(TickDelta(1), 1).unwrap();
+        s.start_timer(TickDelta(2), 2).unwrap();
+        let fired = s.collect_ticks(2);
+        let got: Vec<(u32, u64)> = fired
+            .iter()
+            .map(|e| (e.payload, e.fired_at.as_u64()))
+            .collect();
+        assert_eq!(got, vec![(1, 1), (0, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn per_tick_work_is_linear_in_n() {
+        let mut s: UnorderedScheme<()> = UnorderedScheme::new();
+        for _ in 0..100 {
+            s.start_timer(TickDelta(1_000), ()).unwrap();
+        }
+        s.reset_counters();
+        s.run_ticks(10);
+        assert_eq!(s.counters().decrements, 100 * 10);
+    }
+
+    #[test]
+    fn stop_is_constant_and_prevents_fire() {
+        let mut s: UnorderedScheme<u32> = UnorderedScheme::new();
+        let h = s.start_timer(TickDelta(5), 7).unwrap();
+        assert_eq!(s.stop_timer(h), Ok(7));
+        assert_eq!(s.stop_timer(h), Err(TimerError::Stale));
+        assert!(s.collect_ticks(10).is_empty());
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        let mut s: UnorderedScheme<()> = UnorderedScheme::new();
+        assert_eq!(
+            s.start_timer(TickDelta::ZERO, ()),
+            Err(TimerError::ZeroInterval)
+        );
+    }
+
+    #[test]
+    fn interleaved_start_stop_tick() {
+        let mut s: UnorderedScheme<u32> = UnorderedScheme::new();
+        let h1 = s.start_timer(TickDelta(3), 1).unwrap();
+        s.run_ticks(1);
+        let _h2 = s.start_timer(TickDelta(3), 2).unwrap();
+        s.stop_timer(h1).unwrap();
+        let fired = s.collect_ticks(3);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].payload, 2);
+        assert_eq!(fired[0].fired_at, Tick(4));
+    }
+}

@@ -1,0 +1,135 @@
+//! Trace-equivalence property tests: every baseline scheme must behave
+//! exactly like `OracleScheme` for arbitrary operation sequences (same
+//! per-tick expiry sets at the same times; expiry order within a tick is
+//! unconstrained).
+
+use proptest::prelude::*;
+use tw_baselines::{
+    BinaryHeapScheme, DeltaListScheme, LeftistScheme, OrderedListScheme, SearchFrom,
+    UnbalancedBstScheme, UnorderedScheme,
+};
+use tw_core::{OracleScheme, TickDelta, TimerScheme};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Start(u64),
+    Stop(usize),
+    Tick,
+}
+
+fn op_strategy(max_interval: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1..=max_interval).prop_map(Op::Start),
+        2 => any::<usize>().prop_map(Op::Stop),
+        4 => Just(Op::Tick),
+    ]
+}
+
+fn check_equivalence<S: TimerScheme<u64>>(
+    mut scheme: S,
+    ops: Vec<Op>,
+) -> Result<(), TestCaseError> {
+    let mut oracle: OracleScheme<u64> = OracleScheme::new();
+    let mut live: Vec<(tw_core::TimerHandle, tw_core::TimerHandle, u64)> = Vec::new();
+    let mut next_id = 0u64;
+
+    for op in ops {
+        match op {
+            Op::Start(interval) => {
+                let a = scheme.start_timer(TickDelta(interval), next_id);
+                let b = oracle.start_timer(TickDelta(interval), next_id);
+                prop_assert_eq!(a.is_ok(), b.is_ok());
+                if let (Ok(ha), Ok(hb)) = (a, b) {
+                    live.push((ha, hb, next_id));
+                }
+                next_id += 1;
+            }
+            Op::Stop(k) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (ha, hb, id) = live.swap_remove(k % live.len());
+                prop_assert_eq!(scheme.stop_timer(ha), Ok(id));
+                prop_assert_eq!(oracle.stop_timer(hb), Ok(id));
+            }
+            Op::Tick => {
+                let mut got = Vec::new();
+                scheme.tick(&mut |e| got.push((e.payload, e.fired_at, e.error())));
+                let mut want = Vec::new();
+                oracle.tick(&mut |e| want.push((e.payload, e.fired_at, e.error())));
+                got.sort_unstable();
+                want.sort_unstable();
+                prop_assert_eq!(&got, &want, "divergence at t={}", scheme.now());
+                live.retain(|(_, _, id)| !got.iter().any(|(p, ..)| p == id));
+            }
+        }
+        prop_assert_eq!(scheme.outstanding(), oracle.outstanding());
+        prop_assert_eq!(scheme.now(), oracle.now());
+    }
+
+    let mut remaining = live.len();
+    let mut guard = 0u64;
+    while remaining > 0 {
+        let mut got = Vec::new();
+        scheme.tick(&mut |e| got.push((e.payload, e.error())));
+        let mut want = Vec::new();
+        oracle.tick(&mut |e| want.push((e.payload, e.error())));
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(&got, &want);
+        remaining -= got.len();
+        guard += 1;
+        prop_assert!(guard < 2_000_000, "drain did not terminate");
+    }
+    prop_assert_eq!(scheme.outstanding(), 0);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scheme1_unordered_matches_oracle(ops in proptest::collection::vec(op_strategy(300), 1..300)) {
+        check_equivalence(UnorderedScheme::<u64>::new(), ops)?;
+    }
+
+    #[test]
+    fn scheme2_front_matches_oracle(ops in proptest::collection::vec(op_strategy(300), 1..300)) {
+        check_equivalence(OrderedListScheme::<u64>::with_search(SearchFrom::Front), ops)?;
+    }
+
+    #[test]
+    fn scheme2_rear_matches_oracle(ops in proptest::collection::vec(op_strategy(300), 1..300)) {
+        check_equivalence(OrderedListScheme::<u64>::with_search(SearchFrom::Rear), ops)?;
+    }
+
+    #[test]
+    fn scheme3a_heap_matches_oracle(ops in proptest::collection::vec(op_strategy(300), 1..300)) {
+        check_equivalence(BinaryHeapScheme::<u64>::new(), ops)?;
+    }
+
+    #[test]
+    fn scheme3b_bst_matches_oracle(ops in proptest::collection::vec(op_strategy(300), 1..300)) {
+        check_equivalence(UnbalancedBstScheme::<u64>::new(), ops)?;
+    }
+
+    #[test]
+    fn scheme3c_leftist_matches_oracle(ops in proptest::collection::vec(op_strategy(300), 1..300)) {
+        check_equivalence(LeftistScheme::<u64>::new(), ops)?;
+    }
+
+    #[test]
+    fn delta_list_matches_oracle(ops in proptest::collection::vec(op_strategy(300), 1..300)) {
+        check_equivalence(DeltaListScheme::<u64>::new(), ops)?;
+    }
+
+    /// Heavy-duplication regime: tiny interval space forces long equal-
+    /// deadline runs (the degenerate case for the BST and delta list).
+    #[test]
+    fn duplicates_stress_all(ops in proptest::collection::vec(op_strategy(4), 1..300)) {
+        check_equivalence(UnbalancedBstScheme::<u64>::new(), ops.clone())?;
+        check_equivalence(DeltaListScheme::<u64>::new(), ops.clone())?;
+        check_equivalence(BinaryHeapScheme::<u64>::new(), ops.clone())?;
+        check_equivalence(LeftistScheme::<u64>::new(), ops)?;
+    }
+}

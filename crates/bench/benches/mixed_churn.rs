@@ -1,0 +1,42 @@
+//! Criterion wall-clock bench: a realistic mixed workload (Poisson starts,
+//! exponential intervals, half the timers stopped early — the §1
+//! retransmission regime) replayed whole against each scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tw_bench::scheme_zoo;
+use tw_workload::{replay, ArrivalProcess, IntervalDist, Trace, TraceConfig};
+
+fn bench_mixed_churn(c: &mut Criterion) {
+    let trace = Trace::generate(&TraceConfig {
+        arrivals: ArrivalProcess::Poisson { rate: 2.0 },
+        intervals: IntervalDist::Exponential { mean: 500.0 },
+        stop_prob: 0.5,
+        horizon: 20_000,
+        seed: 1987,
+    });
+    let mut group = c.benchmark_group("mixed_churn");
+    group.throughput(criterion::Throughput::Elements(trace.ops.len() as u64));
+    for scheme_proto in scheme_zoo(1 << 20, 256) {
+        let name = scheme_proto.name();
+        drop(scheme_proto);
+        group.bench_with_input(BenchmarkId::new(name, "20k-ticks"), &trace, |b, trace| {
+            b.iter(|| {
+                // Fresh scheme per iteration: replay mutates state.
+                let mut scheme = scheme_zoo(1 << 20, 256)
+                    .into_iter()
+                    .find(|s| s.name() == name)
+                    .expect("zoo is stable");
+                let report = replay(scheme.as_mut(), trace, false);
+                std::hint::black_box(report.expiries)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_mixed_churn
+}
+criterion_main!(benches);

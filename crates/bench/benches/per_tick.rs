@@ -1,0 +1,45 @@
+//! Criterion wall-clock bench: `PER_TICK_BOOKKEEPING` cost with n
+//! outstanding long-lived timers — Scheme 1's O(n) against everyone else's
+//! O(1)-ish, the other axis of Figure 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tw_bench::scheme_zoo;
+use tw_core::TickDelta;
+
+fn bench_per_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_tick");
+    for &n in &[64usize, 1024, 8192] {
+        for mut scheme in scheme_zoo(1 << 40, 256) {
+            // The basic wheel cannot span the huge refresh interval; skip
+            // schemes that reject it rather than special-casing sizes.
+            let mut x = 42u64;
+            let mut ok = true;
+            for _ in 0..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                // Far-future timers: the tick path never expires anything,
+                // isolating pure bookkeeping cost.
+                let interval = TickDelta((1 << 30) + x % (1 << 20));
+                if scheme.start_timer(interval, 0).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(scheme.name(), n), &n, |b, _| {
+                b.iter(|| {
+                    scheme.tick(&mut |_| {});
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_per_tick
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion wall-clock bench: `START_TIMER` latency vs. outstanding-timer
+//! count, across all schemes — the latency column the paper's Figures 4
+//! and 6 compare (O(1) wheels, O(log n) trees, O(n) ordered list).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tw_bench::scheme_zoo;
+use tw_core::TickDelta;
+
+fn bench_start_timer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("start_timer");
+    for &n in &[64usize, 1024, 8192] {
+        for mut scheme in scheme_zoo(100_000, 256) {
+            // Pre-load n long-lived background timers.
+            let mut x = 42u64;
+            for _ in 0..n {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                scheme.start_timer(TickDelta(x % 90_000 + 1), 0).unwrap();
+            }
+            group.bench_with_input(BenchmarkId::new(scheme.name(), n), &n, |b, _| {
+                let mut x = 7u64;
+                b.iter(|| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let interval = TickDelta(x % 90_000 + 1);
+                    let h = scheme.start_timer(black_box(interval), 1).unwrap();
+                    // Immediately remove it again so n stays constant;
+                    // stop is O(1) for every scheme except the trees'
+                    // O(log n), so the start cost dominates the signal.
+                    scheme.stop_timer(h).unwrap();
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_start_timer
+}
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! FIG4 — "Comparing average and worst-case latencies of Schemes 1 and 2",
+//! measured.
+//!
+//! The paper's table:
+//!
+//! |          | START_TIMER | STOP_TIMER | PER_TICK_BOOKKEEPING |
+//! | Scheme 1 |    O(1)     |    O(1)    |        O(n)          |
+//! | Scheme 2 |    O(n)     |    O(1)    |        O(1)          |
+//!
+//! This binary measures all six cells in wall-clock nanoseconds (median of
+//! many operations) and in machine-independent work units (traversal steps
+//! and per-tick decrements) for a sweep of n. Expected shape: Scheme 1's
+//! tick column and Scheme 2's start column grow linearly with n; the other
+//! four stay flat.
+
+use std::time::Instant;
+
+use tw_baselines::{OrderedListScheme, SearchFrom, UnorderedScheme};
+use tw_bench::table::{f1, Table};
+use tw_core::{TickDelta, TimerScheme, TimerSchemeExt};
+
+/// Median of a sample vector.
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    samples[samples.len() / 2]
+}
+
+fn preload<S: TimerScheme<u64>>(scheme: &mut S, n: usize) {
+    let mut x = 9u64;
+    for _ in 0..n {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        scheme
+            .start_timer(TickDelta(500_000 + x % 400_000), 0)
+            .unwrap();
+    }
+}
+
+struct Row {
+    scheme: &'static str,
+    n: usize,
+    start_ns: f64,
+    start_steps: f64,
+    stop_ns: f64,
+    tick_ns: f64,
+    tick_decrements: f64,
+}
+
+fn measure<S: TimerScheme<u64>>(mut scheme: S, n: usize) -> Row {
+    preload(&mut scheme, n);
+    let name = scheme.name();
+
+    // START_TIMER: time the start, then undo it untimed to hold n fixed.
+    let mut x = 17u64;
+    let before = *scheme.counters();
+    let mut start_samples = Vec::with_capacity(400);
+    for _ in 0..400 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let interval = TickDelta(500_000 + x % 400_000);
+        let t0 = Instant::now();
+        let h = scheme.start_timer(interval, 1).unwrap();
+        start_samples.push(t0.elapsed().as_nanos() as f64);
+        scheme.stop_timer(h).unwrap();
+    }
+    let start_ns = median(start_samples);
+    let start_steps = scheme.counters().delta_since(&before).start_steps as f64 / 400.0;
+
+    // STOP_TIMER: the start happens outside the timed region.
+    let mut stop_samples = Vec::with_capacity(400);
+    for _ in 0..400 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let h = scheme
+            .start_timer(TickDelta(500_000 + x % 400_000), 1)
+            .unwrap();
+        let t0 = Instant::now();
+        scheme.stop_timer(h).unwrap();
+        stop_samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    let stop_ns = median(stop_samples);
+
+    // PER_TICK with nothing expiring (the timers are far in the future).
+    let before = *scheme.counters();
+    let mut tick_samples = Vec::with_capacity(400);
+    for _ in 0..400 {
+        let t0 = Instant::now();
+        scheme.run_ticks(1);
+        tick_samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    let tick_ns = median(tick_samples);
+    let d = scheme.counters().delta_since(&before);
+    let tick_decrements = d.decrements as f64 / d.ticks as f64;
+
+    Row {
+        scheme: name,
+        n,
+        start_ns,
+        start_steps,
+        stop_ns,
+        tick_ns,
+        tick_decrements,
+    }
+}
+
+fn main() {
+    println!("FIG4 — Scheme 1 vs Scheme 2 latencies (median ns; work units in brackets)\n");
+    let mut table = Table::new(vec![
+        "scheme",
+        "n",
+        "start ns",
+        "[steps]",
+        "stop ns",
+        "tick ns",
+        "[decrements]",
+    ]);
+    for &n in &[16usize, 256, 4096, 65536] {
+        table.row(row_cells(measure(UnorderedScheme::<u64>::new(), n)));
+        table.row(row_cells(measure(
+            OrderedListScheme::<u64>::with_search(SearchFrom::Front),
+            n,
+        )));
+        table.row(row_cells(measure(
+            OrderedListScheme::<u64>::with_search(SearchFrom::Rear),
+            n,
+        )));
+    }
+    table.print();
+    println!("\nexpected shape: scheme1 tick ns/decrements grow ∝ n; scheme2 start ns/steps");
+    println!("grow ∝ n (front search; rear is cheap for fresh long deadlines); all other");
+    println!("cells flat — matching the paper's O() table.");
+}
+
+fn row_cells(r: Row) -> Vec<String> {
+    vec![
+        r.scheme.to_string(),
+        r.n.to_string(),
+        f1(r.start_ns),
+        f1(r.start_steps),
+        f1(r.stop_ns),
+        f1(r.tick_ns),
+        f1(r.tick_decrements),
+    ]
+}

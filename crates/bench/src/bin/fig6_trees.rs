@@ -1,0 +1,110 @@
+//! FIG6 — "Average latency for tree-based schemes" (§4.1.1), measured.
+//!
+//! The paper's table: START_TIMER O(log n), STOP_TIMER O(1) (unbalanced)
+//! or O(log n) (balanced, due to rebalancing on deletion),
+//! PER_TICK_BOOKKEEPING O(1). It also warns that unbalanced binary trees
+//! "easily degenerate into a linear list … if a set of equal timer
+//! intervals are inserted".
+//!
+//! This binary measures start/stop/tick for the three Scheme 3 structures
+//! (indexed binary heap, unbalanced BST, leftist tree) across n, plus the
+//! degenerate equal-interval BST case. Expected shape: start grows with
+//! log n everywhere except the degenerate BST (linear); ticks stay flat.
+
+use std::time::Instant;
+
+use tw_baselines::{BinaryHeapScheme, LeftistScheme, UnbalancedBstScheme};
+use tw_bench::table::{f1, Table};
+use tw_core::{TickDelta, TimerScheme, TimerSchemeExt};
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    samples[samples.len() / 2]
+}
+
+fn lcg(x: &mut u64) -> u64 {
+    *x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+    *x
+}
+
+fn measure<S: TimerScheme<u64>>(mut scheme: S, n: usize, degenerate: bool) -> Vec<String> {
+    let mut x = 9u64;
+    for _ in 0..n {
+        let interval = if degenerate {
+            TickDelta(700_000)
+        } else {
+            TickDelta(500_000 + lcg(&mut x) % 400_000)
+        };
+        scheme.start_timer(interval, 0).unwrap();
+        if degenerate {
+            // Advance time so equal intervals give monotonically increasing
+            // deadlines — the right-spine degeneration.
+            scheme.run_ticks(1);
+        }
+    }
+    let name = if degenerate {
+        format!("{} (equal intervals)", scheme.name())
+    } else {
+        scheme.name().to_string()
+    };
+
+    let before = *scheme.counters();
+    let mut start_samples = Vec::with_capacity(300);
+    let mut stop_samples = Vec::with_capacity(300);
+    for _ in 0..300 {
+        let interval = if degenerate {
+            TickDelta(700_000)
+        } else {
+            TickDelta(500_000 + lcg(&mut x) % 400_000)
+        };
+        let t0 = Instant::now();
+        let h = scheme.start_timer(interval, 1).unwrap();
+        start_samples.push(t0.elapsed().as_nanos() as f64);
+        let t0 = Instant::now();
+        scheme.stop_timer(h).unwrap();
+        stop_samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    let start_steps = scheme.counters().delta_since(&before).start_steps as f64 / 300.0;
+
+    let mut tick_samples = Vec::with_capacity(300);
+    for _ in 0..300 {
+        let t0 = Instant::now();
+        scheme.run_ticks(1);
+        tick_samples.push(t0.elapsed().as_nanos() as f64);
+    }
+
+    vec![
+        name,
+        n.to_string(),
+        f1(median(start_samples)),
+        f1(start_steps),
+        f1(median(stop_samples)),
+        f1(median(tick_samples)),
+    ]
+}
+
+fn main() {
+    println!("FIG6 — tree-based schemes (Scheme 3), median ns; [steps] = comparisons\n");
+    let mut table = Table::new(vec![
+        "scheme", "n", "start ns", "[steps]", "stop ns", "tick ns",
+    ]);
+    for &n in &[16usize, 256, 4096, 65536] {
+        table.row(measure(BinaryHeapScheme::<u64>::new(), n, false));
+        table.row(measure(UnbalancedBstScheme::<u64>::new(), n, false));
+        table.row(measure(LeftistScheme::<u64>::new(), n, false));
+    }
+    println!();
+    table.print();
+
+    println!("\ndegenerate case — equal intervals turn the unbalanced BST into a list:\n");
+    let mut degen = Table::new(vec![
+        "scheme", "n", "start ns", "[steps]", "stop ns", "tick ns",
+    ]);
+    for &n in &[256usize, 4096] {
+        degen.row(measure(UnbalancedBstScheme::<u64>::new(), n, true));
+        degen.row(measure(BinaryHeapScheme::<u64>::new(), n, true));
+    }
+    degen.print();
+    println!("\nexpected shape: start steps ≈ log2(n) for the heap/leftist and random BST;");
+    println!("≈ n for the degenerate BST (the paper's §4.1.1 warning); the heap is immune.");
+}

@@ -1,0 +1,87 @@
+//! T-HW — Appendix A.1 hardware assist: host interrupts per timer.
+//!
+//! "In Scheme 6, the host is interrupted an average of T/M times per timer
+//! interval, where T is the average timer interval and M is the number of
+//! array elements. In Scheme 7, the host is interrupted at most m times,
+//! where m is the number of levels in the hierarchy. If T and m are small
+//! and M is large, the interrupt overhead for such an implementation can
+//! be made negligible."
+//!
+//! One long-lived workload (mean interval T ≈ 2000, no cancellations) runs
+//! under every host/chip split. Expected shape: no-assist = 1 interrupt
+//! per tick; busy-bit Scheme 6 ≈ T/M + 1 per timer, falling as M grows;
+//! busy-bit Scheme 7 ≈ its level count; full chip / single comparator ≈ 1
+//! per expiry batch.
+
+use tw_baselines::OrderedListScheme;
+use tw_bench::table::{f2, Table};
+use tw_core::wheel::{HashedWheelUnsorted, HierarchicalWheel, LevelSizes};
+use tw_hwsim::{run_single_timer_exact, run_with_assist, AssistModel, HwReport};
+use tw_workload::{ArrivalProcess, IntervalDist, Trace, TraceConfig};
+
+fn trace() -> Trace {
+    Trace::generate(&TraceConfig {
+        arrivals: ArrivalProcess::Poisson { rate: 0.05 },
+        intervals: IntervalDist::Uniform {
+            lo: 1_000,
+            hi: 3_000,
+        },
+        stop_prob: 0.0,
+        horizon: 100_000,
+        seed: 4,
+    })
+}
+
+fn row(label: &str, r: &HwReport) -> Vec<String> {
+    vec![
+        label.to_string(),
+        r.ticks.to_string(),
+        r.starts.to_string(),
+        r.host_interrupts.to_string(),
+        f2(r.interrupts_per_timer()),
+        r.reprograms.to_string(),
+    ]
+}
+
+fn main() {
+    println!("T-HW — host interrupts under the Appendix A.1 host/chip splits");
+    println!("workload: Poisson starts, T ≈ 2000-tick intervals, nothing cancelled\n");
+    let t = trace();
+    let mut table = Table::new(vec![
+        "model / scheme",
+        "ticks",
+        "timers",
+        "interrupts",
+        "per timer",
+        "reprograms",
+    ]);
+
+    let mut s: HashedWheelUnsorted<u64> = HashedWheelUnsorted::new(256);
+    let r = run_with_assist(&mut s, &t, AssistModel::None);
+    table.row(row("no assist (any scheme)", &r));
+
+    let mut s: OrderedListScheme<u64> = OrderedListScheme::new();
+    let r = run_single_timer_exact(&mut s, &t);
+    table.row(row("single comparator + scheme 2", &r));
+
+    let mut s: HashedWheelUnsorted<u64> = HashedWheelUnsorted::new(256);
+    let r = run_with_assist(&mut s, &t, AssistModel::FullChip);
+    table.row(row("full chip (scheme 6 inside)", &r));
+
+    for m in [64usize, 256, 1024] {
+        let mut s: HashedWheelUnsorted<u64> = HashedWheelUnsorted::new(m);
+        let r = run_with_assist(&mut s, &t, AssistModel::BusyBit);
+        table.row(row(&format!("busy-bit chip, scheme 6, M={m}"), &r));
+    }
+
+    let mut s: HierarchicalWheel<u64> = HierarchicalWheel::new(LevelSizes(vec![16, 16, 16]));
+    let r = run_with_assist(&mut s, &t, AssistModel::BusyBit);
+    table.row(row("busy-bit chip, scheme 7, m=3 (M=48)", &r));
+
+    table.print();
+    println!("\nexpected shape: busy-bit scheme 6 per-timer bounded by T/M + 1 (≈ 32, 9, 3");
+    println!("for the three M values at T ≈ 2000; concurrent timers sharing a bucket visit");
+    println!("amortize one interrupt, so measured values sit below the bound but preserve");
+    println!("the 1/M scaling); scheme 7 stays ≈ m+1 with only 48 slots of memory; the full");
+    println!("chip and the comparator interrupt once per expiry instant.");
+}

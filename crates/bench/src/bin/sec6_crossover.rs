@@ -1,0 +1,123 @@
+//! T-CROSS — the §6.2 Scheme 6 vs Scheme 7 cost comparison.
+//!
+//! "The total work done in Scheme 6 for such an average sized timer is
+//! c(6)·T/M … and in Scheme 7 it is bounded from above by c(7)·m. …
+//! for small values of T and large values of M, Scheme 6 can be better
+//! than Scheme 7 for both START_TIMER and PER_TICK_BOOKKEEPING. However,
+//! for large values of T and small values of M, Scheme 7 will have a
+//! better average cost for PER_TICK_BOOKKEEPING but a greater cost for
+//! START_TIMER."
+//!
+//! Both wheels get the *same memory* M (total slots). Long-lived timers of
+//! mean interval T are held in steady state; we measure the bookkeeping
+//! touches (decrements + migrations) per timer lifetime. Expected shape:
+//! Scheme 6's cost grows linearly in T (one touch per revolution), Scheme
+//! 7's is bounded by its level count, and the winner flips as T crosses
+//! roughly M revolutions.
+
+use tw_bench::table::{f2, Table};
+use tw_core::wheel::{
+    HashedWheelUnsorted, HierarchicalWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy,
+};
+use tw_core::{TickDelta, TimerScheme};
+use tw_workload::theory;
+
+fn lcg(x: &mut u64) -> u64 {
+    *x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+    *x
+}
+
+/// Steady-state bookkeeping touches per timer lifetime.
+fn touches_per_timer<S: TimerScheme<u64>>(scheme: &mut S, t_mean: u64, n: u64) -> f64 {
+    let mut x = 3u64;
+    let draw = |x: &mut u64| t_mean / 2 + lcg(x) % t_mean + 1; // mean ≈ T
+    for _ in 0..n {
+        scheme.start_timer(TickDelta(draw(&mut x)), 0).unwrap();
+    }
+    // Warm until the first generation has expired.
+    let mut pending = 0u64;
+    for _ in 0..2 * t_mean {
+        scheme.tick(&mut |_| pending += 1);
+        while pending > 0 {
+            scheme.start_timer(TickDelta(draw(&mut x)), 0).unwrap();
+            pending -= 1;
+        }
+    }
+    scheme.reset_counters();
+    let horizon = 10 * t_mean;
+    for _ in 0..horizon {
+        scheme.tick(&mut |_| pending += 1);
+        while pending > 0 {
+            scheme.start_timer(TickDelta(draw(&mut x)), 0).unwrap();
+            pending -= 1;
+        }
+    }
+    let c = scheme.counters();
+    // Touches = elements examined on the tick path (decrements) plus
+    // migrations; normalized per completed timer lifetime.
+    (c.decrements + c.migrations) as f64 / c.expiries.max(1) as f64
+}
+
+fn main() {
+    println!("T-CROSS — bookkeeping touches per timer: Scheme 6 (c6·T/M) vs Scheme 7 (≤ c7·m)");
+    println!("equal memory: M = 512 slots each (Scheme 7: 3 levels of 170-171 slots)\n");
+
+    let n = 256u64;
+    let mut table = Table::new(vec![
+        "mean T",
+        "s6 touches",
+        "s7 touches (digit)",
+        "s7 touches (covering)",
+        "model T/M",
+        "model bound m",
+        "winner (measured)",
+    ]);
+    for &t_mean in &[100u64, 500, 2_000, 10_000, 50_000, 400_000] {
+        let mut s6: HashedWheelUnsorted<u64> = HashedWheelUnsorted::new(512);
+        let a = touches_per_timer(&mut s6, t_mean, n);
+
+        let sizes = LevelSizes(vec![171, 171, 170]); // 512 slots, range ≈ 4.97M
+        let mut s7d: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
+            sizes.clone(),
+            InsertRule::Digit,
+            MigrationPolicy::Full,
+            OverflowPolicy::Reject,
+        );
+        let b = touches_per_timer(&mut s7d, t_mean, n);
+
+        let mut s7c: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
+            sizes,
+            InsertRule::Covering,
+            MigrationPolicy::Full,
+            OverflowPolicy::Reject,
+        );
+        let c = touches_per_timer(&mut s7c, t_mean, n);
+
+        table.row(vec![
+            t_mean.to_string(),
+            f2(a),
+            f2(b),
+            f2(c),
+            f2(t_mean as f64 / 512.0),
+            f2(3.0),
+            if a <= b.min(c) {
+                "scheme 6"
+            } else {
+                "scheme 7"
+            }
+            .to_string(),
+        ]);
+    }
+    table.print();
+    println!("\ntheory check at the endpoints:");
+    println!(
+        "  T=100:    scheme7_wins = {}",
+        theory::scheme7_wins(6.0, 13.0, 100.0, 512.0, 3.0)
+    );
+    println!(
+        "  T=400000: scheme7_wins = {}",
+        theory::scheme7_wins(6.0, 13.0, 400_000.0, 512.0, 3.0)
+    );
+    println!("\nexpected shape: Scheme 6 touches ≈ T/512 (one per revolution); Scheme 7");
+    println!("bounded near its level count; crossover where T/M exceeds a few touches.");
+}

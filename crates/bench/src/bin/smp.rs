@@ -1,0 +1,168 @@
+//! T-SMP — Appendix A.2: timer facilities under symmetric multiprocessing.
+//!
+//! "Algorithms that tie up a common data structure for a large period of
+//! time will reduce efficiency. For instance in Scheme 2, when Processor A
+//! inserts a timer into the ordered list other processors cannot process
+//! timer module routines until Processor A finishes … Scheme 5, 6, and 7
+//! seem suited for implementation in symmetric multiprocessors."
+//!
+//! Worker threads churn start→stop pairs while one ticker advances the
+//! clock. Three facilities compete: a coarse-locked Scheme 2 list (the long
+//! critical section), a coarse-locked Scheme 6 wheel (short critical
+//! section, still one lock), and the per-bucket-locked sharded wheel.
+//! Expected shape: the coarse list collapses as threads (and its O(n)
+//! insert) grow; the sharded wheel scales; the coarse wheel sits between.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use tw_baselines::OrderedListScheme;
+use tw_bench::table::f2;
+use tw_bench::Table;
+use tw_concurrent::{CoarseLocked, MpscWheel, ShardedWheel};
+use tw_core::wheel::HashedWheelUnsorted;
+use tw_core::TickDelta;
+
+const OPS_PER_THREAD: u64 = 30_000;
+const BACKGROUND: u64 = 2_000;
+
+fn lcg(x: &mut u64) -> u64 {
+    *x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+    *x
+}
+
+/// Runs `threads` churn workers plus a ticker; returns ops/ms.
+fn run_churn(threads: usize, facility: Facility) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    // Preload background timers so Scheme 2's insert has an O(n) list.
+    facility.preload(BACKGROUND);
+    // The ticker models a periodic hardware clock rather than spinning flat
+    // out (sleeping yields the CPU, which matters on small machines).
+    let ticker = {
+        let f = facility.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let period = std::time::Duration::from_micros(50);
+            while !stop.load(Ordering::Acquire) {
+                f.tick();
+                std::thread::sleep(period);
+            }
+        })
+    };
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|w| {
+            let f = facility.clone();
+            std::thread::spawn(move || {
+                let mut x = w as u64 + 1;
+                for _ in 0..OPS_PER_THREAD {
+                    let j = 500_000 + lcg(&mut x) % 500_000;
+                    f.start_stop(j);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let elapsed = t0.elapsed();
+    stop.store(true, Ordering::Release);
+    ticker.join().unwrap();
+    (threads as u64 * OPS_PER_THREAD) as f64 / elapsed.as_secs_f64() / 1_000.0
+}
+
+/// The three contestants behind one cloneable face.
+#[derive(Clone)]
+enum Facility {
+    List(CoarseLocked<OrderedListScheme<u64>, u64>),
+    Wheel(CoarseLocked<HashedWheelUnsorted<u64>, u64>),
+    Sharded(ShardedWheel<u64>),
+    Mpsc(MpscWheel<u64>),
+}
+
+impl Facility {
+    fn preload(&self, n: u64) {
+        let mut x = 99u64;
+        for _ in 0..n {
+            let j = 800_000 + lcg(&mut x) % 200_000;
+            match self {
+                Facility::List(f) => drop(f.start_timer(TickDelta(j), 0).unwrap()),
+                Facility::Wheel(f) => drop(f.start_timer(TickDelta(j), 0).unwrap()),
+                Facility::Sharded(f) => drop(f.start_timer(TickDelta(j), 0).unwrap()),
+                Facility::Mpsc(f) => drop(f.start_timer(TickDelta(j), 0).unwrap()),
+            }
+        }
+    }
+
+    fn start_stop(&self, j: u64) {
+        match self {
+            Facility::List(f) => {
+                let h = f.start_timer(TickDelta(j), 1).unwrap();
+                let _ = f.stop_timer(h);
+            }
+            Facility::Wheel(f) => {
+                let h = f.start_timer(TickDelta(j), 1).unwrap();
+                let _ = f.stop_timer(h);
+            }
+            Facility::Sharded(f) => {
+                let h = f.start_timer(TickDelta(j), 1).unwrap();
+                let _ = f.stop_timer(h);
+            }
+            Facility::Mpsc(f) => {
+                let h = f.start_timer(TickDelta(j), 1).unwrap();
+                let _ = h.cancel();
+            }
+        }
+    }
+
+    fn tick(&self) {
+        match self {
+            Facility::List(f) => drop(f.tick()),
+            Facility::Wheel(f) => drop(f.tick()),
+            Facility::Sharded(f) => drop(f.tick()),
+            Facility::Mpsc(f) => drop(f.tick()),
+        }
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("T-SMP — start/stop churn throughput (kops/s), {OPS_PER_THREAD} ops/thread,");
+    println!("{BACKGROUND} background timers, concurrent ticker, {cores} CPU core(s)\n");
+    let mut table = Table::new(vec![
+        "threads",
+        "coarse scheme2 list",
+        "coarse scheme6 wheel",
+        "sharded (bucket locks)",
+        "mpsc (queue + owner)",
+    ]);
+    for &threads in &[1usize, 2, 4, 8] {
+        let list = run_churn(
+            threads,
+            Facility::List(CoarseLocked::new(OrderedListScheme::new())),
+        );
+        let wheel = run_churn(
+            threads,
+            Facility::Wheel(CoarseLocked::new(HashedWheelUnsorted::new(256))),
+        );
+        let sharded = run_churn(threads, Facility::Sharded(ShardedWheel::new(256)));
+        let mpsc = run_churn(threads, Facility::Mpsc(MpscWheel::new(256)));
+        table.row(vec![
+            threads.to_string(),
+            f2(list),
+            f2(wheel),
+            f2(sharded),
+            f2(mpsc),
+        ]);
+    }
+    table.print();
+    println!("\nexpected shape: the wheels beat the list by the length of the critical");
+    println!("section (O(1) vs O(n) insert under the lock) at every thread count — the");
+    println!("Appendix A.2 point. On multi-core hardware the sharded wheel additionally");
+    println!("scales with threads while both coarse locks flatten; on a single core (as");
+    println!("in CI containers) all three merely time-slice, so only the critical-section");
+    println!("ratio is meaningful there.");
+}

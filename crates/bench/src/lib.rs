@@ -1,0 +1,14 @@
+//! Shared plumbing for the experiment binaries in `src/bin/` — each binary
+//! regenerates one figure or table of the paper (see DESIGN.md §3 for the
+//! experiment index, and EXPERIMENTS.md for recorded results).
+//!
+//! Run any experiment with
+//! `cargo run --release -p tw-bench --bin <name>`.
+
+#![warn(missing_docs)]
+
+pub mod table;
+pub mod zoo;
+
+pub use table::Table;
+pub use zoo::{scheme_zoo, SchemeBox};

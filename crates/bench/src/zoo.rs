@@ -1,0 +1,97 @@
+//! The scheme zoo: every timer implementation in the workspace behind one
+//! boxed interface, so experiments can sweep them uniformly.
+
+use tw_baselines::{
+    BinaryHeapScheme, DeltaListScheme, LeftistScheme, OrderedListScheme, SearchFrom,
+    UnbalancedBstScheme, UnorderedScheme,
+};
+use tw_core::wheel::{
+    BasicWheel, ClockworkWheel, HashedWheelSorted, HashedWheelUnsorted, HierarchicalWheel,
+    HybridWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy,
+};
+use tw_core::TimerScheme;
+use tw_des::{RotationPolicy, SimWheel};
+
+/// A boxed scheme carrying `u64` payloads, as the experiments use.
+pub type SchemeBox = Box<dyn TimerScheme<u64>>;
+
+/// Builds one of every scheme, sized to accept intervals up to
+/// `max_interval`.
+///
+/// `wheel_slots` sizes the single-level wheels (Scheme 4 gets exactly
+/// `max_interval` slots since it cannot hash). The hierarchy uses three
+/// levels of `wheel_slots.cbrt()`-ish radix covering the range.
+///
+/// # Panics
+///
+/// Panics if `max_interval` is zero.
+#[must_use]
+pub fn scheme_zoo(max_interval: u64, wheel_slots: usize) -> Vec<SchemeBox> {
+    assert!(max_interval >= 1);
+    // Hierarchy radix: smallest r with r³ > max_interval.
+    let mut radix = 2u64;
+    while radix * radix * radix <= max_interval {
+        radix += 1;
+    }
+    vec![
+        Box::new(UnorderedScheme::<u64>::new()),
+        Box::new(OrderedListScheme::<u64>::with_search(SearchFrom::Front)),
+        Box::new(OrderedListScheme::<u64>::with_search(SearchFrom::Rear)),
+        Box::new(BinaryHeapScheme::<u64>::new()),
+        Box::new(UnbalancedBstScheme::<u64>::new()),
+        Box::new(LeftistScheme::<u64>::new()),
+        Box::new(DeltaListScheme::<u64>::new()),
+        // Scheme 4 cannot hash, so its array must cover the range directly;
+        // cap the allocation and let the overflow list absorb the tail when
+        // an experiment asks for a huge range.
+        Box::new(BasicWheel::<u64>::with_policy(
+            max_interval.min(1 << 16) as usize,
+            OverflowPolicy::OverflowList,
+        )),
+        Box::new(HashedWheelSorted::<u64>::new(wheel_slots)),
+        Box::new(HashedWheelUnsorted::<u64>::new(wheel_slots)),
+        Box::new(HierarchicalWheel::<u64>::with_policies(
+            LevelSizes(vec![radix, radix, radix]),
+            InsertRule::Digit,
+            MigrationPolicy::Full,
+            OverflowPolicy::Reject,
+        )),
+        Box::new(HierarchicalWheel::<u64>::with_policies(
+            LevelSizes(vec![radix, radix, radix]),
+            InsertRule::Covering,
+            MigrationPolicy::Full,
+            OverflowPolicy::Reject,
+        )),
+        Box::new(ClockworkWheel::<u64>::new(LevelSizes(vec![
+            radix, radix, radix,
+        ]))),
+        Box::new(HybridWheel::<u64>::new(wheel_slots)),
+        Box::new(SimWheel::<u64>::new(wheel_slots, RotationPolicy::OnWrap)),
+        Box::new(SimWheel::<u64>::new(wheel_slots, RotationPolicy::Halfway)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_core::{TickDelta, TimerSchemeExt};
+
+    #[test]
+    fn zoo_members_all_accept_the_advertised_range() {
+        for mut s in scheme_zoo(1_000, 64) {
+            s.start_timer(TickDelta(1), 1).unwrap();
+            s.start_timer(TickDelta(1_000), 2).unwrap();
+            let fired = s.collect_ticks(1_000);
+            assert_eq!(fired.len(), 2, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn zoo_names_are_distinct() {
+        let names: Vec<&str> = scheme_zoo(100, 16).iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "{names:?}");
+    }
+}

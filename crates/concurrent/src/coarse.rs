@@ -1,0 +1,138 @@
+//! The coarse-locked baseline for Appendix A.2.
+//!
+//! "Steve Glaser has pointed out that algorithms that tie up a common data
+//! structure for a large period of time will reduce efficiency. For
+//! instance in Scheme 2, when Processor A inserts a timer into the ordered
+//! list other processors cannot process timer module routines until
+//! Processor A finishes and releases its semaphore."
+//!
+//! [`CoarseLocked`] is exactly that semaphore-around-everything structure:
+//! one [`parking_lot::Mutex`] serializing every routine of an arbitrary
+//! single-threaded scheme. It is correct and simple — and the `smp`
+//! experiment shows it stops scaling the moment the protected operation is
+//! O(n), which is Glaser's point.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tw_core::{Expired, Tick, TickDelta, TimerError, TimerHandle, TimerScheme};
+
+/// A thread-safe timer module made from any scheme plus one big lock.
+pub struct CoarseLocked<S, T> {
+    inner: Arc<Mutex<S>>,
+    _payload: std::marker::PhantomData<fn(T)>,
+}
+
+impl<S, T> Clone for CoarseLocked<S, T> {
+    fn clone(&self) -> Self {
+        CoarseLocked {
+            inner: Arc::clone(&self.inner),
+            _payload: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T, S: TimerScheme<T>> CoarseLocked<S, T> {
+    /// Wraps a scheme behind a single mutex.
+    pub fn new(scheme: S) -> CoarseLocked<S, T> {
+        CoarseLocked {
+            inner: Arc::new(Mutex::new(scheme)),
+            _payload: std::marker::PhantomData,
+        }
+    }
+
+    /// `START_TIMER`, serialized.
+    pub fn start_timer(&self, interval: TickDelta, payload: T) -> Result<TimerHandle, TimerError> {
+        self.inner.lock().start_timer(interval, payload)
+    }
+
+    /// `STOP_TIMER`, serialized.
+    pub fn stop_timer(&self, handle: TimerHandle) -> Result<T, TimerError> {
+        self.inner.lock().stop_timer(handle)
+    }
+
+    /// `PER_TICK_BOOKKEEPING`, serialized; returns the expired batch.
+    pub fn tick(&self) -> Vec<Expired<T>> {
+        let mut out = Vec::new();
+        self.inner.lock().tick(&mut |e| out.push(e));
+        out
+    }
+
+    /// Current time.
+    pub fn now(&self) -> Tick {
+        self.inner.lock().now()
+    }
+
+    /// Outstanding timer count.
+    pub fn outstanding(&self) -> usize {
+        self.inner.lock().outstanding()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use tw_core::wheel::HashedWheelUnsorted;
+
+    #[test]
+    fn serialized_basic_flow() {
+        let m = CoarseLocked::new(HashedWheelUnsorted::<u32>::new(64));
+        let h = m.start_timer(TickDelta(3), 7).unwrap();
+        assert_eq!(m.outstanding(), 1);
+        assert_eq!(m.stop_timer(h), Ok(7));
+        m.start_timer(TickDelta(2), 9).unwrap();
+        assert!(m.tick().is_empty());
+        let fired = m.tick();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].payload, 9);
+        assert_eq!(m.now(), Tick(2));
+    }
+
+    #[test]
+    fn concurrent_starts_and_stops_do_not_lose_timers() {
+        let m = CoarseLocked::new(HashedWheelUnsorted::<u64>::new(256));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let m = m.clone();
+                thread::spawn(move || {
+                    let mut kept = 0u64;
+                    for i in 0..500u64 {
+                        let h = m.start_timer(TickDelta(10_000), t * 1000 + i).unwrap();
+                        if i % 2 == 0 {
+                            m.stop_timer(h).unwrap();
+                        } else {
+                            kept += 1;
+                        }
+                    }
+                    kept
+                })
+            })
+            .collect();
+        let kept: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(m.outstanding() as u64, kept);
+        assert_eq!(kept, 4 * 250);
+    }
+
+    #[test]
+    fn ticker_runs_concurrently_with_churn() {
+        let m = CoarseLocked::new(HashedWheelUnsorted::<u64>::new(64));
+        let churn = {
+            let m = m.clone();
+            thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    let h = m.start_timer(TickDelta(5), i).unwrap();
+                    let _ = m.stop_timer(h);
+                }
+            })
+        };
+        let mut fired = 0usize;
+        for _ in 0..200 {
+            fired += m.tick().len();
+        }
+        churn.join().unwrap();
+        // Everything was stopped immediately, so nothing should fire.
+        assert_eq!(fired, 0);
+        assert_eq!(m.outstanding(), 0);
+    }
+}

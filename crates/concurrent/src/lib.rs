@@ -1,0 +1,23 @@
+//! Symmetric-multiprocessing timer facilities — Appendix A.2 of the paper.
+//!
+//! * [`coarse`] — [`CoarseLocked`]: any scheme behind one mutex (the
+//!   Scheme 2 semaphore bottleneck Glaser describes).
+//! * [`sharded`] — [`ShardedWheel`]: a Scheme 6 wheel with per-bucket
+//!   locks; start/stop touch one bucket, exact firing preserved.
+//! * [`mpsc`] — [`MpscWheel`]: producers push starts onto a lock-free
+//!   queue, one ticker owns the wheel (the tokio/Netty/Kafka shape);
+//!   lazy cancellation, drain-latency semantics.
+//! * [`service`] — [`TimerService`]: an owning timer thread with a channel
+//!   API (single-owner data, the locking alternative).
+
+#![warn(missing_docs)]
+
+pub mod coarse;
+pub mod mpsc;
+pub mod service;
+pub mod sharded;
+
+pub use coarse::CoarseLocked;
+pub use mpsc::{MpscExpired, MpscHandle, MpscWheel};
+pub use service::{Expiry, TimerService};
+pub use sharded::{ShardHandle, ShardedWheel};

@@ -1,0 +1,365 @@
+//! A message-passing concurrent wheel: the third Appendix A.2 design point,
+//! and the one modern async runtimes (tokio, Netty, Kafka) actually ship.
+//!
+//! Instead of locking shared structure (coarse or sharded), producers push
+//! `start` operations onto a lock-free queue and mark cancellations in a
+//! shared flag; a single ticker owns the wheel outright and drains the
+//! queue at each tick. This is the software form of the Appendix A.1
+//! observation that host and chip need only interrupts between them — here
+//! the "interrupts" are queue entries.
+//!
+//! Semantics differ from [`ShardedWheel`] in two documented ways:
+//!
+//! * **Admission latency** — a start is not in the wheel until the next
+//!   `tick` drains it. The deadline is still computed from the clock at the
+//!   moment of the call, so a timer never fires *early*; if the queue sits
+//!   undrained past the deadline it fires at the first tick that sees it
+//!   (late by the drain latency, never lost).
+//! * **Lazy cancellation** — `cancel` flips a flag; the record is discarded
+//!   when its wheel slot is next visited. This is exactly the
+//!   simulation-style cancellation whose memory the paper warns about
+//!   (§4.2: "such an approach can cause the memory needs to grow
+//!   unboundedly"); here the growth is bounded by the cancelled timer's
+//!   own interval, since the visit that would have fired it reclaims it.
+//!
+//! [`ShardedWheel`]: crate::sharded::ShardedWheel
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+use tw_core::wheel::HashedWheelUnsorted;
+use tw_core::{Tick, TickDelta, TimerError, TimerScheme};
+
+const STATE_PENDING: u8 = 0;
+const STATE_CANCELLED: u8 = 1;
+const STATE_FIRED: u8 = 2;
+
+/// Cancellation handle for a timer started on an [`MpscWheel`].
+#[derive(Debug, Clone)]
+pub struct MpscHandle {
+    state: Arc<AtomicU8>,
+}
+
+impl MpscHandle {
+    /// Attempts to cancel; returns `true` if the timer had not yet fired.
+    ///
+    /// Unlike handle-based schemes the payload is not returned — it is
+    /// reclaimed by the ticker when the dead record's slot comes around.
+    pub fn cancel(&self) -> bool {
+        self.state
+            .compare_exchange(
+                STATE_PENDING,
+                STATE_CANCELLED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Returns `true` once the timer has been delivered.
+    #[must_use]
+    pub fn has_fired(&self) -> bool {
+        self.state.load(Ordering::Acquire) == STATE_FIRED
+    }
+}
+
+struct Entry<T> {
+    payload: T,
+    state: Arc<AtomicU8>,
+    deadline: u64,
+}
+
+struct Inner<T> {
+    wheel: HashedWheelUnsorted<Entry<T>>,
+}
+
+struct Shared<T> {
+    pending: SegQueue<Entry<T>>,
+    now: AtomicU64,
+    inner: Mutex<Inner<T>>,
+}
+
+/// A fired timer delivered by [`MpscWheel::tick`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct MpscExpired<T> {
+    /// The client payload.
+    pub payload: T,
+    /// The deadline computed when `start_timer` was called.
+    pub deadline: Tick,
+    /// The tick it was delivered at (≥ `deadline`; equal when the queue is
+    /// drained promptly).
+    pub fired_at: Tick,
+}
+
+/// The message-passing wheel. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use tw_concurrent::MpscWheel;
+/// use tw_core::TickDelta;
+///
+/// let wheel: MpscWheel<&str> = MpscWheel::new(64);
+/// let h = wheel.start_timer(TickDelta(3), "job").unwrap();
+/// let fired = wheel.drain(10);
+/// assert_eq!(fired[0].payload, "job");
+/// assert!(h.has_fired());
+/// ```
+pub struct MpscWheel<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for MpscWheel<T> {
+    fn clone(&self) -> Self {
+        MpscWheel {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> MpscWheel<T> {
+    /// Creates a wheel with `table_size` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_size` is zero.
+    #[must_use]
+    pub fn new(table_size: usize) -> MpscWheel<T> {
+        MpscWheel {
+            shared: Arc::new(Shared {
+                pending: SegQueue::new(),
+                now: AtomicU64::new(0),
+                inner: Mutex::new(Inner {
+                    wheel: HashedWheelUnsorted::new(table_size),
+                }),
+            }),
+        }
+    }
+
+    /// Current time.
+    #[must_use]
+    pub fn now(&self) -> Tick {
+        Tick(self.shared.now.load(Ordering::Acquire))
+    }
+
+    /// `START_TIMER`: wait-free for the caller (one queue push).
+    ///
+    /// # Errors
+    ///
+    /// [`TimerError::ZeroInterval`] for a zero interval.
+    pub fn start_timer(&self, interval: TickDelta, payload: T) -> Result<MpscHandle, TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let state = Arc::new(AtomicU8::new(STATE_PENDING));
+        let deadline = self.shared.now.load(Ordering::Acquire) + interval.as_u64();
+        self.shared.pending.push(Entry {
+            payload,
+            state: Arc::clone(&state),
+            deadline,
+        });
+        Ok(MpscHandle { state })
+    }
+
+    /// `PER_TICK_BOOKKEEPING`: drains newly started timers into the wheel,
+    /// advances the clock one tick, and delivers what is due. Single ticker
+    /// assumed (concurrent tickers serialize on the internal mutex).
+    pub fn tick(&self) -> Vec<MpscExpired<T>> {
+        let mut inner = self.shared.inner.lock();
+        let t = self.shared.now.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut fired = Vec::new();
+        // Admit the queue backlog. Anything already due (drain latency
+        // exceeded its interval) is delivered this tick rather than lost.
+        while let Some(entry) = self.shared.pending.pop() {
+            if entry.state.load(Ordering::Acquire) == STATE_CANCELLED {
+                continue;
+            }
+            if entry.deadline <= t {
+                deliver(&mut fired, entry, t);
+            } else {
+                let remaining = TickDelta(entry.deadline - (t - 1));
+                inner
+                    .wheel
+                    .start_timer(remaining, entry)
+                    .expect("remaining interval is nonzero");
+            }
+        }
+        // One wheel tick; lazily reap cancelled records.
+        inner.wheel.tick(&mut |e| {
+            let entry = e.payload;
+            if entry.state.load(Ordering::Acquire) != STATE_CANCELLED {
+                deliver(&mut fired, entry, t);
+            }
+        });
+        fired
+    }
+
+    /// Timers currently inside the wheel (excludes the undrained queue and
+    /// includes not-yet-reaped cancelled records).
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.shared.inner.lock().wheel.outstanding()
+    }
+
+    /// Runs ticks until both the queue and the wheel are empty, collecting
+    /// deliveries (test/drain helper).
+    pub fn drain(&self, max_ticks: u64) -> Vec<MpscExpired<T>> {
+        let mut out = Vec::new();
+        for _ in 0..max_ticks {
+            out.extend(self.tick());
+            if self.shared.pending.is_empty() && self.resident() == 0 {
+                break;
+            }
+        }
+        out
+    }
+}
+
+fn deliver<T>(fired: &mut Vec<MpscExpired<T>>, entry: Entry<T>, t: u64) {
+    // Fire only if no concurrent cancel won the race: the state transition
+    // is the linearization point between `cancel` and delivery.
+    let won = entry
+        .state
+        .compare_exchange(
+            STATE_PENDING,
+            STATE_FIRED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        )
+        .is_ok();
+    if won {
+        fired.push(MpscExpired {
+            payload: entry.payload,
+            deadline: Tick(entry.deadline),
+            fired_at: Tick(t),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn single_threaded_exactness_when_drained_promptly() {
+        let w: MpscWheel<u64> = MpscWheel::new(16);
+        for &j in &[1u64, 7, 16, 17, 100] {
+            w.start_timer(TickDelta(j), j).unwrap();
+        }
+        let mut fired = Vec::new();
+        for _ in 0..100 {
+            fired.extend(w.tick());
+        }
+        let got: Vec<(u64, u64)> = fired
+            .iter()
+            .map(|e| (e.payload, e.fired_at.as_u64()))
+            .collect();
+        assert_eq!(got, vec![(1, 1), (7, 7), (16, 16), (17, 17), (100, 100)]);
+        for e in &fired {
+            assert_eq!(e.fired_at, e.deadline, "prompt drain fires exactly");
+        }
+    }
+
+    #[test]
+    fn undrained_backlog_fires_late_never_lost() {
+        let w: MpscWheel<u64> = MpscWheel::new(16);
+        // Tick past the deadline before the op is ever drained? Not
+        // possible through the API (ticks drain), so emulate latency by
+        // starting, then observing it fires at the very next tick even
+        // though the deadline has not moved.
+        w.start_timer(TickDelta(1), 1).unwrap();
+        let fired = w.tick();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(1));
+        assert_eq!(fired[0].deadline, Tick(1));
+    }
+
+    #[test]
+    fn cancel_before_fire_wins_once() {
+        let w: MpscWheel<u64> = MpscWheel::new(16);
+        let h = w.start_timer(TickDelta(5), 5).unwrap();
+        assert!(h.cancel());
+        assert!(!h.cancel(), "second cancel reports failure");
+        assert!(w.drain(50).is_empty());
+        assert!(!h.has_fired());
+    }
+
+    #[test]
+    fn cancel_after_insertion_is_reaped_at_slot_visit() {
+        let w: MpscWheel<u64> = MpscWheel::new(8);
+        let h = w.start_timer(TickDelta(20), 20).unwrap();
+        let _ = w.tick(); // drains into the wheel
+        assert_eq!(w.resident(), 1);
+        assert!(h.cancel());
+        // Still resident (lazy) until the deadline visit reclaims it.
+        assert_eq!(w.resident(), 1);
+        let fired = w.drain(40);
+        assert!(fired.is_empty());
+        assert_eq!(w.resident(), 0, "cancelled record reclaimed");
+    }
+
+    #[test]
+    fn cancel_racing_fire_is_atomic() {
+        // Whatever the interleaving, exactly one of {fired, cancelled} wins.
+        for trial in 0..50u64 {
+            let w: MpscWheel<u64> = MpscWheel::new(4);
+            let h = w.start_timer(TickDelta(2), trial).unwrap();
+            let w2 = w.clone();
+            let ticker = thread::spawn(move || w2.drain(10));
+            let h2 = h.clone();
+            let canceller = thread::spawn(move || h2.cancel());
+            let fired = ticker.join().unwrap();
+            let cancelled = canceller.join().unwrap();
+            assert_eq!(
+                fired.len() == 1,
+                !cancelled,
+                "trial {trial}: fired={} cancelled={cancelled}",
+                fired.len()
+            );
+            assert_eq!(h.has_fired(), !cancelled);
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_nothing_lost() {
+        let w: MpscWheel<u64> = MpscWheel::new(64);
+        let producers: Vec<_> = (0..4u64)
+            .map(|p| {
+                let w = w.clone();
+                thread::spawn(move || {
+                    let mut kept = Vec::new();
+                    for i in 0..200u64 {
+                        let id = p * 1_000 + i;
+                        let h = w.start_timer(TickDelta(50 + id % 100), id).unwrap();
+                        if id % 4 == 0 {
+                            assert!(h.cancel());
+                        } else {
+                            kept.push(id);
+                        }
+                    }
+                    kept
+                })
+            })
+            .collect();
+        let mut kept: Vec<u64> = producers
+            .into_iter()
+            .flat_map(|p| p.join().unwrap())
+            .collect();
+        kept.sort_unstable();
+        let mut fired: Vec<u64> = w.drain(10_000).into_iter().map(|e| e.payload).collect();
+        fired.sort_unstable();
+        assert_eq!(fired, kept);
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        let w: MpscWheel<()> = MpscWheel::new(4);
+        assert!(matches!(
+            w.start_timer(TickDelta::ZERO, ()),
+            Err(TimerError::ZeroInterval)
+        ));
+    }
+}

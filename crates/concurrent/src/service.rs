@@ -1,0 +1,305 @@
+//! An owning timer-service thread: the deployable form of the facility.
+//!
+//! A dedicated thread owns one (single-threaded) timer scheme; clients talk
+//! to it over channels. This is the software analogue of the Appendix A.1
+//! chip — "the only communication between the host and chip is through
+//! interrupts" becomes "the only communication is through messages" — and
+//! it keeps the hot data structure single-owner, which §A.2 notes is the
+//! alternative to locking.
+//!
+//! Time can be driven two ways:
+//!
+//! * **virtual** — clients call [`TimerService::advance`], which is
+//!   deterministic and what the tests and experiments use;
+//! * **real** — [`TimerService::spawn_realtime`] runs a wall-clock ticker
+//!   at a fixed tick period.
+//!
+//! Expirations are delivered on a channel as [`Expiry`] records.
+
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use tw_core::{TickDelta, TimerError, TimerHandle, TimerScheme};
+
+/// An expiry notification from the service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expiry {
+    /// Client-supplied timer id.
+    pub id: u64,
+    /// Tick the timer was scheduled for.
+    pub deadline: u64,
+    /// Tick it actually fired at.
+    pub fired_at: u64,
+}
+
+enum Cmd {
+    Start {
+        id: u64,
+        interval: TickDelta,
+        reply: Sender<Result<TimerHandle, TimerError>>,
+    },
+    Stop {
+        handle: TimerHandle,
+        reply: Sender<Result<u64, TimerError>>,
+    },
+    Advance {
+        ticks: u64,
+        reply: Sender<u64>,
+    },
+    Outstanding {
+        reply: Sender<usize>,
+    },
+    Shutdown,
+}
+
+/// Handle to a running timer-service thread. See the [module docs](self).
+pub struct TimerService {
+    cmd: Sender<Cmd>,
+    expiries: Receiver<Expiry>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl TimerService {
+    /// Spawns a service around `scheme` with virtual time: the clock only
+    /// advances on [`advance`](Self::advance).
+    pub fn spawn<S>(scheme: S) -> TimerService
+    where
+        S: TimerScheme<u64> + Send + 'static,
+    {
+        TimerService::spawn_inner(scheme, None)
+    }
+
+    /// Spawns a service whose clock ticks every `period` of wall time.
+    pub fn spawn_realtime<S>(scheme: S, period: Duration) -> TimerService
+    where
+        S: TimerScheme<u64> + Send + 'static,
+    {
+        TimerService::spawn_inner(scheme, Some(period))
+    }
+
+    fn spawn_inner<S>(mut scheme: S, period: Option<Duration>) -> TimerService
+    where
+        S: TimerScheme<u64> + Send + 'static,
+    {
+        let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
+        let (exp_tx, exp_rx) = unbounded::<Expiry>();
+        let join = std::thread::Builder::new()
+            .name("timer-service".into())
+            .spawn(move || {
+                let ticker = period.map(crossbeam::channel::tick);
+                loop {
+                    // With a real-time ticker, wait on both channels; with
+                    // virtual time, only on commands.
+                    let cmd = if let Some(ticker) = &ticker {
+                        crossbeam::channel::select! {
+                            recv(cmd_rx) -> c => match c {
+                                Ok(c) => Some(c),
+                                Err(_) => break,
+                            },
+                            recv(ticker) -> _ => None,
+                        }
+                    } else {
+                        match cmd_rx.recv() {
+                            Ok(c) => Some(c),
+                            Err(_) => break,
+                        }
+                    };
+                    match cmd {
+                        None => {
+                            // Real-time tick.
+                            scheme.tick(&mut |e| {
+                                let _ = exp_tx.send(Expiry {
+                                    id: e.payload,
+                                    deadline: e.deadline.as_u64(),
+                                    fired_at: e.fired_at.as_u64(),
+                                });
+                            });
+                        }
+                        Some(Cmd::Start {
+                            id,
+                            interval,
+                            reply,
+                        }) => {
+                            let _ = reply.send(scheme.start_timer(interval, id));
+                        }
+                        Some(Cmd::Stop { handle, reply }) => {
+                            let _ = reply.send(scheme.stop_timer(handle));
+                        }
+                        Some(Cmd::Advance { ticks, reply }) => {
+                            let mut fired = 0u64;
+                            for _ in 0..ticks {
+                                scheme.tick(&mut |e| {
+                                    fired += 1;
+                                    let _ = exp_tx.send(Expiry {
+                                        id: e.payload,
+                                        deadline: e.deadline.as_u64(),
+                                        fired_at: e.fired_at.as_u64(),
+                                    });
+                                });
+                            }
+                            let _ = reply.send(fired);
+                        }
+                        Some(Cmd::Outstanding { reply }) => {
+                            let _ = reply.send(scheme.outstanding());
+                        }
+                        Some(Cmd::Shutdown) => break,
+                    }
+                }
+            })
+            .expect("spawn timer-service thread");
+        TimerService {
+            cmd: cmd_tx,
+            expiries: exp_rx,
+            join: Some(join),
+        }
+    }
+
+    /// `START_TIMER` by message round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the scheme's errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service thread has died.
+    pub fn start_timer(&self, id: u64, interval: TickDelta) -> Result<TimerHandle, TimerError> {
+        let (tx, rx) = bounded(1);
+        self.cmd
+            .send(Cmd::Start {
+                id,
+                interval,
+                reply: tx,
+            })
+            .expect("timer service alive");
+        rx.recv().expect("timer service alive")
+    }
+
+    /// `STOP_TIMER` by message round-trip; returns the timer's id.
+    ///
+    /// # Errors
+    ///
+    /// [`TimerError::Stale`] if the timer already fired or was stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service thread has died.
+    pub fn stop_timer(&self, handle: TimerHandle) -> Result<u64, TimerError> {
+        let (tx, rx) = bounded(1);
+        self.cmd
+            .send(Cmd::Stop { handle, reply: tx })
+            .expect("timer service alive");
+        rx.recv().expect("timer service alive")
+    }
+
+    /// Advances virtual time by `ticks`; returns how many timers fired.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service thread has died.
+    pub fn advance(&self, ticks: u64) -> u64 {
+        let (tx, rx) = bounded(1);
+        self.cmd
+            .send(Cmd::Advance { ticks, reply: tx })
+            .expect("timer service alive");
+        rx.recv().expect("timer service alive")
+    }
+
+    /// Number of outstanding timers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service thread has died.
+    pub fn outstanding(&self) -> usize {
+        let (tx, rx) = bounded(1);
+        self.cmd
+            .send(Cmd::Outstanding { reply: tx })
+            .expect("timer service alive");
+        rx.recv().expect("timer service alive")
+    }
+
+    /// The expiry notification channel.
+    pub fn expiries(&self) -> &Receiver<Expiry> {
+        &self.expiries
+    }
+}
+
+impl Drop for TimerService {
+    fn drop(&mut self) {
+        let _ = self.cmd.send(Cmd::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_core::wheel::{HashedWheelUnsorted, HierarchicalWheel, LevelSizes};
+
+    #[test]
+    fn virtual_time_flow() {
+        let svc = TimerService::spawn(HashedWheelUnsorted::<u64>::new(64));
+        svc.start_timer(1, TickDelta(5)).unwrap();
+        svc.start_timer(2, TickDelta(3)).unwrap();
+        assert_eq!(svc.outstanding(), 2);
+        assert_eq!(svc.advance(4), 1);
+        let e = svc.expiries().try_recv().unwrap();
+        assert_eq!((e.id, e.fired_at), (2, 3));
+        assert_eq!(svc.advance(1), 1);
+        let e = svc.expiries().try_recv().unwrap();
+        assert_eq!((e.id, e.fired_at), (1, 5));
+        assert_eq!(svc.outstanding(), 0);
+    }
+
+    #[test]
+    fn stop_via_service() {
+        let svc = TimerService::spawn(HierarchicalWheel::<u64>::new(LevelSizes(vec![16, 16])));
+        let h = svc.start_timer(42, TickDelta(100)).unwrap();
+        assert_eq!(svc.stop_timer(h), Ok(42));
+        assert_eq!(svc.stop_timer(h), Err(TimerError::Stale));
+        assert_eq!(svc.advance(200), 0);
+        assert!(svc.expiries().try_recv().is_err());
+    }
+
+    #[test]
+    fn many_clients_share_the_service() {
+        use std::sync::Arc;
+        let svc = Arc::new(TimerService::spawn(HashedWheelUnsorted::<u64>::new(256)));
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        svc.start_timer(t * 1_000 + i, TickDelta(10 + i % 7))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(svc.outstanding(), 400);
+        let fired = svc.advance(20);
+        assert_eq!(fired, 400);
+        assert_eq!(svc.expiries().try_iter().count(), 400);
+    }
+
+    #[test]
+    fn realtime_ticker_fires() {
+        let svc = TimerService::spawn_realtime(
+            HashedWheelUnsorted::<u64>::new(64),
+            Duration::from_millis(1),
+        );
+        svc.start_timer(7, TickDelta(3)).unwrap();
+        let e = svc
+            .expiries()
+            .recv_timeout(Duration::from_secs(5))
+            .expect("timer fires under the wall-clock ticker");
+        assert_eq!(e.id, 7);
+        assert_eq!(e.fired_at, e.deadline);
+    }
+}

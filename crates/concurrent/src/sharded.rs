@@ -1,0 +1,377 @@
+//! A hashed timing wheel with per-bucket locks — the Appendix A.2 design
+//! point.
+//!
+//! "Scheme 5, 6, and 7 seem suited for implementation in symmetric
+//! multiprocessors": start/stop touch exactly one bucket, so processors
+//! contend only when they hash to the same slot, unlike the Scheme 2 list
+//! whose single semaphore serializes everything ([`CoarseLocked`]).
+//!
+//! Firing remains *exact* under concurrency. The subtle race — a start
+//! landing in the very bucket the ticker is about to flush (interval ≡ 0
+//! mod table size) — is resolved with a per-bucket `processed_until` stamp:
+//! the inserter reads the clock under the bucket lock and can tell whether
+//! the current tick's visit has already swept this bucket, choosing the
+//! rounds count accordingly. Every started-and-not-stopped timer fires
+//! exactly at its deadline, where the deadline is computed from the clock
+//! value observed under the bucket lock (the call may overlap a tick, in
+//! which case that observed value is the semantics).
+//!
+//! `tick` may be called by any thread but tickers are serialized by an
+//! internal lock; expiry callbacks run *outside* bucket locks, so they may
+//! freely start and stop timers on the same wheel.
+//!
+//! [`CoarseLocked`]: crate::coarse::CoarseLocked
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use tw_core::arena::{ListHead, TimerArena};
+use tw_core::{Expired, Tick, TickDelta, TimerError, TimerHandle};
+
+/// Handle to a timer in a [`ShardedWheel`]: the bucket plus the slab key
+/// within it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardHandle {
+    bucket: u32,
+    handle: TimerHandle,
+}
+
+struct Bucket<T> {
+    arena: TimerArena<T>,
+    list: ListHead,
+    /// The last tick whose visit of this bucket has completed.
+    processed_until: u64,
+}
+
+struct Shared<T> {
+    buckets: Vec<Mutex<Bucket<T>>>,
+    now: AtomicU64,
+    outstanding: AtomicUsize,
+    tick_gate: Mutex<()>,
+}
+
+/// A concurrent Scheme 6 wheel. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use tw_concurrent::ShardedWheel;
+/// use tw_core::TickDelta;
+///
+/// let wheel: ShardedWheel<&str> = ShardedWheel::new(64);
+/// let h = wheel.start_timer(TickDelta(2), "ping").unwrap();
+/// let worker = wheel.clone(); // cheap: shared buckets
+/// std::thread::spawn(move || worker.stop_timer(h)).join().unwrap().unwrap();
+/// assert!(wheel.tick().is_empty());
+/// ```
+pub struct ShardedWheel<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for ShardedWheel<T> {
+    fn clone(&self) -> Self {
+        ShardedWheel {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> ShardedWheel<T> {
+    /// Creates a wheel with `table_size` independently locked buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_size` is zero.
+    #[must_use]
+    pub fn new(table_size: usize) -> ShardedWheel<T> {
+        assert!(table_size > 0, "wheel needs at least one bucket");
+        ShardedWheel {
+            shared: Arc::new(Shared {
+                buckets: (0..table_size)
+                    .map(|_| {
+                        Mutex::new(Bucket {
+                            arena: TimerArena::new(),
+                            list: ListHead::new(),
+                            processed_until: 0,
+                        })
+                    })
+                    .collect(),
+                now: AtomicU64::new(0),
+                outstanding: AtomicUsize::new(0),
+                tick_gate: Mutex::new(()),
+            }),
+        }
+    }
+
+    /// Current time.
+    #[must_use]
+    pub fn now(&self) -> Tick {
+        Tick(self.shared.now.load(Ordering::Acquire))
+    }
+
+    /// Number of outstanding timers.
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.shared.outstanding.load(Ordering::Acquire)
+    }
+
+    /// `START_TIMER`: O(1), locking only the target bucket.
+    ///
+    /// # Errors
+    ///
+    /// [`TimerError::ZeroInterval`] for a zero interval.
+    pub fn start_timer(&self, interval: TickDelta, payload: T) -> Result<ShardHandle, TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let n = self.shared.buckets.len() as u64;
+        let j = interval.as_u64();
+        loop {
+            let t = self.shared.now.load(Ordering::Acquire);
+            let slot = ((t + j) % n) as usize;
+            let mut bucket = self.shared.buckets[slot].lock();
+            // The clock may have advanced while we were acquiring the lock;
+            // if that moved the target slot, retry against the fresh clock.
+            let t2 = self.shared.now.load(Ordering::Acquire);
+            if ((t2 + j) % n) as usize != slot {
+                continue;
+            }
+            let deadline = Tick(t2 + j);
+            // Visits of this bucket occur at ticks ≡ slot (mod n). The
+            // single-threaded rounds formula (j-1)/n assumes the current
+            // tick's visit (relevant only when j ≡ 0 mod n, i.e. this
+            // bucket is the cursor's) has already completed. If that visit
+            // is still in flight — the ticker advanced the clock but is
+            // blocked on this very bucket lock — it will sweep our node
+            // once more than the formula accounts for, so add one round.
+            let mut rounds = (j - 1) / n;
+            if j % n == 0 && bucket.processed_until < t2 {
+                rounds += 1;
+            }
+            let (idx, handle) = bucket.arena.alloc(payload, deadline);
+            bucket.arena.node_mut(idx).aux = rounds;
+            let list = std::mem::take(&mut bucket.list);
+            let mut list = list;
+            bucket.arena.push_back(&mut list, idx);
+            bucket.list = list;
+            self.shared.outstanding.fetch_add(1, Ordering::Relaxed);
+            return Ok(ShardHandle {
+                bucket: slot as u32,
+                handle,
+            });
+        }
+    }
+
+    /// `STOP_TIMER`: O(1), locking only the owning bucket.
+    ///
+    /// # Errors
+    ///
+    /// [`TimerError::Stale`] if the timer fired or was already stopped.
+    pub fn stop_timer(&self, handle: ShardHandle) -> Result<T, TimerError> {
+        let mut bucket = self.shared.buckets[handle.bucket as usize].lock();
+        let idx = bucket.arena.resolve(handle.handle)?;
+        let mut list = std::mem::take(&mut bucket.list);
+        bucket.arena.unlink(&mut list, idx);
+        bucket.list = list;
+        let payload = bucket.arena.free(idx);
+        self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+        Ok(payload)
+    }
+
+    /// `PER_TICK_BOOKKEEPING`: advances the clock and returns the expired
+    /// batch. Concurrent tickers are serialized; callbacks in the caller
+    /// run lock-free (the batch is collected first).
+    pub fn tick(&self) -> Vec<Expired<T>> {
+        let _gate = self.shared.tick_gate.lock();
+        let t = self.shared.now.fetch_add(1, Ordering::AcqRel) + 1;
+        let n = self.shared.buckets.len() as u64;
+        let slot = (t % n) as usize;
+        let mut fired = Vec::new();
+        {
+            let mut bucket = self.shared.buckets[slot].lock();
+            let mut list = std::mem::take(&mut bucket.list);
+            let mut cur = list.first();
+            while let Some(idx) = cur {
+                cur = bucket.arena.next(idx);
+                let rounds = bucket.arena.node(idx).aux;
+                if rounds == 0 {
+                    bucket.arena.unlink(&mut list, idx);
+                    let handle = bucket.arena.handle_of(idx);
+                    let deadline = bucket.arena.node(idx).deadline;
+                    debug_assert_eq!(deadline.as_u64(), t, "sharded wheel rounds invariant");
+                    let payload = bucket.arena.free(idx);
+                    fired.push(Expired {
+                        handle,
+                        payload,
+                        deadline,
+                        fired_at: Tick(t),
+                    });
+                } else {
+                    bucket.arena.node_mut(idx).aux = rounds - 1;
+                }
+            }
+            bucket.list = list;
+            bucket.processed_until = t;
+        }
+        self.shared
+            .outstanding
+            .fetch_sub(fired.len(), Ordering::Relaxed);
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn single_threaded_exactness() {
+        let w: ShardedWheel<u64> = ShardedWheel::new(8);
+        for &j in &[1u64, 7, 8, 9, 16, 100] {
+            w.start_timer(TickDelta(j), j).unwrap();
+        }
+        let mut fired = Vec::new();
+        for _ in 0..100 {
+            fired.extend(w.tick());
+        }
+        let got: Vec<(u64, u64)> = fired
+            .iter()
+            .map(|e| (e.payload, e.fired_at.as_u64()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![(1, 1), (7, 7), (8, 8), (9, 9), (16, 16), (100, 100)]
+        );
+    }
+
+    #[test]
+    fn stop_from_other_threads() {
+        let w: ShardedWheel<u64> = ShardedWheel::new(32);
+        let handles: Vec<ShardHandle> = (0..100)
+            .map(|i| w.start_timer(TickDelta(1_000), i).unwrap())
+            .collect();
+        let w2 = w.clone();
+        let t = thread::spawn(move || {
+            for h in handles {
+                w2.stop_timer(h).unwrap();
+            }
+        });
+        t.join().unwrap();
+        assert_eq!(w.outstanding(), 0);
+        for _ in 0..2_000 {
+            assert!(w.tick().is_empty());
+        }
+    }
+
+    #[test]
+    fn concurrent_churn_fires_every_survivor_exactly_once() {
+        use std::collections::HashSet;
+        use std::sync::mpsc;
+
+        let w: ShardedWheel<u64> = ShardedWheel::new(16);
+        let (kept_tx, kept_rx) = mpsc::channel::<u64>();
+        let workers: Vec<_> = (0..4u64)
+            .map(|worker| {
+                let w = w.clone();
+                let kept_tx = kept_tx.clone();
+                thread::spawn(move || {
+                    for i in 0..300u64 {
+                        let id = worker * 10_000 + i;
+                        // Intervals comfortably beyond the churn phase.
+                        let j = 3_000 + (id % 64);
+                        let h = w.start_timer(TickDelta(j), id).unwrap();
+                        if id % 3 == 0 {
+                            w.stop_timer(h).unwrap();
+                        } else {
+                            kept_tx.send(id).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Tick concurrently with the churn.
+        let ticker = {
+            let w = w.clone();
+            thread::spawn(move || {
+                let mut fired = Vec::new();
+                for _ in 0..2_000 {
+                    fired.extend(w.tick().into_iter().map(|e| e.payload));
+                }
+                fired
+            })
+        };
+        for t in workers {
+            t.join().unwrap();
+        }
+        drop(kept_tx);
+        let early = ticker.join().unwrap();
+        assert!(early.is_empty(), "nothing should fire during churn");
+        let kept: HashSet<u64> = kept_rx.into_iter().collect();
+        // Drain: every kept timer fires exactly once.
+        let mut fired = Vec::new();
+        for _ in 0..4_000 {
+            fired.extend(w.tick());
+        }
+        assert_eq!(w.outstanding(), 0);
+        let fired_ids: HashSet<u64> = fired.iter().map(|e| e.payload).collect();
+        assert_eq!(fired_ids.len(), fired.len(), "no duplicate fires");
+        assert_eq!(fired_ids, kept);
+        for e in &fired {
+            assert_eq!(e.fired_at, e.deadline, "exact firing under concurrency");
+        }
+    }
+
+    #[test]
+    fn interval_multiple_of_table_size_with_live_ticker() {
+        // The processed_until race window: intervals ≡ 0 (mod n) started
+        // while a ticker runs full speed. Every fire must still be exact.
+        let w: ShardedWheel<u64> = ShardedWheel::new(8);
+        let stop = Arc::new(AtomicU64::new(0));
+        let ticker = {
+            let w = w.clone();
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut exact = true;
+                let mut count = 0u64;
+                while stop.load(Ordering::Acquire) == 0 {
+                    for e in w.tick() {
+                        exact &= e.fired_at == e.deadline;
+                        count += 1;
+                    }
+                }
+                // Drain whatever remains.
+                for _ in 0..100 {
+                    for e in w.tick() {
+                        exact &= e.fired_at == e.deadline;
+                        count += 1;
+                    }
+                }
+                (exact, count)
+            })
+        };
+        let mut started = 0u64;
+        for i in 0..500u64 {
+            w.start_timer(TickDelta(8 * (i % 4 + 1)), i).unwrap();
+            started += 1;
+        }
+        // Let the ticker catch up, then stop it.
+        while w.outstanding() > 0 {
+            std::hint::spin_loop();
+        }
+        stop.store(1, Ordering::Release);
+        let (exact, count) = ticker.join().unwrap();
+        assert!(exact, "all fires exact");
+        assert_eq!(count, started);
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        let w: ShardedWheel<()> = ShardedWheel::new(4);
+        assert_eq!(
+            w.start_timer(TickDelta::ZERO, ()),
+            Err(TimerError::ZeroInterval)
+        );
+    }
+}

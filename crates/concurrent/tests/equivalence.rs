@@ -1,0 +1,147 @@
+//! Property tests for the concurrent facilities: used single-threaded they
+//! must match the plain Scheme 6 wheel trace-for-trace (the concurrency
+//! machinery must not change the timer semantics).
+
+use proptest::prelude::*;
+use tw_concurrent::{CoarseLocked, MpscWheel, ShardedWheel};
+use tw_core::wheel::HashedWheelUnsorted;
+use tw_core::{TickDelta, TimerScheme};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Start(u64),
+    Stop(usize),
+    Tick,
+}
+
+fn op_strategy(max_interval: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1..=max_interval).prop_map(Op::Start),
+        2 => any::<usize>().prop_map(Op::Stop),
+        4 => Just(Op::Tick),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sharded_matches_plain_wheel_single_threaded(
+        ops in proptest::collection::vec(op_strategy(300), 1..250),
+    ) {
+        let sharded: ShardedWheel<u64> = ShardedWheel::new(16);
+        let mut plain: HashedWheelUnsorted<u64> = HashedWheelUnsorted::new(16);
+        let mut live: Vec<(tw_concurrent::ShardHandle, tw_core::TimerHandle, u64)> = Vec::new();
+        let mut id = 0u64;
+        for op in ops {
+            match op {
+                Op::Start(j) => {
+                    let a = sharded.start_timer(TickDelta(j), id).unwrap();
+                    let b = plain.start_timer(TickDelta(j), id).unwrap();
+                    live.push((a, b, id));
+                    id += 1;
+                }
+                Op::Stop(k) => {
+                    if !live.is_empty() {
+                        let (a, b, want) = live.swap_remove(k % live.len());
+                        prop_assert_eq!(sharded.stop_timer(a), Ok(want));
+                        prop_assert_eq!(plain.stop_timer(b), Ok(want));
+                    }
+                }
+                Op::Tick => {
+                    let mut fa: Vec<(u64, i64)> =
+                        sharded.tick().into_iter().map(|e| (e.payload, e.error())).collect();
+                    let mut fb = Vec::new();
+                    plain.tick(&mut |e| fb.push((e.payload, e.error())));
+                    fa.sort_unstable();
+                    fb.sort_unstable();
+                    prop_assert_eq!(&fa, &fb);
+                    live.retain(|(_, _, i)| !fa.iter().any(|(p, _)| p == i));
+                }
+            }
+            prop_assert_eq!(sharded.outstanding(), plain.outstanding());
+            prop_assert_eq!(sharded.now(), plain.now());
+        }
+    }
+
+    /// Single-threaded, drained-every-tick MPSC wheel is also exact and
+    /// loses nothing under mixed cancel traffic.
+    #[test]
+    fn mpsc_exact_when_drained(
+        ops in proptest::collection::vec(op_strategy(300), 1..250),
+    ) {
+        let mpsc: MpscWheel<u64> = MpscWheel::new(16);
+        let mut plain: HashedWheelUnsorted<u64> = HashedWheelUnsorted::new(16);
+        let mut live: Vec<(tw_concurrent::MpscHandle, tw_core::TimerHandle, u64)> = Vec::new();
+        let mut id = 0u64;
+        for op in ops {
+            match op {
+                Op::Start(j) => {
+                    let a = mpsc.start_timer(TickDelta(j), id).unwrap();
+                    let b = plain.start_timer(TickDelta(j), id).unwrap();
+                    live.push((a, b, id));
+                    id += 1;
+                }
+                Op::Stop(k) => {
+                    if !live.is_empty() {
+                        let (a, b, want) = live.swap_remove(k % live.len());
+                        prop_assert!(a.cancel());
+                        prop_assert_eq!(plain.stop_timer(b), Ok(want));
+                    }
+                }
+                Op::Tick => {
+                    let mut fa: Vec<(u64, u64, u64)> = mpsc
+                        .tick()
+                        .into_iter()
+                        .map(|e| (e.payload, e.deadline.as_u64(), e.fired_at.as_u64()))
+                        .collect();
+                    let mut fb = Vec::new();
+                    plain.tick(&mut |e| {
+                        fb.push((e.payload, e.deadline.as_u64(), e.fired_at.as_u64()));
+                    });
+                    fa.sort_unstable();
+                    fb.sort_unstable();
+                    prop_assert_eq!(&fa, &fb);
+                    live.retain(|(_, _, i)| !fa.iter().any(|(p, ..)| p == i));
+                }
+            }
+        }
+    }
+
+    /// The coarse lock is a transparent wrapper.
+    #[test]
+    fn coarse_matches_plain_wheel(
+        ops in proptest::collection::vec(op_strategy(300), 1..200),
+    ) {
+        let coarse = CoarseLocked::new(HashedWheelUnsorted::<u64>::new(16));
+        let mut plain: HashedWheelUnsorted<u64> = HashedWheelUnsorted::new(16);
+        let mut live: Vec<(tw_core::TimerHandle, tw_core::TimerHandle, u64)> = Vec::new();
+        let mut id = 0u64;
+        for op in ops {
+            match op {
+                Op::Start(j) => {
+                    let a = coarse.start_timer(TickDelta(j), id).unwrap();
+                    let b = plain.start_timer(TickDelta(j), id).unwrap();
+                    live.push((a, b, id));
+                    id += 1;
+                }
+                Op::Stop(k) => {
+                    if !live.is_empty() {
+                        let (a, b, want) = live.swap_remove(k % live.len());
+                        prop_assert_eq!(coarse.stop_timer(a), Ok(want));
+                        prop_assert_eq!(plain.stop_timer(b), Ok(want));
+                    }
+                }
+                Op::Tick => {
+                    let mut fa: Vec<u64> = coarse.tick().into_iter().map(|e| e.payload).collect();
+                    let mut fb = Vec::new();
+                    plain.tick(&mut |e| fb.push(e.payload));
+                    fa.sort_unstable();
+                    fb.sort_unstable();
+                    prop_assert_eq!(&fa, &fb);
+                    live.retain(|(_, _, i)| !fa.contains(i));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,739 @@
+//! A generational slab of timer records with safe intrusive doubly-linked
+//! lists.
+//!
+//! Every list-based scheme in the paper depends on two things the original
+//! implementation got from raw pointers (§3.2):
+//!
+//! 1. O(1) `STOP_TIMER` — the client-held reference can unlink a record from
+//!    whatever doubly-linked list it currently sits on, and
+//! 2. O(1) migration — a record can be moved between lists (wheel slots,
+//!    hierarchy levels) without allocation.
+//!
+//! [`TimerArena`] provides both in safe Rust: records live in a slab indexed
+//! by `u32`, links are indices rather than pointers, and each slot carries a
+//! generation counter so a stale [`TimerHandle`] can never reach a recycled
+//! record (the ABA problem). Freed slots form an intrusive free list, so
+//! steady-state operation performs no allocation at all.
+//!
+//! Lists are headed by [`ListHead`] values owned by the scheme (one per wheel
+//! slot, for example); the arena only stores the per-node `next`/`prev`
+//! links. All operations are O(1) except iteration.
+
+use alloc::vec::Vec;
+
+use crate::handle::TimerHandle;
+use crate::time::Tick;
+use crate::TimerError;
+
+/// Sentinel index meaning "no node".
+const NIL: u32 = u32::MAX;
+
+/// Index of a live node inside a [`TimerArena`].
+///
+/// Unlike [`TimerHandle`], a `NodeIdx` is not generation-checked; it is only
+/// handed out by arena operations that guarantee liveness and must not be
+/// retained across a `free` of the same node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeIdx(u32);
+
+impl NodeIdx {
+    /// Returns the raw slab index.
+    #[must_use]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs an index from [`as_u32`](Self::as_u32) output.
+    ///
+    /// The caller must ensure the node is still live; arena accessors panic
+    /// on a freed index.
+    #[must_use]
+    pub const fn from_u32(raw: u32) -> NodeIdx {
+        NodeIdx(raw)
+    }
+}
+
+/// The head of an intrusive doubly-linked list of timer records.
+///
+/// A `ListHead` is plain data — copying it would alias the list, so it is
+/// deliberately not `Clone`. A fresh head is an empty list.
+#[derive(Debug)]
+pub struct ListHead {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl ListHead {
+    /// Creates an empty list.
+    #[must_use]
+    pub const fn new() -> ListHead {
+        ListHead {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        }
+    }
+
+    /// Returns the number of nodes on the list.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns `true` if the list has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns the first node on the list, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<NodeIdx> {
+        (self.head != NIL).then_some(NodeIdx(self.head))
+    }
+
+    /// Returns the last node on the list, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<NodeIdx> {
+        (self.tail != NIL).then_some(NodeIdx(self.tail))
+    }
+}
+
+impl Default for ListHead {
+    fn default() -> Self {
+        ListHead::new()
+    }
+}
+
+/// A live timer record.
+///
+/// `deadline`, `aux` and `bucket` are scheme-owned scratch fields:
+///
+/// * `deadline` — the absolute expiry tick (every scheme stores it; the
+///   precision experiments compare it with the actual firing tick),
+/// * `aux` — scheme-defined: remaining interval (Scheme 1), rounds counter
+///   (Scheme 6), migration count (Scheme 7), …
+/// * `bucket` — which list the node is on (wheel slot, hierarchy level tag),
+///   so `stop_timer` can locate the right [`ListHead`] in O(1).
+#[derive(Debug)]
+pub struct Node<T> {
+    /// Client payload delivered on expiry.
+    pub payload: T,
+    /// Absolute tick at which the timer is scheduled to expire.
+    pub deadline: Tick,
+    /// Scheme-defined auxiliary word (rounds, remaining interval, …).
+    pub aux: u64,
+    /// Scheme-defined home-list tag (wheel slot index, level, …).
+    pub bucket: u32,
+    next: u32,
+    prev: u32,
+    linked: bool,
+}
+
+enum Slot<T> {
+    Free { next_free: u32 },
+    Occupied(Node<T>),
+}
+
+/// A generational slab of timer records plus intrusive list plumbing.
+///
+/// See the [module docs](self) for the design rationale.
+pub struct TimerArena<T> {
+    slots: Vec<(u32, Slot<T>)>, // (generation, slot)
+    free_head: u32,
+    live: u32,
+}
+
+impl<T> TimerArena<T> {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> TimerArena<T> {
+        TimerArena {
+            slots: Vec::new(),
+            free_head: NIL,
+            live: 0,
+        }
+    }
+
+    /// Creates an arena with room for `cap` records before reallocating.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> TimerArena<T> {
+        TimerArena {
+            slots: Vec::with_capacity(cap),
+            free_head: NIL,
+            live: 0,
+        }
+    }
+
+    /// Number of live (outstanding) records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live as usize
+    }
+
+    /// Returns `true` if no records are outstanding.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slab slots ever allocated (live + free-listed). Steady-state
+    /// workloads must plateau here: growth under constant `len()` means a
+    /// recycling leak.
+    #[must_use]
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Allocates a record, returning its index and generation-checked handle.
+    ///
+    /// The new record is not on any list; the caller links it with
+    /// [`push_back`](Self::push_back) or a sorted insert.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX - 1` records are live.
+    pub fn alloc(&mut self, payload: T, deadline: Tick) -> (NodeIdx, TimerHandle) {
+        let node = Node {
+            payload,
+            deadline,
+            aux: 0,
+            bucket: 0,
+            next: NIL,
+            prev: NIL,
+            linked: false,
+        };
+        let idx = if self.free_head != NIL {
+            let idx = self.free_head;
+            let (_, slot) = &self.slots[idx as usize];
+            let next_free = match slot {
+                Slot::Free { next_free } => *next_free,
+                Slot::Occupied(_) => unreachable!("free list points at occupied slot"),
+            };
+            self.free_head = next_free;
+            self.slots[idx as usize].1 = Slot::Occupied(node);
+            idx
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("arena capacity exceeded");
+            assert!(idx != NIL, "arena capacity exceeded");
+            self.slots.push((0, Slot::Occupied(node)));
+            idx
+        };
+        self.live += 1;
+        let generation = self.slots[idx as usize].0;
+        (
+            NodeIdx(idx),
+            TimerHandle {
+                index: idx,
+                generation,
+            },
+        )
+    }
+
+    /// Frees a record that has already been unlinked from its list, bumping
+    /// the slot generation so outstanding handles to it become stale.
+    ///
+    /// Returns the payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is still linked into a list, or if `idx` is not
+    /// live (both indicate scheme-internal corruption).
+    pub fn free(&mut self, idx: NodeIdx) -> T {
+        let (generation, slot) = &mut self.slots[idx.0 as usize];
+        let taken = core::mem::replace(
+            slot,
+            Slot::Free {
+                next_free: self.free_head,
+            },
+        );
+        let node = match taken {
+            Slot::Occupied(node) => node,
+            Slot::Free { .. } => panic!("double free of arena node {}", idx.0),
+        };
+        assert!(!node.linked, "freeing a node that is still linked");
+        *generation = generation.wrapping_add(1);
+        self.free_head = idx.0;
+        self.live -= 1;
+        node.payload
+    }
+
+    /// Resolves a handle to a live node index, or [`TimerError::Stale`].
+    pub fn resolve(&self, handle: TimerHandle) -> Result<NodeIdx, TimerError> {
+        match self.slots.get(handle.index as usize) {
+            Some((generation, Slot::Occupied(_))) if *generation == handle.generation => {
+                Ok(NodeIdx(handle.index))
+            }
+            _ => Err(TimerError::Stale),
+        }
+    }
+
+    /// Returns the handle that currently refers to a live node.
+    #[must_use]
+    pub fn handle_of(&self, idx: NodeIdx) -> TimerHandle {
+        let (generation, slot) = &self.slots[idx.0 as usize];
+        debug_assert!(matches!(slot, Slot::Occupied(_)));
+        TimerHandle {
+            index: idx.0,
+            generation: *generation,
+        }
+    }
+
+    /// Borrows a live node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` does not refer to a live node.
+    #[must_use]
+    pub fn node(&self, idx: NodeIdx) -> &Node<T> {
+        match &self.slots[idx.0 as usize].1 {
+            Slot::Occupied(node) => node,
+            Slot::Free { .. } => panic!("arena node {} is not live", idx.0),
+        }
+    }
+
+    /// Mutably borrows a live node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` does not refer to a live node.
+    #[must_use]
+    pub fn node_mut(&mut self, idx: NodeIdx) -> &mut Node<T> {
+        match &mut self.slots[idx.0 as usize].1 {
+            Slot::Occupied(node) => node,
+            Slot::Free { .. } => panic!("arena node {} is not live", idx.0),
+        }
+    }
+
+    /// Returns the successor of `idx` on its list.
+    #[must_use]
+    pub fn next(&self, idx: NodeIdx) -> Option<NodeIdx> {
+        let n = self.node(idx).next;
+        (n != NIL).then_some(NodeIdx(n))
+    }
+
+    /// Returns the predecessor of `idx` on its list.
+    #[must_use]
+    pub fn prev(&self, idx: NodeIdx) -> Option<NodeIdx> {
+        let p = self.node(idx).prev;
+        (p != NIL).then_some(NodeIdx(p))
+    }
+
+    /// Links an unlinked node at the front of `list`.
+    pub fn push_front(&mut self, list: &mut ListHead, idx: NodeIdx) {
+        self.assert_unlinked(idx);
+        let old_head = list.head;
+        self.node_mut(idx).next = old_head;
+        if old_head != NIL {
+            self.node_mut(NodeIdx(old_head)).prev = idx.0;
+        } else {
+            list.tail = idx.0;
+        }
+        list.head = idx.0;
+        list.len += 1;
+    }
+
+    /// Links an unlinked node at the back of `list`.
+    pub fn push_back(&mut self, list: &mut ListHead, idx: NodeIdx) {
+        self.assert_unlinked(idx);
+        let old_tail = list.tail;
+        self.node_mut(idx).prev = old_tail;
+        if old_tail != NIL {
+            self.node_mut(NodeIdx(old_tail)).next = idx.0;
+        } else {
+            list.head = idx.0;
+        }
+        list.tail = idx.0;
+        list.len += 1;
+    }
+
+    /// Links an unlinked node immediately before `at` on `list`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is not on `list` (detected only in debug builds for the
+    /// interior case; linking before a foreign head corrupts both lists).
+    pub fn insert_before(&mut self, list: &mut ListHead, at: NodeIdx, idx: NodeIdx) {
+        self.assert_unlinked(idx);
+        let prev = self.node(at).prev;
+        self.node_mut(idx).next = at.0;
+        self.node_mut(idx).prev = prev;
+        self.node_mut(at).prev = idx.0;
+        if prev != NIL {
+            self.node_mut(NodeIdx(prev)).next = idx.0;
+        } else {
+            debug_assert_eq!(list.head, at.0, "insert_before head of a different list");
+            list.head = idx.0;
+        }
+        list.len += 1;
+    }
+
+    /// Unlinks a node from `list`, leaving it allocated but free-standing.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the node is not actually on `list`.
+    pub fn unlink(&mut self, list: &mut ListHead, idx: NodeIdx) {
+        let (prev, next) = {
+            let node = self.node(idx);
+            (node.prev, node.next)
+        };
+        if prev != NIL {
+            self.node_mut(NodeIdx(prev)).next = next;
+        } else {
+            debug_assert_eq!(list.head, idx.0, "unlink from a different list (head)");
+            list.head = next;
+        }
+        if next != NIL {
+            self.node_mut(NodeIdx(next)).prev = prev;
+        } else {
+            debug_assert_eq!(list.tail, idx.0, "unlink from a different list (tail)");
+            list.tail = prev;
+        }
+        let node = self.node_mut(idx);
+        node.next = NIL;
+        node.prev = NIL;
+        node.linked = false;
+        debug_assert!(list.len > 0, "unlink from empty list");
+        list.len -= 1;
+    }
+
+    /// Unlinks and returns the first node of `list`, if any.
+    pub fn pop_front(&mut self, list: &mut ListHead) -> Option<NodeIdx> {
+        let idx = list.first()?;
+        self.unlink(list, idx);
+        Some(idx)
+    }
+
+    /// Iterates the node indices of `list` front to back.
+    ///
+    /// The arena is immutably borrowed for the duration; to mutate while
+    /// walking, use [`ListHead::first`] and [`next`](Self::next) manually.
+    pub fn iter<'a>(&'a self, list: &ListHead) -> ListIter<'a, T> {
+        ListIter {
+            arena: self,
+            cur: list.head,
+        }
+    }
+
+    fn assert_unlinked(&mut self, idx: NodeIdx) {
+        let node = self.node_mut(idx);
+        assert!(!node.linked, "node {} is already on a list", idx.0);
+        node.linked = true;
+    }
+}
+
+impl<T> Default for TimerArena<T> {
+    fn default() -> Self {
+        TimerArena::new()
+    }
+}
+
+/// Iterator over the nodes of one list, front to back.
+pub struct ListIter<'a, T> {
+    arena: &'a TimerArena<T>,
+    cur: u32,
+}
+
+impl<T> Iterator for ListIter<'_, T> {
+    type Item = NodeIdx;
+
+    fn next(&mut self) -> Option<NodeIdx> {
+        if self.cur == NIL {
+            return None;
+        }
+        let idx = NodeIdx(self.cur);
+        self.cur = self.arena.node(idx).next;
+        Some(idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Tick;
+
+    fn deadlines(arena: &TimerArena<u32>, list: &ListHead) -> Vec<u64> {
+        arena
+            .iter(list)
+            .map(|i| arena.node(i).deadline.as_u64())
+            .collect()
+    }
+
+    #[test]
+    fn alloc_free_recycles_with_new_generation() {
+        let mut arena: TimerArena<u32> = TimerArena::new();
+        let (idx, h1) = arena.alloc(1, Tick(5));
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.resolve(h1).unwrap(), idx);
+        assert_eq!(arena.free(idx), 1);
+        assert_eq!(arena.len(), 0);
+        assert_eq!(arena.resolve(h1), Err(TimerError::Stale));
+
+        let (idx2, h2) = arena.alloc(2, Tick(9));
+        assert_eq!(idx2, idx, "slot should be recycled");
+        assert_ne!(h1, h2, "generation must differ");
+        assert_eq!(arena.resolve(h1), Err(TimerError::Stale));
+        assert_eq!(arena.resolve(h2).unwrap(), idx2);
+    }
+
+    #[test]
+    fn push_front_back_and_order() {
+        let mut arena: TimerArena<u32> = TimerArena::new();
+        let mut list = ListHead::new();
+        let (a, _) = arena.alloc(0, Tick(1));
+        let (b, _) = arena.alloc(0, Tick(2));
+        let (c, _) = arena.alloc(0, Tick(3));
+        arena.push_back(&mut list, b);
+        arena.push_front(&mut list, a);
+        arena.push_back(&mut list, c);
+        assert_eq!(deadlines(&arena, &list), vec![1, 2, 3]);
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.first(), Some(a));
+        assert_eq!(list.last(), Some(c));
+    }
+
+    #[test]
+    fn unlink_middle_head_tail() {
+        let mut arena: TimerArena<u32> = TimerArena::new();
+        let mut list = ListHead::new();
+        let nodes: Vec<NodeIdx> = (0..5)
+            .map(|i| {
+                let (idx, _) = arena.alloc(i, Tick(u64::from(i)));
+                arena.push_back(&mut list, idx);
+                idx
+            })
+            .collect();
+        arena.unlink(&mut list, nodes[2]); // middle
+        assert_eq!(deadlines(&arena, &list), vec![0, 1, 3, 4]);
+        arena.unlink(&mut list, nodes[0]); // head
+        assert_eq!(deadlines(&arena, &list), vec![1, 3, 4]);
+        arena.unlink(&mut list, nodes[4]); // tail
+        assert_eq!(deadlines(&arena, &list), vec![1, 3]);
+        assert_eq!(list.len(), 2);
+        // Unlinked nodes can be freed.
+        arena.free(nodes[2]);
+        arena.free(nodes[0]);
+        arena.free(nodes[4]);
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn insert_before_head_and_interior() {
+        let mut arena: TimerArena<u32> = TimerArena::new();
+        let mut list = ListHead::new();
+        let (a, _) = arena.alloc(0, Tick(10));
+        let (c, _) = arena.alloc(0, Tick(30));
+        arena.push_back(&mut list, a);
+        arena.push_back(&mut list, c);
+        let (b, _) = arena.alloc(0, Tick(20));
+        arena.insert_before(&mut list, c, b);
+        assert_eq!(deadlines(&arena, &list), vec![10, 20, 30]);
+        let (z, _) = arena.alloc(0, Tick(5));
+        arena.insert_before(&mut list, a, z);
+        assert_eq!(deadlines(&arena, &list), vec![5, 10, 20, 30]);
+        assert_eq!(list.first().unwrap(), z);
+    }
+
+    #[test]
+    fn pop_front_drains_in_order() {
+        let mut arena: TimerArena<u32> = TimerArena::new();
+        let mut list = ListHead::new();
+        for i in 0..4 {
+            let (idx, _) = arena.alloc(i, Tick(u64::from(i)));
+            arena.push_back(&mut list, idx);
+        }
+        let mut seen = Vec::new();
+        while let Some(idx) = arena.pop_front(&mut list) {
+            seen.push(arena.node(idx).payload);
+            arena.free(idx);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert!(list.is_empty());
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn moving_between_lists() {
+        let mut arena: TimerArena<u32> = TimerArena::new();
+        let mut l1 = ListHead::new();
+        let mut l2 = ListHead::new();
+        let (a, _) = arena.alloc(7, Tick(1));
+        arena.push_back(&mut l1, a);
+        arena.unlink(&mut l1, a);
+        arena.push_back(&mut l2, a);
+        assert!(l1.is_empty());
+        assert_eq!(l2.len(), 1);
+        assert_eq!(arena.node(a).payload, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "already on a list")]
+    fn double_link_panics() {
+        let mut arena: TimerArena<u32> = TimerArena::new();
+        let mut list = ListHead::new();
+        let (a, _) = arena.alloc(0, Tick(1));
+        arena.push_back(&mut list, a);
+        arena.push_back(&mut list, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "still linked")]
+    fn free_while_linked_panics() {
+        let mut arena: TimerArena<u32> = TimerArena::new();
+        let mut list = ListHead::new();
+        let (a, _) = arena.alloc(0, Tick(1));
+        arena.push_back(&mut list, a);
+        arena.free(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut arena: TimerArena<u32> = TimerArena::new();
+        let (a, _) = arena.alloc(0, Tick(1));
+        arena.free(a);
+        arena.free(a);
+    }
+
+    #[test]
+    fn forged_handle_is_stale() {
+        let arena: TimerArena<u32> = TimerArena::new();
+        let forged = TimerHandle::from_raw(999, 0);
+        assert_eq!(arena.resolve(forged), Err(TimerError::Stale));
+    }
+
+    #[test]
+    fn handle_of_roundtrips() {
+        let mut arena: TimerArena<u32> = TimerArena::new();
+        let (idx, h) = arena.alloc(0, Tick(1));
+        assert_eq!(arena.handle_of(idx), h);
+    }
+
+    #[test]
+    fn scratch_fields_are_scheme_writable() {
+        let mut arena: TimerArena<u32> = TimerArena::new();
+        let (idx, _) = arena.alloc(0, Tick(1));
+        arena.node_mut(idx).aux = 42;
+        arena.node_mut(idx).bucket = 7;
+        assert_eq!(arena.node(idx).aux, 42);
+        assert_eq!(arena.node(idx).bucket, 7);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::time::Tick;
+    use proptest::prelude::*;
+    use std::collections::VecDeque;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        PushFront(u8),
+        PushBack(u8),
+        PopFront(u8),
+        UnlinkAt(u8, u8),
+        MoveBetween(u8, u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            any::<u8>().prop_map(Op::PushFront),
+            any::<u8>().prop_map(Op::PushBack),
+            any::<u8>().prop_map(Op::PopFront),
+            (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::UnlinkAt(a, b)),
+            (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::MoveBetween(a, b)),
+        ]
+    }
+
+    proptest! {
+        /// The intrusive list behaves exactly like a `VecDeque` model under
+        /// an arbitrary interleaving of operations across 4 lists.
+        #[test]
+        fn lists_match_vecdeque_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+            const LISTS: usize = 4;
+            let mut arena: TimerArena<u64> = TimerArena::new();
+            let mut lists: Vec<ListHead> = (0..LISTS).map(|_| ListHead::new()).collect();
+            let mut model: Vec<VecDeque<u64>> = vec![VecDeque::new(); LISTS];
+            let mut next_tag: u64 = 0;
+
+            for op in ops {
+                match op {
+                    Op::PushFront(l) => {
+                        let l = l as usize % LISTS;
+                        let (idx, _) = arena.alloc(next_tag, Tick(next_tag));
+                        arena.push_front(&mut lists[l], idx);
+                        model[l].push_front(next_tag);
+                        next_tag += 1;
+                    }
+                    Op::PushBack(l) => {
+                        let l = l as usize % LISTS;
+                        let (idx, _) = arena.alloc(next_tag, Tick(next_tag));
+                        arena.push_back(&mut lists[l], idx);
+                        model[l].push_back(next_tag);
+                        next_tag += 1;
+                    }
+                    Op::PopFront(l) => {
+                        let l = l as usize % LISTS;
+                        let got = arena.pop_front(&mut lists[l]).map(|i| arena.free(i));
+                        prop_assert_eq!(got, model[l].pop_front());
+                    }
+                    Op::UnlinkAt(l, pos) => {
+                        let l = l as usize % LISTS;
+                        if !model[l].is_empty() {
+                            let pos = pos as usize % model[l].len();
+                            let idx = arena.iter(&lists[l]).nth(pos).unwrap();
+                            arena.unlink(&mut lists[l], idx);
+                            let tag = arena.free(idx);
+                            let expect = model[l].remove(pos).unwrap();
+                            prop_assert_eq!(tag, expect);
+                        }
+                    }
+                    Op::MoveBetween(a, b) => {
+                        let a = a as usize % LISTS;
+                        let b = b as usize % LISTS;
+                        if a != b && !model[a].is_empty() {
+                            let idx = lists[a].first().unwrap();
+                            arena.unlink(&mut lists[a], idx);
+                            arena.push_back(&mut lists[b], idx);
+                            let tag = model[a].pop_front().unwrap();
+                            model[b].push_back(tag);
+                        }
+                    }
+                }
+                // Full-state comparison after every op.
+                for l in 0..LISTS {
+                    let got: Vec<u64> =
+                        arena.iter(&lists[l]).map(|i| arena.node(i).payload).collect();
+                    let expect: Vec<u64> = model[l].iter().copied().collect();
+                    prop_assert_eq!(got, expect);
+                    prop_assert_eq!(lists[l].len(), model[l].len());
+                }
+                let total: usize = model.iter().map(VecDeque::len).sum();
+                prop_assert_eq!(arena.len(), total);
+            }
+        }
+
+        /// Handles issued for freed nodes never resolve again, even after the
+        /// slot is recycled many times.
+        #[test]
+        fn stale_handles_never_resolve(rounds in 1usize..50) {
+            let mut arena: TimerArena<u32> = TimerArena::new();
+            let mut stale = Vec::new();
+            for r in 0..rounds {
+                let (idx, h) = arena.alloc(r as u32, Tick(0));
+                for old in &stale {
+                    prop_assert_eq!(arena.resolve(*old), Err(TimerError::Stale));
+                }
+                prop_assert!(arena.resolve(h).is_ok());
+                arena.free(idx);
+                stale.push(h);
+            }
+            for old in &stale {
+                prop_assert_eq!(arena.resolve(*old), Err(TimerError::Stale));
+            }
+        }
+    }
+}

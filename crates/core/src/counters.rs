@@ -1,0 +1,207 @@
+//! Operation counters and the §7 VAX instruction-cost model.
+//!
+//! The paper evaluates Scheme 6 with MACRO-11 instruction counts on a VAX:
+//! 13 "cheap" instructions to insert a timer, 7 to delete one, 4 per tick to
+//! skip an empty array slot, 6 to decrement a timer and move to the next
+//! queue element, and 9 more to expire a timer and call
+//! `EXPIRY_PROCESSING`. From these it derives the headline per-tick cost
+//! `4 + 15·n/TableSize`.
+//!
+//! We cannot rerun MACRO-11, so every scheme in this workspace increments an
+//! [`OpCounters`] at exactly the model points above. The experiment binaries
+//! then regenerate the paper's cost tables in *modeled instructions*, while
+//! the Criterion benches independently confirm the same shapes in wall-clock
+//! nanoseconds. See DESIGN.md ("Instruction-cost model") for the
+//! substitution rationale.
+
+/// Per-instruction costs of the §7 VAX cost model, in "cheap instruction"
+/// units (the cost of a `CLRL`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VaxCostModel {
+    /// Instructions to insert a timer (§7: 13).
+    pub insert: u64,
+    /// Instructions to delete a timer (§7: 7).
+    pub delete: u64,
+    /// Instructions to skip an empty array location on a tick (§7: 4).
+    pub skip_empty: u64,
+    /// Instructions to decrement a timer and move to the next element (§7: 6).
+    pub decrement_step: u64,
+    /// Additional instructions to delete an expired timer and call
+    /// `EXPIRY_PROCESSING` (§7: 9).
+    pub expire: u64,
+}
+
+impl VaxCostModel {
+    /// The exact constants reported in §7 of the paper.
+    pub const PAPER: VaxCostModel = VaxCostModel {
+        insert: 13,
+        delete: 7,
+        skip_empty: 4,
+        decrement_step: 6,
+        expire: 9,
+    };
+}
+
+impl Default for VaxCostModel {
+    fn default() -> Self {
+        VaxCostModel::PAPER
+    }
+}
+
+/// Event counters shared by every timer scheme.
+///
+/// Schemes bump these at well-defined points so that experiments can report
+/// machine-independent work measures. The counters deliberately mirror the
+/// quantities the paper reasons about: list-traversal steps for Scheme 2's
+/// O(n) insert, per-element decrements for Schemes 1 and 6, empty-bucket
+/// skips for the wheels, and level migrations for Scheme 7's `c(7)·m` bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Calls to `start_timer` that succeeded.
+    pub starts: u64,
+    /// Calls to `stop_timer` that succeeded.
+    pub stops: u64,
+    /// Calls to `tick` (`PER_TICK_BOOKKEEPING` invocations).
+    pub ticks: u64,
+    /// Timers delivered to `EXPIRY_PROCESSING`.
+    pub expiries: u64,
+    /// Comparison/traversal steps performed while searching for an insert
+    /// position (ordered list, sorted buckets, tree descent).
+    pub start_steps: u64,
+    /// Per-element decrement (or compare) operations performed during ticks.
+    pub decrements: u64,
+    /// Ticks that found their wheel slot empty.
+    pub empty_slot_skips: u64,
+    /// Ticks that found their wheel slot non-empty.
+    pub nonempty_slot_visits: u64,
+    /// Timers migrated between hierarchy levels (Scheme 7) or drained from an
+    /// overflow list back into a wheel.
+    pub migrations: u64,
+    /// Modeled "cheap VAX instructions" accumulated per the §7 cost model.
+    pub vax_instructions: u64,
+}
+
+impl OpCounters {
+    /// Returns a zeroed counter set.
+    #[must_use]
+    pub fn new() -> OpCounters {
+        OpCounters::default()
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = OpCounters::default();
+    }
+
+    /// Returns the difference `self - earlier`, counter by counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any counter in `earlier` exceeds the one in `self` (i.e. the
+    /// snapshots are passed in the wrong order).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &OpCounters) -> OpCounters {
+        fn d(a: u64, b: u64) -> u64 {
+            a.checked_sub(b).expect("counter snapshot order inverted")
+        }
+        OpCounters {
+            starts: d(self.starts, earlier.starts),
+            stops: d(self.stops, earlier.stops),
+            ticks: d(self.ticks, earlier.ticks),
+            expiries: d(self.expiries, earlier.expiries),
+            start_steps: d(self.start_steps, earlier.start_steps),
+            decrements: d(self.decrements, earlier.decrements),
+            empty_slot_skips: d(self.empty_slot_skips, earlier.empty_slot_skips),
+            nonempty_slot_visits: d(self.nonempty_slot_visits, earlier.nonempty_slot_visits),
+            migrations: d(self.migrations, earlier.migrations),
+            vax_instructions: d(self.vax_instructions, earlier.vax_instructions),
+        }
+    }
+
+    /// Average modeled instructions per tick over the counted period.
+    ///
+    /// Returns 0.0 when no ticks have elapsed.
+    #[must_use]
+    pub fn vax_per_tick(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.vax_instructions as f64 / self.ticks as f64
+        }
+    }
+
+    /// Average insert-search steps per successful `start_timer`.
+    ///
+    /// Returns 0.0 when no starts have been counted.
+    #[must_use]
+    pub fn steps_per_start(&self) -> f64 {
+        if self.starts == 0 {
+            0.0
+        } else {
+            self.start_steps as f64 / self.starts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants_match_section_7() {
+        let m = VaxCostModel::PAPER;
+        assert_eq!(m.insert, 13);
+        assert_eq!(m.delete, 7);
+        assert_eq!(m.skip_empty, 4);
+        assert_eq!(m.decrement_step, 6);
+        assert_eq!(m.expire, 9);
+        assert_eq!(VaxCostModel::default(), m);
+    }
+
+    #[test]
+    fn delta_since_subtracts_fieldwise() {
+        let mut a = OpCounters::new();
+        a.starts = 10;
+        a.ticks = 100;
+        a.vax_instructions = 430;
+        let mut b = a;
+        b.starts = 12;
+        b.ticks = 150;
+        b.vax_instructions = 700;
+        let d = b.delta_since(&a);
+        assert_eq!(d.starts, 2);
+        assert_eq!(d.ticks, 50);
+        assert_eq!(d.vax_instructions, 270);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot order inverted")]
+    fn delta_since_panics_when_inverted() {
+        let mut a = OpCounters::new();
+        a.starts = 5;
+        let b = OpCounters::new();
+        let _ = b.delta_since(&a);
+    }
+
+    #[test]
+    fn per_tick_and_per_start_averages() {
+        let mut c = OpCounters::new();
+        assert_eq!(c.vax_per_tick(), 0.0);
+        assert_eq!(c.steps_per_start(), 0.0);
+        c.ticks = 4;
+        c.vax_instructions = 16;
+        c.starts = 2;
+        c.start_steps = 5;
+        assert_eq!(c.vax_per_tick(), 4.0);
+        assert_eq!(c.steps_per_start(), 2.5);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut c = OpCounters::new();
+        c.starts = 3;
+        c.migrations = 9;
+        c.reset();
+        assert_eq!(c, OpCounters::default());
+    }
+}

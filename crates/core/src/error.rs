@@ -1,0 +1,82 @@
+//! Error types for the timer facility.
+
+use core::fmt;
+
+use crate::time::TickDelta;
+
+/// Errors returned by the client-facing timer routines.
+///
+/// The paper's `START_TIMER`/`STOP_TIMER` are described as infallible, but a
+/// production facility must report the failure modes its data structures
+/// impose: bounded-range wheels reject out-of-range intervals, and stale
+/// handles must not be able to cancel an unrelated (recycled) timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerError {
+    /// The interval was zero. A timer expires *after* `Interval` units (§2),
+    /// so the smallest meaningful interval is one tick.
+    ZeroInterval,
+    /// The interval exceeds the range this scheme can represent and the
+    /// scheme's [`OverflowPolicy`](crate::wheel::OverflowPolicy) is `Reject`.
+    ///
+    /// Carries the maximum interval the scheme accepts.
+    IntervalOutOfRange {
+        /// The largest interval this scheme can accept.
+        max: TickDelta,
+    },
+    /// The handle does not refer to a currently outstanding timer: it was
+    /// already stopped, already expired, or belongs to a different module.
+    Stale,
+    /// The client-supplied `Request_ID` is already associated with an
+    /// outstanding timer (§2 requires IDs to distinguish outstanding timers).
+    DuplicateRequestId,
+    /// The `Request_ID` passed to `STOP_TIMER` has no outstanding timer.
+    UnknownRequestId,
+}
+
+impl fmt::Display for TimerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimerError::ZeroInterval => write!(f, "timer interval must be at least one tick"),
+            TimerError::IntervalOutOfRange { max } => {
+                write!(f, "timer interval exceeds scheme range (max {max} ticks)")
+            }
+            TimerError::Stale => write!(f, "timer handle is stale (stopped or expired)"),
+            TimerError::DuplicateRequestId => {
+                write!(f, "request id already has an outstanding timer")
+            }
+            TimerError::UnknownRequestId => write!(f, "request id has no outstanding timer"),
+        }
+    }
+}
+
+#[cfg(feature = "std")]
+impl std::error::Error for TimerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let msgs = [
+            TimerError::ZeroInterval.to_string(),
+            TimerError::IntervalOutOfRange {
+                max: TickDelta(256),
+            }
+            .to_string(),
+            TimerError::Stale.to_string(),
+            TimerError::DuplicateRequestId.to_string(),
+            TimerError::UnknownRequestId.to_string(),
+        ];
+        for m in &msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(msgs[1].contains("256"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(TimerError::Stale, TimerError::Stale);
+        assert_ne!(TimerError::Stale, TimerError::ZeroInterval);
+    }
+}

@@ -1,0 +1,96 @@
+//! Timer handles and client request identifiers.
+
+use core::fmt;
+
+/// An opaque handle to an outstanding timer, returned by `start_timer`.
+///
+/// Internally this is a generational slab key: `index` locates the timer
+/// record in the scheme's [`TimerArena`](crate::arena::TimerArena) and
+/// `generation` guards against the ABA problem when records are recycled.
+/// A handle becomes *stale* the moment its timer is stopped or expires;
+/// using a stale handle returns [`TimerError::Stale`](crate::TimerError)
+/// rather than touching an unrelated timer.
+///
+/// This is the safe-Rust equivalent of the paper's §3.2 optimization of
+/// storing "a pointer to the element" so that `STOP_TIMER` runs in O(1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerHandle {
+    pub(crate) index: u32,
+    pub(crate) generation: u32,
+}
+
+impl TimerHandle {
+    /// Constructs a handle from raw parts.
+    ///
+    /// Only useful for serialization round-trips and tests; a forged handle
+    /// is harmless (it is validated against the arena's generation counter).
+    #[must_use]
+    pub const fn from_raw(index: u32, generation: u32) -> TimerHandle {
+        TimerHandle { index, generation }
+    }
+
+    /// Returns the raw `(index, generation)` pair.
+    #[must_use]
+    pub const fn into_raw(self) -> (u32, u32) {
+        (self.index, self.generation)
+    }
+}
+
+impl fmt::Debug for TimerHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TimerHandle({}g{})", self.index, self.generation)
+    }
+}
+
+/// The client-supplied identifier from the paper's `START_TIMER(Interval,
+/// Request_ID, Expiry_Action)` signature (§2).
+///
+/// `Request_ID` distinguishes a timer from the other timers the client has
+/// outstanding; [`TimerFacility`](crate::facility::TimerFacility) maps it to
+/// the internal [`TimerHandle`] so `STOP_TIMER(Request_ID)` works exactly as
+/// in the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl fmt::Debug for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "req#{}", self.0)
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for RequestId {
+    fn from(v: u64) -> RequestId {
+        RequestId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_raw_roundtrip() {
+        let h = TimerHandle::from_raw(7, 3);
+        assert_eq!(h.into_raw(), (7, 3));
+        assert_eq!(format!("{h:?}"), "TimerHandle(7g3)");
+    }
+
+    #[test]
+    fn request_id_formatting() {
+        let r = RequestId::from(12);
+        assert_eq!(format!("{r:?}"), "req#12");
+        assert_eq!(r.to_string(), "12");
+    }
+
+    #[test]
+    fn handles_compare_by_value() {
+        assert_eq!(TimerHandle::from_raw(1, 1), TimerHandle::from_raw(1, 1));
+        assert_ne!(TimerHandle::from_raw(1, 1), TimerHandle::from_raw(1, 2));
+    }
+}

@@ -1,0 +1,64 @@
+//! Hashed and hierarchical timing wheels — the timer facility of
+//! Varghese & Lauck, *"Hashed and Hierarchical Timing Wheels: Data
+//! Structures for the Efficient Implementation of a Timer Facility"*
+//! (SOSP 1987).
+//!
+//! This crate holds the paper's model and its contribution:
+//!
+//! * the §2 four-routine timer-module model as the [`TimerScheme`] trait
+//!   (and the paper-exact `Request_ID`-keyed interface in [`facility`]),
+//! * Scheme 4 (basic timing wheel), Scheme 5 (hashed wheel, sorted
+//!   buckets), Scheme 6 (hashed wheel, unsorted buckets) and Scheme 7
+//!   (hierarchical wheels) in [`wheel`],
+//! * the §7 instruction-cost accounting in [`counters`],
+//! * the safe intrusive-list substrate in [`arena`], and
+//! * a trivially-correct reference implementation in [`model`] used as the
+//!   workspace-wide property-test oracle.
+//!
+//! The baseline comparators the paper measures against (Schemes 1–3 and the
+//! classic delta list) live in the companion crate `tw-baselines`; discrete
+//! event simulation, networking, hardware-assist and SMP substrates in
+//! `tw-des`, `tw-netsim`, `tw-hwsim` and `tw-concurrent`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tw_core::wheel::HashedWheelUnsorted;
+//! use tw_core::{TickDelta, TimerScheme, TimerSchemeExt};
+//!
+//! // A 256-slot Scheme 6 wheel: O(1) start/stop, O(n/256) per-tick work.
+//! let mut timers: HashedWheelUnsorted<&str> = HashedWheelUnsorted::new(256);
+//! let ack = timers.start_timer(TickDelta(150), "retransmit pkt 7").unwrap();
+//! timers.start_timer(TickDelta(300), "keepalive").unwrap();
+//!
+//! // The ack arrived: stop the retransmission timer in O(1).
+//! timers.stop_timer(ack).unwrap();
+//!
+//! // Drive the clock; only the keepalive fires.
+//! let fired = timers.collect_ticks(300);
+//! assert_eq!(fired.len(), 1);
+//! assert_eq!(fired[0].payload, "keepalive");
+//! ```
+
+#![warn(missing_docs)]
+#![cfg_attr(not(feature = "std"), no_std)]
+
+extern crate alloc;
+
+pub mod arena;
+pub mod counters;
+pub mod error;
+#[cfg(feature = "std")]
+pub mod facility;
+pub mod handle;
+pub mod model;
+pub mod scheme;
+pub mod time;
+pub mod wheel;
+
+pub use counters::{OpCounters, VaxCostModel};
+pub use error::TimerError;
+pub use handle::{RequestId, TimerHandle};
+pub use model::OracleScheme;
+pub use scheme::{DeadlinePeek, Expired, TimerScheme, TimerSchemeExt};
+pub use time::{Tick, TickDelta};

@@ -1,0 +1,214 @@
+//! A trivially-correct reference timer module used as the property-test
+//! oracle.
+//!
+//! [`OracleScheme`] keeps a `BTreeMap` from deadline to the timers due at
+//! that tick (in start order). It makes no attempt to be fast — `tick` is a
+//! map lookup, `stop_timer` scans one deadline's vector — but its correctness
+//! is obvious by inspection, which is the point: every real scheme in the
+//! workspace is proptest-checked for trace equivalence against it.
+
+use alloc::collections::BTreeMap;
+use alloc::vec::Vec;
+
+use crate::arena::{NodeIdx, TimerArena};
+use crate::counters::OpCounters;
+use crate::handle::TimerHandle;
+use crate::scheme::{DeadlinePeek, Expired, TimerScheme};
+use crate::time::{Tick, TickDelta};
+use crate::TimerError;
+
+/// The reference implementation. See the [module docs](self).
+pub struct OracleScheme<T> {
+    now: Tick,
+    by_deadline: BTreeMap<Tick, Vec<NodeIdx>>,
+    arena: TimerArena<T>,
+    counters: OpCounters,
+}
+
+impl<T> OracleScheme<T> {
+    /// Creates an empty oracle at time zero.
+    #[must_use]
+    pub fn new() -> OracleScheme<T> {
+        OracleScheme {
+            now: Tick::ZERO,
+            by_deadline: BTreeMap::new(),
+            arena: TimerArena::new(),
+            counters: OpCounters::new(),
+        }
+    }
+
+    /// The earliest outstanding deadline, if any (used by the event-driven
+    /// time-flow mechanism of `tw-des`).
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<Tick> {
+        self.by_deadline.keys().next().copied()
+    }
+}
+
+impl<T> DeadlinePeek for OracleScheme<T> {
+    fn next_deadline(&self) -> Option<Tick> {
+        self.by_deadline.keys().next().copied()
+    }
+}
+
+impl<T> Default for OracleScheme<T> {
+    fn default() -> Self {
+        OracleScheme::new()
+    }
+}
+
+impl<T> TimerScheme<T> for OracleScheme<T> {
+    fn start_timer(&mut self, interval: TickDelta, payload: T) -> Result<TimerHandle, TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let deadline = self.now + interval;
+        let (idx, handle) = self.arena.alloc(payload, deadline);
+        self.by_deadline.entry(deadline).or_default().push(idx);
+        self.counters.starts += 1;
+        Ok(handle)
+    }
+
+    fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError> {
+        let idx = self.arena.resolve(handle)?;
+        let deadline = self.arena.node(idx).deadline;
+        let due = self
+            .by_deadline
+            .get_mut(&deadline)
+            .expect("oracle map out of sync");
+        let pos = due
+            .iter()
+            .position(|i| *i == idx)
+            .expect("oracle map out of sync");
+        due.remove(pos);
+        if due.is_empty() {
+            self.by_deadline.remove(&deadline);
+        }
+        self.counters.stops += 1;
+        Ok(self.arena.free(idx))
+    }
+
+    fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
+        self.now = self.now.next();
+        self.counters.ticks += 1;
+        if let Some(due) = self.by_deadline.remove(&self.now) {
+            for idx in due {
+                let handle = self.arena.handle_of(idx);
+                let deadline = self.arena.node(idx).deadline;
+                let payload = self.arena.free(idx);
+                self.counters.expiries += 1;
+                expired(Expired {
+                    handle,
+                    payload,
+                    deadline,
+                    fired_at: self.now,
+                });
+            }
+        }
+    }
+
+    fn now(&self) -> Tick {
+        self.now
+    }
+
+    fn outstanding(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle(btreemap)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::TimerSchemeExt;
+
+    #[test]
+    fn fires_at_exact_deadline() {
+        let mut o: OracleScheme<&str> = OracleScheme::new();
+        o.start_timer(TickDelta(3), "a").unwrap();
+        o.start_timer(TickDelta(1), "b").unwrap();
+        o.start_timer(TickDelta(3), "c").unwrap();
+        let fired = o.collect_ticks(3);
+        let tags: Vec<(&str, u64)> = fired
+            .iter()
+            .map(|e| (e.payload, e.fired_at.as_u64()))
+            .collect();
+        assert_eq!(tags, vec![("b", 1), ("a", 3), ("c", 3)]);
+        assert_eq!(o.outstanding(), 0);
+    }
+
+    #[test]
+    fn same_deadline_fifo_start_order() {
+        let mut o: OracleScheme<u32> = OracleScheme::new();
+        for i in 0..10 {
+            o.start_timer(TickDelta(5), i).unwrap();
+        }
+        let fired = o.collect_ticks(5);
+        let order: Vec<u32> = fired.iter().map(|e| e.payload).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stop_returns_payload_and_prevents_fire() {
+        let mut o: OracleScheme<&str> = OracleScheme::new();
+        let h = o.start_timer(TickDelta(2), "x").unwrap();
+        assert_eq!(o.stop_timer(h), Ok("x"));
+        assert_eq!(o.stop_timer(h), Err(TimerError::Stale));
+        assert!(o.collect_ticks(4).is_empty());
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        let mut o: OracleScheme<()> = OracleScheme::new();
+        assert_eq!(
+            o.start_timer(TickDelta::ZERO, ()),
+            Err(TimerError::ZeroInterval)
+        );
+    }
+
+    #[test]
+    fn next_deadline_tracks_minimum() {
+        let mut o: OracleScheme<u8> = OracleScheme::new();
+        assert_eq!(o.next_deadline(), None);
+        o.start_timer(TickDelta(9), 0).unwrap();
+        let h = o.start_timer(TickDelta(4), 1).unwrap();
+        assert_eq!(o.next_deadline(), Some(Tick(4)));
+        o.stop_timer(h).unwrap();
+        assert_eq!(o.next_deadline(), Some(Tick(9)));
+    }
+
+    #[test]
+    fn counters_track_operations() {
+        let mut o: OracleScheme<()> = OracleScheme::new();
+        let h = o.start_timer(TickDelta(1), ()).unwrap();
+        o.stop_timer(h).unwrap();
+        o.start_timer(TickDelta(1), ()).unwrap();
+        o.run_ticks(1);
+        let c = o.counters();
+        assert_eq!(c.starts, 2);
+        assert_eq!(c.stops, 1);
+        assert_eq!(c.ticks, 1);
+        assert_eq!(c.expiries, 1);
+        o.reset_counters();
+        assert_eq!(o.counters().starts, 0);
+    }
+
+    #[test]
+    fn handles_stale_after_expiry() {
+        let mut o: OracleScheme<()> = OracleScheme::new();
+        let h = o.start_timer(TickDelta(1), ()).unwrap();
+        o.run_ticks(1);
+        assert_eq!(o.stop_timer(h), Err(TimerError::Stale));
+    }
+}

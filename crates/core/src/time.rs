@@ -1,0 +1,224 @@
+//! Discrete time model for the timer facility.
+//!
+//! The paper (§2) defines a timer module whose clock advances in units of a
+//! fixed granularity `T`. We model absolute time as [`Tick`] — the number of
+//! granularity units since the module was created — and relative time (the
+//! `Interval` argument of `START_TIMER`) as [`TickDelta`].
+//!
+//! Both are thin newtypes over `u64` with checked arithmetic: a timer module
+//! is long-lived kernel-style infrastructure, and silent wraparound of the
+//! clock would corrupt every outstanding deadline.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An absolute point in discrete time, counted in clock ticks since start.
+///
+/// `Tick` is totally ordered and supports adding a [`TickDelta`]. Subtracting
+/// two `Tick`s yields a [`TickDelta`] and panics (in debug) on underflow —
+/// deadlines never precede the time they were computed from.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tick(pub u64);
+
+/// A relative duration in clock ticks — the `Interval` of `START_TIMER`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TickDelta(pub u64);
+
+impl Tick {
+    /// The origin of time for a freshly created timer module.
+    pub const ZERO: Tick = Tick(0);
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Advances this instant by one tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tick counter would overflow `u64` (after ~584,000 years
+    /// at nanosecond granularity; treated as unreachable corruption).
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> Tick {
+        Tick(self.0.checked_add(1).expect("tick counter overflow"))
+    }
+
+    /// Returns the duration from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    #[inline]
+    #[must_use]
+    pub fn since(self, earlier: Tick) -> TickDelta {
+        TickDelta(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("Tick::since: earlier is in the future"),
+        )
+    }
+
+    /// Returns the duration from `earlier` to `self`, or `None` if `earlier`
+    /// is in the future.
+    #[inline]
+    #[must_use]
+    pub fn checked_since(self, earlier: Tick) -> Option<TickDelta> {
+        self.0.checked_sub(earlier.0).map(TickDelta)
+    }
+}
+
+impl TickDelta {
+    /// The zero-length interval (rejected by `START_TIMER`; see
+    /// [`crate::error::TimerError::ZeroInterval`]).
+    pub const ZERO: TickDelta = TickDelta(0);
+
+    /// A one-tick interval, the smallest interval a timer can be set for.
+    pub const ONE: TickDelta = TickDelta(1);
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` for the zero-length interval.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction of two intervals.
+    #[inline]
+    #[must_use]
+    pub fn saturating_sub(self, rhs: TickDelta) -> TickDelta {
+        TickDelta(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<TickDelta> for Tick {
+    type Output = Tick;
+
+    #[inline]
+    fn add(self, rhs: TickDelta) -> Tick {
+        Tick(self.0.checked_add(rhs.0).expect("deadline overflow"))
+    }
+}
+
+impl AddAssign<TickDelta> for Tick {
+    #[inline]
+    fn add_assign(&mut self, rhs: TickDelta) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Tick> for Tick {
+    type Output = TickDelta;
+
+    #[inline]
+    fn sub(self, rhs: Tick) -> TickDelta {
+        self.since(rhs)
+    }
+}
+
+impl Add<TickDelta> for TickDelta {
+    type Output = TickDelta;
+
+    #[inline]
+    fn add(self, rhs: TickDelta) -> TickDelta {
+        TickDelta(self.0.checked_add(rhs.0).expect("interval overflow"))
+    }
+}
+
+impl From<u64> for Tick {
+    #[inline]
+    fn from(v: u64) -> Tick {
+        Tick(v)
+    }
+}
+
+impl From<u64> for TickDelta {
+    #[inline]
+    fn from(v: u64) -> TickDelta {
+        TickDelta(v)
+    }
+}
+
+impl fmt::Debug for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for TickDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+{}", self.0)
+    }
+}
+
+impl fmt::Display for TickDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_ordering_and_arithmetic() {
+        let t0 = Tick::ZERO;
+        let t5 = t0 + TickDelta(5);
+        assert_eq!(t5.as_u64(), 5);
+        assert!(t0 < t5);
+        assert_eq!(t5.since(t0), TickDelta(5));
+        assert_eq!(t5 - t0, TickDelta(5));
+        assert_eq!(t5.next().as_u64(), 6);
+    }
+
+    #[test]
+    fn checked_since_returns_none_for_future() {
+        let t0 = Tick(3);
+        let t1 = Tick(7);
+        assert_eq!(t1.checked_since(t0), Some(TickDelta(4)));
+        assert_eq!(t0.checked_since(t1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier is in the future")]
+    fn since_panics_on_underflow() {
+        let _ = Tick(1).since(Tick(2));
+    }
+
+    #[test]
+    fn delta_helpers() {
+        assert!(TickDelta::ZERO.is_zero());
+        assert!(!TickDelta::ONE.is_zero());
+        assert_eq!(TickDelta(7) + TickDelta(3), TickDelta(10));
+        assert_eq!(TickDelta(3).saturating_sub(TickDelta(7)), TickDelta::ZERO);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{:?}", Tick(42)), "t42");
+        assert_eq!(format!("{}", Tick(42)), "42");
+        assert_eq!(format!("{:?}", TickDelta(9)), "+9");
+        assert_eq!(format!("{}", TickDelta(9)), "9");
+    }
+
+    #[test]
+    fn add_assign_advances() {
+        let mut t = Tick(10);
+        t += TickDelta(5);
+        assert_eq!(t, Tick(15));
+    }
+}

@@ -1,0 +1,353 @@
+//! Scheme 4 — the basic timing wheel for bounded intervals (§5, Figure 8).
+//!
+//! A circular buffer of `MaxInterval` slots, each holding a doubly-linked
+//! list of timers. The wheel "turns one array element every timer unit" —
+//! unlike the conventional logic-simulation wheel that rotates once per
+//! cycle — which guarantees every timer within `MaxInterval` of the current
+//! time sits in the array, giving O(1) `START_TIMER`, `STOP_TIMER`, and
+//! `PER_TICK_BOOKKEEPING`.
+//!
+//! Setting a timer `j` units into the future indexes element
+//! `(current + j) mod MaxInterval` (Figure 8). With the tick defined as
+//! *advance the cursor, then flush the slot it lands on*, every interval
+//! `1 ≤ j ≤ MaxInterval` is representable; intervals beyond that are handled
+//! per the configured [`OverflowPolicy`].
+
+use alloc::vec::Vec;
+
+use crate::arena::{ListHead, TimerArena};
+use crate::counters::{OpCounters, VaxCostModel};
+use crate::handle::TimerHandle;
+use crate::scheme::{Expired, TimerScheme};
+use crate::time::{Tick, TickDelta};
+use crate::wheel::config::OverflowPolicy;
+use crate::TimerError;
+
+/// Bucket tag for timers parked on the overflow list.
+const OVERFLOW_BUCKET: u32 = u32::MAX;
+
+/// Scheme 4: a per-tick-rotating timing wheel. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use tw_core::wheel::BasicWheel;
+/// use tw_core::{TickDelta, TimerScheme, TimerSchemeExt};
+///
+/// let mut wheel: BasicWheel<&str> = BasicWheel::new(128);
+/// wheel.start_timer(TickDelta(3), "retransmit").unwrap();
+/// let fired = wheel.collect_ticks(3);
+/// assert_eq!(fired.len(), 1);
+/// assert_eq!(fired[0].payload, "retransmit");
+/// ```
+pub struct BasicWheel<T> {
+    slots: Vec<ListHead>,
+    /// Slot index corresponding to the current time.
+    cursor: usize,
+    now: Tick,
+    arena: TimerArena<T>,
+    overflow: ListHead,
+    overflow_policy: OverflowPolicy,
+    counters: OpCounters,
+    cost: VaxCostModel,
+}
+
+impl<T> BasicWheel<T> {
+    /// Creates a wheel accepting intervals up to `max_interval` ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_interval` is zero.
+    #[must_use]
+    pub fn new(max_interval: usize) -> BasicWheel<T> {
+        BasicWheel::with_policy(max_interval, OverflowPolicy::default())
+    }
+
+    /// Creates a wheel with an explicit [`OverflowPolicy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_interval` is zero.
+    #[must_use]
+    pub fn with_policy(max_interval: usize, overflow_policy: OverflowPolicy) -> BasicWheel<T> {
+        assert!(max_interval > 0, "wheel needs at least one slot");
+        BasicWheel {
+            slots: (0..max_interval).map(|_| ListHead::new()).collect(),
+            cursor: 0,
+            now: Tick::ZERO,
+            arena: TimerArena::new(),
+            overflow: ListHead::new(),
+            overflow_policy,
+            counters: OpCounters::new(),
+            cost: VaxCostModel::PAPER,
+        }
+    }
+
+    /// The largest interval the wheel accepts directly.
+    #[must_use]
+    pub fn max_interval(&self) -> TickDelta {
+        TickDelta(self.slots.len() as u64)
+    }
+
+    /// Number of timers currently parked on the overflow list.
+    #[must_use]
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    fn slot_for(&self, interval: u64) -> usize {
+        debug_assert!(interval >= 1 && interval <= self.slots.len() as u64);
+        (self.cursor + interval as usize) % self.slots.len()
+    }
+
+    /// Links an already-allocated node into its slot.
+    fn enqueue(&mut self, idx: crate::arena::NodeIdx, interval: u64) {
+        let slot = self.slot_for(interval);
+        self.arena.node_mut(idx).bucket = slot as u32;
+        self.arena.push_back(&mut self.slots[slot], idx);
+    }
+
+    /// Moves due overflow timers into the wheel. Called when the cursor
+    /// completes a revolution; any timer due within the next revolution is
+    /// admitted.
+    fn drain_overflow(&mut self) {
+        let range = self.slots.len() as u64;
+        let mut cur = self.overflow.first();
+        while let Some(idx) = cur {
+            cur = self.arena.next(idx);
+            let remaining = self.arena.node(idx).deadline.since(self.now).as_u64();
+            debug_assert!(remaining >= 1, "overflow timer already due");
+            if remaining <= range {
+                self.arena.unlink(&mut self.overflow, idx);
+                self.enqueue(idx, remaining);
+                self.counters.migrations += 1;
+                self.counters.vax_instructions += self.cost.insert;
+            } else {
+                self.counters.decrements += 1;
+                self.counters.vax_instructions += self.cost.decrement_step;
+            }
+        }
+    }
+}
+
+impl<T> TimerScheme<T> for BasicWheel<T> {
+    fn start_timer(&mut self, interval: TickDelta, payload: T) -> Result<TimerHandle, TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let max = self.max_interval();
+        let (interval, park) = if interval <= max {
+            (interval, false)
+        } else {
+            match self.overflow_policy.apply(max)? {
+                Some(clamped) => (clamped, false),
+                None => (interval, true),
+            }
+        };
+        let deadline = self.now + interval;
+        let (idx, handle) = self.arena.alloc(payload, deadline);
+        if park {
+            self.arena.node_mut(idx).bucket = OVERFLOW_BUCKET;
+            self.arena.push_back(&mut self.overflow, idx);
+        } else {
+            self.enqueue(idx, interval.as_u64());
+        }
+        self.counters.starts += 1;
+        self.counters.vax_instructions += self.cost.insert;
+        Ok(handle)
+    }
+
+    fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError> {
+        let idx = self.arena.resolve(handle)?;
+        let bucket = self.arena.node(idx).bucket;
+        if bucket == OVERFLOW_BUCKET {
+            self.arena.unlink(&mut self.overflow, idx);
+        } else {
+            self.arena.unlink(&mut self.slots[bucket as usize], idx);
+        }
+        self.counters.stops += 1;
+        self.counters.vax_instructions += self.cost.delete;
+        Ok(self.arena.free(idx))
+    }
+
+    fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
+        self.cursor = (self.cursor + 1) % self.slots.len();
+        self.now = self.now.next();
+        self.counters.ticks += 1;
+        if self.slots[self.cursor].is_empty() {
+            self.counters.empty_slot_skips += 1;
+            self.counters.vax_instructions += self.cost.skip_empty;
+        } else {
+            self.counters.nonempty_slot_visits += 1;
+            self.counters.vax_instructions += self.cost.skip_empty;
+            // Every resident timer's deadline is within one revolution, so
+            // everything in the slot the cursor landed on is due now.
+            while let Some(idx) = {
+                let slot = &mut self.slots[self.cursor];
+                self.arena.pop_front(slot)
+            } {
+                let handle = self.arena.handle_of(idx);
+                let deadline = self.arena.node(idx).deadline;
+                debug_assert_eq!(deadline, self.now, "basic wheel slot invariant violated");
+                let payload = self.arena.free(idx);
+                self.counters.expiries += 1;
+                self.counters.vax_instructions += self.cost.expire;
+                expired(Expired {
+                    handle,
+                    payload,
+                    deadline,
+                    fired_at: self.now,
+                });
+            }
+        }
+        if self.cursor == 0 && !self.overflow.is_empty() {
+            self.drain_overflow();
+        }
+    }
+
+    fn now(&self) -> Tick {
+        self.now
+    }
+
+    fn outstanding(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "scheme4(basic-wheel)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::TimerSchemeExt;
+
+    #[test]
+    fn fires_at_exact_deadline() {
+        let mut w: BasicWheel<u32> = BasicWheel::new(16);
+        w.start_timer(TickDelta(1), 1).unwrap();
+        w.start_timer(TickDelta(16), 16).unwrap();
+        w.start_timer(TickDelta(7), 7).unwrap();
+        let fired = w.collect_ticks(16);
+        let got: Vec<(u32, u64)> = fired
+            .iter()
+            .map(|e| (e.payload, e.fired_at.as_u64()))
+            .collect();
+        assert_eq!(got, vec![(1, 1), (7, 7), (16, 16)]);
+        for e in &fired {
+            assert_eq!(e.error(), 0);
+        }
+    }
+
+    #[test]
+    fn max_interval_inclusive_rejects_beyond() {
+        let mut w: BasicWheel<()> = BasicWheel::new(8);
+        assert!(w.start_timer(TickDelta(8), ()).is_ok());
+        assert_eq!(
+            w.start_timer(TickDelta(9), ()),
+            Err(TimerError::IntervalOutOfRange { max: TickDelta(8) })
+        );
+        assert_eq!(
+            w.start_timer(TickDelta::ZERO, ()),
+            Err(TimerError::ZeroInterval)
+        );
+    }
+
+    #[test]
+    fn cap_policy_fires_early_at_max() {
+        let mut w: BasicWheel<()> = BasicWheel::with_policy(8, OverflowPolicy::Cap);
+        w.start_timer(TickDelta(100), ()).unwrap();
+        let fired = w.collect_ticks(8);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(8));
+        // Deadline records the *capped* schedule.
+        assert_eq!(fired[0].deadline, Tick(8));
+    }
+
+    #[test]
+    fn overflow_list_policy_fires_exactly() {
+        let mut w: BasicWheel<u32> = BasicWheel::with_policy(8, OverflowPolicy::OverflowList);
+        w.start_timer(TickDelta(21), 21).unwrap();
+        w.start_timer(TickDelta(8), 8).unwrap();
+        w.start_timer(TickDelta(9), 9).unwrap();
+        assert_eq!(w.overflow_len(), 2);
+        let fired = w.collect_ticks(30);
+        let got: Vec<(u32, u64)> = fired
+            .iter()
+            .map(|e| (e.payload, e.fired_at.as_u64()))
+            .collect();
+        assert_eq!(got, vec![(8, 8), (9, 9), (21, 21)]);
+        assert_eq!(w.overflow_len(), 0);
+    }
+
+    #[test]
+    fn stop_from_wheel_and_overflow() {
+        let mut w: BasicWheel<u32> = BasicWheel::with_policy(4, OverflowPolicy::OverflowList);
+        let h1 = w.start_timer(TickDelta(2), 1).unwrap();
+        let h2 = w.start_timer(TickDelta(20), 2).unwrap();
+        assert_eq!(w.stop_timer(h1), Ok(1));
+        assert_eq!(w.stop_timer(h2), Ok(2));
+        assert_eq!(w.outstanding(), 0);
+        assert!(w.collect_ticks(25).is_empty());
+        assert_eq!(w.stop_timer(h1), Err(TimerError::Stale));
+    }
+
+    #[test]
+    fn wraparound_many_revolutions() {
+        let mut w: BasicWheel<u64> = BasicWheel::new(4);
+        let mut fired_total = 0u64;
+        for round in 0..100u64 {
+            w.start_timer(TickDelta(3), round).unwrap();
+            let fired = w.collect_ticks(3);
+            fired_total += fired.len() as u64;
+            assert_eq!(fired[0].payload, round);
+        }
+        assert_eq!(fired_total, 100);
+        assert_eq!(w.now(), Tick(300));
+    }
+
+    #[test]
+    fn counters_model_per_tick_cost() {
+        let mut w: BasicWheel<()> = BasicWheel::new(16);
+        w.run_ticks(10);
+        let c = w.counters();
+        assert_eq!(c.ticks, 10);
+        assert_eq!(c.empty_slot_skips, 10);
+        // 4 modeled instructions per empty tick (§7).
+        assert_eq!(c.vax_instructions, 40);
+    }
+
+    #[test]
+    fn same_slot_fifo_order() {
+        let mut w: BasicWheel<u32> = BasicWheel::new(8);
+        for i in 0..5 {
+            w.start_timer(TickDelta(3), i).unwrap();
+        }
+        let fired = w.collect_ticks(3);
+        let order: Vec<u32> = fired.iter().map(|e| e.payload).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn handle_stale_after_fire() {
+        let mut w: BasicWheel<()> = BasicWheel::new(8);
+        let h = w.start_timer(TickDelta(1), ()).unwrap();
+        w.run_ticks(1);
+        assert_eq!(w.stop_timer(h), Err(TimerError::Stale));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        let _: BasicWheel<()> = BasicWheel::new(0);
+    }
+}

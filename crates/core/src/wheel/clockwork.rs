@@ -1,0 +1,384 @@
+//! The hierarchical wheel driven exactly as §6.2 describes it — with real
+//! per-level update timers.
+//!
+//! "Even if there are no timers requested by the user of the service, there
+//! will always be a 60 second timer that is used to update the minute
+//! array, a 60 minute timer to update the hour array, and a 24 hour timer
+//! to update the day array. For instance, every time the 60 second timer
+//! expires, we will increment the current minute timer, do any required
+//! EXPIRY_PROCESSING for the minute timers, and re-insert another 60 second
+//! timer."
+//!
+//! [`HierarchicalWheel`] realizes the same schedule arithmetically (advance
+//! level ℓ whenever the clock crosses a multiple of its granularity);
+//! [`ClockworkWheel`] instead plants an *update record* per level into the
+//! next-finer array: the level-1 updater is an ordinary level-0 timer of
+//! one full revolution, the level-2 updater an ordinary level-1 record, and
+//! so on — the mechanism is entirely self-hosting, exactly as the paper
+//! tells it. When an updater fires it advances its level's cursor, cascades
+//! the slot (re-inserting user timers closer to the finest array, expiring
+//! those already due), and re-arms itself.
+//!
+//! Both implementations are observationally identical (checked by the
+//! `clockwork_matches_hierarchical` property test): same expiries at the
+//! same ticks, at most m−1 migrations per timer. The difference is purely
+//! mechanical — which makes it a faithful rendition of the paper's prose
+//! rather than a reconstruction of its effect.
+//!
+//! [`HierarchicalWheel`]: crate::wheel::HierarchicalWheel
+
+use alloc::vec::Vec;
+
+use crate::arena::{ListHead, NodeIdx, TimerArena};
+use crate::counters::{OpCounters, VaxCostModel};
+use crate::handle::TimerHandle;
+use crate::scheme::{Expired, TimerScheme};
+use crate::time::{Tick, TickDelta};
+use crate::wheel::config::LevelSizes;
+use crate::TimerError;
+
+/// What a wheel record is.
+enum Record<T> {
+    /// Client timer carrying its payload.
+    User(T),
+    /// The per-level update timer: fires every revolution of level
+    /// `level - 1` and advances level `level`'s cursor.
+    Update {
+        /// The level whose cursor this record advances (≥ 1).
+        level: usize,
+    },
+}
+
+struct Level<T> {
+    slots: Vec<ListHead>,
+    cursor: usize,
+    granularity: u64,
+    size: u64,
+    base: u32,
+    _marker: core::marker::PhantomData<T>,
+}
+
+/// Scheme 7 with literal per-level update timers. See the
+/// [module docs](self).
+pub struct ClockworkWheel<T> {
+    levels: Vec<Level<T>>,
+    now: Tick,
+    range: u64,
+    arena: TimerArena<Record<T>>,
+    counters: OpCounters,
+    cost: VaxCostModel,
+}
+
+impl<T> ClockworkWheel<T> {
+    /// Creates the hierarchy and plants one update timer per upper level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes` is invalid (see [`LevelSizes::validate`]).
+    #[must_use]
+    pub fn new(sizes: LevelSizes) -> ClockworkWheel<T> {
+        sizes.validate();
+        let mut levels = Vec::with_capacity(sizes.0.len());
+        let mut granularity = 1u64;
+        let mut base = 0u32;
+        for &size in &sizes.0 {
+            levels.push(Level {
+                slots: (0..size).map(|_| ListHead::new()).collect(),
+                cursor: 0,
+                granularity,
+                size,
+                base,
+                _marker: core::marker::PhantomData,
+            });
+            base += u32::try_from(size).expect("level size exceeds u32");
+            granularity = granularity.saturating_mul(size);
+        }
+        let mut wheel = ClockworkWheel {
+            levels,
+            now: Tick::ZERO,
+            range: sizes.range(),
+            arena: TimerArena::new(),
+            counters: OpCounters::new(),
+            cost: VaxCostModel::PAPER,
+        };
+        // "There will always be a 60 second timer…" — one updater per upper
+        // level, each living one level *below* the array it advances (the
+        // 60-second timer is an ordinary seconds-array record; the
+        // 60-minute timer an ordinary minute-array record, and so on).
+        for level in 1..wheel.levels.len() {
+            let g = wheel.levels[level].granularity;
+            let (idx, _) = wheel.arena.alloc(Record::Update { level }, Tick(g));
+            wheel.place_at_level(idx, g, level - 1);
+        }
+        wheel
+    }
+
+    /// The largest interval accepted (one tick less than the total range).
+    #[must_use]
+    pub fn max_interval(&self) -> TickDelta {
+        TickDelta(self.range - 1)
+    }
+
+    /// Number of levels (the paper's `m`).
+    #[must_use]
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Places an allocated record for absolute firing time `target` using
+    /// the paper's digit rule: the highest level whose slot-period quotient
+    /// differs between now and the target.
+    fn place(&mut self, idx: NodeIdx, target: u64) {
+        let now = self.now.as_u64();
+        debug_assert!(target > now, "target must be in the future");
+        let level = self
+            .levels
+            .iter()
+            .rposition(|l| target / l.granularity != now / l.granularity)
+            .expect("target > now differs at the tick level");
+        self.place_at_level(idx, target, level);
+    }
+
+    /// Places a record into a specific level's array. Updaters use this
+    /// directly: the level-ℓ updater must sit in the level-(ℓ−1) array it
+    /// rides on, where the digit rule would circularly pick level ℓ itself.
+    fn place_at_level(&mut self, idx: NodeIdx, target: u64, level: usize) {
+        let l = &self.levels[level];
+        let slot = ((target / l.granularity) % l.size) as usize;
+        {
+            let node = self.arena.node_mut(idx);
+            node.aux = target;
+            node.bucket = l.base + slot as u32;
+        }
+        self.arena
+            .push_back(&mut self.levels[level].slots[slot], idx);
+    }
+
+    fn level_of_bucket(&self, bucket: u32) -> usize {
+        self.levels
+            .iter()
+            .rposition(|l| l.base <= bucket)
+            .expect("bucket below first level base")
+    }
+
+    /// Processes one record found in a flushed slot: expire user timers,
+    /// cascade not-yet-due ones, advance-and-rearm updaters.
+    fn dispatch(&mut self, idx: NodeIdx, expired: &mut dyn FnMut(Expired<T>)) {
+        let now = self.now.as_u64();
+        let target = self.arena.node(idx).aux;
+        debug_assert!(target >= now, "clockwork missed a firing target");
+        if target > now {
+            // A user timer cascading toward finer arrays — "EXPIRY_
+            // PROCESSING will insert the remainder… in the minute array".
+            self.counters.migrations += 1;
+            self.counters.vax_instructions += self.cost.insert;
+            self.place(idx, target);
+            return;
+        }
+        let handle = self.arena.handle_of(idx);
+        let deadline = self.arena.node(idx).deadline;
+        match self.arena.free(idx) {
+            Record::User(payload) => {
+                self.counters.expiries += 1;
+                self.counters.vax_instructions += self.cost.expire;
+                expired(Expired {
+                    handle,
+                    payload,
+                    deadline,
+                    fired_at: self.now,
+                });
+            }
+            Record::Update { level } => {
+                // "Increment the current minute timer, do any required
+                // EXPIRY_PROCESSING for the minute timers, and re-insert
+                // another 60 second timer."
+                let l = &mut self.levels[level];
+                l.cursor = (l.cursor + 1) % l.size as usize;
+                let cursor = l.cursor;
+                debug_assert_eq!(cursor as u64, (now / l.granularity) % l.size);
+                let mut due = core::mem::take(&mut self.levels[level].slots[cursor]);
+                self.counters.vax_instructions += self.cost.skip_empty;
+                if due.is_empty() {
+                    self.counters.empty_slot_skips += 1;
+                } else {
+                    self.counters.nonempty_slot_visits += 1;
+                }
+                while let Some(rec) = self.arena.pop_front(&mut due) {
+                    self.counters.decrements += 1;
+                    self.counters.vax_instructions += self.cost.decrement_step;
+                    self.dispatch(rec, expired);
+                }
+                // Re-arm the updater one granularity ahead, back into the
+                // level below (its home array).
+                let g = self.levels[level].granularity;
+                let (updater, _) = self.arena.alloc(Record::Update { level }, Tick(now + g));
+                self.place_at_level(updater, now + g, level - 1);
+            }
+        }
+    }
+}
+
+impl<T> TimerScheme<T> for ClockworkWheel<T> {
+    fn start_timer(&mut self, interval: TickDelta, payload: T) -> Result<TimerHandle, TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        if interval > self.max_interval() {
+            return Err(TimerError::IntervalOutOfRange {
+                max: self.max_interval(),
+            });
+        }
+        let deadline = self.now + interval;
+        let (idx, handle) = self.arena.alloc(Record::User(payload), deadline);
+        self.place(idx, deadline.as_u64());
+        self.counters.starts += 1;
+        self.counters.vax_instructions += self.cost.insert;
+        Ok(handle)
+    }
+
+    fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError> {
+        let idx = self.arena.resolve(handle)?;
+        if matches!(self.arena.node(idx).payload, Record::Update { .. }) {
+            // Update-timer handles never escape; a forged handle could still
+            // land here, and cancelling the clockwork must be impossible.
+            return Err(TimerError::Stale);
+        }
+        let bucket = self.arena.node(idx).bucket;
+        let level = self.level_of_bucket(bucket);
+        let slot = (bucket - self.levels[level].base) as usize;
+        self.arena.unlink(&mut self.levels[level].slots[slot], idx);
+        self.counters.stops += 1;
+        self.counters.vax_instructions += self.cost.delete;
+        match self.arena.free(idx) {
+            Record::User(payload) => Ok(payload),
+            Record::Update { .. } => unreachable!("checked above"),
+        }
+    }
+
+    fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
+        self.now = self.now.next();
+        self.counters.ticks += 1;
+        let now = self.now.as_u64();
+        // "The seconds array works as usual: every time the hardware clock
+        // ticks we increment the second pointer."
+        let l0 = &mut self.levels[0];
+        l0.cursor = (l0.cursor + 1) % l0.size as usize;
+        let cursor = l0.cursor;
+        debug_assert_eq!(cursor as u64, now % self.levels[0].size);
+        self.counters.vax_instructions += self.cost.skip_empty;
+        if self.levels[0].slots[cursor].is_empty() {
+            self.counters.empty_slot_skips += 1;
+            return;
+        }
+        self.counters.nonempty_slot_visits += 1;
+        let mut due = core::mem::take(&mut self.levels[0].slots[cursor]);
+        while let Some(idx) = self.arena.pop_front(&mut due) {
+            self.counters.decrements += 1;
+            self.counters.vax_instructions += self.cost.decrement_step;
+            self.dispatch(idx, expired);
+        }
+    }
+
+    fn now(&self) -> Tick {
+        self.now
+    }
+
+    fn outstanding(&self) -> usize {
+        // The m−1 updaters are infrastructure, not client timers.
+        self.arena.len() - (self.levels.len() - 1)
+    }
+
+    fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "scheme7(clockwork)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::TimerSchemeExt;
+
+    #[test]
+    fn updaters_run_forever_with_no_user_timers() {
+        let mut w: ClockworkWheel<()> = ClockworkWheel::new(LevelSizes(vec![4, 4, 4]));
+        assert_eq!(w.outstanding(), 0);
+        assert!(w.collect_ticks(200).is_empty());
+        assert_eq!(w.now(), Tick(200));
+        assert_eq!(w.outstanding(), 0, "updaters are not client timers");
+    }
+
+    #[test]
+    fn fires_exactly_across_levels() {
+        let mut w: ClockworkWheel<u64> = ClockworkWheel::new(LevelSizes(vec![8, 8, 8]));
+        for &j in &[1u64, 7, 8, 9, 63, 64, 65, 100, 511] {
+            w.start_timer(TickDelta(j), j).unwrap();
+        }
+        let fired = w.collect_ticks(511);
+        let got: Vec<(u64, u64)> = fired
+            .iter()
+            .map(|e| (e.payload, e.fired_at.as_u64()))
+            .collect();
+        let want: Vec<(u64, u64)> = [1u64, 7, 8, 9, 63, 64, 65, 100, 511]
+            .iter()
+            .map(|&j| (j, j))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn paper_clock_example_end_to_end() {
+        // The §6.2 worked example on the literal mechanism.
+        let mut w: ClockworkWheel<&str> = ClockworkWheel::new(LevelSizes::clock());
+        let start = ((11 * 24 + 10) * 60 + 24) * 60 + 30;
+        w.run_ticks(start);
+        w.start_timer(TickDelta(50 * 60 + 45), "fig10").unwrap();
+        let fired = w.collect_ticks(50 * 60 + 45);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(990_915));
+        assert_eq!(fired[0].error(), 0);
+    }
+
+    #[test]
+    fn stop_works_and_updaters_cannot_be_stopped() {
+        let mut w: ClockworkWheel<u64> = ClockworkWheel::new(LevelSizes(vec![8, 8]));
+        let h = w.start_timer(TickDelta(40), 40).unwrap();
+        assert_eq!(w.stop_timer(h), Ok(40));
+        assert_eq!(w.stop_timer(h), Err(TimerError::Stale));
+        // The clockwork keeps turning afterwards.
+        w.start_timer(TickDelta(50), 50).unwrap();
+        let fired = w.collect_ticks(64);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(50));
+    }
+
+    #[test]
+    fn range_bounds_enforced() {
+        let mut w: ClockworkWheel<()> = ClockworkWheel::new(LevelSizes(vec![4, 4]));
+        assert_eq!(
+            w.start_timer(TickDelta(16), ()),
+            Err(TimerError::IntervalOutOfRange { max: TickDelta(15) })
+        );
+        assert_eq!(
+            w.start_timer(TickDelta::ZERO, ()),
+            Err(TimerError::ZeroInterval)
+        );
+        assert!(w.start_timer(TickDelta(15), ()).is_ok());
+    }
+
+    #[test]
+    fn migrations_bounded_by_level_count() {
+        let mut w: ClockworkWheel<()> = ClockworkWheel::new(LevelSizes(vec![8, 8, 8]));
+        w.start_timer(TickDelta(500), ()).unwrap();
+        w.run_ticks(500);
+        assert_eq!(w.counters().expiries, 1);
+        assert!(w.counters().migrations <= 2, "m - 1 = 2 migrations max");
+    }
+}

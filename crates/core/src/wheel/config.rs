@@ -1,0 +1,166 @@
+//! Configuration knobs shared by the wheel schemes.
+
+use alloc::vec;
+use alloc::vec::Vec;
+
+use crate::time::TickDelta;
+use crate::TimerError;
+
+/// What a bounded-range wheel does with an interval beyond its range.
+///
+/// §5 notes that memory is finite ("it is difficult to justify 2³² words of
+/// memory to implement 32 bit timers") and sketches the options implemented
+/// here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Fail `start_timer` with [`TimerError::IntervalOutOfRange`].
+    #[default]
+    Reject,
+    /// Park the timer on a single unsorted overflow list (the Figure 7 logic
+    /// simulation approach); it is re-examined each time the wheel's cursor
+    /// completes a revolution and admitted once in range.
+    OverflowList,
+    /// Clamp the interval to the wheel's maximum (the timer fires early; the
+    /// client is expected to re-arm — a common kernel tactic).
+    Cap,
+}
+
+impl OverflowPolicy {
+    /// Applies the policy to an out-of-range interval.
+    ///
+    /// Returns `Ok(Some(clamped))` for `Cap`, `Ok(None)` for `OverflowList`
+    /// (caller parks the timer) and `Err` for `Reject`.
+    pub fn apply(self, max: TickDelta) -> Result<Option<TickDelta>, TimerError> {
+        match self {
+            OverflowPolicy::Reject => Err(TimerError::IntervalOutOfRange { max }),
+            OverflowPolicy::OverflowList => Ok(None),
+            OverflowPolicy::Cap => Ok(Some(max)),
+        }
+    }
+}
+
+/// How a hierarchical wheel (Scheme 7) moves timers between levels (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MigrationPolicy {
+    /// Migrate a timer down one level each time its slot is reached, until it
+    /// fires from the finest level at its exact deadline (the scheme as
+    /// described in the body of §6.2).
+    #[default]
+    Full,
+    /// Never migrate: fire the timer the first time its insertion-level slot
+    /// is reached (Wick Nichols' variant). Trades precision — up to one slot
+    /// of the insertion level, i.e. up to 50% of the interval rounded — for
+    /// strictly less `PER_TICK_BOOKKEEPING` work.
+    None,
+    /// Migrate at most once, to the adjacent finer level, then fire (the
+    /// "improve the precision by allowing just one migration" variant).
+    Single,
+}
+
+/// Number of slots per level for a hierarchical wheel, finest level first.
+///
+/// The granularity of level `i` is the product of the sizes of all finer
+/// levels (level 0 has granularity 1 tick). The paper's §6.2 example —
+/// seconds/minutes/hours/days — is [`LevelSizes::clock`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelSizes(pub Vec<u64>);
+
+impl LevelSizes {
+    /// The paper's worked example: 60 seconds, 60 minutes, 24 hours,
+    /// 100 days — 244 slots spanning 8.64 million ticks.
+    #[must_use]
+    pub fn clock() -> LevelSizes {
+        LevelSizes(vec![60, 60, 24, 100])
+    }
+
+    /// Four levels of 256 slots — 1024 slots spanning 2³² ticks, the "32 bit
+    /// timer" sizing of §6.2 with power-of-two radices (cheap AND indexing).
+    #[must_use]
+    pub fn pow2_32bit() -> LevelSizes {
+        LevelSizes(vec![256, 256, 256, 256])
+    }
+
+    /// Total number of slots across all levels (the paper's "244 locations"
+    /// comparison).
+    #[must_use]
+    pub fn total_slots(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// Total range in ticks (product of level sizes), saturating at
+    /// `u64::MAX`.
+    #[must_use]
+    pub fn range(&self) -> u64 {
+        self.0
+            .iter()
+            .try_fold(1u64, |acc, &n| acc.checked_mul(n))
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Validates the configuration: at least one level, every size ≥ 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid configuration (construction-time misuse).
+    pub fn validate(&self) {
+        assert!(!self.0.is_empty(), "hierarchy needs at least one level");
+        assert!(
+            self.0.iter().all(|&n| n >= 2),
+            "every level needs at least 2 slots"
+        );
+        assert!(
+            self.0.len() <= 16,
+            "more than 16 levels is never useful (2^16 range per 2-slot level)"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_policy_apply() {
+        let max = TickDelta(100);
+        assert_eq!(
+            OverflowPolicy::Reject.apply(max),
+            Err(TimerError::IntervalOutOfRange { max })
+        );
+        assert_eq!(OverflowPolicy::OverflowList.apply(max), Ok(None));
+        assert_eq!(OverflowPolicy::Cap.apply(max), Ok(Some(max)));
+    }
+
+    #[test]
+    fn clock_sizes_match_paper() {
+        let clock = LevelSizes::clock();
+        // §6.2: "100 + 24 + 60 + 60 = 244 locations" spanning
+        // "100 * 24 * 60 * 60 = 8.64 million" ticks.
+        assert_eq!(clock.total_slots(), 244);
+        assert_eq!(clock.range(), 8_640_000);
+    }
+
+    #[test]
+    fn pow2_sizes_span_32_bits() {
+        let p = LevelSizes::pow2_32bit();
+        assert_eq!(p.range(), 1 << 32);
+        assert_eq!(p.total_slots(), 1024);
+    }
+
+    #[test]
+    fn range_saturates() {
+        let huge = LevelSizes(vec![u32::MAX as u64 + 1; 3]);
+        assert_eq!(huge.range(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_levels_invalid() {
+        LevelSizes(vec![]).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 slots")]
+    fn tiny_level_invalid() {
+        LevelSizes(vec![60, 1]).validate();
+    }
+}

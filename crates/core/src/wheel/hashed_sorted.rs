@@ -1,0 +1,289 @@
+//! Scheme 5 — hash table with sorted lists in each bucket (§6.1.1,
+//! Figure 9).
+//!
+//! As in Scheme 6 the interval is hashed (mod table size) onto a wheel slot,
+//! but each bucket keeps its timers *sorted* by expiry, "exactly as in
+//! Scheme 2". `PER_TICK_BOOKKEEPING` then examines only the head of the
+//! bucket the cursor lands on, so its latency is O(1) worst case (except
+//! when several timers expire together, "which is the best we can do").
+//! The price is paid at `START_TIMER`: the sorted insert is O(bucket length),
+//! which is O(1) *average* only while `n < TableSize` and the hash spreads
+//! timers well — the reason §7 judges Scheme 5 to depend "too much on the
+//! hash distribution to be generally useful".
+//!
+//! The paper describes the sort key as the stored high-order bits (rounds).
+//! We sort on the absolute deadline, which orders identically within a
+//! bucket (all deadlines in a bucket are congruent mod the table size, so
+//! comparing deadlines compares rounds) and avoids the delta-decrement
+//! subtlety; §3.1 licenses the substitution ("we can store the absolute time
+//! at which timers expire and do a COMPARE — this option is valid for all
+//! timer schemes we describe").
+
+use alloc::vec::Vec;
+
+use crate::arena::{ListHead, TimerArena};
+use crate::counters::{OpCounters, VaxCostModel};
+use crate::handle::TimerHandle;
+use crate::scheme::{Expired, TimerScheme};
+use crate::time::{Tick, TickDelta};
+use crate::TimerError;
+
+/// Scheme 5: hashed timing wheel with sorted per-bucket lists.
+/// See the [module docs](self).
+pub struct HashedWheelSorted<T> {
+    slots: Vec<ListHead>,
+    /// `Some(size - 1)` when the table size is a power of two: indexing is
+    /// then a single AND, the §6.1.2 recommendation ("Obtaining the
+    /// remainder after dividing by a power of 2 is cheap").
+    mask: Option<u64>,
+    cursor: usize,
+    now: Tick,
+    arena: TimerArena<T>,
+    counters: OpCounters,
+    cost: VaxCostModel,
+}
+
+impl<T> HashedWheelSorted<T> {
+    /// Creates a wheel with `table_size` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_size` is zero.
+    #[must_use]
+    pub fn new(table_size: usize) -> HashedWheelSorted<T> {
+        assert!(table_size > 0, "wheel needs at least one bucket");
+        HashedWheelSorted {
+            slots: (0..table_size).map(|_| ListHead::new()).collect(),
+            mask: table_size.is_power_of_two().then(|| table_size as u64 - 1),
+            cursor: 0,
+            now: Tick::ZERO,
+            arena: TimerArena::new(),
+            counters: OpCounters::new(),
+            cost: VaxCostModel::PAPER,
+        }
+    }
+
+    /// The table size `N`.
+    #[must_use]
+    pub fn table_size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of timers currently hashed into `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= table_size()`.
+    #[must_use]
+    pub fn bucket_len(&self, slot: usize) -> usize {
+        self.slots[slot].len()
+    }
+}
+
+impl<T> TimerScheme<T> for HashedWheelSorted<T> {
+    fn start_timer(&mut self, interval: TickDelta, payload: T) -> Result<TimerHandle, TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let n = self.slots.len() as u64;
+        let j = interval.as_u64();
+        let slot = match self.mask {
+            Some(mask) => ((self.cursor as u64 + j) & mask) as usize,
+            None => ((self.cursor as u64 + j) % n) as usize,
+        };
+        let deadline = self.now + interval;
+        let (idx, handle) = self.arena.alloc(payload, deadline);
+        self.arena.node_mut(idx).bucket = slot as u32;
+        // Sorted insert from the front; ties keep FIFO start order by
+        // inserting after existing equal deadlines.
+        let mut at = self.slots[slot].first();
+        let mut steps = 0u64;
+        while let Some(cur) = at {
+            steps += 1;
+            if self.arena.node(cur).deadline > deadline {
+                break;
+            }
+            at = self.arena.next(cur);
+        }
+        match at {
+            Some(before) => self.arena.insert_before(&mut self.slots[slot], before, idx),
+            None => self.arena.push_back(&mut self.slots[slot], idx),
+        }
+        self.counters.starts += 1;
+        self.counters.start_steps += steps;
+        self.counters.vax_instructions += self.cost.insert + steps * self.cost.decrement_step;
+        Ok(handle)
+    }
+
+    fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError> {
+        let idx = self.arena.resolve(handle)?;
+        let bucket = self.arena.node(idx).bucket as usize;
+        self.arena.unlink(&mut self.slots[bucket], idx);
+        self.counters.stops += 1;
+        self.counters.vax_instructions += self.cost.delete;
+        Ok(self.arena.free(idx))
+    }
+
+    fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
+        self.cursor = (self.cursor + 1) % self.slots.len();
+        self.now = self.now.next();
+        self.counters.ticks += 1;
+        self.counters.vax_instructions += self.cost.skip_empty;
+        if self.slots[self.cursor].is_empty() {
+            self.counters.empty_slot_skips += 1;
+            return;
+        }
+        self.counters.nonempty_slot_visits += 1;
+        // Only the head needs examining: the bucket is sorted, and anything
+        // due this revolution has deadline == now when the cursor arrives.
+        while let Some(idx) = self.slots[self.cursor].first() {
+            self.counters.decrements += 1;
+            self.counters.vax_instructions += self.cost.decrement_step;
+            let deadline = self.arena.node(idx).deadline;
+            debug_assert!(deadline >= self.now, "scheme 5 missed an expiry");
+            if deadline > self.now {
+                break;
+            }
+            self.arena.unlink(&mut self.slots[self.cursor], idx);
+            let handle = self.arena.handle_of(idx);
+            let payload = self.arena.free(idx);
+            self.counters.expiries += 1;
+            self.counters.vax_instructions += self.cost.expire;
+            expired(Expired {
+                handle,
+                payload,
+                deadline,
+                fired_at: self.now,
+            });
+        }
+    }
+
+    fn now(&self) -> Tick {
+        self.now
+    }
+
+    fn outstanding(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "scheme5(hashed-sorted)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::TimerSchemeExt;
+
+    #[test]
+    fn fires_at_exact_deadline_across_rounds() {
+        let mut w: HashedWheelSorted<u64> = HashedWheelSorted::new(8);
+        for &j in &[1u64, 8, 9, 16, 23, 64, 100] {
+            w.start_timer(TickDelta(j), j).unwrap();
+        }
+        let fired = w.collect_ticks(100);
+        let got: Vec<(u64, u64)> = fired
+            .iter()
+            .map(|e| (e.payload, e.fired_at.as_u64()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (1, 1),
+                (8, 8),
+                (9, 9),
+                (16, 16),
+                (23, 23),
+                (64, 64),
+                (100, 100)
+            ]
+        );
+    }
+
+    #[test]
+    fn bucket_stays_sorted_under_mixed_inserts() {
+        let mut w: HashedWheelSorted<u64> = HashedWheelSorted::new(4);
+        // All hash to slot 0 with different rounds, inserted out of order.
+        for &j in &[16u64, 4, 12, 8, 20] {
+            w.start_timer(TickDelta(j), j).unwrap();
+        }
+        assert_eq!(w.bucket_len(0), 5);
+        let fired = w.collect_ticks(20);
+        let got: Vec<u64> = fired.iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![4, 8, 12, 16, 20]);
+    }
+
+    #[test]
+    fn only_head_examined_per_visit() {
+        let mut w: HashedWheelSorted<()> = HashedWheelSorted::new(4);
+        // 50 long-lived timers in one bucket.
+        for _ in 0..50 {
+            w.start_timer(TickDelta(400), ()).unwrap();
+        }
+        w.reset_counters();
+        w.run_ticks(4);
+        // One head examination per visit of the loaded bucket, not 50.
+        assert_eq!(w.counters().decrements, 1);
+    }
+
+    #[test]
+    fn insert_cost_grows_with_bucket_occupancy() {
+        let mut w: HashedWheelSorted<()> = HashedWheelSorted::new(4);
+        for k in 1..=20u64 {
+            w.start_timer(TickDelta(4 * k), ()).unwrap();
+        }
+        // Inserting at increasing deadlines from the front walks the whole
+        // bucket: 0 + 1 + ... + 19 steps.
+        assert_eq!(w.counters().start_steps, (0..20).sum::<u64>());
+    }
+
+    #[test]
+    fn equal_deadlines_fifo() {
+        let mut w: HashedWheelSorted<u32> = HashedWheelSorted::new(8);
+        for i in 0..6 {
+            w.start_timer(TickDelta(10), i).unwrap();
+        }
+        let fired = w.collect_ticks(10);
+        let got: Vec<u32> = fired.iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn stop_and_stale_handles() {
+        let mut w: HashedWheelSorted<u32> = HashedWheelSorted::new(8);
+        let h = w.start_timer(TickDelta(5), 5).unwrap();
+        assert_eq!(w.stop_timer(h), Ok(5));
+        assert_eq!(w.stop_timer(h), Err(TimerError::Stale));
+        assert!(w.collect_ticks(10).is_empty());
+    }
+
+    #[test]
+    fn reduces_to_scheme2_with_table_size_one() {
+        // §6.1.1: "the scheme reduces to Scheme 2 if the array size is 1".
+        let mut w: HashedWheelSorted<u64> = HashedWheelSorted::new(1);
+        for &j in &[5u64, 2, 9, 1] {
+            w.start_timer(TickDelta(j), j).unwrap();
+        }
+        let fired = w.collect_ticks(9);
+        let got: Vec<u64> = fired.iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        let mut w: HashedWheelSorted<()> = HashedWheelSorted::new(8);
+        assert_eq!(
+            w.start_timer(TickDelta::ZERO, ()),
+            Err(TimerError::ZeroInterval)
+        );
+    }
+}

@@ -1,0 +1,371 @@
+//! Scheme 6 — hash table with unsorted lists in each bucket (§6.1.2,
+//! Figure 9).
+//!
+//! Arbitrary-sized intervals are hashed onto a fixed-size wheel: the interval
+//! mod the table size picks the slot (cheap AND when the size is a power of
+//! two, the paper's recommendation) and the quotient — the number of whole
+//! wheel revolutions before expiry — is stored with the timer as a *rounds*
+//! counter. Every visit of the cursor to a bucket decrements the rounds of
+//! every element and expires those that reach zero, "exactly as in Scheme 1"
+//! but confined to one bucket.
+//!
+//! `START_TIMER` is therefore worst-case O(1); `PER_TICK_BOOKKEEPING` does
+//! `n/TableSize` work on average *regardless of the hash distribution* —
+//! every `TableSize` ticks each living timer is decremented exactly once —
+//! which is why the paper argues the hash only controls the burstiness
+//! (variance) of the per-tick latency, not its mean. The `burstiness`
+//! experiment binary demonstrates exactly that.
+//!
+//! # Rounds arithmetic
+//!
+//! For interval `j ≥ 1` and table size `N`: slot = `(cursor + j) mod N`,
+//! rounds = `(j − 1) / N`. The cursor first reaches the slot after
+//! `1 + ((j − 1) mod N)` ticks and then once per `N` ticks, so the visit at
+//! which `rounds` has counted down to zero is tick `j` exactly (checked by
+//! the oracle-equivalence property tests).
+
+use alloc::vec::Vec;
+
+use crate::arena::{ListHead, TimerArena};
+use crate::counters::{OpCounters, VaxCostModel};
+use crate::handle::TimerHandle;
+use crate::scheme::{Expired, TimerScheme};
+use crate::time::{Tick, TickDelta};
+use crate::TimerError;
+
+/// Scheme 6: hashed timing wheel with unsorted per-bucket lists.
+/// See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use tw_core::wheel::HashedWheelUnsorted;
+/// use tw_core::{TickDelta, TimerScheme, TimerSchemeExt};
+///
+/// // A 256-slot wheel holding timers of any 64-bit interval.
+/// let mut wheel: HashedWheelUnsorted<u32> = HashedWheelUnsorted::new(256);
+/// wheel.start_timer(TickDelta(1_000_000), 1).unwrap();
+/// wheel.start_timer(TickDelta(3), 2).unwrap();
+/// assert_eq!(wheel.collect_ticks(3)[0].payload, 2);
+/// ```
+pub struct HashedWheelUnsorted<T> {
+    slots: Vec<ListHead>,
+    /// `Some(size - 1)` when the table size is a power of two: indexing is
+    /// then a single AND, the §6.1.2 recommendation ("Obtaining the
+    /// remainder after dividing by a power of 2 is cheap").
+    mask: Option<u64>,
+    cursor: usize,
+    now: Tick,
+    arena: TimerArena<T>,
+    counters: OpCounters,
+    cost: VaxCostModel,
+}
+
+impl<T> HashedWheelUnsorted<T> {
+    /// Creates a wheel with `table_size` buckets.
+    ///
+    /// Any size ≥ 1 works; powers of two make the modulo a single AND, which
+    /// is what §6.1.2 recommends ("Obtaining the remainder after dividing by
+    /// a power of 2 is cheap").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_size` is zero.
+    #[must_use]
+    pub fn new(table_size: usize) -> HashedWheelUnsorted<T> {
+        assert!(table_size > 0, "wheel needs at least one bucket");
+        HashedWheelUnsorted {
+            slots: (0..table_size).map(|_| ListHead::new()).collect(),
+            mask: table_size.is_power_of_two().then(|| table_size as u64 - 1),
+            cursor: 0,
+            now: Tick::ZERO,
+            arena: TimerArena::new(),
+            counters: OpCounters::new(),
+            cost: VaxCostModel::PAPER,
+        }
+    }
+
+    /// The table size `N`.
+    #[must_use]
+    pub fn table_size(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slab slots ever allocated (memory high-water mark in records); see
+    /// [`TimerArena::slot_count`](crate::arena::TimerArena::slot_count).
+    #[must_use]
+    pub fn arena_slots(&self) -> usize {
+        self.arena.slot_count()
+    }
+
+    /// Number of timers currently hashed into `slot` (test/experiment
+    /// introspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= table_size()`.
+    #[must_use]
+    pub fn bucket_len(&self, slot: usize) -> usize {
+        self.slots[slot].len()
+    }
+}
+
+impl<T> TimerScheme<T> for HashedWheelUnsorted<T> {
+    fn start_timer(&mut self, interval: TickDelta, payload: T) -> Result<TimerHandle, TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let n = self.slots.len() as u64;
+        let j = interval.as_u64();
+        let slot = match self.mask {
+            Some(mask) => ((self.cursor as u64 + j) & mask) as usize,
+            None => ((self.cursor as u64 + j) % n) as usize,
+        };
+        let rounds = (j - 1) / n;
+        let deadline = self.now + interval;
+        let (idx, handle) = self.arena.alloc(payload, deadline);
+        {
+            let node = self.arena.node_mut(idx);
+            node.aux = rounds;
+            node.bucket = slot as u32;
+        }
+        self.arena.push_back(&mut self.slots[slot], idx);
+        self.counters.starts += 1;
+        self.counters.vax_instructions += self.cost.insert;
+        Ok(handle)
+    }
+
+    fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError> {
+        let idx = self.arena.resolve(handle)?;
+        let bucket = self.arena.node(idx).bucket as usize;
+        self.arena.unlink(&mut self.slots[bucket], idx);
+        self.counters.stops += 1;
+        self.counters.vax_instructions += self.cost.delete;
+        Ok(self.arena.free(idx))
+    }
+
+    fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
+        self.cursor = (self.cursor + 1) % self.slots.len();
+        self.now = self.now.next();
+        self.counters.ticks += 1;
+        // The §7 cost model charges 4 instructions per tick for advancing the
+        // pointer and testing the slot, empty or not.
+        self.counters.vax_instructions += self.cost.skip_empty;
+        if self.slots[self.cursor].is_empty() {
+            self.counters.empty_slot_skips += 1;
+            return;
+        }
+        self.counters.nonempty_slot_visits += 1;
+        // Walk the whole bucket, decrementing every element exactly as in
+        // Scheme 1 (§6.1.2), expiring those whose rounds reach zero.
+        let mut cur = self.slots[self.cursor].first();
+        while let Some(idx) = cur {
+            cur = self.arena.next(idx);
+            self.counters.decrements += 1;
+            self.counters.vax_instructions += self.cost.decrement_step;
+            let rounds = self.arena.node(idx).aux;
+            if rounds == 0 {
+                self.arena.unlink(&mut self.slots[self.cursor], idx);
+                let handle = self.arena.handle_of(idx);
+                let deadline = self.arena.node(idx).deadline;
+                debug_assert_eq!(deadline, self.now, "scheme 6 rounds invariant violated");
+                let payload = self.arena.free(idx);
+                self.counters.expiries += 1;
+                self.counters.vax_instructions += self.cost.expire;
+                expired(Expired {
+                    handle,
+                    payload,
+                    deadline,
+                    fired_at: self.now,
+                });
+            } else {
+                self.arena.node_mut(idx).aux = rounds - 1;
+            }
+        }
+    }
+
+    fn now(&self) -> Tick {
+        self.now
+    }
+
+    fn outstanding(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "scheme6(hashed-unsorted)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::TimerSchemeExt;
+
+    #[test]
+    fn fires_at_exact_deadline_across_rounds() {
+        let mut w: HashedWheelUnsorted<u64> = HashedWheelUnsorted::new(8);
+        // Intervals straddling 0, 1 and 2 full revolutions, plus exact
+        // multiples of the table size (the tricky rounds boundary).
+        for &j in &[1u64, 7, 8, 9, 16, 17, 24, 100] {
+            w.start_timer(TickDelta(j), j).unwrap();
+        }
+        let fired = w.collect_ticks(100);
+        let got: Vec<(u64, u64)> = fired
+            .iter()
+            .map(|e| (e.payload, e.fired_at.as_u64()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (1, 1),
+                (7, 7),
+                (8, 8),
+                (9, 9),
+                (16, 16),
+                (17, 17),
+                (24, 24),
+                (100, 100)
+            ]
+        );
+        for e in &fired {
+            assert_eq!(e.error(), 0);
+        }
+    }
+
+    #[test]
+    fn fig9_worked_example() {
+        // §6.1 / Figure 9: table size 256, cursor at 10, timer whose low
+        // 8 bits are 20 → slot 30, high-order bits (rounds) on that list.
+        let mut w: HashedWheelUnsorted<()> = HashedWheelUnsorted::new(256);
+        w.run_ticks(10); // move the cursor to element 10
+        let j = (3u64 << 8) + 20; // high-order bits 3, low-order bits 20
+        w.start_timer(TickDelta(j), ()).unwrap();
+        assert_eq!(w.bucket_len(30), 1);
+        // And it still fires at exactly now + j.
+        let fired = w.collect_ticks(j);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(10 + j));
+    }
+
+    #[test]
+    fn rounds_decrement_not_expiry_on_early_visits() {
+        let mut w: HashedWheelUnsorted<()> = HashedWheelUnsorted::new(4);
+        w.start_timer(TickDelta(9), ()).unwrap(); // slot 1, rounds 2
+                                                  // Visits at ticks 1, 5 decrement; visit at 9 expires.
+        assert!(w.collect_ticks(8).is_empty());
+        assert_eq!(w.outstanding(), 1);
+        assert_eq!(w.collect_ticks(1).len(), 1);
+    }
+
+    #[test]
+    fn stop_timer_is_constant_work() {
+        let mut w: HashedWheelUnsorted<u32> = HashedWheelUnsorted::new(16);
+        let handles: Vec<_> = (0..100)
+            .map(|i| w.start_timer(TickDelta(1000 + u64::from(i)), i).unwrap())
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(w.stop_timer(h), Ok(i as u32));
+        }
+        assert_eq!(w.outstanding(), 0);
+        assert!(w.collect_ticks(2000).is_empty());
+    }
+
+    #[test]
+    fn table_size_one_degenerates_to_scheme1_style_list() {
+        // §6.1.1 notes the hashed scheme reduces to a single list when the
+        // array size is 1; scheme 6 then decrements every timer every tick.
+        let mut w: HashedWheelUnsorted<u64> = HashedWheelUnsorted::new(1);
+        w.start_timer(TickDelta(3), 3).unwrap();
+        w.start_timer(TickDelta(1), 1).unwrap();
+        let fired = w.collect_ticks(3);
+        let got: Vec<u64> = fired.iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![1, 3]);
+        // Every tick decremented every living element.
+        assert!(w.counters().decrements >= 4);
+    }
+
+    #[test]
+    fn per_tick_work_averages_n_over_table_size() {
+        // The §6.1.2 claim: n timers are each decremented once per TableSize
+        // ticks, so decrements per tick average n/TableSize regardless of
+        // distribution.
+        let n = 64u64;
+        let table = 16u64;
+        let mut w: HashedWheelUnsorted<()> = HashedWheelUnsorted::new(table as usize);
+        for i in 0..n {
+            // Long-lived timers spread over buckets.
+            w.start_timer(TickDelta(10_000 + i), ()).unwrap();
+        }
+        w.reset_counters();
+        w.run_ticks(table * 10); // 10 full revolutions
+        let c = w.counters();
+        let per_tick = c.decrements as f64 / c.ticks as f64;
+        let expect = n as f64 / table as f64;
+        assert!(
+            (per_tick - expect).abs() < 0.01,
+            "got {per_tick}, want {expect}"
+        );
+    }
+
+    #[test]
+    fn vax_model_matches_section7_formula() {
+        // §7: average cost per tick = 4 + 15 n / TableSize when every
+        // outstanding timer is decremented (and none expire) — here we use
+        // long-lived timers so only the 4 + 6·n/TableSize part accrues, then
+        // check the exact accounting identity instead of the headline figure.
+        let mut w: HashedWheelUnsorted<()> = HashedWheelUnsorted::new(8);
+        for i in 0..16u64 {
+            w.start_timer(TickDelta(1_000 + i), ()).unwrap();
+        }
+        w.reset_counters();
+        w.run_ticks(8);
+        let c = w.counters();
+        assert_eq!(
+            c.vax_instructions,
+            4 * c.ticks + 6 * c.decrements + 9 * c.expiries
+        );
+        assert_eq!(c.decrements, 16); // each timer decremented exactly once
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        let mut w: HashedWheelUnsorted<()> = HashedWheelUnsorted::new(8);
+        assert_eq!(
+            w.start_timer(TickDelta::ZERO, ()),
+            Err(TimerError::ZeroInterval)
+        );
+    }
+
+    #[test]
+    fn adversarial_all_same_bucket_still_correct() {
+        // All intervals multiples of the table size hash to one bucket; the
+        // mean work is unchanged but bursty (§6.1.2) — and expiries must
+        // still be exact.
+        let mut w: HashedWheelUnsorted<u64> = HashedWheelUnsorted::new(8);
+        for k in 1..=10u64 {
+            w.start_timer(TickDelta(8 * k), k).unwrap();
+        }
+        assert_eq!(w.bucket_len(0), 10);
+        let fired = w.collect_ticks(80);
+        let got: Vec<u64> = fired.iter().map(|e| e.payload).collect();
+        assert_eq!(got, (1..=10).collect::<Vec<_>>());
+        for e in &fired {
+            assert_eq!(e.fired_at.as_u64(), 8 * e.payload);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        let _: HashedWheelUnsorted<()> = HashedWheelUnsorted::new(0);
+    }
+}

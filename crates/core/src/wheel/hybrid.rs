@@ -1,0 +1,295 @@
+//! The §5 hybrid: a timing wheel for near timers backed by an ordered list
+//! for far ones.
+//!
+//! "Still memory is finite: it is difficult to justify 2³² words of memory
+//! to implement 32 bit timers. One solution is to implement timers within
+//! some range using this scheme and the allowed memory. Timers greater than
+//! this value are implemented using, say, Scheme 2."
+//!
+//! [`HybridWheel`] is that sentence, built: intervals up to the wheel size
+//! go straight into a Scheme 4 array (O(1) start, exact O(1) tick); longer
+//! intervals sit on a Scheme 2 ordered list whose *head* is checked once per
+//! tick — when the head comes within a revolution of now it migrates into
+//! the array. Start is therefore O(1) for near timers and O(f) in the
+//! number of far timers; `PER_TICK_BOOKKEEPING` stays O(1) plus one head
+//! compare. Hashing (Scheme 6) and hierarchy (Scheme 7) are the paper's two
+//! *better* answers to the same memory problem; this hybrid is the
+//! strawman they improve on, kept honest here so experiments can compare.
+
+use alloc::vec::Vec;
+
+use crate::arena::{ListHead, NodeIdx, TimerArena};
+use crate::counters::{OpCounters, VaxCostModel};
+use crate::handle::TimerHandle;
+use crate::scheme::{Expired, TimerScheme};
+use crate::time::{Tick, TickDelta};
+use crate::TimerError;
+
+/// Bucket tag for timers parked on the far (ordered) list.
+const FAR_BUCKET: u32 = u32::MAX;
+
+/// The §5 wheel + ordered-list hybrid. See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use tw_core::wheel::HybridWheel;
+/// use tw_core::{TickDelta, TimerScheme, TimerSchemeExt};
+///
+/// // 64 slots of wheel; longer intervals ride the ordered list.
+/// let mut w: HybridWheel<&str> = HybridWheel::new(64);
+/// w.start_timer(TickDelta(5), "near").unwrap();
+/// w.start_timer(TickDelta(5_000), "far").unwrap();
+/// assert_eq!(w.far_len(), 1);
+/// let fired = w.collect_ticks(5_000);
+/// assert_eq!(fired.len(), 2);
+/// assert!(fired.iter().all(|e| e.error() == 0));
+/// ```
+pub struct HybridWheel<T> {
+    slots: Vec<ListHead>,
+    cursor: usize,
+    now: Tick,
+    /// Far timers, sorted ascending by deadline (Scheme 2).
+    far: ListHead,
+    arena: TimerArena<T>,
+    counters: OpCounters,
+    cost: VaxCostModel,
+}
+
+impl<T> HybridWheel<T> {
+    /// Creates a hybrid with `wheel_slots` array slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wheel_slots` is zero.
+    #[must_use]
+    pub fn new(wheel_slots: usize) -> HybridWheel<T> {
+        assert!(wheel_slots > 0, "wheel needs at least one slot");
+        HybridWheel {
+            slots: (0..wheel_slots).map(|_| ListHead::new()).collect(),
+            cursor: 0,
+            now: Tick::ZERO,
+            far: ListHead::new(),
+            arena: TimerArena::new(),
+            counters: OpCounters::new(),
+            cost: VaxCostModel::PAPER,
+        }
+    }
+
+    /// Number of timers currently on the far list.
+    #[must_use]
+    pub fn far_len(&self) -> usize {
+        self.far.len()
+    }
+
+    /// The wheel's direct range.
+    #[must_use]
+    pub fn wheel_range(&self) -> TickDelta {
+        TickDelta(self.slots.len() as u64)
+    }
+
+    fn enqueue_wheel(&mut self, idx: NodeIdx, remaining: u64) {
+        debug_assert!(remaining >= 1 && remaining <= self.slots.len() as u64);
+        let slot = (self.cursor + remaining as usize) % self.slots.len();
+        self.arena.node_mut(idx).bucket = slot as u32;
+        self.arena.push_back(&mut self.slots[slot], idx);
+    }
+
+    /// Sorted insert into the far list (Scheme 2, front search).
+    fn insert_far(&mut self, idx: NodeIdx, deadline: Tick) {
+        self.arena.node_mut(idx).bucket = FAR_BUCKET;
+        let mut at = self.far.first();
+        let mut steps = 0u64;
+        while let Some(cur) = at {
+            steps += 1;
+            if self.arena.node(cur).deadline > deadline {
+                break;
+            }
+            at = self.arena.next(cur);
+        }
+        self.counters.start_steps += steps;
+        self.counters.vax_instructions += steps * self.cost.decrement_step;
+        match at {
+            Some(before) => self.arena.insert_before(&mut self.far, before, idx),
+            None => self.arena.push_back(&mut self.far, idx),
+        }
+    }
+}
+
+impl<T> TimerScheme<T> for HybridWheel<T> {
+    fn start_timer(&mut self, interval: TickDelta, payload: T) -> Result<TimerHandle, TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let deadline = self.now + interval;
+        let (idx, handle) = self.arena.alloc(payload, deadline);
+        if interval <= self.wheel_range() {
+            self.enqueue_wheel(idx, interval.as_u64());
+        } else {
+            self.insert_far(idx, deadline);
+        }
+        self.counters.starts += 1;
+        self.counters.vax_instructions += self.cost.insert;
+        Ok(handle)
+    }
+
+    fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError> {
+        let idx = self.arena.resolve(handle)?;
+        let bucket = self.arena.node(idx).bucket;
+        if bucket == FAR_BUCKET {
+            self.arena.unlink(&mut self.far, idx);
+        } else {
+            self.arena.unlink(&mut self.slots[bucket as usize], idx);
+        }
+        self.counters.stops += 1;
+        self.counters.vax_instructions += self.cost.delete;
+        Ok(self.arena.free(idx))
+    }
+
+    fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
+        self.cursor = (self.cursor + 1) % self.slots.len();
+        self.now = self.now.next();
+        self.counters.ticks += 1;
+        self.counters.vax_instructions += self.cost.skip_empty;
+        if self.slots[self.cursor].is_empty() {
+            self.counters.empty_slot_skips += 1;
+        } else {
+            self.counters.nonempty_slot_visits += 1;
+            while let Some(idx) = {
+                let slot = &mut self.slots[self.cursor];
+                self.arena.pop_front(slot)
+            } {
+                let handle = self.arena.handle_of(idx);
+                let deadline = self.arena.node(idx).deadline;
+                debug_assert_eq!(deadline, self.now, "hybrid wheel slot invariant violated");
+                let payload = self.arena.free(idx);
+                self.counters.expiries += 1;
+                self.counters.vax_instructions += self.cost.expire;
+                expired(Expired {
+                    handle,
+                    payload,
+                    deadline,
+                    fired_at: self.now,
+                });
+            }
+        }
+        // One head compare per tick: migrate far timers whose deadline has
+        // come within a revolution. Sorted order means at most a prefix
+        // moves, and the common case is one compare and done.
+        let range = self.slots.len() as u64;
+        while let Some(head) = self.far.first() {
+            self.counters.decrements += 1;
+            self.counters.vax_instructions += self.cost.decrement_step;
+            let deadline = self.arena.node(head).deadline;
+            let remaining = deadline.since(self.now).as_u64();
+            debug_assert!(remaining >= 1, "far timer already due");
+            if remaining > range {
+                break;
+            }
+            self.arena.unlink(&mut self.far, head);
+            self.enqueue_wheel(head, remaining);
+            self.counters.migrations += 1;
+            self.counters.vax_instructions += self.cost.insert;
+        }
+    }
+
+    fn now(&self) -> Tick {
+        self.now
+    }
+
+    fn outstanding(&self) -> usize {
+        self.arena.len()
+    }
+
+    fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid(wheel+list)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::TimerSchemeExt;
+
+    #[test]
+    fn near_and_far_fire_exactly() {
+        let mut w: HybridWheel<u64> = HybridWheel::new(8);
+        for &j in &[1u64, 8, 9, 64, 100, 1_000] {
+            w.start_timer(TickDelta(j), j).unwrap();
+        }
+        assert_eq!(w.far_len(), 4); // 9, 64, 100, 1000 exceed the 8-slot range
+        let fired = w.collect_ticks(1_000);
+        let got: Vec<(u64, u64)> = fired
+            .iter()
+            .map(|e| (e.payload, e.fired_at.as_u64()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![(1, 1), (8, 8), (9, 9), (64, 64), (100, 100), (1_000, 1_000)]
+        );
+    }
+
+    #[test]
+    fn boundary_interval_goes_to_wheel() {
+        let mut w: HybridWheel<()> = HybridWheel::new(16);
+        w.start_timer(TickDelta(16), ()).unwrap();
+        assert_eq!(w.far_len(), 0);
+        w.start_timer(TickDelta(17), ()).unwrap();
+        assert_eq!(w.far_len(), 1);
+    }
+
+    #[test]
+    fn far_list_stays_sorted_and_migrates_in_order() {
+        let mut w: HybridWheel<u64> = HybridWheel::new(4);
+        for &j in &[50u64, 20, 80, 35] {
+            w.start_timer(TickDelta(j), j).unwrap();
+        }
+        let fired = w.collect_ticks(80);
+        let got: Vec<u64> = fired.iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![20, 35, 50, 80]);
+        for e in &fired {
+            assert_eq!(e.error(), 0);
+        }
+    }
+
+    #[test]
+    fn per_tick_cost_is_one_head_compare_when_idle() {
+        let mut w: HybridWheel<()> = HybridWheel::new(8);
+        for k in 1..=50u64 {
+            w.start_timer(TickDelta(10_000 + k), ()).unwrap();
+        }
+        w.reset_counters();
+        w.run_ticks(100);
+        // One far-head compare per tick, never a scan.
+        assert_eq!(w.counters().decrements, 100);
+        assert_eq!(w.counters().migrations, 0);
+    }
+
+    #[test]
+    fn stop_from_both_sides() {
+        let mut w: HybridWheel<u64> = HybridWheel::new(8);
+        let near = w.start_timer(TickDelta(3), 3).unwrap();
+        let far = w.start_timer(TickDelta(300), 300).unwrap();
+        assert_eq!(w.stop_timer(far), Ok(300));
+        assert_eq!(w.stop_timer(near), Ok(3));
+        assert!(w.collect_ticks(400).is_empty());
+        assert_eq!(w.stop_timer(near), Err(TimerError::Stale));
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        let mut w: HybridWheel<()> = HybridWheel::new(8);
+        assert_eq!(
+            w.start_timer(TickDelta::ZERO, ()),
+            Err(TimerError::ZeroInterval)
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! The timing-wheel schemes — the paper's contribution (§5–§6.2).
+//!
+//! * [`BasicWheel`] — Scheme 4: O(1) everything for bounded intervals.
+//! * [`HashedWheelSorted`] — Scheme 5: hashing + sorted buckets.
+//! * [`HashedWheelUnsorted`] — Scheme 6: hashing + unsorted buckets (the
+//!   paper's recommendation, alongside Scheme 7, for a general facility).
+//! * [`HierarchicalWheel`] — Scheme 7: wheels of increasing granularity.
+//! * [`ClockworkWheel`] — Scheme 7 again, but driven by literal per-level
+//!   update timers exactly as the §6.2 prose describes.
+//! * [`HybridWheel`] — the §5 strawman: a bounded wheel backed by a Scheme 2
+//!   ordered list for far timers.
+
+pub mod basic;
+pub mod clockwork;
+pub mod config;
+pub mod hashed_sorted;
+pub mod hashed_unsorted;
+pub mod hierarchical;
+pub mod hybrid;
+
+pub use basic::BasicWheel;
+pub use clockwork::ClockworkWheel;
+pub use config::{LevelSizes, MigrationPolicy, OverflowPolicy};
+pub use hashed_sorted::HashedWheelSorted;
+pub use hashed_unsorted::HashedWheelUnsorted;
+pub use hierarchical::{HierarchicalWheel, InsertRule};
+pub use hybrid::HybridWheel;

@@ -1,0 +1,355 @@
+//! Trace-equivalence property tests: every wheel scheme must behave exactly
+//! like the [`OracleScheme`] for arbitrary operation sequences.
+//!
+//! "Exactly like" means: the same `start_timer` results, the same
+//! `stop_timer` payloads, and — at every single tick — the same *set* of
+//! expiries at the same firing times (expiry order within a tick is
+//! unconstrained; §4.2 notes timer modules need not preserve FIFO order).
+
+use proptest::prelude::*;
+use tw_core::wheel::{
+    BasicWheel, ClockworkWheel, HashedWheelSorted, HashedWheelUnsorted, HierarchicalWheel,
+    HybridWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy,
+};
+use tw_core::{OracleScheme, TickDelta, TimerScheme};
+
+/// One step of a random timer workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Start a timer with this interval (clamped to the scheme range by the
+    /// driver).
+    Start(u64),
+    /// Stop the k-th (mod live count) outstanding timer.
+    Stop(usize),
+    /// Advance the clock one tick.
+    Tick,
+}
+
+fn op_strategy(max_interval: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1..=max_interval).prop_map(Op::Start),
+        2 => any::<usize>().prop_map(Op::Stop),
+        4 => Just(Op::Tick),
+    ]
+}
+
+/// Runs the same op sequence against `scheme` and the oracle, comparing
+/// observable behaviour step by step.
+fn check_equivalence<S: TimerScheme<u64>>(
+    mut scheme: S,
+    ops: Vec<Op>,
+) -> Result<(), TestCaseError> {
+    let mut oracle: OracleScheme<u64> = OracleScheme::new();
+    // Parallel handle books, index-aligned.
+    let mut live: Vec<(tw_core::TimerHandle, tw_core::TimerHandle, u64)> = Vec::new();
+    let mut next_id = 0u64;
+
+    for op in ops {
+        match op {
+            Op::Start(interval) => {
+                let a = scheme.start_timer(TickDelta(interval), next_id);
+                let b = oracle.start_timer(TickDelta(interval), next_id);
+                prop_assert_eq!(a.is_ok(), b.is_ok(), "start_timer disagreement");
+                if let (Ok(ha), Ok(hb)) = (a, b) {
+                    live.push((ha, hb, next_id));
+                }
+                next_id += 1;
+            }
+            Op::Stop(k) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (ha, hb, id) = live.swap_remove(k % live.len());
+                let pa = scheme.stop_timer(ha);
+                let pb = oracle.stop_timer(hb);
+                prop_assert_eq!(pa, Ok(id));
+                prop_assert_eq!(pb, Ok(id));
+            }
+            Op::Tick => {
+                let mut got = Vec::new();
+                scheme.tick(&mut |e| got.push((e.payload, e.fired_at, e.deadline, e.error())));
+                let mut want = Vec::new();
+                oracle.tick(&mut |e| want.push((e.payload, e.fired_at, e.deadline, e.error())));
+                got.sort_unstable();
+                want.sort_unstable();
+                prop_assert_eq!(&got, &want, "expiry divergence at t={}", scheme.now());
+                // Drop fired timers from the book.
+                live.retain(|(_, _, id)| !got.iter().any(|(p, ..)| p == id));
+            }
+        }
+        prop_assert_eq!(scheme.outstanding(), oracle.outstanding());
+        prop_assert_eq!(scheme.now(), oracle.now());
+    }
+
+    // Drain: every remaining timer must eventually fire, exactly once, at
+    // its deadline.
+    let mut remaining = live.len();
+    let mut guard = 0u64;
+    while remaining > 0 {
+        let mut got = Vec::new();
+        scheme.tick(&mut |e| got.push((e.payload, e.error())));
+        let mut want = Vec::new();
+        oracle.tick(&mut |e| want.push((e.payload, e.error())));
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(&got, &want);
+        remaining -= got.len();
+        guard += 1;
+        prop_assert!(guard < 2_000_000, "drain did not terminate");
+    }
+    prop_assert_eq!(scheme.outstanding(), 0);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn basic_wheel_matches_oracle(ops in proptest::collection::vec(op_strategy(32), 1..300)) {
+        // Scheme 4 accepts intervals up to its slot count (32 here).
+        check_equivalence(BasicWheel::<u64>::new(32), ops)?;
+    }
+
+    #[test]
+    fn basic_wheel_overflow_list_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(200), 1..300),
+    ) {
+        // Intervals up to 200 on an 8-slot wheel: heavy overflow traffic.
+        check_equivalence(
+            BasicWheel::<u64>::with_policy(8, OverflowPolicy::OverflowList),
+            ops,
+        )?;
+    }
+
+    #[test]
+    fn hashed_sorted_matches_oracle(ops in proptest::collection::vec(op_strategy(500), 1..300)) {
+        check_equivalence(HashedWheelSorted::<u64>::new(16), ops)?;
+    }
+
+    #[test]
+    fn hashed_unsorted_matches_oracle(ops in proptest::collection::vec(op_strategy(500), 1..300)) {
+        check_equivalence(HashedWheelUnsorted::<u64>::new(16), ops)?;
+    }
+
+    #[test]
+    fn hashed_unsorted_tiny_table_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(100), 1..200),
+    ) {
+        // Table size 1: degenerates to a Scheme-1-style single list.
+        check_equivalence(HashedWheelUnsorted::<u64>::new(1), ops)?;
+    }
+
+    #[test]
+    fn hierarchical_digit_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(511), 1..300),
+    ) {
+        check_equivalence(HierarchicalWheel::<u64>::new(LevelSizes(vec![8, 8, 8])), ops)?;
+    }
+
+    #[test]
+    fn hierarchical_covering_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(511), 1..300),
+    ) {
+        check_equivalence(
+            HierarchicalWheel::<u64>::with_policies(
+                LevelSizes(vec![8, 8, 8]),
+                InsertRule::Covering,
+                MigrationPolicy::Full,
+                OverflowPolicy::Reject,
+            ),
+            ops,
+        )?;
+    }
+
+    #[test]
+    fn hybrid_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(500), 1..300),
+    ) {
+        // 8-slot wheel: most intervals ride the far list and migrate.
+        check_equivalence(HybridWheel::<u64>::new(8), ops)?;
+    }
+
+    #[test]
+    fn clockwork_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(511), 1..300),
+    ) {
+        check_equivalence(ClockworkWheel::<u64>::new(LevelSizes(vec![8, 8, 8])), ops)?;
+    }
+
+    /// The literal §6.2 mechanism (update-timer records) and the arithmetic
+    /// one (modulo cursor advance) produce identical expiry schedules.
+    #[test]
+    fn clockwork_matches_hierarchical(
+        ops in proptest::collection::vec(op_strategy(719), 1..250),
+    ) {
+        let mut a = ClockworkWheel::<u64>::new(LevelSizes(vec![10, 12, 6]));
+        let mut b = HierarchicalWheel::<u64>::new(LevelSizes(vec![10, 12, 6]));
+        let mut live: Vec<(tw_core::TimerHandle, tw_core::TimerHandle, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        for op in ops {
+            match op {
+                Op::Start(j) => {
+                    let ha = a.start_timer(TickDelta(j), next_id).unwrap();
+                    let hb = b.start_timer(TickDelta(j), next_id).unwrap();
+                    live.push((ha, hb, next_id));
+                    next_id += 1;
+                }
+                Op::Stop(k) => {
+                    if !live.is_empty() {
+                        let (ha, hb, id) = live.swap_remove(k % live.len());
+                        prop_assert_eq!(a.stop_timer(ha), Ok(id));
+                        prop_assert_eq!(b.stop_timer(hb), Ok(id));
+                    }
+                }
+                Op::Tick => {
+                    let mut fa = Vec::new();
+                    a.tick(&mut |e| fa.push((e.payload, e.fired_at)));
+                    let mut fb = Vec::new();
+                    b.tick(&mut |e| fb.push((e.payload, e.fired_at)));
+                    fa.sort_unstable();
+                    fb.sort_unstable();
+                    prop_assert_eq!(&fa, &fb);
+                    live.retain(|(_, _, id)| !fa.iter().any(|(p, _)| p == id));
+                }
+            }
+            prop_assert_eq!(a.outstanding(), b.outstanding());
+        }
+    }
+
+    #[test]
+    fn hierarchical_with_overflow_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(4000), 1..200),
+    ) {
+        // Range 512; intervals up to 4000 exercise the overflow list hard.
+        check_equivalence(
+            HierarchicalWheel::<u64>::with_policies(
+                LevelSizes(vec![8, 8, 8]),
+                InsertRule::Digit,
+                MigrationPolicy::Full,
+                OverflowPolicy::OverflowList,
+            ),
+            ops,
+        )?;
+    }
+
+    #[test]
+    fn hierarchical_uneven_radices_match_oracle(
+        ops in proptest::collection::vec(op_strategy(719), 1..250),
+    ) {
+        // Mixed radices like the paper's clock (range 720 here).
+        check_equivalence(HierarchicalWheel::<u64>::new(LevelSizes(vec![10, 12, 6])), ops)?;
+    }
+
+    /// The reduced-precision variants are *not* trace-equivalent; instead
+    /// their firing error must stay within the documented bound and no timer
+    /// may be lost or duplicated under arbitrary start/stop/tick traffic.
+    #[test]
+    fn hierarchical_nomig_bounded_error(
+        ops in proptest::collection::vec(op_strategy(511), 1..300),
+    ) {
+        let mut scheme = HierarchicalWheel::<u64>::with_policies(
+            LevelSizes(vec![8, 8, 8]),
+            InsertRule::Digit,
+            MigrationPolicy::None,
+            OverflowPolicy::Reject,
+        );
+        // Worst granularity = 64 (level 2); nearest-rounding error ≤ 32.
+        let max_err = 32i64;
+        let mut live: Vec<(tw_core::TimerHandle, u64)> = Vec::new();
+        let mut next_id = 0u64;
+        let mut fired_ids: Vec<u64> = Vec::new();
+        let mut stopped_ids: Vec<u64> = Vec::new();
+        let do_tick = |scheme: &mut HierarchicalWheel<u64>,
+                           live: &mut Vec<(tw_core::TimerHandle, u64)>,
+                           fired_ids: &mut Vec<u64>|
+         -> Result<(), TestCaseError> {
+            let mut fired_now = Vec::new();
+            scheme.tick(&mut |e| fired_now.push((e.payload, e.error())));
+            for (id, err) in fired_now {
+                prop_assert!(err.abs() <= max_err, "error {err} for id {id}");
+                prop_assert!(!fired_ids.contains(&id), "duplicate fire of {id}");
+                fired_ids.push(id);
+                let pos = live.iter().position(|(_, i)| *i == id);
+                prop_assert!(pos.is_some(), "fired a stopped/unknown timer {id}");
+                live.swap_remove(pos.unwrap());
+            }
+            Ok(())
+        };
+        for op in ops {
+            match op {
+                Op::Start(j) => {
+                    let h = scheme.start_timer(TickDelta(j), next_id).unwrap();
+                    live.push((h, next_id));
+                    next_id += 1;
+                }
+                Op::Stop(k) => {
+                    if !live.is_empty() {
+                        let (h, id) = live.swap_remove(k % live.len());
+                        prop_assert_eq!(scheme.stop_timer(h), Ok(id));
+                        stopped_ids.push(id);
+                    }
+                }
+                Op::Tick => do_tick(&mut scheme, &mut live, &mut fired_ids)?,
+            }
+        }
+        // Drain: everything still live must fire (within bound), nothing else.
+        let mut guard = 0;
+        while scheme.outstanding() > 0 {
+            do_tick(&mut scheme, &mut live, &mut fired_ids)?;
+            guard += 1;
+            prop_assert!(guard < 100_000, "drain did not terminate");
+        }
+        prop_assert!(live.is_empty());
+        prop_assert_eq!(fired_ids.len() as u64 + stopped_ids.len() as u64, next_id);
+    }
+}
+
+/// Non-proptest exhaustive check for the reduced-precision variants:
+/// every started-and-not-stopped timer fires exactly once with bounded
+/// error, for a dense sweep of intervals and start offsets.
+#[test]
+fn nomig_and_single_fire_once_with_bounded_error() {
+    for policy in [MigrationPolicy::None, MigrationPolicy::Single] {
+        for rule in [InsertRule::Digit, InsertRule::Covering] {
+            let mut scheme = HierarchicalWheel::<u64>::with_policies(
+                LevelSizes(vec![8, 8, 8]),
+                rule,
+                policy,
+                OverflowPolicy::Reject,
+            );
+            // Stagger start times to hit many digit alignments.
+            let mut expected = 0u64;
+            for s in 0..40u64 {
+                for &j in &[1u64, 7, 8, 9, 63, 64, 65, 200, 511] {
+                    scheme.start_timer(TickDelta(j), s * 1000 + j).unwrap();
+                    expected += 1;
+                }
+                scheme.tick(&mut |e| {
+                    assert!(
+                        e.error().abs() <= 32,
+                        "{policy:?}/{rule:?}: err {}",
+                        e.error()
+                    );
+                    expected -= 1;
+                });
+            }
+            let mut guard = 0;
+            while scheme.outstanding() > 0 {
+                scheme.tick(&mut |e| {
+                    assert!(
+                        e.error().abs() <= 32,
+                        "{policy:?}/{rule:?}: err {}",
+                        e.error()
+                    );
+                    expected -= 1;
+                });
+                guard += 1;
+                assert!(guard < 10_000, "{policy:?}/{rule:?}: drain stuck");
+            }
+            assert_eq!(
+                expected, 0,
+                "{policy:?}/{rule:?}: lost or duplicated timers"
+            );
+        }
+    }
+}

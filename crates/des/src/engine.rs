@@ -1,0 +1,381 @@
+//! The two time-flow mechanisms of §4.2.
+//!
+//! Discrete event simulations find the earliest event and update the clock
+//! in one of two ways:
+//!
+//! 1. **Event-driven** ([`EventDrivenDes`]): "the earliest event is
+//!    immediately retrieved from some data structure (e.g. a priority
+//!    queue) and the clock jumps to the time of this event" — GPSS and
+//!    SIMULA. The queue here is a pairing of a binary heap with a
+//!    generational slab, supporting O(log n) schedule and O(log n) true
+//!    cancellation.
+//! 2. **Tick-driven** ([`TickDrivenDes`]): "the program … increments the
+//!    clock variable by c until it finds any outstanding events at the
+//!    current time" — TEGAS and DECSIM. The event list is *any*
+//!    [`TimerScheme`], which is exactly the paper's observation that timer
+//!    algorithms and digital-simulation time-flow mechanisms are
+//!    interchangeable.
+//!
+//! Handlers receive a [`Scheduler`] so they can schedule or cancel follow-up
+//! events while an event is being dispatched; dispatch is two-phase (expire,
+//! then handle) to keep the borrow structure safe.
+
+use tw_core::scheme::TimerSchemeExt;
+use tw_core::{Tick, TickDelta, TimerError, TimerHandle, TimerScheme};
+
+/// The scheduling interface handlers use to create follow-up events.
+pub trait Scheduler<E> {
+    /// Schedules `event` to fire `delay` ticks from now.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying event list's range errors; zero delays are
+    /// rejected ([`TimerError::ZeroInterval`]) — same-time event chaining is
+    /// expressed by the handler itself, not zero-delay self-scheduling.
+    fn schedule(&mut self, delay: TickDelta, event: E) -> Result<TimerHandle, TimerError>;
+
+    /// Cancels a scheduled event, returning it.
+    ///
+    /// # Errors
+    ///
+    /// [`TimerError::Stale`] if it already fired or was cancelled.
+    fn cancel(&mut self, handle: TimerHandle) -> Result<E, TimerError>;
+
+    /// The current simulation time.
+    fn now(&self) -> Tick;
+}
+
+// ---------------------------------------------------------------------------
+// Event-driven (method 1).
+
+/// An event-driven simulator: the clock jumps to the earliest event.
+/// See the [module docs](self).
+///
+/// # Examples
+///
+/// ```
+/// use tw_core::{Tick, TickDelta};
+/// use tw_des::{EventDrivenDes, Scheduler};
+///
+/// let mut des: EventDrivenDes<&str> = EventDrivenDes::new();
+/// des.schedule(TickDelta(100), "boom").unwrap();
+/// let mut log = Vec::new();
+/// des.run_until(Tick(1_000), |des, e| log.push((des.now().as_u64(), e)));
+/// assert_eq!(log, vec![(100, "boom")]); // no 99 idle steps taken
+/// ```
+pub struct EventDrivenDes<E> {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, u32, u32)>>,
+    slots: Vec<(u32, Option<E>)>,
+    free: Vec<u32>,
+    seq: u64,
+    now: Tick,
+    live: usize,
+    processed: u64,
+}
+
+impl<E> EventDrivenDes<E> {
+    /// Creates an empty simulator at time zero.
+    #[must_use]
+    pub fn new() -> EventDrivenDes<E> {
+        EventDrivenDes {
+            heap: std::collections::BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+            now: Tick::ZERO,
+            live: 0,
+            processed: 0,
+        }
+    }
+
+    /// Number of scheduled (uncancelled, unfired) events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.live
+    }
+
+    /// Total events dispatched so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Runs until the event list is empty or the next event is after
+    /// `until`; the clock jumps between event times. Same-time events
+    /// dispatch in schedule order (FIFO), the §4.2 simulation convention.
+    #[allow(clippy::while_let_loop)] // two distinct break conditions mid-body
+    pub fn run_until<F>(&mut self, until: Tick, mut handler: F)
+    where
+        F: FnMut(&mut Self, E),
+    {
+        loop {
+            // Pop cancelled entries lazily; cancellation already removed the
+            // payload, so this is O(log n) cleanup, not unbounded growth —
+            // slots are recycled immediately on cancel.
+            let Some(&std::cmp::Reverse((t, _, slot, generation))) = self.heap.peek() else {
+                break;
+            };
+            // A cancelled (or recycled) entry: the generation no longer
+            // matches. Drop it lazily.
+            if self.slots[slot as usize].0 != generation || self.slots[slot as usize].1.is_none() {
+                self.heap.pop();
+                continue;
+            }
+            if Tick(t) > until {
+                break;
+            }
+            self.heap.pop();
+            self.now = Tick(t);
+            let event = self.slots[slot as usize]
+                .1
+                .take()
+                .expect("checked non-cancelled above");
+            self.slots[slot as usize].0 = self.slots[slot as usize].0.wrapping_add(1);
+            self.free.push(slot);
+            self.live -= 1;
+            self.processed += 1;
+            handler(self, event);
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+}
+
+impl<E> Default for EventDrivenDes<E> {
+    fn default() -> Self {
+        EventDrivenDes::new()
+    }
+}
+
+impl<E> Scheduler<E> for EventDrivenDes<E> {
+    fn schedule(&mut self, delay: TickDelta, event: E) -> Result<TimerHandle, TimerError> {
+        if delay.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let at = self.now + delay;
+        let slot = if let Some(s) = self.free.pop() {
+            self.slots[s as usize].1 = Some(event);
+            s
+        } else {
+            let s = u32::try_from(self.slots.len()).expect("event count exceeds u32");
+            self.slots.push((0, Some(event)));
+            s
+        };
+        let generation = self.slots[slot as usize].0;
+        self.heap
+            .push(std::cmp::Reverse((at.as_u64(), self.seq, slot, generation)));
+        self.seq += 1;
+        self.live += 1;
+        Ok(TimerHandle::from_raw(slot, generation))
+    }
+
+    fn cancel(&mut self, handle: TimerHandle) -> Result<E, TimerError> {
+        let (slot, generation) = handle.into_raw();
+        match self.slots.get_mut(slot as usize) {
+            Some((g, ev)) if *g == generation && ev.is_some() => {
+                let event = ev.take().expect("checked is_some");
+                *g = g.wrapping_add(1);
+                self.free.push(slot);
+                self.live -= 1;
+                Ok(event)
+            }
+            _ => Err(TimerError::Stale),
+        }
+    }
+
+    fn now(&self) -> Tick {
+        self.now
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tick-driven (method 2).
+
+/// A tick-driven simulator over any [`TimerScheme`] event list.
+/// See the [module docs](self).
+pub struct TickDrivenDes<S, E> {
+    scheme: S,
+    processed: u64,
+    _event: std::marker::PhantomData<fn(E)>,
+}
+
+impl<E, S: TimerScheme<E>> TickDrivenDes<S, E> {
+    /// Wraps a timer scheme as the simulator's event list.
+    pub fn new(scheme: S) -> TickDrivenDes<S, E> {
+        TickDrivenDes {
+            scheme,
+            processed: 0,
+            _event: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.scheme.outstanding()
+    }
+
+    /// Total events dispatched so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Borrows the underlying scheme (e.g. for its counters).
+    pub fn scheme(&self) -> &S {
+        &self.scheme
+    }
+
+    /// Steps the clock one tick, dispatching due events FIFO-per-slot.
+    pub fn step<F>(&mut self, mut handler: F)
+    where
+        F: FnMut(&mut Self, E),
+    {
+        let mut due = Vec::new();
+        self.scheme.tick(&mut |e| due.push(e.payload));
+        self.processed += due.len() as u64;
+        for event in due {
+            handler(self, event);
+        }
+    }
+
+    /// Runs tick by tick until the clock reaches `until` or no events
+    /// remain.
+    pub fn run_until<F>(&mut self, until: Tick, mut handler: F)
+    where
+        F: FnMut(&mut Self, E),
+    {
+        while self.scheme.now() < until && self.scheme.outstanding() > 0 {
+            self.step(&mut handler);
+        }
+        if self.scheme.outstanding() == 0 && self.scheme.now() < until {
+            // Idle ticks to the horizon keep the two mechanisms' clocks
+            // comparable; the wheel pays its empty-bucket stepping here.
+            self.scheme
+                .run_ticks(until.since(self.scheme.now()).as_u64());
+        }
+    }
+}
+
+impl<E, S: TimerScheme<E>> Scheduler<E> for TickDrivenDes<S, E> {
+    fn schedule(&mut self, delay: TickDelta, event: E) -> Result<TimerHandle, TimerError> {
+        self.scheme.start_timer(delay, event)
+    }
+
+    fn cancel(&mut self, handle: TimerHandle) -> Result<E, TimerError> {
+        self.scheme.stop_timer(handle)
+    }
+
+    fn now(&self) -> Tick {
+        self.scheme.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tw_core::wheel::BasicWheel;
+    use tw_core::OracleScheme;
+
+    #[test]
+    fn event_driven_jumps_and_orders_fifo() {
+        let mut des: EventDrivenDes<&str> = EventDrivenDes::new();
+        des.schedule(TickDelta(10), "b").unwrap();
+        des.schedule(TickDelta(5), "a").unwrap();
+        des.schedule(TickDelta(10), "c").unwrap();
+        let mut seen = Vec::new();
+        des.run_until(Tick(100), |des, e| seen.push((des.now().as_u64(), e)));
+        assert_eq!(seen, vec![(5, "a"), (10, "b"), (10, "c")]);
+        assert_eq!(des.now(), Tick(100));
+        assert_eq!(des.processed(), 3);
+    }
+
+    #[test]
+    fn event_driven_handlers_chain_events() {
+        // A self-rescheduling event: the "process" pattern.
+        let mut des: EventDrivenDes<u32> = EventDrivenDes::new();
+        des.schedule(TickDelta(1), 0).unwrap();
+        let mut count = 0;
+        des.run_until(Tick(10), |des, gen| {
+            count += 1;
+            let _ = des.schedule(TickDelta(2), gen + 1);
+        });
+        // Fires at 1, 3, 5, 7, 9 within the horizon; the event at 11 stays.
+        assert_eq!(count, 5);
+        assert_eq!(des.pending(), 1);
+    }
+
+    #[test]
+    fn event_driven_cancel() {
+        let mut des: EventDrivenDes<&str> = EventDrivenDes::new();
+        let h = des.schedule(TickDelta(5), "x").unwrap();
+        des.schedule(TickDelta(7), "y").unwrap();
+        assert_eq!(des.cancel(h), Ok("x"));
+        assert_eq!(des.cancel(h), Err(TimerError::Stale));
+        let mut seen = Vec::new();
+        des.run_until(Tick(10), |_, e| seen.push(e));
+        assert_eq!(seen, vec!["y"]);
+    }
+
+    #[test]
+    fn tick_driven_matches_event_driven_trace() {
+        // The same workload through both §4.2 mechanisms produces the same
+        // (time, event) sequence.
+        let mut ed: EventDrivenDes<u64> = EventDrivenDes::new();
+        let mut td = TickDrivenDes::new(OracleScheme::<u64>::new());
+        for &(d, e) in &[(3u64, 30u64), (1, 10), (4, 40), (1, 11), (9, 90)] {
+            ed.schedule(TickDelta(d), e).unwrap();
+            td.schedule(TickDelta(d), e).unwrap();
+        }
+        let mut a = Vec::new();
+        ed.run_until(Tick(20), |des, e| a.push((des.now().as_u64(), e)));
+        let mut b = Vec::new();
+        td.run_until(Tick(20), |des, e| b.push((des.now().as_u64(), e)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tick_driven_over_wheel() {
+        let mut des = TickDrivenDes::new(BasicWheel::<u32>::new(64));
+        des.schedule(TickDelta(2), 1).unwrap();
+        let mut seen = Vec::new();
+        des.run_until(Tick(50), |des, e| {
+            seen.push((des.now().as_u64(), e));
+            if e < 3 {
+                des.schedule(TickDelta(10), e + 1).unwrap();
+            }
+        });
+        assert_eq!(seen, vec![(2, 1), (12, 2), (22, 3)]);
+        assert_eq!(des.now(), Tick(50), "idle ticks run to the horizon");
+        assert_eq!(des.processed(), 3);
+    }
+
+    #[test]
+    fn zero_delay_rejected_by_both() {
+        let mut ed: EventDrivenDes<()> = EventDrivenDes::new();
+        assert_eq!(
+            ed.schedule(TickDelta::ZERO, ()),
+            Err(TimerError::ZeroInterval)
+        );
+        let mut td = TickDrivenDes::new(OracleScheme::<()>::new());
+        assert_eq!(
+            td.schedule(TickDelta::ZERO, ()),
+            Err(TimerError::ZeroInterval)
+        );
+    }
+
+    #[test]
+    fn cancelled_entries_do_not_leak() {
+        // §4.2 warns that mark-cancelled lazy deletion grows memory without
+        // bound; our cancel frees the slot immediately.
+        let mut des: EventDrivenDes<u64> = EventDrivenDes::new();
+        for i in 0..10_000u64 {
+            let h = des.schedule(TickDelta(1_000_000), i).unwrap();
+            des.cancel(h).unwrap();
+        }
+        assert_eq!(des.pending(), 0);
+        // All events shared one recycled slot.
+        assert_eq!(des.slots.len(), 1);
+    }
+}

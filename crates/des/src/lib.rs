@@ -1,0 +1,27 @@
+//! Discrete-event-simulation substrate for the timing-wheels workspace
+//! (paper §4.2).
+//!
+//! §4.2 observes that "time flow algorithms used for digital simulation can
+//! be used to implement timer algorithms; conversely, timer algorithms can
+//! be used to implement time flow mechanisms in simulations." This crate is
+//! that second direction, built concretely:
+//!
+//! * [`engine`] — both §4.2 time-flow mechanisms: [`EventDrivenDes`]
+//!   (GPSS/SIMULA: clock jumps to the earliest event) and [`TickDrivenDes`]
+//!   (TEGAS/DECSIM: clock steps by the tick, event list = any
+//!   [`tw_core::TimerScheme`]).
+//! * [`sim_wheel`] — the Figure 7 logic-simulation wheel with single
+//!   overflow list, in TEGAS-2 (rotate on wrap) and DECSIM (rotate halfway)
+//!   flavours.
+//! * [`logic`] — a gate-level logic simulator with per-gate delays and
+//!   selective tracing, scheduled by any timer scheme.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod logic;
+pub mod sim_wheel;
+
+pub use engine::{EventDrivenDes, Scheduler, TickDrivenDes};
+pub use logic::{Circuit, GateId, GateKind, LogicSim, NetId, Transition};
+pub use sim_wheel::{RotationPolicy, SimWheel};

@@ -1,0 +1,115 @@
+//! Property tests for the DES substrate: the Figure 7 simulation wheel is
+//! trace-equivalent to the oracle, and the two §4.2 time-flow mechanisms
+//! dispatch identical (time, event) sequences for the same workload.
+
+use proptest::prelude::*;
+use tw_core::{OracleScheme, Tick, TickDelta, TimerScheme};
+use tw_des::{EventDrivenDes, RotationPolicy, Scheduler, SimWheel, TickDrivenDes};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Start(u64),
+    Stop(usize),
+    Tick,
+}
+
+fn op_strategy(max_interval: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1..=max_interval).prop_map(Op::Start),
+        2 => any::<usize>().prop_map(Op::Stop),
+        4 => Just(Op::Tick),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Both SimWheel rotation policies are exact timer schemes despite the
+    /// overflow-list detour.
+    #[test]
+    fn sim_wheel_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(200), 1..250),
+        halfway in any::<bool>(),
+    ) {
+        let policy = if halfway { RotationPolicy::Halfway } else { RotationPolicy::OnWrap };
+        let mut wheel: SimWheel<u64> = SimWheel::new(16, policy);
+        let mut oracle: OracleScheme<u64> = OracleScheme::new();
+        let mut live: Vec<(tw_core::TimerHandle, tw_core::TimerHandle, u64)> = Vec::new();
+        let mut id = 0u64;
+        for op in ops {
+            match op {
+                Op::Start(j) => {
+                    let a = wheel.start_timer(TickDelta(j), id).unwrap();
+                    let b = oracle.start_timer(TickDelta(j), id).unwrap();
+                    live.push((a, b, id));
+                    id += 1;
+                }
+                Op::Stop(k) => {
+                    if !live.is_empty() {
+                        let (a, b, want) = live.swap_remove(k % live.len());
+                        prop_assert_eq!(wheel.stop_timer(a), Ok(want));
+                        prop_assert_eq!(oracle.stop_timer(b), Ok(want));
+                    }
+                }
+                Op::Tick => {
+                    let mut fa = Vec::new();
+                    wheel.tick(&mut |e| fa.push((e.payload, e.error())));
+                    let mut fb = Vec::new();
+                    oracle.tick(&mut |e| fb.push((e.payload, e.error())));
+                    fa.sort_unstable();
+                    fb.sort_unstable();
+                    prop_assert_eq!(&fa, &fb);
+                    live.retain(|(_, _, i)| !fa.iter().any(|(p, _)| p == i));
+                }
+            }
+            prop_assert_eq!(wheel.outstanding(), oracle.outstanding());
+        }
+        // Drain.
+        let mut guard = 0;
+        while wheel.outstanding() > 0 {
+            let mut fa = Vec::new();
+            wheel.tick(&mut |e| fa.push((e.payload, e.error())));
+            let mut fb = Vec::new();
+            oracle.tick(&mut |e| fb.push((e.payload, e.error())));
+            fa.sort_unstable();
+            fb.sort_unstable();
+            prop_assert_eq!(&fa, &fb);
+            guard += 1;
+            prop_assert!(guard < 100_000);
+        }
+    }
+
+    /// Event-driven (clock jumps) and tick-driven (clock steps) dispatch
+    /// the same `(time, event)` sequence for any static workload, and for
+    /// self-rescheduling chains.
+    #[test]
+    fn time_flow_mechanisms_agree(
+        delays in proptest::collection::vec((1u64..500, 0u64..1000), 1..60),
+        chain_every in 1u64..5,
+    ) {
+        let horizon = Tick(800);
+        let mut ed: EventDrivenDes<u64> = EventDrivenDes::new();
+        let mut td = TickDrivenDes::new(OracleScheme::<u64>::new());
+        for &(d, tag) in &delays {
+            ed.schedule(TickDelta(d), tag).unwrap();
+            td.schedule(TickDelta(d), tag).unwrap();
+        }
+        let mut a = Vec::new();
+        ed.run_until(horizon, |des, e| {
+            a.push((des.now().as_u64(), e));
+            if e % chain_every == 0 {
+                // Follow-up events exercise in-dispatch scheduling.
+                let _ = des.schedule(TickDelta(e % 97 + 1), e + 10_000);
+            }
+        });
+        let mut b = Vec::new();
+        td.run_until(horizon, |des, e| {
+            b.push((des.now().as_u64(), e));
+            if e % chain_every == 0 {
+                let _ = des.schedule(TickDelta(e % 97 + 1), e + 10_000);
+            }
+        });
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(ed.processed(), td.processed());
+    }
+}

@@ -1,0 +1,22 @@
+//! Networking substrate for the timing-wheels workspace — the paper's §1
+//! motivating workloads, runnable over any timer scheme.
+//!
+//! * [`transport`] — a reliable stop-and-wait transport over a lossy
+//!   network: per-connection retransmission, keepalive, delayed-ack and
+//!   time-wait timers (the "server with 200 connections and 3 timers per
+//!   connection" scenario).
+//! * [`gbn`] — a Go-Back-N sliding-window transport: one long-lived,
+//!   repeatedly restarted retransmission timer per connection, goodput
+//!   scaling with the bandwidth-delay product.
+//! * [`rate`] — token-bucket rate-based flow control, the "timers that
+//!   almost always expire" class.
+
+#![warn(missing_docs)]
+
+pub mod gbn;
+pub mod rate;
+pub mod transport;
+
+pub use gbn::{GbnConfig, GbnEvent, GbnMetrics, GbnSim};
+pub use rate::{run_rate_control, RateConfig, RateReport, TokenBucket};
+pub use transport::{Event, NetConfig, NetMetrics, NetSim, TimerKind};

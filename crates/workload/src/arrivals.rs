@@ -1,0 +1,150 @@
+//! Arrival processes: when `START_TIMER` calls hit the module.
+//!
+//! The §3.2 / Figure 3 analysis models the timer module as a G/G/∞ queue —
+//! arrivals with density `a(t)`, service times drawn from the interval
+//! distribution. Its closed forms assume Poisson arrivals; the other
+//! processes here exist to stress burstiness.
+
+use rand::Rng;
+
+/// An arrival process generating inter-arrival gaps in ticks.
+///
+/// A gap of `g` means the next `START_TIMER` lands `g` ticks after the
+/// previous one; gaps of 0 mean several starts within the same tick.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Poisson with the given rate (starts per tick); inter-arrival gaps are
+    /// exponential with mean `1/rate`, discretized by rounding down (so a
+    /// rate ≥ 1 produces many same-tick arrivals, as it should).
+    Poisson {
+        /// Expected starts per tick (> 0).
+        rate: f64,
+    },
+    /// One start every `gap` ticks exactly.
+    Deterministic {
+        /// Fixed inter-arrival gap in ticks.
+        gap: u64,
+    },
+    /// On/off bursts: `burst_len` consecutive same-tick starts, then an idle
+    /// gap of `idle` ticks.
+    Bursty {
+        /// Starts per burst (≥ 1).
+        burst_len: u64,
+        /// Idle ticks between bursts (≥ 1).
+        idle: u64,
+    },
+}
+
+/// Stateful generator over an [`ArrivalProcess`].
+#[derive(Debug, Clone)]
+pub struct Arrivals {
+    process: ArrivalProcess,
+    /// Position within the current burst (Bursty only).
+    burst_pos: u64,
+    /// Fractional tick carried between Poisson gaps so discretization does
+    /// not bias the long-run rate.
+    carry: f64,
+}
+
+impl Arrivals {
+    /// Creates a generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (non-positive rate, zero gap/burst).
+    #[must_use]
+    pub fn new(process: ArrivalProcess) -> Arrivals {
+        match &process {
+            ArrivalProcess::Poisson { rate } => assert!(*rate > 0.0, "rate must be positive"),
+            ArrivalProcess::Deterministic { gap } => assert!(*gap >= 1, "gap must be ≥ 1"),
+            ArrivalProcess::Bursty { burst_len, idle } => {
+                assert!(
+                    *burst_len >= 1 && *idle >= 1,
+                    "burst parameters must be ≥ 1"
+                );
+            }
+        }
+        Arrivals {
+            process,
+            burst_pos: 0,
+            carry: 0.0,
+        }
+    }
+
+    /// Returns the gap (in ticks) before the next arrival.
+    pub fn next_gap<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        match self.process {
+            ArrivalProcess::Poisson { rate } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let t = self.carry + (-u.ln() / rate);
+                let gap = t.floor();
+                self.carry = t - gap;
+                gap as u64
+            }
+            ArrivalProcess::Deterministic { gap } => gap,
+            ArrivalProcess::Bursty { burst_len, idle } => {
+                self.burst_pos += 1;
+                if self.burst_pos >= burst_len {
+                    self.burst_pos = 0;
+                    idle
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// The long-run arrival rate in starts per tick.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        match self.process {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::Deterministic { gap } => 1.0 / gap as f64,
+            ArrivalProcess::Bursty { burst_len, idle } => burst_len as f64 / idle as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_rate_matches() {
+        let mut a = Arrivals::new(ArrivalProcess::Poisson { rate: 0.25 });
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| a.next_gap(&mut rng)).sum();
+        let rate = n as f64 / total as f64;
+        assert!((rate - 0.25).abs() / 0.25 < 0.05, "rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let mut a = Arrivals::new(ArrivalProcess::Deterministic { gap: 7 });
+        let mut rng = SmallRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(a.next_gap(&mut rng), 7);
+        }
+        assert!((a.rate() - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bursty_alternates() {
+        let mut a = Arrivals::new(ArrivalProcess::Bursty {
+            burst_len: 3,
+            idle: 10,
+        });
+        let mut rng = SmallRng::seed_from_u64(0);
+        let gaps: Vec<u64> = (0..9).map(|_| a.next_gap(&mut rng)).collect();
+        assert_eq!(gaps, vec![0, 0, 10, 0, 0, 10, 0, 0, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn invalid_rate_rejected() {
+        let _ = Arrivals::new(ArrivalProcess::Poisson { rate: 0.0 });
+    }
+}

@@ -1,0 +1,231 @@
+//! Timer-interval distributions.
+//!
+//! §3.2's average-latency analysis is parameterized by "the distribution of
+//! timer intervals (from time started to time stopped)"; its closed forms
+//! cover the negative exponential and uniform cases. This module supplies
+//! those plus the distributions that stress the schemes differently:
+//! constant intervals (degenerate BSTs, O(1) rear inserts), Pareto heavy
+//! tails (deep hierarchies), geometric, and a bimodal mix modelling the §1
+//! workload split between fast retransmission timers and slow
+//! failure-detection timers.
+//!
+//! Samples are discretized to at least one tick, since `START_TIMER` rejects
+//! zero intervals.
+
+use rand::Rng;
+use tw_core::TickDelta;
+
+/// A distribution of timer intervals, sampled in whole ticks (≥ 1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntervalDist {
+    /// Every timer has the same interval.
+    Constant(u64),
+    /// Uniform on `[lo, hi]` inclusive.
+    Uniform {
+        /// Smallest interval (≥ 1).
+        lo: u64,
+        /// Largest interval (≥ `lo`).
+        hi: u64,
+    },
+    /// Negative exponential with the given mean (the §3.2 analysis case).
+    Exponential {
+        /// Mean interval in ticks.
+        mean: f64,
+    },
+    /// Geometric: number of Bernoulli(p) trials until success.
+    Geometric {
+        /// Per-tick success probability in `(0, 1]`.
+        p: f64,
+    },
+    /// Pareto (heavy tail) with shape `alpha` and minimum `min`.
+    Pareto {
+        /// Tail index; smaller means heavier tail (> 0).
+        alpha: f64,
+        /// Minimum interval in ticks (≥ 1).
+        min: u64,
+    },
+    /// Two-point mixture: `fast` with probability `p_fast`, else `slow` —
+    /// retransmission timers vs. failure-detection timers (§1).
+    Bimodal {
+        /// The short interval.
+        fast: u64,
+        /// The long interval.
+        slow: u64,
+        /// Probability of drawing `fast`.
+        p_fast: f64,
+    },
+}
+
+impl IntervalDist {
+    /// Draws one interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution parameters are invalid (zero constant,
+    /// `lo > hi`, non-positive mean/alpha, `p` outside `(0, 1]`).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> TickDelta {
+        let ticks = match *self {
+            IntervalDist::Constant(c) => {
+                assert!(c >= 1, "constant interval must be at least one tick");
+                c
+            }
+            IntervalDist::Uniform { lo, hi } => {
+                assert!(lo >= 1 && lo <= hi, "invalid uniform bounds");
+                rng.gen_range(lo..=hi)
+            }
+            IntervalDist::Exponential { mean } => {
+                assert!(mean > 0.0, "exponential mean must be positive");
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                (-mean * u.ln()).ceil().max(1.0) as u64
+            }
+            IntervalDist::Geometric { p } => {
+                assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1]");
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                ((u.ln() / (1.0 - p).max(f64::MIN_POSITIVE).ln())
+                    .ceil()
+                    .max(1.0)) as u64
+            }
+            IntervalDist::Pareto { alpha, min } => {
+                assert!(alpha > 0.0 && min >= 1, "invalid pareto parameters");
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let x = min as f64 / u.powf(1.0 / alpha);
+                x.ceil().min(u64::MAX as f64) as u64
+            }
+            IntervalDist::Bimodal { fast, slow, p_fast } => {
+                assert!(fast >= 1 && slow >= 1, "bimodal intervals must be ≥ 1");
+                assert!((0.0..=1.0).contains(&p_fast), "p_fast must be in [0, 1]");
+                if rng.gen_bool(p_fast) {
+                    fast
+                } else {
+                    slow
+                }
+            }
+        };
+        TickDelta(ticks)
+    }
+
+    /// The distribution's theoretical mean in ticks (of the continuous
+    /// version; the ceil-discretization adds up to one tick of bias).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            IntervalDist::Constant(c) => c as f64,
+            IntervalDist::Uniform { lo, hi } => (lo + hi) as f64 / 2.0,
+            IntervalDist::Exponential { mean } => mean,
+            IntervalDist::Geometric { p } => 1.0 / p,
+            IntervalDist::Pareto { alpha, min } => {
+                if alpha <= 1.0 {
+                    f64::INFINITY
+                } else {
+                    alpha * min as f64 / (alpha - 1.0)
+                }
+            }
+            IntervalDist::Bimodal { fast, slow, p_fast } => {
+                p_fast * fast as f64 + (1.0 - p_fast) * slow as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn empirical_mean(d: &IntervalDist, n: usize) -> f64 {
+        let mut rng = SmallRng::seed_from_u64(42);
+        (0..n)
+            .map(|_| d.sample(&mut rng).as_u64() as f64)
+            .sum::<f64>()
+            / n as f64
+    }
+
+    #[test]
+    fn all_samples_at_least_one_tick() {
+        let dists = [
+            IntervalDist::Constant(1),
+            IntervalDist::Uniform { lo: 1, hi: 3 },
+            IntervalDist::Exponential { mean: 0.3 },
+            IntervalDist::Geometric { p: 0.9 },
+            IntervalDist::Pareto { alpha: 3.0, min: 1 },
+            IntervalDist::Bimodal {
+                fast: 1,
+                slow: 2,
+                p_fast: 0.5,
+            },
+        ];
+        let mut rng = SmallRng::seed_from_u64(7);
+        for d in &dists {
+            for _ in 0..1000 {
+                assert!(d.sample(&mut rng).as_u64() >= 1, "{d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_means_track_theory() {
+        let cases = [
+            (IntervalDist::Constant(50), 50.0),
+            (IntervalDist::Uniform { lo: 10, hi: 90 }, 50.0),
+            (IntervalDist::Exponential { mean: 50.0 }, 50.0),
+            (IntervalDist::Geometric { p: 0.02 }, 50.0),
+            (
+                IntervalDist::Bimodal {
+                    fast: 10,
+                    slow: 90,
+                    p_fast: 0.5,
+                },
+                50.0,
+            ),
+        ];
+        for (d, want) in cases {
+            let got = empirical_mean(&d, 50_000);
+            assert!(
+                (got - want).abs() / want < 0.05,
+                "{d:?}: mean {got} vs {want}"
+            );
+            assert!((d.mean() - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pareto_heavy_tail() {
+        let d = IntervalDist::Pareto {
+            alpha: 1.5,
+            min: 10,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let samples: Vec<u64> = (0..20_000).map(|_| d.sample(&mut rng).as_u64()).collect();
+        let max = *samples.iter().max().unwrap();
+        let med = {
+            let mut s = samples.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        assert!(max > med * 50, "tail not heavy: max {max}, median {med}");
+        assert!(samples.iter().all(|&s| s >= 10));
+        assert!(IntervalDist::Pareto { alpha: 0.9, min: 1 }
+            .mean()
+            .is_infinite());
+    }
+
+    #[test]
+    fn uniform_covers_bounds() {
+        let d = IntervalDist::Uniform { lo: 2, hi: 4 };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[d.sample(&mut rng).as_u64() as usize] = true;
+        }
+        assert_eq!(&seen[2..=4], &[true, true, true]);
+        assert!(!seen[0] && !seen[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid uniform bounds")]
+    fn invalid_uniform_rejected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        IntervalDist::Uniform { lo: 5, hi: 2 }.sample(&mut rng);
+    }
+}

@@ -1,0 +1,24 @@
+//! Workload generation and analysis for the timing-wheel experiments.
+//!
+//! * [`dist`] — timer-interval distributions (§3.2's exponential/uniform
+//!   analysis cases plus stress distributions).
+//! * [`arrivals`] — `START_TIMER` arrival processes (Poisson for the
+//!   Figure 3 G/G/∞ model, deterministic and bursty for stress).
+//! * [`trace`] — deterministic operation traces and the replay driver every
+//!   comparative experiment runs on.
+//! * [`stats`] — online moments, percentiles, log histograms.
+//! * [`theory`] — the paper's closed forms (insert costs, Little's law,
+//!   residual life, `4 + 15·n/TableSize`, the §6.2 crossover rule).
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod dist;
+pub mod stats;
+pub mod theory;
+pub mod trace;
+
+pub use arrivals::{ArrivalProcess, Arrivals};
+pub use dist::IntervalDist;
+pub use stats::{percentile, LogHistogram, OnlineStats};
+pub use trace::{replay, ReplayReport, Trace, TraceConfig, TraceOp};

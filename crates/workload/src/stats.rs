@@ -1,0 +1,236 @@
+//! Small statistics toolkit for the experiment harness: online moments,
+//! percentiles, and log-bucketed histograms.
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> OnlineStats {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0.0 with fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of the data by nearest-rank on a
+/// sorted copy.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn percentile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "percentile of empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile data"));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Histogram with power-of-two buckets: bucket `i` counts values in
+/// `[2^i, 2^(i+1))`, with a dedicated bucket for zero.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    zero: u64,
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            zero: 0,
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        if value == 0 {
+            self.zero += 1;
+        } else {
+            self.buckets[(63 - value.leading_zeros()) as usize] += 1;
+        }
+    }
+
+    /// Total recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Count of zero values.
+    #[must_use]
+    pub fn zeros(&self) -> u64 {
+        self.zero
+    }
+
+    /// Iterates non-empty buckets as `(lower_bound, count)` pairs, zeros
+    /// first.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let zero = (self.zero > 0).then_some((0u64, self.zero));
+        zero.into_iter().chain(
+            self.buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (1u64 << i, c)),
+        )
+    }
+
+    /// Approximate maximum recorded value (upper bound of the highest
+    /// non-empty bucket), or 0 if only zeros/nothing recorded.
+    #[must_use]
+    pub fn approx_max(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| (1u64 << i) * 2 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_moments() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let data: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&data, 0.50), 50.0);
+        assert_eq!(percentile(&data, 0.99), 99.0);
+        assert_eq!(percentile(&data, 1.0), 100.0);
+        assert_eq!(percentile(&data, 0.0), 1.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data")]
+    fn percentile_empty_panics() {
+        let _ = percentile(&[], 0.5);
+    }
+
+    #[test]
+    fn log_histogram_buckets() {
+        let mut h = LogHistogram::new();
+        for v in [0, 0, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.zeros(), 2);
+        let buckets: Vec<(u64, u64)> = h.iter().collect();
+        assert_eq!(
+            buckets,
+            vec![(0, 2), (1, 1), (2, 2), (4, 2), (8, 1), (512, 1)]
+        );
+        assert_eq!(h.approx_max(), 1023);
+    }
+
+    #[test]
+    fn log_histogram_empty() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.approx_max(), 0);
+        assert_eq!(h.iter().count(), 0);
+    }
+}

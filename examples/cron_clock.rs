@@ -1,0 +1,86 @@
+//! The paper's §6.2 worked example, live: a hierarchical wheel shaped like
+//! a clock (60 s / 60 m / 24 h / 100 d — 244 slots spanning 8.64 million
+//! seconds) with timers that migrate between arrays as in Figures 10–11.
+//!
+//! Run with `cargo run --release --example cron_clock`.
+
+use timing_wheels::prelude::*;
+
+fn hms(ticks: u64) -> String {
+    let (d, r) = (ticks / 86_400, ticks % 86_400);
+    format!("{d}d {:02}:{:02}:{:02}", r / 3600, (r % 3600) / 60, r % 60)
+}
+
+fn main() {
+    // Levels, finest first: seconds, minutes, hours, days.
+    let mut wheel: HierarchicalWheel<&str> = HierarchicalWheel::new(LevelSizes::clock());
+    println!(
+        "clock hierarchy: 60+60+24+100 = 244 slots, range {} ticks ({})",
+        wheel.max_interval(),
+        hms(wheel.max_interval().as_u64()),
+    );
+
+    // Fast-forward to the paper's moment: 11 days, 10:24:30.
+    let now = ((11 * 24 + 10) * 60 + 24) * 60 + 30;
+    wheel.run_ticks(now);
+    println!("current time: {}", hms(wheel.now().as_u64()));
+
+    // "To set a timer of 50 minutes and 45 seconds …"
+    let h = wheel
+        .start_timer(TickDelta(50 * 60 + 45), "the §6.2 timer")
+        .unwrap();
+    let (level, slot) = wheel.locate(h).expect("just started");
+    let names = ["second", "minute", "hour", "day"];
+    println!(
+        "timer for +50m45s lands in the {} array, slot {slot} (Figure 10)",
+        names[level]
+    );
+
+    // Watch it migrate toward the second array.
+    let mut last = (level, slot);
+    let mut fired_at = None;
+    while fired_at.is_none() {
+        wheel.tick(&mut |e| fired_at = Some(e.fired_at));
+        if let Some(loc) = wheel.locate(h) {
+            if loc != last {
+                println!(
+                    "t={}  migrated to the {} array, slot {} (Figure 11)",
+                    hms(wheel.now().as_u64()),
+                    names[loc.0],
+                    loc.1
+                );
+                last = loc;
+            }
+        }
+    }
+    let fired_at = fired_at.unwrap();
+    println!(
+        "fired at {} — exactly 11d 11:15:15, error 0 ticks",
+        hms(fired_at.as_u64())
+    );
+    assert_eq!(fired_at.as_u64(), now + 50 * 60 + 45);
+
+    // A handful of cron-style jobs across very different scales share the
+    // same 244 slots.
+    println!("\ncron-style jobs:");
+    for (label, interval) in [
+        ("heartbeat in 5 s", 5u64),
+        ("session timeout in 30 m", 30 * 60),
+        ("daily report in 24 h", 24 * 3600),
+        ("cert renewal in 90 d", 90 * 86_400),
+    ] {
+        wheel.start_timer(TickDelta(interval), label).unwrap();
+    }
+    let mut fired = Vec::new();
+    while wheel.outstanding() > 0 {
+        wheel.tick(&mut |e| fired.push(e));
+    }
+    for e in fired {
+        println!(
+            "  {}  {}  (error {})",
+            hms(e.fired_at.as_u64()),
+            e.payload,
+            e.error()
+        );
+    }
+}

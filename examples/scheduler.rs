@@ -1,0 +1,133 @@
+//! A preemptive round-robin CPU scheduler driven by quantum timers — the
+//! §1 "scheduling algorithms" class of timer use, where the timer *always*
+//! expires unless the process blocks first.
+//!
+//! Each running process gets a quantum timer; if it blocks for simulated
+//! I/O before the quantum ends, the timer is stopped (the §1 "stopped
+//! before expiry" path); otherwise the expiry preempts it. I/O completions
+//! are timers too.
+//!
+//! Run with `cargo run --release --example scheduler`.
+
+use std::collections::VecDeque;
+
+use timing_wheels::prelude::*;
+
+const QUANTUM: u64 = 50;
+const PROCS: usize = 6;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    QuantumExpired(usize),
+    IoDone(usize),
+}
+
+struct Proc {
+    remaining_cpu: u64,
+    cpu_got: u64,
+    io_every: u64, // blocks after this much CPU (0 = CPU-bound)
+    since_io: u64,
+    preemptions: u64,
+    io_waits: u64,
+}
+
+fn main() {
+    let mut timers: HashedWheelUnsorted<Ev> = HashedWheelUnsorted::new(128);
+    let mut procs: Vec<Proc> = (0..PROCS)
+        .map(|i| Proc {
+            remaining_cpu: 2_000,
+            cpu_got: 0,
+            io_every: if i % 2 == 0 { 0 } else { 120 }, // half I/O-bound
+            since_io: 0,
+            preemptions: 0,
+            io_waits: 0,
+        })
+        .collect();
+    let mut ready: VecDeque<usize> = (0..PROCS).collect();
+    let mut running: Option<(usize, TimerHandle, u64)> = None; // (pid, quantum timer, slice start)
+    let mut finished = 0usize;
+    let mut idle_ticks = 0u64;
+
+    while finished < PROCS {
+        // Dispatch if the CPU is free.
+        if running.is_none() {
+            if let Some(pid) = ready.pop_front() {
+                let h = timers
+                    .start_timer(TickDelta(QUANTUM), Ev::QuantumExpired(pid))
+                    .unwrap();
+                running = Some((pid, h, timers.now().as_u64()));
+            } else {
+                idle_ticks += 1;
+            }
+        }
+        // One tick of CPU time (and of the clock).
+        let mut fired = Vec::new();
+        timers.tick(&mut |e| fired.push(e.payload));
+
+        // Account the running process's progress for this tick.
+        let mut block_for_io = None;
+        if let Some((pid, _, _)) = running {
+            let p = &mut procs[pid];
+            p.remaining_cpu -= 1;
+            p.cpu_got += 1;
+            p.since_io += 1;
+            if p.remaining_cpu == 0 {
+                finished += 1;
+                block_for_io = Some((pid, true));
+            } else if p.io_every > 0 && p.since_io >= p.io_every {
+                block_for_io = Some((pid, false));
+            }
+        }
+        if let Some((pid, done)) = block_for_io {
+            let (_, quantum, _) = running.take().expect("pid was running");
+            // The process left the CPU voluntarily: stop its quantum timer
+            // (the ack-arrived path of §1).
+            let _ = timers.stop_timer(quantum);
+            if !done {
+                let p = &mut procs[pid];
+                p.since_io = 0;
+                p.io_waits += 1;
+                timers
+                    .start_timer(TickDelta(30 + (pid as u64 * 7) % 40), Ev::IoDone(pid))
+                    .unwrap();
+            }
+        }
+        for ev in fired {
+            match ev {
+                Ev::QuantumExpired(pid) => {
+                    // Only meaningful if that process is still on the CPU.
+                    if let Some((cur, _, _)) = running {
+                        if cur == pid {
+                            running = None;
+                            procs[pid].preemptions += 1;
+                            ready.push_back(pid);
+                        }
+                    }
+                }
+                Ev::IoDone(pid) => ready.push_back(pid),
+            }
+        }
+    }
+
+    println!("round-robin over a Scheme 6 wheel: quantum={QUANTUM}, {PROCS} processes\n");
+    println!(
+        "{:>4} {:>9} {:>8} {:>12} {:>9}",
+        "pid", "cpu", "io", "preemptions", "profile"
+    );
+    for (pid, p) in procs.iter().enumerate() {
+        println!(
+            "{pid:>4} {:>9} {:>8} {:>12} {:>9}",
+            p.cpu_got,
+            p.io_waits,
+            p.preemptions,
+            if p.io_every == 0 { "cpu" } else { "io" }
+        );
+    }
+    let c = timers.counters();
+    println!(
+        "\ntotal ticks {} (idle {idle_ticks}); timer starts {}, stops {}, expiries {}",
+        c.ticks, c.starts, c.stops, c.expiries
+    );
+    println!("CPU-bound processes burn full quanta (timers expire); I/O-bound ones");
+    println!("stop their quantum timers early — both §1 regimes in one scheduler.");
+}

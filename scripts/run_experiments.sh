@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure/table (see DESIGN.md §3 for the index).
+# Usage: scripts/run_experiments.sh [output-dir]
+set -euo pipefail
+out="${1:-experiments-out}"
+mkdir -p "$out"
+bins=(fig3_queueing fig4_scheme12 fig6_trees fig7_simwheel sec7_vax \
+      sec6_crossover burstiness precision hw_interrupts smp all_schemes \
+      ablation_insert_rule protocols soak)
+for b in "${bins[@]}"; do
+  echo "== $b"
+  cargo run --quiet --release -p tw-bench --bin "$b" | tee "$out/$b.txt"
+done
+echo "All experiment outputs written to $out/"

@@ -1,0 +1,69 @@
+//! # timing-wheels
+//!
+//! A complete Rust reproduction of George Varghese and Tony Lauck, *"Hashed
+//! and Hierarchical Timing Wheels: Data Structures for the Efficient
+//! Implementation of a Timer Facility"* (SOSP 1987): all seven timer
+//! schemes, the substrates the paper draws on (discrete event simulation,
+//! a transport protocol, hardware assist, SMP variants), and a benchmark
+//! harness regenerating every figure and table.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `tw-core` | the `TimerScheme` model, Schemes 4–7 (the wheels), arena, counters, oracle |
+//! | [`baselines`] | `tw-baselines` | Schemes 1–3 and the classic delta list |
+//! | [`workload`] | `tw-workload` | distributions, arrivals, traces, stats, queueing theory |
+//! | [`des`] | `tw-des` | §4.2 time-flow mechanisms, the Figure 7 sim wheel, a logic simulator |
+//! | [`netsim`] | `tw-netsim` | the §1 transport workload and rate-based flow control |
+//! | [`hwsim`] | `tw-hwsim` | Appendix A.1 hardware-assist interrupt models |
+//! | [`concurrent`] | `tw-concurrent` | Appendix A.2: coarse lock, sharded wheel, timer service |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use timing_wheels::prelude::*;
+//!
+//! // Scheme 6: a 256-slot hashed wheel, O(1) start/stop, any interval size.
+//! let mut timers: HashedWheelUnsorted<&str> = HashedWheelUnsorted::new(256);
+//! let ack = timers.start_timer(TickDelta(150), "retransmit pkt 7").unwrap();
+//! timers.start_timer(TickDelta(1_000_000), "connection keepalive").unwrap();
+//!
+//! // The ack arrived in time: cancel the retransmission.
+//! timers.stop_timer(ack).unwrap();
+//!
+//! // Drive PER_TICK_BOOKKEEPING.
+//! let fired = timers.collect_ticks(1_000_000);
+//! assert_eq!(fired.len(), 1);
+//! assert_eq!(fired[0].payload, "connection keepalive");
+//! ```
+//!
+//! See `examples/` for runnable scenarios and DESIGN.md / EXPERIMENTS.md
+//! for the paper-reproduction index.
+
+#![warn(missing_docs)]
+
+pub use tw_baselines as baselines;
+pub use tw_concurrent as concurrent;
+pub use tw_core as core;
+pub use tw_des as des;
+pub use tw_hwsim as hwsim;
+pub use tw_netsim as netsim;
+pub use tw_workload as workload;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use tw_baselines::{
+        BinaryHeapScheme, DeltaListScheme, LeftistScheme, OrderedListScheme, SearchFrom,
+        UnbalancedBstScheme, UnorderedScheme,
+    };
+    pub use tw_core::facility::{ExpiryAction, TimerFacility};
+    pub use tw_core::wheel::{
+        BasicWheel, ClockworkWheel, HashedWheelSorted, HashedWheelUnsorted, HierarchicalWheel,
+        HybridWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy,
+    };
+    pub use tw_core::{
+        DeadlinePeek, Expired, OracleScheme, RequestId, Tick, TickDelta, TimerError, TimerHandle,
+        TimerScheme, TimerSchemeExt,
+    };
+}

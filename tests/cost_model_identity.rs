@@ -1,0 +1,107 @@
+//! The §7 instruction accounting must be an exact identity, not an
+//! approximation: every scheme's `vax_instructions` decomposes into the
+//! model constants times the event counters. This pins the cost model the
+//! `sec7_vax` experiment relies on.
+
+use timing_wheels::prelude::*;
+use tw_workload::{replay, ArrivalProcess, IntervalDist, Trace, TraceConfig};
+
+fn churn_trace(seed: u64) -> Trace {
+    Trace::generate(&TraceConfig {
+        arrivals: ArrivalProcess::Poisson { rate: 1.5 },
+        intervals: IntervalDist::Uniform { lo: 1, hi: 700 },
+        stop_prob: 0.5,
+        horizon: 5_000,
+        seed,
+    })
+}
+
+/// insert=13, delete=7, skip=4, step=6, expire=9 (§7).
+fn flat_model(c: &tw_core::OpCounters) -> u64 {
+    13 * c.starts + 7 * c.stops + 4 * c.ticks + 6 * c.decrements + 9 * c.expiries
+}
+
+#[test]
+fn scheme1_identity() {
+    let mut s = UnorderedScheme::<u64>::new();
+    let r = replay(&mut s, &churn_trace(1), false);
+    assert_eq!(r.counters.vax_instructions, flat_model(&r.counters));
+}
+
+#[test]
+fn scheme2_identity_includes_search_steps() {
+    for search in [SearchFrom::Front, SearchFrom::Rear] {
+        let mut s = OrderedListScheme::<u64>::with_search(search);
+        let r = replay(&mut s, &churn_trace(2), false);
+        assert_eq!(
+            r.counters.vax_instructions,
+            flat_model(&r.counters) + 6 * r.counters.start_steps,
+            "{search:?}"
+        );
+    }
+}
+
+#[test]
+fn scheme6_identity() {
+    let mut s = HashedWheelUnsorted::<u64>::new(64);
+    let r = replay(&mut s, &churn_trace(3), false);
+    assert_eq!(r.counters.vax_instructions, flat_model(&r.counters));
+    // And the §7 derived decomposition of ticks.
+    assert_eq!(
+        r.counters.ticks,
+        r.counters.empty_slot_skips + r.counters.nonempty_slot_visits
+    );
+}
+
+#[test]
+fn scheme5_identity_includes_search_steps() {
+    let mut s = HashedWheelSorted::<u64>::new(64);
+    let r = replay(&mut s, &churn_trace(4), false);
+    assert_eq!(
+        r.counters.vax_instructions,
+        flat_model(&r.counters) + 6 * r.counters.start_steps
+    );
+}
+
+#[test]
+fn scheme7_identity_includes_migrations() {
+    let mut s = HierarchicalWheel::<u64>::new(LevelSizes(vec![16, 16, 16]));
+    let r = replay(&mut s, &churn_trace(5), false);
+    // Migrations are re-inserts (13 each); level visits charge a skip each,
+    // so ticks alone do not bound the 4s — use the recorded slot visits.
+    assert_eq!(
+        r.counters.vax_instructions,
+        13 * r.counters.starts
+            + 13 * r.counters.migrations
+            + 7 * r.counters.stops
+            + 4 * (r.counters.empty_slot_skips + r.counters.nonempty_slot_visits)
+            + 6 * r.counters.decrements
+            + 9 * r.counters.expiries
+    );
+}
+
+#[test]
+fn every_zoo_scheme_counts_all_its_ticks() {
+    let trace = churn_trace(6);
+    for mut s in tw_bench::scheme_zoo(1 << 12, 64) {
+        let r = replay(s.as_mut(), &trace, false);
+        assert_eq!(r.counters.ticks, trace.ticks, "{}", r.scheme);
+        assert_eq!(r.counters.starts, trace.starts, "{}", r.scheme);
+        assert_eq!(r.counters.stops, trace.stops, "{}", r.scheme);
+        // Timers still outstanding at the horizon drain afterwards; the
+        // ledger must balance exactly.
+        let mut drained = 0u64;
+        let mut guard = 0u64;
+        while s.outstanding() > 0 {
+            s.tick(&mut |_| drained += 1);
+            guard += 1;
+            assert!(guard < 100_000, "{}: drain stuck", r.scheme);
+        }
+        assert_eq!(
+            r.counters.expiries + drained,
+            trace.starts - trace.stops,
+            "{}: every non-stopped timer fires exactly once",
+            r.scheme
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! End-to-end integration across the substrates: the transport simulation,
+//! the logic simulator, the hardware-assist accounting and the timer
+//! service each running over multiple timer schemes.
+
+use timing_wheels::des::{Circuit, GateKind, LogicSim, RotationPolicy, SimWheel};
+use timing_wheels::hwsim::{run_with_assist, AssistModel};
+use timing_wheels::netsim::{NetConfig, NetSim};
+use timing_wheels::prelude::*;
+use tw_concurrent::TimerService;
+use tw_workload::{ArrivalProcess, IntervalDist, Trace, TraceConfig};
+
+#[test]
+fn transport_completes_over_four_different_schemes() {
+    let cfg = NetConfig {
+        loss: 0.1,
+        segments_per_conn: 10,
+        ..NetConfig::default()
+    };
+    let run = |m: &mut dyn FnMut() -> u64| m();
+    let horizon = Tick(3_000_000);
+
+    let mut a = NetSim::new(HashedWheelUnsorted::new(256), 12, cfg.clone());
+    let mut b = NetSim::new(
+        HierarchicalWheel::new(LevelSizes(vec![32, 32, 32])),
+        12,
+        cfg.clone(),
+    );
+    let mut c = NetSim::new(BinaryHeapScheme::new(), 12, cfg.clone());
+    let mut d = NetSim::new(OrderedListScheme::new(), 12, cfg);
+    for (closed, delivered) in [
+        run(&mut || {
+            let m = a.run(horizon);
+            m.closed * 1_000_000 + m.delivered
+        }),
+        run(&mut || {
+            let m = b.run(horizon);
+            m.closed * 1_000_000 + m.delivered
+        }),
+        run(&mut || {
+            let m = c.run(horizon);
+            m.closed * 1_000_000 + m.delivered
+        }),
+        run(&mut || {
+            let m = d.run(horizon);
+            m.closed * 1_000_000 + m.delivered
+        }),
+    ]
+    .into_iter()
+    .map(|packed| (packed / 1_000_000, packed % 1_000_000))
+    {
+        assert_eq!(closed, 12);
+        assert_eq!(delivered, 120);
+    }
+}
+
+#[test]
+fn logic_adder_consistent_across_schedulers() {
+    // The same circuit settles to the same outputs whichever timer scheme
+    // schedules its gate evaluations (§4.2's interchangeability).
+    fn build_and_run<S: TimerScheme<u32>>(scheme: S, av: u64, bv: u64) -> u64 {
+        let mut c = Circuit::new();
+        let a: Vec<_> = (0..4).map(|_| c.net()).collect();
+        let b: Vec<_> = (0..4).map(|_| c.net()).collect();
+        let zero = c.net();
+        let mut carry = zero;
+        let mut sums = Vec::new();
+        for i in 0..4 {
+            let axb = c.gate(GateKind::Xor, &[a[i], b[i]], 1);
+            let sum = c.gate(GateKind::Xor, &[axb, carry], 1);
+            let and1 = c.gate(GateKind::And, &[a[i], b[i]], 1);
+            let and2 = c.gate(GateKind::And, &[axb, carry], 1);
+            carry = c.gate(GateKind::Or, &[and1, and2], 1);
+            sums.push(sum);
+        }
+        let mut sim = LogicSim::new(c, scheme);
+        for i in 0..4 {
+            sim.set_input(a[i], (av >> i) & 1 != 0);
+            sim.set_input(b[i], (bv >> i) & 1 != 0);
+        }
+        sim.initialize();
+        sim.settle(10_000);
+        let mut got = 0u64;
+        for (i, &s) in sums.iter().enumerate() {
+            got |= u64::from(sim.value(s)) << i;
+        }
+        got | (u64::from(sim.value(carry)) << 4)
+    }
+
+    for (av, bv) in [(11u64, 6u64), (15, 15), (0, 13)] {
+        let want = av + bv;
+        assert_eq!(
+            build_and_run(SimWheel::new(32, RotationPolicy::OnWrap), av, bv),
+            want
+        );
+        assert_eq!(
+            build_and_run(SimWheel::new(32, RotationPolicy::Halfway), av, bv),
+            want
+        );
+        assert_eq!(build_and_run(HashedWheelUnsorted::new(8), av, bv), want);
+        assert_eq!(build_and_run(BasicWheel::new(16), av, bv), want);
+        assert_eq!(build_and_run(OracleScheme::new(), av, bv), want);
+    }
+}
+
+#[test]
+fn hardware_assist_orderings_hold() {
+    let trace = Trace::generate(&TraceConfig {
+        arrivals: ArrivalProcess::Poisson { rate: 0.05 },
+        intervals: IntervalDist::Uniform { lo: 500, hi: 1_500 },
+        stop_prob: 0.0,
+        horizon: 30_000,
+        seed: 8,
+    });
+    let mut none_scheme = HashedWheelUnsorted::<u64>::new(128);
+    let none = run_with_assist(&mut none_scheme, &trace, AssistModel::None);
+    let mut chip_scheme = HashedWheelUnsorted::<u64>::new(128);
+    let chip = run_with_assist(&mut chip_scheme, &trace, AssistModel::FullChip);
+    let mut busy_small = HashedWheelUnsorted::<u64>::new(32);
+    let bs = run_with_assist(&mut busy_small, &trace, AssistModel::BusyBit);
+    let mut busy_big = HashedWheelUnsorted::<u64>::new(1024);
+    let bb = run_with_assist(&mut busy_big, &trace, AssistModel::BusyBit);
+    let mut hier = HierarchicalWheel::<u64>::new(LevelSizes(vec![16, 16, 16]));
+    let h = run_with_assist(&mut hier, &trace, AssistModel::BusyBit);
+
+    // The Appendix A orderings: full chip ≪ busy-bit ≪ no assist, busy-bit
+    // improves with memory, and the hierarchy beats the flat wheel at a
+    // fraction of the memory.
+    assert!(chip.host_interrupts < bs.host_interrupts);
+    assert!(bb.host_interrupts < bs.host_interrupts);
+    assert!(bs.host_interrupts < none.host_interrupts);
+    assert!(h.host_interrupts < bs.host_interrupts);
+    assert_eq!(none.host_interrupts, none.ticks);
+}
+
+#[test]
+fn timer_service_over_three_schemes() {
+    for scheme in [0usize, 1, 2] {
+        let svc = match scheme {
+            0 => TimerService::spawn(HashedWheelUnsorted::<u64>::new(64)),
+            1 => TimerService::spawn(HierarchicalWheel::<u64>::new(LevelSizes(vec![16, 16]))),
+            _ => TimerService::spawn(OracleScheme::<u64>::new()),
+        };
+        for i in 0..20 {
+            svc.start_timer(i, TickDelta(i + 1)).unwrap();
+        }
+        assert_eq!(svc.advance(25), 20);
+        let mut fired: Vec<_> = svc.expiries().try_iter().map(|e| e.id).collect();
+        fired.sort_unstable();
+        assert_eq!(fired, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,112 @@
+//! The paper-exact §2 client interface (`START_TIMER(Interval, Request_ID,
+//! Expiry_Action)` / `STOP_TIMER(Request_ID)`) exercised over several
+//! underlying schemes end to end.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use timing_wheels::core::facility::{ExpiryAction, TimerFacility};
+use timing_wheels::prelude::*;
+
+fn exercise<S>(scheme: S)
+where
+    S: TimerScheme<(RequestId, ExpiryAction)>,
+{
+    let mut module = TimerFacility::new(scheme);
+    let flag = Arc::new(AtomicBool::new(false));
+    let count = Arc::new(AtomicU64::new(0));
+
+    // A callback action, a flag action, a no-op, and one timer to cancel.
+    let count2 = Arc::clone(&count);
+    module
+        .start_timer(
+            TickDelta(5),
+            RequestId(1),
+            ExpiryAction::Callback(Box::new(move |rid, info| {
+                assert_eq!(rid, RequestId(1));
+                assert_eq!(info.fired_at, info.deadline);
+                count2.fetch_add(1, Ordering::Relaxed);
+            })),
+        )
+        .unwrap();
+    module
+        .start_timer(
+            TickDelta(7),
+            RequestId(2),
+            ExpiryAction::SetFlag(Arc::clone(&flag)),
+        )
+        .unwrap();
+    module
+        .start_timer(TickDelta(9), RequestId(3), ExpiryAction::Nop)
+        .unwrap();
+    module
+        .start_timer(TickDelta(3), RequestId(4), ExpiryAction::Nop)
+        .unwrap();
+
+    // Duplicate ids are rejected while outstanding.
+    assert_eq!(
+        module.start_timer(TickDelta(5), RequestId(2), ExpiryAction::Nop),
+        Err(TimerError::DuplicateRequestId)
+    );
+
+    // STOP_TIMER by request id.
+    module.stop_timer(RequestId(4)).unwrap();
+    assert_eq!(
+        module.stop_timer(RequestId(4)),
+        Err(TimerError::UnknownRequestId)
+    );
+
+    let mut records = Vec::new();
+    for _ in 0..10 {
+        records.extend(module.per_tick_bookkeeping());
+    }
+    assert_eq!(records.len(), 3);
+    assert_eq!(
+        records.iter().map(|r| r.request_id.0).collect::<Vec<_>>(),
+        vec![1, 2, 3]
+    );
+    assert!(flag.load(Ordering::Relaxed));
+    assert_eq!(count.load(Ordering::Relaxed), 1);
+    assert_eq!(module.outstanding(), 0);
+
+    // Ids are reusable after expiry.
+    module
+        .start_timer(TickDelta(1), RequestId(1), ExpiryAction::Nop)
+        .unwrap();
+    assert_eq!(module.per_tick_bookkeeping().len(), 1);
+}
+
+#[test]
+fn facility_over_basic_wheel() {
+    exercise(BasicWheel::new(64));
+}
+
+#[test]
+fn facility_over_hashed_unsorted() {
+    exercise(HashedWheelUnsorted::new(16));
+}
+
+#[test]
+fn facility_over_hashed_sorted() {
+    exercise(HashedWheelSorted::new(16));
+}
+
+#[test]
+fn facility_over_hierarchical() {
+    exercise(HierarchicalWheel::new(LevelSizes(vec![8, 8])));
+}
+
+#[test]
+fn facility_over_ordered_list() {
+    exercise(OrderedListScheme::new());
+}
+
+#[test]
+fn facility_over_heap() {
+    exercise(BinaryHeapScheme::new());
+}
+
+#[test]
+fn facility_over_oracle() {
+    exercise(OracleScheme::new());
+}

@@ -1,0 +1,128 @@
+//! Property tests for the §2 paper-exact client interface: arbitrary
+//! interleavings of one-shot starts, periodic starts, stops and ticks,
+//! checked against a simple reference model of the `Request_ID` namespace.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use timing_wheels::core::facility::{ExpiryAction, TimerFacility};
+use timing_wheels::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    StartOnce { id: u64, interval: u64 },
+    StartPeriodic { id: u64, period: u64 },
+    Stop { id: u64 },
+    Tick,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..8, 1u64..100).prop_map(|(id, interval)| Op::StartOnce { id, interval }),
+        1 => (0u64..8, 1u64..40).prop_map(|(id, period)| Op::StartPeriodic { id, period }),
+        2 => (0u64..8).prop_map(|id| Op::Stop { id }),
+        5 => Just(Op::Tick),
+    ]
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ModelTimer {
+    deadline: u64,
+    period: Option<u64>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The facility's Request_ID namespace behaves like the obvious model:
+    /// duplicate ids rejected while outstanding, stops only for outstanding
+    /// ids, one-shot ids free after expiry, periodic ids re-armed with the
+    /// k-th firing at start + k·period.
+    #[test]
+    fn facility_matches_request_id_model(
+        ops in proptest::collection::vec(op_strategy(), 1..250),
+    ) {
+        let mut facility = TimerFacility::new(HashedWheelUnsorted::new(16));
+        let mut model: HashMap<u64, ModelTimer> = HashMap::new();
+        let mut now = 0u64;
+
+        for op in ops {
+            match op {
+                Op::StartOnce { id, interval } => {
+                    let got = facility.start_timer(
+                        TickDelta(interval),
+                        RequestId(id),
+                        ExpiryAction::Nop,
+                    );
+                    if model.contains_key(&id) {
+                        prop_assert_eq!(got, Err(TimerError::DuplicateRequestId));
+                    } else {
+                        prop_assert_eq!(got, Ok(()));
+                        model.insert(id, ModelTimer { deadline: now + interval, period: None });
+                    }
+                }
+                Op::StartPeriodic { id, period } => {
+                    let got = facility.start_periodic(
+                        TickDelta(period),
+                        RequestId(id),
+                        ExpiryAction::Nop,
+                    );
+                    if model.contains_key(&id) {
+                        prop_assert_eq!(got, Err(TimerError::DuplicateRequestId));
+                    } else {
+                        prop_assert_eq!(got, Ok(()));
+                        model.insert(id, ModelTimer {
+                            deadline: now + period,
+                            period: Some(period),
+                        });
+                    }
+                }
+                Op::Stop { id } => {
+                    let got = facility.stop_timer(RequestId(id));
+                    if model.remove(&id).is_some() {
+                        prop_assert_eq!(got, Ok(()));
+                    } else {
+                        prop_assert_eq!(got, Err(TimerError::UnknownRequestId));
+                    }
+                }
+                Op::Tick => {
+                    now += 1;
+                    let mut fired = facility.per_tick_bookkeeping();
+                    fired.sort_by_key(|r| r.request_id.0);
+                    let mut expect: Vec<u64> = model
+                        .iter()
+                        .filter(|(_, t)| t.deadline == now)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    expect.sort_unstable();
+                    let got: Vec<u64> = fired.iter().map(|r| r.request_id.0).collect();
+                    prop_assert_eq!(&got, &expect, "firing set at t={}", now);
+                    for r in &fired {
+                        prop_assert_eq!(r.fired_at.as_u64(), now);
+                        prop_assert_eq!(r.deadline.as_u64(), now);
+                    }
+                    // Update the model: one-shots leave, periodics re-arm.
+                    for id in expect {
+                        let t = model.get_mut(&id).expect("fired id is modeled");
+                        match t.period {
+                            Some(p) => t.deadline = now + p,
+                            None => {
+                                model.remove(&id);
+                            }
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(facility.outstanding(), model.len());
+            for id in 0..8u64 {
+                prop_assert_eq!(
+                    facility.is_outstanding(RequestId(id)),
+                    model.contains_key(&id),
+                    "id {} visibility at t={}",
+                    id,
+                    now
+                );
+            }
+        }
+    }
+}

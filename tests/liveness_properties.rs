@@ -1,0 +1,111 @@
+//! Workspace-level property tests: conservation and liveness of timers
+//! under randomized workloads, for every scheme in the zoo.
+//!
+//! Conservation: every started timer is resolved exactly once — either by a
+//! successful `stop_timer` or by exactly one expiry — never both, never
+//! twice, never lost.
+
+use proptest::prelude::*;
+use timing_wheels::prelude::*;
+use tw_workload::{ArrivalProcess, IntervalDist, Trace, TraceConfig, TraceOp};
+
+fn config_strategy() -> impl Strategy<Value = TraceConfig> {
+    (
+        0.05f64..3.0,  // arrival rate
+        1u64..2_000,   // interval scale
+        0.0f64..1.0,   // stop probability
+        500u64..3_000, // horizon
+        any::<u64>(),  // seed
+        0usize..3,     // distribution selector
+    )
+        .prop_map(
+            |(rate, scale, stop_prob, horizon, seed, dist)| TraceConfig {
+                arrivals: ArrivalProcess::Poisson { rate },
+                intervals: match dist {
+                    0 => IntervalDist::Uniform {
+                        lo: 1,
+                        hi: scale.max(2),
+                    },
+                    1 => IntervalDist::Exponential { mean: scale as f64 },
+                    _ => IntervalDist::Constant(scale),
+                },
+                stop_prob,
+                horizon,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation across the whole zoo for arbitrary workload shapes.
+    #[test]
+    fn every_timer_resolved_exactly_once(cfg in config_strategy()) {
+        let trace = Trace::generate(&cfg);
+        for mut scheme in tw_bench::scheme_zoo(1 << 24, 32) {
+            let mut handles = std::collections::HashMap::new();
+            let mut resolved = std::collections::HashMap::<u64, &'static str>::new();
+            for op in &trace.ops {
+                match *op {
+                    TraceOp::Start { id, interval } => {
+                        let h = scheme.start_timer(interval, id).unwrap();
+                        handles.insert(id, h);
+                    }
+                    TraceOp::Stop { id } => {
+                        let h = handles.remove(&id).unwrap();
+                        prop_assert_eq!(scheme.stop_timer(h), Ok(id), "{}", scheme.name());
+                        prop_assert!(
+                            resolved.insert(id, "stopped").is_none(),
+                            "{}: double resolution",
+                            scheme.name()
+                        );
+                    }
+                    TraceOp::Tick => {
+                        let mut fired = Vec::new();
+                        scheme.tick(&mut |e| fired.push(e));
+                        for e in fired {
+                            prop_assert_eq!(e.error(), 0, "{}", scheme.name());
+                            prop_assert!(
+                                resolved.insert(e.payload, "fired").is_none(),
+                                "{}: double resolution",
+                                scheme.name()
+                            );
+                            handles.remove(&e.payload);
+                        }
+                    }
+                }
+            }
+            // Drain the stragglers.
+            let mut guard = 0u64;
+            while scheme.outstanding() > 0 {
+                scheme.tick(&mut |e| {
+                    assert!(resolved.insert(e.payload, "fired").is_none());
+                });
+                guard += 1;
+                prop_assert!(guard < 20_000_000, "{}: drain stuck", scheme.name());
+            }
+            prop_assert_eq!(
+                resolved.len() as u64,
+                trace.starts,
+                "{}: lost timers",
+                scheme.name()
+            );
+            // Stale handles of resolved timers must be rejected.
+            for (_, h) in handles {
+                prop_assert_eq!(scheme.stop_timer(h), Err(TimerError::Stale));
+            }
+        }
+    }
+
+    /// Clock monotonicity and `now` agreement with tick count.
+    #[test]
+    fn clock_advances_one_tick_at_a_time(ticks in 1u64..500) {
+        for mut scheme in tw_bench::scheme_zoo(1 << 16, 16) {
+            for expect in 1..=ticks {
+                scheme.tick(&mut |_| {});
+                prop_assert_eq!(scheme.now(), Tick(expect));
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Workspace-wide conformance: every scheme in the zoo, driven by the same
+//! generated traces, must deliver identical observable behaviour — same
+//! expiry count, zero firing error, identical peak population — and must
+//! agree with the oracle tick by tick.
+
+use timing_wheels::prelude::*;
+use tw_workload::{replay, ArrivalProcess, IntervalDist, Trace, TraceConfig};
+
+fn traces() -> Vec<(&'static str, Trace)> {
+    vec![
+        (
+            "poisson-exp-halfstopped",
+            Trace::generate(&TraceConfig {
+                arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+                intervals: IntervalDist::Exponential { mean: 300.0 },
+                stop_prob: 0.5,
+                horizon: 10_000,
+                seed: 1,
+            }),
+        ),
+        (
+            "bursty-uniform-nostop",
+            Trace::generate(&TraceConfig {
+                arrivals: ArrivalProcess::Bursty {
+                    burst_len: 20,
+                    idle: 50,
+                },
+                intervals: IntervalDist::Uniform { lo: 1, hi: 2_000 },
+                stop_prob: 0.0,
+                horizon: 10_000,
+                seed: 2,
+            }),
+        ),
+        (
+            "constant-intervals-allstopped",
+            Trace::generate(&TraceConfig {
+                arrivals: ArrivalProcess::Deterministic { gap: 3 },
+                intervals: IntervalDist::Constant(500),
+                stop_prob: 0.9,
+                horizon: 8_000,
+                seed: 3,
+            }),
+        ),
+        (
+            "pareto-heavy-tail",
+            Trace::generate(&TraceConfig {
+                arrivals: ArrivalProcess::Poisson { rate: 0.3 },
+                intervals: IntervalDist::Pareto {
+                    alpha: 1.8,
+                    min: 10,
+                },
+                stop_prob: 0.3,
+                horizon: 10_000,
+                seed: 4,
+            }),
+        ),
+    ]
+}
+
+#[test]
+fn all_schemes_agree_with_oracle_on_every_trace() {
+    for (name, trace) in traces() {
+        let mut oracle = OracleScheme::<u64>::new();
+        let reference = replay(&mut oracle, &trace, false);
+        for mut scheme in tw_bench::scheme_zoo(1 << 22, 64) {
+            let report = replay(scheme.as_mut(), &trace, false);
+            assert_eq!(
+                report.expiries, reference.expiries,
+                "{}: expiry count on {name}",
+                report.scheme
+            );
+            assert_eq!(
+                report.peak_outstanding, reference.peak_outstanding,
+                "{}: peak population on {name}",
+                report.scheme
+            );
+            assert_eq!(
+                report.error.max().unwrap_or(0.0),
+                0.0,
+                "{}: firing error on {name}",
+                report.scheme
+            );
+            assert_eq!(
+                report.error.min().unwrap_or(0.0),
+                0.0,
+                "{}: early firing on {name}",
+                report.scheme
+            );
+        }
+    }
+}
+
+#[test]
+fn per_tick_expiry_sets_match_oracle_exactly() {
+    // Stronger than counts: compare the expiry multiset per tick.
+    let trace = Trace::generate(&TraceConfig {
+        arrivals: ArrivalProcess::Poisson { rate: 2.0 },
+        intervals: IntervalDist::Uniform { lo: 1, hi: 500 },
+        stop_prob: 0.4,
+        horizon: 3_000,
+        seed: 9,
+    });
+    // Record the oracle's firing schedule id -> tick.
+    let mut oracle = OracleScheme::<u64>::new();
+    let mut schedule = std::collections::HashMap::new();
+    drive(&mut oracle, &trace, |id, t| {
+        schedule.insert(id, t);
+    });
+    for mut scheme in tw_bench::scheme_zoo(1 << 22, 64) {
+        let mut fired = std::collections::HashMap::new();
+        drive(scheme.as_mut(), &trace, |id, t| {
+            fired.insert(id, t);
+        });
+        assert_eq!(fired, schedule, "schedule mismatch for some scheme");
+    }
+}
+
+/// Minimal replay that reports (id, fired_at) pairs.
+fn drive<S: TimerScheme<u64> + ?Sized>(
+    scheme: &mut S,
+    trace: &Trace,
+    mut on_fire: impl FnMut(u64, u64),
+) {
+    use std::collections::HashMap;
+    use tw_workload::TraceOp;
+    let mut handles: HashMap<u64, TimerHandle> = HashMap::new();
+    for op in &trace.ops {
+        match *op {
+            TraceOp::Start { id, interval } => {
+                handles.insert(id, scheme.start_timer(interval, id).unwrap());
+            }
+            TraceOp::Stop { id } => {
+                let h = handles.remove(&id).unwrap();
+                scheme.stop_timer(h).unwrap();
+            }
+            TraceOp::Tick => {
+                scheme.tick(&mut |e| on_fire(e.payload, e.fired_at.as_u64()));
+            }
+        }
+    }
+}
