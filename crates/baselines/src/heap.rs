@@ -124,17 +124,76 @@ impl<T> BinaryHeapScheme<T> {
         idx
     }
 
-    /// Checks the heap invariant (test support).
+    /// Checks the heap invariant (test support). Delegates to the full
+    /// [`InvariantCheck`](tw_core::validate::InvariantCheck) catalog.
     #[cfg(test)]
     fn assert_heap(&self) {
-        for pos in 1..self.heap.len() {
-            let parent = (pos - 1) / 2;
-            assert!(
-                self.deadline_at(parent) <= self.deadline_at(pos),
-                "heap property violated at {pos}"
-            );
-            assert_eq!(self.arena.node(self.heap[pos]).bucket as usize, pos);
+        use tw_core::validate::InvariantCheck as _;
+        if let Err(v) = self.check_invariants() {
+            panic!("{v}");
         }
+    }
+}
+
+impl<T> tw_core::validate::InvariantCheck for BinaryHeapScheme<T> {
+    /// Scheme 3a invariants: slab storage integrity, every heap entry a
+    /// live *unlinked* node whose `bucket` records its heap position (the
+    /// index that makes `stop_timer` O(log n)), the min-heap order on
+    /// deadlines, strictly-future deadlines, and the heap accounting for
+    /// every allocated node.
+    fn check_invariants(&self) -> Result<(), tw_core::validate::InvariantViolation> {
+        use tw_core::validate::InvariantViolation;
+        let scheme = self.name();
+        let fail = |detail: String| Err(InvariantViolation::new(scheme, detail));
+        if let Err(detail) = self.arena.check_storage() {
+            return fail(detail);
+        }
+        if self.heap.len() != self.arena.len() {
+            return fail(format!(
+                "{} heap entries but {} nodes in the arena",
+                self.heap.len(),
+                self.arena.len()
+            ));
+        }
+        for (pos, &idx) in self.heap.iter().enumerate() {
+            if !self.arena.is_live(idx) {
+                return fail(format!("heap position {pos} references a freed node"));
+            }
+            let node = self.arena.node(idx);
+            if node.bucket as usize != pos {
+                return fail(format!(
+                    "position map corrupted: node at heap position {pos} \
+                     records position {}",
+                    node.bucket
+                ));
+            }
+            if self.arena.is_linked(idx) {
+                return fail(format!(
+                    "heap position {pos} node is linked into an arena list"
+                ));
+            }
+            if node.deadline <= self.now {
+                return fail(format!(
+                    "deadline {} at heap position {pos} is not in the future \
+                     (now {})",
+                    node.deadline.as_u64(),
+                    self.now.as_u64()
+                ));
+            }
+            if pos > 0 {
+                let parent = (pos - 1) / 2;
+                if self.deadline_at(parent) > self.deadline_at(pos) {
+                    return fail(format!(
+                        "min-heap order violated: parent {} (deadline {}) > \
+                         child {pos} (deadline {})",
+                        parent,
+                        self.deadline_at(parent).as_u64(),
+                        self.deadline_at(pos).as_u64()
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -12,7 +12,16 @@
 //! All implement [`tw_core::TimerScheme`] and (except Scheme 1) the
 //! [`tw_core::DeadlinePeek`] trait used by event-driven simulation and the
 //! single-timer hardware assist.
+//!
+//! # Safety posture
+//!
+//! `unsafe` is forbidden at the crate level: the tree baselines index into
+//! the [`tw_core::arena::TimerArena`] slab instead of holding raw pointers,
+//! and [`BinaryHeapScheme`] additionally implements
+//! [`tw_core::validate::InvariantCheck`] (heap order, position map, slab
+//! accounting) for use under [`tw_core::validate::Checked`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bst;

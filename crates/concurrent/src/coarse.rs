@@ -7,14 +7,12 @@
 //! Processor A finishes and releases its semaphore."
 //!
 //! [`CoarseLocked`] is exactly that semaphore-around-everything structure:
-//! one [`parking_lot::Mutex`] serializing every routine of an arbitrary
-//! single-threaded scheme. It is correct and simple — and the `smp`
-//! experiment shows it stops scaling the moment the protected operation is
-//! O(n), which is Glaser's point.
+//! one [`Mutex`](crate::sync::Mutex) serializing every routine of an
+//! arbitrary single-threaded scheme. It is correct and simple — and the
+//! `smp` experiment shows it stops scaling the moment the protected
+//! operation is O(n), which is Glaser's point.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use crate::sync::{Arc, Mutex};
 use tw_core::{Expired, Tick, TickDelta, TimerError, TimerHandle, TimerScheme};
 
 /// A thread-safe timer module made from any scheme plus one big lock.
@@ -69,7 +67,9 @@ impl<T, S: TimerScheme<T>> CoarseLocked<S, T> {
     }
 }
 
-#[cfg(test)]
+// OS-thread stress tests are meaningless inside the loom explorer (its
+// dedicated models live in tests/loom.rs), so they only build without it.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::thread;

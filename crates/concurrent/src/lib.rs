@@ -9,15 +9,33 @@
 //!   lazy cancellation, drain-latency semantics.
 //! * [`service`] — [`TimerService`]: an owning timer thread with a channel
 //!   API (single-owner data, the locking alternative).
+//!
+//! # Safety posture
+//!
+//! `unsafe` is denied: all concurrency here is built on safe primitives
+//! from the [`sync`] abstraction layer, which swaps between std and
+//! `loom`-instrumented implementations under `--cfg loom`. The loom models
+//! in `tests/loom.rs` exhaustively check the delicate interleavings
+//! (insert-vs-tick `processed_until`, stop-vs-expiry, cancel-vs-drain, the
+//! `outstanding` counter); see DESIGN.md §Verification.
+//!
+//! # Structural invariants
+//!
+//! [`ShardedWheel`] implements `tw_core::validate::InvariantCheck`, so test
+//! harnesses can revalidate its per-bucket structure after every operation.
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod coarse;
 pub mod mpsc;
+#[cfg(not(loom))]
 pub mod service;
 pub mod sharded;
+pub mod sync;
 
 pub use coarse::CoarseLocked;
 pub use mpsc::{MpscExpired, MpscHandle, MpscWheel};
+#[cfg(not(loom))]
 pub use service::{Expiry, TimerService};
 pub use sharded::{ShardHandle, ShardedWheel};

@@ -2,9 +2,11 @@
 //! and the one modern async runtimes (tokio, Netty, Kafka) actually ship.
 //!
 //! Instead of locking shared structure (coarse or sharded), producers push
-//! `start` operations onto a lock-free queue and mark cancellations in a
+//! `start` operations onto an admission queue and mark cancellations in a
 //! shared flag; a single ticker owns the wheel outright and drains the
-//! queue at each tick. This is the software form of the Appendix A.1
+//! queue at each tick. (The queue is a [`sync::Queue`](crate::sync::Queue):
+//! mutex-backed so loom can model it, lock-free in the seed's original
+//! crossbeam form — the protocol is identical either way.) This is the software form of the Appendix A.1
 //! observation that host and chip need only interrupts between them — here
 //! the "interrupts" are queue entries.
 //!
@@ -24,11 +26,8 @@
 //!
 //! [`ShardedWheel`]: crate::sharded::ShardedWheel
 
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
-
-use crossbeam::queue::SegQueue;
-use parking_lot::Mutex;
+use crate::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use crate::sync::{Arc, Mutex, Queue};
 use tw_core::wheel::HashedWheelUnsorted;
 use tw_core::{Tick, TickDelta, TimerError, TimerScheme};
 
@@ -76,7 +75,7 @@ struct Inner<T> {
 }
 
 struct Shared<T> {
-    pending: SegQueue<Entry<T>>,
+    pending: Queue<Entry<T>>,
     now: AtomicU64,
     inner: Mutex<Inner<T>>,
 }
@@ -129,7 +128,7 @@ impl<T> MpscWheel<T> {
     pub fn new(table_size: usize) -> MpscWheel<T> {
         MpscWheel {
             shared: Arc::new(Shared {
-                pending: SegQueue::new(),
+                pending: Queue::new(),
                 now: AtomicU64::new(0),
                 inner: Mutex::new(Inner {
                     wheel: HashedWheelUnsorted::new(table_size),
@@ -144,7 +143,8 @@ impl<T> MpscWheel<T> {
         Tick(self.shared.now.load(Ordering::Acquire))
     }
 
-    /// `START_TIMER`: wait-free for the caller (one queue push).
+    /// `START_TIMER`: one clock read plus one queue push — the caller
+    /// never touches the wheel itself.
     ///
     /// # Errors
     ///
@@ -238,7 +238,49 @@ fn deliver<T>(fired: &mut Vec<MpscExpired<T>>, entry: Entry<T>, t: u64) {
     }
 }
 
-#[cfg(test)]
+impl<T> tw_core::validate::InvariantCheck for MpscWheel<T> {
+    /// Message-passing-wheel invariants: the inner Scheme 6 wheel passes its
+    /// own full structural check, the published clock matches the wheel's
+    /// clock, and no *fired* record is still resident — `STATE_FIRED` is set
+    /// at the delivery linearization point, after the record has left the
+    /// wheel, so a resident fired record would mean a duplicate delivery is
+    /// coming. (Cancelled residents are legal: reaping is lazy by design.)
+    fn check_invariants(&self) -> Result<(), tw_core::validate::InvariantViolation> {
+        use tw_core::validate::InvariantViolation;
+        let scheme = "mpsc(admission-queue)";
+        let inner = self.shared.inner.lock();
+        let now = self.shared.now.load(Ordering::Acquire);
+        if let Err(v) = inner.wheel.check_invariants() {
+            return Err(InvariantViolation::new(scheme, format!("inner wheel: {v}")));
+        }
+        if inner.wheel.now().as_u64() != now {
+            return Err(InvariantViolation::new(
+                scheme,
+                format!(
+                    "published clock {now} != inner wheel clock {}",
+                    inner.wheel.now().as_u64()
+                ),
+            ));
+        }
+        let mut fired_resident = 0usize;
+        inner.wheel.for_each_resident(&mut |entry: &Entry<T>| {
+            if entry.state.load(Ordering::Acquire) == STATE_FIRED {
+                fired_resident += 1;
+            }
+        });
+        if fired_resident > 0 {
+            return Err(InvariantViolation::new(
+                scheme,
+                format!("{fired_resident} resident record(s) already marked fired"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+// OS-thread stress tests stay outside the loom explorer (the exhaustive
+// models for this module live in tests/loom.rs).
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::thread;

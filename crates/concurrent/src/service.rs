@@ -17,9 +17,9 @@
 //! Expirations are delivered on a channel as [`Expiry`] records.
 
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crate::sync::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use tw_core::{TickDelta, TimerError, TimerHandle, TimerScheme};
 
 /// An expiry notification from the service.
@@ -87,17 +87,24 @@ impl TimerService {
         let join = std::thread::Builder::new()
             .name("timer-service".into())
             .spawn(move || {
-                let ticker = period.map(crossbeam::channel::tick);
+                // With a real-time ticker, wait for commands only until the
+                // next tick deadline; with virtual time, wait indefinitely.
+                let mut next_tick = period.map(|p| (Instant::now() + p, p));
                 loop {
-                    // With a real-time ticker, wait on both channels; with
-                    // virtual time, only on commands.
-                    let cmd = if let Some(ticker) = &ticker {
-                        crossbeam::channel::select! {
-                            recv(cmd_rx) -> c => match c {
+                    let cmd = if let Some((deadline, p)) = next_tick {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            next_tick = Some((deadline + p, p));
+                            None
+                        } else {
+                            match cmd_rx.recv_timeout(deadline - now) {
                                 Ok(c) => Some(c),
-                                Err(_) => break,
-                            },
-                            recv(ticker) -> _ => None,
+                                Err(RecvTimeoutError::Timeout) => {
+                                    next_tick = Some((deadline + p, p));
+                                    None
+                                }
+                                Err(RecvTimeoutError::Disconnected) => break,
+                            }
                         }
                     } else {
                         match cmd_rx.recv() {

@@ -22,10 +22,8 @@
 //!
 //! [`CoarseLocked`]: crate::coarse::CoarseLocked
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-
-use parking_lot::Mutex;
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Arc, Mutex};
 use tw_core::arena::{ListHead, TimerArena};
 use tw_core::{Expired, Tick, TickDelta, TimerError, TimerHandle};
 
@@ -221,7 +219,91 @@ impl<T> ShardedWheel<T> {
     }
 }
 
-#[cfg(test)]
+impl<T> tw_core::validate::InvariantCheck for ShardedWheel<T> {
+    /// Sharded-wheel invariants, checked under the tick gate (so no tick is
+    /// mid-flight) and each bucket's lock in turn: per-bucket slab/list
+    /// integrity, `processed_until` stamps that never run ahead of the clock
+    /// and stay congruent to their bucket index, the rounds arithmetic
+    /// `deadline = now + d + rounds·N` for every resident (`d` = ticks until
+    /// the cursor next visits that bucket), and the lock-free `outstanding`
+    /// counter agreeing with the sum of the per-bucket slabs.
+    ///
+    /// Per-bucket checks are exact even with concurrent starters/stoppers;
+    /// the cross-bucket count comparison is only meaningful at quiescence
+    /// (no start/stop in flight), which is how the differential tests call
+    /// it — at barrier points between rounds.
+    fn check_invariants(&self) -> Result<(), tw_core::validate::InvariantViolation> {
+        use tw_core::validate::{ticks_until_visit, InvariantViolation};
+        let scheme = "sharded(per-bucket-locks)";
+        let fail = |detail: String| Err(InvariantViolation::new(scheme, detail));
+        let _gate = self.shared.tick_gate.lock();
+        let now = self.shared.now.load(Ordering::Acquire);
+        let n = self.shared.buckets.len() as u64;
+        let mut resident = 0usize;
+        for (slot, bucket) in self.shared.buckets.iter().enumerate() {
+            let bucket = bucket.lock();
+            if let Err(detail) = bucket.arena.check_storage() {
+                return fail(format!("bucket {slot}: {detail}"));
+            }
+            let nodes = match bucket.arena.check_list(&bucket.list) {
+                Ok(nodes) => nodes,
+                Err(detail) => return fail(format!("bucket {slot}: {detail}")),
+            };
+            if nodes.len() != bucket.arena.len() {
+                return fail(format!(
+                    "bucket {slot}: {} nodes on the list but {} in the slab",
+                    nodes.len(),
+                    bucket.arena.len()
+                ));
+            }
+            if bucket.processed_until > now {
+                return fail(format!(
+                    "bucket {slot}: processed_until {} is ahead of the clock {now}",
+                    bucket.processed_until
+                ));
+            }
+            if bucket.processed_until != 0 && bucket.processed_until % n != slot as u64 {
+                return fail(format!(
+                    "bucket {slot}: processed_until {} is not congruent to the \
+                     bucket index mod {n}",
+                    bucket.processed_until
+                ));
+            }
+            if slot as u64 == now % n && bucket.processed_until != now {
+                return fail(format!(
+                    "cursor bucket {slot}: visit for tick {now} not recorded \
+                     (processed_until {})",
+                    bucket.processed_until
+                ));
+            }
+            for idx in nodes {
+                let node = bucket.arena.node(idx);
+                let deadline = node.deadline.as_u64();
+                let expect = now + ticks_until_visit(now, slot as u64, n) + node.aux * n;
+                if deadline != expect {
+                    return fail(format!(
+                        "bucket {slot}: rounds inconsistency: deadline {deadline}, \
+                         but rounds {} from now {now} implies {expect}",
+                        node.aux
+                    ));
+                }
+            }
+            resident += bucket.arena.len();
+        }
+        let counted = self.shared.outstanding.load(Ordering::Acquire);
+        if resident != counted {
+            return fail(format!(
+                "{resident} residents across buckets but outstanding counter \
+                 reads {counted}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+// OS-thread stress tests stay outside the loom explorer (the exhaustive
+// models for this module live in tests/loom.rs).
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::thread;

@@ -1,0 +1,283 @@
+//! Differential tests: the concurrent wheels against a single-threaded
+//! oracle, under proptest-generated multi-threaded schedules.
+//!
+//! Structure of a schedule: `rounds × threads × ops`. Within a round all
+//! threads run their op lists concurrently against the wheel under test —
+//! real OS threads, real data races if the implementation has any — then
+//! everyone joins and a single tick fires. Because no tick overlaps the
+//! churn, and each thread only ever stops timers *it* started, the round's
+//! effect on the timer population is independent of interleaving, so the
+//! same ops replayed serially on a [`BasicWheel`] oracle must produce the
+//! same `(id, firing tick)` expiry set. The tick-vs-start interleavings this
+//! deliberately excludes are covered exhaustively by the loom models in
+//! `tests/loom.rs`.
+//!
+//! After every round the sharded wheel's full
+//! [`InvariantCheck`](tw_core::validate::InvariantCheck) catalog runs at
+//! quiescence — per-bucket slab/list integrity, rounds arithmetic,
+//! `processed_until` stamps, and the outstanding counter.
+
+#![cfg(not(loom))]
+
+use std::thread;
+
+use proptest::prelude::*;
+use tw_concurrent::{MpscWheel, ShardedWheel};
+use tw_core::validate::InvariantCheck;
+use tw_core::wheel::{BasicWheel, OverflowPolicy};
+use tw_core::{TickDelta, TimerScheme};
+
+const TABLE_SIZE: usize = 32;
+const THREADS: usize = 4;
+const MAX_OPS: usize = 8;
+/// Interval ceiling: several wheel revolutions, including exact multiples
+/// of the table size (the rounds-arithmetic boundary).
+const MAX_INTERVAL: u64 = 200;
+
+/// One operation executed by one worker thread within a round.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Start a timer with this interval.
+    Start(u64),
+    /// Stop the k-th (mod live count) timer started by this same thread.
+    Stop(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1..=MAX_INTERVAL).prop_map(Op::Start),
+        2 => any::<usize>().prop_map(Op::Stop),
+    ]
+}
+
+/// `schedule[round][thread]` = that thread's op list for the round.
+fn schedule_strategy() -> impl Strategy<Value = Vec<Vec<Vec<Op>>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 0..MAX_OPS),
+            THREADS..THREADS + 1,
+        ),
+        1..8,
+    )
+}
+
+/// Globally unique, interleaving-independent timer id.
+fn op_id(round: usize, thread: usize, op: usize) -> u64 {
+    ((round * THREADS + thread) * MAX_OPS + op) as u64
+}
+
+/// Replays one round of ops serially into the oracle. Per-thread stop
+/// indices resolve against per-thread books, so the outcome matches the
+/// concurrent run regardless of how its threads interleaved.
+fn replay_round(
+    oracle: &mut BasicWheel<u64>,
+    books: &mut [Vec<(tw_core::TimerHandle, u64)>],
+    round: usize,
+    ops: &[Vec<Op>],
+) {
+    for (ti, thread_ops) in ops.iter().enumerate() {
+        for (oi, op) in thread_ops.iter().enumerate() {
+            match op {
+                Op::Start(j) => {
+                    let id = op_id(round, ti, oi);
+                    let h = oracle.start_timer(TickDelta(*j), id).unwrap();
+                    books[ti].push((h, id));
+                }
+                Op::Stop(k) => {
+                    if !books[ti].is_empty() {
+                        let (h, id) = books[ti].swap_remove(k % books[ti].len());
+                        assert_eq!(oracle.stop_timer(h), Ok(id));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn drop_fired<H>(books: &mut [Vec<(H, u64)>], fired: &[(u64, u64)]) {
+    for book in books {
+        book.retain(|(_, id)| !fired.iter().any(|(f, _)| f == id));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sharded wheel vs oracle: same expiry set at every tick, invariants
+    /// intact at every quiescent point, exact firing throughout.
+    #[test]
+    fn sharded_matches_serial_oracle(schedule in schedule_strategy()) {
+        let w: ShardedWheel<u64> = ShardedWheel::new(TABLE_SIZE);
+        let mut oracle: BasicWheel<u64> =
+            BasicWheel::with_policy(TABLE_SIZE, OverflowPolicy::OverflowList);
+        let mut books: Vec<Vec<(tw_concurrent::ShardHandle, u64)>> =
+            vec![Vec::new(); THREADS];
+        let mut oracle_books: Vec<Vec<(tw_core::TimerHandle, u64)>> =
+            vec![Vec::new(); THREADS];
+
+        for (r, round) in schedule.iter().enumerate() {
+            // Concurrent phase: all threads churn the wheel at once.
+            let workers: Vec<_> = round
+                .iter()
+                .enumerate()
+                .map(|(ti, thread_ops)| {
+                    let w = w.clone();
+                    let mut book = std::mem::take(&mut books[ti]);
+                    let thread_ops = thread_ops.clone();
+                    thread::spawn(move || {
+                        for (oi, op) in thread_ops.iter().enumerate() {
+                            match op {
+                                Op::Start(j) => {
+                                    let id = op_id(r, ti, oi);
+                                    let h = w.start_timer(TickDelta(*j), id).unwrap();
+                                    book.push((h, id));
+                                }
+                                Op::Stop(k) => {
+                                    if !book.is_empty() {
+                                        let (h, id) = book.swap_remove(k % book.len());
+                                        assert_eq!(w.stop_timer(h), Ok(id));
+                                    }
+                                }
+                            }
+                        }
+                        book
+                    })
+                })
+                .collect();
+            for (ti, worker) in workers.into_iter().enumerate() {
+                books[ti] = worker.join().unwrap();
+            }
+            replay_round(&mut oracle, &mut oracle_books, r, round);
+
+            // Quiescent point: structure must be fully intact.
+            w.check_invariants().unwrap();
+            prop_assert_eq!(w.outstanding(), oracle.outstanding());
+
+            // One tick each; expiry sets must agree and fire exactly.
+            let mut got: Vec<(u64, u64)> = w
+                .tick()
+                .into_iter()
+                .map(|e| {
+                    prop_assert_eq!(e.fired_at, e.deadline, "inexact concurrent fire");
+                    Ok((e.payload, e.fired_at.as_u64()))
+                })
+                .collect::<Result<_, TestCaseError>>()?;
+            let mut want: Vec<(u64, u64)> = Vec::new();
+            oracle.tick(&mut |e| want.push((e.payload, e.fired_at.as_u64())));
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(&got, &want, "divergence after round {}", r);
+            drop_fired(&mut books, &got);
+            drop_fired(&mut oracle_books, &got);
+        }
+
+        // Drain both to empty; every survivor fires once, identically.
+        let mut guard = 0u32;
+        while oracle.outstanding() > 0 || w.outstanding() > 0 {
+            let mut got: Vec<(u64, u64)> = w
+                .tick()
+                .into_iter()
+                .map(|e| (e.payload, e.fired_at.as_u64()))
+                .collect();
+            let mut want: Vec<(u64, u64)> = Vec::new();
+            oracle.tick(&mut |e| want.push((e.payload, e.fired_at.as_u64())));
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(&got, &want);
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain did not terminate");
+        }
+        w.check_invariants().unwrap();
+    }
+
+    /// Message-passing wheel vs oracle. Cancellation is lazy and the
+    /// outstanding counts are incomparable by design (cancelled records
+    /// stay resident until their slot comes around), so the comparison is
+    /// on delivery sets only: with a tick every round the admission queue
+    /// never sits, so every surviving timer is delivered exactly at its
+    /// deadline, and every cancel called before the deadline wins.
+    #[test]
+    fn mpsc_matches_serial_oracle(schedule in schedule_strategy()) {
+        let w: MpscWheel<u64> = MpscWheel::new(TABLE_SIZE);
+        let mut oracle: BasicWheel<u64> =
+            BasicWheel::with_policy(TABLE_SIZE, OverflowPolicy::OverflowList);
+        let mut books: Vec<Vec<(tw_concurrent::MpscHandle, u64)>> =
+            vec![Vec::new(); THREADS];
+        let mut oracle_books: Vec<Vec<(tw_core::TimerHandle, u64)>> =
+            vec![Vec::new(); THREADS];
+
+        for (r, round) in schedule.iter().enumerate() {
+            let workers: Vec<_> = round
+                .iter()
+                .enumerate()
+                .map(|(ti, thread_ops)| {
+                    let w = w.clone();
+                    let mut book = std::mem::take(&mut books[ti]);
+                    let thread_ops = thread_ops.clone();
+                    thread::spawn(move || {
+                        for (oi, op) in thread_ops.iter().enumerate() {
+                            match op {
+                                Op::Start(j) => {
+                                    let id = op_id(r, ti, oi);
+                                    let h = w.start_timer(TickDelta(*j), id).unwrap();
+                                    book.push((h, id));
+                                }
+                                Op::Stop(k) => {
+                                    if !book.is_empty() {
+                                        let (h, _) = book.swap_remove(k % book.len());
+                                        // No tick is concurrent, so the
+                                        // timer cannot have fired yet.
+                                        assert!(h.cancel(), "cancel lost without a racing tick");
+                                    }
+                                }
+                            }
+                        }
+                        book
+                    })
+                })
+                .collect();
+            for (ti, worker) in workers.into_iter().enumerate() {
+                books[ti] = worker.join().unwrap();
+            }
+            replay_round(&mut oracle, &mut oracle_books, r, round);
+
+            w.check_invariants().unwrap();
+
+            let mut got: Vec<(u64, u64)> = w
+                .tick()
+                .into_iter()
+                .map(|e| {
+                    prop_assert_eq!(e.fired_at, e.deadline, "late fire despite prompt drain");
+                    Ok((e.payload, e.fired_at.as_u64()))
+                })
+                .collect::<Result<_, TestCaseError>>()?;
+            let mut want: Vec<(u64, u64)> = Vec::new();
+            oracle.tick(&mut |e| want.push((e.payload, e.fired_at.as_u64())));
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(&got, &want, "divergence after round {}", r);
+            drop_fired(&mut books, &got);
+            drop_fired(&mut oracle_books, &got);
+        }
+
+        let mut guard = 0u32;
+        while oracle.outstanding() > 0 {
+            let mut got: Vec<(u64, u64)> = w
+                .tick()
+                .into_iter()
+                .map(|e| (e.payload, e.fired_at.as_u64()))
+                .collect();
+            let mut want: Vec<(u64, u64)> = Vec::new();
+            oracle.tick(&mut |e| want.push((e.payload, e.fired_at.as_u64())));
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(&got, &want);
+            guard += 1;
+            prop_assert!(guard < 10_000, "drain did not terminate");
+        }
+        // Let the wheel reap the lazily-cancelled residue, then audit it.
+        let _ = w.drain(2 * MAX_INTERVAL);
+        w.check_invariants().unwrap();
+        prop_assert_eq!(w.resident(), 0, "cancelled records never reclaimed");
+    }
+}

@@ -1,0 +1,194 @@
+//! Exhaustive model checking of the concurrent wheels.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p tw-concurrent --release --test loom
+//! ```
+//!
+//! Each `loom::model` call explores **every** interleaving of the closure's
+//! visible operations (atomic accesses, lock acquire/release), so the
+//! assertions inside hold on all schedules, not just the ones a stress test
+//! happens to hit. The models target the four known-subtle protocols called
+//! out in Appendix A.2 of the paper and DESIGN.md §Verification:
+//!
+//! 1. start vs. tick on the same bucket — the `processed_until` rounds
+//!    protocol in `ShardedWheel` (interval ≡ 0 mod table size);
+//! 2. stop racing expiry at the deadline tick — exactly one side wins;
+//! 3. MPSC lazy cancellation racing the drain — the `AtomicU8` state CAS
+//!    is the linearization point;
+//! 4. the `outstanding` counter under concurrent starts/stops;
+//! 5. the coarse-locked baseline's big-lock serialization.
+
+#![cfg(loom)]
+
+use loom::thread;
+use tw_concurrent::{CoarseLocked, MpscWheel, ShardedWheel};
+use tw_core::validate::InvariantCheck;
+use tw_core::wheel::HashedWheelUnsorted;
+use tw_core::TickDelta;
+
+/// Model 1 (the acceptance-critical one): a `start_timer` whose interval is
+/// a multiple of the table size racing the ticker's visit of that same
+/// bucket. The inserter must pick the rounds count according to whether the
+/// in-flight tick has already swept the bucket (`processed_until`); getting
+/// it wrong fires the timer one revolution early or late.
+#[test]
+fn sharded_start_vs_tick_processed_until_race() {
+    loom::model(|| {
+        let w: ShardedWheel<u32> = ShardedWheel::new(2);
+        let starter = {
+            let w = w.clone();
+            // Interval 2 ≡ 0 (mod 2): lands in the cursor's own bucket.
+            thread::spawn(move || w.start_timer(TickDelta(2), 7).unwrap())
+        };
+        let early: Vec<_> = w.tick(); // races the insert
+        let _h = starter.join().unwrap();
+        // Whatever interleaved, the timer's deadline was computed from the
+        // clock observed under the bucket lock, and it must fire exactly
+        // then — never early, never a revolution late, never lost.
+        let mut fired = early;
+        for _ in 0..6 {
+            if w.outstanding() == 0 {
+                break;
+            }
+            fired.extend(w.tick());
+        }
+        assert_eq!(fired.len(), 1, "timer fired exactly once");
+        assert_eq!(
+            fired[0].fired_at, fired[0].deadline,
+            "exact firing under the processed_until protocol"
+        );
+        assert_eq!(w.outstanding(), 0);
+        w.check_invariants().unwrap();
+    });
+}
+
+/// Model 2: `stop_timer` racing the expiry tick. The bucket lock is the
+/// arbiter: exactly one of {stop returns the payload, the timer fires}
+/// happens, and the other side observes a clean failure.
+#[test]
+fn sharded_stop_vs_expiry_race() {
+    loom::model(|| {
+        let w: ShardedWheel<u32> = ShardedWheel::new(2);
+        let h = w.start_timer(TickDelta(1), 42).unwrap();
+        let stopper = {
+            let w = w.clone();
+            thread::spawn(move || w.stop_timer(h).is_ok())
+        };
+        let fired = w.tick();
+        let stopped = stopper.join().unwrap();
+        assert_eq!(
+            stopped,
+            fired.is_empty(),
+            "exactly one of stop/expiry wins (stopped={stopped}, fired={})",
+            fired.len()
+        );
+        if let Some(e) = fired.first() {
+            assert_eq!(e.payload, 42);
+            assert_eq!(e.fired_at, e.deadline);
+        }
+        assert_eq!(w.outstanding(), 0, "loser left no residue");
+        w.check_invariants().unwrap();
+    });
+}
+
+/// Model 3: MPSC lazy cancellation racing the ticker's drain. The
+/// PENDING→{CANCELLED,FIRED} transition on the shared `AtomicU8` is the
+/// linearization point: on every schedule exactly one side wins, and
+/// `has_fired` agrees with the winner.
+#[test]
+fn mpsc_cancel_vs_drain_race() {
+    loom::model(|| {
+        let w: MpscWheel<u32> = MpscWheel::new(2);
+        let h = w.start_timer(TickDelta(1), 9).unwrap();
+        let canceller = {
+            let h = h.clone();
+            thread::spawn(move || h.cancel())
+        };
+        let mut fired = w.tick(); // admits the entry and delivers if due
+        let cancelled = canceller.join().unwrap();
+        for _ in 0..3 {
+            if w.resident() == 0 {
+                break;
+            }
+            fired.extend(w.tick());
+        }
+        assert_eq!(
+            fired.len() == 1,
+            !cancelled,
+            "exactly one of cancel/fire wins (cancelled={cancelled}, fired={})",
+            fired.len()
+        );
+        assert_eq!(h.has_fired(), !cancelled);
+        assert_eq!(w.resident(), 0, "cancelled records are reaped");
+        w.check_invariants().unwrap();
+    });
+}
+
+/// Model 4: the `outstanding` counter under concurrent start and
+/// start-then-stop from two threads. The counter is updated with relaxed
+/// RMWs *outside* the bucket locks, so the model proves no increment or
+/// decrement is lost on any schedule.
+#[test]
+fn sharded_outstanding_counter_is_conserved() {
+    loom::model(|| {
+        let w: ShardedWheel<u32> = ShardedWheel::new(2);
+        let keeper = {
+            let w = w.clone();
+            thread::spawn(move || {
+                w.start_timer(TickDelta(3), 1).unwrap();
+            })
+        };
+        let churner = {
+            let w = w.clone();
+            thread::spawn(move || {
+                let h = w.start_timer(TickDelta(3), 2).unwrap();
+                w.stop_timer(h).unwrap();
+            })
+        };
+        keeper.join().unwrap();
+        churner.join().unwrap();
+        assert_eq!(w.outstanding(), 1, "one kept, one stopped");
+        let mut fired = Vec::new();
+        for _ in 0..4 {
+            fired.extend(w.tick());
+        }
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].payload, 1);
+        assert_eq!(fired[0].fired_at, fired[0].deadline);
+        assert_eq!(w.outstanding(), 0);
+        w.check_invariants().unwrap();
+    });
+}
+
+/// Model 5: the coarse-locked baseline. One big lock means any
+/// interleaving of start/stop/tick serializes; the model confirms no
+/// lost timer and no double fire across all schedules of a start racing
+/// a tick.
+#[test]
+fn coarse_start_vs_tick_serializes() {
+    loom::model(|| {
+        let m = CoarseLocked::new(HashedWheelUnsorted::<u32>::new(4));
+        let starter = {
+            let m = m.clone();
+            thread::spawn(move || {
+                m.start_timer(TickDelta(1), 5).unwrap();
+            })
+        };
+        let mut fired = m.tick();
+        starter.join().unwrap();
+        // The start's deadline is relative to the clock at whichever side
+        // of the tick it serialized on; either way it fires exactly once.
+        for _ in 0..3 {
+            if m.outstanding() == 0 {
+                break;
+            }
+            fired.extend(m.tick());
+        }
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].payload, 5);
+        assert_eq!(fired[0].fired_at, fired[0].deadline);
+        assert_eq!(m.outstanding(), 0);
+    });
+}

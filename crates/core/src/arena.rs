@@ -19,6 +19,8 @@
 //! slot, for example); the arena only stores the per-node `next`/`prev`
 //! links. All operations are O(1) except iteration.
 
+use alloc::format;
+use alloc::string::String;
 use alloc::vec::Vec;
 
 use crate::handle::TimerHandle;
@@ -415,6 +417,122 @@ impl<T> TimerArena<T> {
             arena: self,
             cur: list.head,
         }
+    }
+
+    /// Returns `true` if the live node `idx` is currently on some list.
+    /// Schemes that store positions out-of-band (e.g. a heap index in
+    /// `bucket`) use this to assert their nodes are *not* list-linked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` does not refer to a live node.
+    #[must_use]
+    pub fn is_linked(&self, idx: NodeIdx) -> bool {
+        self.node(idx).linked
+    }
+
+    /// Returns `true` if `idx` refers to a live (allocated) node.
+    #[must_use]
+    pub fn is_live(&self, idx: NodeIdx) -> bool {
+        matches!(self.slots.get(idx.0 as usize), Some((_, Slot::Occupied(_))))
+    }
+
+    /// Walks `list` verifying doubly-linked integrity, returning the nodes
+    /// visited front to back.
+    ///
+    /// Checked: every referenced node is live and marked linked, `prev`
+    /// pointers mirror `next` pointers, the walk terminates at `tail`
+    /// without cycling, and the recorded `len` matches the node count.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first corruption found.
+    pub fn check_list(&self, list: &ListHead) -> Result<Vec<NodeIdx>, String> {
+        let mut seen = Vec::with_capacity(list.len());
+        let mut cur = list.head;
+        let mut prev = NIL;
+        while cur != NIL {
+            if seen.len() > list.len() {
+                return Err(format!(
+                    "list walk exceeded recorded len {} (cycle or len drift)",
+                    list.len()
+                ));
+            }
+            let node = match self.slots.get(cur as usize) {
+                Some((_, Slot::Occupied(node))) => node,
+                _ => return Err(format!("list references dead or out-of-range node {cur}")),
+            };
+            if !node.linked {
+                return Err(format!("node {cur} is on a list but not marked linked"));
+            }
+            if node.prev != prev {
+                return Err(format!(
+                    "node {cur}: prev link {} does not mirror predecessor {}",
+                    node.prev as i64, prev as i64
+                ));
+            }
+            seen.push(NodeIdx(cur));
+            prev = cur;
+            cur = node.next;
+        }
+        if prev != list.tail {
+            return Err(format!(
+                "list tail {} does not match last walked node {}",
+                list.tail as i64, prev as i64
+            ));
+        }
+        if seen.len() != list.len() {
+            return Err(format!(
+                "list len {} does not match walked node count {}",
+                list.len(),
+                seen.len()
+            ));
+        }
+        Ok(seen)
+    }
+
+    /// Verifies the slab's internal accounting: the live counter matches the
+    /// number of occupied slots, and the free list covers exactly the free
+    /// slots without cycling or aliasing an occupied one.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first corruption found.
+    pub fn check_storage(&self) -> Result<(), String> {
+        let occupied = self
+            .slots
+            .iter()
+            .filter(|(_, slot)| matches!(slot, Slot::Occupied(_)))
+            .count();
+        if occupied != self.live as usize {
+            return Err(format!(
+                "live counter {} does not match occupied slot count {occupied}",
+                self.live
+            ));
+        }
+        let mut free_count = 0usize;
+        let mut cur = self.free_head;
+        while cur != NIL {
+            free_count += 1;
+            if free_count > self.slots.len() {
+                return Err(String::from("free list cycles"));
+            }
+            cur = match self.slots.get(cur as usize) {
+                Some((_, Slot::Free { next_free })) => *next_free,
+                _ => {
+                    return Err(format!(
+                        "free list points at occupied or out-of-range slot {cur}"
+                    ))
+                }
+            };
+        }
+        if free_count != self.slots.len() - occupied {
+            return Err(format!(
+                "free list holds {free_count} slots, expected {}",
+                self.slots.len() - occupied
+            ));
+        }
+        Ok(())
     }
 
     fn assert_unlinked(&mut self, idx: NodeIdx) {

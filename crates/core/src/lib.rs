@@ -39,8 +39,19 @@
 //! assert_eq!(fired.len(), 1);
 //! assert_eq!(fired[0].payload, "keepalive");
 //! ```
+//!
+//! # Safety posture
+//!
+//! `unsafe` is forbidden crate-wide. The classic raw-pointer intrusive
+//! lists of §3.2 are replaced by the index-based generational slab in
+//! [`arena`], so O(1) `STOP_TIMER` needs no pointer aliasing. On top of
+//! memory safety, *structural* correctness is checkable at runtime: every
+//! scheme implements [`validate::InvariantCheck`], and the
+//! [`validate::Checked`] wrapper revalidates the full structure after every
+//! operation (see DESIGN.md §Verification).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 #![cfg_attr(not(feature = "std"), no_std)]
 
 extern crate alloc;
@@ -54,6 +65,7 @@ pub mod handle;
 pub mod model;
 pub mod scheme;
 pub mod time;
+pub mod validate;
 pub mod wheel;
 
 pub use counters::{OpCounters, VaxCostModel};
@@ -62,3 +74,4 @@ pub use handle::{RequestId, TimerHandle};
 pub use model::OracleScheme;
 pub use scheme::{DeadlinePeek, Expired, TimerScheme, TimerSchemeExt};
 pub use time::{Tick, TickDelta};
+pub use validate::{Checked, InvariantCheck, InvariantViolation};

@@ -128,6 +128,66 @@ impl<T> TimerScheme<T> for OracleScheme<T> {
     }
 }
 
+impl<T> crate::validate::InvariantCheck for OracleScheme<T> {
+    /// Oracle invariants: every map entry is a strictly-future deadline with
+    /// a non-empty list of live arena nodes carrying that same deadline, and
+    /// the map accounts for every allocated node exactly once.
+    fn check_invariants(&self) -> Result<(), crate::validate::InvariantViolation> {
+        use crate::validate::InvariantViolation;
+        let scheme = self.name();
+        let fail = |detail: alloc::string::String| Err(InvariantViolation::new(scheme, detail));
+        if let Err(detail) = self.arena.check_storage() {
+            return fail(detail);
+        }
+        let mut total = 0usize;
+        let mut seen: Vec<NodeIdx> = Vec::new();
+        for (&deadline, due) in &self.by_deadline {
+            if deadline <= self.now {
+                return fail(alloc::format!(
+                    "deadline {} is not in the future (now {})",
+                    deadline.as_u64(),
+                    self.now.as_u64()
+                ));
+            }
+            if due.is_empty() {
+                return fail(alloc::format!(
+                    "empty bucket left behind for deadline {}",
+                    deadline.as_u64()
+                ));
+            }
+            for &idx in due {
+                if !self.arena.is_live(idx) {
+                    return fail(alloc::format!(
+                        "map references freed node under deadline {}",
+                        deadline.as_u64()
+                    ));
+                }
+                if self.arena.node(idx).deadline != deadline {
+                    return fail(alloc::format!(
+                        "node filed under {} carries deadline {}",
+                        deadline.as_u64(),
+                        self.arena.node(idx).deadline.as_u64()
+                    ));
+                }
+                if seen.contains(&idx) {
+                    return fail(alloc::string::String::from(
+                        "node appears twice in the deadline map",
+                    ));
+                }
+                seen.push(idx);
+            }
+            total += due.len();
+        }
+        if total != self.arena.len() {
+            return fail(alloc::format!(
+                "{total} nodes in the map but {} in the arena",
+                self.arena.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,215 @@
+//! Structural invariant checking for every timer scheme.
+//!
+//! Each scheme in this workspace maintains internal invariants that the
+//! paper's correctness arguments lean on — slot-index congruence
+//! (`deadline ≡ slot (mod TableSize)`), rounds/remaining-revolution
+//! consistency, doubly-linked-list integrity, generational-slab accounting,
+//! per-bucket sortedness. Ordinary tests observe only the *trace* (which
+//! timers fire when); a structural bug can hide behind a correct trace for a
+//! long time. This module makes the structure itself checkable:
+//!
+//! * [`InvariantCheck`] — implemented by all seven `tw-core` schemes (and by
+//!   `ShardedWheel`/`MpscWheel` in `tw-concurrent`, `BinaryHeapScheme` in
+//!   `tw-baselines`), it revalidates every derived invariant of the resting
+//!   state and reports the first [`InvariantViolation`] found.
+//! * [`Checked`] — a wrapper that delegates every [`TimerScheme`] operation
+//!   and re-runs `check_invariants` after each one, panicking on the first
+//!   violation. The oracle-equivalence suite drives every scheme through
+//!   `Checked` so a structural corruption is caught at the operation that
+//!   introduced it, not thousands of ticks later.
+//!
+//! The invariant catalog per scheme is documented in DESIGN.md
+//! §Verification.
+
+use alloc::string::String;
+
+use crate::scheme::{Expired, TimerScheme};
+use crate::time::{Tick, TickDelta};
+use crate::{OpCounters, TimerError, TimerHandle};
+
+/// A structural invariant failure, carrying the scheme name and a
+/// description of the first violated property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// The reporting scheme's [`TimerScheme::name`].
+    pub scheme: &'static str,
+    /// Human-readable description of the violated property.
+    pub detail: String,
+}
+
+impl InvariantViolation {
+    /// Creates a violation report.
+    #[must_use]
+    pub fn new(scheme: &'static str, detail: String) -> InvariantViolation {
+        InvariantViolation { scheme, detail }
+    }
+}
+
+impl core::fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}: invariant violated: {}", self.scheme, self.detail)
+    }
+}
+
+#[cfg(feature = "std")]
+impl std::error::Error for InvariantViolation {}
+
+/// Schemes whose resting-state structure can be revalidated from scratch.
+///
+/// `check_invariants` must be callable between any two operations (never
+/// mid-operation) and must not mutate observable state. Implementations
+/// walk the entire structure, so the check is O(outstanding) or worse —
+/// it is a test/debug facility, not a production fast path.
+pub trait InvariantCheck {
+    /// Revalidates every structural invariant.
+    ///
+    /// # Errors
+    ///
+    /// The first [`InvariantViolation`] found.
+    fn check_invariants(&self) -> Result<(), InvariantViolation>;
+}
+
+/// A [`TimerScheme`] wrapper that re-checks structural invariants after
+/// every operation.
+///
+/// Construction also validates, so a `Checked<S>` is structurally sound at
+/// every observable point of its life.
+///
+/// # Panics
+///
+/// Every delegated operation panics with the [`InvariantViolation`] if the
+/// inner scheme's structure is corrupt afterwards.
+pub struct Checked<S> {
+    inner: S,
+}
+
+impl<S: InvariantCheck> Checked<S> {
+    /// Wraps `inner`, validating it immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inner` already violates an invariant.
+    #[must_use]
+    pub fn new(inner: S) -> Checked<S> {
+        let checked = Checked { inner };
+        checked.assert_valid();
+        checked
+    }
+
+    /// Unwraps the inner scheme.
+    #[must_use]
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Borrows the inner scheme.
+    #[must_use]
+    pub fn get(&self) -> &S {
+        &self.inner
+    }
+
+    fn assert_valid(&self) {
+        if let Err(violation) = self.inner.check_invariants() {
+            panic!("{violation}");
+        }
+    }
+}
+
+impl<S: InvariantCheck> InvariantCheck for Checked<S> {
+    fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        self.inner.check_invariants()
+    }
+}
+
+impl<T, S: TimerScheme<T> + InvariantCheck> TimerScheme<T> for Checked<S> {
+    fn start_timer(&mut self, interval: TickDelta, payload: T) -> Result<TimerHandle, TimerError> {
+        let result = self.inner.start_timer(interval, payload);
+        self.assert_valid();
+        result
+    }
+
+    fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError> {
+        let result = self.inner.stop_timer(handle);
+        self.assert_valid();
+        result
+    }
+
+    fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
+        self.inner.tick(expired);
+        self.assert_valid();
+    }
+
+    fn now(&self) -> Tick {
+        self.inner.now()
+    }
+
+    fn outstanding(&self) -> usize {
+        self.inner.outstanding()
+    }
+
+    fn counters(&self) -> &OpCounters {
+        self.inner.counters()
+    }
+
+    fn reset_counters(&mut self) {
+        self.inner.reset_counters();
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// Ticks until the cursor of an advance-then-process wheel next lands on
+/// `slot`: in `1..=table_size`, with a full revolution when the cursor sits
+/// on `slot` right now (its visit for the current tick has completed).
+///
+/// Shared by the slot-congruence checks of Schemes 4–6, the hybrid, and
+/// `tw-concurrent`'s sharded wheel.
+#[must_use]
+pub fn ticks_until_visit(cursor: u64, slot: u64, table_size: u64) -> u64 {
+    let d = (slot + table_size - cursor % table_size) % table_size;
+    if d == 0 {
+        table_size
+    } else {
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_until_visit_covers_wraparound() {
+        assert_eq!(ticks_until_visit(0, 1, 4), 1);
+        assert_eq!(ticks_until_visit(3, 0, 4), 1);
+        assert_eq!(ticks_until_visit(2, 2, 4), 4, "own slot = full revolution");
+        assert_eq!(ticks_until_visit(1, 0, 4), 3);
+        // Cursor expressed as an absolute tick works too.
+        assert_eq!(ticks_until_visit(9, 2, 4), 1);
+    }
+
+    #[test]
+    fn violation_display_names_the_scheme() {
+        let v = InvariantViolation::new("scheme6(hashed-unsorted)", String::from("boom"));
+        let msg = alloc::format!("{v}");
+        assert!(msg.contains("scheme6"));
+        assert!(msg.contains("boom"));
+    }
+
+    #[test]
+    fn checked_delegates_and_validates() {
+        use crate::model::OracleScheme;
+        use crate::scheme::TimerSchemeExt;
+
+        let mut w = Checked::new(OracleScheme::<u32>::new());
+        let h = w.start_timer(TickDelta(2), 7).unwrap();
+        assert_eq!(w.outstanding(), 1);
+        assert_eq!(w.stop_timer(h), Ok(7));
+        w.start_timer(TickDelta(1), 9).unwrap();
+        let fired = w.collect_ticks(1);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(w.into_inner().outstanding(), 0);
+    }
+}

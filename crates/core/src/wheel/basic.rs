@@ -226,6 +226,87 @@ impl<T> TimerScheme<T> for BasicWheel<T> {
     }
 }
 
+impl<T> crate::validate::InvariantCheck for BasicWheel<T> {
+    /// Scheme 4 resting-state invariants: cursor congruent to the clock,
+    /// slot-index congruence (`deadline ≡ slot (mod MaxInterval)`), every
+    /// resident deadline within one revolution, overflow-parked timers
+    /// strictly future, intact lists, and node count equal to `outstanding`.
+    fn check_invariants(&self) -> Result<(), crate::validate::InvariantViolation> {
+        use crate::validate::{ticks_until_visit, InvariantViolation};
+        let scheme = self.name();
+        let fail = |detail: alloc::string::String| Err(InvariantViolation::new(scheme, detail));
+        let n = self.slots.len() as u64;
+        let now = self.now.as_u64();
+        if let Err(detail) = self.arena.check_storage() {
+            return fail(detail);
+        }
+        if self.cursor as u64 != now % n {
+            return fail(alloc::format!(
+                "cursor {} is not now mod slots ({} mod {n})",
+                self.cursor,
+                now
+            ));
+        }
+        let mut linked = 0usize;
+        for (slot, list) in self.slots.iter().enumerate() {
+            let nodes = match self.arena.check_list(list) {
+                Ok(nodes) => nodes,
+                Err(detail) => return fail(alloc::format!("slot {slot}: {detail}")),
+            };
+            linked += nodes.len();
+            for idx in nodes {
+                let node = self.arena.node(idx);
+                let deadline = node.deadline.as_u64();
+                if node.bucket != slot as u32 {
+                    return fail(alloc::format!(
+                        "node in slot {slot} tagged bucket {}",
+                        node.bucket
+                    ));
+                }
+                if deadline % n != slot as u64 {
+                    return fail(alloc::format!(
+                        "slot-index congruence: deadline {deadline} mod {n} != slot {slot}"
+                    ));
+                }
+                let expect = now + ticks_until_visit(now, slot as u64, n);
+                if deadline != expect {
+                    return fail(alloc::format!(
+                        "resident deadline {deadline} not within one revolution \
+                         (next visit of slot {slot} is tick {expect})"
+                    ));
+                }
+            }
+        }
+        let overflow = match self.arena.check_list(&self.overflow) {
+            Ok(nodes) => nodes,
+            Err(detail) => return fail(alloc::format!("overflow list: {detail}")),
+        };
+        linked += overflow.len();
+        for idx in overflow {
+            let node = self.arena.node(idx);
+            if node.bucket != OVERFLOW_BUCKET {
+                return fail(alloc::format!(
+                    "overflow node tagged bucket {} instead of the sentinel",
+                    node.bucket
+                ));
+            }
+            if node.deadline.as_u64() <= now {
+                return fail(alloc::format!(
+                    "overflow-parked deadline {} is not in the future (now {now})",
+                    node.deadline.as_u64()
+                ));
+            }
+        }
+        if linked != self.arena.len() {
+            return fail(alloc::format!(
+                "{linked} nodes on lists but {} outstanding",
+                self.arena.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -301,6 +301,138 @@ impl<T> TimerScheme<T> for ClockworkWheel<T> {
     }
 }
 
+impl<T> crate::validate::InvariantCheck for ClockworkWheel<T> {
+    /// Clockwork invariants: level geometry, every cursor at
+    /// `(now / granularity) mod size`, exactly one live update record per
+    /// upper level riding the array one level below with its next firing at
+    /// the coming granularity boundary, every user record at the level the
+    /// digit rule picks for it today, and node count matching the lists.
+    fn check_invariants(&self) -> Result<(), crate::validate::InvariantViolation> {
+        use crate::validate::InvariantViolation;
+        let scheme = self.name();
+        let fail = |detail: alloc::string::String| Err(InvariantViolation::new(scheme, detail));
+        let now = self.now.as_u64();
+        if let Err(detail) = self.arena.check_storage() {
+            return fail(detail);
+        }
+        let mut granularity = 1u64;
+        let mut base = 0u32;
+        for (i, level) in self.levels.iter().enumerate() {
+            if level.granularity != granularity || level.base != base {
+                return fail(alloc::format!(
+                    "level {i} geometry drift: granularity {} base {} \
+                     (expected {granularity}/{base})",
+                    level.granularity,
+                    level.base
+                ));
+            }
+            if level.size != level.slots.len() as u64 {
+                return fail(alloc::format!("level {i} size/slot-count mismatch"));
+            }
+            if level.cursor as u64 != (now / level.granularity) % level.size {
+                return fail(alloc::format!(
+                    "level {i} cursor {} out of phase with now {now}",
+                    level.cursor
+                ));
+            }
+            granularity = granularity.saturating_mul(level.size);
+            base += level.size as u32;
+        }
+        let mut linked = 0usize;
+        let mut updater_seen = alloc::vec![false; self.levels.len()];
+        for (i, level) in self.levels.iter().enumerate() {
+            for (slot, list) in level.slots.iter().enumerate() {
+                let nodes = match self.arena.check_list(list) {
+                    Ok(nodes) => nodes,
+                    Err(detail) => return fail(alloc::format!("level {i} slot {slot}: {detail}")),
+                };
+                linked += nodes.len();
+                for idx in nodes {
+                    let node = self.arena.node(idx);
+                    let target = node.aux;
+                    if node.bucket != level.base + slot as u32 {
+                        return fail(alloc::format!(
+                            "node in level {i} slot {slot} tagged bucket {}",
+                            node.bucket
+                        ));
+                    }
+                    if target != node.deadline.as_u64() {
+                        return fail(alloc::format!(
+                            "firing target {target} != deadline {}",
+                            node.deadline.as_u64()
+                        ));
+                    }
+                    if target <= now {
+                        return fail(alloc::format!(
+                            "firing target {target} is not in the future (now {now})"
+                        ));
+                    }
+                    if (target / level.granularity) % level.size != slot as u64 {
+                        return fail(alloc::format!(
+                            "level {i} slot congruence: target {target} / {} mod {} != {slot}",
+                            level.granularity,
+                            level.size
+                        ));
+                    }
+                    match node.payload {
+                        Record::User(_) => {
+                            let Some(expect) = self
+                                .levels
+                                .iter()
+                                .rposition(|l| target / l.granularity != now / l.granularity)
+                            else {
+                                return fail(alloc::format!(
+                                    "digit rule has no level for target {target} at now {now}"
+                                ));
+                            };
+                            if expect != i {
+                                return fail(alloc::format!(
+                                    "user record at level {i} but the digit rule \
+                                     places target {target} at level {expect}"
+                                ));
+                            }
+                        }
+                        Record::Update { level: advanced } => {
+                            if advanced != i + 1 {
+                                return fail(alloc::format!(
+                                    "level-{advanced} updater riding level {i} \
+                                     instead of level {}",
+                                    advanced.wrapping_sub(1)
+                                ));
+                            }
+                            if updater_seen[advanced] {
+                                return fail(alloc::format!(
+                                    "duplicate update timer for level {advanced}"
+                                ));
+                            }
+                            updater_seen[advanced] = true;
+                            let g = self.levels[advanced].granularity;
+                            if target != (now / g + 1) * g {
+                                return fail(alloc::format!(
+                                    "level-{advanced} updater armed for {target}, \
+                                     not the next granularity-{g} boundary after {now}"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (lvl, seen) in updater_seen.iter().enumerate().skip(1) {
+            if !seen {
+                return fail(alloc::format!("level {lvl} has no update timer"));
+            }
+        }
+        if linked != self.arena.len() {
+            return fail(alloc::format!(
+                "{linked} nodes on lists but {} in the arena",
+                self.arena.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

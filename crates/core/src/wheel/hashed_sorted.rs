@@ -179,6 +179,71 @@ impl<T> TimerScheme<T> for HashedWheelSorted<T> {
     }
 }
 
+impl<T> crate::validate::InvariantCheck for HashedWheelSorted<T> {
+    /// Scheme 5 resting-state invariants: cursor congruent to the clock,
+    /// slot-index congruence (`deadline ≡ slot (mod TableSize)`), strictly
+    /// future deadlines, each bucket sorted ascending by deadline, intact
+    /// lists, and node count equal to `outstanding`.
+    fn check_invariants(&self) -> Result<(), crate::validate::InvariantViolation> {
+        use crate::validate::InvariantViolation;
+        let scheme = self.name();
+        let fail = |detail: alloc::string::String| Err(InvariantViolation::new(scheme, detail));
+        let n = self.slots.len() as u64;
+        let now = self.now.as_u64();
+        if let Err(detail) = self.arena.check_storage() {
+            return fail(detail);
+        }
+        if self.cursor as u64 != now % n {
+            return fail(alloc::format!(
+                "cursor {} is not now mod table size ({now} mod {n})",
+                self.cursor
+            ));
+        }
+        let mut linked = 0usize;
+        for (slot, list) in self.slots.iter().enumerate() {
+            let nodes = match self.arena.check_list(list) {
+                Ok(nodes) => nodes,
+                Err(detail) => return fail(alloc::format!("bucket {slot}: {detail}")),
+            };
+            linked += nodes.len();
+            let mut prev_deadline = 0u64;
+            for idx in nodes {
+                let node = self.arena.node(idx);
+                let deadline = node.deadline.as_u64();
+                if node.bucket != slot as u32 {
+                    return fail(alloc::format!(
+                        "node in bucket {slot} tagged bucket {}",
+                        node.bucket
+                    ));
+                }
+                if deadline % n != slot as u64 {
+                    return fail(alloc::format!(
+                        "slot-index congruence: deadline {deadline} mod {n} != slot {slot}"
+                    ));
+                }
+                if deadline <= now {
+                    return fail(alloc::format!(
+                        "resident deadline {deadline} is not in the future (now {now})"
+                    ));
+                }
+                if deadline < prev_deadline {
+                    return fail(alloc::format!(
+                        "bucket {slot} unsorted: {deadline} follows {prev_deadline}"
+                    ));
+                }
+                prev_deadline = deadline;
+            }
+        }
+        if linked != self.arena.len() {
+            return fail(alloc::format!(
+                "{linked} nodes on lists but {} outstanding",
+                self.arena.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

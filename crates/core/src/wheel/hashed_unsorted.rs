@@ -108,6 +108,18 @@ impl<T> HashedWheelUnsorted<T> {
     pub fn bucket_len(&self, slot: usize) -> usize {
         self.slots[slot].len()
     }
+
+    /// Visits every resident timer's payload (bucket order, insertion order
+    /// within a bucket). Lets wrappers that embed this wheel — e.g. the
+    /// message-passing wheel in `tw-concurrent` — audit resident records
+    /// during invariant checking.
+    pub fn for_each_resident(&self, f: &mut dyn FnMut(&T)) {
+        for list in &self.slots {
+            for idx in self.arena.iter(list) {
+                f(&self.arena.node(idx).payload);
+            }
+        }
+    }
 }
 
 impl<T> TimerScheme<T> for HashedWheelUnsorted<T> {
@@ -202,6 +214,69 @@ impl<T> TimerScheme<T> for HashedWheelUnsorted<T> {
 
     fn name(&self) -> &'static str {
         "scheme6(hashed-unsorted)"
+    }
+}
+
+impl<T> crate::validate::InvariantCheck for HashedWheelUnsorted<T> {
+    /// Scheme 6 resting-state invariants: cursor congruent to the clock,
+    /// slot-index congruence, *rounds consistency* — every node satisfies
+    /// `deadline = now + d + rounds·N` where `d` is the number of ticks
+    /// until the cursor next visits its slot (the §6.1.2 arithmetic that
+    /// makes expiry land on tick `j` exactly) — intact lists, and node
+    /// count equal to `outstanding`.
+    fn check_invariants(&self) -> Result<(), crate::validate::InvariantViolation> {
+        use crate::validate::{ticks_until_visit, InvariantViolation};
+        let scheme = self.name();
+        let fail = |detail: alloc::string::String| Err(InvariantViolation::new(scheme, detail));
+        let n = self.slots.len() as u64;
+        let now = self.now.as_u64();
+        if let Err(detail) = self.arena.check_storage() {
+            return fail(detail);
+        }
+        if self.cursor as u64 != now % n {
+            return fail(alloc::format!(
+                "cursor {} is not now mod table size ({now} mod {n})",
+                self.cursor
+            ));
+        }
+        let mut linked = 0usize;
+        for (slot, list) in self.slots.iter().enumerate() {
+            let nodes = match self.arena.check_list(list) {
+                Ok(nodes) => nodes,
+                Err(detail) => return fail(alloc::format!("bucket {slot}: {detail}")),
+            };
+            linked += nodes.len();
+            for idx in nodes {
+                let node = self.arena.node(idx);
+                let deadline = node.deadline.as_u64();
+                if node.bucket != slot as u32 {
+                    return fail(alloc::format!(
+                        "node in bucket {slot} tagged bucket {}",
+                        node.bucket
+                    ));
+                }
+                if deadline % n != slot as u64 {
+                    return fail(alloc::format!(
+                        "slot-index congruence: deadline {deadline} mod {n} != slot {slot}"
+                    ));
+                }
+                let expect = now + ticks_until_visit(now, slot as u64, n) + node.aux * n;
+                if deadline != expect {
+                    return fail(alloc::format!(
+                        "rounds inconsistency in bucket {slot}: deadline {deadline}, \
+                         but rounds {} from now {now} implies {expect}",
+                        node.aux
+                    ));
+                }
+            }
+        }
+        if linked != self.arena.len() {
+            return fail(alloc::format!(
+                "{linked} nodes on lists but {} outstanding",
+                self.arena.len()
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -475,6 +475,123 @@ impl<T> TimerScheme<T> for HierarchicalWheel<T> {
     }
 }
 
+impl<T> crate::validate::InvariantCheck for HierarchicalWheel<T> {
+    /// Scheme 7 resting-state invariants: the granularity/base chain of the
+    /// level geometry, per-level slot congruence
+    /// (`slot = (target / granularity) mod size`), strictly-future firing
+    /// targets, the migration flag only under `MigrationPolicy::Single`,
+    /// `target == deadline` under full migration, intact lists, and node
+    /// count equal to `outstanding`.
+    fn check_invariants(&self) -> Result<(), crate::validate::InvariantViolation> {
+        use crate::validate::InvariantViolation;
+        let scheme = self.name();
+        let fail = |detail: alloc::string::String| Err(InvariantViolation::new(scheme, detail));
+        let now = self.now.as_u64();
+        if let Err(detail) = self.arena.check_storage() {
+            return fail(detail);
+        }
+        let mut granularity = 1u64;
+        let mut base = 0u32;
+        for (i, level) in self.levels.iter().enumerate() {
+            if level.granularity != granularity || level.base != base {
+                return fail(alloc::format!(
+                    "level {i} geometry drift: granularity {} base {} \
+                     (expected {granularity}/{base})",
+                    level.granularity,
+                    level.base
+                ));
+            }
+            if level.size != level.slots.len() as u64 {
+                return fail(alloc::format!("level {i} size/slot-count mismatch"));
+            }
+            granularity = granularity.saturating_mul(level.size);
+            base += level.size as u32;
+        }
+        let mut linked = 0usize;
+        for (i, level) in self.levels.iter().enumerate() {
+            for (slot, list) in level.slots.iter().enumerate() {
+                let nodes = match self.arena.check_list(list) {
+                    Ok(nodes) => nodes,
+                    Err(detail) => return fail(alloc::format!("level {i} slot {slot}: {detail}")),
+                };
+                linked += nodes.len();
+                for idx in nodes {
+                    let node = self.arena.node(idx);
+                    let target = node.aux & !MIGRATED_FLAG;
+                    if node.aux & MIGRATED_FLAG != 0
+                        && self.migration_policy != MigrationPolicy::Single
+                    {
+                        return fail(alloc::format!(
+                            "migration flag set under {:?}",
+                            self.migration_policy
+                        ));
+                    }
+                    if node.bucket != level.base + slot as u32 {
+                        return fail(alloc::format!(
+                            "node in level {i} slot {slot} tagged bucket {}",
+                            node.bucket
+                        ));
+                    }
+                    if target <= now {
+                        return fail(alloc::format!(
+                            "firing target {target} is not in the future (now {now})"
+                        ));
+                    }
+                    if (target / level.granularity) % level.size != slot as u64 {
+                        return fail(alloc::format!(
+                            "level {i} slot congruence: target {target} / {} mod {} != {slot}",
+                            level.granularity,
+                            level.size
+                        ));
+                    }
+                    if self.migration_policy == MigrationPolicy::Full
+                        && target != node.deadline.as_u64()
+                    {
+                        return fail(alloc::format!(
+                            "full migration but target {target} != deadline {}",
+                            node.deadline.as_u64()
+                        ));
+                    }
+                }
+            }
+        }
+        let overflow = match self.arena.check_list(&self.overflow) {
+            Ok(nodes) => nodes,
+            Err(detail) => return fail(alloc::format!("overflow list: {detail}")),
+        };
+        linked += overflow.len();
+        for idx in overflow {
+            let node = self.arena.node(idx);
+            if node.bucket != OVERFLOW_BUCKET {
+                return fail(alloc::format!(
+                    "overflow node tagged bucket {} instead of the sentinel",
+                    node.bucket
+                ));
+            }
+            if node.aux & !MIGRATED_FLAG != node.deadline.as_u64() {
+                return fail(alloc::format!(
+                    "overflow target {} != deadline {}",
+                    node.aux & !MIGRATED_FLAG,
+                    node.deadline.as_u64()
+                ));
+            }
+            if node.deadline.as_u64() <= now {
+                return fail(alloc::format!(
+                    "overflow-parked deadline {} is not in the future (now {now})",
+                    node.deadline.as_u64()
+                ));
+            }
+        }
+        if linked != self.arena.len() {
+            return fail(alloc::format!(
+                "{linked} nodes on lists but {} outstanding",
+                self.arena.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -214,6 +214,90 @@ impl<T> TimerScheme<T> for HybridWheel<T> {
     }
 }
 
+impl<T> crate::validate::InvariantCheck for HybridWheel<T> {
+    /// Hybrid invariants: cursor phase, wheel residents due within one
+    /// revolution at the slot the cursor will visit exactly at their
+    /// deadline, far-list residents sorted ascending and strictly beyond
+    /// the wheel's range, and the two sides accounting for every node.
+    fn check_invariants(&self) -> Result<(), crate::validate::InvariantViolation> {
+        use crate::validate::{ticks_until_visit, InvariantViolation};
+        let scheme = self.name();
+        let fail = |detail: alloc::string::String| Err(InvariantViolation::new(scheme, detail));
+        let n = self.slots.len() as u64;
+        let now = self.now.as_u64();
+        if let Err(detail) = self.arena.check_storage() {
+            return fail(detail);
+        }
+        if self.cursor as u64 != now % n {
+            return fail(alloc::format!(
+                "cursor {} out of phase with now {now} (mod {n})",
+                self.cursor
+            ));
+        }
+        let mut linked = 0usize;
+        for (slot, list) in self.slots.iter().enumerate() {
+            let nodes = match self.arena.check_list(list) {
+                Ok(nodes) => nodes,
+                Err(detail) => return fail(alloc::format!("slot {slot}: {detail}")),
+            };
+            linked += nodes.len();
+            for idx in nodes {
+                let node = self.arena.node(idx);
+                if node.bucket != slot as u32 {
+                    return fail(alloc::format!(
+                        "node in slot {slot} tagged bucket {}",
+                        node.bucket
+                    ));
+                }
+                let deadline = node.deadline.as_u64();
+                if deadline != now + ticks_until_visit(now, slot as u64, n) {
+                    return fail(alloc::format!(
+                        "wheel resident in slot {slot} has deadline {deadline} \
+                         but the cursor reaches that slot at \
+                         {}",
+                        now + ticks_until_visit(now, slot as u64, n)
+                    ));
+                }
+            }
+        }
+        let far = match self.arena.check_list(&self.far) {
+            Ok(nodes) => nodes,
+            Err(detail) => return fail(alloc::format!("far list: {detail}")),
+        };
+        linked += far.len();
+        let mut prev_deadline = 0u64;
+        for idx in far {
+            let node = self.arena.node(idx);
+            if node.bucket != FAR_BUCKET {
+                return fail(alloc::format!(
+                    "far-list node tagged bucket {} instead of the sentinel",
+                    node.bucket
+                ));
+            }
+            let deadline = node.deadline.as_u64();
+            if deadline <= now + n {
+                return fail(alloc::format!(
+                    "far-list deadline {deadline} is within the wheel's \
+                     range (now {now}, {n} slots) and should have migrated"
+                ));
+            }
+            if deadline < prev_deadline {
+                return fail(alloc::format!(
+                    "far list out of order: {deadline} after {prev_deadline}"
+                ));
+            }
+            prev_deadline = deadline;
+        }
+        if linked != self.arena.len() {
+            return fail(alloc::format!(
+                "{linked} nodes on lists but {} outstanding",
+                self.arena.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

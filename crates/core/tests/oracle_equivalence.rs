@@ -13,6 +13,20 @@ use tw_core::wheel::{
 };
 use tw_core::{OracleScheme, TickDelta, TimerScheme};
 
+/// With `--features checked` every scheme under test (and the oracle itself)
+/// runs inside [`tw_core::Checked`], which re-validates the full structural
+/// invariant catalog after each operation and panics on the first violation.
+#[cfg(feature = "checked")]
+fn harness<S: TimerScheme<u64> + tw_core::InvariantCheck>(scheme: S) -> tw_core::Checked<S> {
+    tw_core::Checked::new(scheme)
+}
+
+/// Without the feature the schemes run bare (the fast default).
+#[cfg(not(feature = "checked"))]
+fn harness<S: TimerScheme<u64>>(scheme: S) -> S {
+    scheme
+}
+
 /// One step of a random timer workload.
 #[derive(Debug, Clone)]
 enum Op {
@@ -39,7 +53,7 @@ fn check_equivalence<S: TimerScheme<u64>>(
     mut scheme: S,
     ops: Vec<Op>,
 ) -> Result<(), TestCaseError> {
-    let mut oracle: OracleScheme<u64> = OracleScheme::new();
+    let mut oracle = harness(OracleScheme::<u64>::new());
     // Parallel handle books, index-aligned.
     let mut live: Vec<(tw_core::TimerHandle, tw_core::TimerHandle, u64)> = Vec::new();
     let mut next_id = 0u64;
@@ -107,7 +121,7 @@ proptest! {
     #[test]
     fn basic_wheel_matches_oracle(ops in proptest::collection::vec(op_strategy(32), 1..300)) {
         // Scheme 4 accepts intervals up to its slot count (32 here).
-        check_equivalence(BasicWheel::<u64>::new(32), ops)?;
+        check_equivalence(harness(BasicWheel::<u64>::new(32)), ops)?;
     }
 
     #[test]
@@ -116,19 +130,19 @@ proptest! {
     ) {
         // Intervals up to 200 on an 8-slot wheel: heavy overflow traffic.
         check_equivalence(
-            BasicWheel::<u64>::with_policy(8, OverflowPolicy::OverflowList),
+            harness(BasicWheel::<u64>::with_policy(8, OverflowPolicy::OverflowList)),
             ops,
         )?;
     }
 
     #[test]
     fn hashed_sorted_matches_oracle(ops in proptest::collection::vec(op_strategy(500), 1..300)) {
-        check_equivalence(HashedWheelSorted::<u64>::new(16), ops)?;
+        check_equivalence(harness(HashedWheelSorted::<u64>::new(16)), ops)?;
     }
 
     #[test]
     fn hashed_unsorted_matches_oracle(ops in proptest::collection::vec(op_strategy(500), 1..300)) {
-        check_equivalence(HashedWheelUnsorted::<u64>::new(16), ops)?;
+        check_equivalence(harness(HashedWheelUnsorted::<u64>::new(16)), ops)?;
     }
 
     #[test]
@@ -136,14 +150,14 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(100), 1..200),
     ) {
         // Table size 1: degenerates to a Scheme-1-style single list.
-        check_equivalence(HashedWheelUnsorted::<u64>::new(1), ops)?;
+        check_equivalence(harness(HashedWheelUnsorted::<u64>::new(1)), ops)?;
     }
 
     #[test]
     fn hierarchical_digit_matches_oracle(
         ops in proptest::collection::vec(op_strategy(511), 1..300),
     ) {
-        check_equivalence(HierarchicalWheel::<u64>::new(LevelSizes(vec![8, 8, 8])), ops)?;
+        check_equivalence(harness(HierarchicalWheel::<u64>::new(LevelSizes(vec![8, 8, 8]))), ops)?;
     }
 
     #[test]
@@ -151,12 +165,12 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(511), 1..300),
     ) {
         check_equivalence(
-            HierarchicalWheel::<u64>::with_policies(
+            harness(HierarchicalWheel::<u64>::with_policies(
                 LevelSizes(vec![8, 8, 8]),
                 InsertRule::Covering,
                 MigrationPolicy::Full,
                 OverflowPolicy::Reject,
-            ),
+            )),
             ops,
         )?;
     }
@@ -166,14 +180,14 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(500), 1..300),
     ) {
         // 8-slot wheel: most intervals ride the far list and migrate.
-        check_equivalence(HybridWheel::<u64>::new(8), ops)?;
+        check_equivalence(harness(HybridWheel::<u64>::new(8)), ops)?;
     }
 
     #[test]
     fn clockwork_matches_oracle(
         ops in proptest::collection::vec(op_strategy(511), 1..300),
     ) {
-        check_equivalence(ClockworkWheel::<u64>::new(LevelSizes(vec![8, 8, 8])), ops)?;
+        check_equivalence(harness(ClockworkWheel::<u64>::new(LevelSizes(vec![8, 8, 8]))), ops)?;
     }
 
     /// The literal §6.2 mechanism (update-timer records) and the arithmetic
@@ -182,8 +196,8 @@ proptest! {
     fn clockwork_matches_hierarchical(
         ops in proptest::collection::vec(op_strategy(719), 1..250),
     ) {
-        let mut a = ClockworkWheel::<u64>::new(LevelSizes(vec![10, 12, 6]));
-        let mut b = HierarchicalWheel::<u64>::new(LevelSizes(vec![10, 12, 6]));
+        let mut a = harness(ClockworkWheel::<u64>::new(LevelSizes(vec![10, 12, 6])));
+        let mut b = harness(HierarchicalWheel::<u64>::new(LevelSizes(vec![10, 12, 6])));
         let mut live: Vec<(tw_core::TimerHandle, tw_core::TimerHandle, u64)> = Vec::new();
         let mut next_id = 0u64;
         for op in ops {
@@ -222,12 +236,12 @@ proptest! {
     ) {
         // Range 512; intervals up to 4000 exercise the overflow list hard.
         check_equivalence(
-            HierarchicalWheel::<u64>::with_policies(
+            harness(HierarchicalWheel::<u64>::with_policies(
                 LevelSizes(vec![8, 8, 8]),
                 InsertRule::Digit,
                 MigrationPolicy::Full,
                 OverflowPolicy::OverflowList,
-            ),
+            )),
             ops,
         )?;
     }
@@ -237,7 +251,7 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(719), 1..250),
     ) {
         // Mixed radices like the paper's clock (range 720 here).
-        check_equivalence(HierarchicalWheel::<u64>::new(LevelSizes(vec![10, 12, 6])), ops)?;
+        check_equivalence(harness(HierarchicalWheel::<u64>::new(LevelSizes(vec![10, 12, 6]))), ops)?;
     }
 
     /// The reduced-precision variants are *not* trace-equivalent; instead
@@ -352,4 +366,91 @@ fn nomig_and_single_fire_once_with_bounded_error() {
             );
         }
     }
+}
+
+/// Always-on structural soak: 10 000 random operations per scheme inside
+/// [`tw_core::Checked`], which re-runs the full invariant catalog after every
+/// single operation and panics on the first violation. Unlike the
+/// trace-equivalence properties above (which validate only under
+/// `--features checked`), this runs in the default test configuration.
+#[test]
+fn checked_schemes_survive_10k_op_churn() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use tw_core::{Checked, InvariantCheck, TimerHandle};
+
+    fn churn<S: TimerScheme<u64> + InvariantCheck>(scheme: S, max_interval: u64, seed: u64) {
+        let name = scheme.name();
+        let mut w = Checked::new(scheme);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut live: Vec<TimerHandle> = Vec::new();
+        let mut id = 0u64;
+        for _ in 0..10_000 {
+            match rng.gen_range(0u32..9) {
+                // Start (weight 3): any interval in the scheme's range.
+                0..=2 => {
+                    let j = rng.gen_range(1..=max_interval);
+                    let h = w.start_timer(TickDelta(j), id).unwrap_or_else(|e| {
+                        panic!("{name}: start_timer({j}) rejected in range: {e:?}")
+                    });
+                    live.push(h);
+                    id += 1;
+                }
+                // Stop (weight 2): a uniformly random outstanding timer.
+                3..=4 => {
+                    if !live.is_empty() {
+                        let k = rng.gen_range(0usize..live.len());
+                        let h = live.swap_remove(k);
+                        w.stop_timer(h).unwrap();
+                    }
+                }
+                // Tick (weight 4).
+                _ => {
+                    let mut fired: Vec<TimerHandle> = Vec::new();
+                    w.tick(&mut |e| fired.push(e.handle));
+                    live.retain(|h| !fired.contains(h));
+                }
+            }
+        }
+        let mut guard = 0u32;
+        while w.outstanding() > 0 {
+            w.tick(&mut |_| {});
+            guard += 1;
+            assert!(guard < 100_000, "{name}: drain did not terminate");
+        }
+        w.check_invariants()
+            .unwrap_or_else(|v| panic!("{name}: corrupt after drain: {v}"));
+    }
+
+    churn(BasicWheel::<u64>::new(32), 32, 0xA1);
+    churn(
+        BasicWheel::<u64>::with_policy(8, OverflowPolicy::OverflowList),
+        200,
+        0xA2,
+    );
+    churn(HashedWheelSorted::<u64>::new(16), 500, 0xA3);
+    churn(HashedWheelUnsorted::<u64>::new(16), 500, 0xA4);
+    churn(HashedWheelUnsorted::<u64>::new(1), 100, 0xA5);
+    churn(
+        HierarchicalWheel::<u64>::new(LevelSizes(vec![8, 8, 8])),
+        511,
+        0xA6,
+    );
+    churn(
+        HierarchicalWheel::<u64>::with_policies(
+            LevelSizes(vec![8, 8, 8]),
+            InsertRule::Digit,
+            MigrationPolicy::Full,
+            OverflowPolicy::OverflowList,
+        ),
+        4000,
+        0xA7,
+    );
+    churn(HybridWheel::<u64>::new(8), 500, 0xA8);
+    churn(
+        ClockworkWheel::<u64>::new(LevelSizes(vec![8, 8, 8])),
+        511,
+        0xA9,
+    );
+    churn(OracleScheme::<u64>::new(), 1_000, 0xAA);
 }

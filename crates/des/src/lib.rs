@@ -15,7 +15,13 @@
 //!   flavours.
 //! * [`logic`] — a gate-level logic simulator with per-gate delays and
 //!   selective tracing, scheduled by any timer scheme.
+//!
+//! # Safety posture
+//!
+//! `unsafe` is forbidden at the crate level; all event storage rides on the
+//! safe slab-backed schemes from `tw-core`/`tw-baselines`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

@@ -21,7 +21,13 @@
 //!   done": one interrupt per non-empty slot visit. Under Scheme 6 the host
 //!   is interrupted ≈ `T/M` times per timer lifetime; under Scheme 7 at
 //!   most `m` times — the claim the `hw_interrupts` experiment regenerates.
+//!
+//! # Safety posture
+//!
+//! `unsafe` is forbidden at the crate level; the interrupt accounting is a
+//! pure counting model over the safe scheme implementations.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use tw_core::scheme::DeadlinePeek;

@@ -72,7 +72,7 @@ impl Arrivals {
     }
 
     /// Returns the gap (in ticks) before the next arrival.
-    pub fn next_gap<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+    pub fn next_gap<R: Rng>(&mut self, rng: &mut R) -> u64 {
         match self.process {
             ArrivalProcess::Poisson { rate } => {
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);

@@ -63,7 +63,7 @@ impl IntervalDist {
     ///
     /// Panics if the distribution parameters are invalid (zero constant,
     /// `lo > hi`, non-positive mean/alpha, `p` outside `(0, 1]`).
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> TickDelta {
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> TickDelta {
         let ticks = match *self {
             IntervalDist::Constant(c) => {
                 assert!(c >= 1, "constant interval must be at least one tick");

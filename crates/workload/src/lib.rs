@@ -9,7 +9,13 @@
 //! * [`stats`] — online moments, percentiles, log histograms.
 //! * [`theory`] — the paper's closed forms (insert costs, Little's law,
 //!   residual life, `4 + 15·n/TableSize`, the §6.2 crossover rule).
+//!
+//! # Safety posture
+//!
+//! `unsafe` is forbidden at the crate level; generation and analysis are
+//! plain arithmetic over owned buffers.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arrivals;

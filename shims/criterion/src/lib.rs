@@ -1,0 +1,291 @@
+//! Offline shim for the `criterion` crate (see `shims/README.md`).
+//!
+//! A timing harness, not a statistics engine: each benchmark warms up for
+//! `warm_up_time`, then runs timed batches until `measurement_time` elapses
+//! (at least `sample_size` batches), and prints mean / median / min
+//! nanoseconds per iteration to stdout. No outlier analysis, no HTML
+//! reports, no baseline comparison.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle (shim of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let stats = run_bench(self, &mut f);
+        stats.report(&id, None);
+    }
+}
+
+/// Throughput annotation: reported as elements/sec alongside ns/iter.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier (shim of `criterion::BenchmarkId`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl ToString, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function.to_string(), parameter),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let stats = run_bench(self.criterion, &mut |b| f(b, input));
+        let label = format!("{}/{}", self.name, id.label);
+        stats.report(&label, self.throughput);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let stats = run_bench(self.criterion, &mut |b| f(b));
+        let label = format!("{}/{}", self.name, id.into());
+        stats.report(&label, self.throughput);
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Per-sample measurement driver passed to the bench closure.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Total elapsed across timed iterations of this sample.
+    elapsed: Duration,
+    /// Number of timed iterations of this sample.
+    iters: u64,
+}
+
+enum BenchMode {
+    WarmUp,
+    Measure,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BenchMode::WarmUp => {
+                black_box(routine());
+                self.iters = 1;
+            }
+            BenchMode::Measure => {
+                // One probe iteration sizes a batch of ~50µs so that
+                // sub-microsecond routines are not swamped by clock-read
+                // overhead, while multi-millisecond routines run once.
+                let start = Instant::now();
+                black_box(routine());
+                let single = start.elapsed();
+                let budget = Duration::from_micros(50);
+                let extra = if single >= budget {
+                    0
+                } else {
+                    let single_ns = single.as_nanos().max(1);
+                    (budget.as_nanos() / single_ns).min(4095) as u64
+                };
+                for _ in 0..extra {
+                    black_box(routine());
+                }
+                self.elapsed += start.elapsed();
+                self.iters += 1 + extra;
+            }
+        }
+    }
+}
+
+struct Stats {
+    samples_ns: Vec<f64>,
+}
+
+impl Stats {
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.total_cmp(b));
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        let median = s[s.len() / 2];
+        let min = s[0];
+        let mut line = format!(
+            "{label:<55} mean {mean:>12.1} ns  median {median:>12.1} ns  min {min:>12.1} ns"
+        );
+        if let Some(Throughput::Elements(n)) = throughput {
+            let eps = n as f64 / (median * 1e-9);
+            line.push_str(&format!("  ({eps:.0} elem/s)"));
+        }
+        println!("{line}");
+    }
+}
+
+fn run_bench(c: &Criterion, f: &mut dyn FnMut(&mut Bencher)) -> Stats {
+    // Warm-up: run untimed samples until the warm-up budget is spent.
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            mode: BenchMode::WarmUp,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if warm_start.elapsed() >= c.warm_up_time {
+            break;
+        }
+    }
+    // Measurement: timed samples until the budget AND sample count are met.
+    let mut samples_ns = Vec::with_capacity(c.sample_size);
+    let meas_start = Instant::now();
+    while samples_ns.len() < c.sample_size || meas_start.elapsed() < c.measurement_time {
+        let mut b = Bencher {
+            mode: BenchMode::Measure,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if b.iters > 0 {
+            samples_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        // Hard cap so a mis-specified bench cannot spin forever.
+        if samples_ns.len() >= c.sample_size && meas_start.elapsed() >= c.measurement_time {
+            break;
+        }
+        if samples_ns.len() >= 10 * c.sample_size {
+            break;
+        }
+    }
+    Stats { samples_ns }
+}
+
+/// Declares a benchmark group runner (shim of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $config;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` (shim of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards flags like `--bench`; this harness has
+            // no CLI surface, so flags are accepted and ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100));
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| {
+                let s: u64 = (0..n).sum();
+                total = total.wrapping_add(s);
+                s
+            });
+        });
+        group.finish();
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn bench_function_smoke() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

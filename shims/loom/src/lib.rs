@@ -1,0 +1,939 @@
+//! Offline shim for the `loom` crate (see `shims/README.md`).
+//!
+//! [`model`] runs a closure under an exhaustive schedule explorer: real OS
+//! threads are serialized by a token-passing scheduler, every visible
+//! operation (atomic access, lock acquire/release, `yield_now`) is a
+//! preemption point, and the explorer replays the closure under **every**
+//! reachable interleaving via depth-first search over the schedule tree.
+//!
+//! Semantics vs. the real loom:
+//!
+//! * Sequential consistency only. All atomic orderings are strengthened to
+//!   `SeqCst`, so weak-memory reorderings (`Relaxed`/`Acquire`/`Release`
+//!   visibility anomalies) are **not** explored. Logic races — lost
+//!   updates, double fires, protocol violations, deadlocks — are.
+//! * No partial-order reduction: the explorer enumerates the full tree, so
+//!   keep models to two or three threads with tens of visible ops, as loom
+//!   models conventionally are anyway.
+//! * Deadlocks (all unfinished threads blocked) panic with a diagnostic,
+//!   as does a schedule-count explosion past [`MAX_SCHEDULES`].
+
+#![deny(unsafe_code)]
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc as StdArc, Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::Duration;
+
+/// Upper bound on explored schedules before the explorer gives up.
+pub const MAX_SCHEDULES: usize = 500_000;
+
+/// How long a parked thread waits before declaring the scheduler stalled.
+/// Any legitimate wait ends as soon as another thread hands the token over;
+/// hitting this means a shim bug, not a slow model.
+const STALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn lock_ignore_poison<T>(m: &StdMutex<T>) -> StdMutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler core
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum TState {
+    Runnable,
+    BlockedOnLock(u64),
+    BlockedOnJoin(usize),
+    Finished,
+}
+
+struct State {
+    threads: Vec<TState>,
+    /// Thread holding the run token (`usize::MAX` once all are finished).
+    current: usize,
+    /// Replay prefix: decision indices to take before free exploration.
+    path: Vec<usize>,
+    /// Decisions taken this execution: `(choice, enabled_count)`.
+    log: Vec<(usize, usize)>,
+    depth: usize,
+    /// Model-level lock table: lock id -> holder tid.
+    locks: HashMap<u64, usize>,
+    /// Set on deadlock or internal error; all parked threads unwind.
+    poisoned: Option<String>,
+    /// A spawned thread panicked (payload lives in its result slot).
+    thread_panicked: bool,
+    all_done: bool,
+}
+
+struct Sched {
+    state: StdMutex<State>,
+    cv: Condvar,
+}
+
+impl Sched {
+    fn new(path: Vec<usize>) -> Sched {
+        Sched {
+            state: StdMutex::new(State {
+                threads: vec![TState::Runnable],
+                current: 0,
+                path,
+                log: Vec::new(),
+                depth: 0,
+                locks: HashMap::new(),
+                poisoned: None,
+                thread_panicked: false,
+                all_done: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Picks the next thread to run among runnable ones, consuming one
+    /// decision from the replay path (or extending the log in DFS order).
+    /// Returns `None` when every thread has finished.
+    fn pick(&self, st: &mut State) -> Option<usize> {
+        let enabled: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == TState::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if st.threads.iter().all(|t| *t == TState::Finished) {
+                st.all_done = true;
+                st.current = usize::MAX;
+                self.cv.notify_all();
+                return None;
+            }
+            let msg = format!(
+                "loom: deadlock — no runnable threads, states: {:?}, locks: {:?}",
+                st.threads, st.locks
+            );
+            st.poisoned = Some(msg.clone());
+            self.cv.notify_all();
+            panic!("{msg}");
+        }
+        let choice = if st.depth < st.path.len() {
+            let c = st.path[st.depth];
+            assert!(
+                c < enabled.len(),
+                "loom: non-deterministic model (replay choice {c} of {} enabled)",
+                enabled.len()
+            );
+            c
+        } else {
+            0
+        };
+        st.log.push((choice, enabled.len()));
+        st.depth += 1;
+        Some(enabled[choice])
+    }
+
+    /// Parks the calling thread until it holds the run token.
+    fn wait_for_token(&self, mut st: StdMutexGuard<'_, State>, me: usize) {
+        while st.current != me {
+            if let Some(msg) = &st.poisoned {
+                let msg = msg.clone();
+                drop(st);
+                panic!("loom: model poisoned: {msg}");
+            }
+            if st.all_done {
+                drop(st);
+                panic!("loom: scheduled after model completion");
+            }
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(st, STALL_TIMEOUT)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if timeout.timed_out() && st.current != me {
+                let msg = "loom: scheduler stalled (internal shim bug)".to_string();
+                st.poisoned = Some(msg.clone());
+                self.cv.notify_all();
+                drop(st);
+                panic!("{msg}");
+            }
+        }
+    }
+
+    /// A visible operation is about to run on `me`: give every other
+    /// runnable thread the chance to run first.
+    fn schedule_point(&self, me: usize) {
+        let mut st = lock_ignore_poison(&self.state);
+        debug_assert_eq!(st.current, me, "schedule point without the token");
+        let next = match self.pick(&mut st) {
+            Some(n) => n,
+            None => return,
+        };
+        if next == me {
+            return;
+        }
+        st.current = next;
+        self.cv.notify_all();
+        self.wait_for_token(st, me);
+    }
+
+    fn register_thread(&self) -> usize {
+        let mut st = lock_ignore_poison(&self.state);
+        st.threads.push(TState::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// First park of a freshly spawned thread: wait to be scheduled at all.
+    fn wait_first_schedule(&self, me: usize) {
+        let st = lock_ignore_poison(&self.state);
+        self.wait_for_token(st, me);
+    }
+
+    /// Model-level mutex acquire (caller already passed a schedule point).
+    fn acquire_lock(&self, me: usize, lock_id: u64) {
+        let mut st = lock_ignore_poison(&self.state);
+        loop {
+            if let std::collections::hash_map::Entry::Vacant(e) = st.locks.entry(lock_id) {
+                e.insert(me);
+                return;
+            }
+            assert_ne!(st.locks[&lock_id], me, "loom: recursive lock");
+            st.threads[me] = TState::BlockedOnLock(lock_id);
+            let next = self.pick(&mut st).expect("blocked thread outlives model");
+            debug_assert_ne!(next, me);
+            st.current = next;
+            self.cv.notify_all();
+            // Wait until the holder releases (making us runnable) AND a
+            // scheduling decision hands us the token.
+            self.wait_for_token(st, me);
+            st = lock_ignore_poison(&self.state);
+        }
+    }
+
+    /// Returns whether the model-level lock is free (for `try_lock`).
+    fn try_acquire_lock(&self, me: usize, lock_id: u64) -> bool {
+        let mut st = lock_ignore_poison(&self.state);
+        if let std::collections::hash_map::Entry::Vacant(e) = st.locks.entry(lock_id) {
+            e.insert(me);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn release_lock(&self, me: usize, lock_id: u64) {
+        let mut st = lock_ignore_poison(&self.state);
+        let holder = st.locks.remove(&lock_id);
+        debug_assert_eq!(holder, Some(me), "unlock by non-holder");
+        for t in st.threads.iter_mut() {
+            if *t == TState::BlockedOnLock(lock_id) {
+                *t = TState::Runnable;
+            }
+        }
+    }
+
+    /// Blocks `me` until `target` finishes.
+    fn join_thread(&self, me: usize, target: usize) {
+        let mut st = lock_ignore_poison(&self.state);
+        while st.threads[target] != TState::Finished {
+            st.threads[me] = TState::BlockedOnJoin(target);
+            let next = self.pick(&mut st).expect("blocked thread outlives model");
+            debug_assert_ne!(next, me);
+            st.current = next;
+            self.cv.notify_all();
+            self.wait_for_token(st, me);
+            st = lock_ignore_poison(&self.state);
+        }
+    }
+
+    /// Marks `me` finished and hands the token onward.
+    fn finish_thread(&self, me: usize, panicked: bool) {
+        let mut st = lock_ignore_poison(&self.state);
+        st.threads[me] = TState::Finished;
+        if panicked {
+            st.thread_panicked = true;
+        }
+        for t in st.threads.iter_mut() {
+            if *t == TState::BlockedOnJoin(me) {
+                *t = TState::Runnable;
+            }
+        }
+        if st.poisoned.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        // When pick() returns None everyone is done and it already notified.
+        if let Some(next) = self.pick(&mut st) {
+            st.current = next;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Parks the driver until every thread has finished this execution.
+    fn wait_all_done(&self) {
+        let mut st = lock_ignore_poison(&self.state);
+        while !st.all_done {
+            if let Some(msg) = &st.poisoned {
+                let msg = msg.clone();
+                drop(st);
+                panic!("loom: model poisoned: {msg}");
+            }
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(st, STALL_TIMEOUT)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+            if timeout.timed_out() && !st.all_done {
+                let msg = "loom: stalled waiting for spawned threads".to_string();
+                st.poisoned = Some(msg.clone());
+                self.cv.notify_all();
+                drop(st);
+                panic!("{msg}");
+            }
+        }
+    }
+
+    /// Next DFS path after this execution, or `None` when exhausted.
+    fn next_path(&self) -> Option<Vec<usize>> {
+        let st = lock_ignore_poison(&self.state);
+        let log = &st.log;
+        for i in (0..log.len()).rev() {
+            let (choice, enabled) = log[i];
+            if choice + 1 < enabled {
+                let mut path: Vec<usize> = log[..i].iter().map(|&(c, _)| c).collect();
+                path.push(choice + 1);
+                return Some(path);
+            }
+        }
+        None
+    }
+
+    fn thread_panicked(&self) -> bool {
+        lock_ignore_poison(&self.state).thread_panicked
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread execution context
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct Ctx {
+    sched: StdArc<Sched>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Visible-operation hook: outside a model this is free; inside, it is a
+/// preemption point the explorer branches on.
+fn visible_op() {
+    if let Some(ctx) = current_ctx() {
+        ctx.sched.schedule_point(ctx.tid);
+    }
+}
+
+struct CtxGuard;
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        set_ctx(None);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Serializes concurrent `model()` calls from the multithreaded test
+/// harness: one exploration at a time keeps OS-thread counts sane.
+static GLOBAL_MODEL_LOCK: StdMutex<()> = StdMutex::new(());
+
+/// Explores every interleaving of the given model closure.
+///
+/// Panics (failing the enclosing test) if any execution panics, deadlocks,
+/// or a spawned thread's panic goes unjoined.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let _serial = GLOBAL_MODEL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut path: Vec<usize> = Vec::new();
+    let mut schedules = 0usize;
+    loop {
+        schedules += 1;
+        assert!(
+            schedules <= MAX_SCHEDULES,
+            "loom: exceeded {MAX_SCHEDULES} schedules — simplify the model"
+        );
+        let sched = StdArc::new(Sched::new(std::mem::take(&mut path)));
+        set_ctx(Some(Ctx {
+            sched: StdArc::clone(&sched),
+            tid: 0,
+        }));
+        let guard = CtxGuard;
+        let result = catch_unwind(AssertUnwindSafe(&f));
+        match &result {
+            Ok(()) => {
+                sched.finish_thread(0, false);
+                sched.wait_all_done();
+            }
+            Err(_) => {
+                // Main panicked: poison so spawned threads unwind too.
+                let mut st = lock_ignore_poison(&sched.state);
+                st.poisoned = Some("main model thread panicked".to_string());
+                sched.cv.notify_all();
+                drop(st);
+            }
+        }
+        drop(guard);
+        if let Err(payload) = result {
+            eprintln!("loom: failing schedule found after {schedules} executions");
+            resume_unwind(payload);
+        }
+        if sched.thread_panicked() {
+            eprintln!("loom: failing schedule found after {schedules} executions");
+            panic!("loom: spawned thread panicked (join its handle to see the payload)");
+        }
+        match sched.next_path() {
+            Some(p) => path = p,
+            None => break,
+        }
+    }
+    eprintln!("loom: explored {schedules} schedules");
+}
+
+// ---------------------------------------------------------------------------
+// thread
+// ---------------------------------------------------------------------------
+
+pub mod thread {
+    use super::*;
+
+    type ResultSlot<T> = StdArc<StdMutex<Option<std::thread::Result<T>>>>;
+
+    /// Handle to a model-managed thread (shim of `loom::thread::JoinHandle`).
+    pub struct JoinHandle<T> {
+        sched: StdArc<Sched>,
+        tid: usize,
+        slot: ResultSlot<T>,
+        os: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks (at model level) until the thread finishes.
+        pub fn join(mut self) -> std::thread::Result<T> {
+            let ctx = current_ctx().expect("JoinHandle::join outside loom::model");
+            debug_assert!(
+                StdArc::ptr_eq(&ctx.sched, &self.sched),
+                "join across model instances"
+            );
+            self.sched.join_thread(ctx.tid, self.tid);
+            if let Some(os) = self.os.take() {
+                let _ = os.join();
+            }
+            lock_ignore_poison(&self.slot)
+                .take()
+                .expect("thread finished without storing a result")
+        }
+    }
+
+    /// Spawns a model-managed thread (shim of `loom::thread::spawn`).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let ctx = current_ctx().expect("loom::thread::spawn outside loom::model");
+        let tid = ctx.sched.register_thread();
+        let slot: ResultSlot<T> = StdArc::new(StdMutex::new(None));
+        let slot2 = StdArc::clone(&slot);
+        let sched2 = StdArc::clone(&ctx.sched);
+        let os = std::thread::Builder::new()
+            .name(format!("loom-model-{tid}"))
+            .spawn(move || {
+                set_ctx(Some(Ctx {
+                    sched: StdArc::clone(&sched2),
+                    tid,
+                }));
+                let _guard = CtxGuard;
+                sched2.wait_first_schedule(tid);
+                let result = catch_unwind(AssertUnwindSafe(f));
+                let panicked = result.is_err();
+                *lock_ignore_poison(&slot2) = Some(result);
+                sched2.finish_thread(tid, panicked);
+            })
+            .expect("spawn loom model thread");
+        JoinHandle {
+            sched: ctx.sched,
+            tid,
+            slot,
+            os: Some(os),
+        }
+    }
+
+    /// A pure preemption point (shim of `loom::thread::yield_now`).
+    pub fn yield_now() {
+        visible_op();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sync
+// ---------------------------------------------------------------------------
+
+pub mod sync {
+    use super::*;
+    use std::ops::{Deref, DerefMut};
+
+    /// The shim does not track reference counts for leak detection, so
+    /// std's `Arc` serves directly.
+    pub use std::sync::Arc;
+
+    static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
+
+    /// Model-aware mutex (shim of `loom::sync::Mutex`).
+    ///
+    /// Lock state lives in the scheduler, so a "blocked" thread hands the
+    /// run token over instead of blocking the OS thread, and every
+    /// acquire/release is a preemption point.
+    pub struct Mutex<T> {
+        id: u64,
+        inner: StdMutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Mutex<T> {
+            Mutex {
+                id: NEXT_LOCK_ID.fetch_add(1, StdOrdering::Relaxed),
+                inner: StdMutex::new(value),
+            }
+        }
+
+        pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+            if let Some(ctx) = current_ctx() {
+                ctx.sched.schedule_point(ctx.tid);
+                ctx.sched.acquire_lock(ctx.tid, self.id);
+                // Model-level exclusivity makes the std lock uncontended.
+                let guard = self
+                    .inner
+                    .try_lock()
+                    .expect("model-level lock exclusivity violated");
+                Ok(MutexGuard {
+                    lock: self,
+                    guard: Some(guard),
+                    modeled: true,
+                })
+            } else {
+                // Outside a model: behave as a plain std mutex.
+                let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard {
+                    lock: self,
+                    guard: Some(guard),
+                    modeled: false,
+                })
+            }
+        }
+
+        pub fn try_lock(&self) -> std::sync::TryLockResult<MutexGuard<'_, T>> {
+            if let Some(ctx) = current_ctx() {
+                ctx.sched.schedule_point(ctx.tid);
+                if !ctx.sched.try_acquire_lock(ctx.tid, self.id) {
+                    return Err(std::sync::TryLockError::WouldBlock);
+                }
+                let guard = self
+                    .inner
+                    .try_lock()
+                    .expect("model-level lock exclusivity violated");
+                Ok(MutexGuard {
+                    lock: self,
+                    guard: Some(guard),
+                    modeled: true,
+                })
+            } else {
+                match self.inner.try_lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        lock: self,
+                        guard: Some(g),
+                        modeled: false,
+                    }),
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        Err(std::sync::TryLockError::WouldBlock)
+                    }
+                    Err(std::sync::TryLockError::Poisoned(p)) => Ok(MutexGuard {
+                        lock: self,
+                        guard: Some(p.into_inner()),
+                        modeled: false,
+                    }),
+                }
+            }
+        }
+
+        pub fn into_inner(self) -> std::sync::LockResult<T> {
+            Ok(self.inner.into_inner().unwrap_or_else(|e| e.into_inner()))
+        }
+    }
+
+    /// RAII guard for [`Mutex`]; release is a preemption point.
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        guard: Option<StdMutexGuard<'a, T>>,
+        /// Whether the model-level lock table holds this lock (acquired
+        /// inside a model) and must be released on drop.
+        modeled: bool,
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.guard.as_ref().expect("guard taken")
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.guard.as_mut().expect("guard taken")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Release the std guard first so the next model-level holder
+            // finds it free, then the model-level lock, with a preemption
+            // point so "released but not yet past the next op" schedules
+            // are explored.
+            self.guard.take();
+            if !self.modeled {
+                return;
+            }
+            if let Some(ctx) = current_ctx() {
+                // During a panic unwind the scheduler may already be
+                // poisoned; just release so other threads can make progress.
+                if !std::thread::panicking() {
+                    ctx.sched.schedule_point(ctx.tid);
+                }
+                ctx.sched.release_lock(ctx.tid, self.lock.id);
+            }
+        }
+    }
+
+    pub mod atomic {
+        use super::super::visible_op;
+        pub use std::sync::atomic::Ordering;
+
+        /// Memory fence: a preemption point (ordering is SeqCst anyway).
+        pub fn fence(_order: Ordering) {
+            visible_op();
+        }
+
+        macro_rules! atomic_int {
+            ($name:ident, $std:ident, $t:ty) => {
+                /// Model-aware atomic: every access is a preemption point,
+                /// all orderings strengthened to SeqCst.
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: std::sync::atomic::$std,
+                }
+
+                impl $name {
+                    pub fn new(v: $t) -> Self {
+                        Self {
+                            inner: std::sync::atomic::$std::new(v),
+                        }
+                    }
+
+                    pub fn load(&self, _o: Ordering) -> $t {
+                        visible_op();
+                        self.inner.load(Ordering::SeqCst)
+                    }
+
+                    pub fn store(&self, v: $t, _o: Ordering) {
+                        visible_op();
+                        self.inner.store(v, Ordering::SeqCst)
+                    }
+
+                    pub fn swap(&self, v: $t, _o: Ordering) -> $t {
+                        visible_op();
+                        self.inner.swap(v, Ordering::SeqCst)
+                    }
+
+                    pub fn compare_exchange(
+                        &self,
+                        current: $t,
+                        new: $t,
+                        _s: Ordering,
+                        _f: Ordering,
+                    ) -> Result<$t, $t> {
+                        visible_op();
+                        self.inner.compare_exchange(
+                            current,
+                            new,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                    }
+
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $t,
+                        new: $t,
+                        s: Ordering,
+                        f: Ordering,
+                    ) -> Result<$t, $t> {
+                        // No spurious failures in the shim.
+                        self.compare_exchange(current, new, s, f)
+                    }
+
+                    pub fn fetch_add(&self, v: $t, _o: Ordering) -> $t {
+                        visible_op();
+                        self.inner.fetch_add(v, Ordering::SeqCst)
+                    }
+
+                    pub fn fetch_sub(&self, v: $t, _o: Ordering) -> $t {
+                        visible_op();
+                        self.inner.fetch_sub(v, Ordering::SeqCst)
+                    }
+
+                    pub fn fetch_or(&self, v: $t, _o: Ordering) -> $t {
+                        visible_op();
+                        self.inner.fetch_or(v, Ordering::SeqCst)
+                    }
+
+                    pub fn fetch_and(&self, v: $t, _o: Ordering) -> $t {
+                        visible_op();
+                        self.inner.fetch_and(v, Ordering::SeqCst)
+                    }
+
+                    pub fn fetch_max(&self, v: $t, _o: Ordering) -> $t {
+                        visible_op();
+                        self.inner.fetch_max(v, Ordering::SeqCst)
+                    }
+
+                    pub fn fetch_min(&self, v: $t, _o: Ordering) -> $t {
+                        visible_op();
+                        self.inner.fetch_min(v, Ordering::SeqCst)
+                    }
+
+                    pub fn into_inner(self) -> $t {
+                        self.inner.into_inner()
+                    }
+                }
+            };
+        }
+
+        atomic_int!(AtomicU8, AtomicU8, u8);
+        atomic_int!(AtomicU16, AtomicU16, u16);
+        atomic_int!(AtomicU32, AtomicU32, u32);
+        atomic_int!(AtomicU64, AtomicU64, u64);
+        atomic_int!(AtomicUsize, AtomicUsize, usize);
+        atomic_int!(AtomicI64, AtomicI64, i64);
+
+        /// Model-aware atomic bool; every access is a preemption point.
+        #[derive(Debug, Default)]
+        pub struct AtomicBool {
+            inner: std::sync::atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            pub fn new(v: bool) -> Self {
+                Self {
+                    inner: std::sync::atomic::AtomicBool::new(v),
+                }
+            }
+
+            pub fn load(&self, _o: Ordering) -> bool {
+                visible_op();
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            pub fn store(&self, v: bool, _o: Ordering) {
+                visible_op();
+                self.inner.store(v, Ordering::SeqCst)
+            }
+
+            pub fn swap(&self, v: bool, _o: Ordering) -> bool {
+                visible_op();
+                self.inner.swap(v, Ordering::SeqCst)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: bool,
+                new: bool,
+                _s: Ordering,
+                _f: Ordering,
+            ) -> Result<bool, bool> {
+                visible_op();
+                self.inner
+                    .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+            }
+
+            pub fn fetch_or(&self, v: bool, _o: Ordering) -> bool {
+                visible_op();
+                self.inner.fetch_or(v, Ordering::SeqCst)
+            }
+
+            pub fn fetch_and(&self, v: bool, _o: Ordering) -> bool {
+                visible_op();
+                self.inner.fetch_and(v, Ordering::SeqCst)
+            }
+
+            pub fn into_inner(self) -> bool {
+                self.inner.into_inner()
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Self-tests: the checker must find known races and pass known-correct code
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Mutex};
+    use super::thread;
+
+    #[test]
+    fn finds_the_classic_lost_update() {
+        // Unsynchronized read-modify-write on two threads: the model MUST
+        // discover the interleaving where one increment is lost.
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let v = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let v = Arc::clone(&v);
+                        thread::spawn(move || {
+                            let cur = v.load(Ordering::SeqCst);
+                            v.store(cur + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(v.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(result.is_err(), "model checker missed the lost update");
+    }
+
+    #[test]
+    fn passes_the_fetch_add_fix() {
+        super::model(|| {
+            let v = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let v = Arc::clone(&v);
+                    thread::spawn(move || {
+                        v.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(v.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn mutex_provides_mutual_exclusion() {
+        super::model(|| {
+            let v = Arc::new(Mutex::new(0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let v = Arc::clone(&v);
+                    thread::spawn(move || {
+                        let mut g = v.lock().unwrap();
+                        let cur = *g;
+                        *g = cur + 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*v.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn mutex_and_atomic_protocol() {
+        // A tiny release protocol: writer stores data under the lock then
+        // sets a flag; reader seeing the flag must see the data.
+        super::model(|| {
+            let data = Arc::new(Mutex::new(0u64));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let w = thread::spawn(move || {
+                *d2.lock().unwrap() = 42;
+                f2.store(1, Ordering::SeqCst);
+            });
+            if flag.load(Ordering::SeqCst) == 1 {
+                assert_eq!(*data.lock().unwrap(), 42);
+            }
+            w.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn detects_deadlock() {
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let a = Arc::new(Mutex::new(()));
+                let b = Arc::new(Mutex::new(()));
+                let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+                let t = thread::spawn(move || {
+                    let _ga = a2.lock().unwrap();
+                    let _gb = b2.lock().unwrap();
+                });
+                {
+                    let _gb = b.lock().unwrap();
+                    let _ga = a.lock().unwrap();
+                }
+                let _ = t.join();
+            });
+        });
+        assert!(result.is_err(), "model checker missed the AB-BA deadlock");
+    }
+
+    #[test]
+    fn exploration_is_exhaustive_for_three_threads() {
+        use std::sync::atomic::{AtomicUsize as StdAtomic, Ordering as StdOrd};
+        // Count executions: 3 independent single-op threads have at least
+        // 3! = 6 completion orders; the DFS must run more than one.
+        static RUNS: StdAtomic = StdAtomic::new(0);
+        RUNS.store(0, StdOrd::SeqCst);
+        super::model(|| {
+            RUNS.fetch_add(1, StdOrd::SeqCst);
+            let v = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|i| {
+                    let v = Arc::clone(&v);
+                    thread::spawn(move || {
+                        v.fetch_add(i, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(v.load(Ordering::SeqCst), 3);
+        });
+        assert!(RUNS.load(StdOrd::SeqCst) >= 6, "too few schedules explored");
+    }
+}

@@ -1,0 +1,177 @@
+//! Offline shim for the `rand` crate (see `shims/README.md`).
+//!
+//! Implements the subset used by this workspace: a seedable small RNG and
+//! `gen_range`/`gen_bool` over the range shapes that appear in the code.
+//! The generator is splitmix64 — a well-distributed 64-bit mixer that is
+//! more than adequate for workload generation and property tests, though it
+//! is not the xoshiro generator the real `rand::rngs::SmallRng` uses.
+
+#![forbid(unsafe_code)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// Trait for seedable generators (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range shapes accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing generator methods (shim of `rand::Rng`).
+pub trait Rng: RngCore + Sized {
+    /// Uniform sample from `range` (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+/// Maps a u64 to `[0, 1)` using the top 53 bits.
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Rejection-free-enough bounded sample: Lemire-style multiply-shift.
+/// Bias is at most 2^-64 per draw — irrelevant for test workloads.
+fn bounded(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let x = rng.next_u64();
+    ((x as u128 * bound as u128) >> 64) as u64
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(bounded(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width range: any u64 re-interpreted is uniform.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from(self, rng: &mut dyn RngCore) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on empty range");
+        lo + unit_f64(rng.next_u64()) * (hi - lo)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small fast generator (shim of `rand::rngs::SmallRng`): splitmix64.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(3u32..=5);
+            assert!((3..=5).contains(&y));
+            let f = rng.gen_range(f64::EPSILON..1.0);
+            assert!(f > 0.0 && f < 1.0);
+            let s = rng.gen_range(0usize..3);
+            assert!(s < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1500..3500).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..=5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -54,11 +54,14 @@ proptest! {
                         RequestId(id),
                         ExpiryAction::Nop,
                     );
-                    if model.contains_key(&id) {
-                        prop_assert_eq!(got, Err(TimerError::DuplicateRequestId));
-                    } else {
-                        prop_assert_eq!(got, Ok(()));
-                        model.insert(id, ModelTimer { deadline: now + interval, period: None });
+                    match model.entry(id) {
+                        std::collections::hash_map::Entry::Occupied(_) => {
+                            prop_assert_eq!(got, Err(TimerError::DuplicateRequestId));
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            prop_assert_eq!(got, Ok(()));
+                            e.insert(ModelTimer { deadline: now + interval, period: None });
+                        }
                     }
                 }
                 Op::StartPeriodic { id, period } => {
@@ -67,14 +70,17 @@ proptest! {
                         RequestId(id),
                         ExpiryAction::Nop,
                     );
-                    if model.contains_key(&id) {
-                        prop_assert_eq!(got, Err(TimerError::DuplicateRequestId));
-                    } else {
-                        prop_assert_eq!(got, Ok(()));
-                        model.insert(id, ModelTimer {
-                            deadline: now + period,
-                            period: Some(period),
-                        });
+                    match model.entry(id) {
+                        std::collections::hash_map::Entry::Occupied(_) => {
+                            prop_assert_eq!(got, Err(TimerError::DuplicateRequestId));
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            prop_assert_eq!(got, Ok(()));
+                            e.insert(ModelTimer {
+                                deadline: now + period,
+                                period: Some(period),
+                            });
+                        }
                     }
                 }
                 Op::Stop { id } => {
