@@ -1,0 +1,393 @@
+//! A minimal Rust lexer: just enough fidelity for the tw-analyze rule
+//! passes — identifiers, literals, and punctuation with line numbers, plus
+//! waiver comments (`// tw-analyze: allow(TWnnn, reason = "...")`) lifted
+//! out as structured data.
+//!
+//! The lexer is hand-written (the workspace builds offline; `syn` is not
+//! vendored) and deliberately lossy: whitespace and ordinary comments are
+//! dropped, token text is kept verbatim. That is sufficient for every rule
+//! in the catalog, which match on token *sequences* (`as usize`,
+//! `Instant :: now`, `. unwrap (`) rather than full syntax trees.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `slot`, `usize`, ...).
+    Ident,
+    /// Numeric literal.
+    Num,
+    /// String, raw-string, byte-string, or char literal.
+    Lit,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// A single punctuation character (`.`, `:`, `(`, `!`, ...).
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is(&self, text: &str) -> bool {
+        self.text == text
+    }
+
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// An in-source rule waiver.
+///
+/// Grammar (inside any `//` comment):
+/// `tw-analyze: allow(RULE_ID, reason = "free text")`. A waiver suppresses
+/// matching violations on its own line and the line directly below, so it
+/// can trail the offending expression or sit on the line above it.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// Rule ID as written, e.g. `TW002`.
+    pub rule: String,
+    /// The quoted reason, if one was given. Waivers without a reason are
+    /// themselves reported as violations: exceptions must be auditable.
+    pub reason: Option<String>,
+    /// 1-based line of the waiver comment.
+    pub line: u32,
+}
+
+/// Lexer output for one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub waivers: Vec<Waiver>,
+}
+
+/// Tokenizes `src`, separating waiver comments from the token stream.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = src[i..].find('\n').map_or(bytes.len(), |p| i + p);
+                if let Some(w) = parse_waiver(&src[i..end], line) {
+                    out.waivers.push(w);
+                }
+                i = end;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment; Rust allows nesting.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let (end, nl) = scan_string(bytes, i);
+                line += nl;
+                out.tokens.push(Token {
+                    kind: TokKind::Lit,
+                    text: src[i..end].to_string(),
+                    line: start_line,
+                });
+                i = end;
+            }
+            '\'' => {
+                // Char literal vs lifetime: a lifetime is `'` + ident with no
+                // closing quote right after the ident's first char.
+                let next = bytes.get(i + 1).copied().unwrap_or(0) as char;
+                let after = bytes.get(i + 2).copied().unwrap_or(0) as char;
+                if next == '\\' || (after == '\'' && next != '\'') {
+                    let (end, nl) = scan_char(bytes, i);
+                    line += nl;
+                    out.tokens.push(Token {
+                        kind: TokKind::Lit,
+                        text: src[i..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                } else {
+                    let mut j = i + 1;
+                    while j < bytes.len() && is_ident_char(bytes[j] as char) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[i..j].to_string(),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if is_ident_char(d) {
+                        j += 1;
+                    } else if d == '.' && bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit()) {
+                        // `1.5` continues the number; `1..n` does not.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i + 1;
+                while j < bytes.len() && is_ident_char(bytes[j] as char) {
+                    j += 1;
+                }
+                let word = &src[i..j];
+                // Raw/byte string prefixes: r"..", r#".."#, b"..", br#".."#.
+                let quote = bytes.get(j).copied();
+                if matches!(word, "r" | "b" | "br" | "rb" | "c" | "cr")
+                    && (quote == Some(b'"') || quote == Some(b'#'))
+                {
+                    let (end, nl) = scan_raw_string(bytes, j);
+                    if end > j {
+                        let start_line = line;
+                        line += nl;
+                        out.tokens.push(Token {
+                            kind: TokKind::Lit,
+                            text: src[i..end].to_string(),
+                            line: start_line,
+                        });
+                        i = end;
+                        continue;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: word.to_string(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += c.len_utf8();
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Scans a `"..."` string starting at the opening quote; returns (end index
+/// past the closing quote, newline count inside).
+fn scan_string(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start + 1;
+    let mut nl = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            b'"' => return (i + 1, nl),
+            _ => i += 1,
+        }
+    }
+    (i, nl)
+}
+
+/// Scans a char literal `'x'` / `'\n'` starting at the quote.
+fn scan_char(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start + 1;
+    let mut nl = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                nl += 1;
+                i += 1;
+            }
+            b'\'' => return (i + 1, nl),
+            _ => i += 1,
+        }
+    }
+    (i, nl)
+}
+
+/// Scans a raw-string body starting at the first `#` or `"` after the
+/// prefix; returns (end index, newlines), or (start, 0) if it is not
+/// actually a raw string (e.g. `r#foo` raw identifiers).
+fn scan_raw_string(bytes: &[u8], start: usize) -> (usize, u32) {
+    let mut i = start;
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'"') {
+        return (start, 0);
+    }
+    i += 1;
+    let mut nl = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            nl += 1;
+            i += 1;
+            continue;
+        }
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return (j, nl);
+            }
+        }
+        i += 1;
+    }
+    (i, nl)
+}
+
+/// Parses a waiver out of one line-comment's text, if present.
+fn parse_waiver(comment: &str, line: u32) -> Option<Waiver> {
+    let rest = comment.split("tw-analyze:").nth(1)?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.rfind(')')?;
+    let args = &rest[..close];
+    let (rule, tail) = match args.find(',') {
+        Some(p) => (&args[..p], &args[p + 1..]),
+        None => (args, ""),
+    };
+    let rule = rule.trim().to_string();
+    // Only well-formed rule IDs (`TW` + three digits) are waivers; prose
+    // that happens to say `allow(TWnnn, ...)` in a doc comment is not.
+    let well_formed =
+        rule.len() == 5 && rule.starts_with("TW") && rule[2..].bytes().all(|b| b.is_ascii_digit());
+    if !well_formed {
+        return None;
+    }
+    let reason = tail
+        .split_once("reason")
+        .and_then(|(_, r)| r.split_once('"'))
+        .and_then(|(_, r)| r.rsplit_once('"'))
+        .map(|(text, _)| text.to_string())
+        .filter(|s| !s.trim().is_empty());
+    Some(Waiver { rule, reason, line })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_carry_lines() {
+        let l = lex("fn main() {\n    let x = 1;\n}\n");
+        assert_eq!(l.tokens[0].text, "fn");
+        assert_eq!(l.tokens[0].line, 1);
+        let x = l.tokens.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!(x.line, 2);
+    }
+
+    #[test]
+    fn comments_strings_and_lifetimes_do_not_leak_tokens() {
+        let l = lex(
+            "// as usize in a comment\n/* as u32 */ let s = \"as u64\"; let c = 'a'; \
+             fn f<'a>(x: &'a str) {}",
+        );
+        assert!(!l.tokens.iter().any(|t| t.text == "usize"));
+        assert!(!l.tokens.iter().any(|t| t.text == "u32"));
+        assert!(!l.tokens.iter().any(|t| t.text == "u64"));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+    }
+
+    #[test]
+    fn raw_strings_swallow_contents() {
+        let l = lex("let s = r#\"x as usize \"quoted\" \"#; done");
+        assert!(!l.tokens.iter().any(|t| t.text == "usize"));
+        assert!(l.tokens.iter().any(|t| t.text == "done"));
+    }
+
+    #[test]
+    fn waiver_with_reason_parses() {
+        let l = lex(
+            "// tw-analyze: allow(TW002, reason = \"slab key is internally valid\")\nx.unwrap();",
+        );
+        assert_eq!(l.waivers.len(), 1);
+        assert_eq!(l.waivers[0].rule, "TW002");
+        assert_eq!(
+            l.waivers[0].reason.as_deref(),
+            Some("slab key is internally valid")
+        );
+        assert_eq!(l.waivers[0].line, 1);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_flagged_as_missing() {
+        let l = lex("// tw-analyze: allow(TW001)\n");
+        assert_eq!(l.waivers.len(), 1);
+        assert!(l.waivers[0].reason.is_none());
+    }
+
+    #[test]
+    fn prose_mentioning_the_waiver_grammar_is_not_a_waiver() {
+        let l = lex("// syntax: tw-analyze: allow(RULE_ID, reason = \"...\")\n// e.g. tw-analyze: allow(TWnnn, reason = \"...\")\n");
+        assert!(l.waivers.is_empty());
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let l = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(l.tokens[0].text, "fn");
+    }
+}

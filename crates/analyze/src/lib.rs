@@ -1,0 +1,236 @@
+//! `tw-analyze` — the repo's domain lint pass.
+//!
+//! The dynamic verification layer (loom models, `InvariantCheck`, the
+//! oracle-equivalence suites) catches violations that *happen*; this crate
+//! statically rejects code that could make them happen. It walks every
+//! workspace crate with a purpose-built lexer (the workspace builds
+//! offline, so no `syn`) and enforces a catalog of seven repo-specific
+//! rules derived from the paper's model:
+//!
+//! | rule  | enforces |
+//! |-------|----------|
+//! | TW001 | no raw `as` casts between tick/index integers (`tw-core`, `tw-concurrent`) |
+//! | TW002 | no panicking ops reachable from the four `TimerScheme` routines |
+//! | TW003 | no wall-clock reads in scheme/DES code — simulated `Tick` time only |
+//! | TW004 | no heap allocation reachable from `PER_TICK_BOOKKEEPING` |
+//! | TW005 | every mutating `TimerScheme` method touches `OpCounters` |
+//! | TW006 | no concrete sync primitives in `tw-concurrent` outside `sync` |
+//! | TW007 | every `TimerScheme` impl also impls `InvariantCheck` and is registered in an oracle-equivalence suite |
+//!
+//! Exceptions are in-source and auditable:
+//! `// tw-analyze: allow(RULE_ID, reason = "...")` on the offending line or
+//! the line above. A waiver without a reason is itself a violation.
+//!
+//! Run as a gate: `cargo run -p tw-analyze -- --workspace` (exit 1 on any
+//! unwaived violation), `--json` for the machine-readable summary.
+
+pub mod lexer;
+pub mod model;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use model::SourceFile;
+use report::Report;
+use rules::{CrateIndex, Violation};
+
+/// The set of files under analysis.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Builds a workspace from in-memory `(path, crate, source)` triples —
+    /// the fixture-test entry point.
+    pub fn from_files(files: &[(&str, &str, &str)]) -> Workspace {
+        Workspace {
+            files: files
+                .iter()
+                .map(|(path, krate, src)| SourceFile::parse(path, krate, src))
+                .collect(),
+        }
+    }
+
+    /// Scans `root/crates/*/{src,tests}` for Rust sources, reading each
+    /// package's name from its `Cargo.toml`.
+    pub fn scan(root: &Path) -> io::Result<Workspace> {
+        let mut files = Vec::new();
+        let crates_dir = root.join("crates");
+        let mut entries: Vec<_> = fs::read_dir(&crates_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        for crate_dir in entries {
+            let manifest = crate_dir.join("Cargo.toml");
+            let Ok(toml) = fs::read_to_string(&manifest) else {
+                continue;
+            };
+            let krate = package_name(&toml).unwrap_or_else(|| {
+                crate_dir
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default()
+            });
+            for sub in ["src", "tests"] {
+                let dir = crate_dir.join(sub);
+                if dir.is_dir() {
+                    collect_rs(&dir, &mut |path, src| {
+                        let rel = path
+                            .strip_prefix(root)
+                            .unwrap_or(path)
+                            .to_string_lossy()
+                            .replace('\\', "/");
+                        files.push(SourceFile::parse(&rel, &krate, src));
+                    })?;
+                }
+            }
+        }
+        Ok(Workspace { files })
+    }
+
+    /// Runs every rule pass and resolves waivers.
+    pub fn analyze(&self) -> Report {
+        let mut violations: Vec<Violation> = Vec::new();
+        for file in &self.files {
+            rules::tw001(file, &mut violations);
+            rules::tw003(file, &mut violations);
+            rules::tw005(file, &mut violations);
+            rules::tw006(file, &mut violations);
+        }
+        let crates: BTreeSet<&str> = self.files.iter().map(|f| f.krate.as_str()).collect();
+        for krate in crates {
+            let index = CrateIndex::build(&self.files, krate);
+            rules::tw002(&index, &mut violations);
+            rules::tw004(&index, &mut violations);
+        }
+        rules::tw007(&self.files, &mut violations);
+        violations.sort_by(|a, b| (a.rule, &a.path, a.line).cmp(&(b.rule, &b.path, b.line)));
+        self.resolve_waivers(violations)
+    }
+
+    /// Marks violations covered by a same-rule waiver on the same line or
+    /// the line above; reports reason-less waivers as violations and unused
+    /// ones as stale.
+    fn resolve_waivers(&self, mut violations: Vec<Violation>) -> Report {
+        let mut stale = Vec::new();
+        for file in &self.files {
+            for w in &file.lexed.waivers {
+                if w.reason.is_none() {
+                    violations.push(Violation {
+                        rule: "WAIVER",
+                        path: file.path.clone(),
+                        line: w.line,
+                        message: format!(
+                            "waiver for {} carries no reason; every exception must be \
+                             auditable (reason = \"...\")",
+                            w.rule
+                        ),
+                        waived: false,
+                        waive_reason: None,
+                    });
+                    continue;
+                }
+                let mut used = false;
+                for v in violations.iter_mut() {
+                    if v.path == file.path
+                        && v.rule == w.rule
+                        && (v.line == w.line || v.line == w.line + 1)
+                    {
+                        v.waived = true;
+                        v.waive_reason = w.reason.clone();
+                        used = true;
+                    }
+                }
+                if !used {
+                    stale.push((file.path.clone(), w.line, w.rule.clone()));
+                }
+            }
+        }
+        Report {
+            violations,
+            files_scanned: self.files.len(),
+            stale_waivers: stale,
+        }
+    }
+}
+
+/// Pulls `name = "..."` out of a manifest's `[package]` table.
+fn package_name(toml: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in toml.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=')?.trim();
+                return Some(rest.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+fn collect_rs(dir: &Path, f: &mut impl FnMut(&Path, &str)) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, f)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let src = fs::read_to_string(&path)?;
+            f(&path, &src);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_parses_workspace_manifests() {
+        let toml = "[package]\nname = \"tw-core\"\nversion.workspace = true\n";
+        assert_eq!(package_name(toml).as_deref(), Some("tw-core"));
+    }
+
+    #[test]
+    fn waiver_on_same_or_previous_line_suppresses() {
+        let src = "fn f(x: u64) -> usize {\n    // tw-analyze: allow(TW001, reason = \"audited\")\n    x as usize\n}\n";
+        let ws = Workspace::from_files(&[("crates/core/src/a.rs", "tw-core", src)]);
+        let report = ws.analyze();
+        assert!(report.is_clean(), "{}", report.human());
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].waived);
+    }
+
+    #[test]
+    fn reasonless_waiver_fails_the_gate() {
+        let src = "// tw-analyze: allow(TW001)\nfn f(x: u64) -> usize { x as usize }\n";
+        let ws = Workspace::from_files(&[("crates/core/src/a.rs", "tw-core", src)]);
+        let report = ws.analyze();
+        assert!(!report.is_clean());
+        assert!(report.violations.iter().any(|v| v.rule == "WAIVER"));
+    }
+
+    #[test]
+    fn stale_waivers_are_reported_not_fatal() {
+        let src = "// tw-analyze: allow(TW003, reason = \"nothing here\")\nfn f() {}\n";
+        let ws = Workspace::from_files(&[("crates/core/src/a.rs", "tw-core", src)]);
+        let report = ws.analyze();
+        assert!(report.is_clean());
+        assert_eq!(report.stale_waivers.len(), 1);
+    }
+}

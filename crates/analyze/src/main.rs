@@ -1,0 +1,64 @@
+//! CLI for the tw-analyze domain lint gate.
+//!
+//! ```text
+//! cargo run -p tw-analyze -- --workspace          # human diagnostics, exit 1 on violations
+//! cargo run -p tw-analyze -- --workspace --json   # append the JSON summary
+//! cargo run -p tw-analyze -- --root <path>        # analyze another tree
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tw_analyze::Workspace;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => {}
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: tw-analyze [--workspace] [--root <path>] [--json]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Default root: the workspace this binary was built from.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+    let ws = match Workspace::scan(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!("tw-analyze: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report = ws.analyze();
+    if json {
+        // Keep stdout machine-readable (CI pipes it to a report artifact);
+        // the human diagnostics still reach the log via stderr.
+        eprint!("{}", report.human());
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,307 @@
+//! Structural model extracted from the token stream: per-file test regions,
+//! `impl` contexts, and function items with body spans — the skeleton the
+//! rule passes walk instead of a full AST.
+
+use crate::lexer::{lex, Lexed, TokKind, Token};
+
+/// One analyzed source file.
+pub struct SourceFile {
+    /// Workspace-relative path, e.g. `crates/core/src/time.rs`.
+    pub path: String,
+    /// Owning package name, e.g. `tw-core`.
+    pub krate: String,
+    /// True for files under a crate's `tests/` directory.
+    pub is_test_file: bool,
+    pub lexed: Lexed,
+    /// Token-index ranges gated behind `#[cfg(test)]` / `#[test]` (excluded
+    /// from every rule except TW007 registration scanning).
+    pub test_regions: Vec<(usize, usize)>,
+    /// Function items found outside test regions.
+    pub fns: Vec<FnItem>,
+    /// Impl blocks found outside test regions.
+    pub impls: Vec<ImplItem>,
+}
+
+/// A function definition with its body's token span.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Half-open token range of the body, braces included.
+    pub body: (usize, usize),
+    pub line: u32,
+    /// Trait name if the fn sits in a trait impl (`impl Trait for Type`).
+    pub impl_trait: Option<String>,
+    /// Self type name if the fn sits in any impl block.
+    pub impl_type: Option<String>,
+}
+
+/// An `impl` block header.
+#[derive(Debug, Clone)]
+pub struct ImplItem {
+    /// Trait being implemented, if any.
+    pub trait_name: Option<String>,
+    /// The implementing type's head identifier (`Checked` for `Checked<S>`).
+    pub type_name: String,
+    pub line: u32,
+    /// Half-open token range of the impl body.
+    pub body: (usize, usize),
+}
+
+impl SourceFile {
+    pub fn parse(path: &str, krate: &str, src: &str) -> SourceFile {
+        let lexed = lex(src);
+        let is_test_file = path.contains("/tests/");
+        let test_regions = find_test_regions(&lexed.tokens);
+        let mut file = SourceFile {
+            path: path.to_string(),
+            krate: krate.to_string(),
+            is_test_file,
+            lexed,
+            test_regions,
+            fns: Vec::new(),
+            impls: Vec::new(),
+        };
+        file.extract_items();
+        file
+    }
+
+    /// True if token index `i` is inside a `#[cfg(test)]`-gated region.
+    pub fn in_test_region(&self, i: usize) -> bool {
+        self.test_regions.iter().any(|&(a, b)| i >= a && i < b)
+    }
+
+    fn extract_items(&mut self) {
+        let toks = &self.lexed.tokens;
+        // Impl headers first, so fns can be attributed to them.
+        let mut impls = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].is_ident("impl") && !self.in_test_region(i) {
+                if let Some(item) = parse_impl_header(toks, i) {
+                    impls.push(item);
+                }
+            }
+            i += 1;
+        }
+        let mut fns = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].is_ident("fn") && !self.in_test_region(i) {
+                if let Some(mut f) = parse_fn(toks, i) {
+                    if let Some(imp) = impls
+                        .iter()
+                        .find(|im: &&ImplItem| i >= im.body.0 && i < im.body.1)
+                    {
+                        f.impl_trait = imp.trait_name.clone();
+                        f.impl_type = Some(imp.type_name.clone());
+                    }
+                    fns.push(f);
+                }
+            }
+            i += 1;
+        }
+        self.impls = impls;
+        self.fns = fns;
+    }
+}
+
+/// Finds regions gated by test-only attributes: `#[cfg(test)]`,
+/// `#[cfg(all(test, ...))]`, `#[test]`, and the `#[cfg(loom)]`-style
+/// variants that only build under a test harness.
+fn find_test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let attr_end = match matching(toks, i + 1, '[', ']') {
+                Some(e) => e,
+                None => break,
+            };
+            let attr = &toks[i + 2..attr_end];
+            let is_test_attr = attr.first().is_some_and(|t| t.is_ident("test"))
+                || (attr.first().is_some_and(|t| t.is_ident("cfg"))
+                    && attr
+                        .iter()
+                        .any(|t| t.is_ident("test") || t.is_ident("loom")));
+            if is_test_attr {
+                // Skip any further attributes, then the item they decorate.
+                let mut j = attr_end + 1;
+                while toks.get(j).is_some_and(|t| t.is_punct('#'))
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    match matching(toks, j + 1, '[', ']') {
+                        Some(e) => j = e + 1,
+                        None => break,
+                    }
+                }
+                // The gated item runs to its closing brace (mod/fn/impl) or
+                // to a semicolon for brace-less items (`use`, `mod x;`).
+                let mut k = j;
+                let end = loop {
+                    match toks.get(k) {
+                        None => break toks.len(),
+                        Some(t) if t.is_punct('{') => {
+                            break matching(toks, k, '{', '}').map_or(toks.len(), |e| e + 1)
+                        }
+                        Some(t) if t.is_punct(';') => break k + 1,
+                        _ => k += 1,
+                    }
+                };
+                regions.push((i, end));
+                i = end;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Returns the index of the closing delimiter matching the opener at `open`.
+fn matching(toks: &[Token], open: usize, lhs: char, rhs: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(lhs) {
+            depth += 1;
+        } else if t.is_punct(rhs) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Parses `impl [<..>] [Trait [<..>] for] Type [<..>] { .. }` headers.
+fn parse_impl_header(toks: &[Token], at: usize) -> Option<ImplItem> {
+    let line = toks[at].line;
+    // Collect header tokens up to the opening brace.
+    let mut brace = at + 1;
+    while brace < toks.len() && !toks[brace].is_punct('{') {
+        if toks[brace].is_punct(';') {
+            return None; // `impl Trait for Type;` style — not interesting
+        }
+        brace += 1;
+    }
+    if brace >= toks.len() {
+        return None;
+    }
+    let header = &toks[at + 1..brace];
+    // Strip a leading generics list.
+    let mut h = 0usize;
+    if header.first().is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0i32;
+        while h < header.len() {
+            if header[h].is_punct('<') {
+                depth += 1;
+            } else if header[h].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    h += 1;
+                    break;
+                }
+            }
+            h += 1;
+        }
+    }
+    let rest = &header[h..];
+    let for_pos = rest.iter().position(|t| t.is_ident("for"));
+    let first_ident = |slice: &[Token]| -> Option<String> {
+        slice
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && !matches!(t.text.as_str(), "dyn" | "mut"))
+            .map(|t| t.text.clone())
+    };
+    let (trait_name, type_name) = match for_pos {
+        Some(p) => {
+            // The trait path's *last* segment before any generics, so
+            // `tw_core::validate::InvariantCheck for X` yields InvariantCheck.
+            let trait_part: Vec<&Token> = rest[..p]
+                .iter()
+                .take_while(|t| !t.is_punct('<'))
+                .filter(|t| t.kind == TokKind::Ident)
+                .collect();
+            let tname = trait_part.last().map(|t| t.text.clone());
+            (tname, first_ident(&rest[p + 1..])?)
+        }
+        None => (None, first_ident(rest)?),
+    };
+    let end = matching(toks, brace, '{', '}').map_or(toks.len(), |e| e + 1);
+    Some(ImplItem {
+        trait_name,
+        type_name,
+        line,
+        body: (brace, end),
+    })
+}
+
+/// Parses `fn name ... { body }`; returns `None` for body-less trait
+/// method declarations.
+fn parse_fn(toks: &[Token], at: usize) -> Option<FnItem> {
+    let name_tok = toks.get(at + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let mut j = at + 2;
+    while j < toks.len() {
+        if toks[j].is_punct('{') {
+            let end = matching(toks, j, '{', '}').map_or(toks.len(), |e| e + 1);
+            return Some(FnItem {
+                name: name_tok.text.clone(),
+                body: (j, end),
+                line: name_tok.line,
+                impl_trait: None,
+                impl_type: None,
+            });
+        }
+        if toks[j].is_punct(';') {
+            return None;
+        }
+        j += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_items_get_impl_context() {
+        let src = "impl<T> TimerScheme<T> for BasicWheel<T> {\n    fn tick(&mut self) { work(); }\n}\nfn free_fn() {}\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", "tw-x", src);
+        let tick = f.fns.iter().find(|f| f.name == "tick").unwrap();
+        assert_eq!(tick.impl_trait.as_deref(), Some("TimerScheme"));
+        assert_eq!(tick.impl_type.as_deref(), Some("BasicWheel"));
+        let free = f.fns.iter().find(|f| f.name == "free_fn").unwrap();
+        assert!(free.impl_trait.is_none());
+    }
+
+    #[test]
+    fn qualified_trait_path_uses_last_segment() {
+        let src = "impl<T> tw_core::validate::InvariantCheck for Foo<T> { fn check_invariants(&self) {} }";
+        let f = SourceFile::parse("crates/x/src/a.rs", "tw-x", src);
+        assert_eq!(f.impls[0].trait_name.as_deref(), Some("InvariantCheck"));
+        assert_eq!(f.impls[0].type_name, "Foo");
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_region() {
+        let src =
+            "fn real() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", "tw-x", src);
+        assert_eq!(f.fns.len(), 1, "test-mod fn excluded");
+        assert_eq!(f.fns[0].name, "real");
+    }
+
+    #[test]
+    fn cfg_all_test_and_attribute_stacks_are_gated() {
+        let src = "#[cfg(all(test, not(loom)))]\n#[allow(dead_code)]\nmod stress { fn s() {} }\nfn live() {}\n";
+        let f = SourceFile::parse("crates/x/src/a.rs", "tw-x", src);
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "live");
+    }
+}

@@ -1,0 +1,165 @@
+//! Diagnostic rendering: human-readable lines plus a hand-rolled JSON
+//! summary (the workspace builds offline, so no serde).
+
+use std::collections::BTreeMap;
+
+use crate::rules::Violation;
+
+/// The result of analyzing a workspace.
+pub struct Report {
+    /// Every violation found, waived or not.
+    pub violations: Vec<Violation>,
+    pub files_scanned: usize,
+    /// Waivers that matched no violation (stale — informational).
+    pub stale_waivers: Vec<(String, u32, String)>,
+}
+
+impl Report {
+    /// Violations that actually fail the gate.
+    pub fn active(&self) -> impl Iterator<Item = &Violation> {
+        self.violations.iter().filter(|v| !v.waived)
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.active().next().is_none()
+    }
+
+    /// Human diagnostics, one line per finding, rustc-style `path:line`.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            if v.waived {
+                continue;
+            }
+            out.push_str(&format!(
+                "{}: {}:{}: {}\n",
+                v.rule, v.path, v.line, v.message
+            ));
+        }
+        for v in self.violations.iter().filter(|v| v.waived) {
+            out.push_str(&format!(
+                "waived {}: {}:{} ({})\n",
+                v.rule,
+                v.path,
+                v.line,
+                v.waive_reason.as_deref().unwrap_or("")
+            ));
+        }
+        for (path, line, rule) in &self.stale_waivers {
+            out.push_str(&format!(
+                "stale waiver for {rule}: {path}:{line} matches no violation\n"
+            ));
+        }
+        let active = self.active().count();
+        let waived = self.violations.len() - active;
+        out.push_str(&format!(
+            "tw-analyze: {} file(s), {active} violation(s), {waived} waived\n",
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// Machine-readable summary.
+    pub fn to_json(&self) -> String {
+        let mut per_rule: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+        for v in &self.violations {
+            let e = per_rule.entry(v.rule).or_default();
+            if v.waived {
+                e.1 += 1;
+            } else {
+                e.0 += 1;
+            }
+        }
+        let mut s = String::from("{");
+        s.push_str(&format!("\"files_scanned\":{},", self.files_scanned));
+        s.push_str(&format!("\"active\":{},", self.active().count()));
+        s.push_str(&format!(
+            "\"waived\":{},",
+            self.violations.iter().filter(|v| v.waived).count()
+        ));
+        s.push_str("\"rules\":{");
+        let mut first = true;
+        for (rule, (active, waived)) in &per_rule {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "\"{rule}\":{{\"active\":{active},\"waived\":{waived}}}"
+            ));
+        }
+        s.push_str("},\"violations\":[");
+        let mut first = true;
+        for v in &self.violations {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"waived\":{},\"message\":\"{}\"}}",
+                v.rule,
+                escape(&v.path),
+                v.line,
+                v.waived,
+                escape(&v.message)
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(rule: &'static str, waived: bool) -> Violation {
+        Violation {
+            rule,
+            path: "crates/x/src/a.rs".into(),
+            line: 3,
+            message: "msg with \"quotes\"".into(),
+            waived,
+            waive_reason: waived.then(|| "because".into()),
+        }
+    }
+
+    #[test]
+    fn json_counts_active_and_waived() {
+        let r = Report {
+            violations: vec![violation("TW001", false), violation("TW001", true)],
+            files_scanned: 2,
+            stale_waivers: vec![],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"active\":1"));
+        assert!(j.contains("\"waived\":1"));
+        assert!(j.contains("\"TW001\":{\"active\":1,\"waived\":1}"));
+        assert!(j.contains("msg with \\\"quotes\\\""));
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn clean_report_is_clean() {
+        let r = Report {
+            violations: vec![violation("TW002", true)],
+            files_scanned: 1,
+            stale_waivers: vec![],
+        };
+        assert!(r.is_clean());
+    }
+}

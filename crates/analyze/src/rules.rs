@@ -1,0 +1,404 @@
+//! The seven rule passes. Each rule has an ID, a paper-derived rationale
+//! (see DESIGN.md §6), and emits span-accurate [`Violation`]s; waiver
+//! matching happens in [`crate::Workspace::analyze`].
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::lexer::TokKind;
+use crate::model::{FnItem, SourceFile};
+
+/// One diagnostic from a rule pass.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule ID, e.g. `TW001`.
+    pub rule: &'static str,
+    pub path: String,
+    pub line: u32,
+    pub message: String,
+    /// Set during waiver resolution.
+    pub waived: bool,
+    pub waive_reason: Option<String>,
+}
+
+impl Violation {
+    fn new(rule: &'static str, file: &SourceFile, line: u32, message: String) -> Violation {
+        Violation {
+            rule,
+            path: file.path.clone(),
+            line,
+            message,
+            waived: false,
+            waive_reason: None,
+        }
+    }
+}
+
+/// The four paper routines (§2) whose implementations are hot paths.
+const ROUTINES: [&str; 4] = ["start_timer", "stop_timer", "tick", "per_tick_bookkeeping"];
+
+/// Crates holding tick/index arithmetic that TW001 polices.
+const TW001_CRATES: [&str; 2] = ["tw-core", "tw-concurrent"];
+
+/// Crates where simulated time is the law (TW003). Everything except the
+/// benchmark harness (which measures wall time on purpose) and the analyzer.
+fn tw003_in_scope(krate: &str) -> bool {
+    !matches!(krate, "tw-bench" | "tw-analyze")
+}
+
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Method calls excluded from the call graph: ubiquitous names whose
+/// same-name matches are overwhelmingly std types, not local functions.
+const CALL_DENYLIST: [&str; 6] = ["new", "default", "clone", "fmt", "from", "with_capacity"];
+
+/// TW001 — no raw `as` casts between integer types in tick/index code.
+///
+/// §2 separates absolute ticks from intervals; the audited conversion
+/// helpers in `tw_core::time` (`slot_in`, `slot_masked`, `ticks_of`,
+/// `slot_index`) are the only sanctioned tick↔index bridges.
+pub fn tw001(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !TW001_CRATES.contains(&file.krate.as_str()) || file.is_test_file {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    for i in 0..toks.len().saturating_sub(1) {
+        if file.in_test_region(i) {
+            continue;
+        }
+        if toks[i].is_ident("as") && INT_TYPES.contains(&toks[i + 1].text.as_str()) {
+            out.push(Violation::new(
+                "TW001",
+                file,
+                toks[i].line,
+                format!(
+                    "raw `as {}` cast in tick/index code; use the checked helpers in \
+                     tw_core::time (slot_in/slot_masked/ticks_of/slot_index) or TryFrom",
+                    toks[i + 1].text
+                ),
+            ));
+        }
+    }
+}
+
+/// Name-indexed view of every function in one crate, for reachability.
+pub struct CrateIndex<'a> {
+    pub fns: Vec<(&'a SourceFile, &'a FnItem)>,
+    by_name: HashMap<&'a str, Vec<usize>>,
+}
+
+impl<'a> CrateIndex<'a> {
+    pub fn build(files: &'a [SourceFile], krate: &str) -> CrateIndex<'a> {
+        let mut fns = Vec::new();
+        for f in files.iter().filter(|f| f.krate == krate && !f.is_test_file) {
+            for item in &f.fns {
+                fns.push((f, item));
+            }
+        }
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, (_, item)) in fns.iter().enumerate() {
+            by_name.entry(item.name.as_str()).or_default().push(i);
+        }
+        CrateIndex { fns, by_name }
+    }
+
+    /// BFS over the name-based call graph. Over-approximates (any same-name
+    /// function in the crate is a potential callee), which errs on the side
+    /// of flagging — the honest direction for a lint.
+    pub fn reachable(&self, seeds: Vec<usize>) -> HashSet<usize> {
+        let mut seen: HashSet<usize> = seeds.iter().copied().collect();
+        let mut queue: VecDeque<usize> = seeds.into();
+        while let Some(i) = queue.pop_front() {
+            let (file, item) = self.fns[i];
+            let toks = &file.lexed.tokens[item.body.0..item.body.1];
+            for (k, t) in toks.iter().enumerate() {
+                if t.kind != TokKind::Ident || CALL_DENYLIST.contains(&t.text.as_str()) {
+                    continue;
+                }
+                let next = toks.get(k + 1);
+                let is_call = next.is_some_and(|n| n.is_punct('('))
+                    || (next.is_some_and(|n| n.is_punct(':'))
+                        && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                        && toks.get(k + 3).is_some_and(|n| n.is_punct('<')));
+                if !is_call {
+                    continue;
+                }
+                if let Some(callees) = self.by_name.get(t.text.as_str()) {
+                    for &c in callees {
+                        if c != i && seen.insert(c) {
+                            queue.push_back(c);
+                        }
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    pub fn seed_indices(&self, pred: impl Fn(&SourceFile, &FnItem) -> bool) -> Vec<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, (f, item))| pred(f, item))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// TW002 — no panicking operations reachable from the four routines.
+///
+/// User-supplied intervals must surface as `TimerError`, never as a panic;
+/// remaining internal-consistency panics need an explicit waiver.
+pub fn tw002(index: &CrateIndex<'_>, out: &mut Vec<Violation>) {
+    let seeds = index.seed_indices(|f, item| {
+        ROUTINES.contains(&item.name.as_str())
+            && (item.impl_trait.as_deref() == Some("TimerScheme")
+                || matches!(f.krate.as_str(), "tw-core" | "tw-concurrent"))
+    });
+    if seeds.is_empty() {
+        return;
+    }
+    for i in index.reachable(seeds) {
+        let (file, item) = index.fns[i];
+        let toks = &file.lexed.tokens;
+        for k in item.body.0..item.body.1 {
+            let t = &toks[k];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let method_panic = matches!(t.text.as_str(), "unwrap" | "expect")
+                && k > 0
+                && toks[k - 1].is_punct('.')
+                && toks.get(k + 1).is_some_and(|n| n.is_punct('('));
+            let macro_panic = matches!(
+                t.text.as_str(),
+                "panic"
+                    | "unreachable"
+                    | "todo"
+                    | "unimplemented"
+                    | "assert"
+                    | "assert_eq"
+                    | "assert_ne"
+            ) && toks.get(k + 1).is_some_and(|n| n.is_punct('!'));
+            if method_panic || macro_panic {
+                out.push(Violation::new(
+                    "TW002",
+                    file,
+                    t.line,
+                    format!(
+                        "panicking `{}` in `{}`, reachable from a TimerScheme routine; \
+                         return TimerError or waive with a written invariant argument",
+                        t.text, item.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// TW003 — no wall-clock reads in scheme/DES code: simulated `Tick` time
+/// only, so runs stay deterministic and replayable.
+pub fn tw003(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !tw003_in_scope(&file.krate) || file.is_test_file {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    for i in 0..toks.len() {
+        if file.in_test_region(i) {
+            continue;
+        }
+        let t = &toks[i];
+        let instant_now = t.is_ident("Instant")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("now"));
+        // `Instant::now` passed as a path value (`then(Instant::now)`) is
+        // caught by the same pattern; a bare `SystemTime` mention is enough
+        // to flag, whatever is done with it.
+        if instant_now || t.is_ident("SystemTime") {
+            out.push(Violation::new(
+                "TW003",
+                file,
+                t.line,
+                "wall-clock read in simulated-time code; schemes and simulators must \
+                 consume Tick time only"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// TW004 — no heap allocation reachable from `PER_TICK_BOOKKEEPING`
+/// implementations; keeps the §5–6 O(1)-per-tick claim honest.
+pub fn tw004(index: &CrateIndex<'_>, out: &mut Vec<Violation>) {
+    let seeds = index.seed_indices(|_, item| {
+        (item.name == "tick" && item.impl_trait.as_deref() == Some("TimerScheme"))
+            || item.name == "per_tick_bookkeeping"
+    });
+    if seeds.is_empty() {
+        return;
+    }
+    for i in index.reachable(seeds) {
+        let (file, item) = index.fns[i];
+        // Invariant-check walks (`impl InvariantCheck`, `check_*` helpers)
+        // only run under the `checked` diagnostic harness, never on the
+        // measured per-tick path — their scratch allocations are exempt.
+        if item.impl_trait.as_deref() == Some("InvariantCheck") || item.name.starts_with("check_") {
+            continue;
+        }
+        let toks = &file.lexed.tokens;
+        for k in item.body.0..item.body.1 {
+            let t = &toks[k];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let method_alloc = matches!(t.text.as_str(), "push" | "collect" | "to_vec")
+                && k > 0
+                && toks[k - 1].is_punct('.')
+                && toks.get(k + 1).is_some_and(|n| n.is_punct('('));
+            let box_new = t.is_ident("Box")
+                && toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+                && toks.get(k + 3).is_some_and(|n| n.is_ident("new"));
+            let vec_macro = t.is_ident("vec") && toks.get(k + 1).is_some_and(|n| n.is_punct('!'));
+            let with_capacity =
+                t.is_ident("with_capacity") && toks.get(k + 1).is_some_and(|n| n.is_punct('('));
+            if method_alloc || box_new || vec_macro || with_capacity {
+                out.push(Violation::new(
+                    "TW004",
+                    file,
+                    t.line,
+                    format!(
+                        "heap allocation (`{}`) in `{}`, reachable from \
+                         PER_TICK_BOOKKEEPING; the per-tick path must stay O(1) \
+                         and allocation-free",
+                        t.text, item.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// TW005 — every mutating `TimerScheme` method must touch `OpCounters`
+/// (directly or by delegating to another scheme), so the §7 instruction
+/// accounting cannot silently go stale.
+pub fn tw005(file: &SourceFile, out: &mut Vec<Violation>) {
+    for item in &file.fns {
+        if item.impl_trait.as_deref() != Some("TimerScheme")
+            || !matches!(item.name.as_str(), "start_timer" | "stop_timer" | "tick")
+        {
+            continue;
+        }
+        let toks = &file.lexed.tokens[item.body.0..item.body.1];
+        let touches = toks.iter().any(|t| t.is_ident("counters"));
+        let delegates = toks
+            .windows(3)
+            .any(|w| w[0].is_punct('.') && w[1].is_ident(&item.name) && w[2].is_punct('('));
+        if !touches && !delegates {
+            out.push(Violation::new(
+                "TW005",
+                file,
+                item.line,
+                format!(
+                    "`{}` for `{}` neither updates OpCounters nor delegates to an \
+                     inner scheme; §7 cost accounting would go stale",
+                    item.name,
+                    item.impl_type.as_deref().unwrap_or("?")
+                ),
+            ));
+        }
+    }
+}
+
+/// TW006 — no concrete sync primitives in `tw-concurrent` outside the
+/// `sync` abstraction layer, so loom model coverage stays total.
+pub fn tw006(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.krate != "tw-concurrent" || file.is_test_file || file.path.ends_with("/sync.rs") {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    for i in 0..toks.len() {
+        if file.in_test_region(i) {
+            continue;
+        }
+        let t = &toks[i];
+        let path_head = |name: &str| {
+            t.is_ident(name)
+                && toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        };
+        let std_sync = path_head("std") && toks.get(i + 3).is_some_and(|n| n.is_ident("sync"));
+        let direct = path_head("loom") || path_head("parking_lot") || path_head("crossbeam");
+        if std_sync || direct {
+            out.push(Violation::new(
+                "TW006",
+                file,
+                t.line,
+                "concrete sync primitive outside crate::sync; route it through the \
+                 sync abstraction so loom models cover it"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// TW007 — every `TimerScheme` implementor must implement `InvariantCheck`
+/// and be registered in an oracle-equivalence suite (a test file named
+/// `oracle_equivalence.rs` that mentions the type).
+pub fn tw007(files: &[SourceFile], out: &mut Vec<Violation>) {
+    let mut checked: HashSet<&str> = HashSet::new();
+    for f in files {
+        for im in &f.impls {
+            if im.trait_name.as_deref() == Some("InvariantCheck") {
+                checked.insert(im.type_name.as_str());
+            }
+        }
+    }
+    let registered = |name: &str| {
+        files
+            .iter()
+            .filter(|f| f.path.ends_with("oracle_equivalence.rs"))
+            .any(|f| f.lexed.tokens.iter().any(|t| t.is_ident(name)))
+    };
+    let mut reported: HashSet<String> = HashSet::new();
+    for f in files {
+        for im in &f.impls {
+            if im.trait_name.as_deref() != Some("TimerScheme") || f.is_test_file {
+                continue;
+            }
+            // Single-letter heads are blanket impls over a type parameter.
+            if im.type_name.len() <= 1 {
+                continue;
+            }
+            if !reported.insert(im.type_name.clone()) {
+                continue;
+            }
+            if !checked.contains(im.type_name.as_str()) {
+                out.push(Violation::new(
+                    "TW007",
+                    f,
+                    im.line,
+                    format!(
+                        "`{}` implements TimerScheme but not InvariantCheck; every \
+                         scheme must expose its structural invariants",
+                        im.type_name
+                    ),
+                ));
+            }
+            if !registered(&im.type_name) {
+                out.push(Violation::new(
+                    "TW007",
+                    f,
+                    im.line,
+                    format!(
+                        "`{}` implements TimerScheme but is not exercised by any \
+                         oracle_equivalence.rs suite",
+                        im.type_name
+                    ),
+                ));
+            }
+        }
+    }
+}

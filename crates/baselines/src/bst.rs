@@ -80,7 +80,9 @@ impl<T> UnbalancedBstScheme<T> {
             self.nodes[i as usize] = node;
             i
         } else {
+            // tw-analyze: allow(TW002, reason = "capacity ceiling of u32::MAX tree nodes is a hard structural limit mirroring TimerArena's documented alloc panic; no TimerError variant expresses exhaustion")
             let i = u32::try_from(self.nodes.len()).expect("bst node count exceeds u32");
+            // tw-analyze: allow(TW002, reason = "same capacity ceiling: u32::MAX is the NIL sentinel and must never name a real node")
             assert!(i != NIL, "bst node count exceeds u32");
             self.nodes.push(node);
             i
@@ -170,6 +172,7 @@ impl<T> UnbalancedBstScheme<T> {
             self.nodes[y as usize].left = zl;
             self.nodes[zl as usize].parent = y;
         }
+        // tw-analyze: allow(TW004, reason = "free-list recycling: every index pushed here was popped from the same Vec by alloc_node, so steady-state pushes reuse reserved capacity; this is the section 3.1 comparison baseline, not a wheel")
         self.free.push(z);
         if self.min == z {
             self.min = if self.root == NIL {
@@ -192,10 +195,13 @@ impl<T> TimerScheme<T> for UnbalancedBstScheme<T> {
         if interval.is_zero() {
             return Err(TimerError::ZeroInterval);
         }
-        let deadline = self.now + interval;
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
         let (idx, handle) = self.arena.alloc(payload, deadline);
         let (tn, steps) = self.find_or_insert(deadline);
-        self.arena.node_mut(idx).bucket = tn;
+        self.arena.node_mut(idx).bucket = tn as usize;
         self.arena.push_back(&mut self.nodes[tn as usize].list, idx);
         self.counters.starts += 1;
         self.counters.start_steps += steps;
@@ -205,7 +211,7 @@ impl<T> TimerScheme<T> for UnbalancedBstScheme<T> {
 
     fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError> {
         let idx = self.arena.resolve(handle)?;
-        let tn = self.arena.node(idx).bucket;
+        let tn = u32::try_from(self.arena.node(idx).bucket).unwrap_or(NIL);
         self.arena.unlink(&mut self.nodes[tn as usize].list, idx);
         if self.nodes[tn as usize].list.is_empty() {
             self.delete_tree_node(tn);
@@ -272,6 +278,118 @@ impl<T> TimerScheme<T> for UnbalancedBstScheme<T> {
 impl<T> DeadlinePeek for UnbalancedBstScheme<T> {
     fn next_deadline(&self) -> Option<Tick> {
         (self.min != NIL).then(|| self.nodes[self.min as usize].key)
+    }
+}
+
+impl<T> tw_core::validate::InvariantCheck for UnbalancedBstScheme<T> {
+    /// Scheme 3b resting-state invariants: slab storage integrity, strict
+    /// BST order on deadline keys with mirrored parent links, the cached
+    /// minimum equal to the leftmost node, every tree node holding a
+    /// non-empty FIFO list of timers whose deadline equals its key (and
+    /// whose `bucket` tags point back at it), strictly-future keys, and the
+    /// tree accounting for every allocated timer.
+    fn check_invariants(&self) -> Result<(), tw_core::validate::InvariantViolation> {
+        use tw_core::validate::InvariantViolation;
+        let scheme = self.name();
+        let fail = |detail: String| Err(InvariantViolation::new(scheme, detail));
+        if let Err(detail) = self.arena.check_storage() {
+            return fail(detail);
+        }
+        if self.root != NIL && self.nodes[self.root as usize].parent != NIL {
+            return fail(String::from("root has a parent"));
+        }
+        // In-order walk with an explicit stack; counts both tree nodes and
+        // the timers hanging off them.
+        let mut linked = 0usize;
+        let mut tree_nodes = 0usize;
+        let mut prev_key: Option<Tick> = None;
+        let mut first: u32 = NIL;
+        let mut stack: Vec<(u32, bool)> = if self.root == NIL {
+            Vec::new()
+        } else {
+            vec![(self.root, false)]
+        };
+        while let Some((n, expanded)) = stack.pop() {
+            let node = &self.nodes[n as usize];
+            if !expanded {
+                tree_nodes += 1;
+                if tree_nodes > self.nodes.len() {
+                    return fail(String::from("tree walk cycles (parent/child corruption)"));
+                }
+                if node.right != NIL {
+                    if self.nodes[node.right as usize].parent != n {
+                        return fail(format!("right child of {n} does not point back"));
+                    }
+                    stack.push((node.right, false));
+                }
+                stack.push((n, true));
+                if node.left != NIL {
+                    if self.nodes[node.left as usize].parent != n {
+                        return fail(format!("left child of {n} does not point back"));
+                    }
+                    stack.push((node.left, false));
+                }
+                continue;
+            }
+            // In-order visit.
+            if first == NIL {
+                first = n;
+            }
+            if let Some(prev) = prev_key {
+                if node.key <= prev {
+                    return fail(format!(
+                        "BST order violated: key {} follows {}",
+                        node.key.as_u64(),
+                        prev.as_u64()
+                    ));
+                }
+            }
+            prev_key = Some(node.key);
+            if node.key <= self.now {
+                return fail(format!(
+                    "resident key {} is not in the future (now {})",
+                    node.key.as_u64(),
+                    self.now.as_u64()
+                ));
+            }
+            let timers = match self.arena.check_list(&node.list) {
+                Ok(timers) => timers,
+                Err(detail) => return fail(format!("tree node {n}: {detail}")),
+            };
+            if timers.is_empty() {
+                return fail(format!("tree node {n} holds no timers"));
+            }
+            linked += timers.len();
+            for idx in timers {
+                let t = self.arena.node(idx);
+                if t.deadline != node.key {
+                    return fail(format!(
+                        "timer under key {} carries deadline {}",
+                        node.key.as_u64(),
+                        t.deadline.as_u64()
+                    ));
+                }
+                if t.bucket != n as usize {
+                    return fail(format!(
+                        "timer under tree node {n} tagged bucket {}",
+                        t.bucket
+                    ));
+                }
+            }
+        }
+        if self.min != first {
+            return fail(format!(
+                "cached min {} is not the leftmost node {first}",
+                self.min
+            ));
+        }
+        if linked != self.arena.len() {
+            return fail(format!(
+                "{linked} timers on the tree but {} outstanding",
+                self.arena.len()
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -75,7 +75,10 @@ impl<T> TimerScheme<T> for DeltaListScheme<T> {
         if interval.is_zero() {
             return Err(TimerError::ZeroInterval);
         }
-        let deadline = self.now + interval;
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
         let (idx, handle) = self.arena.alloc(payload, deadline);
         // Walk forward consuming deltas; insert where the remaining interval
         // no longer covers the next element. Equal deadlines chain as
@@ -179,6 +182,51 @@ impl<T> TimerScheme<T> for DeltaListScheme<T> {
 impl<T> DeadlinePeek for DeltaListScheme<T> {
     fn next_deadline(&self) -> Option<Tick> {
         self.queue.first().map(|i| self.arena.node(i).deadline)
+    }
+}
+
+impl<T> tw_core::validate::InvariantCheck for DeltaListScheme<T> {
+    /// Delta-list resting-state invariants: slab storage integrity, an
+    /// intact queue whose head delta is positive, and prefix-sum consistency
+    /// — each node's delta chain from the head reconstructs exactly its
+    /// absolute deadline (`now + Σ deltas ≤ head = deadline`), which also
+    /// proves ascending order. The queue accounts for every allocated node.
+    fn check_invariants(&self) -> Result<(), tw_core::validate::InvariantViolation> {
+        use tw_core::validate::InvariantViolation;
+        let scheme = self.name();
+        let fail = |detail: String| Err(InvariantViolation::new(scheme, detail));
+        if let Err(detail) = self.arena.check_storage() {
+            return fail(detail);
+        }
+        let nodes = match self.arena.check_list(&self.queue) {
+            Ok(nodes) => nodes,
+            Err(detail) => return fail(format!("queue: {detail}")),
+        };
+        if nodes.len() != self.arena.len() {
+            return fail(format!(
+                "{} nodes on the queue but {} outstanding",
+                nodes.len(),
+                self.arena.len()
+            ));
+        }
+        let mut sum = self.now.as_u64();
+        for (i, idx) in nodes.into_iter().enumerate() {
+            let node = self.arena.node(idx);
+            if i == 0 && node.aux == 0 {
+                return fail(String::from("head delta is zero at rest"));
+            }
+            sum = match sum.checked_add(node.aux) {
+                Some(sum) => sum,
+                None => return fail(format!("delta prefix sum overflows at position {i}")),
+            };
+            if sum != node.deadline.as_u64() {
+                return fail(format!(
+                    "delta prefix sum {sum} at position {i} disagrees with deadline {}",
+                    node.deadline.as_u64()
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

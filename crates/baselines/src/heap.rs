@@ -61,7 +61,7 @@ impl<T> BinaryHeapScheme<T> {
 
     fn set_pos(&mut self, pos: usize) {
         let idx = self.heap[pos];
-        self.arena.node_mut(idx).bucket = pos as u32;
+        self.arena.node_mut(idx).bucket = pos;
     }
 
     fn swap(&mut self, a: usize, b: usize) {
@@ -116,6 +116,7 @@ impl<T> BinaryHeapScheme<T> {
         if pos != last {
             self.swap(pos, last);
         }
+        // tw-analyze: allow(TW002, reason = "remove_at is only called with pos < heap.len(), so the heap is non-empty here; an empty pop is internal heap corruption, not client input")
         let idx = self.heap.pop().expect("remove from empty heap");
         if pos < self.heap.len() {
             let steps = self.sift_down(pos) + self.sift_up(pos);
@@ -160,7 +161,7 @@ impl<T> tw_core::validate::InvariantCheck for BinaryHeapScheme<T> {
                 return fail(format!("heap position {pos} references a freed node"));
             }
             let node = self.arena.node(idx);
-            if node.bucket as usize != pos {
+            if node.bucket != pos {
                 return fail(format!(
                     "position map corrupted: node at heap position {pos} \
                      records position {}",
@@ -208,7 +209,10 @@ impl<T> TimerScheme<T> for BinaryHeapScheme<T> {
         if interval.is_zero() {
             return Err(TimerError::ZeroInterval);
         }
-        let deadline = self.now + interval;
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
         let (idx, handle) = self.arena.alloc(payload, deadline);
         self.heap.push(idx);
         let pos = self.heap.len() - 1;
@@ -222,7 +226,7 @@ impl<T> TimerScheme<T> for BinaryHeapScheme<T> {
 
     fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError> {
         let idx = self.arena.resolve(handle)?;
-        let pos = self.arena.node(idx).bucket as usize;
+        let pos = self.arena.node(idx).bucket;
         debug_assert_eq!(self.heap[pos], idx, "heap position map corrupted");
         let removed = self.remove_at(pos);
         debug_assert_eq!(removed, idx);

@@ -210,7 +210,10 @@ impl<T> TimerScheme<T> for LeftistScheme<T> {
         if interval.is_zero() {
             return Err(TimerError::ZeroInterval);
         }
-        let deadline = self.now + interval;
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
         let (idx, handle) = self.arena.alloc(payload, deadline);
         self.ensure_link(idx);
         let root = self.root;
@@ -283,6 +286,80 @@ impl<T> TimerScheme<T> for LeftistScheme<T> {
 impl<T> DeadlinePeek for LeftistScheme<T> {
     fn next_deadline(&self) -> Option<Tick> {
         (self.root != NIL).then(|| self.key(self.root))
+    }
+}
+
+impl<T> tw_core::validate::InvariantCheck for LeftistScheme<T> {
+    /// Scheme 3c resting-state invariants: slab storage integrity, the
+    /// leftist rank property (`rank(left) ≥ rank(right)`, rank = right-spine
+    /// length), min-heap order on deadlines, child/parent link mirroring, a
+    /// detached root, strictly-future deadlines, and the tree reaching every
+    /// allocated node exactly once.
+    fn check_invariants(&self) -> Result<(), tw_core::validate::InvariantViolation> {
+        use tw_core::validate::InvariantViolation;
+        let scheme = self.name();
+        let fail = |detail: String| Err(InvariantViolation::new(scheme, detail));
+        if let Err(detail) = self.arena.check_storage() {
+            return fail(detail);
+        }
+        if self.root != NIL && self.links[self.root as usize].parent != NIL {
+            return fail(String::from("root has a parent"));
+        }
+        // Explicit stack: the tree is unbalanced only in rank terms, but
+        // avoid recursion anyway so a corrupted parent cycle cannot blow the
+        // stack before being reported.
+        let mut reached = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            if n == NIL {
+                continue;
+            }
+            reached += 1;
+            if reached > self.arena.len() {
+                return fail(String::from("tree reaches more nodes than are allocated"));
+            }
+            let idx = NodeIdx::from_u32(n);
+            if !self.arena.is_live(idx) {
+                return fail(format!("tree references freed node {n}"));
+            }
+            if self.key(n) <= self.now {
+                return fail(format!(
+                    "resident deadline {} at node {n} is not in the future (now {})",
+                    self.key(n).as_u64(),
+                    self.now.as_u64()
+                ));
+            }
+            let link = self.links[n as usize];
+            if self.rank(link.left) < self.rank(link.right) {
+                return fail(format!("leftist property violated at node {n}"));
+            }
+            if link.rank != self.rank(link.right) + 1 {
+                return fail(format!(
+                    "rank at node {n} is {} but right spine implies {}",
+                    link.rank,
+                    self.rank(link.right) + 1
+                ));
+            }
+            for child in [link.left, link.right] {
+                if child == NIL {
+                    continue;
+                }
+                if self.key(child) < self.key(n) {
+                    return fail(format!("heap order violated between {n} and child {child}"));
+                }
+                if self.links[child as usize].parent != n {
+                    return fail(format!("child {child} does not point back at parent {n}"));
+                }
+                stack.push(child);
+            }
+        }
+        if reached != self.arena.len() {
+            return fail(format!(
+                "tree reaches {reached} nodes but {} outstanding",
+                self.arena.len()
+            ));
+        }
+        Ok(())
     }
 }
 

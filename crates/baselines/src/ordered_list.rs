@@ -157,7 +157,10 @@ impl<T> TimerScheme<T> for OrderedListScheme<T> {
         if interval.is_zero() {
             return Err(TimerError::ZeroInterval);
         }
-        let deadline = self.now + interval;
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
         let (idx, handle) = self.arena.alloc(payload, deadline);
         let steps = self.insert_sorted(idx, deadline);
         self.last_steps = steps;
@@ -232,7 +235,50 @@ impl<T> DeadlinePeek for OrderedListScheme<T> {
     }
 }
 
+impl<T> tw_core::validate::InvariantCheck for OrderedListScheme<T> {
+    /// Scheme 2 resting-state invariants: slab storage integrity, an intact
+    /// doubly-linked queue sorted ascending by deadline (FIFO within ties is
+    /// preserved by construction and unobservable at rest), strictly-future
+    /// deadlines, and the queue accounting for every allocated node.
+    fn check_invariants(&self) -> Result<(), tw_core::validate::InvariantViolation> {
+        use tw_core::validate::InvariantViolation;
+        let scheme = self.name();
+        let fail = |detail: String| Err(InvariantViolation::new(scheme, detail));
+        if let Err(detail) = self.arena.check_storage() {
+            return fail(detail);
+        }
+        let nodes = match self.arena.check_list(&self.queue) {
+            Ok(nodes) => nodes,
+            Err(detail) => return fail(format!("queue: {detail}")),
+        };
+        if nodes.len() != self.arena.len() {
+            return fail(format!(
+                "{} nodes on the queue but {} outstanding",
+                nodes.len(),
+                self.arena.len()
+            ));
+        }
+        let mut prev = 0u64;
+        for idx in nodes {
+            let deadline = self.arena.node(idx).deadline.as_u64();
+            if deadline <= self.now.as_u64() {
+                return fail(format!(
+                    "resident deadline {deadline} is not in the future (now {})",
+                    self.now.as_u64()
+                ));
+            }
+            if deadline < prev {
+                return fail(format!("queue out of order: {deadline} after {prev}"));
+            }
+            prev = deadline;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
+// Test payloads use small counters; the narrowing casts cannot truncate.
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use tw_core::TimerSchemeExt;

@@ -65,7 +65,10 @@ impl<T> TimerScheme<T> for UnorderedScheme<T> {
         if interval.is_zero() {
             return Err(TimerError::ZeroInterval);
         }
-        let deadline = self.now + interval;
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
         let (idx, handle) = self.arena.alloc(payload, deadline);
         // `aux` holds the remaining interval, decremented in place (§3.1's
         // DECREMENT option).
@@ -133,6 +136,48 @@ impl<T> TimerScheme<T> for UnorderedScheme<T> {
 
     fn name(&self) -> &'static str {
         "scheme1(unordered)"
+    }
+}
+
+impl<T> tw_core::validate::InvariantCheck for UnorderedScheme<T> {
+    /// Scheme 1 resting-state invariants: slab storage integrity, an intact
+    /// active list, remaining-interval consistency (`deadline = now + aux`
+    /// with `aux ≥ 1` — the §3.1 DECREMENT counter agrees with the absolute
+    /// deadline), and the list accounting for every allocated node.
+    fn check_invariants(&self) -> Result<(), tw_core::validate::InvariantViolation> {
+        use tw_core::validate::InvariantViolation;
+        let scheme = self.name();
+        let fail = |detail: String| Err(InvariantViolation::new(scheme, detail));
+        if let Err(detail) = self.arena.check_storage() {
+            return fail(detail);
+        }
+        let nodes = match self.arena.check_list(&self.active) {
+            Ok(nodes) => nodes,
+            Err(detail) => return fail(format!("active list: {detail}")),
+        };
+        if nodes.len() != self.arena.len() {
+            return fail(format!(
+                "{} nodes on the active list but {} outstanding",
+                nodes.len(),
+                self.arena.len()
+            ));
+        }
+        for idx in nodes {
+            let node = self.arena.node(idx);
+            if node.aux == 0 {
+                return fail(String::from("resident timer with zero remaining interval"));
+            }
+            let expect = self.now.as_u64().checked_add(node.aux);
+            if expect != Some(node.deadline.as_u64()) {
+                return fail(format!(
+                    "remaining interval {} from now {} disagrees with deadline {}",
+                    node.aux,
+                    self.now.as_u64(),
+                    node.deadline.as_u64()
+                ));
+            }
+        }
+        Ok(())
     }
 }
 

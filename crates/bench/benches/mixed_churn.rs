@@ -2,6 +2,10 @@
 //! exponential intervals, half the timers stopped early — the §1
 //! retransmission regime) replayed whole against each scheme.
 
+// Measurement harness: wall-clock math and abort-on-error are the point;
+// the audited tick/index domain is enforced in the library crates.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tw_bench::scheme_zoo;
 use tw_workload::{replay, ArrivalProcess, IntervalDist, Trace, TraceConfig};

@@ -11,6 +11,10 @@
 //! the cost: more levels → fewer slots for the same range but more
 //! migrations per timer.
 
+// Measurement harness: wall-clock math and abort-on-error are the point;
+// the audited tick/index domain is enforced in the library crates.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use tw_bench::table::{f2, Table};
 use tw_core::wheel::{HierarchicalWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy};
 use tw_core::{TickDelta, TimerScheme, TimerSchemeExt};

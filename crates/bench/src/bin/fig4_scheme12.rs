@@ -13,6 +13,10 @@
 //! tick column and Scheme 2's start column grow linearly with n; the other
 //! four stay flat.
 
+// Measurement harness: wall-clock math and abort-on-error are the point;
+// the audited tick/index domain is enforced in the library crates.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use std::time::Instant;
 
 use tw_baselines::{OrderedListScheme, SearchFrom, UnorderedScheme};

@@ -15,6 +15,10 @@
 //! by half the *adjacent finer* level's granularity, exactly one migration
 //! for multi-level timers.
 
+// Measurement harness: wall-clock math and abort-on-error are the point;
+// the audited tick/index domain is enforced in the library crates.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use tw_bench::table::{f2, Table};
 use tw_core::wheel::{HierarchicalWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy};
 use tw_core::{TickDelta, TimerScheme};

@@ -148,13 +148,20 @@ impl<T> MpscWheel<T> {
     ///
     /// # Errors
     ///
-    /// [`TimerError::ZeroInterval`] for a zero interval.
+    /// [`TimerError::ZeroInterval`] for a zero interval;
+    /// [`TimerError::DeadlineOverflow`] if `now + interval` exceeds the tick
+    /// domain.
     pub fn start_timer(&self, interval: TickDelta, payload: T) -> Result<MpscHandle, TimerError> {
         if interval.is_zero() {
             return Err(TimerError::ZeroInterval);
         }
         let state = Arc::new(AtomicU8::new(STATE_PENDING));
-        let deadline = self.shared.now.load(Ordering::Acquire) + interval.as_u64();
+        let deadline = self
+            .shared
+            .now
+            .load(Ordering::Acquire)
+            .checked_add(interval.as_u64())
+            .ok_or(TimerError::DeadlineOverflow)?;
         self.shared.pending.push(Entry {
             payload,
             state: Arc::clone(&state),
@@ -183,6 +190,7 @@ impl<T> MpscWheel<T> {
                 inner
                     .wheel
                     .start_timer(remaining, entry)
+                    // tw-analyze: allow(TW002, reason = "deadline > t here, so remaining >= 1 and the inner clock sits at t-1 with the same overflow-checked deadline the producer computed; a rejection is internal corruption, not client input")
                     .expect("remaining interval is nonzero");
             }
         }

@@ -89,9 +89,11 @@ impl TimerService {
             .spawn(move || {
                 // With a real-time ticker, wait for commands only until the
                 // next tick deadline; with virtual time, wait indefinitely.
+                // tw-analyze: allow(TW003, reason = "the optional real-time ticker is this driver's entire purpose (Appendix A model); virtual-time services pass period = None and never construct next_tick")
                 let mut next_tick = period.map(|p| (Instant::now() + p, p));
                 loop {
                     let cmd = if let Some((deadline, p)) = next_tick {
+                        // tw-analyze: allow(TW003, reason = "same real-time ticker: computing the recv timeout until the next wall-clock tick deadline is the driver's job, not scheme logic")
                         let now = Instant::now();
                         if now >= deadline {
                             next_tick = Some((deadline + p, p));
@@ -179,7 +181,9 @@ impl TimerService {
                 interval,
                 reply: tx,
             })
+            // tw-analyze: allow(TW002, reason = "documented # Panics contract: a dead service thread is unrecoverable infrastructure failure, not a timer-domain error the TimerError enum can express")
             .expect("timer service alive");
+        // tw-analyze: allow(TW002, reason = "same dead-service-thread contract as the send above")
         rx.recv().expect("timer service alive")
     }
 
@@ -196,7 +200,9 @@ impl TimerService {
         let (tx, rx) = bounded(1);
         self.cmd
             .send(Cmd::Stop { handle, reply: tx })
+            // tw-analyze: allow(TW002, reason = "documented # Panics contract: a dead service thread is unrecoverable infrastructure failure, not a timer-domain error the TimerError enum can express")
             .expect("timer service alive");
+        // tw-analyze: allow(TW002, reason = "same dead-service-thread contract as the send above")
         rx.recv().expect("timer service alive")
     }
 

@@ -25,13 +25,14 @@
 use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use crate::sync::{Arc, Mutex};
 use tw_core::arena::{ListHead, TimerArena};
+use tw_core::time::ticks_of;
 use tw_core::{Expired, Tick, TickDelta, TimerError, TimerHandle};
 
 /// Handle to a timer in a [`ShardedWheel`]: the bucket plus the slab key
 /// within it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ShardHandle {
-    bucket: u32,
+    bucket: usize,
     handle: TimerHandle,
 }
 
@@ -118,24 +119,31 @@ impl<T> ShardedWheel<T> {
     ///
     /// # Errors
     ///
-    /// [`TimerError::ZeroInterval`] for a zero interval.
+    /// [`TimerError::ZeroInterval`] for a zero interval;
+    /// [`TimerError::DeadlineOverflow`] if `now + interval` exceeds the tick
+    /// domain.
     pub fn start_timer(&self, interval: TickDelta, payload: T) -> Result<ShardHandle, TimerError> {
         if interval.is_zero() {
             return Err(TimerError::ZeroInterval);
         }
-        let n = self.shared.buckets.len() as u64;
+        let n = ticks_of(self.shared.buckets.len());
         let j = interval.as_u64();
         loop {
             let t = self.shared.now.load(Ordering::Acquire);
-            let slot = ((t + j) % n) as usize;
+            let slot = Tick(t)
+                .checked_add_delta(interval)
+                .ok_or(TimerError::DeadlineOverflow)?
+                .slot_in(self.shared.buckets.len());
             let mut bucket = self.shared.buckets[slot].lock();
             // The clock may have advanced while we were acquiring the lock;
             // if that moved the target slot, retry against the fresh clock.
             let t2 = self.shared.now.load(Ordering::Acquire);
-            if ((t2 + j) % n) as usize != slot {
+            let deadline = Tick(t2)
+                .checked_add_delta(interval)
+                .ok_or(TimerError::DeadlineOverflow)?;
+            if deadline.slot_in(self.shared.buckets.len()) != slot {
                 continue;
             }
-            let deadline = Tick(t2 + j);
             // Visits of this bucket occur at ticks ≡ slot (mod n). The
             // single-threaded rounds formula (j-1)/n assumes the current
             // tick's visit (relevant only when j ≡ 0 mod n, i.e. this
@@ -155,7 +163,7 @@ impl<T> ShardedWheel<T> {
             bucket.list = list;
             self.shared.outstanding.fetch_add(1, Ordering::Relaxed);
             return Ok(ShardHandle {
-                bucket: slot as u32,
+                bucket: slot,
                 handle,
             });
         }
@@ -167,7 +175,7 @@ impl<T> ShardedWheel<T> {
     ///
     /// [`TimerError::Stale`] if the timer fired or was already stopped.
     pub fn stop_timer(&self, handle: ShardHandle) -> Result<T, TimerError> {
-        let mut bucket = self.shared.buckets[handle.bucket as usize].lock();
+        let mut bucket = self.shared.buckets[handle.bucket].lock();
         let idx = bucket.arena.resolve(handle.handle)?;
         let mut list = std::mem::take(&mut bucket.list);
         bucket.arena.unlink(&mut list, idx);
@@ -183,8 +191,7 @@ impl<T> ShardedWheel<T> {
     pub fn tick(&self) -> Vec<Expired<T>> {
         let _gate = self.shared.tick_gate.lock();
         let t = self.shared.now.fetch_add(1, Ordering::AcqRel) + 1;
-        let n = self.shared.buckets.len() as u64;
-        let slot = (t % n) as usize;
+        let slot = Tick(t).slot_in(self.shared.buckets.len());
         let mut fired = Vec::new();
         {
             let mut bucket = self.shared.buckets[slot].lock();
@@ -238,7 +245,7 @@ impl<T> tw_core::validate::InvariantCheck for ShardedWheel<T> {
         let fail = |detail: String| Err(InvariantViolation::new(scheme, detail));
         let _gate = self.shared.tick_gate.lock();
         let now = self.shared.now.load(Ordering::Acquire);
-        let n = self.shared.buckets.len() as u64;
+        let n = ticks_of(self.shared.buckets.len());
         let mut resident = 0usize;
         for (slot, bucket) in self.shared.buckets.iter().enumerate() {
             let bucket = bucket.lock();
@@ -262,14 +269,14 @@ impl<T> tw_core::validate::InvariantCheck for ShardedWheel<T> {
                     bucket.processed_until
                 ));
             }
-            if bucket.processed_until != 0 && bucket.processed_until % n != slot as u64 {
+            if bucket.processed_until != 0 && bucket.processed_until % n != ticks_of(slot) {
                 return fail(format!(
                     "bucket {slot}: processed_until {} is not congruent to the \
                      bucket index mod {n}",
                     bucket.processed_until
                 ));
             }
-            if slot as u64 == now % n && bucket.processed_until != now {
+            if ticks_of(slot) == now % n && bucket.processed_until != now {
                 return fail(format!(
                     "cursor bucket {slot}: visit for tick {now} not recorded \
                      (processed_until {})",
@@ -279,7 +286,7 @@ impl<T> tw_core::validate::InvariantCheck for ShardedWheel<T> {
             for idx in nodes {
                 let node = bucket.arena.node(idx);
                 let deadline = node.deadline.as_u64();
-                let expect = now + ticks_until_visit(now, slot as u64, n) + node.aux * n;
+                let expect = now + ticks_until_visit(now, ticks_of(slot), n) + node.aux * n;
                 if deadline != expect {
                     return fail(format!(
                         "bucket {slot}: rounds inconsistency: deadline {deadline}, \

@@ -17,6 +17,8 @@
 //! quiescence — per-bucket slab/list integrity, rounds arithmetic,
 //! `processed_until` stamps, and the outstanding counter.
 
+// Integration test: panicking on an unexpected Err is the assertion.
+#![allow(clippy::unwrap_used)]
 #![cfg(not(loom))]
 
 use std::thread;

@@ -31,6 +31,10 @@ pub enum TimerError {
     DuplicateRequestId,
     /// The `Request_ID` passed to `STOP_TIMER` has no outstanding timer.
     UnknownRequestId,
+    /// `now + interval` does not fit the `u64` tick domain, so the deadline
+    /// is unrepresentable. A user-supplied interval must not be able to
+    /// panic the facility (see [`Tick::checked_add_delta`](crate::Tick)).
+    DeadlineOverflow,
 }
 
 impl fmt::Display for TimerError {
@@ -45,6 +49,9 @@ impl fmt::Display for TimerError {
                 write!(f, "request id already has an outstanding timer")
             }
             TimerError::UnknownRequestId => write!(f, "request id has no outstanding timer"),
+            TimerError::DeadlineOverflow => {
+                write!(f, "deadline overflows the representable tick range")
+            }
         }
     }
 }
@@ -67,6 +74,7 @@ mod tests {
             TimerError::Stale.to_string(),
             TimerError::DuplicateRequestId.to_string(),
             TimerError::UnknownRequestId.to_string(),
+            TimerError::DeadlineOverflow.to_string(),
         ];
         for m in &msgs {
             assert!(!m.is_empty());

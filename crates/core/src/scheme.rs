@@ -38,10 +38,10 @@ pub struct Expired<T> {
 
 impl<T> Expired<T> {
     /// Signed firing error in ticks (`fired_at - deadline`); negative means
-    /// the timer fired early.
+    /// the timer fired early. Saturates at the `i64` extremes.
     #[must_use]
     pub fn error(&self) -> i64 {
-        self.fired_at.as_u64() as i64 - self.deadline.as_u64() as i64
+        self.fired_at.signed_offset_from(self.deadline)
     }
 }
 
@@ -62,6 +62,8 @@ pub trait TimerScheme<T> {
     /// * [`TimerError::ZeroInterval`] if `interval` is zero.
     /// * [`TimerError::IntervalOutOfRange`] if the scheme's range is bounded,
     ///   the interval exceeds it, and the overflow policy is `Reject`.
+    /// * [`TimerError::DeadlineOverflow`] if `now + interval` exceeds the
+    ///   representable tick range.
     fn start_timer(&mut self, interval: TickDelta, payload: T) -> Result<TimerHandle, TimerError>;
 
     /// `STOP_TIMER` (§2): cancels an outstanding timer, returning its

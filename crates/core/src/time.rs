@@ -43,6 +43,7 @@ impl Tick {
     #[inline]
     #[must_use]
     pub fn next(self) -> Tick {
+        // tw-analyze: allow(TW002, reason = "documented # Panics contract: u64 tick overflow takes ~584,000 years at nanosecond granularity and is treated as unreachable corruption, not a client input")
         Tick(self.0.checked_add(1).expect("tick counter overflow"))
     }
 
@@ -57,6 +58,7 @@ impl Tick {
         TickDelta(
             self.0
                 .checked_sub(earlier.0)
+                // tw-analyze: allow(TW002, reason = "documented # Panics contract: callers must pass an earlier tick; the fallible form checked_since exists for client-driven inputs")
                 .expect("Tick::since: earlier is in the future"),
         )
     }
@@ -68,6 +70,94 @@ impl Tick {
     pub fn checked_since(self, earlier: Tick) -> Option<TickDelta> {
         self.0.checked_sub(earlier.0).map(TickDelta)
     }
+
+    /// Adds an interval without panicking: `None` when the deadline would
+    /// overflow the `u64` tick domain.
+    ///
+    /// This is the non-panicking form of `Tick + TickDelta`; `START_TIMER`
+    /// paths use it to turn a user-supplied interval that lands past the end
+    /// of representable time into
+    /// [`TimerError::DeadlineOverflow`](crate::TimerError) instead of a
+    /// panic.
+    #[inline]
+    #[must_use]
+    pub fn checked_add_delta(self, rhs: TickDelta) -> Option<Tick> {
+        self.0.checked_add(rhs.0).map(Tick)
+    }
+
+    /// Slot index of this instant on a wheel of `table_size` slots: the tick
+    /// count reduced mod the table size (§6.1's hash `H = T mod N`).
+    ///
+    /// This is the audited choke point for tick-domain → index-domain
+    /// conversion: the reduction happens in `u64` and the result is `<
+    /// table_size`, so narrowing to `usize` is lossless on every target that
+    /// can hold the slot vector in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_size` is zero.
+    #[inline]
+    #[must_use]
+    pub fn slot_in(self, table_size: usize) -> usize {
+        slot_index(self.0 % ticks_of(table_size))
+    }
+
+    /// Slot index on a power-of-two wheel via the §6.1.2 optimization:
+    /// "if the table size is a power of 2, the index can be found cheaply"
+    /// with a bitwise AND of `mask = table_size - 1` (see [`pow2_mask`]).
+    #[inline]
+    #[must_use]
+    pub fn slot_masked(self, mask: u64) -> usize {
+        slot_index(self.0 & mask)
+    }
+
+    /// Signed lateness of `self` relative to `scheduled`, saturating at the
+    /// `i64` extremes: positive when `self` is after `scheduled`.
+    ///
+    /// Feeds [`Expired::error`](crate::scheme::Expired::error) without raw
+    /// sign-changing casts.
+    #[inline]
+    #[must_use]
+    pub fn signed_offset_from(self, scheduled: Tick) -> i64 {
+        if self.0 >= scheduled.0 {
+            i64::try_from(self.0 - scheduled.0).unwrap_or(i64::MAX)
+        } else {
+            i64::try_from(scheduled.0 - self.0).map_or(i64::MIN, |d| -d)
+        }
+    }
+}
+
+/// The tick-domain width of a table of `len` slots.
+///
+/// Lossless on every supported target (`usize` is at most 64 bits); the
+/// audited inverse of [`slot_index`].
+#[inline]
+#[must_use]
+pub fn ticks_of(len: usize) -> u64 {
+    u64::try_from(len).unwrap_or(u64::MAX)
+}
+
+/// Narrows an already-reduced slot index (or slot count) from the `u64`
+/// tick domain to a `usize` index.
+///
+/// Callers must have reduced `reduced` below their table size; since slot
+/// tables are in-memory `Vec`s, such a value always fits `usize`. On a
+/// (hypothetical) target where it did not, the saturated index would fault
+/// loudly on first use rather than aliasing another slot.
+#[inline]
+#[must_use]
+pub fn slot_index(reduced: u64) -> usize {
+    usize::try_from(reduced).unwrap_or(usize::MAX)
+}
+
+/// `table_size - 1` as a `u64` AND-mask when `table_size` is a power of two
+/// (the §6.1.2 cheap-hash condition), else `None`.
+#[inline]
+#[must_use]
+pub fn pow2_mask(table_size: usize) -> Option<u64> {
+    table_size
+        .is_power_of_two()
+        .then(|| ticks_of(table_size) - 1)
 }
 
 impl TickDelta {
@@ -95,6 +185,20 @@ impl TickDelta {
     #[must_use]
     pub fn saturating_sub(self, rhs: TickDelta) -> TickDelta {
         TickDelta(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Adds two intervals without panicking: `None` on `u64` overflow.
+    #[inline]
+    #[must_use]
+    pub fn checked_add(self, rhs: TickDelta) -> Option<TickDelta> {
+        self.0.checked_add(rhs.0).map(TickDelta)
+    }
+
+    /// An interval spanning one full revolution of a wheel of `len` slots.
+    #[inline]
+    #[must_use]
+    pub fn table_span(len: usize) -> TickDelta {
+        TickDelta(ticks_of(len))
     }
 }
 
@@ -220,5 +324,55 @@ mod tests {
         let mut t = Tick(10);
         t += TickDelta(5);
         assert_eq!(t, Tick(15));
+    }
+
+    #[test]
+    fn checked_add_delta_catches_overflow() {
+        assert_eq!(Tick(10).checked_add_delta(TickDelta(5)), Some(Tick(15)));
+        assert_eq!(Tick(u64::MAX).checked_add_delta(TickDelta(1)), None);
+        assert_eq!(
+            Tick(u64::MAX).checked_add_delta(TickDelta::ZERO),
+            Some(Tick(u64::MAX))
+        );
+    }
+
+    #[test]
+    fn delta_checked_add_catches_overflow() {
+        assert_eq!(TickDelta(7).checked_add(TickDelta(3)), Some(TickDelta(10)));
+        assert_eq!(TickDelta(u64::MAX).checked_add(TickDelta(1)), None);
+    }
+
+    #[test]
+    fn slot_in_reduces_mod_table_size() {
+        assert_eq!(Tick(0).slot_in(8), 0);
+        assert_eq!(Tick(7).slot_in(8), 7);
+        assert_eq!(Tick(8).slot_in(8), 0);
+        assert_eq!(Tick(1_000_003).slot_in(10), 3);
+    }
+
+    #[test]
+    fn slot_masked_matches_modulo_for_pow2() {
+        let mask = pow2_mask(16).unwrap();
+        for t in [0u64, 1, 15, 16, 17, 255, u64::MAX] {
+            assert_eq!(Tick(t).slot_masked(mask), Tick(t).slot_in(16));
+        }
+        assert_eq!(pow2_mask(12), None);
+        assert_eq!(pow2_mask(1), Some(0));
+    }
+
+    #[test]
+    fn table_span_and_ticks_of_roundtrip() {
+        assert_eq!(TickDelta::table_span(60), TickDelta(60));
+        assert_eq!(ticks_of(0), 0);
+        assert_eq!(slot_index(42), 42);
+    }
+
+    #[test]
+    fn signed_offset_handles_both_directions() {
+        assert_eq!(Tick(10).signed_offset_from(Tick(7)), 3);
+        assert_eq!(Tick(7).signed_offset_from(Tick(10)), -3);
+        assert_eq!(Tick(5).signed_offset_from(Tick(5)), 0);
+        assert_eq!(Tick(u64::MAX).signed_offset_from(Tick(0)), i64::MAX);
+        assert_eq!(Tick(0).signed_offset_from(Tick(u64::MAX)), i64::MIN);
     }
 }

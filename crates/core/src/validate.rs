@@ -110,6 +110,7 @@ impl<S: InvariantCheck> Checked<S> {
 
     fn assert_valid(&self) {
         if let Err(violation) = self.inner.check_invariants() {
+            // tw-analyze: allow(TW002, reason = "the Checked harness exists to panic loudly the moment a structural invariant breaks; it is a test-and-debug wrapper, never the production configuration")
             panic!("{violation}");
         }
     }

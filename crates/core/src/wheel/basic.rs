@@ -19,12 +19,12 @@ use crate::arena::{ListHead, TimerArena};
 use crate::counters::{OpCounters, VaxCostModel};
 use crate::handle::TimerHandle;
 use crate::scheme::{Expired, TimerScheme};
-use crate::time::{Tick, TickDelta};
+use crate::time::{ticks_of, Tick, TickDelta};
 use crate::wheel::config::OverflowPolicy;
 use crate::TimerError;
 
 /// Bucket tag for timers parked on the overflow list.
-const OVERFLOW_BUCKET: u32 = u32::MAX;
+const OVERFLOW_BUCKET: usize = usize::MAX;
 
 /// Scheme 4: a per-tick-rotating timing wheel. See the [module docs](self).
 ///
@@ -86,7 +86,7 @@ impl<T> BasicWheel<T> {
     /// The largest interval the wheel accepts directly.
     #[must_use]
     pub fn max_interval(&self) -> TickDelta {
-        TickDelta(self.slots.len() as u64)
+        TickDelta::table_span(self.slots.len())
     }
 
     /// Number of timers currently parked on the overflow list.
@@ -95,15 +95,17 @@ impl<T> BasicWheel<T> {
         self.overflow.len()
     }
 
-    fn slot_for(&self, interval: u64) -> usize {
-        debug_assert!(interval >= 1 && interval <= self.slots.len() as u64);
-        (self.cursor + interval as usize) % self.slots.len()
-    }
-
-    /// Links an already-allocated node into its slot.
-    fn enqueue(&mut self, idx: crate::arena::NodeIdx, interval: u64) {
-        let slot = self.slot_for(interval);
-        self.arena.node_mut(idx).bucket = slot as u32;
+    /// Links an already-allocated node into the slot its deadline hashes to:
+    /// Figure 8's `(current + j) mod MaxInterval` equals `deadline mod
+    /// MaxInterval` because the cursor is congruent to the clock.
+    fn enqueue(&mut self, idx: crate::arena::NodeIdx) {
+        let deadline = self.arena.node(idx).deadline;
+        debug_assert!(
+            deadline > self.now && deadline.since(self.now) <= self.max_interval(),
+            "enqueue outside the wheel's one-revolution window"
+        );
+        let slot = deadline.slot_in(self.slots.len());
+        self.arena.node_mut(idx).bucket = slot;
         self.arena.push_back(&mut self.slots[slot], idx);
     }
 
@@ -111,15 +113,15 @@ impl<T> BasicWheel<T> {
     /// completes a revolution; any timer due within the next revolution is
     /// admitted.
     fn drain_overflow(&mut self) {
-        let range = self.slots.len() as u64;
+        let range = self.max_interval();
         let mut cur = self.overflow.first();
         while let Some(idx) = cur {
             cur = self.arena.next(idx);
-            let remaining = self.arena.node(idx).deadline.since(self.now).as_u64();
-            debug_assert!(remaining >= 1, "overflow timer already due");
+            let remaining = self.arena.node(idx).deadline.since(self.now);
+            debug_assert!(!remaining.is_zero(), "overflow timer already due");
             if remaining <= range {
                 self.arena.unlink(&mut self.overflow, idx);
-                self.enqueue(idx, remaining);
+                self.enqueue(idx);
                 self.counters.migrations += 1;
                 self.counters.vax_instructions += self.cost.insert;
             } else {
@@ -144,13 +146,16 @@ impl<T> TimerScheme<T> for BasicWheel<T> {
                 None => (interval, true),
             }
         };
-        let deadline = self.now + interval;
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
         let (idx, handle) = self.arena.alloc(payload, deadline);
         if park {
             self.arena.node_mut(idx).bucket = OVERFLOW_BUCKET;
             self.arena.push_back(&mut self.overflow, idx);
         } else {
-            self.enqueue(idx, interval.as_u64());
+            self.enqueue(idx);
         }
         self.counters.starts += 1;
         self.counters.vax_instructions += self.cost.insert;
@@ -163,7 +168,7 @@ impl<T> TimerScheme<T> for BasicWheel<T> {
         if bucket == OVERFLOW_BUCKET {
             self.arena.unlink(&mut self.overflow, idx);
         } else {
-            self.arena.unlink(&mut self.slots[bucket as usize], idx);
+            self.arena.unlink(&mut self.slots[bucket], idx);
         }
         self.counters.stops += 1;
         self.counters.vax_instructions += self.cost.delete;
@@ -235,12 +240,12 @@ impl<T> crate::validate::InvariantCheck for BasicWheel<T> {
         use crate::validate::{ticks_until_visit, InvariantViolation};
         let scheme = self.name();
         let fail = |detail: alloc::string::String| Err(InvariantViolation::new(scheme, detail));
-        let n = self.slots.len() as u64;
+        let n = ticks_of(self.slots.len());
         let now = self.now.as_u64();
         if let Err(detail) = self.arena.check_storage() {
             return fail(detail);
         }
-        if self.cursor as u64 != now % n {
+        if self.cursor != self.now.slot_in(self.slots.len()) {
             return fail(alloc::format!(
                 "cursor {} is not now mod slots ({} mod {n})",
                 self.cursor,
@@ -257,18 +262,18 @@ impl<T> crate::validate::InvariantCheck for BasicWheel<T> {
             for idx in nodes {
                 let node = self.arena.node(idx);
                 let deadline = node.deadline.as_u64();
-                if node.bucket != slot as u32 {
+                if node.bucket != slot {
                     return fail(alloc::format!(
                         "node in slot {slot} tagged bucket {}",
                         node.bucket
                     ));
                 }
-                if deadline % n != slot as u64 {
+                if node.deadline.slot_in(self.slots.len()) != slot {
                     return fail(alloc::format!(
                         "slot-index congruence: deadline {deadline} mod {n} != slot {slot}"
                     ));
                 }
-                let expect = now + ticks_until_visit(now, slot as u64, n);
+                let expect = now + ticks_until_visit(now, ticks_of(slot), n);
                 if deadline != expect {
                     return fail(alloc::format!(
                         "resident deadline {deadline} not within one revolution \
@@ -430,5 +435,16 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_rejected() {
         let _: BasicWheel<()> = BasicWheel::new(0);
+    }
+
+    #[test]
+    fn unrepresentable_deadline_is_an_error_not_a_panic() {
+        let mut w: BasicWheel<()> = BasicWheel::with_policy(8, OverflowPolicy::OverflowList);
+        w.run_ticks(1);
+        assert_eq!(
+            w.start_timer(TickDelta(u64::MAX), ()),
+            Err(TimerError::DeadlineOverflow)
+        );
+        assert_eq!(w.outstanding(), 0);
     }
 }

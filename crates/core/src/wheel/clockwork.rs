@@ -33,7 +33,7 @@ use crate::arena::{ListHead, NodeIdx, TimerArena};
 use crate::counters::{OpCounters, VaxCostModel};
 use crate::handle::TimerHandle;
 use crate::scheme::{Expired, TimerScheme};
-use crate::time::{Tick, TickDelta};
+use crate::time::{slot_index, ticks_of, Tick, TickDelta};
 use crate::wheel::config::LevelSizes;
 use crate::TimerError;
 
@@ -54,7 +54,7 @@ struct Level<T> {
     cursor: usize,
     granularity: u64,
     size: u64,
-    base: u32,
+    base: usize,
     _marker: core::marker::PhantomData<T>,
 }
 
@@ -80,7 +80,7 @@ impl<T> ClockworkWheel<T> {
         sizes.validate();
         let mut levels = Vec::with_capacity(sizes.0.len());
         let mut granularity = 1u64;
-        let mut base = 0u32;
+        let mut base = 0usize;
         for &size in &sizes.0 {
             levels.push(Level {
                 slots: (0..size).map(|_| ListHead::new()).collect(),
@@ -90,7 +90,7 @@ impl<T> ClockworkWheel<T> {
                 base,
                 _marker: core::marker::PhantomData,
             });
-            base += u32::try_from(size).expect("level size exceeds u32");
+            base += usize::try_from(size).expect("level size exceeds usize");
             granularity = granularity.saturating_mul(size);
         }
         let mut wheel = ClockworkWheel {
@@ -135,6 +135,7 @@ impl<T> ClockworkWheel<T> {
             .levels
             .iter()
             .rposition(|l| target / l.granularity != now / l.granularity)
+            // tw-analyze: allow(TW002, reason = "level 0 has granularity 1, so target > now (asserted above) always differs in the level-0 quotient; no match means the debug_assert precondition was violated internally")
             .expect("target > now differs at the tick level");
         self.place_at_level(idx, target, level);
     }
@@ -144,20 +145,21 @@ impl<T> ClockworkWheel<T> {
     /// rides on, where the digit rule would circularly pick level ℓ itself.
     fn place_at_level(&mut self, idx: NodeIdx, target: u64, level: usize) {
         let l = &self.levels[level];
-        let slot = ((target / l.granularity) % l.size) as usize;
+        let slot = slot_index((target / l.granularity) % l.size);
         {
             let node = self.arena.node_mut(idx);
             node.aux = target;
-            node.bucket = l.base + slot as u32;
+            node.bucket = l.base + slot;
         }
         self.arena
             .push_back(&mut self.levels[level].slots[slot], idx);
     }
 
-    fn level_of_bucket(&self, bucket: u32) -> usize {
+    fn level_of_bucket(&self, bucket: usize) -> usize {
         self.levels
             .iter()
             .rposition(|l| l.base <= bucket)
+            // tw-analyze: allow(TW002, reason = "level 0 has base 0 and bucket tags are only written by place_at_level, so every live tag is >= 0 and matches; a miss is internal tag corruption")
             .expect("bucket below first level base")
     }
 
@@ -193,9 +195,9 @@ impl<T> ClockworkWheel<T> {
                 // EXPIRY_PROCESSING for the minute timers, and re-insert
                 // another 60 second timer."
                 let l = &mut self.levels[level];
-                l.cursor = (l.cursor + 1) % l.size as usize;
+                l.cursor = (l.cursor + 1) % l.slots.len();
                 let cursor = l.cursor;
-                debug_assert_eq!(cursor as u64, (now / l.granularity) % l.size);
+                debug_assert_eq!(ticks_of(cursor), (now / l.granularity) % l.size);
                 let mut due = core::mem::take(&mut self.levels[level].slots[cursor]);
                 self.counters.vax_instructions += self.cost.skip_empty;
                 if due.is_empty() {
@@ -228,7 +230,10 @@ impl<T> TimerScheme<T> for ClockworkWheel<T> {
                 max: self.max_interval(),
             });
         }
-        let deadline = self.now + interval;
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
         let (idx, handle) = self.arena.alloc(Record::User(payload), deadline);
         self.place(idx, deadline.as_u64());
         self.counters.starts += 1;
@@ -245,12 +250,13 @@ impl<T> TimerScheme<T> for ClockworkWheel<T> {
         }
         let bucket = self.arena.node(idx).bucket;
         let level = self.level_of_bucket(bucket);
-        let slot = (bucket - self.levels[level].base) as usize;
+        let slot = bucket - self.levels[level].base;
         self.arena.unlink(&mut self.levels[level].slots[slot], idx);
         self.counters.stops += 1;
         self.counters.vax_instructions += self.cost.delete;
         match self.arena.free(idx) {
             Record::User(payload) => Ok(payload),
+            // tw-analyze: allow(TW002, reason = "stop_timer rejects updater records with TimerError::Stale before reaching this match; the variant cannot recur after the guard")
             Record::Update { .. } => unreachable!("checked above"),
         }
     }
@@ -262,9 +268,9 @@ impl<T> TimerScheme<T> for ClockworkWheel<T> {
         // "The seconds array works as usual: every time the hardware clock
         // ticks we increment the second pointer."
         let l0 = &mut self.levels[0];
-        l0.cursor = (l0.cursor + 1) % l0.size as usize;
+        l0.cursor = (l0.cursor + 1) % l0.slots.len();
         let cursor = l0.cursor;
-        debug_assert_eq!(cursor as u64, now % self.levels[0].size);
+        debug_assert_eq!(ticks_of(cursor), now % self.levels[0].size);
         self.counters.vax_instructions += self.cost.skip_empty;
         if self.levels[0].slots[cursor].is_empty() {
             self.counters.empty_slot_skips += 1;
@@ -316,7 +322,7 @@ impl<T> crate::validate::InvariantCheck for ClockworkWheel<T> {
             return fail(detail);
         }
         let mut granularity = 1u64;
-        let mut base = 0u32;
+        let mut base = 0usize;
         for (i, level) in self.levels.iter().enumerate() {
             if level.granularity != granularity || level.base != base {
                 return fail(alloc::format!(
@@ -326,17 +332,17 @@ impl<T> crate::validate::InvariantCheck for ClockworkWheel<T> {
                     level.base
                 ));
             }
-            if level.size != level.slots.len() as u64 {
+            if level.size != ticks_of(level.slots.len()) {
                 return fail(alloc::format!("level {i} size/slot-count mismatch"));
             }
-            if level.cursor as u64 != (now / level.granularity) % level.size {
+            if ticks_of(level.cursor) != (now / level.granularity) % level.size {
                 return fail(alloc::format!(
                     "level {i} cursor {} out of phase with now {now}",
                     level.cursor
                 ));
             }
             granularity = granularity.saturating_mul(level.size);
-            base += level.size as u32;
+            base += level.slots.len();
         }
         let mut linked = 0usize;
         let mut updater_seen = alloc::vec![false; self.levels.len()];
@@ -350,7 +356,7 @@ impl<T> crate::validate::InvariantCheck for ClockworkWheel<T> {
                 for idx in nodes {
                     let node = self.arena.node(idx);
                     let target = node.aux;
-                    if node.bucket != level.base + slot as u32 {
+                    if node.bucket != level.base + slot {
                         return fail(alloc::format!(
                             "node in level {i} slot {slot} tagged bucket {}",
                             node.bucket
@@ -367,7 +373,7 @@ impl<T> crate::validate::InvariantCheck for ClockworkWheel<T> {
                             "firing target {target} is not in the future (now {now})"
                         ));
                     }
-                    if (target / level.granularity) % level.size != slot as u64 {
+                    if slot_index((target / level.granularity) % level.size) != slot {
                         return fail(alloc::format!(
                             "level {i} slot congruence: target {target} / {} mod {} != {slot}",
                             level.granularity,

@@ -30,7 +30,7 @@ use crate::arena::{ListHead, TimerArena};
 use crate::counters::{OpCounters, VaxCostModel};
 use crate::handle::TimerHandle;
 use crate::scheme::{Expired, TimerScheme};
-use crate::time::{Tick, TickDelta};
+use crate::time::{pow2_mask, ticks_of, Tick, TickDelta};
 use crate::TimerError;
 
 /// Scheme 6: hashed timing wheel with unsorted per-bucket lists.
@@ -76,7 +76,7 @@ impl<T> HashedWheelUnsorted<T> {
         assert!(table_size > 0, "wheel needs at least one bucket");
         HashedWheelUnsorted {
             slots: (0..table_size).map(|_| ListHead::new()).collect(),
-            mask: table_size.is_power_of_two().then(|| table_size as u64 - 1),
+            mask: pow2_mask(table_size),
             cursor: 0,
             now: Tick::ZERO,
             arena: TimerArena::new(),
@@ -127,19 +127,23 @@ impl<T> TimerScheme<T> for HashedWheelUnsorted<T> {
         if interval.is_zero() {
             return Err(TimerError::ZeroInterval);
         }
-        let n = self.slots.len() as u64;
-        let j = interval.as_u64();
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
+        // `cursor ≡ now (mod N)`, so hashing the deadline lands on the same
+        // slot as the paper's `(cursor + j) mod N` — and stays in the audited
+        // conversion helpers.
         let slot = match self.mask {
-            Some(mask) => ((self.cursor as u64 + j) & mask) as usize,
-            None => ((self.cursor as u64 + j) % n) as usize,
+            Some(mask) => deadline.slot_masked(mask),
+            None => deadline.slot_in(self.slots.len()),
         };
-        let rounds = (j - 1) / n;
-        let deadline = self.now + interval;
+        let rounds = (interval.as_u64() - 1) / ticks_of(self.slots.len());
         let (idx, handle) = self.arena.alloc(payload, deadline);
         {
             let node = self.arena.node_mut(idx);
             node.aux = rounds;
-            node.bucket = slot as u32;
+            node.bucket = slot;
         }
         self.arena.push_back(&mut self.slots[slot], idx);
         self.counters.starts += 1;
@@ -149,7 +153,7 @@ impl<T> TimerScheme<T> for HashedWheelUnsorted<T> {
 
     fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError> {
         let idx = self.arena.resolve(handle)?;
-        let bucket = self.arena.node(idx).bucket as usize;
+        let bucket = self.arena.node(idx).bucket;
         self.arena.unlink(&mut self.slots[bucket], idx);
         self.counters.stops += 1;
         self.counters.vax_instructions += self.cost.delete;
@@ -228,12 +232,12 @@ impl<T> crate::validate::InvariantCheck for HashedWheelUnsorted<T> {
         use crate::validate::{ticks_until_visit, InvariantViolation};
         let scheme = self.name();
         let fail = |detail: alloc::string::String| Err(InvariantViolation::new(scheme, detail));
-        let n = self.slots.len() as u64;
+        let n = ticks_of(self.slots.len());
         let now = self.now.as_u64();
         if let Err(detail) = self.arena.check_storage() {
             return fail(detail);
         }
-        if self.cursor as u64 != now % n {
+        if self.cursor != self.now.slot_in(self.slots.len()) {
             return fail(alloc::format!(
                 "cursor {} is not now mod table size ({now} mod {n})",
                 self.cursor
@@ -249,18 +253,18 @@ impl<T> crate::validate::InvariantCheck for HashedWheelUnsorted<T> {
             for idx in nodes {
                 let node = self.arena.node(idx);
                 let deadline = node.deadline.as_u64();
-                if node.bucket != slot as u32 {
+                if node.bucket != slot {
                     return fail(alloc::format!(
                         "node in bucket {slot} tagged bucket {}",
                         node.bucket
                     ));
                 }
-                if deadline % n != slot as u64 {
+                if node.deadline.slot_in(self.slots.len()) != slot {
                     return fail(alloc::format!(
                         "slot-index congruence: deadline {deadline} mod {n} != slot {slot}"
                     ));
                 }
-                let expect = now + ticks_until_visit(now, slot as u64, n) + node.aux * n;
+                let expect = now + ticks_until_visit(now, ticks_of(slot), n) + node.aux * n;
                 if deadline != expect {
                     return fail(alloc::format!(
                         "rounds inconsistency in bucket {slot}: deadline {deadline}, \
@@ -281,6 +285,8 @@ impl<T> crate::validate::InvariantCheck for HashedWheelUnsorted<T> {
 }
 
 #[cfg(test)]
+// Test payloads use small counters; the narrowing casts cannot truncate.
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use crate::scheme::TimerSchemeExt;

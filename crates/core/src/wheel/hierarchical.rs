@@ -38,12 +38,12 @@ use crate::arena::{ListHead, NodeIdx, TimerArena};
 use crate::counters::{OpCounters, VaxCostModel};
 use crate::handle::TimerHandle;
 use crate::scheme::{Expired, TimerScheme};
-use crate::time::{Tick, TickDelta};
+use crate::time::{slot_index, ticks_of, Tick, TickDelta};
 use crate::wheel::config::{LevelSizes, MigrationPolicy, OverflowPolicy};
 use crate::TimerError;
 
 /// Bucket tag for timers parked on the overflow list.
-const OVERFLOW_BUCKET: u32 = u32::MAX;
+const OVERFLOW_BUCKET: usize = usize::MAX;
 
 /// Flag bit (in `Node::aux`) marking a timer that has used its one allowed
 /// migration under [`MigrationPolicy::Single`].
@@ -66,7 +66,7 @@ struct Level {
     slots: Vec<ListHead>,
     granularity: u64,
     size: u64,
-    base: u32,
+    base: usize,
 }
 
 /// Scheme 7: a hierarchy of timing wheels. See the [module docs](self).
@@ -131,7 +131,7 @@ impl<T> HierarchicalWheel<T> {
         sizes.validate();
         let mut levels = Vec::with_capacity(sizes.0.len());
         let mut granularity = 1u64;
-        let mut base = 0u32;
+        let mut base = 0usize;
         for &size in &sizes.0 {
             levels.push(Level {
                 slots: (0..size).map(|_| ListHead::new()).collect(),
@@ -140,9 +140,12 @@ impl<T> HierarchicalWheel<T> {
                 base,
             });
             base = base
-                .checked_add(u32::try_from(size).expect("level size exceeds u32"))
-                .expect("total slots exceed u32");
-            assert!(base != OVERFLOW_BUCKET, "total slots exceed u32");
+                .checked_add(usize::try_from(size).expect("level size exceeds usize"))
+                .expect("total slots exceed usize");
+            assert!(
+                base != OVERFLOW_BUCKET,
+                "total slots collide with the overflow sentinel"
+            );
             granularity = granularity.saturating_mul(size);
         }
         let range = sizes.range();
@@ -196,7 +199,7 @@ impl<T> HierarchicalWheel<T> {
             return None;
         }
         let level = self.level_of_bucket(bucket);
-        Some((level, (bucket - self.levels[level].base) as usize))
+        Some((level, bucket - self.levels[level].base))
     }
 
     /// Number of timers in `slot` of `level` (test/experiment
@@ -210,11 +213,12 @@ impl<T> HierarchicalWheel<T> {
         self.levels[level].slots[slot].len()
     }
 
-    fn level_of_bucket(&self, bucket: u32) -> usize {
+    fn level_of_bucket(&self, bucket: usize) -> usize {
         debug_assert!(bucket != OVERFLOW_BUCKET);
         self.levels
             .iter()
             .rposition(|l| l.base <= bucket)
+            // tw-analyze: allow(TW002, reason = "level 0 has base 0 and bucket tags are only written by the insert paths, so every non-overflow tag matches a level; a miss is internal tag corruption")
             .expect("bucket below first level base")
     }
 
@@ -235,6 +239,7 @@ impl<T> HierarchicalWheel<T> {
                         return i;
                     }
                 }
+                // tw-analyze: allow(TW002, reason = "level 0 has granularity 1, so target > now (asserted above) always differs in the level-0 quotient; falling through the loop means the precondition was violated internally")
                 unreachable!("target > now must differ at the tick level")
             }
             InsertRule::Covering => {
@@ -257,8 +262,8 @@ impl<T> HierarchicalWheel<T> {
     fn place(&mut self, idx: NodeIdx, target: u64) {
         let level = self.pick_level(target);
         let l = &self.levels[level];
-        let slot = ((target / l.granularity) % l.size) as usize;
-        let bucket = l.base + slot as u32;
+        let slot = slot_index((target / l.granularity) % l.size);
+        let bucket = l.base + slot;
         {
             let node = self.arena.node_mut(idx);
             node.aux = (node.aux & MIGRATED_FLAG) | target;
@@ -294,7 +299,7 @@ impl<T> HierarchicalWheel<T> {
     fn process_slot(&mut self, level: usize, expired: &mut dyn FnMut(Expired<T>)) {
         let now = self.now.as_u64();
         let l = &self.levels[level];
-        let slot = ((now / l.granularity) % l.size) as usize;
+        let slot = slot_index((now / l.granularity) % l.size);
         self.counters.vax_instructions += self.cost.skip_empty;
         if self.levels[level].slots[slot].is_empty() {
             self.counters.empty_slot_skips += 1;
@@ -384,7 +389,10 @@ impl<T> TimerScheme<T> for HierarchicalWheel<T> {
                 None => (interval, true),
             }
         };
-        let deadline = self.now + interval;
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
         let (idx, handle) = self.arena.alloc(payload, deadline);
         self.counters.starts += 1;
         self.counters.vax_instructions += self.cost.insert;
@@ -416,7 +424,7 @@ impl<T> TimerScheme<T> for HierarchicalWheel<T> {
             self.arena.unlink(&mut self.overflow, idx);
         } else {
             let level = self.level_of_bucket(bucket);
-            let slot = (bucket - self.levels[level].base) as usize;
+            let slot = bucket - self.levels[level].base;
             self.arena.unlink(&mut self.levels[level].slots[slot], idx);
         }
         self.counters.stops += 1;
@@ -440,6 +448,7 @@ impl<T> TimerScheme<T> for HierarchicalWheel<T> {
             }
         }
         if !self.overflow.is_empty() {
+            // tw-analyze: allow(TW002, reason = "the constructor rejects empty level configurations, so levels is non-empty for every constructed wheel")
             let top = self.levels.last().expect("at least one level");
             if now % top.granularity == 0 {
                 self.drain_overflow();
@@ -491,7 +500,7 @@ impl<T> crate::validate::InvariantCheck for HierarchicalWheel<T> {
             return fail(detail);
         }
         let mut granularity = 1u64;
-        let mut base = 0u32;
+        let mut base = 0usize;
         for (i, level) in self.levels.iter().enumerate() {
             if level.granularity != granularity || level.base != base {
                 return fail(alloc::format!(
@@ -501,11 +510,11 @@ impl<T> crate::validate::InvariantCheck for HierarchicalWheel<T> {
                     level.base
                 ));
             }
-            if level.size != level.slots.len() as u64 {
+            if level.size != ticks_of(level.slots.len()) {
                 return fail(alloc::format!("level {i} size/slot-count mismatch"));
             }
             granularity = granularity.saturating_mul(level.size);
-            base += level.size as u32;
+            base += level.slots.len();
         }
         let mut linked = 0usize;
         for (i, level) in self.levels.iter().enumerate() {
@@ -526,7 +535,7 @@ impl<T> crate::validate::InvariantCheck for HierarchicalWheel<T> {
                             self.migration_policy
                         ));
                     }
-                    if node.bucket != level.base + slot as u32 {
+                    if node.bucket != level.base + slot {
                         return fail(alloc::format!(
                             "node in level {i} slot {slot} tagged bucket {}",
                             node.bucket
@@ -537,7 +546,7 @@ impl<T> crate::validate::InvariantCheck for HierarchicalWheel<T> {
                             "firing target {target} is not in the future (now {now})"
                         ));
                     }
-                    if (target / level.granularity) % level.size != slot as u64 {
+                    if slot_index((target / level.granularity) % level.size) != slot {
                         return fail(alloc::format!(
                             "level {i} slot congruence: target {target} / {} mod {} != {slot}",
                             level.granularity,

@@ -22,11 +22,11 @@ use crate::arena::{ListHead, NodeIdx, TimerArena};
 use crate::counters::{OpCounters, VaxCostModel};
 use crate::handle::TimerHandle;
 use crate::scheme::{Expired, TimerScheme};
-use crate::time::{Tick, TickDelta};
+use crate::time::{ticks_of, Tick, TickDelta};
 use crate::TimerError;
 
 /// Bucket tag for timers parked on the far (ordered) list.
-const FAR_BUCKET: u32 = u32::MAX;
+const FAR_BUCKET: usize = usize::MAX;
 
 /// The §5 wheel + ordered-list hybrid. See the [module docs](self).
 ///
@@ -85,13 +85,17 @@ impl<T> HybridWheel<T> {
     /// The wheel's direct range.
     #[must_use]
     pub fn wheel_range(&self) -> TickDelta {
-        TickDelta(self.slots.len() as u64)
+        TickDelta::table_span(self.slots.len())
     }
 
-    fn enqueue_wheel(&mut self, idx: NodeIdx, remaining: u64) {
-        debug_assert!(remaining >= 1 && remaining <= self.slots.len() as u64);
-        let slot = (self.cursor + remaining as usize) % self.slots.len();
-        self.arena.node_mut(idx).bucket = slot as u32;
+    fn enqueue_wheel(&mut self, idx: NodeIdx) {
+        let deadline = self.arena.node(idx).deadline;
+        let remaining = deadline.since(self.now);
+        debug_assert!(!remaining.is_zero() && remaining <= self.wheel_range());
+        // `cursor ≡ now (mod N)`, so the deadline's residue IS the slot the
+        // cursor visits at exactly that tick.
+        let slot = deadline.slot_in(self.slots.len());
+        self.arena.node_mut(idx).bucket = slot;
         self.arena.push_back(&mut self.slots[slot], idx);
     }
 
@@ -121,10 +125,13 @@ impl<T> TimerScheme<T> for HybridWheel<T> {
         if interval.is_zero() {
             return Err(TimerError::ZeroInterval);
         }
-        let deadline = self.now + interval;
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
         let (idx, handle) = self.arena.alloc(payload, deadline);
         if interval <= self.wheel_range() {
-            self.enqueue_wheel(idx, interval.as_u64());
+            self.enqueue_wheel(idx);
         } else {
             self.insert_far(idx, deadline);
         }
@@ -139,7 +146,7 @@ impl<T> TimerScheme<T> for HybridWheel<T> {
         if bucket == FAR_BUCKET {
             self.arena.unlink(&mut self.far, idx);
         } else {
-            self.arena.unlink(&mut self.slots[bucket as usize], idx);
+            self.arena.unlink(&mut self.slots[bucket], idx);
         }
         self.counters.stops += 1;
         self.counters.vax_instructions += self.cost.delete;
@@ -176,18 +183,18 @@ impl<T> TimerScheme<T> for HybridWheel<T> {
         // One head compare per tick: migrate far timers whose deadline has
         // come within a revolution. Sorted order means at most a prefix
         // moves, and the common case is one compare and done.
-        let range = self.slots.len() as u64;
+        let range = self.wheel_range();
         while let Some(head) = self.far.first() {
             self.counters.decrements += 1;
             self.counters.vax_instructions += self.cost.decrement_step;
             let deadline = self.arena.node(head).deadline;
-            let remaining = deadline.since(self.now).as_u64();
-            debug_assert!(remaining >= 1, "far timer already due");
+            let remaining = deadline.since(self.now);
+            debug_assert!(!remaining.is_zero(), "far timer already due");
             if remaining > range {
                 break;
             }
             self.arena.unlink(&mut self.far, head);
-            self.enqueue_wheel(head, remaining);
+            self.enqueue_wheel(head);
             self.counters.migrations += 1;
             self.counters.vax_instructions += self.cost.insert;
         }
@@ -223,12 +230,12 @@ impl<T> crate::validate::InvariantCheck for HybridWheel<T> {
         use crate::validate::{ticks_until_visit, InvariantViolation};
         let scheme = self.name();
         let fail = |detail: alloc::string::String| Err(InvariantViolation::new(scheme, detail));
-        let n = self.slots.len() as u64;
+        let n = ticks_of(self.slots.len());
         let now = self.now.as_u64();
         if let Err(detail) = self.arena.check_storage() {
             return fail(detail);
         }
-        if self.cursor as u64 != now % n {
+        if self.cursor != self.now.slot_in(self.slots.len()) {
             return fail(alloc::format!(
                 "cursor {} out of phase with now {now} (mod {n})",
                 self.cursor
@@ -243,19 +250,19 @@ impl<T> crate::validate::InvariantCheck for HybridWheel<T> {
             linked += nodes.len();
             for idx in nodes {
                 let node = self.arena.node(idx);
-                if node.bucket != slot as u32 {
+                if node.bucket != slot {
                     return fail(alloc::format!(
                         "node in slot {slot} tagged bucket {}",
                         node.bucket
                     ));
                 }
                 let deadline = node.deadline.as_u64();
-                if deadline != now + ticks_until_visit(now, slot as u64, n) {
+                if deadline != now + ticks_until_visit(now, ticks_of(slot), n) {
                     return fail(alloc::format!(
                         "wheel resident in slot {slot} has deadline {deadline} \
                          but the cursor reaches that slot at \
                          {}",
-                        now + ticks_until_visit(now, slot as u64, n)
+                        now + ticks_until_visit(now, ticks_of(slot), n)
                     ));
                 }
             }

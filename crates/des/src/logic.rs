@@ -220,7 +220,7 @@ impl<S: TimerScheme<u32>> LogicSim<S> {
         for gid in 0..self.circuit.gates.len() {
             let delay = self.circuit.gates[gid].delay;
             self.scheduler
-                .start_timer(TickDelta(delay), gid as u32)
+                .start_timer(TickDelta(delay), u32::try_from(gid).unwrap_or(u32::MAX))
                 .expect("gate delay within scheme range");
         }
     }

@@ -18,10 +18,11 @@
 use tw_core::arena::{ListHead, TimerArena};
 use tw_core::counters::{OpCounters, VaxCostModel};
 use tw_core::scheme::{Expired, TimerScheme};
+use tw_core::time::ticks_of;
 use tw_core::{Tick, TickDelta, TimerError, TimerHandle};
 
 /// Bucket tag for timers parked on the overflow list.
-const OVERFLOW_BUCKET: u32 = u32::MAX;
+const OVERFLOW_BUCKET: usize = usize::MAX;
 
 /// When the wheel admits overflow events into the array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,7 +63,7 @@ impl<T> SimWheel<T> {
         SimWheel {
             slots: (0..cycle_len).map(|_| ListHead::new()).collect(),
             now: Tick::ZERO,
-            window_end: cycle_len as u64,
+            window_end: ticks_of(cycle_len),
             overflow: ListHead::new(),
             policy,
             arena: TimerArena::new(),
@@ -84,24 +85,24 @@ impl<T> SimWheel<T> {
         self.overflow_inserts
     }
 
-    fn enqueue_direct(&mut self, idx: tw_core::arena::NodeIdx, deadline: u64) {
-        let slot = (deadline % self.slots.len() as u64) as usize;
-        self.arena.node_mut(idx).bucket = slot as u32;
+    fn enqueue_direct(&mut self, idx: tw_core::arena::NodeIdx, deadline: Tick) {
+        let slot = deadline.slot_in(self.slots.len());
+        self.arena.node_mut(idx).bucket = slot;
         self.arena.push_back(&mut self.slots[slot], idx);
     }
 
     /// Re-opens the admission window to `now + cycle_len` and admits every
     /// overflow event that now falls inside it.
     fn rotate(&mut self) {
-        self.window_end = self.now.as_u64() + self.slots.len() as u64;
+        self.window_end = self.now.as_u64() + ticks_of(self.slots.len());
         let mut cur = self.overflow.first();
         while let Some(idx) = cur {
             cur = self.arena.next(idx);
             self.counters.decrements += 1;
             self.counters.vax_instructions += self.cost.decrement_step;
-            let deadline = self.arena.node(idx).deadline.as_u64();
-            debug_assert!(deadline >= self.now.as_u64(), "overflow event already due");
-            if deadline < self.window_end {
+            let deadline = self.arena.node(idx).deadline;
+            debug_assert!(deadline >= self.now, "overflow event already due");
+            if deadline.as_u64() < self.window_end {
                 self.arena.unlink(&mut self.overflow, idx);
                 self.enqueue_direct(idx, deadline);
                 self.counters.migrations += 1;
@@ -116,10 +117,13 @@ impl<T> TimerScheme<T> for SimWheel<T> {
         if interval.is_zero() {
             return Err(TimerError::ZeroInterval);
         }
-        let deadline = self.now + interval;
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
         let (idx, handle) = self.arena.alloc(payload, deadline);
         if deadline.as_u64() < self.window_end {
-            self.enqueue_direct(idx, deadline.as_u64());
+            self.enqueue_direct(idx, deadline);
         } else {
             self.arena.node_mut(idx).bucket = OVERFLOW_BUCKET;
             self.arena.push_back(&mut self.overflow, idx);
@@ -136,7 +140,7 @@ impl<T> TimerScheme<T> for SimWheel<T> {
         if bucket == OVERFLOW_BUCKET {
             self.arena.unlink(&mut self.overflow, idx);
         } else {
-            self.arena.unlink(&mut self.slots[bucket as usize], idx);
+            self.arena.unlink(&mut self.slots[bucket], idx);
         }
         self.counters.stops += 1;
         self.counters.vax_instructions += self.cost.delete;
@@ -147,7 +151,7 @@ impl<T> TimerScheme<T> for SimWheel<T> {
         self.now = self.now.next();
         self.counters.ticks += 1;
         self.counters.vax_instructions += self.cost.skip_empty;
-        let n = self.slots.len() as u64;
+        let n = ticks_of(self.slots.len());
         // Rotation points come *before* the flush so an event due exactly at
         // the cycle boundary is admitted into the slot about to be flushed:
         // cycle wrap (both policies) plus the halfway mark for DECSIM.
@@ -155,7 +159,7 @@ impl<T> TimerScheme<T> for SimWheel<T> {
         if pos == 0 || (self.policy == RotationPolicy::Halfway && pos == n / 2) {
             self.rotate();
         }
-        let cursor = (self.now.as_u64() % n) as usize;
+        let cursor = self.now.slot_in(self.slots.len());
         if self.slots[cursor].is_empty() {
             self.counters.empty_slot_skips += 1;
         } else {
@@ -201,6 +205,84 @@ impl<T> TimerScheme<T> for SimWheel<T> {
             RotationPolicy::OnWrap => "simwheel(tegas)",
             RotationPolicy::Halfway => "simwheel(decsim)",
         }
+    }
+}
+
+impl<T> tw_core::validate::InvariantCheck for SimWheel<T> {
+    /// Figure 7 resting-state invariants: slab storage integrity, intact
+    /// slot and overflow lists, a live admission window (`now < window_end ≤
+    /// now + N`), every array-resident event inside the window on its
+    /// congruent slot (`deadline ≡ slot (mod N)`), every overflow event with
+    /// a strictly-future deadline, and the lists together accounting for
+    /// every allocated event.
+    fn check_invariants(&self) -> Result<(), tw_core::validate::InvariantViolation> {
+        use tw_core::validate::InvariantViolation;
+        let scheme = self.name();
+        let fail = |detail: String| Err(InvariantViolation::new(scheme, detail));
+        if let Err(detail) = self.arena.check_storage() {
+            return fail(detail);
+        }
+        let n = ticks_of(self.slots.len());
+        let now = self.now.as_u64();
+        if self.window_end <= now || self.window_end > now + n {
+            return fail(format!(
+                "admission window end {} outside (now {now}, now + {n}]",
+                self.window_end
+            ));
+        }
+        let mut linked = 0usize;
+        for (slot, head) in self.slots.iter().enumerate() {
+            let nodes = match self.arena.check_list(head) {
+                Ok(nodes) => nodes,
+                Err(detail) => return fail(format!("slot {slot}: {detail}")),
+            };
+            linked += nodes.len();
+            for idx in nodes {
+                let node = self.arena.node(idx);
+                if node.bucket != slot {
+                    return fail(format!("node in slot {slot} tagged bucket {}", node.bucket));
+                }
+                let deadline = node.deadline.as_u64();
+                if deadline <= now || deadline >= self.window_end {
+                    return fail(format!(
+                        "array event deadline {deadline} outside (now {now}, window {})",
+                        self.window_end
+                    ));
+                }
+                if node.deadline.slot_in(self.slots.len()) != slot {
+                    return fail(format!(
+                        "deadline {deadline} not congruent to slot {slot} mod {n}"
+                    ));
+                }
+            }
+        }
+        let overflow = match self.arena.check_list(&self.overflow) {
+            Ok(nodes) => nodes,
+            Err(detail) => return fail(format!("overflow list: {detail}")),
+        };
+        linked += overflow.len();
+        for idx in overflow {
+            let node = self.arena.node(idx);
+            if node.bucket != OVERFLOW_BUCKET {
+                return fail(format!(
+                    "overflow node tagged bucket {} instead of the sentinel",
+                    node.bucket
+                ));
+            }
+            if node.deadline <= self.now {
+                return fail(format!(
+                    "overflow event deadline {} is not in the future (now {now})",
+                    node.deadline.as_u64()
+                ));
+            }
+        }
+        if linked != self.arena.len() {
+            return fail(format!(
+                "{linked} events linked but {} outstanding",
+                self.arena.len()
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,160 @@
+//! Trace-equivalence property tests for the §4.2 simulation wheel: both
+//! rotation policies must behave exactly like `OracleScheme` for arbitrary
+//! operation sequences (same per-tick expiry sets at the same times; expiry
+//! order within a tick is unconstrained), and must keep their structural
+//! invariants through random churn under [`tw_core::Checked`].
+
+// Test-local index arithmetic uses small constants; truncation is impossible.
+#![allow(clippy::cast_possible_truncation)]
+
+use proptest::prelude::*;
+use tw_core::{OracleScheme, TickDelta, TimerScheme};
+use tw_des::{RotationPolicy, SimWheel};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Start(u64),
+    Stop(usize),
+    Tick,
+}
+
+fn op_strategy(max_interval: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (1..=max_interval).prop_map(Op::Start),
+        2 => any::<usize>().prop_map(Op::Stop),
+        4 => Just(Op::Tick),
+    ]
+}
+
+fn check_equivalence<S: TimerScheme<u64>>(
+    mut scheme: S,
+    ops: Vec<Op>,
+) -> Result<(), TestCaseError> {
+    let mut oracle: OracleScheme<u64> = OracleScheme::new();
+    let mut live: Vec<(tw_core::TimerHandle, tw_core::TimerHandle, u64)> = Vec::new();
+    let mut next_id = 0u64;
+
+    for op in ops {
+        match op {
+            Op::Start(interval) => {
+                let a = scheme.start_timer(TickDelta(interval), next_id);
+                let b = oracle.start_timer(TickDelta(interval), next_id);
+                prop_assert_eq!(a.is_ok(), b.is_ok());
+                if let (Ok(ha), Ok(hb)) = (a, b) {
+                    live.push((ha, hb, next_id));
+                }
+                next_id += 1;
+            }
+            Op::Stop(k) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (ha, hb, id) = live.swap_remove(k % live.len());
+                prop_assert_eq!(scheme.stop_timer(ha), Ok(id));
+                prop_assert_eq!(oracle.stop_timer(hb), Ok(id));
+            }
+            Op::Tick => {
+                let mut got = Vec::new();
+                scheme.tick(&mut |e| got.push((e.payload, e.fired_at, e.error())));
+                let mut want = Vec::new();
+                oracle.tick(&mut |e| want.push((e.payload, e.fired_at, e.error())));
+                got.sort_unstable();
+                want.sort_unstable();
+                prop_assert_eq!(&got, &want, "divergence at t={}", scheme.now());
+                live.retain(|(_, _, id)| !got.iter().any(|(p, ..)| p == id));
+            }
+        }
+        prop_assert_eq!(scheme.outstanding(), oracle.outstanding());
+        prop_assert_eq!(scheme.now(), oracle.now());
+    }
+
+    let mut remaining = live.len();
+    let mut guard = 0u64;
+    while remaining > 0 {
+        let mut got = Vec::new();
+        scheme.tick(&mut |e| got.push((e.payload, e.error())));
+        let mut want = Vec::new();
+        oracle.tick(&mut |e| want.push((e.payload, e.error())));
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(&got, &want);
+        remaining -= got.len();
+        guard += 1;
+        prop_assert!(guard < 2_000_000, "drain did not terminate");
+    }
+    prop_assert_eq!(scheme.outstanding(), 0);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tegas_wheel_matches_oracle(ops in proptest::collection::vec(op_strategy(100), 1..300)) {
+        check_equivalence(SimWheel::<u64>::new(8, RotationPolicy::OnWrap), ops)?;
+    }
+
+    #[test]
+    fn decsim_wheel_matches_oracle(ops in proptest::collection::vec(op_strategy(100), 1..300)) {
+        check_equivalence(SimWheel::<u64>::new(8, RotationPolicy::Halfway), ops)?;
+    }
+}
+
+/// Always-on structural soak mirroring the core suite: 10 000 random
+/// operations per rotation policy inside [`tw_core::Checked`], which re-runs
+/// the invariant catalog after every operation and panics on the first
+/// violation.
+#[test]
+fn checked_sim_wheels_survive_10k_op_churn() {
+    use tw_core::{Checked, InvariantCheck, TimerHandle};
+
+    fn churn<S: TimerScheme<u64> + InvariantCheck>(scheme: S, max_interval: u64, seed: u64) {
+        let name = scheme.name();
+        let mut w = Checked::new(scheme);
+        let mut x = seed;
+        let mut rng = move |bound: u64| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) % bound
+        };
+        let mut live: Vec<TimerHandle> = Vec::new();
+        let mut id = 0u64;
+        for _ in 0..10_000 {
+            match rng(9) {
+                0..=2 => {
+                    let j = rng(max_interval) + 1;
+                    let h = w.start_timer(TickDelta(j), id).unwrap_or_else(|e| {
+                        panic!("{name}: start_timer({j}) rejected in range: {e:?}")
+                    });
+                    live.push(h);
+                    id += 1;
+                }
+                3..=4 => {
+                    if !live.is_empty() {
+                        let k = rng(live.len() as u64) as usize;
+                        let h = live.swap_remove(k);
+                        w.stop_timer(h).unwrap();
+                    }
+                }
+                _ => {
+                    let mut fired: Vec<TimerHandle> = Vec::new();
+                    w.tick(&mut |e| fired.push(e.handle));
+                    live.retain(|h| !fired.contains(h));
+                }
+            }
+        }
+        let mut guard = 0u32;
+        while w.outstanding() > 0 {
+            w.tick(&mut |_| {});
+            guard += 1;
+            assert!(guard < 100_000, "{name}: drain did not terminate");
+        }
+        w.check_invariants()
+            .unwrap_or_else(|v| panic!("{name}: corrupt after drain: {v}"));
+    }
+
+    churn(SimWheel::<u64>::new(8, RotationPolicy::OnWrap), 100, 0xD1);
+    churn(SimWheel::<u64>::new(8, RotationPolicy::Halfway), 100, 0xD2);
+    churn(SimWheel::<u64>::new(16, RotationPolicy::Halfway), 500, 0xD3);
+}

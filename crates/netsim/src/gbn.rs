@@ -143,7 +143,7 @@ impl<S: TimerScheme<GbnEvent>> GbnSim<S> {
 
     /// Runs until every connection finishes or the horizon hits.
     pub fn run(&mut self, horizon: Tick) -> &GbnMetrics {
-        for c in 0..self.conns.len() as u32 {
+        for c in 0..u32::try_from(self.conns.len()).unwrap_or(u32::MAX) {
             self.fill_window(c);
         }
         while self.scheme.now() < horizon && self.metrics.finished < self.conns.len() as u64 {

@@ -190,7 +190,7 @@ impl<S: TimerScheme<Event>> NetSim<S> {
     /// Returns the metrics.
     pub fn run(&mut self, horizon: Tick) -> &NetMetrics {
         // Kick every connection: send segment 0 and arm the keepalive.
-        for c in 0..self.conns.len() as u32 {
+        for c in 0..u32::try_from(self.conns.len()).unwrap_or(u32::MAX) {
             self.send_data(c, 0);
             self.restart_keepalive(c);
         }

@@ -79,7 +79,7 @@ impl Arrivals {
                 let t = self.carry + (-u.ln() / rate);
                 let gap = t.floor();
                 self.carry = t - gap;
-                gap as u64
+                crate::dist::f64_to_ticks(gap)
             }
             ArrivalProcess::Deterministic { gap } => gap,
             ArrivalProcess::Bursty { burst_len, idle } => {

@@ -56,6 +56,13 @@ pub enum IntervalDist {
     },
 }
 
+/// The audited `f64 -> u64` bridge for sampled tick quantities: clamps into
+/// the tick domain before converting, so the cast can never truncate.
+#[allow(clippy::cast_possible_truncation)] // clamped to [0, u64::MAX] first; float-to-int `as` also saturates
+pub(crate) fn f64_to_ticks(x: f64) -> u64 {
+    x.clamp(0.0, u64::MAX as f64) as u64
+}
+
 impl IntervalDist {
     /// Draws one interval.
     ///
@@ -76,20 +83,22 @@ impl IntervalDist {
             IntervalDist::Exponential { mean } => {
                 assert!(mean > 0.0, "exponential mean must be positive");
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                (-mean * u.ln()).ceil().max(1.0) as u64
+                f64_to_ticks((-mean * u.ln()).ceil().max(1.0))
             }
             IntervalDist::Geometric { p } => {
                 assert!(p > 0.0 && p <= 1.0, "geometric p must be in (0, 1]");
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                ((u.ln() / (1.0 - p).max(f64::MIN_POSITIVE).ln())
-                    .ceil()
-                    .max(1.0)) as u64
+                f64_to_ticks(
+                    (u.ln() / (1.0 - p).max(f64::MIN_POSITIVE).ln())
+                        .ceil()
+                        .max(1.0),
+                )
             }
             IntervalDist::Pareto { alpha, min } => {
                 assert!(alpha > 0.0 && min >= 1, "invalid pareto parameters");
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);
                 let x = min as f64 / u.powf(1.0 / alpha);
-                x.ceil().min(u64::MAX as f64) as u64
+                f64_to_ticks(x.ceil())
             }
             IntervalDist::Bimodal { fast, slow, p_fast } => {
                 assert!(fast >= 1 && slow >= 1, "bimodal intervals must be ≥ 1");
@@ -128,6 +137,8 @@ impl IntervalDist {
 }
 
 #[cfg(test)]
+// Test samples are tiny constants; the narrowing casts cannot truncate.
+#[allow(clippy::cast_possible_truncation)]
 mod tests {
     use super::*;
     use rand::rngs::SmallRng;

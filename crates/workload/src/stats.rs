@@ -91,6 +91,9 @@ pub fn percentile(data: &[f64], q: f64) -> f64 {
     assert!((0.0..=1.0).contains(&q), "quantile out of range");
     let mut sorted = data.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile data"));
+    // `q <= 1`, so the ceiling is at most `len` and the saturating float
+    // cast cannot lose a representable rank.
+    #[allow(clippy::cast_possible_truncation)]
     let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }

@@ -6,6 +6,10 @@
 //!
 //! Run with `cargo run --example logic_sim`.
 
+// Demo binary: aborting on an unexpected error is the right behavior, and
+// interval arithmetic here is illustrative, not the audited tick domain.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use timing_wheels::des::{Circuit, GateKind, LogicSim, NetId, RotationPolicy, SimWheel};
 
 /// One-bit full adder; returns (sum, carry-out).

@@ -7,6 +7,10 @@
 //!
 //! Run with `cargo run --release --example mm1_queue`.
 
+// Demo binary: aborting on an unexpected error is the right behavior, and
+// interval arithmetic here is illustrative, not the audited tick domain.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use timing_wheels::core::{Tick, TickDelta};
 use timing_wheels::des::{EventDrivenDes, Scheduler};
 

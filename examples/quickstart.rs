@@ -2,6 +2,10 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
+// Demo binary: aborting on an unexpected error is the right behavior, and
+// interval arithmetic here is illustrative, not the audited tick domain.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use timing_wheels::prelude::*;
 
 fn main() {

@@ -4,6 +4,10 @@
 //!
 //! Run with `cargo run --release --example rate_control`.
 
+// Demo binary: aborting on an unexpected error is the right behavior, and
+// interval arithmetic here is illustrative, not the audited tick domain.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use timing_wheels::core::wheel::BasicWheel;
 use timing_wheels::core::Tick;
 use timing_wheels::netsim::{run_rate_control, RateConfig};

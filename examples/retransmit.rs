@@ -3,6 +3,10 @@
 //!
 //! Run with `cargo run --release --example retransmit`.
 
+// Demo binary: aborting on an unexpected error is the right behavior, and
+// interval arithmetic here is illustrative, not the audited tick domain.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use timing_wheels::core::wheel::HashedWheelUnsorted;
 use timing_wheels::core::{Tick, TimerScheme};
 use timing_wheels::netsim::{NetConfig, NetSim};

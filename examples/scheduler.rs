@@ -9,6 +9,10 @@
 //!
 //! Run with `cargo run --release --example scheduler`.
 
+// Demo binary: aborting on an unexpected error is the right behavior, and
+// interval arithmetic here is illustrative, not the audited tick domain.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use std::collections::VecDeque;
 
 use timing_wheels::prelude::*;

@@ -4,6 +4,10 @@
 //!
 //! Run with `cargo run --example timer_service`.
 
+// Demo binary: aborting on an unexpected error is the right behavior, and
+// interval arithmetic here is illustrative, not the audited tick domain.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -2,6 +2,9 @@
 //! Expiry_Action)` / `STOP_TIMER(Request_ID)`) exercised over several
 //! underlying schemes end to end.
 
+// Integration test: panicking on an unexpected Err is the assertion.
+#![allow(clippy::unwrap_used)]
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 

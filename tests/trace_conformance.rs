@@ -3,6 +3,9 @@
 //! expiry count, zero firing error, identical peak population — and must
 //! agree with the oracle tick by tick.
 
+// Integration test: panicking on an unexpected Err is the assertion.
+#![allow(clippy::unwrap_used)]
+
 use timing_wheels::prelude::*;
 use tw_workload::{replay, ArrivalProcess, IntervalDist, Trace, TraceConfig};
 
