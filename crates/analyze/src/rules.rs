@@ -231,10 +231,17 @@ pub fn tw003(file: &SourceFile, out: &mut Vec<Violation>) {
 
 /// TW004 — no heap allocation reachable from `PER_TICK_BOOKKEEPING`
 /// implementations; keeps the §5–6 O(1)-per-tick claim honest.
+///
+/// In `tw-concurrent` the per-tick path is an inherent method rather than a
+/// `TimerScheme` impl, so `tick`, the reusable-buffer `tick_into`, and the
+/// batched `advance_into` are seeded there by name (their buffer appends
+/// carry per-call-site waivers with the amortization argument).
 pub fn tw004(index: &CrateIndex<'_>, out: &mut Vec<Violation>) {
-    let seeds = index.seed_indices(|_, item| {
+    let seeds = index.seed_indices(|file, item| {
         (item.name == "tick" && item.impl_trait.as_deref() == Some("TimerScheme"))
             || item.name == "per_tick_bookkeeping"
+            || (file.krate == "tw-concurrent"
+                && matches!(item.name.as_str(), "tick" | "tick_into" | "advance_into"))
     });
     if seeds.is_empty() {
         return;

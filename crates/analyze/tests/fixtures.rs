@@ -94,6 +94,37 @@ impl<T> TimerScheme<T> for W<T> {
 }
 
 #[test]
+fn tw004_seeds_inherent_tick_paths_in_tw_concurrent() {
+    // tw-concurrent's per-tick path is inherent methods, not a TimerScheme
+    // impl; `tick`, `tick_into`, and `advance_into` are seeded there by
+    // name. The same inherent methods in any other crate stay unseeded.
+    let src = "\
+impl<T> ShardedWheel<T> {
+    fn advance_into(&self) { self.fired.push(1); }
+}
+";
+    assert_eq!(
+        rules_hit(&[("crates/concurrent/src/a.rs", "tw-concurrent", src)]),
+        ["TW004"]
+    );
+    assert!(rules_hit(&[("crates/x/src/a.rs", "tw-x", src)]).is_empty());
+
+    let chained = "\
+impl<T> ShardedWheel<T> {
+    fn tick(&self) { self.tick_into(); }
+    fn tick_into(&self) { helper(); }
+}
+fn helper(out: &mut Vec<u32>) { out.push(1); }
+";
+    assert_eq!(
+        rules_hit(&[("crates/concurrent/src/a.rs", "tw-concurrent", chained)]),
+        // The seeds' reachable sets are unioned, so the allocating helper
+        // is reported once even though both tick and tick_into reach it.
+        ["TW004"]
+    );
+}
+
+#[test]
 fn tw004_exempts_invariant_check_walks() {
     let src = "\
 impl<T> TimerScheme<T> for W<T> {

@@ -52,8 +52,18 @@ impl<T, S: TimerScheme<T>> CoarseLocked<S, T> {
     /// `PER_TICK_BOOKKEEPING`, serialized; returns the expired batch.
     pub fn tick(&self) -> Vec<Expired<T>> {
         let mut out = Vec::new();
-        self.inner.lock().tick(&mut |e| out.push(e));
+        self.tick_into(&mut out);
         out
+    }
+
+    /// Allocation-free [`tick`](CoarseLocked::tick): appends the expired
+    /// batch to a caller-owned buffer (clear-and-reuse across ticks) and
+    /// returns how many timers fired.
+    pub fn tick_into(&self, out: &mut Vec<Expired<T>>) -> usize {
+        let start = out.len();
+        // tw-analyze: allow(TW004, reason = "appends to the caller-owned reusable buffer that is the point of tick_into; the buffer amortizes to zero allocations across ticks")
+        self.inner.lock().tick(&mut |e| out.push(e));
+        out.len() - start
     }
 
     /// Current time.

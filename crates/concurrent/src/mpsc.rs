@@ -162,6 +162,7 @@ impl<T> MpscWheel<T> {
             .load(Ordering::Acquire)
             .checked_add(interval.as_u64())
             .ok_or(TimerError::DeadlineOverflow)?;
+        // tw-analyze: allow(TW004, reason = "the admission-queue push is the entire start_timer design (Appendix A.2 message passing); it is producer-side work, reached from tick only through the BFS name overlap with the inner wheel's start_timer")
         self.shared.pending.push(Entry {
             payload,
             state: Arc::clone(&state),
@@ -238,6 +239,7 @@ fn deliver<T>(fired: &mut Vec<MpscExpired<T>>, entry: Entry<T>, t: u64) {
         )
         .is_ok();
     if won {
+        // tw-analyze: allow(TW004, reason = "appends to the tick-owned delivery batch that the single consumer returns; batch length is bounded by the tick's due timers, the same contract as the sharded wheel's buffer")
         fired.push(MpscExpired {
             payload: entry.payload,
             deadline: Tick(entry.deadline),

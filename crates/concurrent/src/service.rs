@@ -20,7 +20,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::sync::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use tw_core::{TickDelta, TimerError, TimerHandle, TimerScheme};
+use tw_core::{Tick, TickDelta, TimerError, TimerHandle, TimerScheme};
 
 /// An expiry notification from the service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,8 +91,13 @@ impl TimerService {
                 // next tick deadline; with virtual time, wait indefinitely.
                 // tw-analyze: allow(TW003, reason = "the optional real-time ticker is this driver's entire purpose (Appendix A model); virtual-time services pass period = None and never construct next_tick")
                 let mut next_tick = period.map(|p| (Instant::now() + p, p));
+                // A command pulled off the queue while coalescing an
+                // Advance burst, to be handled on the next loop iteration.
+                let mut pending: Option<Cmd> = None;
                 loop {
-                    let cmd = if let Some((deadline, p)) = next_tick {
+                    let cmd = if let Some(c) = pending.take() {
+                        Some(c)
+                    } else if let Some((deadline, p)) = next_tick {
                         // tw-analyze: allow(TW003, reason = "same real-time ticker: computing the recv timeout until the next wall-clock tick deadline is the driver's job, not scheme logic")
                         let now = Instant::now();
                         if now >= deadline {
@@ -136,18 +141,46 @@ impl TimerService {
                             let _ = reply.send(scheme.stop_timer(handle));
                         }
                         Some(Cmd::Advance { ticks, reply }) => {
-                            let mut fired = 0u64;
-                            for _ in 0..ticks {
-                                scheme.tick(&mut |e| {
-                                    fired += 1;
-                                    let _ = exp_tx.send(Expiry {
-                                        id: e.payload,
-                                        deadline: e.deadline.as_u64(),
-                                        fired_at: e.fired_at.as_u64(),
-                                    });
-                                });
+                            // Coalesce a burst of queued Advance commands
+                            // into one batched advance over the scheme's
+                            // fast path, attributing fired counts back to
+                            // each command by its tick window.
+                            let mut windows = vec![(ticks, reply)];
+                            loop {
+                                match cmd_rx.try_recv() {
+                                    Ok(Cmd::Advance { ticks, reply }) => {
+                                        windows.push((ticks, reply));
+                                    }
+                                    Ok(other) => {
+                                        pending = Some(other);
+                                        break;
+                                    }
+                                    Err(_) => break,
+                                }
                             }
-                            let _ = reply.send(fired);
+                            let start = scheme.now().as_u64();
+                            let bounds: Vec<u64> = windows
+                                .iter()
+                                .scan(start, |end, w| {
+                                    *end += w.0;
+                                    Some(*end)
+                                })
+                                .collect();
+                            let mut counts = vec![0u64; windows.len()];
+                            let end = bounds.last().copied().unwrap_or(start);
+                            scheme.advance_to_with(Tick(end), &mut |e| {
+                                let fired_at = e.fired_at.as_u64();
+                                let w = bounds.partition_point(|&b| b < fired_at);
+                                counts[w] += 1;
+                                let _ = exp_tx.send(Expiry {
+                                    id: e.payload,
+                                    deadline: e.deadline.as_u64(),
+                                    fired_at,
+                                });
+                            });
+                            for ((_, reply), fired) in windows.iter().zip(counts) {
+                                let _ = reply.send(fired);
+                            }
                         }
                         Some(Cmd::Outstanding { reply }) => {
                             let _ = reply.send(scheme.outstanding());
@@ -299,6 +332,28 @@ mod tests {
         let fired = svc.advance(20);
         assert_eq!(fired, 400);
         assert_eq!(svc.expiries().try_iter().count(), 400);
+    }
+
+    #[test]
+    fn concurrent_advance_bursts_attribute_each_fire_once() {
+        use std::sync::Arc;
+        let svc = Arc::new(TimerService::spawn(HashedWheelUnsorted::<u64>::new(64)));
+        for i in 0..40u64 {
+            svc.start_timer(i, TickDelta(i % 20 + 1)).unwrap();
+        }
+        // Four clients race 5-tick advances; whichever burst shape the
+        // service coalesces them into, each fire must be attributed to
+        // exactly one command's window and none may be lost.
+        let clients: Vec<_> = (0..4u64)
+            .map(|_| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || svc.advance(5))
+            })
+            .collect();
+        let total: u64 = clients.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(total, 40, "every timer fired in exactly one window");
+        assert_eq!(svc.expiries().try_iter().count(), 40);
+        assert_eq!(svc.outstanding(), 0);
     }
 
     #[test]

@@ -189,10 +189,19 @@ impl<T> ShardedWheel<T> {
     /// batch. Concurrent tickers are serialized; callbacks in the caller
     /// run lock-free (the batch is collected first).
     pub fn tick(&self) -> Vec<Expired<T>> {
+        let mut fired = Vec::new();
+        self.tick_into(&mut fired);
+        fired
+    }
+
+    /// Allocation-free [`tick`](ShardedWheel::tick): appends the expired
+    /// batch to a caller-owned buffer (clear-and-reuse across ticks) and
+    /// returns how many timers fired.
+    pub fn tick_into(&self, out: &mut Vec<Expired<T>>) -> usize {
         let _gate = self.shared.tick_gate.lock();
         let t = self.shared.now.fetch_add(1, Ordering::AcqRel) + 1;
         let slot = Tick(t).slot_in(self.shared.buckets.len());
-        let mut fired = Vec::new();
+        let mut count = 0usize;
         {
             let mut bucket = self.shared.buckets[slot].lock();
             let mut list = std::mem::take(&mut bucket.list);
@@ -206,7 +215,9 @@ impl<T> ShardedWheel<T> {
                     let deadline = bucket.arena.node(idx).deadline;
                     debug_assert_eq!(deadline.as_u64(), t, "sharded wheel rounds invariant");
                     let payload = bucket.arena.free(idx);
-                    fired.push(Expired {
+                    count += 1;
+                    // tw-analyze: allow(TW004, reason = "appends to the caller-owned reusable buffer that is the point of tick_into; the buffer amortizes to zero allocations across ticks")
+                    out.push(Expired {
                         handle,
                         payload,
                         deadline,
@@ -219,10 +230,168 @@ impl<T> ShardedWheel<T> {
             bucket.list = list;
             bucket.processed_until = t;
         }
-        self.shared
-            .outstanding
-            .fetch_sub(fired.len(), Ordering::Relaxed);
+        self.shared.outstanding.fetch_sub(count, Ordering::Relaxed);
+        count
+    }
+
+    /// Batched advance: jumps the clock straight to `deadline` and returns
+    /// the expired batch, visiting each bucket **once** (one lock
+    /// acquisition per bucket) instead of once per elapsed tick.
+    ///
+    /// Equivalent to calling [`tick`](ShardedWheel::tick) in a loop until
+    /// `now() == deadline`: every timer with a deadline in the window fires
+    /// with `fired_at` equal to its exact deadline, and survivors' rounds
+    /// counts are rewritten against the new clock. Expired entries are
+    /// ordered by deadline. A `deadline` at or before the current time is a
+    /// no-op (the clock never moves backwards).
+    pub fn advance_to(&self, deadline: Tick) -> Vec<Expired<T>> {
+        let mut fired = Vec::new();
+        self.advance_into(deadline, &mut fired);
         fired
+    }
+
+    /// Allocation-free [`advance_to`](ShardedWheel::advance_to): appends
+    /// the expired batch (ordered by deadline) to a caller-owned buffer and
+    /// returns how many timers fired.
+    pub fn advance_into(&self, deadline: Tick, out: &mut Vec<Expired<T>>) -> usize {
+        let _gate = self.shared.tick_gate.lock();
+        let t0 = self.shared.now.load(Ordering::Acquire);
+        let t = deadline.as_u64();
+        if t <= t0 {
+            return 0;
+        }
+        // Publish the new clock first: a concurrent starter that observes it
+        // computes deadlines beyond `t`; one that raced ahead with the old
+        // clock is swept below (its node either fires exactly or has its
+        // rounds rewritten). Both lock orders are accounted for.
+        self.shared.now.store(t, Ordering::Release);
+        let n = ticks_of(self.shared.buckets.len());
+        let start = out.len();
+        let mut count = 0usize;
+        for (slot, bucket) in self.shared.buckets.iter().enumerate() {
+            let mut bucket = bucket.lock();
+            let mut list = std::mem::take(&mut bucket.list);
+            let mut cur = list.first();
+            while let Some(idx) = cur {
+                cur = bucket.arena.next(idx);
+                let d = bucket.arena.node(idx).deadline.as_u64();
+                if d <= t {
+                    bucket.arena.unlink(&mut list, idx);
+                    let handle = bucket.arena.handle_of(idx);
+                    let deadline = bucket.arena.node(idx).deadline;
+                    let payload = bucket.arena.free(idx);
+                    count += 1;
+                    // tw-analyze: allow(TW004, reason = "appends to the caller-owned reusable buffer that is the point of advance_into; one bucket sweep replaces a lock acquisition per elapsed tick")
+                    out.push(Expired {
+                        handle,
+                        payload,
+                        deadline,
+                        fired_at: Tick(d),
+                    });
+                } else {
+                    // Rewrite rounds against the new clock. The bucket's
+                    // next visit is `visit` ticks ahead and the deadline is
+                    // congruent to the visit schedule, so the division is
+                    // exact.
+                    let visit = tw_core::validate::ticks_until_visit(t, ticks_of(slot), n);
+                    debug_assert_eq!((d - t - visit) % n, 0, "sharded rounds congruence");
+                    bucket.arena.node_mut(idx).aux = (d - t - visit) / n;
+                }
+            }
+            bucket.list = list;
+            // Every visit of this bucket up to `t` has now been performed in
+            // one sweep; stamp the most recent one (none may exist yet when
+            // `t` is still inside the first revolution).
+            let offset = (t % n + n - ticks_of(slot) % n) % n;
+            if t >= offset && t - offset > bucket.processed_until {
+                bucket.processed_until = t - offset;
+            }
+        }
+        self.shared.outstanding.fetch_sub(count, Ordering::Relaxed);
+        out[start..].sort_unstable_by_key(|e| e.deadline.as_u64());
+        count
+    }
+
+    /// Batched `START_TIMER`: starts every request, locking each target
+    /// bucket **once** per group of same-slot requests instead of once per
+    /// timer. Results are positional — `results[i]` corresponds to
+    /// `requests[i]`.
+    ///
+    /// Requests whose target slot is displaced by a clock advance between
+    /// the shared clock read and the bucket lock fall back to the singular
+    /// [`start_timer`](ShardedWheel::start_timer) retry loop, so the
+    /// per-timer semantics (deadline computed from the clock observed under
+    /// the bucket lock) are identical to starting them one at a time.
+    pub fn start_timers(&self, requests: &[(TickDelta, T)]) -> Vec<Result<ShardHandle, TimerError>>
+    where
+        T: Clone,
+    {
+        let table = self.shared.buckets.len();
+        let n = ticks_of(table);
+        let t = self.shared.now.load(Ordering::Acquire);
+        let mut results: Vec<Option<Result<ShardHandle, TimerError>>> =
+            requests.iter().map(|_| None).collect();
+        // Settle the requests that cannot succeed regardless of the clock
+        // (zero interval now; overflow only worsens as the clock advances),
+        // and group the rest by target slot under one clock read.
+        let mut batch: Vec<(usize, usize)> = Vec::with_capacity(requests.len());
+        for (i, (interval, _)) in requests.iter().enumerate() {
+            if interval.is_zero() {
+                results[i] = Some(Err(TimerError::ZeroInterval));
+                continue;
+            }
+            match Tick(t).checked_add_delta(*interval) {
+                Some(d) => batch.push((d.slot_in(table), i)),
+                None => results[i] = Some(Err(TimerError::DeadlineOverflow)),
+            }
+        }
+        batch.sort_unstable_by_key(|&(slot, _)| slot);
+        let mut k = 0usize;
+        while k < batch.len() {
+            let slot = batch[k].0;
+            let run_end = k + batch[k..].iter().take_while(|&&(s, _)| s == slot).count();
+            let mut bucket = self.shared.buckets[slot].lock();
+            let t2 = self.shared.now.load(Ordering::Acquire);
+            let mut inserted = 0usize;
+            for &(_, i) in &batch[k..run_end] {
+                let interval = requests[i].0;
+                let j = interval.as_u64();
+                let Some(deadline) = Tick(t2).checked_add_delta(interval) else {
+                    continue;
+                };
+                if deadline.slot_in(table) != slot {
+                    // The clock moved this request to another bucket while
+                    // we were acquiring the lock; retry it singularly.
+                    continue;
+                }
+                let mut rounds = (j - 1) / n;
+                if j % n == 0 && bucket.processed_until < t2 {
+                    rounds += 1;
+                }
+                let (idx, handle) = bucket.arena.alloc(requests[i].1.clone(), deadline);
+                bucket.arena.node_mut(idx).aux = rounds;
+                let mut list = std::mem::take(&mut bucket.list);
+                bucket.arena.push_back(&mut list, idx);
+                bucket.list = list;
+                inserted += 1;
+                results[i] = Some(Ok(ShardHandle {
+                    bucket: slot,
+                    handle,
+                }));
+            }
+            self.shared
+                .outstanding
+                .fetch_add(inserted, Ordering::Relaxed);
+            drop(bucket);
+            k = run_end;
+        }
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| self.start_timer(requests[i].0, requests[i].1.clone()))
+            })
+            .collect()
     }
 }
 
@@ -462,5 +631,126 @@ mod tests {
             w.start_timer(TickDelta::ZERO, ()),
             Err(TimerError::ZeroInterval)
         );
+    }
+
+    #[test]
+    fn advance_to_matches_tick_loop() {
+        use tw_core::validate::InvariantCheck;
+
+        let a: ShardedWheel<u64> = ShardedWheel::new(8);
+        let b: ShardedWheel<u64> = ShardedWheel::new(8);
+        for &j in &[1u64, 7, 8, 9, 16, 100, 800] {
+            a.start_timer(TickDelta(j), j).unwrap();
+            b.start_timer(TickDelta(j), j).unwrap();
+        }
+        let fast: Vec<(u64, u64)> = a
+            .advance_to(Tick(800))
+            .iter()
+            .map(|e| (e.payload, e.fired_at.as_u64()))
+            .collect();
+        let mut slow = Vec::new();
+        for _ in 0..800 {
+            b.tick_into(&mut slow);
+        }
+        let slow: Vec<(u64, u64)> = slow
+            .iter()
+            .map(|e| (e.payload, e.fired_at.as_u64()))
+            .collect();
+        assert_eq!(fast, slow, "one batched sweep equals 800 single ticks");
+        assert_eq!(a.now(), Tick(800));
+        assert_eq!(a.outstanding(), 0);
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn advance_to_rewrites_survivor_rounds() {
+        use tw_core::validate::InvariantCheck;
+
+        let w: ShardedWheel<u64> = ShardedWheel::new(8);
+        w.start_timer(TickDelta(100), 100).unwrap();
+        // Jump to a tick that is neither a bucket visit of the survivor nor
+        // a revolution boundary; the rounds invariant must hold at the new
+        // clock.
+        assert!(w.advance_to(Tick(37)).is_empty());
+        w.check_invariants().unwrap();
+        let fired = w.advance_to(Tick(100));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(100));
+        assert_eq!(fired[0].deadline, Tick(100));
+        // A past deadline is a no-op, never a clock rollback.
+        assert!(w.advance_to(Tick(50)).is_empty());
+        assert_eq!(w.now(), Tick(100));
+        w.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn start_timers_batch_is_positional_and_exact() {
+        use tw_core::validate::InvariantCheck;
+
+        let w: ShardedWheel<u64> = ShardedWheel::new(16);
+        let mut reqs: Vec<(TickDelta, u64)> =
+            (0..200u64).map(|i| (TickDelta(i % 50 + 1), i)).collect();
+        reqs[17].0 = TickDelta::ZERO; // error must stay positional
+        let results = w.start_timers(&reqs);
+        assert_eq!(results.len(), 200);
+        assert_eq!(results[17], Err(TimerError::ZeroInterval));
+        assert_eq!(w.outstanding(), 199);
+        w.check_invariants().unwrap();
+        // Positional handles: stopping via results[i] returns payload i.
+        for i in (0..200).filter(|i| i % 7 == 0 && *i != 17) {
+            let h = *results[i].as_ref().unwrap();
+            assert_eq!(w.stop_timer(h), Ok(reqs[i].1));
+        }
+        // Everything left fires exactly once at its exact deadline.
+        let fired = w.advance_to(Tick(64));
+        assert_eq!(w.outstanding(), 0);
+        for e in &fired {
+            assert_eq!(e.fired_at, e.deadline);
+        }
+        let expected = (0..200u64).filter(|&i| i != 17 && i % 7 != 0).count();
+        assert_eq!(fired.len(), expected);
+    }
+
+    #[test]
+    fn batch_apis_interleave_with_concurrent_churn() {
+        let w: ShardedWheel<u64> = ShardedWheel::new(8);
+        let starters: Vec<_> = (0..4u64)
+            .map(|worker| {
+                let w = w.clone();
+                thread::spawn(move || {
+                    let mut started = 0u64;
+                    for r in 0..50u64 {
+                        let reqs: Vec<(TickDelta, u64)> = (0..8u64)
+                            .map(|i| (TickDelta(r % 100 + i + 1), worker * 1_000 + r * 8 + i))
+                            .collect();
+                        for res in w.start_timers(&reqs) {
+                            res.unwrap();
+                            started += 1;
+                        }
+                    }
+                    started
+                })
+            })
+            .collect();
+        let advancer = {
+            let w = w.clone();
+            thread::spawn(move || {
+                let mut fired = Vec::new();
+                for step in 1..=40u64 {
+                    w.advance_into(Tick(step * 5), &mut fired);
+                }
+                fired
+            })
+        };
+        let started: u64 = starters.into_iter().map(|t| t.join().unwrap()).sum();
+        let mut fired = advancer.join().unwrap();
+        // Drain stragglers started after the advancer finished.
+        let target = w.now().as_u64() + 200;
+        w.advance_into(Tick(target), &mut fired);
+        assert_eq!(w.outstanding(), 0);
+        assert_eq!(fired.len() as u64, started);
+        for e in &fired {
+            assert_eq!(e.fired_at, e.deadline, "exact firing under batched churn");
+        }
     }
 }

@@ -27,7 +27,17 @@ use proptest::prelude::*;
 use tw_concurrent::{MpscWheel, ShardedWheel};
 use tw_core::validate::InvariantCheck;
 use tw_core::wheel::{BasicWheel, OverflowPolicy};
-use tw_core::{TickDelta, TimerScheme};
+use tw_core::{Tick, TickDelta, TimerScheme, TimerSchemeExt};
+
+/// Case count per property, overridable by `TW_PROPTEST_CASES` (the
+/// scheduled CI job elevates it; seeds are per-test-name fixed, so the
+/// elevated run is a strict superset of the default one).
+fn env_cases(default: u32) -> u32 {
+    std::env::var("TW_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
 
 const TABLE_SIZE: usize = 32;
 const THREADS: usize = 4;
@@ -68,6 +78,59 @@ fn op_id(round: usize, thread: usize, op: usize) -> u64 {
     ((round * THREADS + thread) * MAX_OPS + op) as u64
 }
 
+/// Schedule for the batch-API test: each round carries the per-thread op
+/// lists plus the multi-tick window the round's `advance_to` jumps over.
+fn batch_schedule_strategy() -> impl Strategy<Value = Vec<(Vec<Vec<Op>>, u64)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(op_strategy(), 0..MAX_OPS),
+                THREADS..THREADS + 1,
+            ),
+            1..=MAX_INTERVAL / 2,
+        ),
+        1..8,
+    )
+}
+
+/// One call issued by [`replay_round_batch_order`]; a single-closure
+/// interface so one `&mut` comparator can serve both arms.
+enum ReplayCall<H> {
+    /// `start_timer(interval, id)`; the closure returns the handle.
+    Start(u64, u64),
+    /// `stop_timer(handle)`, expected to return `Ok(id)`.
+    Stop(H, u64),
+}
+
+/// Replays one round in batch order — every start first (the order
+/// `start_timers` settles a batch), then the stops — so the per-thread
+/// books evolve identically to a thread that issued one `start_timers`
+/// call followed by its stops.
+fn replay_round_batch_order<H>(
+    books: &mut [Vec<(H, u64)>],
+    round: usize,
+    ops: &[Vec<Op>],
+    mut call: impl FnMut(ReplayCall<H>) -> Option<H>,
+) {
+    for (ti, thread_ops) in ops.iter().enumerate() {
+        for (oi, op) in thread_ops.iter().enumerate() {
+            if let Op::Start(j) = op {
+                let id = op_id(round, ti, oi);
+                let h = call(ReplayCall::Start(*j, id)).expect("start returns a handle");
+                books[ti].push((h, id));
+            }
+        }
+        for op in thread_ops {
+            if let Op::Stop(k) = op {
+                if !books[ti].is_empty() {
+                    let (h, id) = books[ti].swap_remove(k % books[ti].len());
+                    call(ReplayCall::Stop(h, id));
+                }
+            }
+        }
+    }
+}
+
 /// Replays one round of ops serially into the oracle. Per-thread stop
 /// indices resolve against per-thread books, so the outcome matches the
 /// concurrent run regardless of how its threads interleaved.
@@ -103,7 +166,7 @@ fn drop_fired<H>(books: &mut [Vec<(H, u64)>], fired: &[(u64, u64)]) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(env_cases(24)))]
 
     /// Sharded wheel vs oracle: same expiry set at every tick, invariants
     /// intact at every quiescent point, exact firing throughout.
@@ -190,6 +253,153 @@ proptest! {
             prop_assert!(guard < 10_000, "drain did not terminate");
         }
         w.check_invariants().unwrap();
+    }
+
+    /// Batch APIs vs one-at-a-time vs oracle, three ways at once: one
+    /// sharded wheel is driven through `start_timers` (concurrently, one
+    /// batch per thread per round) and `advance_into` (a multi-tick window
+    /// per round), a second sharded wheel replays the same schedule through
+    /// the singular `start_timer`/`tick` calls, and a serial [`BasicWheel`]
+    /// replays it through `TimerSchemeExt::advance_to`. All three must
+    /// produce the same `(id, firing tick)` set over every window, with
+    /// every batched fire exact and deadline-ordered.
+    #[test]
+    fn sharded_batch_apis_match_singular_and_oracle(schedule in batch_schedule_strategy()) {
+        let wb: ShardedWheel<u64> = ShardedWheel::new(TABLE_SIZE);
+        let ws: ShardedWheel<u64> = ShardedWheel::new(TABLE_SIZE);
+        let mut oracle: BasicWheel<u64> =
+            BasicWheel::with_policy(TABLE_SIZE, OverflowPolicy::OverflowList);
+        let mut batch_books: Vec<Vec<(tw_concurrent::ShardHandle, u64)>> =
+            vec![Vec::new(); THREADS];
+        let mut singular_books: Vec<Vec<(tw_concurrent::ShardHandle, u64)>> =
+            vec![Vec::new(); THREADS];
+        let mut oracle_books: Vec<Vec<(tw_core::TimerHandle, u64)>> =
+            vec![Vec::new(); THREADS];
+
+        for (r, (round, jump)) in schedule.iter().enumerate() {
+            // Concurrent phase: each thread submits its round's starts as
+            // ONE `start_timers` batch, then issues its stops singly.
+            let workers: Vec<_> = round
+                .iter()
+                .enumerate()
+                .map(|(ti, thread_ops)| {
+                    let wb = wb.clone();
+                    let mut book = std::mem::take(&mut batch_books[ti]);
+                    let thread_ops = thread_ops.clone();
+                    thread::spawn(move || {
+                        let starts: Vec<(TickDelta, u64)> = thread_ops
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(oi, op)| match op {
+                                Op::Start(j) => Some((TickDelta(*j), op_id(r, ti, oi))),
+                                Op::Stop(_) => None,
+                            })
+                            .collect();
+                        for (req, res) in starts.iter().zip(wb.start_timers(&starts)) {
+                            book.push((res.unwrap(), req.1));
+                        }
+                        for op in &thread_ops {
+                            if let Op::Stop(k) = op {
+                                if !book.is_empty() {
+                                    let (h, id) = book.swap_remove(k % book.len());
+                                    assert_eq!(wb.stop_timer(h), Ok(id));
+                                }
+                            }
+                        }
+                        book
+                    })
+                })
+                .collect();
+            for (ti, worker) in workers.into_iter().enumerate() {
+                batch_books[ti] = worker.join().unwrap();
+            }
+            // Serial comparators replay the same batch-ordered schedule.
+            replay_round_batch_order(&mut singular_books, r, round, |c| match c {
+                ReplayCall::Start(j, id) => Some(ws.start_timer(TickDelta(j), id).unwrap()),
+                ReplayCall::Stop(h, id) => {
+                    assert_eq!(ws.stop_timer(h), Ok(id));
+                    None
+                }
+            });
+            replay_round_batch_order(&mut oracle_books, r, round, |c| match c {
+                ReplayCall::Start(j, id) => Some(oracle.start_timer(TickDelta(j), id).unwrap()),
+                ReplayCall::Stop(h, id) => {
+                    assert_eq!(oracle.stop_timer(h), Ok(id));
+                    None
+                }
+            });
+
+            wb.check_invariants().unwrap();
+            ws.check_invariants().unwrap();
+            prop_assert_eq!(wb.outstanding(), oracle.outstanding());
+            prop_assert_eq!(ws.outstanding(), oracle.outstanding());
+
+            // One multi-tick window: batched drain vs tick loop vs oracle.
+            let target = Tick(oracle.now().as_u64() + jump);
+            let mut batch_fired = Vec::new();
+            let n = wb.advance_into(target, &mut batch_fired);
+            prop_assert_eq!(n, batch_fired.len());
+            prop_assert_eq!(wb.now(), target);
+            for pair in batch_fired.windows(2) {
+                prop_assert!(
+                    pair[0].deadline <= pair[1].deadline,
+                    "batched drain out of deadline order"
+                );
+            }
+            let mut got: Vec<(u64, u64)> = batch_fired
+                .iter()
+                .map(|e| {
+                    prop_assert_eq!(e.fired_at, e.deadline, "inexact batched fire");
+                    Ok((e.payload, e.fired_at.as_u64()))
+                })
+                .collect::<Result<_, TestCaseError>>()?;
+            let mut singular: Vec<(u64, u64)> = Vec::new();
+            while ws.now() < target {
+                singular.extend(ws.tick().into_iter().map(|e| (e.payload, e.fired_at.as_u64())));
+            }
+            let mut want: Vec<(u64, u64)> = oracle
+                .advance_to(target)
+                .into_iter()
+                .map(|e| (e.payload, e.fired_at.as_u64()))
+                .collect();
+            got.sort_unstable();
+            singular.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(&got, &want, "batch APIs diverged from oracle in round {}", r);
+            prop_assert_eq!(&singular, &want, "singular replay diverged in round {}", r);
+            drop_fired(&mut batch_books, &got);
+            drop_fired(&mut singular_books, &got);
+            drop_fired(&mut oracle_books, &got);
+        }
+
+        // Drain all three to empty through the same batched windows.
+        let mut guard = 0u32;
+        while oracle.outstanding() > 0 || wb.outstanding() > 0 || ws.outstanding() > 0 {
+            let target = Tick(oracle.now().as_u64() + MAX_INTERVAL);
+            let mut got: Vec<(u64, u64)> = wb
+                .advance_to(target)
+                .into_iter()
+                .map(|e| (e.payload, e.fired_at.as_u64()))
+                .collect();
+            let mut singular: Vec<(u64, u64)> = Vec::new();
+            while ws.now() < target {
+                singular.extend(ws.tick().into_iter().map(|e| (e.payload, e.fired_at.as_u64())));
+            }
+            let mut want: Vec<(u64, u64)> = oracle
+                .advance_to(target)
+                .into_iter()
+                .map(|e| (e.payload, e.fired_at.as_u64()))
+                .collect();
+            got.sort_unstable();
+            singular.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(&got, &want);
+            prop_assert_eq!(&singular, &want);
+            guard += 1;
+            prop_assert!(guard < 100, "drain did not terminate");
+        }
+        wb.check_invariants().unwrap();
+        ws.check_invariants().unwrap();
     }
 
     /// Message-passing wheel vs oracle. Cancellation is lazy and the

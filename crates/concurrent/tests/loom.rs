@@ -9,7 +9,7 @@
 //! Each `loom::model` call explores **every** interleaving of the closure's
 //! visible operations (atomic accesses, lock acquire/release), so the
 //! assertions inside hold on all schedules, not just the ones a stress test
-//! happens to hit. The models target the four known-subtle protocols called
+//! happens to hit. The models target the known-subtle protocols called
 //! out in Appendix A.2 of the paper and DESIGN.md §Verification:
 //!
 //! 1. start vs. tick on the same bucket — the `processed_until` rounds
@@ -18,7 +18,10 @@
 //! 3. MPSC lazy cancellation racing the drain — the `AtomicU8` state CAS
 //!    is the linearization point;
 //! 4. the `outstanding` counter under concurrent starts/stops;
-//! 5. the coarse-locked baseline's big-lock serialization.
+//! 5. the coarse-locked baseline's big-lock serialization;
+//! 6. start racing the batched multi-tick drain — `advance_into`
+//!    publishes the new clock before sweeping, so a racing insert either
+//!    parks beyond the window or is caught by the sweep.
 
 #![cfg(loom)]
 
@@ -26,7 +29,7 @@ use loom::thread;
 use tw_concurrent::{CoarseLocked, MpscWheel, ShardedWheel};
 use tw_core::validate::InvariantCheck;
 use tw_core::wheel::HashedWheelUnsorted;
-use tw_core::TickDelta;
+use tw_core::{Tick, TickDelta};
 
 /// Model 1 (the acceptance-critical one): a `start_timer` whose interval is
 /// a multiple of the table size racing the ticker's visit of that same
@@ -190,5 +193,56 @@ fn coarse_start_vs_tick_serializes() {
         assert_eq!(fired[0].payload, 5);
         assert_eq!(fired[0].fired_at, fired[0].deadline);
         assert_eq!(m.outstanding(), 0);
+    });
+}
+
+/// Model 6: a `start_timer` racing the batched multi-tick drain.
+/// `advance_into(Tick(2))` publishes the new clock *before* sweeping the
+/// buckets, so on every interleaving the racing insert either computes its
+/// deadline from the new clock (parking beyond the window) or is swept by
+/// the batch — with its rounds rewritten if it survives the window's
+/// partial revolution. The resident timer must always fire inside the
+/// batch, exactly at deadline 1, and the batch must come out
+/// deadline-ordered.
+#[test]
+fn sharded_start_vs_batched_advance_race() {
+    loom::model(|| {
+        let w: ShardedWheel<u32> = ShardedWheel::new(2);
+        let _resident = w.start_timer(TickDelta(1), 1).unwrap();
+        let starter = {
+            let w = w.clone();
+            // Interval 2 ≡ 0 (mod 2): exercises the rounds arithmetic of
+            // whichever side of the clock publication the insert lands on.
+            thread::spawn(move || w.start_timer(TickDelta(2), 2).unwrap())
+        };
+        let mut fired = Vec::new();
+        let n = w.advance_into(Tick(2), &mut fired);
+        assert_eq!(n, fired.len());
+        let _h = starter.join().unwrap();
+        for pair in fired.windows(2) {
+            assert!(pair[0].deadline <= pair[1].deadline, "batch out of order");
+        }
+        assert!(
+            fired.iter().any(|e| e.payload == 1),
+            "resident timer missed by the batched drain"
+        );
+        // Drain whatever parked beyond the window (at most two windows: the
+        // racer's deadline is bounded by observed-clock + interval ≤ 4).
+        let mut guard = 0;
+        while w.outstanding() > 0 {
+            w.advance_into(Tick(w.now().as_u64() + 2), &mut fired);
+            guard += 1;
+            assert!(guard <= 2, "drain did not terminate");
+        }
+        assert_eq!(fired.len(), 2, "both timers fired exactly once");
+        for e in &fired {
+            assert_eq!(e.payload == 1, e.deadline == Tick(1));
+            assert_eq!(
+                e.fired_at, e.deadline,
+                "exact firing through the batched drain"
+            );
+        }
+        assert_eq!(w.outstanding(), 0);
+        w.check_invariants().unwrap();
     });
 }

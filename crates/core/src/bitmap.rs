@@ -1,0 +1,339 @@
+//! Two-tier slot-occupancy bitmaps — the modern escape from §7's
+//! empty-slot tax.
+//!
+//! The §7 cost model charges 4 VAX instructions per tick just to discover
+//! that a wheel slot is empty, and in the sparse regime (`n ≪ TableSize`)
+//! that discovery dominates `PER_TICK_BOOKKEEPING`. Linux's `timers` and
+//! tokio's wheel — both descendants of Scheme 7 — answer with per-level
+//! occupancy bitmaps: one bit per slot, one summary bit per 64-slot word,
+//! so "where is the next non-empty slot?" is a handful of masks and
+//! `trailing_zeros` instead of a walk over empty slots.
+//!
+//! [`OccupancyBitmap`] is that structure: a word tier with bit `s % 64` of
+//! `words[s / 64]` set iff slot `s` holds at least one timer, and a summary
+//! tier with bit `w % 64` of `summary[w / 64]` set iff `words[w]` is
+//! non-zero. [`OccupancyBitmap::next_occupied_delta`] answers the cursor
+//! question in wrap-around order, which is what lets `advance_to` jump
+//! straight from one occupied slot to the next.
+//!
+//! Cost accounting stays honest: maintenance and probes return/charge
+//! [`bitmap_op`](crate::counters::VaxCostModel::bitmap_op) units into
+//! [`OpCounters::bitmap_ops`](crate::counters::OpCounters::bitmap_ops) —
+//! a *modern extension* to the §7 table, kept separate so the paper's
+//! original columns still reproduce exactly.
+//!
+//! The wheels embed [`SlotBitmap`], which is this structure when the
+//! `bitmap-cursor` feature (default on) is enabled and a zero-sized no-op
+//! when it is disabled — the paper-faithful scan then remains the only
+//! machinery, benchmarkable as shipped in 1987.
+
+use alloc::vec::Vec;
+
+use crate::time::{slot_index, ticks_of};
+
+/// Bits per tier word.
+const WORD_BITS: usize = 64;
+
+/// A two-tier occupancy bitmap over a fixed number of wheel slots.
+///
+/// See the [module docs](self) for the data layout. All methods are
+/// panic-free for in-range slots; `set`/`clear` return the number of
+/// modeled bitmap word-operations performed (always 1 here, 0 in the
+/// feature-off stub) so callers can charge
+/// [`OpCounters::charge_bitmap`](crate::counters::OpCounters::charge_bitmap)
+/// without feature gates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OccupancyBitmap {
+    /// Word tier: bit `s % 64` of `words[s / 64]` ⇔ slot `s` occupied.
+    words: Vec<u64>,
+    /// Summary tier: bit `w % 64` of `summary[w / 64]` ⇔ `words[w] != 0`.
+    summary: Vec<u64>,
+    /// Number of slots covered.
+    len: usize,
+}
+
+impl OccupancyBitmap {
+    /// Creates an all-empty bitmap covering `len` slots.
+    #[must_use]
+    pub fn new(len: usize) -> OccupancyBitmap {
+        let nwords = len.div_ceil(WORD_BITS);
+        let nsummary = nwords.div_ceil(WORD_BITS);
+        OccupancyBitmap {
+            words: alloc::vec![0; nwords],
+            summary: alloc::vec![0; nsummary],
+            len,
+        }
+    }
+
+    /// Number of slots covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the bitmap covers zero slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Marks `slot` occupied. Returns the modeled bitmap-op count (1).
+    ///
+    /// Idempotent: re-marking an occupied slot is the same word OR.
+    pub fn set(&mut self, slot: usize) -> u64 {
+        debug_assert!(slot < self.len, "bitmap slot out of range");
+        let w = slot / WORD_BITS;
+        self.words[w] |= 1u64 << (slot % WORD_BITS);
+        self.summary[w / WORD_BITS] |= 1u64 << (w % WORD_BITS);
+        1
+    }
+
+    /// Marks `slot` empty, folding the summary tier when the word drains.
+    /// Returns the modeled bitmap-op count (1).
+    pub fn clear(&mut self, slot: usize) -> u64 {
+        debug_assert!(slot < self.len, "bitmap slot out of range");
+        let w = slot / WORD_BITS;
+        self.words[w] &= !(1u64 << (slot % WORD_BITS));
+        if self.words[w] == 0 {
+            self.summary[w / WORD_BITS] &= !(1u64 << (w % WORD_BITS));
+        }
+        1
+    }
+
+    /// Whether `slot` is marked occupied.
+    #[must_use]
+    pub fn is_set(&self, slot: usize) -> bool {
+        debug_assert!(slot < self.len, "bitmap slot out of range");
+        self.words[slot / WORD_BITS] & (1u64 << (slot % WORD_BITS)) != 0
+    }
+
+    /// Diagnostic hook for invariant checks: `true` iff the recorded bit
+    /// for `slot` equals `occupied`. The feature-off stub always agrees,
+    /// so scheme invariants can call this unconditionally.
+    #[must_use]
+    pub fn agrees_with(&self, slot: usize, occupied: bool) -> bool {
+        self.is_set(slot) == occupied
+    }
+
+    /// Ticks until an advance-then-process cursor sitting on `from` next
+    /// lands on an occupied slot, in `1..=len` wrap-around order (`len`
+    /// when `from` itself is the only occupied slot), or `None` when every
+    /// slot is empty.
+    ///
+    /// This is the bitmap analogue of
+    /// [`ticks_until_visit`](crate::validate::ticks_until_visit): the
+    /// cursor has already processed `from`, so the search starts at
+    /// `from + 1` and may wrap all the way back around to `from`.
+    #[must_use]
+    pub fn next_occupied_delta(&self, from: usize) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let from = from % self.len;
+        let start = (from + 1) % self.len;
+        let sw = start / WORD_BITS;
+        // Tail of the word the search starts in.
+        let head = self.words[sw] & (!0u64 << (start % WORD_BITS));
+        let found = if head != 0 {
+            Some(sw * WORD_BITS + slot_index(u64::from(head.trailing_zeros())))
+        } else {
+            // Words strictly after the start word, then wrap to the front.
+            // Re-scanning the start word on the wrapped pass is sound: its
+            // bits at or above `start` were just proven zero, so any hit
+            // there is a position strictly below `start`.
+            self.next_nonzero_word(sw + 1, self.words.len())
+                .or_else(|| self.next_nonzero_word(0, sw + 1))
+                .map(|w| w * WORD_BITS + slot_index(u64::from(self.words[w].trailing_zeros())))
+        };
+        found.map(|slot| {
+            let d = (slot + self.len - start) % self.len + 1;
+            ticks_of(d)
+        })
+    }
+
+    /// Smallest `w` in `lo..hi` with `words[w] != 0`, located through the
+    /// summary tier (one `trailing_zeros` per 64 words instead of a scan).
+    fn next_nonzero_word(&self, lo: usize, hi: usize) -> Option<usize> {
+        if lo >= hi {
+            return None;
+        }
+        let first = lo / WORD_BITS;
+        let last = (hi - 1) / WORD_BITS;
+        let mut sw = first;
+        while sw <= last {
+            let mut chunk = self.summary[sw];
+            if sw == first {
+                chunk &= !0u64 << (lo % WORD_BITS);
+            }
+            if sw == last {
+                let top = (hi - 1) % WORD_BITS;
+                if top < WORD_BITS - 1 {
+                    chunk &= (1u64 << (top + 1)) - 1;
+                }
+            }
+            if chunk != 0 {
+                return Some(sw * WORD_BITS + slot_index(u64::from(chunk.trailing_zeros())));
+            }
+            sw += 1;
+        }
+        None
+    }
+}
+
+/// The bitmap type the wheels embed: the real [`OccupancyBitmap`] with the
+/// `bitmap-cursor` feature (default), letting `advance_to` jump between
+/// occupied slots.
+#[cfg(feature = "bitmap-cursor")]
+pub type SlotBitmap = OccupancyBitmap;
+
+/// The bitmap type the wheels embed: with `bitmap-cursor` disabled this is
+/// a zero-sized no-op, so the wheels carry no bitmap state or maintenance
+/// cost and the paper-faithful per-tick scan is the only machinery.
+#[cfg(not(feature = "bitmap-cursor"))]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotBitmap;
+
+#[cfg(not(feature = "bitmap-cursor"))]
+impl SlotBitmap {
+    /// No-op constructor (feature off).
+    #[must_use]
+    pub fn new(_len: usize) -> SlotBitmap {
+        SlotBitmap
+    }
+
+    /// No-op; returns 0 modeled bitmap-ops so counters stay untouched.
+    pub fn set(&mut self, _slot: usize) -> u64 {
+        0
+    }
+
+    /// No-op; returns 0 modeled bitmap-ops so counters stay untouched.
+    pub fn clear(&mut self, _slot: usize) -> u64 {
+        0
+    }
+
+    /// Always agrees: there is no recorded state to contradict.
+    #[must_use]
+    pub fn agrees_with(&self, _slot: usize, _occupied: bool) -> bool {
+        true
+    }
+
+    /// No cursor information without the feature.
+    #[must_use]
+    pub fn next_occupied_delta(&self, _from: usize) -> Option<u64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation: linear scan over a bool vector.
+    fn model_next(occ: &[bool], from: usize) -> Option<u64> {
+        let len = occ.len();
+        (1..=len).find(|d| occ[(from + d) % len]).map(ticks_of)
+    }
+
+    #[test]
+    fn set_clear_is_set_roundtrip() {
+        let mut b = OccupancyBitmap::new(200);
+        assert_eq!(b.len(), 200);
+        assert!(!b.is_empty());
+        for s in [0usize, 1, 63, 64, 65, 127, 128, 199] {
+            assert!(!b.is_set(s));
+            assert_eq!(b.set(s), 1);
+            assert!(b.is_set(s));
+        }
+        assert_eq!(b.clear(64), 1);
+        assert!(!b.is_set(64));
+        assert!(b.is_set(63));
+        assert!(b.is_set(65));
+    }
+
+    #[test]
+    fn set_is_idempotent_clear_folds_summary() {
+        let mut b = OccupancyBitmap::new(128);
+        b.set(100);
+        b.set(100);
+        assert!(b.is_set(100));
+        b.clear(100);
+        assert!(!b.is_set(100));
+        assert_eq!(b.next_occupied_delta(0), None);
+    }
+
+    #[test]
+    fn next_occupied_basic_and_wraparound() {
+        let mut b = OccupancyBitmap::new(8);
+        assert_eq!(b.next_occupied_delta(0), None);
+        b.set(3);
+        assert_eq!(b.next_occupied_delta(0), Some(3));
+        assert_eq!(b.next_occupied_delta(2), Some(1));
+        assert_eq!(b.next_occupied_delta(3), Some(8), "own slot = full rev");
+        assert_eq!(b.next_occupied_delta(7), Some(4));
+        b.set(6);
+        assert_eq!(b.next_occupied_delta(3), Some(3));
+        assert_eq!(b.next_occupied_delta(6), Some(5));
+    }
+
+    #[test]
+    fn next_occupied_crosses_word_and_summary_boundaries() {
+        // Large enough that the summary tier has multiple words.
+        let len = 64 * 64 * 2 + 17;
+        let mut b = OccupancyBitmap::new(len);
+        let slot = 64 * 64 + 5; // second summary word, first bit region
+        b.set(slot);
+        assert_eq!(b.next_occupied_delta(0), Some(ticks_of(slot)));
+        assert_eq!(b.next_occupied_delta(slot), Some(ticks_of(len)));
+        assert_eq!(b.next_occupied_delta(len - 1), Some(ticks_of(slot + 1)));
+        b.clear(slot);
+        assert_eq!(b.next_occupied_delta(0), None);
+    }
+
+    #[test]
+    fn agrees_with_reports_divergence() {
+        let mut b = OccupancyBitmap::new(16);
+        b.set(5);
+        assert!(b.agrees_with(5, true));
+        assert!(b.agrees_with(6, false));
+        assert!(!b.agrees_with(5, false));
+        assert!(!b.agrees_with(6, true));
+    }
+
+    #[test]
+    fn matches_linear_scan_model_under_random_churn() {
+        // Deterministic LCG sweep over mixed set/clear/query traffic for
+        // several sizes straddling the word and summary boundaries.
+        for &len in &[1usize, 2, 63, 64, 65, 127, 129, 4096, 4100] {
+            let mut b = OccupancyBitmap::new(len);
+            let mut occ = alloc::vec![false; len];
+            let mut x = 0x2545_F491_4F6C_DD1Du64;
+            for step in 0..2_000u32 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let slot = slot_index(x % ticks_of(len));
+                if x & (1 << 40) == 0 {
+                    b.set(slot);
+                    occ[slot] = true;
+                } else {
+                    b.clear(slot);
+                    occ[slot] = false;
+                }
+                let from = slot_index((x >> 20) % ticks_of(len));
+                assert_eq!(
+                    b.next_occupied_delta(from),
+                    model_next(&occ, from),
+                    "len {len} step {step} from {from}"
+                );
+                assert_eq!(b.is_set(slot), occ[slot]);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_len_is_inert() {
+        let b = OccupancyBitmap::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.next_occupied_delta(0), None);
+    }
+}

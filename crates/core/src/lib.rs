@@ -57,6 +57,7 @@
 extern crate alloc;
 
 pub mod arena;
+pub mod bitmap;
 pub mod counters;
 pub mod error;
 #[cfg(feature = "std")]
@@ -68,6 +69,7 @@ pub mod time;
 pub mod validate;
 pub mod wheel;
 
+pub use bitmap::{OccupancyBitmap, SlotBitmap};
 pub use counters::{OpCounters, VaxCostModel};
 pub use error::TimerError;
 pub use handle::{RequestId, TimerHandle};

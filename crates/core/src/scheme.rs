@@ -79,6 +79,22 @@ pub trait TimerScheme<T> {
     /// (`EXPIRY_PROCESSING`).
     fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>));
 
+    /// Batched `PER_TICK_BOOKKEEPING`: advances the clock to `deadline`
+    /// (a no-op when `deadline <= now`), delivering every expiry on the way
+    /// in tick order.
+    ///
+    /// The default runs `tick` once per elapsed tick, which is the paper's
+    /// semantics by construction. Wheels override it under the
+    /// `bitmap-cursor` feature to jump between occupied slots via their
+    /// [occupancy bitmaps](crate::bitmap), skipping the per-tick empty-slot
+    /// test entirely; the trace delivered to `expired` must be identical
+    /// either way (pinned by the oracle-equivalence differential suite).
+    fn advance_to_with(&mut self, deadline: Tick, expired: &mut dyn FnMut(Expired<T>)) {
+        while self.now() < deadline {
+            self.tick(expired);
+        }
+    }
+
     /// The current absolute time (number of `tick` calls so far).
     fn now(&self) -> Tick;
 
@@ -133,8 +149,13 @@ pub trait TimerSchemeExt<T>: TimerScheme<T> {
     ///
     /// Panics if `deadline` is in the past.
     fn advance_to(&mut self, deadline: Tick) -> Vec<Expired<T>> {
-        let gap = deadline.since(self.now());
-        self.collect_ticks(gap.as_u64())
+        // `since` keeps the documented panic-on-past contract; the actual
+        // advance goes through the scheme's (possibly bitmap-accelerated)
+        // batched path.
+        let _gap = deadline.since(self.now());
+        let mut out = Vec::new();
+        self.advance_to_with(deadline, &mut |e| out.push(e));
+        out
     }
 }
 

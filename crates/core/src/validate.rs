@@ -140,6 +140,14 @@ impl<T, S: TimerScheme<T> + InvariantCheck> TimerScheme<T> for Checked<S> {
         self.assert_valid();
     }
 
+    fn advance_to_with(&mut self, deadline: Tick, expired: &mut dyn FnMut(Expired<T>)) {
+        // Delegate to the inner scheme's (possibly bitmap-accelerated)
+        // batched path rather than the per-tick default, so the fast path
+        // itself runs under validation.
+        self.inner.advance_to_with(deadline, expired);
+        self.assert_valid();
+    }
+
     fn now(&self) -> Tick {
         self.inner.now()
     }

@@ -16,6 +16,7 @@
 use alloc::vec::Vec;
 
 use crate::arena::{ListHead, TimerArena};
+use crate::bitmap::SlotBitmap;
 use crate::counters::{OpCounters, VaxCostModel};
 use crate::handle::TimerHandle;
 use crate::scheme::{Expired, TimerScheme};
@@ -48,6 +49,9 @@ pub struct BasicWheel<T> {
     arena: TimerArena<T>,
     overflow: ListHead,
     overflow_policy: OverflowPolicy,
+    /// Two-tier slot-occupancy bitmap (zero-sized no-op without the
+    /// `bitmap-cursor` feature); bit set ⇔ slot list non-empty.
+    occupancy: SlotBitmap,
     counters: OpCounters,
     cost: VaxCostModel,
 }
@@ -78,6 +82,7 @@ impl<T> BasicWheel<T> {
             arena: TimerArena::new(),
             overflow: ListHead::new(),
             overflow_policy,
+            occupancy: SlotBitmap::new(max_interval),
             counters: OpCounters::new(),
             cost: VaxCostModel::PAPER,
         }
@@ -107,6 +112,8 @@ impl<T> BasicWheel<T> {
         let slot = deadline.slot_in(self.slots.len());
         self.arena.node_mut(idx).bucket = slot;
         self.arena.push_back(&mut self.slots[slot], idx);
+        let ops = self.occupancy.set(slot);
+        self.counters.charge_bitmap(ops);
     }
 
     /// Moves due overflow timers into the wheel. Called when the cursor
@@ -129,6 +136,20 @@ impl<T> BasicWheel<T> {
                 self.counters.vax_instructions += self.cost.decrement_step;
             }
         }
+    }
+
+    /// Advances the clock and cursor over `k` ticks the bitmap proved
+    /// empty, with no per-slot examination at all: counted as elapsed
+    /// ticks, but *not* as `empty_slot_skips` — the §7 4-instruction
+    /// empty-slot test never executes.
+    #[cfg(feature = "bitmap-cursor")]
+    fn skip_empty_ticks(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        self.now = Tick(self.now.as_u64() + k);
+        self.cursor = self.now.slot_in(self.slots.len());
+        self.counters.ticks += k;
     }
 }
 
@@ -169,6 +190,10 @@ impl<T> TimerScheme<T> for BasicWheel<T> {
             self.arena.unlink(&mut self.overflow, idx);
         } else {
             self.arena.unlink(&mut self.slots[bucket], idx);
+            if self.slots[bucket].is_empty() {
+                let ops = self.occupancy.clear(bucket);
+                self.counters.charge_bitmap(ops);
+            }
         }
         self.counters.stops += 1;
         self.counters.vax_instructions += self.cost.delete;
@@ -204,9 +229,35 @@ impl<T> TimerScheme<T> for BasicWheel<T> {
                     fired_at: self.now,
                 });
             }
+            // The flush emptied the slot.
+            let ops = self.occupancy.clear(self.cursor);
+            self.counters.charge_bitmap(ops);
         }
         if self.cursor == 0 && !self.overflow.is_empty() {
             self.drain_overflow();
+        }
+    }
+
+    #[cfg(feature = "bitmap-cursor")]
+    fn advance_to_with(&mut self, deadline: Tick, expired: &mut dyn FnMut(Expired<T>)) {
+        while self.now < deadline {
+            let remaining = deadline.since(self.now).as_u64();
+            // Next tick that does real work: the cursor landing on an
+            // occupied slot, or completing a revolution while timers are
+            // parked on the overflow list (drained at cursor == 0).
+            let probe = self.occupancy.next_occupied_delta(self.cursor);
+            self.counters.charge_bitmap(1);
+            let mut event = probe.unwrap_or(u64::MAX);
+            if !self.overflow.is_empty() {
+                let n = ticks_of(self.slots.len());
+                event = event.min(crate::validate::ticks_until_visit(self.now.as_u64(), 0, n));
+            }
+            if event > remaining {
+                self.skip_empty_ticks(remaining);
+                return;
+            }
+            self.skip_empty_ticks(event - 1);
+            self.tick(expired);
         }
     }
 
@@ -258,6 +309,14 @@ impl<T> crate::validate::InvariantCheck for BasicWheel<T> {
                 Ok(nodes) => nodes,
                 Err(detail) => return fail(alloc::format!("slot {slot}: {detail}")),
             };
+            if !self.occupancy.agrees_with(slot, !nodes.is_empty()) {
+                return fail(alloc::format!(
+                    "occupancy bitmap disagrees with slot {slot} (list len {} \
+                     so expected occupied={})",
+                    nodes.len(),
+                    !nodes.is_empty()
+                ));
+            }
             linked += nodes.len();
             for idx in nodes {
                 let node = self.arena.node(idx);
@@ -435,6 +494,56 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_rejected() {
         let _: BasicWheel<()> = BasicWheel::new(0);
+    }
+
+    #[cfg(feature = "bitmap-cursor")]
+    #[test]
+    fn bitmap_advance_skips_empty_slots_entirely() {
+        use crate::scheme::TimerScheme;
+        let mut w: BasicWheel<u32> = BasicWheel::with_policy(1024, OverflowPolicy::OverflowList);
+        w.start_timer(TickDelta(700), 700).unwrap();
+        w.start_timer(TickDelta(1500), 1500).unwrap(); // overflow-parked
+        w.reset_counters();
+        let mut fired = Vec::new();
+        w.advance_to_with(Tick(1600), &mut |e| fired.push(e.payload));
+        assert_eq!(fired, vec![700, 1500]);
+        assert_eq!(w.now(), Tick(1600));
+        let c = w.counters();
+        assert_eq!(c.ticks, 1600);
+        // The cursor jumped slot to slot: real ticks ran only at tick 700
+        // (fire), tick 1024 (revolution boundary, overflow drain — its
+        // slot 0 is empty, the one §7 empty-slot test that still runs)
+        // and tick 1500 (fire). 1597 empty-slot tests vanished.
+        assert_eq!(c.empty_slot_skips, 1);
+        assert_eq!(c.nonempty_slot_visits, 2);
+        assert_eq!(c.expiries, 2);
+        assert!(c.bitmap_ops > 0, "probes and maintenance must be tallied");
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+    }
+
+    #[cfg(feature = "bitmap-cursor")]
+    #[test]
+    fn bitmap_advance_matches_per_tick_loop() {
+        use crate::scheme::TimerScheme;
+        let mk = || {
+            let mut w: BasicWheel<u32> = BasicWheel::with_policy(64, OverflowPolicy::OverflowList);
+            for (j, id) in [(1u64, 0u32), (63, 1), (64, 2), (65, 3), (200, 4)] {
+                w.start_timer(TickDelta(j), id).unwrap();
+            }
+            w
+        };
+        let mut fast = mk();
+        let mut slow = mk();
+        let mut got = Vec::new();
+        fast.advance_to_with(Tick(210), &mut |e| got.push((e.payload, e.fired_at)));
+        let want: Vec<(u32, Tick)> = slow
+            .collect_ticks(210)
+            .into_iter()
+            .map(|e| (e.payload, e.fired_at))
+            .collect();
+        assert_eq!(got, want);
+        assert_eq!(fast.now(), slow.now());
+        assert_eq!(fast.outstanding(), 0);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use alloc::vec::Vec;
 
 use crate::arena::{ListHead, TimerArena};
+use crate::bitmap::SlotBitmap;
 use crate::counters::{OpCounters, VaxCostModel};
 use crate::handle::TimerHandle;
 use crate::scheme::{Expired, TimerScheme};
@@ -39,6 +40,9 @@ pub struct HashedWheelSorted<T> {
     cursor: usize,
     now: Tick,
     arena: TimerArena<T>,
+    /// Two-tier slot-occupancy bitmap (zero-sized no-op without the
+    /// `bitmap-cursor` feature); bit set ⇔ bucket non-empty.
+    occupancy: SlotBitmap,
     counters: OpCounters,
     cost: VaxCostModel,
 }
@@ -58,6 +62,7 @@ impl<T> HashedWheelSorted<T> {
             cursor: 0,
             now: Tick::ZERO,
             arena: TimerArena::new(),
+            occupancy: SlotBitmap::new(table_size),
             counters: OpCounters::new(),
             cost: VaxCostModel::PAPER,
         }
@@ -77,6 +82,19 @@ impl<T> HashedWheelSorted<T> {
     #[must_use]
     pub fn bucket_len(&self, slot: usize) -> usize {
         self.slots[slot].len()
+    }
+
+    /// Advances the clock and cursor over `k` ticks the bitmap proved
+    /// empty, with no per-slot examination (no `empty_slot_skips`, no §7
+    /// 4-instruction test).
+    #[cfg(feature = "bitmap-cursor")]
+    fn skip_empty_ticks(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        self.now = Tick(self.now.as_u64() + k);
+        self.cursor = self.now.slot_in(self.slots.len());
+        self.counters.ticks += k;
     }
 }
 
@@ -113,6 +131,8 @@ impl<T> TimerScheme<T> for HashedWheelSorted<T> {
             Some(before) => self.arena.insert_before(&mut self.slots[slot], before, idx),
             None => self.arena.push_back(&mut self.slots[slot], idx),
         }
+        let ops = self.occupancy.set(slot);
+        self.counters.charge_bitmap(ops);
         self.counters.starts += 1;
         self.counters.start_steps += steps;
         self.counters.vax_instructions += self.cost.insert + steps * self.cost.decrement_step;
@@ -123,6 +143,10 @@ impl<T> TimerScheme<T> for HashedWheelSorted<T> {
         let idx = self.arena.resolve(handle)?;
         let bucket = self.arena.node(idx).bucket;
         self.arena.unlink(&mut self.slots[bucket], idx);
+        if self.slots[bucket].is_empty() {
+            let ops = self.occupancy.clear(bucket);
+            self.counters.charge_bitmap(ops);
+        }
         self.counters.stops += 1;
         self.counters.vax_instructions += self.cost.delete;
         Ok(self.arena.free(idx))
@@ -159,6 +183,29 @@ impl<T> TimerScheme<T> for HashedWheelSorted<T> {
                 deadline,
                 fired_at: self.now,
             });
+        }
+        if self.slots[self.cursor].is_empty() {
+            let ops = self.occupancy.clear(self.cursor);
+            self.counters.charge_bitmap(ops);
+        }
+    }
+
+    #[cfg(feature = "bitmap-cursor")]
+    fn advance_to_with(&mut self, deadline: Tick, expired: &mut dyn FnMut(Expired<T>)) {
+        // Every occupied bucket must still be visited each revolution (the
+        // head compare is the §6.1.1 per-visit work), but runs of empty
+        // buckets are jumped in one go.
+        while self.now < deadline {
+            let remaining = deadline.since(self.now).as_u64();
+            let probe = self.occupancy.next_occupied_delta(self.cursor);
+            self.counters.charge_bitmap(1);
+            let event = probe.unwrap_or(u64::MAX);
+            if event > remaining {
+                self.skip_empty_ticks(remaining);
+                return;
+            }
+            self.skip_empty_ticks(event - 1);
+            self.tick(expired);
         }
     }
 
@@ -209,6 +256,14 @@ impl<T> crate::validate::InvariantCheck for HashedWheelSorted<T> {
                 Ok(nodes) => nodes,
                 Err(detail) => return fail(alloc::format!("bucket {slot}: {detail}")),
             };
+            if !self.occupancy.agrees_with(slot, !nodes.is_empty()) {
+                return fail(alloc::format!(
+                    "occupancy bitmap disagrees with bucket {slot} (list len {} \
+                     so expected occupied={})",
+                    nodes.len(),
+                    !nodes.is_empty()
+                ));
+            }
             linked += nodes.len();
             let mut prev_deadline = 0u64;
             for idx in nodes {
@@ -302,6 +357,28 @@ mod tests {
         w.run_ticks(4);
         // One head examination per visit of the loaded bucket, not 50.
         assert_eq!(w.counters().decrements, 1);
+    }
+
+    #[cfg(feature = "bitmap-cursor")]
+    #[test]
+    fn bitmap_advance_still_visits_every_occupied_bucket() {
+        use crate::scheme::TimerScheme;
+        let mut w: HashedWheelSorted<u64> = HashedWheelSorted::new(256);
+        // One far timer: its bucket must be head-checked on every
+        // revolution, everything else is jumped.
+        w.start_timer(TickDelta(1000), 1000).unwrap();
+        w.reset_counters();
+        let mut fired = Vec::new();
+        w.advance_to_with(Tick(1000), &mut |e| fired.push(e.payload));
+        assert_eq!(fired, vec![1000]);
+        let c = w.counters();
+        assert_eq!(c.ticks, 1000);
+        assert_eq!(c.empty_slot_skips, 0);
+        // ⌈1000 / 256⌉ visits of the occupied bucket, one head compare each
+        // until the final one fires.
+        assert_eq!(c.nonempty_slot_visits, 4);
+        assert_eq!(c.decrements, 4);
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use alloc::vec::Vec;
 
 use crate::arena::{ListHead, TimerArena};
+use crate::bitmap::SlotBitmap;
 use crate::counters::{OpCounters, VaxCostModel};
 use crate::handle::TimerHandle;
 use crate::scheme::{Expired, TimerScheme};
@@ -57,6 +58,9 @@ pub struct HashedWheelUnsorted<T> {
     cursor: usize,
     now: Tick,
     arena: TimerArena<T>,
+    /// Two-tier slot-occupancy bitmap (zero-sized no-op without the
+    /// `bitmap-cursor` feature); bit set ⇔ bucket non-empty.
+    occupancy: SlotBitmap,
     counters: OpCounters,
     cost: VaxCostModel,
 }
@@ -80,9 +84,23 @@ impl<T> HashedWheelUnsorted<T> {
             cursor: 0,
             now: Tick::ZERO,
             arena: TimerArena::new(),
+            occupancy: SlotBitmap::new(table_size),
             counters: OpCounters::new(),
             cost: VaxCostModel::PAPER,
         }
+    }
+
+    /// Advances the clock and cursor over `k` ticks the bitmap proved
+    /// empty, with no per-slot examination (no `empty_slot_skips`, no §7
+    /// 4-instruction test).
+    #[cfg(feature = "bitmap-cursor")]
+    fn skip_empty_ticks(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        self.now = Tick(self.now.as_u64() + k);
+        self.cursor = self.now.slot_in(self.slots.len());
+        self.counters.ticks += k;
     }
 
     /// The table size `N`.
@@ -146,6 +164,8 @@ impl<T> TimerScheme<T> for HashedWheelUnsorted<T> {
             node.bucket = slot;
         }
         self.arena.push_back(&mut self.slots[slot], idx);
+        let ops = self.occupancy.set(slot);
+        self.counters.charge_bitmap(ops);
         self.counters.starts += 1;
         self.counters.vax_instructions += self.cost.insert;
         Ok(handle)
@@ -155,6 +175,10 @@ impl<T> TimerScheme<T> for HashedWheelUnsorted<T> {
         let idx = self.arena.resolve(handle)?;
         let bucket = self.arena.node(idx).bucket;
         self.arena.unlink(&mut self.slots[bucket], idx);
+        if self.slots[bucket].is_empty() {
+            let ops = self.occupancy.clear(bucket);
+            self.counters.charge_bitmap(ops);
+        }
         self.counters.stops += 1;
         self.counters.vax_instructions += self.cost.delete;
         Ok(self.arena.free(idx))
@@ -197,6 +221,29 @@ impl<T> TimerScheme<T> for HashedWheelUnsorted<T> {
             } else {
                 self.arena.node_mut(idx).aux = rounds - 1;
             }
+        }
+        if self.slots[self.cursor].is_empty() {
+            let ops = self.occupancy.clear(self.cursor);
+            self.counters.charge_bitmap(ops);
+        }
+    }
+
+    #[cfg(feature = "bitmap-cursor")]
+    fn advance_to_with(&mut self, deadline: Tick, expired: &mut dyn FnMut(Expired<T>)) {
+        // Every visit of an occupied bucket decrements its residents'
+        // rounds (§6.1.2), so none may be skipped — the bitmap only jumps
+        // the runs of provably empty buckets in between.
+        while self.now < deadline {
+            let remaining = deadline.since(self.now).as_u64();
+            let probe = self.occupancy.next_occupied_delta(self.cursor);
+            self.counters.charge_bitmap(1);
+            let event = probe.unwrap_or(u64::MAX);
+            if event > remaining {
+                self.skip_empty_ticks(remaining);
+                return;
+            }
+            self.skip_empty_ticks(event - 1);
+            self.tick(expired);
         }
     }
 
@@ -249,6 +296,14 @@ impl<T> crate::validate::InvariantCheck for HashedWheelUnsorted<T> {
                 Ok(nodes) => nodes,
                 Err(detail) => return fail(alloc::format!("bucket {slot}: {detail}")),
             };
+            if !self.occupancy.agrees_with(slot, !nodes.is_empty()) {
+                return fail(alloc::format!(
+                    "occupancy bitmap disagrees with bucket {slot} (list len {} \
+                     so expected occupied={})",
+                    nodes.len(),
+                    !nodes.is_empty()
+                ));
+            }
             linked += nodes.len();
             for idx in nodes {
                 let node = self.arena.node(idx);
@@ -415,6 +470,31 @@ mod tests {
             4 * c.ticks + 6 * c.decrements + 9 * c.expiries
         );
         assert_eq!(c.decrements, 16); // each timer decremented exactly once
+    }
+
+    #[cfg(feature = "bitmap-cursor")]
+    #[test]
+    fn bitmap_advance_preserves_rounds_decrements() {
+        use crate::scheme::TimerScheme;
+        // A multi-revolution timer: every visit of its bucket decrements
+        // rounds, so the fast path must land on the bucket each revolution
+        // and still fire at exactly tick j.
+        let mut w: HashedWheelUnsorted<u64> = HashedWheelUnsorted::new(512);
+        let j = 4 * 512 + 37;
+        w.start_timer(TickDelta(j), j).unwrap();
+        w.reset_counters();
+        let mut fired = Vec::new();
+        w.advance_to_with(Tick(j), &mut |e| {
+            fired.push((e.payload, e.fired_at.as_u64()))
+        });
+        assert_eq!(fired, vec![(j, j)]);
+        let c = w.counters();
+        assert_eq!(c.ticks, j);
+        assert_eq!(c.empty_slot_skips, 0);
+        // 4 early visits decrement rounds, the 5th expires.
+        assert_eq!(c.nonempty_slot_visits, 5);
+        assert_eq!(c.decrements, 5);
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
     }
 
     #[test]

@@ -35,6 +35,7 @@
 use alloc::vec::Vec;
 
 use crate::arena::{ListHead, NodeIdx, TimerArena};
+use crate::bitmap::SlotBitmap;
 use crate::counters::{OpCounters, VaxCostModel};
 use crate::handle::TimerHandle;
 use crate::scheme::{Expired, TimerScheme};
@@ -64,6 +65,9 @@ pub enum InsertRule {
 
 struct Level {
     slots: Vec<ListHead>,
+    /// Two-tier slot-occupancy bitmap for this level (zero-sized no-op
+    /// without the `bitmap-cursor` feature); bit set ⇔ slot list non-empty.
+    occupancy: SlotBitmap,
     granularity: u64,
     size: u64,
     base: usize,
@@ -133,8 +137,10 @@ impl<T> HierarchicalWheel<T> {
         let mut granularity = 1u64;
         let mut base = 0usize;
         for &size in &sizes.0 {
+            let slots: Vec<ListHead> = (0..size).map(|_| ListHead::new()).collect();
             levels.push(Level {
-                slots: (0..size).map(|_| ListHead::new()).collect(),
+                occupancy: SlotBitmap::new(slots.len()),
+                slots,
                 granularity,
                 size,
                 base,
@@ -271,6 +277,8 @@ impl<T> HierarchicalWheel<T> {
         }
         self.arena
             .push_back(&mut self.levels[level].slots[slot], idx);
+        let ops = self.levels[level].occupancy.set(slot);
+        self.counters.charge_bitmap(ops);
     }
 
     /// Rounds `t` to the nearest multiple of `g` (ties round up) — the
@@ -309,6 +317,10 @@ impl<T> HierarchicalWheel<T> {
         // Detach the whole list first: re-insertion may target this very
         // slot (next-revolution parking) and must not be re-processed now.
         let mut detached = core::mem::take(&mut self.levels[level].slots[slot]);
+        // The slot is empty while its detached list is processed; a re-park
+        // into this very slot re-sets the bit through `place`.
+        let ops = self.levels[level].occupancy.clear(slot);
+        self.counters.charge_bitmap(ops);
         while let Some(idx) = self.arena.pop_front(&mut detached) {
             self.counters.decrements += 1;
             self.counters.vax_instructions += self.cost.decrement_step;
@@ -373,6 +385,19 @@ impl<T> HierarchicalWheel<T> {
             }
         }
     }
+
+    /// Advances the clock by `k` ticks known to process only empty slots:
+    /// no level's cursor crosses an occupied slot and no overflow
+    /// re-examination boundary falls inside the window, so only the clock
+    /// and the tick counter move.
+    #[cfg(feature = "bitmap-cursor")]
+    fn skip_empty_ticks(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        self.now = Tick(self.now.as_u64() + k);
+        self.counters.ticks += k;
+    }
 }
 
 impl<T> TimerScheme<T> for HierarchicalWheel<T> {
@@ -426,6 +451,10 @@ impl<T> TimerScheme<T> for HierarchicalWheel<T> {
             let level = self.level_of_bucket(bucket);
             let slot = bucket - self.levels[level].base;
             self.arena.unlink(&mut self.levels[level].slots[slot], idx);
+            if self.levels[level].slots[slot].is_empty() {
+                let ops = self.levels[level].occupancy.clear(slot);
+                self.counters.charge_bitmap(ops);
+            }
         }
         self.counters.stops += 1;
         self.counters.vax_instructions += self.cost.delete;
@@ -453,6 +482,45 @@ impl<T> TimerScheme<T> for HierarchicalWheel<T> {
             if now % top.granularity == 0 {
                 self.drain_overflow();
             }
+        }
+    }
+
+    #[cfg(feature = "bitmap-cursor")]
+    fn advance_to_with(&mut self, deadline: Tick, expired: &mut dyn FnMut(Expired<T>)) {
+        while self.now < deadline {
+            let now = self.now.as_u64();
+            let remaining = deadline.since(self.now).as_u64();
+            // Earliest tick (as a delta from `now`) at which any level's
+            // cursor reaches an occupied slot. Every resident timer at a
+            // level of granularity g satisfies target / g ≥ now / g + 1
+            // (both insert rules and every re-park guarantee it), so the
+            // visit that fires or migrates it is never behind the probe.
+            let mut event = u64::MAX;
+            let mut probes = 0u64;
+            for l in &self.levels {
+                let q = now / l.granularity;
+                probes += 1;
+                if let Some(dl) = l.occupancy.next_occupied_delta(slot_index(q % l.size)) {
+                    if let Some(at) = q.checked_add(dl).and_then(|v| v.checked_mul(l.granularity)) {
+                        event = event.min(at - now);
+                    }
+                }
+            }
+            self.counters.charge_bitmap(probes);
+            if !self.overflow.is_empty() {
+                // Overflow is re-examined whenever the clock crosses a
+                // multiple of the coarsest granularity.
+                let g = self.levels[self.levels.len() - 1].granularity;
+                if let Some(at) = (now / g).checked_add(1).and_then(|v| v.checked_mul(g)) {
+                    event = event.min(at - now);
+                }
+            }
+            if event > remaining {
+                self.skip_empty_ticks(remaining);
+                return;
+            }
+            self.skip_empty_ticks(event - 1);
+            self.tick(expired);
         }
     }
 
@@ -524,6 +592,14 @@ impl<T> crate::validate::InvariantCheck for HierarchicalWheel<T> {
                     Err(detail) => return fail(alloc::format!("level {i} slot {slot}: {detail}")),
                 };
                 linked += nodes.len();
+                if !level.occupancy.agrees_with(slot, !nodes.is_empty()) {
+                    return fail(alloc::format!(
+                        "level {i} occupancy bitmap disagrees with slot {slot} \
+                         (list len {} so expected occupied={})",
+                        nodes.len(),
+                        !nodes.is_empty()
+                    ));
+                }
                 for idx in nodes {
                     let node = self.arena.node(idx);
                     let target = node.aux & !MIGRATED_FLAG;
@@ -868,6 +944,62 @@ mod tests {
         for e in &fired {
             assert_eq!(e.error(), 0, "interval {}", e.payload);
         }
+    }
+
+    #[cfg(feature = "bitmap-cursor")]
+    #[test]
+    fn bitmap_advance_matches_per_tick_loop_across_levels() {
+        let make = || {
+            let mut w: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
+                small(),
+                InsertRule::Digit,
+                MigrationPolicy::Full,
+                OverflowPolicy::OverflowList,
+            );
+            // Spread across all three levels plus the overflow list
+            // (range 512, so 700 parks and is admitted at a 64-boundary).
+            for &j in &[3u64, 64, 65, 300, 511, 700] {
+                w.start_timer(TickDelta(j), j).unwrap();
+            }
+            w
+        };
+        let mut fast = make();
+        let mut slow = make();
+        let mut got = Vec::new();
+        fast.advance_to_with(Tick(800), &mut |e| {
+            got.push((e.payload, e.fired_at.as_u64()))
+        });
+        let want: Vec<(u64, u64)> = slow
+            .collect_ticks(800)
+            .iter()
+            .map(|e| (e.payload, e.fired_at.as_u64()))
+            .collect();
+        assert_eq!(got, want, "fast path must reproduce the per-tick trace");
+        assert_eq!(fast.now(), Tick(800));
+        assert_eq!(fast.outstanding(), 0);
+        crate::validate::InvariantCheck::check_invariants(&fast).unwrap();
+    }
+
+    #[cfg(feature = "bitmap-cursor")]
+    #[test]
+    fn bitmap_advance_skips_empty_hierarchy_ticks() {
+        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::new(small());
+        w.start_timer(TickDelta(500), 500).unwrap();
+        let fired = w.advance_to(Tick(500));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].error(), 0);
+        let c = w.counters();
+        assert_eq!(c.ticks, 500, "virtual time must still cover every tick");
+        // Only three real ticks run: the level-2 visit at 448 (migration),
+        // the level-1 visit at 496 (migration), and the firing tick at 500.
+        // The tick at 448 also processes the empty level-0 and level-1 slots
+        // (2 skips) and the tick at 496 the empty level-0 slot (1 skip) —
+        // everything else is jumped over by the bitmap cursor.
+        assert_eq!(c.empty_slot_skips, 3);
+        assert_eq!(c.nonempty_slot_visits, 3);
+        assert_eq!(c.migrations, 2);
+        assert!(c.bitmap_ops > 0);
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use alloc::vec::Vec;
 
 use crate::arena::{ListHead, NodeIdx, TimerArena};
+use crate::bitmap::SlotBitmap;
 use crate::counters::{OpCounters, VaxCostModel};
 use crate::handle::TimerHandle;
 use crate::scheme::{Expired, TimerScheme};
@@ -52,6 +53,10 @@ pub struct HybridWheel<T> {
     /// Far timers, sorted ascending by deadline (Scheme 2).
     far: ListHead,
     arena: TimerArena<T>,
+    /// Two-tier occupancy bitmap over the wheel slots (zero-sized no-op
+    /// without the `bitmap-cursor` feature). The far list needs none: its
+    /// head is the only thing ever examined.
+    occupancy: SlotBitmap,
     counters: OpCounters,
     cost: VaxCostModel,
 }
@@ -71,9 +76,23 @@ impl<T> HybridWheel<T> {
             now: Tick::ZERO,
             far: ListHead::new(),
             arena: TimerArena::new(),
+            occupancy: SlotBitmap::new(wheel_slots),
             counters: OpCounters::new(),
             cost: VaxCostModel::PAPER,
         }
+    }
+
+    /// Advances the clock and cursor over `k` ticks proven free of slot
+    /// flushes and far-head migrations: no per-slot examination, no head
+    /// compare, no `empty_slot_skips`.
+    #[cfg(feature = "bitmap-cursor")]
+    fn skip_empty_ticks(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        self.now = Tick(self.now.as_u64() + k);
+        self.cursor = self.now.slot_in(self.slots.len());
+        self.counters.ticks += k;
     }
 
     /// Number of timers currently on the far list.
@@ -97,6 +116,8 @@ impl<T> HybridWheel<T> {
         let slot = deadline.slot_in(self.slots.len());
         self.arena.node_mut(idx).bucket = slot;
         self.arena.push_back(&mut self.slots[slot], idx);
+        let ops = self.occupancy.set(slot);
+        self.counters.charge_bitmap(ops);
     }
 
     /// Sorted insert into the far list (Scheme 2, front search).
@@ -147,6 +168,10 @@ impl<T> TimerScheme<T> for HybridWheel<T> {
             self.arena.unlink(&mut self.far, idx);
         } else {
             self.arena.unlink(&mut self.slots[bucket], idx);
+            if self.slots[bucket].is_empty() {
+                let ops = self.occupancy.clear(bucket);
+                self.counters.charge_bitmap(ops);
+            }
         }
         self.counters.stops += 1;
         self.counters.vax_instructions += self.cost.delete;
@@ -179,6 +204,9 @@ impl<T> TimerScheme<T> for HybridWheel<T> {
                     fired_at: self.now,
                 });
             }
+            // The flush emptied the slot.
+            let ops = self.occupancy.clear(self.cursor);
+            self.counters.charge_bitmap(ops);
         }
         // One head compare per tick: migrate far timers whose deadline has
         // come within a revolution. Sorted order means at most a prefix
@@ -197,6 +225,32 @@ impl<T> TimerScheme<T> for HybridWheel<T> {
             self.enqueue_wheel(head);
             self.counters.migrations += 1;
             self.counters.vax_instructions += self.cost.insert;
+        }
+    }
+
+    #[cfg(feature = "bitmap-cursor")]
+    fn advance_to_with(&mut self, deadline: Tick, expired: &mut dyn FnMut(Expired<T>)) {
+        let range = ticks_of(self.slots.len());
+        while self.now < deadline {
+            let remaining = deadline.since(self.now).as_u64();
+            // Next tick with real work: an occupied wheel slot, or the far
+            // head entering the wheel's one-revolution window (the per-tick
+            // mode migrates it at exactly `head.deadline - range`, and the
+            // far-list invariant keeps that strictly in the future).
+            let probe = self.occupancy.next_occupied_delta(self.cursor);
+            self.counters.charge_bitmap(1);
+            let mut event = probe.unwrap_or(u64::MAX);
+            if let Some(head) = self.far.first() {
+                let migrate_in =
+                    self.arena.node(head).deadline.as_u64() - self.now.as_u64() - range;
+                event = event.min(migrate_in);
+            }
+            if event > remaining {
+                self.skip_empty_ticks(remaining);
+                return;
+            }
+            self.skip_empty_ticks(event - 1);
+            self.tick(expired);
         }
     }
 
@@ -247,6 +301,14 @@ impl<T> crate::validate::InvariantCheck for HybridWheel<T> {
                 Ok(nodes) => nodes,
                 Err(detail) => return fail(alloc::format!("slot {slot}: {detail}")),
             };
+            if !self.occupancy.agrees_with(slot, !nodes.is_empty()) {
+                return fail(alloc::format!(
+                    "occupancy bitmap disagrees with slot {slot} (list len {} \
+                     so expected occupied={})",
+                    nodes.len(),
+                    !nodes.is_empty()
+                ));
+            }
             linked += nodes.len();
             for idx in nodes {
                 let node = self.arena.node(idx);
@@ -362,6 +424,31 @@ mod tests {
         // One far-head compare per tick, never a scan.
         assert_eq!(w.counters().decrements, 100);
         assert_eq!(w.counters().migrations, 0);
+    }
+
+    #[cfg(feature = "bitmap-cursor")]
+    #[test]
+    fn bitmap_advance_migrates_far_head_on_time() {
+        use crate::scheme::TimerScheme;
+        let mut w: HybridWheel<u64> = HybridWheel::new(64);
+        for &j in &[30u64, 500, 505, 4_000] {
+            w.start_timer(TickDelta(j), j).unwrap();
+        }
+        w.reset_counters();
+        let mut fired = Vec::new();
+        w.advance_to_with(Tick(4_000), &mut |e| {
+            assert_eq!(e.fired_at, e.deadline);
+            fired.push(e.payload);
+        });
+        assert_eq!(fired, vec![30, 500, 505, 4_000]);
+        assert_eq!(w.now(), Tick(4_000));
+        assert_eq!(w.outstanding(), 0);
+        let c = w.counters();
+        assert_eq!(c.ticks, 4_000);
+        assert_eq!(c.migrations, 3);
+        // Head compares happen only at real ticks, not 4000 times.
+        assert!(c.decrements < 20, "got {} head compares", c.decrements);
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
     }
 
     #[test]

@@ -11,7 +11,7 @@ use tw_core::wheel::{
     BasicWheel, ClockworkWheel, HashedWheelSorted, HashedWheelUnsorted, HierarchicalWheel,
     HybridWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy,
 };
-use tw_core::{OracleScheme, TickDelta, TimerScheme};
+use tw_core::{OracleScheme, Tick, TickDelta, TimerScheme};
 
 /// With `--features checked` every scheme under test (and the oracle itself)
 /// runs inside [`tw_core::Checked`], which re-validates the full structural
@@ -315,6 +315,252 @@ proptest! {
         }
         prop_assert!(live.is_empty());
         prop_assert_eq!(fired_ids.len() as u64 + stopped_ids.len() as u64, next_id);
+    }
+}
+
+/// Case-count override for scheduled CI: `TW_PROPTEST_CASES=512` elevates
+/// the sweep while local runs keep the cheap default. Seeds are fixed per
+/// test name by the runner, so every count is a deterministic prefix of the
+/// elevated run.
+fn env_cases(default: u32) -> u32 {
+    std::env::var("TW_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One step of a random workload for the batched-advance differential:
+/// like [`Op`], but time moves in `advance_to` jumps whose gaps dwarf the
+/// table size, so the bitmap cursor's empty-slot skipping is on the hot
+/// path of every case.
+#[derive(Debug, Clone)]
+enum JumpOp {
+    Start(u64),
+    Stop(usize),
+    /// `advance_to(now + gap)`.
+    Advance(u64),
+}
+
+fn jump_op_strategy(max_interval: u64, max_gap: u64) -> impl Strategy<Value = JumpOp> {
+    prop_oneof![
+        3 => (1..=max_interval).prop_map(JumpOp::Start),
+        2 => any::<usize>().prop_map(JumpOp::Stop),
+        4 => (1..=max_gap).prop_map(JumpOp::Advance),
+    ]
+}
+
+/// Runs the same jump workload three ways — `fast` through the (possibly
+/// bitmap-accelerated) `advance_to_with` batch path, `slow` through the
+/// plain per-tick loop that never consults the cursor, and the serial
+/// oracle — and requires identical traces, clocks, and resident counts.
+fn check_advance_equivalence<S: TimerScheme<u64>>(
+    mut fast: S,
+    mut slow: S,
+    ops: Vec<JumpOp>,
+) -> Result<(), TestCaseError> {
+    let mut oracle = harness(OracleScheme::<u64>::new());
+    type Handles = (
+        tw_core::TimerHandle,
+        tw_core::TimerHandle,
+        tw_core::TimerHandle,
+    );
+    let mut live: Vec<(Handles, u64)> = Vec::new();
+    let mut next_id = 0u64;
+    let advance = |fast: &mut S,
+                   slow: &mut S,
+                   oracle: &mut dyn TimerScheme<u64>,
+                   live: &mut Vec<(Handles, u64)>,
+                   gap: u64|
+     -> Result<(), TestCaseError> {
+        let deadline = Tick(fast.now().as_u64() + gap);
+        let mut ff = Vec::new();
+        fast.advance_to_with(deadline, &mut |e| {
+            ff.push((e.payload, e.fired_at, e.deadline, e.error()));
+        });
+        let mut fs = Vec::new();
+        let mut fo = Vec::new();
+        for _ in 0..gap {
+            slow.tick(&mut |e| fs.push((e.payload, e.fired_at, e.deadline, e.error())));
+            oracle.tick(&mut |e| fo.push((e.payload, e.fired_at, e.deadline, e.error())));
+        }
+        ff.sort_unstable();
+        fs.sort_unstable();
+        fo.sort_unstable();
+        prop_assert_eq!(&ff, &fs, "fast/slow divergence at t={}", fast.now());
+        prop_assert_eq!(&ff, &fo, "fast/oracle divergence at t={}", fast.now());
+        live.retain(|(_, id)| !ff.iter().any(|(p, ..)| p == id));
+        Ok(())
+    };
+    for op in ops {
+        match op {
+            JumpOp::Start(interval) => {
+                let a = fast.start_timer(TickDelta(interval), next_id);
+                let b = slow.start_timer(TickDelta(interval), next_id);
+                let c = oracle.start_timer(TickDelta(interval), next_id);
+                prop_assert_eq!(a.is_ok(), c.is_ok(), "start_timer disagreement");
+                prop_assert_eq!(b.is_ok(), c.is_ok(), "start_timer disagreement");
+                if let (Ok(ha), Ok(hb), Ok(hc)) = (a, b, c) {
+                    live.push(((ha, hb, hc), next_id));
+                }
+                next_id += 1;
+            }
+            JumpOp::Stop(k) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let ((ha, hb, hc), id) = live.swap_remove(k % live.len());
+                prop_assert_eq!(fast.stop_timer(ha), Ok(id));
+                prop_assert_eq!(slow.stop_timer(hb), Ok(id));
+                prop_assert_eq!(oracle.stop_timer(hc), Ok(id));
+            }
+            JumpOp::Advance(gap) => {
+                advance(&mut fast, &mut slow, &mut oracle, &mut live, gap)?;
+            }
+        }
+        prop_assert_eq!(fast.outstanding(), oracle.outstanding());
+        prop_assert_eq!(slow.outstanding(), oracle.outstanding());
+        prop_assert_eq!(fast.now(), oracle.now());
+        prop_assert_eq!(slow.now(), oracle.now());
+    }
+    // Drain in further jumps until nothing is resident.
+    let mut guard = 0u32;
+    while fast.outstanding() > 0 {
+        advance(&mut fast, &mut slow, &mut oracle, &mut live, 64)?;
+        guard += 1;
+        prop_assert!(guard < 100_000, "drain did not terminate");
+    }
+    prop_assert_eq!(slow.outstanding(), 0);
+    prop_assert_eq!(oracle.outstanding(), 0);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(env_cases(16)))]
+
+    #[test]
+    fn basic_wheel_advance_matches_tick_loop_and_oracle(
+        ops in proptest::collection::vec(jump_op_strategy(200, 300), 1..60),
+    ) {
+        check_advance_equivalence(
+            harness(BasicWheel::<u64>::with_policy(32, OverflowPolicy::OverflowList)),
+            harness(BasicWheel::<u64>::with_policy(32, OverflowPolicy::OverflowList)),
+            ops,
+        )?;
+    }
+
+    #[test]
+    fn hashed_sorted_advance_matches_tick_loop_and_oracle(
+        ops in proptest::collection::vec(jump_op_strategy(600, 400), 1..60),
+    ) {
+        check_advance_equivalence(
+            harness(HashedWheelSorted::<u64>::new(16)),
+            harness(HashedWheelSorted::<u64>::new(16)),
+            ops,
+        )?;
+    }
+
+    #[test]
+    fn hashed_unsorted_advance_matches_tick_loop_and_oracle(
+        ops in proptest::collection::vec(jump_op_strategy(600, 400), 1..60),
+    ) {
+        check_advance_equivalence(
+            harness(HashedWheelUnsorted::<u64>::new(16)),
+            harness(HashedWheelUnsorted::<u64>::new(16)),
+            ops,
+        )?;
+    }
+
+    #[test]
+    fn hierarchical_advance_matches_tick_loop_and_oracle(
+        ops in proptest::collection::vec(jump_op_strategy(2000, 700), 1..50),
+    ) {
+        let make = || HierarchicalWheel::<u64>::with_policies(
+            LevelSizes(vec![8, 8, 8]),
+            InsertRule::Digit,
+            MigrationPolicy::Full,
+            OverflowPolicy::OverflowList,
+        );
+        check_advance_equivalence(harness(make()), harness(make()), ops)?;
+    }
+
+    #[test]
+    fn hierarchical_covering_advance_matches_tick_loop_and_oracle(
+        ops in proptest::collection::vec(jump_op_strategy(511, 700), 1..50),
+    ) {
+        let make = || HierarchicalWheel::<u64>::with_policies(
+            LevelSizes(vec![8, 8, 8]),
+            InsertRule::Covering,
+            MigrationPolicy::Full,
+            OverflowPolicy::Reject,
+        );
+        check_advance_equivalence(harness(make()), harness(make()), ops)?;
+    }
+
+    #[test]
+    fn hybrid_advance_matches_tick_loop_and_oracle(
+        ops in proptest::collection::vec(jump_op_strategy(600, 400), 1..60),
+    ) {
+        check_advance_equivalence(
+            harness(HybridWheel::<u64>::new(8)),
+            harness(HybridWheel::<u64>::new(8)),
+            ops,
+        )?;
+    }
+
+    /// After every operation the two-tier occupancy bitmap must agree with
+    /// per-slot (and, for the hierarchy, per-level) list emptiness — the
+    /// `agrees_with` clause of each wheel's invariant catalog.
+    /// [`tw_core::Checked`] re-runs the full catalog after each op, so this
+    /// property validates in every configuration, not only under
+    /// `--features checked`.
+    #[test]
+    fn occupancy_bitmap_agrees_with_slot_emptiness(
+        ops in proptest::collection::vec(jump_op_strategy(500, 300), 1..80),
+    ) {
+        fn drive<S>(scheme: S, ops: &[JumpOp]) -> Result<(), TestCaseError>
+        where
+            S: TimerScheme<u64> + tw_core::InvariantCheck,
+        {
+            let mut w = tw_core::Checked::new(scheme);
+            let mut live: Vec<tw_core::TimerHandle> = Vec::new();
+            let mut id = 0u64;
+            for op in ops {
+                match *op {
+                    JumpOp::Start(j) => {
+                        let h = w.start_timer(TickDelta(j), id);
+                        prop_assert!(h.is_ok(), "start_timer({j}) rejected");
+                        live.push(h.unwrap_or_else(|_| unreachable!()));
+                        id += 1;
+                    }
+                    JumpOp::Stop(k) => {
+                        if !live.is_empty() {
+                            let h = live.swap_remove(k % live.len());
+                            prop_assert!(w.stop_timer(h).is_ok());
+                        }
+                    }
+                    JumpOp::Advance(gap) => {
+                        let deadline = Tick(w.now().as_u64() + gap);
+                        let mut fired: Vec<tw_core::TimerHandle> = Vec::new();
+                        w.advance_to_with(deadline, &mut |e| fired.push(e.handle));
+                        live.retain(|h| !fired.contains(h));
+                    }
+                }
+            }
+            Ok(())
+        }
+        drive(BasicWheel::<u64>::with_policy(32, OverflowPolicy::OverflowList), &ops)?;
+        drive(HashedWheelSorted::<u64>::new(16), &ops)?;
+        drive(HashedWheelUnsorted::<u64>::new(16), &ops)?;
+        drive(
+            HierarchicalWheel::<u64>::with_policies(
+                LevelSizes(vec![8, 8, 8]),
+                InsertRule::Digit,
+                MigrationPolicy::Full,
+                OverflowPolicy::OverflowList,
+            ),
+            &ops,
+        )?;
+        drive(HybridWheel::<u64>::new(8), &ops)?;
     }
 }
 
