@@ -4,7 +4,7 @@
 //! oracle-equivalence suites) catches violations that *happen*; this crate
 //! statically rejects code that could make them happen. It walks every
 //! workspace crate with a purpose-built lexer (the workspace builds
-//! offline, so no `syn`) and enforces a catalog of seven repo-specific
+//! offline, so no `syn`) and enforces a catalog of eight repo-specific
 //! rules derived from the paper's model:
 //!
 //! | rule  | enforces |
@@ -16,6 +16,7 @@
 //! | TW005 | every mutating `TimerScheme` method touches `OpCounters` |
 //! | TW006 | no concrete sync primitives in `tw-concurrent` outside `sync` |
 //! | TW007 | every `TimerScheme` impl also impls `InvariantCheck` and is registered in an oracle-equivalence suite |
+//! | TW008 | no heap allocation reachable from `Observer` hook implementations |
 //!
 //! Exceptions are in-source and auditable:
 //! `// tw-analyze: allow(RULE_ID, reason = "...")` on the offending line or
@@ -108,6 +109,7 @@ impl Workspace {
             let index = CrateIndex::build(&self.files, krate);
             rules::tw002(&index, &mut violations);
             rules::tw004(&index, &mut violations);
+            rules::tw008(&index, &mut violations);
         }
         rules::tw007(&self.files, &mut violations);
         violations.sort_by(|a, b| (a.rule, &a.path, a.line).cmp(&(b.rule, &b.path, b.line)));

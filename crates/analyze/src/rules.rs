@@ -4,7 +4,7 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use crate::lexer::TokKind;
+use crate::lexer::{self, TokKind};
 use crate::model::{FnItem, SourceFile};
 
 /// One diagnostic from a rule pass.
@@ -51,7 +51,16 @@ const INT_TYPES: [&str; 12] = [
 
 /// Method calls excluded from the call graph: ubiquitous names whose
 /// same-name matches are overwhelmingly std types, not local functions.
-const CALL_DENYLIST: [&str; 6] = ["new", "default", "clone", "fmt", "from", "with_capacity"];
+const CALL_DENYLIST: [&str; 8] = [
+    "new",
+    "default",
+    "clone",
+    "fmt",
+    "from",
+    "try_from",
+    "try_into",
+    "with_capacity",
+];
 
 /// TW001 — no raw `as` casts between integer types in tick/index code.
 ///
@@ -256,35 +265,45 @@ pub fn tw004(index: &CrateIndex<'_>, out: &mut Vec<Violation>) {
         }
         let toks = &file.lexed.tokens;
         for k in item.body.0..item.body.1 {
-            let t = &toks[k];
-            if t.kind != TokKind::Ident {
-                continue;
-            }
-            let method_alloc = matches!(t.text.as_str(), "push" | "collect" | "to_vec")
-                && k > 0
-                && toks[k - 1].is_punct('.')
-                && toks.get(k + 1).is_some_and(|n| n.is_punct('('));
-            let box_new = t.is_ident("Box")
-                && toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
-                && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
-                && toks.get(k + 3).is_some_and(|n| n.is_ident("new"));
-            let vec_macro = t.is_ident("vec") && toks.get(k + 1).is_some_and(|n| n.is_punct('!'));
-            let with_capacity =
-                t.is_ident("with_capacity") && toks.get(k + 1).is_some_and(|n| n.is_punct('('));
-            if method_alloc || box_new || vec_macro || with_capacity {
+            if let Some(what) = alloc_token(toks, k) {
                 out.push(Violation::new(
                     "TW004",
                     file,
-                    t.line,
+                    toks[k].line,
                     format!(
-                        "heap allocation (`{}`) in `{}`, reachable from \
+                        "heap allocation (`{what}`) in `{}`, reachable from \
                          PER_TICK_BOOKKEEPING; the per-tick path must stay O(1) \
                          and allocation-free",
-                        t.text, item.name
+                        item.name
                     ),
                 ));
             }
         }
+    }
+}
+
+/// Heap-allocation token at position `k`, shared by TW004 and TW008:
+/// growing-container methods, `Box::new`, `vec!`, and `with_capacity`.
+fn alloc_token(toks: &[lexer::Token], k: usize) -> Option<&str> {
+    let t = &toks[k];
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    let method_alloc = matches!(t.text.as_str(), "push" | "collect" | "to_vec")
+        && k > 0
+        && toks[k - 1].is_punct('.')
+        && toks.get(k + 1).is_some_and(|n| n.is_punct('('));
+    let box_new = t.is_ident("Box")
+        && toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+        && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+        && toks.get(k + 3).is_some_and(|n| n.is_ident("new"));
+    let vec_macro = t.is_ident("vec") && toks.get(k + 1).is_some_and(|n| n.is_punct('!'));
+    let with_capacity =
+        t.is_ident("with_capacity") && toks.get(k + 1).is_some_and(|n| n.is_punct('('));
+    if method_alloc || box_new || vec_macro || with_capacity {
+        Some(&t.text)
+    } else {
+        None
     }
 }
 
@@ -403,6 +422,40 @@ pub fn tw007(files: &[SourceFile], out: &mut Vec<Violation>) {
                         "`{}` implements TimerScheme but is not exercised by any \
                          oracle_equivalence.rs suite",
                         im.type_name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// TW008 — `Observer` implementations must be allocation-free.
+///
+/// Every hook fires from inside the §2 routines (`Observed` raises them on
+/// the start/stop/tick paths, the sharded wheel under its shard locks), so
+/// an allocating observer silently re-introduces exactly the per-tick cost
+/// TW004 bans from the schemes themselves. Seeds are the methods of every
+/// `impl Observer for ...` block; the same name-based BFS and waiver
+/// syntax as TW004 apply.
+pub fn tw008(index: &CrateIndex<'_>, out: &mut Vec<Violation>) {
+    let seeds = index.seed_indices(|_, item| item.impl_trait.as_deref() == Some("Observer"));
+    if seeds.is_empty() {
+        return;
+    }
+    for i in index.reachable(seeds) {
+        let (file, item) = index.fns[i];
+        let toks = &file.lexed.tokens;
+        for k in item.body.0..item.body.1 {
+            if let Some(what) = alloc_token(toks, k) {
+                out.push(Violation::new(
+                    "TW008",
+                    file,
+                    toks[k].line,
+                    format!(
+                        "heap allocation (`{what}`) in `{}`, reachable from an \
+                         Observer hook; hooks run inside the per-tick and \
+                         start/stop paths and must not allocate",
+                        item.name
                     ),
                 ));
             }

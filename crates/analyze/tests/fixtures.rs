@@ -255,6 +255,44 @@ mod tests {
     assert!(rules_hit(&[("crates/core/src/a.rs", "tw-core", src)]).is_empty());
 }
 
+// ---------------------------------------------------------------- TW008
+
+#[test]
+fn tw008_flags_allocating_observer_hooks() {
+    let src = "\
+impl Observer for EventLog {
+    fn on_fire(&self, deadline: Tick, fired_at: Tick) { self.log(deadline, fired_at); }
+}
+impl EventLog {
+    fn log(&self, d: Tick, f: Tick) { self.events.lock().push((d, f)); }
+}
+";
+    assert_eq!(
+        rules_hit(&[("crates/obs/src/a.rs", "tw-obs", src)]),
+        ["TW008"]
+    );
+}
+
+#[test]
+fn tw008_clean_on_atomic_counters_and_waivable() {
+    let clean = "\
+impl Observer for Tally {
+    fn on_fire(&self, _deadline: Tick, _fired_at: Tick) { self.fires.fetch_add(1, Relaxed); }
+}
+";
+    assert!(rules_hit(&[("crates/obs/src/a.rs", "tw-obs", clean)]).is_empty());
+    // The TW004 waiver syntax carries over unchanged.
+    let waived = "\
+impl Observer for EventLog {
+    fn on_fire(&self, deadline: Tick, _fired_at: Tick) {
+        // tw-analyze: allow(TW008, reason = \"bounded ring buffer reuses its spine\")
+        self.events.push(deadline);
+    }
+}
+";
+    assert!(rules_hit(&[("crates/obs/src/a.rs", "tw-obs", waived)]).is_empty());
+}
+
 // ------------------------------------------------------------ self-check
 
 #[test]

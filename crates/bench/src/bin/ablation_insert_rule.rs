@@ -16,7 +16,9 @@
 #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 
 use tw_bench::table::{f2, Table};
-use tw_core::wheel::{HierarchicalWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy};
+use tw_core::wheel::{
+    HierarchicalWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy, WheelConfig,
+};
 use tw_core::{TickDelta, TimerScheme, TimerSchemeExt};
 
 fn lcg(x: &mut u64) -> u64 {
@@ -25,12 +27,14 @@ fn lcg(x: &mut u64) -> u64 {
 }
 
 fn run(sizes: &LevelSizes, rule: InsertRule, label: &str) -> Vec<String> {
-    let mut w: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
-        sizes.clone(),
-        rule,
-        MigrationPolicy::Full,
-        OverflowPolicy::Reject,
-    );
+    let mut w: HierarchicalWheel<u64> = HierarchicalWheel::try_from(
+        WheelConfig::new()
+            .granularities(sizes.clone())
+            .insert_rule(rule)
+            .migration(MigrationPolicy::Full)
+            .overflow(OverflowPolicy::Reject),
+    )
+    .unwrap();
     let range = sizes.range();
     let n = 20_000u64;
     let mut x = 5u64;

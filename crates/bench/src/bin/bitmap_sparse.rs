@@ -34,8 +34,18 @@ use std::time::Instant;
 use tw_bench::table::{f2, Table};
 use tw_core::wheel::{
     BasicWheel, HashedWheelUnsorted, HierarchicalWheel, InsertRule, LevelSizes, MigrationPolicy,
-    OverflowPolicy,
+    OverflowPolicy, WheelConfig,
 };
+
+/// A bounded wheel with the overflow list absorbing far timers.
+fn basic_overflow(slots: usize) -> BasicWheel<u64> {
+    BasicWheel::try_from(
+        WheelConfig::new()
+            .slots(slots)
+            .overflow(OverflowPolicy::OverflowList),
+    )
+    .unwrap()
+}
 use tw_core::{Tick, TickDelta, TimerScheme, TimerSchemeExt};
 
 fn lcg(x: &mut u64) -> u64 {
@@ -125,7 +135,7 @@ fn compare<S: TimerScheme<u64>>(
 /// with the cursor a one-timer advance over an empty prefix skips every
 /// empty slot (zero visits); without it, each tick visits one.
 fn cursor_compiled() -> bool {
-    let mut w: BasicWheel<u64> = BasicWheel::with_policy(1024, OverflowPolicy::OverflowList);
+    let mut w: BasicWheel<u64> = basic_overflow(1024);
     w.start_timer(TickDelta(1000), 0).unwrap();
     w.reset_counters();
     let _ = w.advance_to(Tick(999));
@@ -156,7 +166,7 @@ fn main() {
             "basic/65536",
             true,
             cursor,
-            || BasicWheel::<u64>::with_policy(65_536, OverflowPolicy::OverflowList),
+            || basic_overflow(65_536),
             n,
             span,
         );
@@ -179,12 +189,14 @@ fn main() {
             false,
             cursor,
             || {
-                HierarchicalWheel::<u64>::with_policies(
-                    LevelSizes(vec![256, 256, 256]),
-                    InsertRule::Digit,
-                    MigrationPolicy::Full,
-                    OverflowPolicy::Reject,
+                HierarchicalWheel::<u64>::try_from(
+                    WheelConfig::new()
+                        .granularities(LevelSizes(vec![256, 256, 256]))
+                        .insert_rule(InsertRule::Digit)
+                        .migration(MigrationPolicy::Full)
+                        .overflow(OverflowPolicy::Reject),
                 )
+                .unwrap()
             },
             n,
             span,

@@ -20,7 +20,9 @@
 #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 
 use tw_bench::table::{f2, Table};
-use tw_core::wheel::{HierarchicalWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy};
+use tw_core::wheel::{
+    HierarchicalWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy, WheelConfig,
+};
 use tw_core::{TickDelta, TimerScheme};
 use tw_workload::OnlineStats;
 
@@ -31,8 +33,14 @@ fn lcg(x: &mut u64) -> u64 {
 
 fn run(rule: InsertRule, policy: MigrationPolicy) -> Vec<String> {
     let sizes = LevelSizes(vec![16, 16, 16]); // granularities 1, 16, 256; range 4096
-    let mut w: HierarchicalWheel<u64> =
-        HierarchicalWheel::with_policies(sizes, rule, policy, OverflowPolicy::Reject);
+    let mut w: HierarchicalWheel<u64> = HierarchicalWheel::try_from(
+        WheelConfig::new()
+            .granularities(sizes)
+            .insert_rule(rule)
+            .migration(policy)
+            .overflow(OverflowPolicy::Reject),
+    )
+    .unwrap();
     let mut x = 77u64;
     let n = 20_000u64;
     let mut err = OnlineStats::new();

@@ -21,7 +21,8 @@
 
 use tw_bench::table::{f2, Table};
 use tw_core::wheel::{
-    HashedWheelUnsorted, HierarchicalWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy,
+    HashedWheelUnsorted, HierarchicalWheel, InsertRule, LevelSizes, MigrationPolicy,
+    OverflowPolicy, WheelConfig,
 };
 use tw_core::{TickDelta, TimerScheme};
 use tw_workload::theory;
@@ -81,20 +82,24 @@ fn main() {
         let a = touches_per_timer(&mut s6, t_mean, n);
 
         let sizes = LevelSizes(vec![171, 171, 170]); // 512 slots, range ≈ 4.97M
-        let mut s7d: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
-            sizes.clone(),
-            InsertRule::Digit,
-            MigrationPolicy::Full,
-            OverflowPolicy::Reject,
-        );
+        let mut s7d: HierarchicalWheel<u64> = HierarchicalWheel::try_from(
+            WheelConfig::new()
+                .granularities(sizes.clone())
+                .insert_rule(InsertRule::Digit)
+                .migration(MigrationPolicy::Full)
+                .overflow(OverflowPolicy::Reject),
+        )
+        .unwrap();
         let b = touches_per_timer(&mut s7d, t_mean, n);
 
-        let mut s7c: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
-            sizes,
-            InsertRule::Covering,
-            MigrationPolicy::Full,
-            OverflowPolicy::Reject,
-        );
+        let mut s7c: HierarchicalWheel<u64> = HierarchicalWheel::try_from(
+            WheelConfig::new()
+                .granularities(sizes)
+                .insert_rule(InsertRule::Covering)
+                .migration(MigrationPolicy::Full)
+                .overflow(OverflowPolicy::Reject),
+        )
+        .unwrap();
         let c = touches_per_timer(&mut s7c, t_mean, n);
 
         table.row(vec![

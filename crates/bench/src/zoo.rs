@@ -7,7 +7,7 @@ use tw_baselines::{
 };
 use tw_core::wheel::{
     BasicWheel, ClockworkWheel, HashedWheelSorted, HashedWheelUnsorted, HierarchicalWheel,
-    HybridWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy,
+    HybridWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy, WheelConfig,
 };
 use tw_core::TimerScheme;
 use tw_des::{RotationPolicy, SimWheel};
@@ -44,24 +44,36 @@ pub fn scheme_zoo(max_interval: u64, wheel_slots: usize) -> Vec<SchemeBox> {
         // Scheme 4 cannot hash, so its array must cover the range directly;
         // cap the allocation and let the overflow list absorb the tail when
         // an experiment asks for a huge range.
-        Box::new(BasicWheel::<u64>::with_policy(
-            max_interval.min(1 << 16) as usize,
-            OverflowPolicy::OverflowList,
-        )),
+        Box::new(
+            BasicWheel::<u64>::try_from(
+                WheelConfig::new()
+                    .slots(max_interval.min(1 << 16) as usize)
+                    .overflow(OverflowPolicy::OverflowList),
+            )
+            .expect("zoo wheel config is statically valid"),
+        ),
         Box::new(HashedWheelSorted::<u64>::new(wheel_slots)),
         Box::new(HashedWheelUnsorted::<u64>::new(wheel_slots)),
-        Box::new(HierarchicalWheel::<u64>::with_policies(
-            LevelSizes(vec![radix, radix, radix]),
-            InsertRule::Digit,
-            MigrationPolicy::Full,
-            OverflowPolicy::Reject,
-        )),
-        Box::new(HierarchicalWheel::<u64>::with_policies(
-            LevelSizes(vec![radix, radix, radix]),
-            InsertRule::Covering,
-            MigrationPolicy::Full,
-            OverflowPolicy::Reject,
-        )),
+        Box::new(
+            HierarchicalWheel::<u64>::try_from(
+                WheelConfig::new()
+                    .granularities(LevelSizes(vec![radix, radix, radix]))
+                    .insert_rule(InsertRule::Digit)
+                    .migration(MigrationPolicy::Full)
+                    .overflow(OverflowPolicy::Reject),
+            )
+            .expect("zoo wheel config is statically valid"),
+        ),
+        Box::new(
+            HierarchicalWheel::<u64>::try_from(
+                WheelConfig::new()
+                    .granularities(LevelSizes(vec![radix, radix, radix]))
+                    .insert_rule(InsertRule::Covering)
+                    .migration(MigrationPolicy::Full)
+                    .overflow(OverflowPolicy::Reject),
+            )
+            .expect("zoo wheel config is statically valid"),
+        ),
         Box::new(ClockworkWheel::<u64>::new(LevelSizes(vec![
             radix, radix, radix,
         ]))),

@@ -16,32 +16,47 @@
 //!
 //! Expirations are delivered on a channel as [`Expiry`] records.
 
+use std::collections::HashMap;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::sync::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use tw_core::{Tick, TickDelta, TimerError, TimerHandle, TimerScheme};
+use crate::sync::Arc;
+use tw_core::{
+    NoopObserver, Observed, Observer, RequestId, Tick, TickDelta, TimerError, TimerHandle,
+    TimerScheme,
+};
 
 /// An expiry notification from the service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Expiry {
-    /// Client-supplied timer id.
-    pub id: u64,
+    /// Client-supplied timer id (the paper's `Request_ID`).
+    pub id: RequestId,
     /// Tick the timer was scheduled for.
-    pub deadline: u64,
+    pub deadline: Tick,
     /// Tick it actually fired at.
-    pub fired_at: u64,
+    pub fired_at: Tick,
+}
+
+impl Expiry {
+    /// Signed firing error in ticks: positive when the timer fired late,
+    /// negative when a reduced-precision scheme fired it early, zero for
+    /// the exact schemes (§6.2's precision/cost trade).
+    #[must_use]
+    pub fn error(&self) -> i64 {
+        self.fired_at.signed_offset_from(self.deadline)
+    }
 }
 
 enum Cmd {
     Start {
-        id: u64,
+        id: RequestId,
         interval: TickDelta,
         reply: Sender<Result<TimerHandle, TimerError>>,
     },
     Stop {
         handle: TimerHandle,
-        reply: Sender<Result<u64, TimerError>>,
+        reply: Sender<Result<RequestId, TimerError>>,
     },
     Advance {
         ticks: u64,
@@ -65,23 +80,45 @@ impl TimerService {
     /// advances on [`advance`](Self::advance).
     pub fn spawn<S>(scheme: S) -> TimerService
     where
-        S: TimerScheme<u64> + Send + 'static,
+        S: TimerScheme<RequestId> + Send + 'static,
     {
-        TimerService::spawn_inner(scheme, None)
+        TimerService::spawn_inner(scheme, None, NoopObserver)
     }
 
     /// Spawns a service whose clock ticks every `period` of wall time.
     pub fn spawn_realtime<S>(scheme: S, period: Duration) -> TimerService
     where
-        S: TimerScheme<u64> + Send + 'static,
+        S: TimerScheme<RequestId> + Send + 'static,
     {
-        TimerService::spawn_inner(scheme, Some(period))
+        TimerService::spawn_inner(scheme, Some(period), NoopObserver)
     }
 
-    fn spawn_inner<S>(mut scheme: S, period: Option<Duration>) -> TimerService
+    /// Spawns a virtual-time service whose events report to `observer`
+    /// (typically a `tw-obs` `ServiceTelemetry` behind the `Arc`): the five
+    /// scheme hooks, plus [`Observer::on_queue_depth`] per command picked
+    /// up, [`Observer::on_batch`] per coalesced `Advance` sweep, and
+    /// [`Observer::on_command_latency`] with the command→fire tick distance
+    /// when an armed timer fires.
+    pub fn spawn_with_observer<S>(
+        scheme: S,
+        observer: Arc<dyn Observer + Send + Sync>,
+    ) -> TimerService
     where
-        S: TimerScheme<u64> + Send + 'static,
+        S: TimerScheme<RequestId> + Send + 'static,
     {
+        TimerService::spawn_inner(scheme, None, observer)
+    }
+
+    fn spawn_inner<S, O>(scheme: S, period: Option<Duration>, observer: O) -> TimerService
+    where
+        S: TimerScheme<RequestId> + Send + 'static,
+        O: Observer + Clone + Send + 'static,
+    {
+        // The scheme-level hooks ride the Observed wrapper; the service
+        // loop below raises the service-level ones on its own clone.
+        let mut scheme = Observed::new(scheme, observer.clone());
+        // Tick each armed timer was started at, for command→fire latency.
+        let mut armed: HashMap<TimerHandle, Tick> = HashMap::new();
         let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
         let (exp_tx, exp_rx) = unbounded::<Expiry>();
         let join = std::thread::Builder::new()
@@ -119,14 +156,21 @@ impl TimerService {
                             Err(_) => break,
                         }
                     };
+                    if cmd.is_some() {
+                        observer.on_queue_depth(cmd_rx.len());
+                    }
                     match cmd {
                         None => {
                             // Real-time tick.
+                            let armed = &mut armed;
                             scheme.tick(&mut |e| {
+                                if let Some(at) = armed.remove(&e.handle) {
+                                    observer.on_command_latency(e.fired_at.since(at));
+                                }
                                 let _ = exp_tx.send(Expiry {
                                     id: e.payload,
-                                    deadline: e.deadline.as_u64(),
-                                    fired_at: e.fired_at.as_u64(),
+                                    deadline: e.deadline,
+                                    fired_at: e.fired_at,
                                 });
                             });
                         }
@@ -135,9 +179,14 @@ impl TimerService {
                             interval,
                             reply,
                         }) => {
-                            let _ = reply.send(scheme.start_timer(interval, id));
+                            let result = scheme.start_timer(interval, id);
+                            if let Ok(handle) = result {
+                                armed.insert(handle, scheme.now());
+                            }
+                            let _ = reply.send(result);
                         }
                         Some(Cmd::Stop { handle, reply }) => {
+                            armed.remove(&handle);
                             let _ = reply.send(scheme.stop_timer(handle));
                         }
                         Some(Cmd::Advance { ticks, reply }) => {
@@ -158,6 +207,7 @@ impl TimerService {
                                     Err(_) => break,
                                 }
                             }
+                            observer.on_batch(windows.len());
                             let start = scheme.now().as_u64();
                             let bounds: Vec<u64> = windows
                                 .iter()
@@ -168,14 +218,18 @@ impl TimerService {
                                 .collect();
                             let mut counts = vec![0u64; windows.len()];
                             let end = bounds.last().copied().unwrap_or(start);
+                            let armed = &mut armed;
                             scheme.advance_to_with(Tick(end), &mut |e| {
                                 let fired_at = e.fired_at.as_u64();
                                 let w = bounds.partition_point(|&b| b < fired_at);
                                 counts[w] += 1;
+                                if let Some(at) = armed.remove(&e.handle) {
+                                    observer.on_command_latency(e.fired_at.since(at));
+                                }
                                 let _ = exp_tx.send(Expiry {
                                     id: e.payload,
-                                    deadline: e.deadline.as_u64(),
-                                    fired_at,
+                                    deadline: e.deadline,
+                                    fired_at: e.fired_at,
                                 });
                             });
                             for ((_, reply), fired) in windows.iter().zip(counts) {
@@ -206,11 +260,15 @@ impl TimerService {
     /// # Panics
     ///
     /// Panics if the service thread has died.
-    pub fn start_timer(&self, id: u64, interval: TickDelta) -> Result<TimerHandle, TimerError> {
+    pub fn start_timer(
+        &self,
+        id: impl Into<RequestId>,
+        interval: TickDelta,
+    ) -> Result<TimerHandle, TimerError> {
         let (tx, rx) = bounded(1);
         self.cmd
             .send(Cmd::Start {
-                id,
+                id: id.into(),
                 interval,
                 reply: tx,
             })
@@ -229,7 +287,7 @@ impl TimerService {
     /// # Panics
     ///
     /// Panics if the service thread has died.
-    pub fn stop_timer(&self, handle: TimerHandle) -> Result<u64, TimerError> {
+    pub fn stop_timer(&self, handle: TimerHandle) -> Result<RequestId, TimerError> {
         let (tx, rx) = bounded(1);
         self.cmd
             .send(Cmd::Stop { handle, reply: tx })
@@ -287,24 +345,27 @@ mod tests {
 
     #[test]
     fn virtual_time_flow() {
-        let svc = TimerService::spawn(HashedWheelUnsorted::<u64>::new(64));
+        let svc = TimerService::spawn(HashedWheelUnsorted::<RequestId>::new(64));
         svc.start_timer(1, TickDelta(5)).unwrap();
         svc.start_timer(2, TickDelta(3)).unwrap();
         assert_eq!(svc.outstanding(), 2);
         assert_eq!(svc.advance(4), 1);
         let e = svc.expiries().try_recv().unwrap();
-        assert_eq!((e.id, e.fired_at), (2, 3));
+        assert_eq!((e.id, e.fired_at), (RequestId(2), Tick(3)));
         assert_eq!(svc.advance(1), 1);
         let e = svc.expiries().try_recv().unwrap();
-        assert_eq!((e.id, e.fired_at), (1, 5));
+        assert_eq!((e.id, e.fired_at), (RequestId(1), Tick(5)));
+        assert_eq!(e.error(), 0, "Scheme 6a hashed wheel fires exactly");
         assert_eq!(svc.outstanding(), 0);
     }
 
     #[test]
     fn stop_via_service() {
-        let svc = TimerService::spawn(HierarchicalWheel::<u64>::new(LevelSizes(vec![16, 16])));
+        let svc = TimerService::spawn(HierarchicalWheel::<RequestId>::new(LevelSizes(vec![
+            16, 16,
+        ])));
         let h = svc.start_timer(42, TickDelta(100)).unwrap();
-        assert_eq!(svc.stop_timer(h), Ok(42));
+        assert_eq!(svc.stop_timer(h), Ok(RequestId(42)));
         assert_eq!(svc.stop_timer(h), Err(TimerError::Stale));
         assert_eq!(svc.advance(200), 0);
         assert!(svc.expiries().try_recv().is_err());
@@ -313,7 +374,9 @@ mod tests {
     #[test]
     fn many_clients_share_the_service() {
         use std::sync::Arc;
-        let svc = Arc::new(TimerService::spawn(HashedWheelUnsorted::<u64>::new(256)));
+        let svc = Arc::new(TimerService::spawn(HashedWheelUnsorted::<RequestId>::new(
+            256,
+        )));
         let threads: Vec<_> = (0..4u64)
             .map(|t| {
                 let svc = Arc::clone(&svc);
@@ -337,7 +400,9 @@ mod tests {
     #[test]
     fn concurrent_advance_bursts_attribute_each_fire_once() {
         use std::sync::Arc;
-        let svc = Arc::new(TimerService::spawn(HashedWheelUnsorted::<u64>::new(64)));
+        let svc = Arc::new(TimerService::spawn(HashedWheelUnsorted::<RequestId>::new(
+            64,
+        )));
         for i in 0..40u64 {
             svc.start_timer(i, TickDelta(i % 20 + 1)).unwrap();
         }
@@ -359,7 +424,7 @@ mod tests {
     #[test]
     fn realtime_ticker_fires() {
         let svc = TimerService::spawn_realtime(
-            HashedWheelUnsorted::<u64>::new(64),
+            HashedWheelUnsorted::<RequestId>::new(64),
             Duration::from_millis(1),
         );
         svc.start_timer(7, TickDelta(3)).unwrap();
@@ -367,7 +432,7 @@ mod tests {
             .expiries()
             .recv_timeout(Duration::from_secs(5))
             .expect("timer fires under the wall-clock ticker");
-        assert_eq!(e.id, 7);
+        assert_eq!(e.id, RequestId(7));
         assert_eq!(e.fired_at, e.deadline);
     }
 }

@@ -23,10 +23,10 @@
 //! [`CoarseLocked`]: crate::coarse::CoarseLocked
 
 use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use crate::sync::{Arc, Mutex};
+use crate::sync::{Arc, Mutex, MutexGuard};
 use tw_core::arena::{ListHead, TimerArena};
 use tw_core::time::ticks_of;
-use tw_core::{Expired, Tick, TickDelta, TimerError, TimerHandle};
+use tw_core::{Expired, NoopObserver, Observer, Tick, TickDelta, TimerError, TimerHandle};
 
 /// Handle to a timer in a [`ShardedWheel`]: the bucket plus the slab key
 /// within it.
@@ -43,11 +43,12 @@ struct Bucket<T> {
     processed_until: u64,
 }
 
-struct Shared<T> {
+struct Shared<T, O> {
     buckets: Vec<Mutex<Bucket<T>>>,
     now: AtomicU64,
     outstanding: AtomicUsize,
     tick_gate: Mutex<()>,
+    observer: O,
 }
 
 /// A concurrent Scheme 6 wheel. See the [module docs](self).
@@ -64,11 +65,11 @@ struct Shared<T> {
 /// std::thread::spawn(move || worker.stop_timer(h)).join().unwrap().unwrap();
 /// assert!(wheel.tick().is_empty());
 /// ```
-pub struct ShardedWheel<T> {
-    shared: Arc<Shared<T>>,
+pub struct ShardedWheel<T, O = NoopObserver> {
+    shared: Arc<Shared<T, O>>,
 }
 
-impl<T> Clone for ShardedWheel<T> {
+impl<T, O> Clone for ShardedWheel<T, O> {
     fn clone(&self) -> Self {
         ShardedWheel {
             shared: Arc::clone(&self.shared),
@@ -84,6 +85,20 @@ impl<T> ShardedWheel<T> {
     /// Panics if `table_size` is zero.
     #[must_use]
     pub fn new(table_size: usize) -> ShardedWheel<T> {
+        ShardedWheel::with_observer(table_size, NoopObserver)
+    }
+}
+
+impl<T, O: Observer> ShardedWheel<T, O> {
+    /// Creates a wheel with `table_size` buckets that reports to `observer`:
+    /// [`Observer::on_lock`] for every bucket-lock acquisition (flagging
+    /// contention) plus the five scheme hooks around start/stop/tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table_size` is zero.
+    #[must_use]
+    pub fn with_observer(table_size: usize, observer: O) -> ShardedWheel<T, O> {
         assert!(table_size > 0, "wheel needs at least one bucket");
         ShardedWheel {
             shared: Arc::new(Shared {
@@ -99,7 +114,21 @@ impl<T> ShardedWheel<T> {
                 now: AtomicU64::new(0),
                 outstanding: AtomicUsize::new(0),
                 tick_gate: Mutex::new(()),
+                observer,
             }),
+        }
+    }
+
+    /// Locks bucket `slot`, telling the observer whether the uncontended
+    /// fast path succeeded.
+    fn lock_shard(&self, slot: usize) -> MutexGuard<'_, Bucket<T>> {
+        if let Some(guard) = self.shared.buckets[slot].try_lock() {
+            self.shared.observer.on_lock(slot, false);
+            guard
+        } else {
+            let guard = self.shared.buckets[slot].lock();
+            self.shared.observer.on_lock(slot, true);
+            guard
         }
     }
 
@@ -134,7 +163,7 @@ impl<T> ShardedWheel<T> {
                 .checked_add_delta(interval)
                 .ok_or(TimerError::DeadlineOverflow)?
                 .slot_in(self.shared.buckets.len());
-            let mut bucket = self.shared.buckets[slot].lock();
+            let mut bucket = self.lock_shard(slot);
             // The clock may have advanced while we were acquiring the lock;
             // if that moved the target slot, retry against the fresh clock.
             let t2 = self.shared.now.load(Ordering::Acquire);
@@ -162,6 +191,8 @@ impl<T> ShardedWheel<T> {
             bucket.arena.push_back(&mut list, idx);
             bucket.list = list;
             self.shared.outstanding.fetch_add(1, Ordering::Relaxed);
+            drop(bucket);
+            self.shared.observer.on_start(Tick(t2), interval);
             return Ok(ShardHandle {
                 bucket: slot,
                 handle,
@@ -175,13 +206,15 @@ impl<T> ShardedWheel<T> {
     ///
     /// [`TimerError::Stale`] if the timer fired or was already stopped.
     pub fn stop_timer(&self, handle: ShardHandle) -> Result<T, TimerError> {
-        let mut bucket = self.shared.buckets[handle.bucket].lock();
+        let mut bucket = self.lock_shard(handle.bucket);
         let idx = bucket.arena.resolve(handle.handle)?;
         let mut list = std::mem::take(&mut bucket.list);
         bucket.arena.unlink(&mut list, idx);
         bucket.list = list;
         let payload = bucket.arena.free(idx);
         self.shared.outstanding.fetch_sub(1, Ordering::Relaxed);
+        drop(bucket);
+        self.shared.observer.on_stop(self.now());
         Ok(payload)
     }
 
@@ -200,10 +233,11 @@ impl<T> ShardedWheel<T> {
     pub fn tick_into(&self, out: &mut Vec<Expired<T>>) -> usize {
         let _gate = self.shared.tick_gate.lock();
         let t = self.shared.now.fetch_add(1, Ordering::AcqRel) + 1;
+        self.shared.observer.on_tick_begin(Tick(t - 1));
         let slot = Tick(t).slot_in(self.shared.buckets.len());
         let mut count = 0usize;
         {
-            let mut bucket = self.shared.buckets[slot].lock();
+            let mut bucket = self.lock_shard(slot);
             let mut list = std::mem::take(&mut bucket.list);
             let mut cur = list.first();
             while let Some(idx) = cur {
@@ -216,6 +250,7 @@ impl<T> ShardedWheel<T> {
                     debug_assert_eq!(deadline.as_u64(), t, "sharded wheel rounds invariant");
                     let payload = bucket.arena.free(idx);
                     count += 1;
+                    self.shared.observer.on_fire(deadline, Tick(t));
                     // tw-analyze: allow(TW004, reason = "appends to the caller-owned reusable buffer that is the point of tick_into; the buffer amortizes to zero allocations across ticks")
                     out.push(Expired {
                         handle,
@@ -231,6 +266,7 @@ impl<T> ShardedWheel<T> {
             bucket.processed_until = t;
         }
         self.shared.outstanding.fetch_sub(count, Ordering::Relaxed);
+        self.shared.observer.on_tick_end(Tick(t), count);
         count
     }
 
@@ -260,6 +296,7 @@ impl<T> ShardedWheel<T> {
         if t <= t0 {
             return 0;
         }
+        self.shared.observer.on_tick_begin(Tick(t0));
         // Publish the new clock first: a concurrent starter that observes it
         // computes deadlines beyond `t`; one that raced ahead with the old
         // clock is swept below (its node either fires exactly or has its
@@ -268,8 +305,8 @@ impl<T> ShardedWheel<T> {
         let n = ticks_of(self.shared.buckets.len());
         let start = out.len();
         let mut count = 0usize;
-        for (slot, bucket) in self.shared.buckets.iter().enumerate() {
-            let mut bucket = bucket.lock();
+        for slot in 0..self.shared.buckets.len() {
+            let mut bucket = self.lock_shard(slot);
             let mut list = std::mem::take(&mut bucket.list);
             let mut cur = list.first();
             while let Some(idx) = cur {
@@ -281,6 +318,7 @@ impl<T> ShardedWheel<T> {
                     let deadline = bucket.arena.node(idx).deadline;
                     let payload = bucket.arena.free(idx);
                     count += 1;
+                    self.shared.observer.on_fire(deadline, Tick(d));
                     // tw-analyze: allow(TW004, reason = "appends to the caller-owned reusable buffer that is the point of advance_into; one bucket sweep replaces a lock acquisition per elapsed tick")
                     out.push(Expired {
                         handle,
@@ -309,6 +347,7 @@ impl<T> ShardedWheel<T> {
         }
         self.shared.outstanding.fetch_sub(count, Ordering::Relaxed);
         out[start..].sort_unstable_by_key(|e| e.deadline.as_u64());
+        self.shared.observer.on_tick_end(Tick(t), count);
         count
     }
 
@@ -350,7 +389,7 @@ impl<T> ShardedWheel<T> {
         while k < batch.len() {
             let slot = batch[k].0;
             let run_end = k + batch[k..].iter().take_while(|&&(s, _)| s == slot).count();
-            let mut bucket = self.shared.buckets[slot].lock();
+            let mut bucket = self.lock_shard(slot);
             let t2 = self.shared.now.load(Ordering::Acquire);
             let mut inserted = 0usize;
             for &(_, i) in &batch[k..run_end] {
@@ -374,6 +413,7 @@ impl<T> ShardedWheel<T> {
                 bucket.arena.push_back(&mut list, idx);
                 bucket.list = list;
                 inserted += 1;
+                self.shared.observer.on_start(Tick(t2), interval);
                 results[i] = Some(Ok(ShardHandle {
                     bucket: slot,
                     handle,
@@ -395,7 +435,7 @@ impl<T> ShardedWheel<T> {
     }
 }
 
-impl<T> tw_core::validate::InvariantCheck for ShardedWheel<T> {
+impl<T, O: Observer> tw_core::validate::InvariantCheck for ShardedWheel<T, O> {
     /// Sharded-wheel invariants, checked under the tick gate (so no tick is
     /// mid-flight) and each bucket's lock in turn: per-bucket slab/list
     /// integrity, `processed_until` stamps that never run ahead of the clock

@@ -67,6 +67,24 @@ impl<T> Mutex<T> {
             self.inner.lock().expect("loom mutex")
         }
     }
+
+    /// Attempts the uncontended fast path, ignoring poison. `None` means
+    /// another thread holds the lock right now — which is what the
+    /// contention telemetry counts before falling back to [`lock`](Self::lock).
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        #[cfg(not(loom))]
+        {
+            match self.inner.try_lock() {
+                Ok(guard) => Some(guard),
+                Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            }
+        }
+        #[cfg(loom)]
+        {
+            self.inner.try_lock().ok()
+        }
+    }
 }
 
 /// An unbounded MPSC/MPMC FIFO used as the [`mpsc`](crate::mpsc) admission
@@ -320,6 +338,19 @@ pub mod channel {
         /// Drains currently queued messages without blocking.
         pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
             std::iter::from_fn(move || self.try_recv().ok())
+        }
+
+        /// Number of currently queued messages (racy snapshot: concurrent
+        /// sends and receives move it immediately). The service loop reports
+        /// this as its queue-depth telemetry.
+        pub fn len(&self) -> usize {
+            lock(&self.chan).queue.len()
+        }
+
+        /// Whether the queue is currently empty (racy, like
+        /// [`len`](Self::len)).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 

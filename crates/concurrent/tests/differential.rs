@@ -26,7 +26,7 @@ use std::thread;
 use proptest::prelude::*;
 use tw_concurrent::{MpscWheel, ShardedWheel};
 use tw_core::validate::InvariantCheck;
-use tw_core::wheel::{BasicWheel, OverflowPolicy};
+use tw_core::wheel::{BasicWheel, OverflowPolicy, WheelConfig};
 use tw_core::{Tick, TickDelta, TimerScheme, TimerSchemeExt};
 
 /// Case count per property, overridable by `TW_PROPTEST_CASES` (the
@@ -173,8 +173,12 @@ proptest! {
     #[test]
     fn sharded_matches_serial_oracle(schedule in schedule_strategy()) {
         let w: ShardedWheel<u64> = ShardedWheel::new(TABLE_SIZE);
-        let mut oracle: BasicWheel<u64> =
-            BasicWheel::with_policy(TABLE_SIZE, OverflowPolicy::OverflowList);
+        let mut oracle: BasicWheel<u64> = BasicWheel::try_from(
+            WheelConfig::new()
+                .slots(TABLE_SIZE)
+                .overflow(OverflowPolicy::OverflowList),
+        )
+        .unwrap();
         let mut books: Vec<Vec<(tw_concurrent::ShardHandle, u64)>> =
             vec![Vec::new(); THREADS];
         let mut oracle_books: Vec<Vec<(tw_core::TimerHandle, u64)>> =
@@ -267,8 +271,12 @@ proptest! {
     fn sharded_batch_apis_match_singular_and_oracle(schedule in batch_schedule_strategy()) {
         let wb: ShardedWheel<u64> = ShardedWheel::new(TABLE_SIZE);
         let ws: ShardedWheel<u64> = ShardedWheel::new(TABLE_SIZE);
-        let mut oracle: BasicWheel<u64> =
-            BasicWheel::with_policy(TABLE_SIZE, OverflowPolicy::OverflowList);
+        let mut oracle: BasicWheel<u64> = BasicWheel::try_from(
+            WheelConfig::new()
+                .slots(TABLE_SIZE)
+                .overflow(OverflowPolicy::OverflowList),
+        )
+        .unwrap();
         let mut batch_books: Vec<Vec<(tw_concurrent::ShardHandle, u64)>> =
             vec![Vec::new(); THREADS];
         let mut singular_books: Vec<Vec<(tw_concurrent::ShardHandle, u64)>> =
@@ -411,8 +419,12 @@ proptest! {
     #[test]
     fn mpsc_matches_serial_oracle(schedule in schedule_strategy()) {
         let w: MpscWheel<u64> = MpscWheel::new(TABLE_SIZE);
-        let mut oracle: BasicWheel<u64> =
-            BasicWheel::with_policy(TABLE_SIZE, OverflowPolicy::OverflowList);
+        let mut oracle: BasicWheel<u64> = BasicWheel::try_from(
+            WheelConfig::new()
+                .slots(TABLE_SIZE)
+                .overflow(OverflowPolicy::OverflowList),
+        )
+        .unwrap();
         let mut books: Vec<Vec<(tw_concurrent::MpscHandle, u64)>> =
             vec![Vec::new(); THREADS];
         let mut oracle_books: Vec<Vec<(tw_core::TimerHandle, u64)>> =

@@ -10,7 +10,13 @@ use crate::time::TickDelta;
 /// production facility must report the failure modes its data structures
 /// impose: bounded-range wheels reject out-of-range intervals, and stale
 /// handles must not be able to cancel an unrelated (recycled) timer.
+///
+/// The enum is `#[non_exhaustive]`: downstream matches need a wildcard arm,
+/// so the facility can grow failure modes (as [`Saturated`](Self::Saturated)
+/// and [`InvalidConfig`](Self::InvalidConfig) did) without a breaking
+/// change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TimerError {
     /// The interval was zero. A timer expires *after* `Interval` units (§2),
     /// so the smallest meaningful interval is one tick.
@@ -35,6 +41,20 @@ pub enum TimerError {
     /// is unrepresentable. A user-supplied interval must not be able to
     /// panic the facility (see [`Tick::checked_add_delta`](crate::Tick)).
     DeadlineOverflow,
+    /// A telemetry accumulator (histogram sum, clock counter) reached its
+    /// representable ceiling and is now pinned there: further recordings
+    /// are absorbed rather than wrapping, and the snapshot is a lower
+    /// bound. Reported by `tw-obs` saturation checks.
+    Saturated,
+    /// A [`WheelConfig`](crate::wheel::WheelConfig) build was rejected:
+    /// the knobs describe a wheel no scheme can construct (zero slots,
+    /// empty hierarchy, a `max_interval` beyond the range). Carries the
+    /// validator's reason. This replaces the ad-hoc constructor panics of
+    /// the per-wheel `new` paths.
+    InvalidConfig {
+        /// What the validator objected to.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for TimerError {
@@ -51,6 +71,15 @@ impl fmt::Display for TimerError {
             TimerError::UnknownRequestId => write!(f, "request id has no outstanding timer"),
             TimerError::DeadlineOverflow => {
                 write!(f, "deadline overflows the representable tick range")
+            }
+            TimerError::Saturated => {
+                write!(
+                    f,
+                    "telemetry accumulator saturated; snapshot is a lower bound"
+                )
+            }
+            TimerError::InvalidConfig { reason } => {
+                write!(f, "invalid wheel configuration: {reason}")
             }
         }
     }
@@ -75,11 +104,17 @@ mod tests {
             TimerError::DuplicateRequestId.to_string(),
             TimerError::UnknownRequestId.to_string(),
             TimerError::DeadlineOverflow.to_string(),
+            TimerError::Saturated.to_string(),
+            TimerError::InvalidConfig {
+                reason: "zero slots",
+            }
+            .to_string(),
         ];
         for m in &msgs {
             assert!(!m.is_empty());
         }
         assert!(msgs[1].contains("256"));
+        assert!(msgs[7].contains("zero slots"));
     }
 
     #[test]

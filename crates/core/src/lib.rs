@@ -64,6 +64,7 @@ pub mod error;
 pub mod facility;
 pub mod handle;
 pub mod model;
+pub mod observe;
 pub mod scheme;
 pub mod time;
 pub mod validate;
@@ -74,6 +75,7 @@ pub use counters::{OpCounters, VaxCostModel};
 pub use error::TimerError;
 pub use handle::{RequestId, TimerHandle};
 pub use model::OracleScheme;
+pub use observe::{NoopObserver, Observed, Observer};
 pub use scheme::{DeadlinePeek, Expired, TimerScheme, TimerSchemeExt};
 pub use time::{Tick, TickDelta};
 pub use validate::{Checked, InvariantCheck, InvariantViolation};

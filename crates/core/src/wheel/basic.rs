@@ -64,7 +64,7 @@ impl<T> BasicWheel<T> {
     /// Panics if `max_interval` is zero.
     #[must_use]
     pub fn new(max_interval: usize) -> BasicWheel<T> {
-        BasicWheel::with_policy(max_interval, OverflowPolicy::default())
+        BasicWheel::build(max_interval, OverflowPolicy::default())
     }
 
     /// Creates a wheel with an explicit [`OverflowPolicy`].
@@ -72,8 +72,20 @@ impl<T> BasicWheel<T> {
     /// # Panics
     ///
     /// Panics if `max_interval` is zero.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build through `wheel::WheelConfig` (`WheelConfig::new().slots(n).overflow(p)`), \
+                which validates instead of panicking; this shim lasts one release"
+    )]
     #[must_use]
     pub fn with_policy(max_interval: usize, overflow_policy: OverflowPolicy) -> BasicWheel<T> {
+        BasicWheel::build(max_interval, overflow_policy)
+    }
+
+    /// Shared constructor behind `new`, the deprecated `with_policy` shim,
+    /// and the validated [`WheelConfig`](crate::wheel::WheelConfig) path
+    /// (which checks `max_interval > 0` before calling).
+    pub(crate) fn build(max_interval: usize, overflow_policy: OverflowPolicy) -> BasicWheel<T> {
         assert!(max_interval > 0, "wheel needs at least one slot");
         BasicWheel {
             slots: (0..max_interval).map(|_| ListHead::new()).collect(),
@@ -407,9 +419,19 @@ mod tests {
         );
     }
 
+    /// The deprecated `with_policy` shim must keep routing through `build`
+    /// until its removal.
+    #[test]
+    #[allow(deprecated)]
+    fn with_policy_shim_still_constructs() {
+        let mut w: BasicWheel<u32> = BasicWheel::with_policy(8, OverflowPolicy::OverflowList);
+        w.start_timer(TickDelta(100), 7).unwrap();
+        assert_eq!(w.collect_ticks(100).len(), 1);
+    }
+
     #[test]
     fn cap_policy_fires_early_at_max() {
-        let mut w: BasicWheel<()> = BasicWheel::with_policy(8, OverflowPolicy::Cap);
+        let mut w: BasicWheel<()> = BasicWheel::build(8, OverflowPolicy::Cap);
         w.start_timer(TickDelta(100), ()).unwrap();
         let fired = w.collect_ticks(8);
         assert_eq!(fired.len(), 1);
@@ -420,7 +442,7 @@ mod tests {
 
     #[test]
     fn overflow_list_policy_fires_exactly() {
-        let mut w: BasicWheel<u32> = BasicWheel::with_policy(8, OverflowPolicy::OverflowList);
+        let mut w: BasicWheel<u32> = BasicWheel::build(8, OverflowPolicy::OverflowList);
         w.start_timer(TickDelta(21), 21).unwrap();
         w.start_timer(TickDelta(8), 8).unwrap();
         w.start_timer(TickDelta(9), 9).unwrap();
@@ -436,7 +458,7 @@ mod tests {
 
     #[test]
     fn stop_from_wheel_and_overflow() {
-        let mut w: BasicWheel<u32> = BasicWheel::with_policy(4, OverflowPolicy::OverflowList);
+        let mut w: BasicWheel<u32> = BasicWheel::build(4, OverflowPolicy::OverflowList);
         let h1 = w.start_timer(TickDelta(2), 1).unwrap();
         let h2 = w.start_timer(TickDelta(20), 2).unwrap();
         assert_eq!(w.stop_timer(h1), Ok(1));
@@ -500,7 +522,7 @@ mod tests {
     #[test]
     fn bitmap_advance_skips_empty_slots_entirely() {
         use crate::scheme::TimerScheme;
-        let mut w: BasicWheel<u32> = BasicWheel::with_policy(1024, OverflowPolicy::OverflowList);
+        let mut w: BasicWheel<u32> = BasicWheel::build(1024, OverflowPolicy::OverflowList);
         w.start_timer(TickDelta(700), 700).unwrap();
         w.start_timer(TickDelta(1500), 1500).unwrap(); // overflow-parked
         w.reset_counters();
@@ -526,7 +548,7 @@ mod tests {
     fn bitmap_advance_matches_per_tick_loop() {
         use crate::scheme::TimerScheme;
         let mk = || {
-            let mut w: BasicWheel<u32> = BasicWheel::with_policy(64, OverflowPolicy::OverflowList);
+            let mut w: BasicWheel<u32> = BasicWheel::build(64, OverflowPolicy::OverflowList);
             for (j, id) in [(1u64, 0u32), (63, 1), (64, 2), (65, 3), (200, 4)] {
                 w.start_timer(TickDelta(j), id).unwrap();
             }
@@ -548,7 +570,7 @@ mod tests {
 
     #[test]
     fn unrepresentable_deadline_is_an_error_not_a_panic() {
-        let mut w: BasicWheel<()> = BasicWheel::with_policy(8, OverflowPolicy::OverflowList);
+        let mut w: BasicWheel<()> = BasicWheel::build(8, OverflowPolicy::OverflowList);
         w.run_ticks(1);
         assert_eq!(
             w.start_timer(TickDelta(u64::MAX), ()),

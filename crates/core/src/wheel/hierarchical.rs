@@ -111,7 +111,7 @@ impl<T> HierarchicalWheel<T> {
     /// Panics if `sizes` is invalid (see [`LevelSizes::validate`]).
     #[must_use]
     pub fn new(sizes: LevelSizes) -> HierarchicalWheel<T> {
-        HierarchicalWheel::with_policies(
+        HierarchicalWheel::build(
             sizes,
             InsertRule::default(),
             MigrationPolicy::default(),
@@ -125,8 +125,26 @@ impl<T> HierarchicalWheel<T> {
     ///
     /// Panics if `sizes` is invalid or its total slot count exceeds `u32`
     /// range.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build through `wheel::WheelConfig` \
+                (`WheelConfig::new().granularities(sizes).insert_rule(r).migration(m).overflow(p)`), \
+                which validates instead of panicking; this shim lasts one release"
+    )]
     #[must_use]
     pub fn with_policies(
+        sizes: LevelSizes,
+        insert_rule: InsertRule,
+        migration_policy: MigrationPolicy,
+        overflow_policy: OverflowPolicy,
+    ) -> HierarchicalWheel<T> {
+        HierarchicalWheel::build(sizes, insert_rule, migration_policy, overflow_policy)
+    }
+
+    /// Shared constructor behind `new`, the deprecated `with_policies`
+    /// shim, and the validated [`WheelConfig`](crate::wheel::WheelConfig)
+    /// path (which runs [`LevelSizes::try_validate`] before calling).
+    pub(crate) fn build(
         sizes: LevelSizes,
         insert_rule: InsertRule,
         migration_policy: MigrationPolicy,
@@ -686,6 +704,21 @@ mod tests {
         LevelSizes(vec![8, 8, 8]) // range 512
     }
 
+    /// The deprecated `with_policies` shim must keep routing through `build`
+    /// until its removal.
+    #[test]
+    #[allow(deprecated)]
+    fn with_policies_shim_still_constructs() {
+        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
+            small(),
+            InsertRule::Digit,
+            MigrationPolicy::Full,
+            OverflowPolicy::Reject,
+        );
+        w.start_timer(TickDelta(100), 100).unwrap();
+        assert_eq!(w.collect_ticks(100).len(), 1);
+    }
+
     #[test]
     fn fires_exactly_across_levels_digit_rule() {
         let mut w: HierarchicalWheel<u64> = HierarchicalWheel::new(small());
@@ -706,7 +739,7 @@ mod tests {
 
     #[test]
     fn fires_exactly_across_levels_covering_rule() {
-        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
+        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::build(
             small(),
             InsertRule::Covering,
             MigrationPolicy::Full,
@@ -770,7 +803,7 @@ mod tests {
     #[test]
     fn covering_rule_skips_migrations_when_wraparound_suffices() {
         let mut wd: HierarchicalWheel<()> = HierarchicalWheel::new(small());
-        let mut wc: HierarchicalWheel<()> = HierarchicalWheel::with_policies(
+        let mut wc: HierarchicalWheel<()> = HierarchicalWheel::build(
             small(),
             InsertRule::Covering,
             MigrationPolicy::Full,
@@ -794,7 +827,7 @@ mod tests {
     #[test]
     fn no_migration_policy_error_bounded_by_half_granularity() {
         let sizes = LevelSizes(vec![16, 16]); // level 1 granularity 16
-        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
+        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::build(
             sizes,
             InsertRule::Digit,
             MigrationPolicy::None,
@@ -822,7 +855,7 @@ mod tests {
     #[test]
     fn single_migration_policy_tightens_error() {
         let sizes = LevelSizes(vec![16, 16, 16]); // granularities 1, 16, 256
-        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
+        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::build(
             sizes.clone(),
             InsertRule::Digit,
             MigrationPolicy::Single,
@@ -850,7 +883,7 @@ mod tests {
     #[test]
     fn overflow_policies() {
         let sizes = LevelSizes(vec![4, 4]); // range 16, max interval 15
-        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
+        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::build(
             sizes.clone(),
             InsertRule::Digit,
             MigrationPolicy::Full,
@@ -861,7 +894,7 @@ mod tests {
             Err(TimerError::IntervalOutOfRange { max: TickDelta(15) })
         );
 
-        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
+        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::build(
             sizes.clone(),
             InsertRule::Digit,
             MigrationPolicy::Full,
@@ -874,7 +907,7 @@ mod tests {
         assert_eq!(fired[0].fired_at, Tick(50));
         assert_eq!(fired[0].error(), 0);
 
-        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
+        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::build(
             sizes,
             InsertRule::Digit,
             MigrationPolicy::Full,
@@ -887,7 +920,7 @@ mod tests {
 
     #[test]
     fn stop_timer_at_any_level_and_overflow() {
-        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
+        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::build(
             small(),
             InsertRule::Digit,
             MigrationPolicy::Full,
@@ -950,7 +983,7 @@ mod tests {
     #[test]
     fn bitmap_advance_matches_per_tick_loop_across_levels() {
         let make = || {
-            let mut w: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
+            let mut w: HierarchicalWheel<u64> = HierarchicalWheel::build(
                 small(),
                 InsertRule::Digit,
                 MigrationPolicy::Full,

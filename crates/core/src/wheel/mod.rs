@@ -20,7 +20,7 @@ pub mod hybrid;
 
 pub use basic::BasicWheel;
 pub use clockwork::ClockworkWheel;
-pub use config::{LevelSizes, MigrationPolicy, OverflowPolicy};
+pub use config::{LevelSizes, MigrationPolicy, OverflowPolicy, WheelConfig};
 pub use hashed_sorted::HashedWheelSorted;
 pub use hashed_unsorted::HashedWheelUnsorted;
 pub use hierarchical::{HierarchicalWheel, InsertRule};

@@ -9,9 +9,36 @@
 use proptest::prelude::*;
 use tw_core::wheel::{
     BasicWheel, ClockworkWheel, HashedWheelSorted, HashedWheelUnsorted, HierarchicalWheel,
-    HybridWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy,
+    HybridWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy, WheelConfig,
 };
-use tw_core::{OracleScheme, Tick, TickDelta, TimerScheme};
+use tw_core::{NoopObserver, Observed, OracleScheme, Tick, TickDelta, TimerScheme};
+
+/// An 8/8/8 hierarchy with every policy knob explicit, built through the
+/// validating [`WheelConfig`] path the public API now recommends.
+fn hierarchy888(
+    rule: InsertRule,
+    migration: MigrationPolicy,
+    overflow: OverflowPolicy,
+) -> HierarchicalWheel<u64> {
+    HierarchicalWheel::try_from(
+        WheelConfig::new()
+            .granularities(LevelSizes(vec![8, 8, 8]))
+            .insert_rule(rule)
+            .migration(migration)
+            .overflow(overflow),
+    )
+    .expect("8/8/8 hierarchy config is statically valid")
+}
+
+/// A bounded wheel that parks far timers on the overflow list.
+fn basic_overflow(slots: usize) -> BasicWheel<u64> {
+    BasicWheel::try_from(
+        WheelConfig::new()
+            .slots(slots)
+            .overflow(OverflowPolicy::OverflowList),
+    )
+    .expect("overflow-list config is statically valid")
+}
 
 /// With `--features checked` every scheme under test (and the oracle itself)
 /// runs inside [`tw_core::Checked`], which re-validates the full structural
@@ -129,10 +156,7 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(200), 1..300),
     ) {
         // Intervals up to 200 on an 8-slot wheel: heavy overflow traffic.
-        check_equivalence(
-            harness(BasicWheel::<u64>::with_policy(8, OverflowPolicy::OverflowList)),
-            ops,
-        )?;
+        check_equivalence(harness(basic_overflow(8)), ops)?;
     }
 
     #[test]
@@ -165,8 +189,7 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(511), 1..300),
     ) {
         check_equivalence(
-            harness(HierarchicalWheel::<u64>::with_policies(
-                LevelSizes(vec![8, 8, 8]),
+            harness(hierarchy888(
                 InsertRule::Covering,
                 MigrationPolicy::Full,
                 OverflowPolicy::Reject,
@@ -188,6 +211,19 @@ proptest! {
         ops in proptest::collection::vec(op_strategy(511), 1..300),
     ) {
         check_equivalence(harness(ClockworkWheel::<u64>::new(LevelSizes(vec![8, 8, 8]))), ops)?;
+    }
+
+    /// The observer wrapper must be behaviourally transparent: an
+    /// [`Observed`] scheme (here with the default no-op hooks) produces the
+    /// exact oracle trace of the wheel it wraps.
+    #[test]
+    fn observed_wrapper_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(500), 1..300),
+    ) {
+        check_equivalence(
+            harness(Observed::new(HashedWheelUnsorted::<u64>::new(16), NoopObserver)),
+            ops,
+        )?;
     }
 
     /// The literal §6.2 mechanism (update-timer records) and the arithmetic
@@ -236,8 +272,7 @@ proptest! {
     ) {
         // Range 512; intervals up to 4000 exercise the overflow list hard.
         check_equivalence(
-            harness(HierarchicalWheel::<u64>::with_policies(
-                LevelSizes(vec![8, 8, 8]),
+            harness(hierarchy888(
                 InsertRule::Digit,
                 MigrationPolicy::Full,
                 OverflowPolicy::OverflowList,
@@ -261,8 +296,7 @@ proptest! {
     fn hierarchical_nomig_bounded_error(
         ops in proptest::collection::vec(op_strategy(511), 1..300),
     ) {
-        let mut scheme = HierarchicalWheel::<u64>::with_policies(
-            LevelSizes(vec![8, 8, 8]),
+        let mut scheme = hierarchy888(
             InsertRule::Digit,
             MigrationPolicy::None,
             OverflowPolicy::Reject,
@@ -441,11 +475,7 @@ proptest! {
     fn basic_wheel_advance_matches_tick_loop_and_oracle(
         ops in proptest::collection::vec(jump_op_strategy(200, 300), 1..60),
     ) {
-        check_advance_equivalence(
-            harness(BasicWheel::<u64>::with_policy(32, OverflowPolicy::OverflowList)),
-            harness(BasicWheel::<u64>::with_policy(32, OverflowPolicy::OverflowList)),
-            ops,
-        )?;
+        check_advance_equivalence(harness(basic_overflow(32)), harness(basic_overflow(32)), ops)?;
     }
 
     #[test]
@@ -474,8 +504,7 @@ proptest! {
     fn hierarchical_advance_matches_tick_loop_and_oracle(
         ops in proptest::collection::vec(jump_op_strategy(2000, 700), 1..50),
     ) {
-        let make = || HierarchicalWheel::<u64>::with_policies(
-            LevelSizes(vec![8, 8, 8]),
+        let make = || hierarchy888(
             InsertRule::Digit,
             MigrationPolicy::Full,
             OverflowPolicy::OverflowList,
@@ -487,8 +516,7 @@ proptest! {
     fn hierarchical_covering_advance_matches_tick_loop_and_oracle(
         ops in proptest::collection::vec(jump_op_strategy(511, 700), 1..50),
     ) {
-        let make = || HierarchicalWheel::<u64>::with_policies(
-            LevelSizes(vec![8, 8, 8]),
+        let make = || hierarchy888(
             InsertRule::Covering,
             MigrationPolicy::Full,
             OverflowPolicy::Reject,
@@ -548,12 +576,11 @@ proptest! {
             }
             Ok(())
         }
-        drive(BasicWheel::<u64>::with_policy(32, OverflowPolicy::OverflowList), &ops)?;
+        drive(basic_overflow(32), &ops)?;
         drive(HashedWheelSorted::<u64>::new(16), &ops)?;
         drive(HashedWheelUnsorted::<u64>::new(16), &ops)?;
         drive(
-            HierarchicalWheel::<u64>::with_policies(
-                LevelSizes(vec![8, 8, 8]),
+            hierarchy888(
                 InsertRule::Digit,
                 MigrationPolicy::Full,
                 OverflowPolicy::OverflowList,
@@ -571,12 +598,7 @@ proptest! {
 fn nomig_and_single_fire_once_with_bounded_error() {
     for policy in [MigrationPolicy::None, MigrationPolicy::Single] {
         for rule in [InsertRule::Digit, InsertRule::Covering] {
-            let mut scheme = HierarchicalWheel::<u64>::with_policies(
-                LevelSizes(vec![8, 8, 8]),
-                rule,
-                policy,
-                OverflowPolicy::Reject,
-            );
+            let mut scheme = hierarchy888(rule, policy, OverflowPolicy::Reject);
             // Stagger start times to hit many digit alignments.
             let mut expected = 0u64;
             for s in 0..40u64 {
@@ -669,11 +691,7 @@ fn checked_schemes_survive_10k_op_churn() {
     }
 
     churn(BasicWheel::<u64>::new(32), 32, 0xA1);
-    churn(
-        BasicWheel::<u64>::with_policy(8, OverflowPolicy::OverflowList),
-        200,
-        0xA2,
-    );
+    churn(basic_overflow(8), 200, 0xA2);
     churn(HashedWheelSorted::<u64>::new(16), 500, 0xA3);
     churn(HashedWheelUnsorted::<u64>::new(16), 500, 0xA4);
     churn(HashedWheelUnsorted::<u64>::new(1), 100, 0xA5);
@@ -683,8 +701,7 @@ fn checked_schemes_survive_10k_op_churn() {
         0xA6,
     );
     churn(
-        HierarchicalWheel::<u64>::with_policies(
-            LevelSizes(vec![8, 8, 8]),
+        hierarchy888(
             InsertRule::Digit,
             MigrationPolicy::Full,
             OverflowPolicy::OverflowList,

@@ -1,0 +1,135 @@
+//! Point-in-time telemetry exports with hand-rolled JSON rendering.
+//!
+//! The workspace is offline (no serde), so [`Snapshot::to_json`] writes the
+//! JSON by hand: keys are `&'static str` identifiers chosen to need no
+//! escaping, values are integers, and the output is deterministic
+//! (insertion order), so tests and scrapers can match it byte-for-byte.
+
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+
+/// A flat, ordered bundle of counters and histogram summaries taken at one
+/// instant, ready to render as JSON.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Which telemetry produced this (e.g. `"scheme"`, `"service"`).
+    pub name: &'static str,
+    /// Monotonic event counters, in insertion order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Histogram summaries, in insertion order.
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// An empty snapshot labelled `name`.
+    pub fn new(name: &'static str) -> Snapshot {
+        Snapshot {
+            name,
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Appends a counter.
+    pub fn counter(&mut self, key: &'static str, value: u64) -> &mut Snapshot {
+        self.counters.push((key, value));
+        self
+    }
+
+    /// Appends a histogram summary.
+    pub fn histogram(&mut self, key: &'static str, value: HistogramSnapshot) -> &mut Snapshot {
+        self.histograms.push((key, value));
+        self
+    }
+
+    /// Looks up a counter by key.
+    pub fn get_counter(&self, key: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram summary by key.
+    pub fn get_histogram(&self, key: &str) -> Option<HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    /// Renders the snapshot as a single-line JSON object:
+    ///
+    /// ```json
+    /// {"name":"scheme","counters":{"starts":20,...},
+    ///  "histograms":{"firing_error":{"count":19,"max":0,...},...}}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        // Writing to a String cannot fail; ignore the fmt plumbing results.
+        let _ = write!(out, "{{\"name\":\"{}\",\"counters\":{{", self.name);
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\"{k}\":{v}");
+        }
+        let _ = write!(out, "}},\"histograms\":{{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\"{k}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                h.count, h.sum, h.max, h.p50, h.p90, h.p99
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_deterministic_and_complete() {
+        let mut s = Snapshot::new("scheme");
+        s.counter("starts", 3).counter("fires", 2);
+        s.histogram(
+            "firing_error",
+            HistogramSnapshot {
+                count: 2,
+                sum: 5,
+                max: 4,
+                p50: 1,
+                p90: 7,
+                p99: 7,
+            },
+        );
+        assert_eq!(
+            s.to_json(),
+            "{\"name\":\"scheme\",\"counters\":{\"starts\":3,\"fires\":2},\
+             \"histograms\":{\"firing_error\":{\"count\":2,\"sum\":5,\"max\":4,\
+             \"p50\":1,\"p90\":7,\"p99\":7}}}"
+        );
+    }
+
+    #[test]
+    fn empty_sections_render_as_empty_objects() {
+        let s = Snapshot::new("empty");
+        assert_eq!(
+            s.to_json(),
+            "{\"name\":\"empty\",\"counters\":{},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn lookup_by_key() {
+        let mut s = Snapshot::new("x");
+        s.counter("a", 1);
+        s.histogram("h", HistogramSnapshot::default());
+        assert_eq!(s.get_counter("a"), Some(1));
+        assert_eq!(s.get_counter("b"), None);
+        assert!(s.get_histogram("h").is_some());
+    }
+}

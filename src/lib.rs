@@ -49,6 +49,8 @@ pub use tw_core as core;
 pub use tw_des as des;
 pub use tw_hwsim as hwsim;
 pub use tw_netsim as netsim;
+#[cfg(feature = "obs")]
+pub use tw_obs as obs;
 pub use tw_workload as workload;
 
 /// The most common imports in one place.
@@ -60,10 +62,10 @@ pub mod prelude {
     pub use tw_core::facility::{ExpiryAction, TimerFacility};
     pub use tw_core::wheel::{
         BasicWheel, ClockworkWheel, HashedWheelSorted, HashedWheelUnsorted, HierarchicalWheel,
-        HybridWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy,
+        HybridWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy, WheelConfig,
     };
     pub use tw_core::{
-        DeadlinePeek, Expired, OracleScheme, RequestId, Tick, TickDelta, TimerError, TimerHandle,
-        TimerScheme, TimerSchemeExt,
+        DeadlinePeek, Expired, NoopObserver, Observed, Observer, OracleScheme, RequestId, Tick,
+        TickDelta, TimerError, TimerHandle, TimerScheme, TimerSchemeExt,
     };
 }

@@ -136,9 +136,11 @@ fn hardware_assist_orderings_hold() {
 fn timer_service_over_three_schemes() {
     for scheme in [0usize, 1, 2] {
         let svc = match scheme {
-            0 => TimerService::spawn(HashedWheelUnsorted::<u64>::new(64)),
-            1 => TimerService::spawn(HierarchicalWheel::<u64>::new(LevelSizes(vec![16, 16]))),
-            _ => TimerService::spawn(OracleScheme::<u64>::new()),
+            0 => TimerService::spawn(HashedWheelUnsorted::<RequestId>::new(64)),
+            1 => TimerService::spawn(HierarchicalWheel::<RequestId>::new(LevelSizes(vec![
+                16, 16,
+            ]))),
+            _ => TimerService::spawn(OracleScheme::<RequestId>::new()),
         };
         for i in 0..20 {
             svc.start_timer(i, TickDelta(i + 1)).unwrap();
@@ -146,6 +148,6 @@ fn timer_service_over_three_schemes() {
         assert_eq!(svc.advance(25), 20);
         let mut fired: Vec<_> = svc.expiries().try_iter().map(|e| e.id).collect();
         fired.sort_unstable();
-        assert_eq!(fired, (0..20).collect::<Vec<_>>());
+        assert_eq!(fired, (0..20).map(RequestId).collect::<Vec<_>>());
     }
 }
