@@ -1,0 +1,788 @@
+//! TW010 — tick-monotonicity and slot-index choke-point dataflow.
+//!
+//! Two abstract-domain facts keep the §2 model honest at runtime:
+//!
+//! * **The clock never moves backward.** Every store to a `now` field or
+//!   atomic (`self.now = ..`, `now.store(..)`) must be *provably
+//!   non-decreasing*: either the stored value is derived from `now` by an
+//!   additive step (`+`, `next()`, `checked_add`, `saturating_add`,
+//!   `max`), or the enclosing function compares the stored value against
+//!   the current clock (an `if`/`while` condition mentioning both, with a
+//!   `<`/`>` ordering) before the store. Anything else is TW010.
+//! * **Every slot index flows through a choke point.** §6.1's hash is
+//!   `H = T mod N`; the only blessed reduction sites are the `Tick`
+//!   helpers (`slot_in`, `slot_masked`, `slot_index`, `ticks_of`,
+//!   `pow2_mask`), the arena's `slab_index`, or a literal `%`/`&` mask in
+//!   the expression. An index expression with none of these must resolve —
+//!   through local `let`s, `for`-range bindings, and field assignments —
+//!   to a choked value, carry a `fact(slot_bounded)` annotation, or it is
+//!   TW010.
+//!
+//! Function parameters used directly as indexes shift the obligation to
+//! the caller: every call site must pass a choked value (the *call-site
+//! protocol*), so `lock_shard(&self, slot: usize)` stays clean while an
+//! unchoked `lock_shard(h)` at a call site is flagged where the bad value
+//! originates.
+
+use std::collections::{BTreeSet, HashSet};
+
+use crate::lexer::{TokKind, Token};
+use crate::model::SourceFile;
+use crate::rules::Violation;
+use crate::summaries::{is_call_site, WorkspaceModel};
+
+/// Crates whose clocks are checked for monotone stores.
+const CLOCK_CRATES: [&str; 4] = ["tw-core", "tw-concurrent", "tw-des", "tw-baselines"];
+/// Crates whose `slots[..]` / `buckets[..]` indexes must be choked.
+const SLOT_CRATES: [&str; 2] = ["tw-core", "tw-concurrent"];
+
+const CHOKE_IDENTS: [&str; 6] = [
+    "slot_in",
+    "slot_masked",
+    "slot_index",
+    "ticks_of",
+    "slab_index",
+    "pow2_mask",
+];
+
+const MONOTONE_STEPS: [&str; 5] = [
+    "next",
+    "checked_add",
+    "saturating_add",
+    "wrapping_add",
+    "max",
+];
+
+pub fn tw010(model: &WorkspaceModel<'_>, out: &mut Vec<Violation>) {
+    // (node index, zero-based non-self param position, param name):
+    // indexes that defer to the call-site protocol.
+    let mut protocol: Vec<(usize, usize, String)> = Vec::new();
+    let mut hits: BTreeSet<(String, u32, String)> = BTreeSet::new();
+
+    for i in 0..model.nodes.len() {
+        let n = &model.nodes[i];
+        let toks = &n.file.lexed.tokens;
+        if CLOCK_CRATES.contains(&n.file.krate.as_str()) {
+            check_clock_stores(n.file, i, model, &mut hits);
+        }
+        if SLOT_CRATES.contains(&n.file.krate.as_str()) {
+            for k in n.item.body.0..n.item.body.1 {
+                let t = &toks[k];
+                if t.kind != TokKind::Ident
+                    || !matches!(t.text.as_str(), "slots" | "buckets")
+                    || !toks.get(k + 1).is_some_and(|x| x.is_punct('['))
+                {
+                    continue;
+                }
+                let close = matching_sq(toks, k + 1);
+                let expr = &toks[k + 2..close];
+                if expr.is_empty() {
+                    continue;
+                }
+                if use_site_fact(n.file, toks[k].line) {
+                    continue;
+                }
+                match classify(model, i, expr, &mut HashSet::new(), 0) {
+                    Safety::Safe => {}
+                    Safety::Param(name) => {
+                        if let Some(pos) = nonself_param_pos(model, i, &name) {
+                            protocol.push((i, pos, name));
+                        } else {
+                            flag_index(n.file, toks[k].line, expr, &mut hits);
+                        }
+                    }
+                    Safety::Unsafe => flag_index(n.file, toks[k].line, expr, &mut hits),
+                }
+            }
+        }
+    }
+
+    enforce_protocol(model, &protocol, &mut hits);
+    for (path, line, msg) in hits {
+        out.push(Violation::new("TW010", &path, line, msg));
+    }
+}
+
+fn flag_index(
+    file: &SourceFile,
+    line: u32,
+    expr: &[Token],
+    hits: &mut BTreeSet<(String, u32, String)>,
+) {
+    hits.insert((
+        file.path.clone(),
+        line,
+        format!(
+            "slot index `{}` does not flow through a `% table_size`/mask choke point \
+             (expected one of {:?}, a masking op, or a fact(slot_bounded) annotation)",
+            render(expr),
+            CHOKE_IDENTS
+        ),
+    ));
+}
+
+fn render(expr: &[Token]) -> String {
+    let mut s = String::new();
+    for t in expr.iter().take(12) {
+        if !s.is_empty() && t.kind != TokKind::Punct && !s.ends_with(['.', '(', '[']) {
+            s.push(' ');
+        }
+        s.push_str(&t.text);
+    }
+    if expr.len() > 12 {
+        s.push('…');
+    }
+    s
+}
+
+enum Safety {
+    Safe,
+    Unsafe,
+    /// The expression is (only) an unassigned parameter of the enclosing
+    /// fn: defer to the call-site protocol.
+    Param(String),
+}
+
+/// Is this index expression provably reduced?
+///
+/// A pure member/index chain is judged by its *last* identifier — the
+/// field or local whose value actually flows into the slot (`handle.bucket`
+/// is the `bucket` field; `slot as usize` is `slot`). Receivers earlier in
+/// the chain are plumbing, not values.
+fn classify(
+    model: &WorkspaceModel<'_>,
+    i: usize,
+    expr: &[Token],
+    visited: &mut HashSet<String>,
+    depth: usize,
+) -> Safety {
+    if has_choke(expr) {
+        return Safety::Safe;
+    }
+    if expr.iter().all(|t| t.kind != TokKind::Ident) {
+        // Literals only (`0`, `batch[0].1` minus idents never happens, but
+        // `0` and `0usize` do).
+        return Safety::Safe;
+    }
+    if !is_pure_chain(expr) {
+        return Safety::Unsafe;
+    }
+    let Some(last) = expr
+        .iter()
+        .rev()
+        .filter(|t| t.kind == TokKind::Ident)
+        .find(|t| {
+            !matches!(
+                t.text.as_str(),
+                "self" | "as" | "usize" | "u64" | "u32" | "len"
+            )
+        })
+    else {
+        return Safety::Safe; // `self`, casts, nothing of substance
+    };
+    let name = last.text.as_str();
+    // SCREAMING_SNAKE names are compile-time constants (`OVERFLOW_BUCKET`
+    // sentinels): deliberate, never a stray hash value.
+    if is_const_name(name) {
+        return Safety::Safe;
+    }
+    if visited.contains(name) {
+        return Safety::Safe; // already on the resolution path: neutral
+    }
+    match resolve_ident(model, i, name, visited, depth) {
+        Safety::Safe => Safety::Safe,
+        Safety::Unsafe => Safety::Unsafe,
+        Safety::Param(p) => {
+            if depth == 0 && expr_is_single_ident(expr, &p) {
+                Safety::Param(p)
+            } else if depth > 0 {
+                // A parameter feeding a *nested* resolution: judged at its
+                // own call sites is impractical here; be conservative.
+                Safety::Unsafe
+            } else {
+                Safety::Unsafe
+            }
+        }
+    }
+}
+
+fn is_const_name(name: &str) -> bool {
+    name.len() > 1
+        && name
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+/// A `fact(slot_bounded)` on the use site's line or the line above.
+fn use_site_fact(file: &SourceFile, line: u32) -> bool {
+    file.lexed
+        .facts
+        .iter()
+        .any(|f| f.name == "slot_bounded" && (f.line == line || f.line + 1 == line))
+}
+
+/// Does `name`, in the context of fn node `i`, hold a choked value on
+/// every assignment?
+fn resolve_ident(
+    model: &WorkspaceModel<'_>,
+    i: usize,
+    name: &str,
+    visited: &mut HashSet<String>,
+    depth: usize,
+) -> Safety {
+    if depth > 3 {
+        return Safety::Unsafe;
+    }
+    visited.insert(name.to_string());
+    let n = &model.nodes[i];
+    let toks = &n.file.lexed.tokens;
+    let facts: Vec<u32> = n
+        .file
+        .lexed
+        .facts
+        .iter()
+        .filter(|f| f.name == "slot_bounded")
+        .map(|f| f.line)
+        .collect();
+    let mut found = false;
+    // Fn-local `let [mut] name = rhs;` and `for name in range`.
+    for k in n.item.body.0..n.item.body.1 {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident || t.text != name {
+            continue;
+        }
+        let is_let = k >= 1
+            && (toks[k - 1].is_ident("let")
+                || (toks[k - 1].is_ident("mut") && k >= 2 && toks[k - 2].is_ident("let")))
+            && toks.get(k + 1).is_some_and(|x| x.is_punct('='))
+            && !toks.get(k + 2).is_some_and(|x| x.is_punct('='));
+        let is_reassign = k >= 1
+            && !toks[k - 1].is_punct('.')
+            && !toks[k - 1].is_ident("let")
+            && !toks[k - 1].is_ident("mut")
+            && stmt_initial(&toks[k - 1])
+            && toks.get(k + 1).is_some_and(|x| x.is_punct('='))
+            && !toks.get(k + 2).is_some_and(|x| x.is_punct('='));
+        if is_let || is_reassign {
+            found = true;
+            if fact_covers(&facts, t.line) {
+                continue;
+            }
+            let rhs = rhs_span(toks, k + 2, n.item.body.1);
+            match classify(model, i, rhs, visited, depth + 1) {
+                Safety::Safe => {}
+                _ => return Safety::Unsafe,
+            }
+            continue;
+        }
+        if k >= 1
+            && toks[k - 1].is_ident("for")
+            && toks.get(k + 1).is_some_and(|x| x.is_ident("in"))
+        {
+            found = true;
+            if fact_covers(&facts, t.line) {
+                continue;
+            }
+            let range = range_span(toks, k + 2, n.item.body.1);
+            if has_choke(range) || range.iter().any(|t| t.is_ident("len")) {
+                continue;
+            }
+            return Safety::Unsafe;
+        }
+    }
+    // File-wide field assignments `. name = rhs;` and struct-literal
+    // inits `name: rhs,` (cursor updates and handle construction live in
+    // other methods of the same type). The rhs is classified in the
+    // context of the fn that *performs* the write, not the one querying.
+    for k in 0..toks.len() {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident || t.text != name || n.file.in_test_region(k) {
+            continue;
+        }
+        let field_assign = k >= 1
+            && toks[k - 1].is_punct('.')
+            && toks.get(k + 1).is_some_and(|x| x.is_punct('='))
+            && !toks.get(k + 2).is_some_and(|x| x.is_punct('='));
+        let literal_init = k >= 1
+            && (toks[k - 1].is_punct('{') || toks[k - 1].is_punct(','))
+            && toks.get(k + 1).is_some_and(|x| x.is_punct(':'))
+            && !toks.get(k + 2).is_some_and(|x| x.is_punct(':'));
+        if !field_assign && !literal_init {
+            continue;
+        }
+        // Writes outside any fn body (struct definitions, consts) are
+        // type declarations, not dataflow.
+        let Some(writer) = enclosing_fn(model, i, k) else {
+            continue;
+        };
+        found = true;
+        if fact_covers(&facts, t.line) {
+            continue;
+        }
+        let rhs = if field_assign {
+            rhs_span(toks, k + 2, toks.len())
+        } else {
+            init_span(toks, k + 2)
+        };
+        match classify(model, writer, rhs, visited, depth + 1) {
+            Safety::Safe => {}
+            _ => return Safety::Unsafe,
+        }
+    }
+    if found {
+        return Safety::Safe;
+    }
+    // No assignment anywhere: a parameter defers to call sites.
+    if sig_has_param(model, i, name) {
+        return Safety::Param(name.to_string());
+    }
+    Safety::Unsafe
+}
+
+/// A token that can precede the start of a statement (so `x = ..` is a
+/// reassignment, not the tail of a larger expression).
+fn stmt_initial(t: &Token) -> bool {
+    t.is_punct(';') || t.is_punct('{') || t.is_punct('}')
+}
+
+fn fact_covers(facts: &[u32], line: u32) -> bool {
+    facts.iter().any(|&f| f == line || f + 1 == line)
+}
+
+fn has_choke(expr: &[Token]) -> bool {
+    expr.iter().any(|t| {
+        (t.kind == TokKind::Ident && CHOKE_IDENTS.contains(&t.text.as_str()))
+            || t.is_punct('%')
+            || t.is_punct('&')
+    })
+}
+
+/// Idents, `.`, index groups, numeric literals, and `as` casts only.
+fn is_pure_chain(expr: &[Token]) -> bool {
+    expr.iter().all(|t| {
+        t.kind == TokKind::Ident
+            || t.kind == TokKind::Num
+            || t.is_punct('.')
+            || t.is_punct('[')
+            || t.is_punct(']')
+            || t.is_punct('(')
+            || t.is_punct(')')
+    })
+}
+
+fn expr_is_single_ident(expr: &[Token], name: &str) -> bool {
+    let meaningful: Vec<&Token> = expr
+        .iter()
+        .filter(|t| {
+            !(t.kind == TokKind::Ident
+                && matches!(t.text.as_str(), "as" | "usize" | "u64" | "u32" | "self"))
+        })
+        .collect();
+    meaningful.len() == 1 && meaningful[0].kind == TokKind::Ident && meaningful[0].text == name
+}
+
+fn matching_sq(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Tokens from `from` to the `;` closing the statement (depth-aware).
+fn rhs_span(toks: &[Token], from: usize, hi: usize) -> &[Token] {
+    let (mut par, mut sq, mut br) = (0i32, 0i32, 0i32);
+    let mut p = from;
+    while p < hi.min(toks.len()) {
+        let t = &toks[p];
+        if t.is_punct('(') {
+            par += 1;
+        } else if t.is_punct(')') {
+            par -= 1;
+        } else if t.is_punct('[') {
+            sq += 1;
+        } else if t.is_punct(']') {
+            sq -= 1;
+        } else if t.is_punct('{') {
+            br += 1;
+        } else if t.is_punct('}') {
+            br -= 1;
+            if br < 0 {
+                break;
+            }
+        } else if t.is_punct(';') && par == 0 && sq == 0 && br == 0 {
+            break;
+        }
+        p += 1;
+    }
+    &toks[from..p]
+}
+
+/// The fn node (in the same file as node `i`) whose body contains token
+/// `k`; prefers the innermost (last-starting) match.
+fn enclosing_fn(model: &WorkspaceModel<'_>, i: usize, k: usize) -> Option<usize> {
+    let file_idx = model.nodes[i].file_idx;
+    let mut best: Option<usize> = None;
+    for (j, m) in model.nodes.iter().enumerate() {
+        if m.file_idx == file_idx && m.item.body.0 <= k && k < m.item.body.1 {
+            best = match best {
+                Some(b) if model.nodes[b].item.body.0 >= m.item.body.0 => Some(b),
+                _ => Some(j),
+            };
+        }
+    }
+    best
+}
+
+/// Tokens of a struct-literal field init, up to the `,` or closing `}`.
+fn init_span(toks: &[Token], from: usize) -> &[Token] {
+    let (mut par, mut sq, mut br) = (0i32, 0i32, 0i32);
+    let mut p = from;
+    while p < toks.len() {
+        let t = &toks[p];
+        if t.is_punct('(') {
+            par += 1;
+        } else if t.is_punct(')') {
+            par -= 1;
+        } else if t.is_punct('[') {
+            sq += 1;
+        } else if t.is_punct(']') {
+            sq -= 1;
+        } else if t.is_punct('{') {
+            br += 1;
+        } else if t.is_punct('}') {
+            br -= 1;
+            if br < 0 {
+                break;
+            }
+        } else if t.is_punct(',') && par == 0 && sq == 0 && br == 0 {
+            break;
+        }
+        p += 1;
+    }
+    &toks[from..p]
+}
+
+/// Tokens of a `for _ in <range> {` header.
+fn range_span(toks: &[Token], from: usize, hi: usize) -> &[Token] {
+    let mut p = from;
+    while p < hi.min(toks.len()) && !toks[p].is_punct('{') {
+        p += 1;
+    }
+    &toks[from..p]
+}
+
+fn sig_has_param(model: &WorkspaceModel<'_>, i: usize, name: &str) -> bool {
+    nonself_param_pos(model, i, name).is_some()
+}
+
+/// Zero-based position of `name` among the fn's non-self parameters.
+fn nonself_param_pos(model: &WorkspaceModel<'_>, i: usize, name: &str) -> Option<usize> {
+    let n = &model.nodes[i];
+    let toks = &n.file.lexed.tokens;
+    let (names, _) = param_names(&toks[n.item.sig.0..n.item.sig.1]);
+    names.iter().position(|p| p == name)
+}
+
+/// `(non-self parameter names in order, fn has a self receiver)`.
+fn param_names(sig: &[Token]) -> (Vec<String>, bool) {
+    let Some(open) = sig.iter().position(|t| t.is_punct('(')) else {
+        return (Vec::new(), false);
+    };
+    let mut depth = 0i32;
+    let mut close = open;
+    while close < sig.len() {
+        if sig[close].is_punct('(') {
+            depth += 1;
+        } else if sig[close].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        close += 1;
+    }
+    let params = &sig[open + 1..close.min(sig.len())];
+    let mut names = Vec::new();
+    let mut has_self = false;
+    let (mut par, mut ang, mut sq) = (0i32, 0i32, 0i32);
+    let mut seg_start = 0usize;
+    let mut handle = |seg: &[Token]| {
+        if seg.iter().any(|t| t.is_ident("self")) && !seg.iter().any(|t| t.is_punct(':')) {
+            has_self = true;
+            return;
+        }
+        if !seg.iter().any(|t| t.is_punct(':')) {
+            return;
+        }
+        for t in seg {
+            if t.is_ident("mut") {
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                names.push(t.text.clone());
+            }
+            break;
+        }
+    };
+    for (p, t) in params.iter().enumerate() {
+        if t.is_punct('(') {
+            par += 1;
+        } else if t.is_punct(')') {
+            par -= 1;
+        } else if t.is_punct('<') {
+            ang += 1;
+        } else if t.is_punct('>') {
+            ang -= 1;
+        } else if t.is_punct('[') {
+            sq += 1;
+        } else if t.is_punct(']') {
+            sq -= 1;
+        } else if t.is_punct(',') && par == 0 && ang == 0 && sq == 0 {
+            handle(&params[seg_start..p]);
+            seg_start = p + 1;
+        }
+    }
+    if seg_start < params.len() {
+        handle(&params[seg_start..]);
+    }
+    (names, has_self)
+}
+
+/// For every protocol-deferred parameter, check each call site's argument
+/// in the caller's context.
+fn enforce_protocol(
+    model: &WorkspaceModel<'_>,
+    protocol: &[(usize, usize, String)],
+    hits: &mut BTreeSet<(String, u32, String)>,
+) {
+    for &(target, pos, ref pname) in protocol {
+        let tname = &model.nodes[target].item.name;
+        let tsig = {
+            let n = &model.nodes[target];
+            let toks = &n.file.lexed.tokens;
+            param_names(&toks[n.item.sig.0..n.item.sig.1])
+        };
+        let has_self = tsig.1;
+        for i in 0..model.nodes.len() {
+            if i == target {
+                continue;
+            }
+            let n = &model.nodes[i];
+            let toks = &n.file.lexed.tokens;
+            for k in n.item.body.0..n.item.body.1 {
+                if toks[k].kind != TokKind::Ident
+                    || toks[k].text != *tname
+                    || !is_call_site(toks, k)
+                {
+                    continue;
+                }
+                let Some(res) = model.resolve_call(i, k) else {
+                    continue;
+                };
+                if !res.candidates.contains(&target) {
+                    continue;
+                }
+                let method_call = k >= 1 && toks[k - 1].is_punct('.');
+                let arg_index = if !method_call && has_self {
+                    pos + 1
+                } else {
+                    pos
+                };
+                let Some(arg) = call_arg(toks, k, arg_index) else {
+                    continue;
+                };
+                if use_site_fact(n.file, toks[k].line) {
+                    continue;
+                }
+                match classify(model, i, arg, &mut HashSet::new(), 1) {
+                    Safety::Safe => {}
+                    _ => {
+                        hits.insert((
+                            n.file.path.clone(),
+                            toks[k].line,
+                            format!(
+                                "argument `{}` for slot parameter `{}` of `{}` is not \
+                                 choked at this call site",
+                                render(arg),
+                                pname,
+                                tname
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The `idx`-th top-level argument of the call whose callee ident is `k`.
+fn call_arg(toks: &[Token], k: usize, idx: usize) -> Option<&[Token]> {
+    let mut open = k + 1;
+    while open < toks.len() && !toks[open].is_punct('(') {
+        open += 1;
+    }
+    let mut depth = 0i32;
+    let mut close = open;
+    while close < toks.len() {
+        if toks[close].is_punct('(') {
+            depth += 1;
+        } else if toks[close].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        close += 1;
+    }
+    let args = &toks[open + 1..close.min(toks.len())];
+    let (mut par, mut ang, mut sq, mut br) = (0i32, 0i32, 0i32, 0i32);
+    let mut seg_start = 0usize;
+    let mut n = 0usize;
+    for (p, t) in args.iter().enumerate() {
+        if t.is_punct('(') {
+            par += 1;
+        } else if t.is_punct(')') {
+            par -= 1;
+        } else if t.is_punct('<') {
+            ang += 1;
+        } else if t.is_punct('>') {
+            ang -= 1;
+        } else if t.is_punct('[') {
+            sq += 1;
+        } else if t.is_punct(']') {
+            sq -= 1;
+        } else if t.is_punct('{') {
+            br += 1;
+        } else if t.is_punct('}') {
+            br -= 1;
+        } else if t.is_punct(',') && par == 0 && ang == 0 && sq == 0 && br == 0 {
+            if n == idx {
+                return Some(&args[seg_start..p]);
+            }
+            n += 1;
+            seg_start = p + 1;
+        }
+    }
+    if n == idx && seg_start < args.len() {
+        return Some(&args[seg_start..]);
+    }
+    None
+}
+
+/// Clock-store monotonicity for one function.
+fn check_clock_stores(
+    file: &SourceFile,
+    i: usize,
+    model: &WorkspaceModel<'_>,
+    hits: &mut BTreeSet<(String, u32, String)>,
+) {
+    let n = &model.nodes[i];
+    let toks = &file.lexed.tokens;
+    let (lo, hi) = n.item.body;
+    for k in lo..hi {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident || t.text != "now" {
+            continue;
+        }
+        // `now.store(rhs, ..)`
+        let rhs: Option<&[Token]> = if toks.get(k + 1).is_some_and(|x| x.is_punct('.'))
+            && toks.get(k + 2).is_some_and(|x| x.is_ident("store"))
+            && toks.get(k + 3).is_some_and(|x| x.is_punct('('))
+        {
+            call_arg(toks, k + 2, 0)
+        } else if k >= 1
+            && toks[k - 1].is_punct('.')
+            && toks.get(k + 1).is_some_and(|x| x.is_punct('='))
+            && !toks.get(k + 2).is_some_and(|x| x.is_punct('='))
+        {
+            // `self.now = rhs;`
+            Some(rhs_span(toks, k + 2, hi))
+        } else {
+            None
+        };
+        let Some(rhs) = rhs else { continue };
+        if monotone_rhs(rhs) || guarded(toks, lo, hi, rhs) {
+            continue;
+        }
+        hits.insert((
+            file.path.clone(),
+            t.line,
+            format!(
+                "clock store `now = {}` is not provably non-decreasing \
+                 (no additive step from `now` and no ordering guard in this fn)",
+                render(rhs)
+            ),
+        ));
+    }
+}
+
+/// `rhs` is derived from the current clock by an additive step.
+fn monotone_rhs(rhs: &[Token]) -> bool {
+    let mentions_now = rhs.iter().any(|t| t.is_ident("now"));
+    let steps = rhs.iter().any(|t| {
+        t.is_punct('+') || (t.kind == TokKind::Ident && MONOTONE_STEPS.contains(&t.text.as_str()))
+    });
+    mentions_now && steps
+}
+
+/// Some `if`/`while` condition in the fn orders an rhs ident against the
+/// current clock (directly, or via a local whose definition reads `now`).
+fn guarded(toks: &[Token], lo: usize, hi: usize, rhs: &[Token]) -> bool {
+    let rhs_idents: Vec<&str> = rhs
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && t.text != "self")
+        .map(|t| t.text.as_str())
+        .collect();
+    if rhs_idents.is_empty() {
+        return false;
+    }
+    for k in lo..hi {
+        if !(toks[k].is_ident("if") || toks[k].is_ident("while")) {
+            continue;
+        }
+        let mut c = k + 1;
+        while c < hi && !toks[c].is_punct('{') {
+            c += 1;
+        }
+        let cond = &toks[k + 1..c];
+        let mentions_stored = cond
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && rhs_idents.contains(&t.text.as_str()));
+        let ordered = cond.iter().any(|t| t.is_punct('<') || t.is_punct('>'));
+        if !mentions_stored || !ordered {
+            continue;
+        }
+        let now_related = cond.iter().any(|t| {
+            t.is_ident("now")
+                || (t.kind == TokKind::Ident && local_def_reads_now(toks, lo, hi, &t.text))
+        });
+        if now_related {
+            return true;
+        }
+    }
+    false
+}
+
+/// Does `let name = ...;` in this fn read the clock?
+fn local_def_reads_now(toks: &[Token], lo: usize, hi: usize, name: &str) -> bool {
+    for k in lo..hi {
+        if toks[k].kind == TokKind::Ident
+            && toks[k].text == name
+            && k >= 1
+            && (toks[k - 1].is_ident("let") || toks[k - 1].is_ident("mut"))
+            && toks.get(k + 1).is_some_and(|x| x.is_punct('='))
+        {
+            let rhs = rhs_span(toks, k + 2, hi);
+            return rhs.iter().any(|t| t.is_ident("now"));
+        }
+    }
+    false
+}

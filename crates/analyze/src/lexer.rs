@@ -1,6 +1,7 @@
 //! A minimal Rust lexer: just enough fidelity for the tw-analyze rule
 //! passes — identifiers, literals, and punctuation with line numbers, plus
-//! waiver comments (`// tw-analyze: allow(TWnnn, reason = "...")`) lifted
+//! waiver comments (`// tw-analyze: allow(TWnnn, reason = "...")`) and
+//! fact annotations (`// tw-analyze: fact(name, reason = "...")`) lifted
 //! out as structured data.
 //!
 //! The lexer is hand-written (the workspace builds offline; `syn` is not
@@ -63,11 +64,34 @@ pub struct Waiver {
     pub line: u32,
 }
 
+/// An in-source analysis fact.
+///
+/// Grammar (inside any `//` comment):
+/// `tw-analyze: fact(NAME, reason = "free text")`. Facts are the inverse of
+/// waivers: instead of suppressing a finding, they *assert* a property the
+/// analyzer assumes at the item on the same line or the line directly
+/// below. The interprocedural passes consume them:
+///
+/// * `fact(nonblocking)` — the function neither blocks nor takes locks;
+///   TW009 treats calls to it as leaf operations (Observer hooks).
+/// * `fact(slot_bounded)` — the named value is already a reduced slot
+///   index; TW010 accepts it without a visible `%`/mask choke point.
+#[derive(Debug, Clone)]
+pub struct Fact {
+    /// Fact name, e.g. `nonblocking`.
+    pub name: String,
+    /// The quoted rationale, if one was given.
+    pub reason: Option<String>,
+    /// 1-based line of the fact comment.
+    pub line: u32,
+}
+
 /// Lexer output for one file.
 #[derive(Debug, Default)]
 pub struct Lexed {
     pub tokens: Vec<Token>,
     pub waivers: Vec<Waiver>,
+    pub facts: Vec<Fact>,
 }
 
 /// Tokenizes `src`, separating waiver comments from the token stream.
@@ -88,6 +112,8 @@ pub fn lex(src: &str) -> Lexed {
                 let end = src[i..].find('\n').map_or(bytes.len(), |p| i + p);
                 if let Some(w) = parse_waiver(&src[i..end], line) {
                     out.waivers.push(w);
+                } else if let Some(f) = parse_fact(&src[i..end], line) {
+                    out.facts.push(f);
                 }
                 i = end;
             }
@@ -191,6 +217,25 @@ pub fn lex(src: &str) -> Lexed {
                         i = end;
                         continue;
                     }
+                    // `r#match` raw identifier: one Ident token spelled with
+                    // its `r#` sigil, so `is_ident("match")` stays false and
+                    // the rule passes never mistake it for the keyword.
+                    if word == "r"
+                        && quote == Some(b'#')
+                        && bytes.get(j + 1).is_some_and(|&b| is_ident_start(b as char))
+                    {
+                        let mut k = j + 2;
+                        while k < bytes.len() && is_ident_char(bytes[k] as char) {
+                            k += 1;
+                        }
+                        out.tokens.push(Token {
+                            kind: TokKind::Ident,
+                            text: src[i..k].to_string(),
+                            line,
+                        });
+                        i = k;
+                        continue;
+                    }
                 }
                 out.tokens.push(Token {
                     kind: TokKind::Ident,
@@ -227,7 +272,13 @@ fn scan_string(bytes: &[u8], start: usize) -> (usize, u32) {
     let mut nl = 0;
     while i < bytes.len() {
         match bytes[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // A `\<newline>` line continuation still ends a source line.
+                if bytes.get(i + 1) == Some(&b'\n') {
+                    nl += 1;
+                }
+                i += 2;
+            }
             b'\n' => {
                 nl += 1;
                 i += 1;
@@ -323,6 +374,37 @@ fn parse_waiver(comment: &str, line: u32) -> Option<Waiver> {
     Some(Waiver { rule, reason, line })
 }
 
+/// Parses a fact annotation out of one line-comment's text, if present.
+fn parse_fact(comment: &str, line: u32) -> Option<Fact> {
+    let rest = comment.split("tw-analyze:").nth(1)?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("fact")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.rfind(')')?;
+    let args = &rest[..close];
+    let (name, tail) = match args.find(',') {
+        Some(p) => (&args[..p], &args[p + 1..]),
+        None => (args, ""),
+    };
+    let name = name.trim().to_string();
+    // Fact names are lowercase snake-case idents; prose describing the
+    // grammar (`fact(NAME, ...)`) is not a fact.
+    let well_formed = !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_');
+    if !well_formed {
+        return None;
+    }
+    let reason = tail
+        .split_once("reason")
+        .and_then(|(_, r)| r.split_once('"'))
+        .and_then(|(_, r)| r.rsplit_once('"'))
+        .map(|(text, _)| text.to_string())
+        .filter(|s| !s.trim().is_empty());
+    Some(Fact { name, reason, line })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,6 +416,16 @@ mod tests {
         assert_eq!(l.tokens[0].line, 1);
         let x = l.tokens.iter().find(|t| t.text == "x").unwrap();
         assert_eq!(x.line, 2);
+    }
+
+    #[test]
+    fn string_line_continuations_still_count_lines() {
+        // `\<newline>` inside a string elides the newline from the *value*
+        // but not from the source line count; tokens after the literal must
+        // land on their true lines or waiver/fact matching drifts.
+        let l = lex("let s = \"a \\\n   b\";\nlet after = 1;\n");
+        let after = l.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3);
     }
 
     #[test]
@@ -389,5 +481,75 @@ mod tests {
     fn block_comments_nest() {
         let l = lex("/* outer /* inner */ still comment */ fn f() {}");
         assert_eq!(l.tokens[0].text, "fn");
+    }
+
+    #[test]
+    fn block_comments_nest_two_deep_and_track_lines() {
+        let l = lex("/* a /* b /* c */ d */ e\n still */ fn f() {}");
+        assert_eq!(l.tokens[0].text, "fn");
+        assert_eq!(l.tokens[0].line, 2, "newlines inside comments counted");
+        assert!(!l.tokens.iter().any(|t| t.text == "still"));
+    }
+
+    #[test]
+    fn byte_raw_strings_swallow_contents() {
+        let l = lex("let s = br#\"x as usize \"quoted\" \"#; done");
+        assert!(!l.tokens.iter().any(|t| t.text == "usize"));
+        assert!(l.tokens.iter().any(|t| t.text == "done"));
+        let lit = l.tokens.iter().find(|t| t.kind == TokKind::Lit).unwrap();
+        assert!(lit.text.starts_with("br#\""));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_respect_their_own_terminator() {
+        // The inner `"#` must not close an r##"..."## string.
+        let l = lex("let s = r##\"contains \"# inner\"##; done");
+        assert!(l.tokens.iter().any(|t| t.text == "done"));
+        assert!(!l.tokens.iter().any(|t| t.text == "inner"));
+    }
+
+    #[test]
+    fn multiline_raw_strings_advance_the_line_counter() {
+        let l = lex("let s = r#\"one\ntwo\nthree\"#;\nfn f() {}");
+        let f = l.tokens.iter().find(|t| t.text == "fn").unwrap();
+        assert_eq!(f.line, 4);
+    }
+
+    #[test]
+    fn raw_identifier_is_one_token_and_not_the_keyword() {
+        let l = lex("let r#match = r#fn + 1; use r#match;");
+        let raw: Vec<&Token> = l.tokens.iter().filter(|t| t.text == "r#match").collect();
+        assert_eq!(raw.len(), 2);
+        assert!(raw.iter().all(|t| t.kind == TokKind::Ident));
+        // The keyword spelling must not leak as its own token.
+        assert!(!l.tokens.iter().any(|t| t.is_ident("match")));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("fn")));
+        assert!(l.tokens.iter().any(|t| t.is_ident("r#fn")));
+    }
+
+    #[test]
+    fn raw_identifier_does_not_eat_a_following_raw_string() {
+        let l = lex("let x = r#type; let s = r#\"text\"#; done");
+        assert!(l.tokens.iter().any(|t| t.is_ident("r#type")));
+        assert!(l.tokens.iter().any(|t| t.text == "done"));
+        assert!(!l.tokens.iter().any(|t| t.is_ident("text")));
+    }
+
+    #[test]
+    fn fact_with_reason_parses() {
+        let l = lex(
+            "// tw-analyze: fact(nonblocking, reason = \"hook must not park\")\nfn on_fire() {}\n",
+        );
+        assert_eq!(l.facts.len(), 1);
+        assert_eq!(l.facts[0].name, "nonblocking");
+        assert_eq!(l.facts[0].reason.as_deref(), Some("hook must not park"));
+        assert_eq!(l.facts[0].line, 1);
+        assert!(l.waivers.is_empty());
+    }
+
+    #[test]
+    fn prose_mentioning_the_fact_grammar_is_not_a_fact() {
+        let l = lex("// grammar: tw-analyze: fact(NAME, reason = \"...\")\n");
+        assert!(l.facts.is_empty());
     }
 }

@@ -4,31 +4,46 @@
 //! oracle-equivalence suites) catches violations that *happen*; this crate
 //! statically rejects code that could make them happen. It walks every
 //! workspace crate with a purpose-built lexer (the workspace builds
-//! offline, so no `syn`) and enforces a catalog of eight repo-specific
-//! rules derived from the paper's model:
+//! offline, so no `syn`) and runs two passes: pass 1 ([`summaries`])
+//! builds an interprocedural model — a typed call graph plus per-function
+//! lock/blocking/callback summaries closed under a fixpoint — and pass 2
+//! enforces a catalog of repo-specific rules derived from the paper's
+//! model:
 //!
 //! | rule  | enforces |
 //! |-------|----------|
 //! | TW001 | no raw `as` casts between tick/index integers (`tw-core`, `tw-concurrent`) |
-//! | TW002 | no panicking ops reachable from the four `TimerScheme` routines |
+//! | TW002 | no panicking ops reachable from the §2 `TimerScheme` routines |
 //! | TW003 | no wall-clock reads in scheme/DES code — simulated `Tick` time only |
 //! | TW004 | no heap allocation reachable from `PER_TICK_BOOKKEEPING` |
 //! | TW005 | every mutating `TimerScheme` method touches `OpCounters` |
 //! | TW006 | no concrete sync primitives in `tw-concurrent` outside `sync` |
 //! | TW007 | every `TimerScheme` impl also impls `InvariantCheck` and is registered in an oracle-equivalence suite |
 //! | TW008 | no heap allocation reachable from `Observer` hook implementations |
+//! | TW009 | the lock graph over `tick_gate` / bucket mutexes is acyclic, and no lock is held across a blocking op or callback delivery |
+//! | TW010 | clock stores are provably non-decreasing; every slot index flows through a `% table_size`/mask choke point |
+//! | TW011 | no `_ =>` arms swallowing `TimerError`/`Expired` values |
 //!
 //! Exceptions are in-source and auditable:
 //! `// tw-analyze: allow(RULE_ID, reason = "...")` on the offending line or
-//! the line above. A waiver without a reason is itself a violation.
+//! the line above. A waiver without a reason is itself a violation. The
+//! whole-program passes additionally consume in-source *facts*
+//! (`// tw-analyze: fact(nonblocking)`, `fact(slot_bounded)`) — assertions
+//! the analyzer trusts at use sites and, where possible, verifies at
+//! definition sites.
 //!
 //! Run as a gate: `cargo run -p tw-analyze -- --workspace` (exit 1 on any
-//! unwaived violation), `--json` for the machine-readable summary.
+//! unwaived violation), `--json` for the machine-readable summary,
+//! `--sarif PATH` for SARIF 2.1.0, `--ratchet PATH` to enforce the waiver
+//! debt baseline, `--waivers` for the deduplicated waiver inventory.
 
+pub mod dataflow;
 pub mod lexer;
+pub mod lockgraph;
 pub mod model;
 pub mod report;
 pub mod rules;
+pub mod summaries;
 
 use std::collections::BTreeSet;
 use std::fs;
@@ -36,8 +51,9 @@ use std::io;
 use std::path::Path;
 
 use model::SourceFile;
-use report::Report;
-use rules::{CrateIndex, Violation};
+use report::{Report, WaiverRecord};
+use rules::Violation;
+use summaries::WorkspaceModel;
 
 /// The set of files under analysis.
 pub struct Workspace {
@@ -103,15 +119,20 @@ impl Workspace {
             rules::tw003(file, &mut violations);
             rules::tw005(file, &mut violations);
             rules::tw006(file, &mut violations);
+            rules::tw011(file, &mut violations);
         }
+        // Pass 1: the interprocedural model (typed call graph, summaries).
+        let model = WorkspaceModel::build(&self.files);
         let crates: BTreeSet<&str> = self.files.iter().map(|f| f.krate.as_str()).collect();
         for krate in crates {
-            let index = CrateIndex::build(&self.files, krate);
-            rules::tw002(&index, &mut violations);
-            rules::tw004(&index, &mut violations);
-            rules::tw008(&index, &mut violations);
+            rules::tw002(&model, krate, &mut violations);
+            rules::tw004(&model, krate, &mut violations);
+            rules::tw008(&model, krate, &mut violations);
         }
         rules::tw007(&self.files, &mut violations);
+        // Pass 2: the whole-program properties.
+        lockgraph::tw009(&model, &mut violations);
+        dataflow::tw010(&model, &mut violations);
         violations.sort_by(|a, b| (a.rule, &a.path, a.line).cmp(&(b.rule, &b.path, b.line)));
         self.resolve_waivers(violations)
     }
@@ -120,7 +141,7 @@ impl Workspace {
     /// the line above; reports reason-less waivers as violations and unused
     /// ones as stale.
     fn resolve_waivers(&self, mut violations: Vec<Violation>) -> Report {
-        let mut stale = Vec::new();
+        let mut waivers = Vec::new();
         for file in &self.files {
             for w in &file.lexed.waivers {
                 if w.reason.is_none() {
@@ -136,6 +157,13 @@ impl Workspace {
                         waived: false,
                         waive_reason: None,
                     });
+                    waivers.push(WaiverRecord {
+                        path: file.path.clone(),
+                        line: w.line,
+                        rule: w.rule.clone(),
+                        reason: None,
+                        used: false,
+                    });
                     continue;
                 }
                 let mut used = false;
@@ -149,15 +177,19 @@ impl Workspace {
                         used = true;
                     }
                 }
-                if !used {
-                    stale.push((file.path.clone(), w.line, w.rule.clone()));
-                }
+                waivers.push(WaiverRecord {
+                    path: file.path.clone(),
+                    line: w.line,
+                    rule: w.rule.clone(),
+                    reason: w.reason.clone(),
+                    used,
+                });
             }
         }
         Report {
             violations,
             files_scanned: self.files.len(),
-            stale_waivers: stale,
+            waivers,
         }
     }
 }
@@ -233,6 +265,6 @@ mod tests {
         let ws = Workspace::from_files(&[("crates/core/src/a.rs", "tw-core", src)]);
         let report = ws.analyze();
         assert!(report.is_clean());
-        assert_eq!(report.stale_waivers.len(), 1);
+        assert_eq!(report.stale_waivers().count(), 1);
     }
 }

@@ -1,0 +1,387 @@
+//! TW009 — lock-order and hold-across-blocking analysis.
+//!
+//! Appendix A.2 of the paper fine-grains the timer table with per-bucket
+//! locks; the correctness obligations it leaves implicit are (a) every
+//! thread acquires bucket/gate locks in one global order and (b) no thread
+//! parks — on a channel, a condvar, or user callback delivery — while
+//! holding one. This pass checks both over the interprocedural model:
+//!
+//! * **Lock graph.** Every acquisition has a class `ImplType.field`
+//!   (`ShardedWheel.tick_gate`, `MpscWheel.inner`, ...). Within the hold
+//!   span of class A, any acquisition of class B (direct, or via a callee's
+//!   transitive `acquires` summary) adds edge `A -> B`. A cycle among the
+//!   edges is a potential deadlock and fails the build. Self-edges
+//!   (`buckets -> buckets`, i.e. two locks of the same class) are *not*
+//!   reported here: same-class ordering is index-ordering, which is the
+//!   loom models' job, not a name-level analysis'.
+//! * **Blocking under a lock.** Within any hold span, a direct blocking
+//!   token (`send`/`recv`/`park`/`wait`/`join`/`sleep` called), a
+//!   confidently-resolved callee that blocks, or *any* callee that
+//!   delivers an expiry/Observer callback is a violation — callbacks run
+//!   arbitrary user code, which must never happen inside a bucket lock.
+//! * **`fact(nonblocking)` contracts.** A trait hook declared nonblocking
+//!   is trusted at call sites; in exchange every same-named implementation
+//!   in the workspace must itself be lock-free, block-free, and
+//!   callback-free, or it is flagged here.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{TokKind, Token};
+use crate::rules::Violation;
+use crate::summaries::{is_call_site, Acquisition, WorkspaceModel};
+
+const BLOCKING_TOKENS: [&str; 8] = [
+    "send",
+    "recv",
+    "recv_timeout",
+    "park",
+    "sleep",
+    "join",
+    "wait",
+    "wait_timeout",
+];
+
+pub fn tw009(model: &WorkspaceModel<'_>, out: &mut Vec<Violation>) {
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    // Keyed by (path, line, kind) so an ambiguous call with many candidate
+    // callees reports once per site, not once per candidate.
+    let mut hits: BTreeMap<(String, u32, String), String> = BTreeMap::new();
+
+    for i in 0..model.nodes.len() {
+        let n = &model.nodes[i];
+        if n.file.path.ends_with("/sync.rs") {
+            continue; // the primitive layer itself
+        }
+        let toks = &n.file.lexed.tokens;
+        let acqs = acquisitions_of(model, i);
+        for a in &acqs {
+            scan_span(model, i, a, &acqs, toks, &mut edges, &mut hits);
+        }
+    }
+
+    for ((path, line, _), msg) in hits {
+        out.push(Violation::new("TW009", &path, line, msg));
+    }
+    report_cycles(&edges, out);
+    check_nonblocking_contracts(model, out);
+}
+
+/// Direct acquisitions plus acquisitions made through guard-returning
+/// callees (`lock_shard(..) -> MutexGuard` counts as locking everything in
+/// its `acquires` summary at the call site, with the caller-side span).
+fn acquisitions_of(model: &WorkspaceModel<'_>, i: usize) -> Vec<Acquisition> {
+    let n = &model.nodes[i];
+    let toks = &n.file.lexed.tokens;
+    let mut acqs = model.summaries[i].direct.clone();
+    for k in n.item.body.0..n.item.body.1 {
+        if !is_call_site(toks, k) {
+            continue;
+        }
+        let Some(res) = model.resolve_call(i, k) else {
+            continue;
+        };
+        if !res.confident {
+            continue;
+        }
+        for &c in &res.candidates {
+            if !model.summaries[c].returns_guard {
+                continue;
+            }
+            for class in &model.summaries[c].acquires {
+                acqs.push(Acquisition {
+                    class: class.clone(),
+                    line: toks[k].line,
+                    span: guard_call_span(toks, k, n.item.body.1),
+                });
+            }
+        }
+    }
+    acqs
+}
+
+/// Span for a guard returned by a callee: same binder/statement rules as a
+/// direct `.lock()` — `let g = self.lock_shard(s)` holds to `drop(g)` or
+/// block end, a temporary holds to the end of the statement.
+fn guard_call_span(toks: &[Token], k: usize, body_hi: usize) -> (usize, usize) {
+    // Reuse the acquisition machinery by faking a `.lock(` shape: walk
+    // forward to the call's close paren, then apply the same statement /
+    // block heuristics. Binder detection: nearest `=` scanning back over
+    // the receiver chain.
+    let mut s = k;
+    while s > 0 {
+        let t = &toks[s - 1];
+        if t.kind == TokKind::Ident || t.is_punct('.') || t.is_punct(':') {
+            s -= 1;
+        } else {
+            break;
+        }
+    }
+    let bound = s > 0 && toks[s - 1].is_punct('=');
+    let mut depth = 0i32;
+    let mut close = k + 1;
+    while close < toks.len() {
+        if toks[close].is_punct('(') {
+            depth += 1;
+        } else if toks[close].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        close += 1;
+    }
+    if !bound {
+        // Temporary guard: end of statement.
+        let mut p = close;
+        let mut brace = 0i32;
+        while p < body_hi.min(toks.len()) {
+            let t = &toks[p];
+            if t.is_punct('{') {
+                brace += 1;
+            } else if t.is_punct('}') {
+                brace -= 1;
+                if brace < 0 {
+                    break;
+                }
+            } else if t.is_punct(';') && brace == 0 {
+                break;
+            }
+            p += 1;
+        }
+        return (k, p);
+    }
+    // Bound guard: to the end of the enclosing block (drop() tracking for
+    // callee-returned guards is rare enough to over-approximate).
+    let mut stack: Vec<usize> = Vec::new();
+    let mut end = body_hi;
+    for (p, t) in toks.iter().enumerate().take(body_hi) {
+        if t.is_punct('{') {
+            stack.push(p);
+        } else if t.is_punct('}') {
+            if let Some(open) = stack.pop() {
+                if open < k && p > k && p < end {
+                    end = p;
+                }
+            }
+        }
+    }
+    (k, end)
+}
+
+/// Walk one hold span: record lock-order edges and blocking/callback hits.
+#[allow(clippy::too_many_arguments)]
+fn scan_span(
+    model: &WorkspaceModel<'_>,
+    i: usize,
+    a: &Acquisition,
+    acqs: &[Acquisition],
+    toks: &[Token],
+    edges: &mut BTreeMap<(String, String), (String, u32)>,
+    hits: &mut BTreeMap<(String, u32, String), String>,
+) {
+    let n = &model.nodes[i];
+    let path = n.file.path.clone();
+    // Other acquisitions opening inside this span.
+    for b in acqs {
+        if b.span.0 > a.span.0 && b.span.0 < a.span.1 && b.class != a.class {
+            edges
+                .entry((a.class.clone(), b.class.clone()))
+                .or_insert((path.clone(), b.line));
+        }
+    }
+    for k in (a.span.0 + 1)..a.span.1.min(toks.len()) {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let called = toks.get(k + 1).is_some_and(|x| x.is_punct('('));
+        if !called {
+            continue;
+        }
+        // Direct blocking primitive under the lock.
+        if k > 0 && BLOCKING_TOKENS.contains(&t.text.as_str()) {
+            hits.entry((
+                path.clone(),
+                t.line,
+                format!("block:{}:{}", t.text, a.class),
+            ))
+            .or_insert_with(|| {
+                format!(
+                    "`{}` calls blocking `{}` while holding `{}` (acquired line {})",
+                    n.item.name, t.text, a.class, a.line
+                )
+            });
+            continue;
+        }
+        // Invoking a callback parameter under the lock.
+        if model.summaries[i]
+            .callback_params
+            .iter()
+            .any(|p| p == &t.text)
+            && !toks.get(k.wrapping_sub(1)).is_some_and(|x| x.is_punct('.'))
+        {
+            hits.entry((path.clone(), t.line, format!("cb:{}:{}", t.text, a.class)))
+                .or_insert_with(|| {
+                    format!(
+                        "`{}` delivers its `{}` callback while holding `{}` (acquired line {})",
+                        n.item.name, t.text, a.class, a.line
+                    )
+                });
+            continue;
+        }
+        if !is_call_site(toks, k) {
+            continue;
+        }
+        let Some(res) = model.resolve_call(i, k) else {
+            continue;
+        };
+        if !res.confident && model.nonblocking_names.contains(&t.text) {
+            continue; // contract-backed leaf
+        }
+        for &c in &res.candidates {
+            if c == i || model.summaries[c].nonblocking_fact {
+                continue;
+            }
+            // Transitive lock acquisitions become edges.
+            for class in &model.summaries[c].acquires {
+                if *class != a.class {
+                    edges
+                        .entry((a.class.clone(), class.clone()))
+                        .or_insert((path.clone(), t.line));
+                }
+            }
+            if res.confident {
+                if let Some(b) = &model.summaries[c].blocking {
+                    hits.entry((path.clone(), t.line, format!("block-callee:{}", a.class)))
+                        .or_insert_with(|| {
+                            format!(
+                                "`{}` blocks while holding `{}` (acquired line {}): {}",
+                                n.item.name, a.class, a.line, b
+                            )
+                        });
+                }
+            }
+            if let Some(d) = &model.summaries[c].delivers_callback {
+                hits.entry((path.clone(), t.line, format!("cb-callee:{}", a.class)))
+                    .or_insert_with(|| {
+                        format!(
+                            "`{}` delivers an expiry callback while holding `{}` (acquired line {}): {}",
+                            n.item.name, a.class, a.line, d
+                        )
+                    });
+            }
+        }
+    }
+}
+
+/// Strip nodes with zero in- or out-degree until fixpoint; whatever edges
+/// remain participate in a cycle. Report one violation per connected
+/// group, anchored at its lexicographically smallest edge site.
+fn report_cycles(edges: &BTreeMap<(String, String), (String, u32)>, out: &mut Vec<Violation>) {
+    let mut live: BTreeSet<(String, String)> = edges.keys().cloned().collect();
+    loop {
+        let mut froms: BTreeSet<String> = BTreeSet::new();
+        let mut tos: BTreeSet<String> = BTreeSet::new();
+        for (a, b) in &live {
+            froms.insert(a.clone());
+            tos.insert(b.clone());
+        }
+        let before = live.len();
+        live.retain(|(a, b)| tos.contains(a) && froms.contains(b));
+        if live.len() == before {
+            break;
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    // Union-find over the remaining nodes to split disjoint cycles.
+    let nodes: Vec<String> = live
+        .iter()
+        .flat_map(|(a, b)| [a.clone(), b.clone()])
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let idx = |s: &String| {
+        nodes
+            .iter()
+            .position(|n| n == s)
+            .expect("node list built from these edges")
+    };
+    let mut parent: Vec<usize> = (0..nodes.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    for (a, b) in &live {
+        let (ra, rb) = (find(&mut parent, idx(a)), find(&mut parent, idx(b)));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<&(String, String)>> = BTreeMap::new();
+    for e in &live {
+        groups
+            .entry(find(&mut parent, idx(&e.0)))
+            .or_default()
+            .push(e);
+    }
+    for (_, group) in groups {
+        let mut anchor: Option<(String, u32)> = None;
+        let mut parts = Vec::new();
+        for (a, b) in &group {
+            let (path, line) = &edges[&(a.clone(), b.clone())];
+            parts.push(format!("{a} -> {b} ({path}:{line})"));
+            let cand = (path.clone(), *line);
+            if anchor.as_ref().map_or(true, |best| cand < *best) {
+                anchor = Some(cand);
+            }
+        }
+        let (path, line) = anchor.expect("non-empty group");
+        out.push(Violation::new(
+            "TW009",
+            &path,
+            line,
+            format!("lock-order cycle: {}", parts.join(", ")),
+        ));
+    }
+}
+
+/// Every implementation of a name declared `fact(nonblocking)` must hold
+/// up the contract the call sites rely on.
+fn check_nonblocking_contracts(model: &WorkspaceModel<'_>, out: &mut Vec<Violation>) {
+    for (i, n) in model.nodes.iter().enumerate() {
+        if !model.nonblocking_names.contains(&n.item.name) {
+            continue;
+        }
+        let s = &model.summaries[i];
+        let mut why = Vec::new();
+        if !s.acquires.is_empty() {
+            why.push(format!(
+                "acquires {}",
+                s.acquires.iter().cloned().collect::<Vec<_>>().join(", ")
+            ));
+        }
+        if let Some(b) = &s.blocking {
+            why.push(format!("blocks ({b})"));
+        }
+        if let Some(d) = &s.delivers_callback {
+            why.push(format!("delivers a callback ({d})"));
+        }
+        if !why.is_empty() {
+            out.push(Violation::new(
+                "TW009",
+                &n.file.path,
+                n.item.line,
+                format!(
+                    "`{}` breaks its fact(nonblocking) contract: {}",
+                    n.item.name,
+                    why.join("; ")
+                ),
+            ));
+        }
+    }
+}

@@ -1,24 +1,34 @@
 //! CLI for the tw-analyze domain lint gate.
 //!
 //! ```text
-//! cargo run -p tw-analyze -- --workspace          # human diagnostics, exit 1 on violations
-//! cargo run -p tw-analyze -- --workspace --json   # append the JSON summary
-//! cargo run -p tw-analyze -- --root <path>        # analyze another tree
+//! cargo run -p tw-analyze -- --workspace            # human diagnostics, exit 1 on violations
+//! cargo run -p tw-analyze -- --workspace --json     # append the JSON summary
+//! cargo run -p tw-analyze -- --root <path>          # analyze another tree
+//! cargo run -p tw-analyze -- --sarif out.sarif      # write a SARIF 2.1.0 log
+//! cargo run -p tw-analyze -- --ratchet waivers.ratchet  # enforce the waiver-debt baseline
+//! cargo run -p tw-analyze -- --emit-ratchet waivers.ratchet  # (re-)write the baseline
+//! cargo run -p tw-analyze -- --waivers              # deduplicated waiver inventory
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use tw_analyze::Workspace;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
+    let mut waivers = false;
+    let mut sarif: Option<PathBuf> = None;
+    let mut ratchet: Option<PathBuf> = None;
+    let mut emit_ratchet: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => {}
             "--json" => json = true,
+            "--waivers" => waivers = true,
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -26,9 +36,34 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--sarif" => match args.next() {
+                Some(p) => sarif = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--sarif requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--ratchet" => match args.next() {
+                Some(p) => ratchet = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--ratchet requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--emit-ratchet" => match args.next() {
+                Some(p) => emit_ratchet = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--emit-ratchet requires a path");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: tw-analyze [--workspace] [--root <path>] [--json]");
+                eprintln!(
+                    "usage: tw-analyze [--workspace] [--root <path>] [--json] \
+                     [--sarif <path>] [--ratchet <path>] [--emit-ratchet <path>] \
+                     [--waivers]"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -40,6 +75,7 @@ fn main() -> ExitCode {
             .canonicalize()
             .unwrap_or_else(|_| PathBuf::from("."))
     });
+    let started = Instant::now();
     let ws = match Workspace::scan(&root) {
         Ok(ws) => ws,
         Err(e) => {
@@ -48,6 +84,7 @@ fn main() -> ExitCode {
         }
     };
     let report = ws.analyze();
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
     if json {
         // Keep stdout machine-readable (CI pipes it to a report artifact);
         // the human diagnostics still reach the log via stderr.
@@ -56,7 +93,42 @@ fn main() -> ExitCode {
     } else {
         print!("{}", report.human());
     }
-    if report.is_clean() {
+    if waivers {
+        print!("{}", report.waiver_inventory());
+    }
+    if let Some(path) = sarif {
+        if let Err(e) = std::fs::write(&path, report.to_sarif()) {
+            eprintln!("tw-analyze: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("tw-analyze: SARIF written to {}", path.display());
+    }
+    if let Some(path) = emit_ratchet {
+        if let Err(e) = std::fs::write(&path, report.ratchet_counts()) {
+            eprintln!("tw-analyze: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("tw-analyze: ratchet baseline written to {}", path.display());
+    }
+    let mut ratchet_failed = false;
+    if let Some(path) = ratchet {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("tw-analyze: failed to read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match report.ratchet_check(&baseline) {
+            Ok(msg) => eprintln!("tw-analyze: {msg}"),
+            Err(msg) => {
+                eprintln!("tw-analyze: {msg}");
+                ratchet_failed = true;
+            }
+        }
+    }
+    eprintln!("tw-analyze: analysis completed in {elapsed_ms:.1} ms");
+    if report.is_clean() && !ratchet_failed {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

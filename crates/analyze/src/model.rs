@@ -26,6 +26,10 @@ pub struct SourceFile {
 #[derive(Debug, Clone)]
 pub struct FnItem {
     pub name: String,
+    /// Half-open token range of the signature: from the `fn` keyword to the
+    /// body's opening brace (exclusive). The summaries pass reads parameter
+    /// names and return types (`-> MutexGuard<..>`) from here.
+    pub sig: (usize, usize),
     /// Half-open token range of the body, braces included.
     pub body: (usize, usize),
     pub line: u32,
@@ -251,6 +255,7 @@ fn parse_fn(toks: &[Token], at: usize) -> Option<FnItem> {
             let end = matching(toks, j, '{', '}').map_or(toks.len(), |e| e + 1);
             return Some(FnItem {
                 name: name_tok.text.clone(),
+                sig: (at, j),
                 body: (j, end),
                 line: name_tok.line,
                 impl_trait: None,

@@ -1,17 +1,69 @@
-//! Diagnostic rendering: human-readable lines plus a hand-rolled JSON
-//! summary (the workspace builds offline, so no serde).
+//! Diagnostic rendering: human-readable lines, a hand-rolled JSON summary,
+//! SARIF 2.1.0 for CI artifact upload, and the waiver-debt ratchet (the
+//! workspace builds offline, so no serde).
 
 use std::collections::BTreeMap;
 
 use crate::rules::Violation;
+
+/// One `// tw-analyze: allow(..)` comment found anywhere in the tree.
+#[derive(Debug, Clone)]
+pub struct WaiverRecord {
+    pub path: String,
+    pub line: u32,
+    pub rule: String,
+    pub reason: Option<String>,
+    /// Matched at least one violation.
+    pub used: bool,
+}
+
+/// Short catalog text per rule, used by SARIF `tool.driver.rules`.
+pub const RULE_CATALOG: [(&str, &str); 12] = [
+    ("TW001", "no raw `as` casts between tick/index integers"),
+    (
+        "TW002",
+        "no panicking ops reachable from the §2 TimerScheme routines",
+    ),
+    ("TW003", "no wall-clock reads in scheme/DES code"),
+    (
+        "TW004",
+        "no heap allocation reachable from PER_TICK_BOOKKEEPING",
+    ),
+    (
+        "TW005",
+        "every mutating TimerScheme method touches OpCounters",
+    ),
+    (
+        "TW006",
+        "no concrete sync primitives outside the sync layer",
+    ),
+    (
+        "TW007",
+        "every TimerScheme impl has InvariantCheck + oracle registration",
+    ),
+    ("TW008", "no heap allocation reachable from Observer hooks"),
+    (
+        "TW009",
+        "lock graph acyclic; no lock held across blocking ops or callback delivery",
+    ),
+    (
+        "TW010",
+        "clock stores non-decreasing; slot indexes flow through a mod/mask choke point",
+    ),
+    (
+        "TW011",
+        "no wildcard arms swallowing TimerError/Expired values",
+    ),
+    ("WAIVER", "every waiver carries an auditable reason"),
+];
 
 /// The result of analyzing a workspace.
 pub struct Report {
     /// Every violation found, waived or not.
     pub violations: Vec<Violation>,
     pub files_scanned: usize,
-    /// Waivers that matched no violation (stale — informational).
-    pub stale_waivers: Vec<(String, u32, String)>,
+    /// Every waiver comment in the tree, with use status.
+    pub waivers: Vec<WaiverRecord>,
 }
 
 impl Report {
@@ -24,7 +76,16 @@ impl Report {
         self.active().next().is_none()
     }
 
+    /// Reasoned waivers that matched no violation (informational).
+    pub fn stale_waivers(&self) -> impl Iterator<Item = &WaiverRecord> {
+        self.waivers
+            .iter()
+            .filter(|w| !w.used && w.reason.is_some())
+    }
+
     /// Human diagnostics, one line per finding, rustc-style `path:line`.
+    /// Stale waivers with identical `(rule, reason)` text are deduplicated
+    /// into one line listing every site.
     pub fn human(&self) -> String {
         let mut out = String::new();
         for v in &self.violations {
@@ -45,17 +106,61 @@ impl Report {
                 v.waive_reason.as_deref().unwrap_or("")
             ));
         }
-        for (path, line, rule) in &self.stale_waivers {
+        let mut stale: BTreeMap<(String, String), Vec<String>> = BTreeMap::new();
+        for w in self.stale_waivers() {
+            stale
+                .entry((w.rule.clone(), w.reason.clone().unwrap_or_default()))
+                .or_default()
+                .push(format!("{}:{}", w.path, w.line));
+        }
+        for ((rule, reason), sites) in &stale {
             out.push_str(&format!(
-                "stale waiver for {rule}: {path}:{line} matches no violation\n"
+                "stale waiver for {rule} (\"{reason}\") matches no violation at: {}\n",
+                sites.join(", ")
             ));
         }
         let active = self.active().count();
-        let waived = self.violations.len() - active;
+        let waived = self.violations.iter().filter(|v| v.waived).count();
         out.push_str(&format!(
-            "tw-analyze: {} file(s), {active} violation(s), {waived} waived\n",
-            self.files_scanned
+            "tw-analyze: {} file(s), {active} violation(s), {waived} waived, {} waiver(s) total\n",
+            self.files_scanned,
+            self.waivers.len()
         ));
+        out
+    }
+
+    /// Full waiver inventory: every `allow(...)` in the tree with its
+    /// file:line, deduplicated by identical `(rule, reason)` text.
+    pub fn waiver_inventory(&self) -> String {
+        let mut groups: BTreeMap<(String, String), Vec<(String, bool)>> = BTreeMap::new();
+        for w in &self.waivers {
+            groups
+                .entry((
+                    w.rule.clone(),
+                    w.reason.clone().unwrap_or_else(|| "<no reason>".into()),
+                ))
+                .or_default()
+                .push((format!("{}:{}", w.path, w.line), w.used));
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "waiver inventory: {} waiver(s), {} distinct (rule, reason) group(s), {} stale\n",
+            self.waivers.len(),
+            groups.len(),
+            self.stale_waivers().count()
+        ));
+        for ((rule, reason), sites) in &groups {
+            let mark = |used: &bool| if *used { "" } else { " [stale]" };
+            let rendered: Vec<String> = sites
+                .iter()
+                .map(|(s, used)| format!("{s}{}", mark(used)))
+                .collect();
+            out.push_str(&format!(
+                "  {rule} x{}: \"{reason}\"\n      {}\n",
+                sites.len(),
+                rendered.join("\n      ")
+            ));
+        }
         out
     }
 
@@ -76,6 +181,11 @@ impl Report {
         s.push_str(&format!(
             "\"waived\":{},",
             self.violations.iter().filter(|v| v.waived).count()
+        ));
+        s.push_str(&format!(
+            "\"waivers\":{{\"total\":{},\"stale\":{}}},",
+            self.waivers.len(),
+            self.stale_waivers().count()
         ));
         s.push_str("\"rules\":{");
         let mut first = true;
@@ -107,6 +217,104 @@ impl Report {
         s.push_str("]}");
         s
     }
+
+    /// SARIF 2.1.0 log: one run, one result per violation. Waived
+    /// violations carry an `inSource` suppression with the waiver reason as
+    /// justification, so SARIF viewers show them as suppressed rather than
+    /// open.
+    pub fn to_sarif(&self) -> String {
+        let mut s = String::from(
+            "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+             \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+             \"name\":\"tw-analyze\",\"version\":\"0.2.0\",\"rules\":[",
+        );
+        let mut first = true;
+        for (id, desc) in RULE_CATALOG {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "{{\"id\":\"{id}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+                escape(desc)
+            ));
+        }
+        s.push_str("]}},\"results\":[");
+        let mut first = true;
+        for v in &self.violations {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"error\",\
+                 \"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\
+                 \"artifactLocation\":{{\"uri\":\"{}\"}},\
+                 \"region\":{{\"startLine\":{}}}}}}}]",
+                v.rule,
+                escape(&v.message),
+                escape(&v.path),
+                v.line
+            ));
+            if v.waived {
+                s.push_str(&format!(
+                    ",\"suppressions\":[{{\"kind\":\"inSource\",\
+                     \"justification\":\"{}\"}}]",
+                    escape(v.waive_reason.as_deref().unwrap_or(""))
+                ));
+            }
+            s.push('}');
+        }
+        s.push_str("]}]}");
+        s
+    }
+
+    /// Current waiver-debt counts in `waivers.ratchet` format.
+    pub fn ratchet_counts(&self) -> String {
+        let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+        for w in &self.waivers {
+            *per_rule.entry(w.rule.as_str()).or_default() += 1;
+        }
+        let mut s = format!("total = {}\n", self.waivers.len());
+        for (rule, n) in per_rule {
+            s.push_str(&format!("{rule} = {n}\n"));
+        }
+        s
+    }
+
+    /// Enforces the ratchet: total waiver debt must never rise. Returns a
+    /// status line, or an error message when the gate fails.
+    pub fn ratchet_check(&self, baseline: &str) -> Result<String, String> {
+        let allowed = parse_ratchet_total(baseline)
+            .ok_or_else(|| "waivers.ratchet has no `total = N` line".to_string())?;
+        let current = self.waivers.len();
+        if current > allowed {
+            return Err(format!(
+                "waiver ratchet: {current} waiver(s), baseline allows {allowed}; \
+                 fix the violation instead of waiving it (or argue the waiver and \
+                 re-baseline in the same change)"
+            ));
+        }
+        if current < allowed {
+            return Ok(format!(
+                "waiver ratchet: {current} <= {allowed} OK (debt shrank — tighten \
+                 waivers.ratchet to {current})"
+            ));
+        }
+        Ok(format!("waiver ratchet: {current} <= {allowed} OK"))
+    }
+}
+
+fn parse_ratchet_total(text: &str) -> Option<usize> {
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("total") {
+            let rest = rest.trim_start().strip_prefix('=')?.trim();
+            return rest.parse().ok();
+        }
+    }
+    None
 }
 
 fn escape(s: &str) -> String {
@@ -138,17 +346,28 @@ mod tests {
         }
     }
 
+    fn waiver(rule: &str, line: u32, used: bool) -> WaiverRecord {
+        WaiverRecord {
+            path: "crates/x/src/a.rs".into(),
+            line,
+            rule: rule.into(),
+            reason: Some("because".into()),
+            used,
+        }
+    }
+
     #[test]
     fn json_counts_active_and_waived() {
         let r = Report {
             violations: vec![violation("TW001", false), violation("TW001", true)],
             files_scanned: 2,
-            stale_waivers: vec![],
+            waivers: vec![waiver("TW001", 2, true)],
         };
         let j = r.to_json();
         assert!(j.contains("\"active\":1"));
         assert!(j.contains("\"waived\":1"));
         assert!(j.contains("\"TW001\":{\"active\":1,\"waived\":1}"));
+        assert!(j.contains("\"waivers\":{\"total\":1,\"stale\":0}"));
         assert!(j.contains("msg with \\\"quotes\\\""));
         assert!(!r.is_clean());
     }
@@ -158,8 +377,56 @@ mod tests {
         let r = Report {
             violations: vec![violation("TW002", true)],
             files_scanned: 1,
-            stale_waivers: vec![],
+            waivers: vec![],
         };
         assert!(r.is_clean());
+    }
+
+    #[test]
+    fn sarif_marks_waived_results_suppressed() {
+        let r = Report {
+            violations: vec![violation("TW001", false), violation("TW002", true)],
+            files_scanned: 1,
+            waivers: vec![],
+        };
+        let s = r.to_sarif();
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"ruleId\":\"TW001\""));
+        assert_eq!(s.matches("\"suppressions\"").count(), 1);
+        assert!(s.contains("\"justification\":\"because\""));
+        // Every rule in the catalog is declared to the driver.
+        assert!(s.contains("\"id\":\"TW009\""));
+        assert!(s.contains("\"id\":\"TW011\""));
+    }
+
+    #[test]
+    fn ratchet_fails_only_when_debt_rises() {
+        let r = Report {
+            violations: vec![],
+            files_scanned: 1,
+            waivers: vec![waiver("TW002", 1, true), waiver("TW004", 9, true)],
+        };
+        assert!(r.ratchet_check("total = 2\n").is_ok());
+        assert!(r.ratchet_check("total = 3\nTW002 = 1\n").is_ok());
+        let err = r.ratchet_check("total = 1\n").unwrap_err();
+        assert!(err.contains("baseline allows 1"));
+        assert!(r.ratchet_check("garbage").is_err());
+        assert!(r.ratchet_counts().contains("total = 2"));
+        assert!(r.ratchet_counts().contains("TW004 = 1"));
+    }
+
+    #[test]
+    fn stale_waivers_dedupe_in_human_output() {
+        let r = Report {
+            violations: vec![],
+            files_scanned: 1,
+            waivers: vec![waiver("TW003", 4, false), waiver("TW003", 9, false)],
+        };
+        let h = r.human();
+        assert_eq!(h.matches("stale waiver for TW003").count(), 1);
+        assert!(h.contains("a.rs:4, crates/x/src/a.rs:9"));
+        let inv = r.waiver_inventory();
+        assert!(inv.contains("TW003 x2"));
+        assert!(inv.contains("[stale]"));
     }
 }

@@ -1,11 +1,15 @@
-//! The seven rule passes. Each rule has an ID, a paper-derived rationale
-//! (see DESIGN.md §6), and emits span-accurate [`Violation`]s; waiver
-//! matching happens in [`crate::Workspace::analyze`].
+//! The per-file and reachability rule passes (TW001–TW008, TW011). Each
+//! rule has an ID, a paper-derived rationale (see DESIGN.md §6), and emits
+//! span-accurate [`Violation`]s; waiver matching happens in
+//! [`crate::Workspace::analyze`]. The whole-program passes live in
+//! [`crate::lockgraph`] (TW009) and [`crate::dataflow`] (TW010), on the
+//! interprocedural model built by [`crate::summaries`].
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::HashSet;
 
 use crate::lexer::{self, TokKind};
-use crate::model::{FnItem, SourceFile};
+use crate::model::SourceFile;
+use crate::summaries::WorkspaceModel;
 
 /// One diagnostic from a rule pass.
 #[derive(Debug, Clone)]
@@ -21,10 +25,10 @@ pub struct Violation {
 }
 
 impl Violation {
-    fn new(rule: &'static str, file: &SourceFile, line: u32, message: String) -> Violation {
+    pub(crate) fn new(rule: &'static str, path: &str, line: u32, message: String) -> Violation {
         Violation {
             rule,
-            path: file.path.clone(),
+            path: path.to_string(),
             line,
             message,
             waived: false,
@@ -33,8 +37,90 @@ impl Violation {
     }
 }
 
-/// The four paper routines (§2) whose implementations are hot paths.
-const ROUTINES: [&str; 4] = ["start_timer", "stop_timer", "tick", "per_tick_bookkeeping"];
+/// One §2 routine and which rule seeds it participates in. Data-driven so
+/// the upcoming update-op work (`restart_timer`, ROADMAP item 1) inherits
+/// the full rule set by adding a row, not by editing every pass.
+pub struct RoutineSpec {
+    pub name: &'static str,
+    /// TW002: everything reachable from this routine must be panic-free.
+    pub panic_seed: bool,
+    /// TW004: seed wherever the name appears (the free-standing
+    /// `per_tick_bookkeeping` drivers).
+    pub alloc_any: bool,
+    /// TW004: seed when implemented as a `TimerScheme` method.
+    pub alloc_scheme_impl: bool,
+    /// TW004: seed by name in `tw-concurrent`, whose per-tick path is
+    /// inherent methods rather than a trait impl.
+    pub alloc_concurrent_inherent: bool,
+    /// TW005: `TimerScheme` impls must touch `OpCounters` or delegate.
+    pub counted: bool,
+}
+
+/// The §2 routine set. `restart_timer` is prospective — no implementation
+/// exists yet — so the update-op PR lands with TW002/TW005 coverage from
+/// day one.
+pub const ROUTINES: [RoutineSpec; 7] = [
+    RoutineSpec {
+        name: "start_timer",
+        panic_seed: true,
+        alloc_any: false,
+        alloc_scheme_impl: false,
+        alloc_concurrent_inherent: false,
+        counted: true,
+    },
+    RoutineSpec {
+        name: "stop_timer",
+        panic_seed: true,
+        alloc_any: false,
+        alloc_scheme_impl: false,
+        alloc_concurrent_inherent: false,
+        counted: true,
+    },
+    RoutineSpec {
+        name: "restart_timer",
+        panic_seed: true,
+        alloc_any: false,
+        alloc_scheme_impl: false,
+        alloc_concurrent_inherent: false,
+        counted: true,
+    },
+    RoutineSpec {
+        name: "tick",
+        panic_seed: true,
+        alloc_any: false,
+        alloc_scheme_impl: true,
+        alloc_concurrent_inherent: true,
+        counted: true,
+    },
+    RoutineSpec {
+        name: "per_tick_bookkeeping",
+        panic_seed: true,
+        alloc_any: true,
+        alloc_scheme_impl: false,
+        alloc_concurrent_inherent: false,
+        counted: false,
+    },
+    RoutineSpec {
+        name: "tick_into",
+        panic_seed: false,
+        alloc_any: false,
+        alloc_scheme_impl: false,
+        alloc_concurrent_inherent: true,
+        counted: false,
+    },
+    RoutineSpec {
+        name: "advance_into",
+        panic_seed: false,
+        alloc_any: false,
+        alloc_scheme_impl: false,
+        alloc_concurrent_inherent: true,
+        counted: false,
+    },
+];
+
+fn routine(name: &str) -> Option<&'static RoutineSpec> {
+    ROUTINES.iter().find(|r| r.name == name)
+}
 
 /// Crates holding tick/index arithmetic that TW001 polices.
 const TW001_CRATES: [&str; 2] = ["tw-core", "tw-concurrent"];
@@ -47,19 +133,6 @@ fn tw003_in_scope(krate: &str) -> bool {
 
 const INT_TYPES: [&str; 12] = [
     "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
-];
-
-/// Method calls excluded from the call graph: ubiquitous names whose
-/// same-name matches are overwhelmingly std types, not local functions.
-const CALL_DENYLIST: [&str; 8] = [
-    "new",
-    "default",
-    "clone",
-    "fmt",
-    "from",
-    "try_from",
-    "try_into",
-    "with_capacity",
 ];
 
 /// TW001 — no raw `as` casts between integer types in tick/index code.
@@ -79,7 +152,7 @@ pub fn tw001(file: &SourceFile, out: &mut Vec<Violation>) {
         if toks[i].is_ident("as") && INT_TYPES.contains(&toks[i + 1].text.as_str()) {
             out.push(Violation::new(
                 "TW001",
-                file,
+                &file.path,
                 toks[i].line,
                 format!(
                     "raw `as {}` cast in tick/index code; use the checked helpers in \
@@ -91,85 +164,26 @@ pub fn tw001(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
-/// Name-indexed view of every function in one crate, for reachability.
-pub struct CrateIndex<'a> {
-    pub fns: Vec<(&'a SourceFile, &'a FnItem)>,
-    by_name: HashMap<&'a str, Vec<usize>>,
-}
-
-impl<'a> CrateIndex<'a> {
-    pub fn build(files: &'a [SourceFile], krate: &str) -> CrateIndex<'a> {
-        let mut fns = Vec::new();
-        for f in files.iter().filter(|f| f.krate == krate && !f.is_test_file) {
-            for item in &f.fns {
-                fns.push((f, item));
-            }
-        }
-        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
-        for (i, (_, item)) in fns.iter().enumerate() {
-            by_name.entry(item.name.as_str()).or_default().push(i);
-        }
-        CrateIndex { fns, by_name }
-    }
-
-    /// BFS over the name-based call graph. Over-approximates (any same-name
-    /// function in the crate is a potential callee), which errs on the side
-    /// of flagging — the honest direction for a lint.
-    pub fn reachable(&self, seeds: Vec<usize>) -> HashSet<usize> {
-        let mut seen: HashSet<usize> = seeds.iter().copied().collect();
-        let mut queue: VecDeque<usize> = seeds.into();
-        while let Some(i) = queue.pop_front() {
-            let (file, item) = self.fns[i];
-            let toks = &file.lexed.tokens[item.body.0..item.body.1];
-            for (k, t) in toks.iter().enumerate() {
-                if t.kind != TokKind::Ident || CALL_DENYLIST.contains(&t.text.as_str()) {
-                    continue;
-                }
-                let next = toks.get(k + 1);
-                let is_call = next.is_some_and(|n| n.is_punct('('))
-                    || (next.is_some_and(|n| n.is_punct(':'))
-                        && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
-                        && toks.get(k + 3).is_some_and(|n| n.is_punct('<')));
-                if !is_call {
-                    continue;
-                }
-                if let Some(callees) = self.by_name.get(t.text.as_str()) {
-                    for &c in callees {
-                        if c != i && seen.insert(c) {
-                            queue.push_back(c);
-                        }
-                    }
-                }
-            }
-        }
-        seen
-    }
-
-    pub fn seed_indices(&self, pred: impl Fn(&SourceFile, &FnItem) -> bool) -> Vec<usize> {
-        self.fns
-            .iter()
-            .enumerate()
-            .filter(|(_, (f, item))| pred(f, item))
-            .map(|(i, _)| i)
-            .collect()
-    }
-}
-
-/// TW002 — no panicking operations reachable from the four routines.
+/// TW002 — no panicking operations reachable from the §2 routines.
 ///
 /// User-supplied intervals must surface as `TimerError`, never as a panic;
-/// remaining internal-consistency panics need an explicit waiver.
-pub fn tw002(index: &CrateIndex<'_>, out: &mut Vec<Violation>) {
-    let seeds = index.seed_indices(|f, item| {
-        ROUTINES.contains(&item.name.as_str())
+/// remaining internal-consistency panics need an explicit waiver. The
+/// reachability walk uses the typed call graph from [`crate::summaries`],
+/// so `inner.wheel.start_timer(..)` follows the field's actual type
+/// instead of every same-named function in the crate.
+pub fn tw002(model: &WorkspaceModel<'_>, krate: &str, out: &mut Vec<Violation>) {
+    let seeds = model.seed_indices(|f, item| {
+        f.krate == krate
+            && routine(&item.name).is_some_and(|r| r.panic_seed)
             && (item.impl_trait.as_deref() == Some("TimerScheme")
                 || matches!(f.krate.as_str(), "tw-core" | "tw-concurrent"))
     });
     if seeds.is_empty() {
         return;
     }
-    for i in index.reachable(seeds) {
-        let (file, item) = index.fns[i];
+    for i in model.reachable_in_crate(seeds, krate) {
+        let n = &model.nodes[i];
+        let (file, item) = (n.file, n.item);
         let toks = &file.lexed.tokens;
         for k in item.body.0..item.body.1 {
             let t = &toks[k];
@@ -193,7 +207,7 @@ pub fn tw002(index: &CrateIndex<'_>, out: &mut Vec<Violation>) {
             if method_panic || macro_panic {
                 out.push(Violation::new(
                     "TW002",
-                    file,
+                    &file.path,
                     t.line,
                     format!(
                         "panicking `{}` in `{}`, reachable from a TimerScheme routine; \
@@ -228,7 +242,7 @@ pub fn tw003(file: &SourceFile, out: &mut Vec<Violation>) {
         if instant_now || t.is_ident("SystemTime") {
             out.push(Violation::new(
                 "TW003",
-                file,
+                &file.path,
                 t.line,
                 "wall-clock read in simulated-time code; schemes and simulators must \
                  consume Tick time only"
@@ -245,18 +259,21 @@ pub fn tw003(file: &SourceFile, out: &mut Vec<Violation>) {
 /// `TimerScheme` impl, so `tick`, the reusable-buffer `tick_into`, and the
 /// batched `advance_into` are seeded there by name (their buffer appends
 /// carry per-call-site waivers with the amortization argument).
-pub fn tw004(index: &CrateIndex<'_>, out: &mut Vec<Violation>) {
-    let seeds = index.seed_indices(|file, item| {
-        (item.name == "tick" && item.impl_trait.as_deref() == Some("TimerScheme"))
-            || item.name == "per_tick_bookkeeping"
-            || (file.krate == "tw-concurrent"
-                && matches!(item.name.as_str(), "tick" | "tick_into" | "advance_into"))
+pub fn tw004(model: &WorkspaceModel<'_>, krate: &str, out: &mut Vec<Violation>) {
+    let seeds = model.seed_indices(|file, item| {
+        file.krate == krate
+            && routine(&item.name).is_some_and(|r| {
+                r.alloc_any
+                    || (r.alloc_scheme_impl && item.impl_trait.as_deref() == Some("TimerScheme"))
+                    || (r.alloc_concurrent_inherent && file.krate == "tw-concurrent")
+            })
     });
     if seeds.is_empty() {
         return;
     }
-    for i in index.reachable(seeds) {
-        let (file, item) = index.fns[i];
+    for i in model.reachable_in_crate(seeds, krate) {
+        let n = &model.nodes[i];
+        let (file, item) = (n.file, n.item);
         // Invariant-check walks (`impl InvariantCheck`, `check_*` helpers)
         // only run under the `checked` diagnostic harness, never on the
         // measured per-tick path — their scratch allocations are exempt.
@@ -268,7 +285,7 @@ pub fn tw004(index: &CrateIndex<'_>, out: &mut Vec<Violation>) {
             if let Some(what) = alloc_token(toks, k) {
                 out.push(Violation::new(
                     "TW004",
-                    file,
+                    &file.path,
                     toks[k].line,
                     format!(
                         "heap allocation (`{what}`) in `{}`, reachable from \
@@ -313,7 +330,7 @@ fn alloc_token(toks: &[lexer::Token], k: usize) -> Option<&str> {
 pub fn tw005(file: &SourceFile, out: &mut Vec<Violation>) {
     for item in &file.fns {
         if item.impl_trait.as_deref() != Some("TimerScheme")
-            || !matches!(item.name.as_str(), "start_timer" | "stop_timer" | "tick")
+            || !routine(&item.name).is_some_and(|r| r.counted)
         {
             continue;
         }
@@ -325,7 +342,7 @@ pub fn tw005(file: &SourceFile, out: &mut Vec<Violation>) {
         if !touches && !delegates {
             out.push(Violation::new(
                 "TW005",
-                file,
+                &file.path,
                 item.line,
                 format!(
                     "`{}` for `{}` neither updates OpCounters nor delegates to an \
@@ -360,7 +377,7 @@ pub fn tw006(file: &SourceFile, out: &mut Vec<Violation>) {
         if std_sync || direct {
             out.push(Violation::new(
                 "TW006",
-                file,
+                &file.path,
                 t.line,
                 "concrete sync primitive outside crate::sync; route it through the \
                  sync abstraction so loom models cover it"
@@ -404,7 +421,7 @@ pub fn tw007(files: &[SourceFile], out: &mut Vec<Violation>) {
             if !checked.contains(im.type_name.as_str()) {
                 out.push(Violation::new(
                     "TW007",
-                    f,
+                    &f.path,
                     im.line,
                     format!(
                         "`{}` implements TimerScheme but not InvariantCheck; every \
@@ -416,7 +433,7 @@ pub fn tw007(files: &[SourceFile], out: &mut Vec<Violation>) {
             if !registered(&im.type_name) {
                 out.push(Violation::new(
                     "TW007",
-                    f,
+                    &f.path,
                     im.line,
                     format!(
                         "`{}` implements TimerScheme but is not exercised by any \
@@ -437,19 +454,21 @@ pub fn tw007(files: &[SourceFile], out: &mut Vec<Violation>) {
 /// TW004 bans from the schemes themselves. Seeds are the methods of every
 /// `impl Observer for ...` block; the same name-based BFS and waiver
 /// syntax as TW004 apply.
-pub fn tw008(index: &CrateIndex<'_>, out: &mut Vec<Violation>) {
-    let seeds = index.seed_indices(|_, item| item.impl_trait.as_deref() == Some("Observer"));
+pub fn tw008(model: &WorkspaceModel<'_>, krate: &str, out: &mut Vec<Violation>) {
+    let seeds = model
+        .seed_indices(|f, item| f.krate == krate && item.impl_trait.as_deref() == Some("Observer"));
     if seeds.is_empty() {
         return;
     }
-    for i in index.reachable(seeds) {
-        let (file, item) = index.fns[i];
+    for i in model.reachable_in_crate(seeds, krate) {
+        let n = &model.nodes[i];
+        let (file, item) = (n.file, n.item);
         let toks = &file.lexed.tokens;
         for k in item.body.0..item.body.1 {
             if let Some(what) = alloc_token(toks, k) {
                 out.push(Violation::new(
                     "TW008",
-                    file,
+                    &file.path,
                     toks[k].line,
                     format!(
                         "heap allocation (`{what}`) in `{}`, reachable from an \
@@ -461,4 +480,162 @@ pub fn tw008(index: &CrateIndex<'_>, out: &mut Vec<Violation>) {
             }
         }
     }
+}
+
+/// TW011 — no wildcard arms swallowing `TimerError` / `Expired` values.
+///
+/// `TimerError` is `#[non_exhaustive]` precisely so new failure modes
+/// (`Saturated` was added in PR 5) *force* a compile break in exhaustive
+/// matches; a `_ =>` or `Err(_) =>` arm at a public boundary silently eats
+/// them instead. Matches that mention either type in a *pattern* must bind
+/// what they discard (`Err(other) => ...`).
+pub fn tw011(file: &SourceFile, out: &mut Vec<Violation>) {
+    if file.is_test_file {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("match") || file.in_test_region(i) {
+            i += 1;
+            continue;
+        }
+        // Scrutinee runs to the first `{` (struct literals are not legal
+        // unparenthesized in match-scrutinee position).
+        let mut open = i + 1;
+        while open < toks.len() && !toks[open].is_punct('{') {
+            open += 1;
+        }
+        if open >= toks.len() {
+            break;
+        }
+        let mut depth = 0usize;
+        let mut close = open;
+        while close < toks.len() {
+            if toks[close].is_punct('{') {
+                depth += 1;
+            } else if toks[close].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            close += 1;
+        }
+        let arms = collect_arms(toks, open + 1, close);
+        let sensitive = arms.iter().any(|&(plo, phi, _)| {
+            toks[plo..phi]
+                .iter()
+                .any(|t| t.is_ident("TimerError") || t.is_ident("Expired"))
+        });
+        if sensitive {
+            for &(plo, phi, _) in &arms {
+                let pat = &toks[plo..phi];
+                let bare_wild = pat.len() == 1 && pat[0].is_ident("_");
+                let err_wild = pat.len() == 4
+                    && pat[0].is_ident("Err")
+                    && pat[1].is_punct('(')
+                    && pat[2].is_ident("_")
+                    && pat[3].is_punct(')');
+                if bare_wild || err_wild {
+                    out.push(Violation::new(
+                        "TW011",
+                        &file.path,
+                        pat[0].line,
+                        "wildcard arm swallows TimerError variants; bind the value \
+                         (`Err(other) =>`) so new non_exhaustive variants like \
+                         Saturated cannot be silently ignored"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        i = close + 1;
+    }
+}
+
+/// Splits a match body into arms: `(pattern_lo, pattern_hi, body_end)`
+/// token ranges, pattern exclusive of the `=>`.
+fn collect_arms(toks: &[lexer::Token], lo: usize, hi: usize) -> Vec<(usize, usize, usize)> {
+    let mut arms = Vec::new();
+    let mut p = lo;
+    while p < hi {
+        // Pattern: up to `=>` at relative depth 0.
+        let start = p;
+        let (mut par, mut sq, mut br) = (0i32, 0i32, 0i32);
+        let mut eq = None;
+        while p < hi {
+            let t = &toks[p];
+            if t.is_punct('(') {
+                par += 1;
+            } else if t.is_punct(')') {
+                par -= 1;
+            } else if t.is_punct('[') {
+                sq += 1;
+            } else if t.is_punct(']') {
+                sq -= 1;
+            } else if t.is_punct('{') {
+                br += 1;
+            } else if t.is_punct('}') {
+                br -= 1;
+            } else if t.is_punct('=')
+                && toks.get(p + 1).is_some_and(|n| n.is_punct('>'))
+                && par == 0
+                && sq == 0
+                && br == 0
+            {
+                eq = Some(p);
+                break;
+            }
+            p += 1;
+        }
+        let Some(eq) = eq else { break };
+        // Body: a block to its matching brace, or tokens to the next `,`
+        // at relative depth 0.
+        let mut b = eq + 2;
+        let end = if toks.get(b).is_some_and(|t| t.is_punct('{')) {
+            let mut d = 0usize;
+            while b < hi {
+                if toks[b].is_punct('{') {
+                    d += 1;
+                } else if toks[b].is_punct('}') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                b += 1;
+            }
+            b + 1
+        } else {
+            let (mut par, mut sq, mut br) = (0i32, 0i32, 0i32);
+            while b < hi {
+                let t = &toks[b];
+                if t.is_punct('(') {
+                    par += 1;
+                } else if t.is_punct(')') {
+                    par -= 1;
+                } else if t.is_punct('[') {
+                    sq += 1;
+                } else if t.is_punct(']') {
+                    sq -= 1;
+                } else if t.is_punct('{') {
+                    br += 1;
+                } else if t.is_punct('}') {
+                    br -= 1;
+                } else if t.is_punct(',') && par == 0 && sq == 0 && br == 0 {
+                    break;
+                }
+                b += 1;
+            }
+            b
+        };
+        arms.push((start, eq, end));
+        p = end;
+        // Skip a trailing comma after a block body.
+        if toks.get(p).is_some_and(|t| t.is_punct(',')) {
+            p += 1;
+        }
+    }
+    arms
 }

@@ -1,0 +1,980 @@
+//! Pass 1 of the two-pass analyzer: the interprocedural model.
+//!
+//! Where the per-crate `CrateIndex` of the original linter matched callees
+//! by name alone, this module builds a whole-workspace function index with
+//! three precision upgrades the whole-program rules (TW009/TW010) and the
+//! reachability rules (TW002/TW004/TW008) share:
+//!
+//! 1. **Receiver-typed call resolution.** `self.f()` resolves to the
+//!    caller's own impl block; `field.f()` resolves through a struct
+//!    field-type index (`wheel: HashedWheelUnsorted<..>` sends `wheel.f()`
+//!    to `HashedWheelUnsorted`'s impls); `Type::f()` resolves to `Type`'s
+//!    impls. Only when the receiver is unknowable does resolution fall back
+//!    to the old name-based over-approximation.
+//! 2. **Per-function summaries** — the lock classes a function acquires
+//!    (directly or through callees), whether it returns a guard, whether it
+//!    may block, and whether it delivers a caller-supplied callback —
+//!    closed under a fixpoint over the call graph. TW009 consumes these.
+//! 3. **In-source facts** (`// tw-analyze: fact(nonblocking, ...)`): trait
+//!    hook declarations can assert a contract the analyzer both *assumes*
+//!    at call sites and *verifies* against every implementation.
+//!
+//! Soundness posture: candidate sets over-approximate except where a
+//! receiver type is positively known, and the *blocking* verdict only
+//! propagates through confidently-resolved calls — blocking names
+//! (`send`/`recv`/`wait`/`join`) are too ubiquitous for name-matching to
+//! give a useful signal, and every blocking primitive written in-line is
+//! still caught by the direct-token scan.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::lexer::{TokKind, Token};
+use crate::model::{FnItem, SourceFile};
+
+/// Method names excluded from *fallback* (receiver-unknown) resolution:
+/// ubiquitous names whose same-name matches are overwhelmingly std types.
+/// Typed resolution ignores this list — a positively-identified callee is
+/// followed no matter what it is called.
+pub const CALL_DENYLIST: [&str; 8] = [
+    "new",
+    "default",
+    "clone",
+    "fmt",
+    "from",
+    "try_from",
+    "try_into",
+    "with_capacity",
+];
+
+/// Operations that can park the calling thread. Holding any bucket or gate
+/// lock across one of these is the Appendix A.2 deadlock/latency hazard
+/// TW009 polices.
+const BLOCKING_OPS: [&str; 8] = [
+    "send",
+    "recv",
+    "recv_timeout",
+    "park",
+    "sleep",
+    "join",
+    "wait",
+    "wait_timeout",
+];
+
+/// Container wrappers unwrapped when reading a field's type head:
+/// `Vec<Mutex<Bucket>>` types the field as `Bucket`, the innermost named
+/// type, which is what a method call through the field dispatches on after
+/// deref/indexing.
+const TYPE_WRAPPERS: [&str; 16] = [
+    "Vec",
+    "VecDeque",
+    "Option",
+    "Box",
+    "Arc",
+    "Rc",
+    "Mutex",
+    "RwLock",
+    "RefCell",
+    "Cell",
+    "Result",
+    "Reverse",
+    "BinaryHeap",
+    "HashMap",
+    "BTreeMap",
+    "ManuallyDrop",
+];
+
+/// One lock acquisition found in a function body.
+#[derive(Debug, Clone)]
+pub struct Acquisition {
+    /// Lock class, `ImplType.field` (e.g. `ShardedWheel.tick_gate`). The
+    /// impl-type qualifier keeps same-named fields of different types
+    /// (`MpscWheel.inner` vs `CoarseLocked.inner`) in distinct classes.
+    pub class: String,
+    pub line: u32,
+    /// Absolute token span over which the guard is held: to `drop(binder)`
+    /// or the end of the enclosing block for bound guards, to the end of
+    /// the statement for temporaries.
+    pub span: (usize, usize),
+}
+
+/// What the rest of the analyzer knows about one function.
+#[derive(Debug, Clone, Default)]
+pub struct FnSummary {
+    /// Transitive closure of lock classes acquired (direct + callees).
+    pub acquires: BTreeSet<String>,
+    /// Direct `.lock()` / `.try_lock()` sites with hold spans.
+    pub direct: Vec<Acquisition>,
+    /// Signature returns a guard type (`-> MutexGuard<..>`): callers of
+    /// this function hold its `acquires` set at the call site.
+    pub returns_guard: bool,
+    /// May park the calling thread; the string says where/why.
+    pub blocking: Option<String>,
+    /// Invokes a caller-supplied `FnMut` parameter (callback delivery),
+    /// directly or transitively.
+    pub delivers_callback: Option<String>,
+    /// Declared `fact(nonblocking)` — asserted leaf, verified separately.
+    pub nonblocking_fact: bool,
+    /// Names of `FnMut`-typed parameters (callback arguments).
+    pub callback_params: Vec<String>,
+}
+
+/// One function in the workspace-wide index.
+pub struct FnNode<'a> {
+    pub file_idx: usize,
+    pub file: &'a SourceFile,
+    pub item: &'a FnItem,
+}
+
+/// Result of resolving one call site.
+pub struct Resolution {
+    /// Candidate indices into [`WorkspaceModel::nodes`]. May legitimately
+    /// be empty when the receiver type is known but its methods live
+    /// outside the workspace (std) — the call is then a leaf.
+    pub candidates: Vec<usize>,
+    /// True when the receiver was positively typed (self / typed field /
+    /// `Type::`); blocking verdicts only propagate through these.
+    pub confident: bool,
+}
+
+/// The interprocedural model: every non-test function in every crate, a
+/// field-type index, and fixpointed per-function summaries.
+pub struct WorkspaceModel<'a> {
+    pub nodes: Vec<FnNode<'a>>,
+    pub summaries: Vec<FnSummary>,
+    /// Function names declared `fact(nonblocking)` somewhere: calls to
+    /// these names are treated as leaves and every same-named impl is held
+    /// to the contract by TW009.
+    pub nonblocking_names: HashSet<String>,
+    by_name: HashMap<String, Vec<usize>>,
+    /// `(file_idx, field) -> type head`; `None` marks an ambiguous field.
+    file_fields: HashMap<(usize, String), Option<String>>,
+    /// `(crate, field) -> type head` fallback, unambiguous per crate only.
+    crate_fields: HashMap<(String, String), Option<String>>,
+    /// Every type name that heads an impl block (for `Type::f` confidence).
+    impl_types: HashSet<String>,
+}
+
+impl<'a> WorkspaceModel<'a> {
+    pub fn build(files: &'a [SourceFile]) -> WorkspaceModel<'a> {
+        let mut nodes = Vec::new();
+        for (file_idx, f) in files.iter().enumerate() {
+            if f.is_test_file {
+                continue;
+            }
+            for item in &f.fns {
+                nodes.push(FnNode {
+                    file_idx,
+                    file: f,
+                    item,
+                });
+            }
+        }
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_name.entry(n.item.name.clone()).or_default().push(i);
+        }
+        let mut impl_types = HashSet::new();
+        for f in files {
+            for im in &f.impls {
+                impl_types.insert(im.type_name.clone());
+            }
+        }
+        let (file_fields, crate_fields) = index_fields(files);
+        let mut model = WorkspaceModel {
+            nodes,
+            summaries: Vec::new(),
+            nonblocking_names: HashSet::new(),
+            by_name,
+            file_fields,
+            crate_fields,
+            impl_types,
+        };
+        model.collect_facts(files);
+        model.seed_summaries();
+        model.fixpoint();
+        model
+    }
+
+    /// Facts attach to the `fn` item on the fact's own line or the line
+    /// directly below (mirroring waiver placement).
+    fn collect_facts(&mut self, files: &'a [SourceFile]) {
+        let mut facts: HashSet<(usize, u32)> = HashSet::new();
+        for (file_idx, f) in files.iter().enumerate() {
+            for fact in &f.lexed.facts {
+                if fact.name == "nonblocking" {
+                    facts.insert((file_idx, fact.line));
+                }
+            }
+        }
+        for n in &self.nodes {
+            if facts.contains(&(n.file_idx, n.item.line))
+                || (n.item.line > 0 && facts.contains(&(n.file_idx, n.item.line - 1)))
+            {
+                self.nonblocking_names.insert(n.item.name.clone());
+            }
+        }
+    }
+
+    /// Direct (intraprocedural) facts about each function.
+    fn seed_summaries(&mut self) {
+        let mut summaries = Vec::with_capacity(self.nodes.len());
+        let nonblocking: Vec<bool> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                n.file.lexed.facts.iter().any(|f| {
+                    f.name == "nonblocking" && (f.line == n.item.line || f.line + 1 == n.item.line)
+                })
+            })
+            .collect();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let mut s = FnSummary {
+                nonblocking_fact: nonblocking[i],
+                ..FnSummary::default()
+            };
+            // The sync abstraction layer IS the lock primitive; scanning its
+            // bodies would classify the wrappers' internal std locks. Leave
+            // them as leaves (TW006 already confines primitives here).
+            if is_primitive(n) {
+                let toks = &n.file.lexed.tokens;
+                s.returns_guard = sig_returns_guard(&toks[n.item.sig.0..n.item.sig.1]);
+                summaries.push(s);
+                continue;
+            }
+            let toks = &n.file.lexed.tokens;
+            s.returns_guard = sig_returns_guard(&toks[n.item.sig.0..n.item.sig.1]);
+            // `for_each_*` visitors hand internal state to a diagnostic
+            // closure; they are not expiry delivery, so their FnMut params
+            // don't count as callbacks for TW009.
+            if !n.item.name.starts_with("for_each") {
+                s.callback_params = callback_params(&toks[n.item.sig.0..n.item.sig.1]);
+            }
+            let owner = n
+                .item
+                .impl_type
+                .clone()
+                .unwrap_or_else(|| file_stem(&n.file.path));
+            let (body_lo, body_hi) = n.item.body;
+            for k in body_lo..body_hi {
+                let t = &toks[k];
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                let is_method = k > 0 && toks[k - 1].is_punct('.');
+                let called = toks.get(k + 1).is_some_and(|n| n.is_punct('('));
+                if is_method && called && matches!(t.text.as_str(), "lock" | "try_lock") {
+                    if let Some(acq) = acquisition_at(toks, k, &owner, body_hi) {
+                        s.acquires.insert(acq.class.clone());
+                        s.direct.push(acq);
+                    }
+                    continue;
+                }
+                if called && BLOCKING_OPS.contains(&t.text.as_str()) && s.blocking.is_none() {
+                    s.blocking = Some(format!(
+                        "`{}` calls blocking `{}` ({}:{})",
+                        n.item.name, t.text, n.file.path, t.line
+                    ));
+                }
+                if called
+                    && !is_method
+                    && s.callback_params.iter().any(|p| p == &t.text)
+                    && s.delivers_callback.is_none()
+                {
+                    s.delivers_callback = Some(format!(
+                        "`{}` invokes its `{}` callback parameter ({}:{})",
+                        n.item.name, t.text, n.file.path, t.line
+                    ));
+                }
+            }
+            summaries.push(s);
+        }
+        self.summaries = summaries;
+    }
+
+    /// Closes `acquires` / `blocking` / `delivers_callback` over the call
+    /// graph. Blocking crosses only confident edges; the other two also
+    /// cross name-fallback edges (over-approximation is the honest
+    /// direction for edges and callbacks, useless for blocking).
+    fn fixpoint(&mut self) {
+        for _ in 0..self.nodes.len().max(1) {
+            let mut changed = false;
+            for i in 0..self.nodes.len() {
+                if self.summaries[i].nonblocking_fact || is_primitive(&self.nodes[i]) {
+                    continue;
+                }
+                let n = &self.nodes[i];
+                let toks = &n.file.lexed.tokens;
+                let (body_lo, body_hi) = n.item.body;
+                let mut add_acquires: BTreeSet<String> = BTreeSet::new();
+                let mut add_blocking: Option<String> = None;
+                let mut add_callback: Option<String> = None;
+                for k in body_lo..body_hi {
+                    if !is_call_site(toks, k) {
+                        continue;
+                    }
+                    let Some(res) = self.resolve_call(i, k) else {
+                        continue;
+                    };
+                    if !res.confident && self.nonblocking_names.contains(&toks[k].text) {
+                        // Contract-backed leaf: the fact is verified against
+                        // every implementation separately.
+                        continue;
+                    }
+                    for &c in &res.candidates {
+                        if c == i || self.summaries[c].nonblocking_fact {
+                            continue;
+                        }
+                        for class in &self.summaries[c].acquires {
+                            add_acquires.insert(class.clone());
+                        }
+                        if res.confident {
+                            if let Some(b) = &self.summaries[c].blocking {
+                                add_blocking
+                                    .get_or_insert_with(|| format!("`{}` via {}", n.item.name, b));
+                            }
+                        }
+                        if let Some(d) = &self.summaries[c].delivers_callback {
+                            add_callback
+                                .get_or_insert_with(|| format!("`{}` via {}", n.item.name, d));
+                        }
+                    }
+                }
+                let s = &mut self.summaries[i];
+                for class in add_acquires {
+                    changed |= s.acquires.insert(class);
+                }
+                if s.blocking.is_none() && add_blocking.is_some() {
+                    s.blocking = add_blocking;
+                    changed = true;
+                }
+                if s.delivers_callback.is_none() && add_callback.is_some() {
+                    s.delivers_callback = add_callback;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Resolves the call whose callee-name ident sits at absolute token
+    /// index `k` of the caller's file. `None` means "not a resolvable
+    /// call" (lock primitives — handled by the direct-pattern scan).
+    pub fn resolve_call(&self, caller: usize, k: usize) -> Option<Resolution> {
+        let n = &self.nodes[caller];
+        let toks = &n.file.lexed.tokens;
+        let name = toks[k].text.as_str();
+        if matches!(name, "lock" | "try_lock") {
+            return None;
+        }
+        let empty: Vec<usize> = Vec::new();
+        let all = self.by_name.get(name).unwrap_or(&empty);
+        let prev = k.checked_sub(1).map(|p| &toks[p]);
+        // `recv.method(...)`
+        if prev.is_some_and(|p| p.is_punct('.')) && k >= 2 {
+            let recv = &toks[k - 2];
+            if recv.is_ident("self") {
+                if let Some(impl_type) = &n.item.impl_type {
+                    let cands: Vec<usize> = all
+                        .iter()
+                        .copied()
+                        .filter(|&c| self.nodes[c].item.impl_type.as_ref() == Some(impl_type))
+                        .collect();
+                    if !cands.is_empty() {
+                        return Some(Resolution {
+                            candidates: cands,
+                            confident: true,
+                        });
+                    }
+                }
+                return Some(self.fallback(name, all));
+            }
+            if recv.kind == TokKind::Ident {
+                if let Some(ty) = self.field_type(n.file_idx, &n.file.krate, &recv.text) {
+                    let cands: Vec<usize> = all
+                        .iter()
+                        .copied()
+                        .filter(|&c| self.nodes[c].item.impl_type.as_deref() == Some(ty.as_str()))
+                        .collect();
+                    // Possibly-empty on purpose: a known type with no
+                    // workspace impls is a std leaf, not "anything".
+                    return Some(Resolution {
+                        candidates: cands,
+                        confident: true,
+                    });
+                }
+            }
+            return Some(self.fallback(name, all));
+        }
+        // `Path::method(...)`
+        if prev.is_some_and(|p| p.is_punct(':'))
+            && k >= 3
+            && toks[k - 2].is_punct(':')
+            && toks[k - 3].kind == TokKind::Ident
+        {
+            let head = toks[k - 3].text.as_str();
+            let head_ty: Option<&str> = if head == "Self" {
+                n.item.impl_type.as_deref()
+            } else if head.starts_with(|c: char| c.is_ascii_uppercase()) {
+                Some(head)
+            } else {
+                None
+            };
+            if let Some(ty) = head_ty {
+                if self.impl_types.contains(ty) || head == "Self" {
+                    let cands: Vec<usize> = all
+                        .iter()
+                        .copied()
+                        .filter(|&c| self.nodes[c].item.impl_type.as_deref() == Some(ty))
+                        .collect();
+                    return Some(Resolution {
+                        candidates: cands,
+                        confident: true,
+                    });
+                }
+                // Uppercase head with no workspace impls: std type, leaf.
+                return Some(Resolution {
+                    candidates: Vec::new(),
+                    confident: true,
+                });
+            }
+            return Some(self.fallback(name, all));
+        }
+        // Bare `f(...)`: a free function, same-crate first.
+        let cands: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&c| {
+                self.nodes[c].item.impl_type.is_none() && self.nodes[c].file.krate == n.file.krate
+            })
+            .collect();
+        if !cands.is_empty() {
+            return Some(Resolution {
+                candidates: cands,
+                confident: true,
+            });
+        }
+        Some(self.fallback(name, all))
+    }
+
+    fn fallback(&self, name: &str, all: &[usize]) -> Resolution {
+        if CALL_DENYLIST.contains(&name) {
+            return Resolution {
+                candidates: Vec::new(),
+                confident: false,
+            };
+        }
+        Resolution {
+            candidates: all.to_vec(),
+            confident: false,
+        }
+    }
+
+    fn field_type(&self, file_idx: usize, krate: &str, field: &str) -> Option<String> {
+        if let Some(entry) = self.file_fields.get(&(file_idx, field.to_string())) {
+            return entry.clone();
+        }
+        self.crate_fields
+            .get(&(krate.to_string(), field.to_string()))
+            .cloned()
+            .flatten()
+    }
+
+    /// Name-based BFS over the call graph, restricted to one crate —
+    /// the TW002/TW004/TW008 reachability engine, now with typed edges.
+    pub fn reachable_in_crate(&self, seeds: Vec<usize>, krate: &str) -> HashSet<usize> {
+        let mut seen: HashSet<usize> = seeds.iter().copied().collect();
+        let mut queue: std::collections::VecDeque<usize> = seeds.into();
+        while let Some(i) = queue.pop_front() {
+            let n = &self.nodes[i];
+            let toks = &n.file.lexed.tokens;
+            for k in n.item.body.0..n.item.body.1 {
+                if !is_call_site(toks, k) {
+                    continue;
+                }
+                let Some(res) = self.resolve_call(i, k) else {
+                    continue;
+                };
+                for &c in &res.candidates {
+                    if c != i && self.nodes[c].file.krate == krate && seen.insert(c) {
+                        queue.push_back(c);
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    pub fn seed_indices(&self, pred: impl Fn(&SourceFile, &FnItem) -> bool) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| pred(n.file, n.item))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Is the ident at `k` the callee of a call (`f(` or `f::<T>(`)?
+pub fn is_call_site(toks: &[Token], k: usize) -> bool {
+    if toks[k].kind != TokKind::Ident {
+        return false;
+    }
+    let next = toks.get(k + 1);
+    next.is_some_and(|n| n.is_punct('('))
+        || (next.is_some_and(|n| n.is_punct(':'))
+            && toks.get(k + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(k + 3).is_some_and(|n| n.is_punct('<')))
+}
+
+/// The sync abstraction layer and anything *named* like a lock primitive.
+fn is_primitive(n: &FnNode<'_>) -> bool {
+    n.file.path.ends_with("/sync.rs") || matches!(n.item.name.as_str(), "lock" | "try_lock")
+}
+
+fn sig_returns_guard(sig: &[Token]) -> bool {
+    sig.iter()
+        .any(|t| t.kind == TokKind::Ident && t.text.ends_with("Guard"))
+}
+
+fn file_stem(path: &str) -> String {
+    path.rsplit('/')
+        .next()
+        .unwrap_or(path)
+        .trim_end_matches(".rs")
+        .to_string()
+}
+
+/// Parameter names whose type involves `FnMut` — the expiry-delivery
+/// callbacks of the §2 routines. Handles both inline types
+/// (`expired: &mut dyn FnMut(..)`) and generic bounds (`<F: FnMut(..)>`
+/// with a param `f: F` / `f: &mut F`).
+fn callback_params(sig: &[Token]) -> Vec<String> {
+    // Names of generic parameters bounded by FnMut anywhere in the sig.
+    let mut bound_names: Vec<String> = Vec::new();
+    for (i, t) in sig.iter().enumerate() {
+        if t.is_ident("FnMut") {
+            // Walk back over `:` / path segments to the bounded name.
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                if sig[j].is_punct(':') {
+                    if j > 0 && sig[j - 1].kind == TokKind::Ident {
+                        bound_names.push(sig[j - 1].text.clone());
+                    }
+                    break;
+                }
+                if sig[j].kind != TokKind::Ident && !sig[j].is_punct('+') {
+                    break;
+                }
+            }
+        }
+    }
+    // The parameter list: first '(' of the signature to its match.
+    let Some(open) = sig.iter().position(|t| t.is_punct('(')) else {
+        return Vec::new();
+    };
+    let mut depth = 0i32;
+    let mut close = open;
+    while close < sig.len() {
+        if sig[close].is_punct('(') {
+            depth += 1;
+        } else if sig[close].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        close += 1;
+    }
+    let params = &sig[open + 1..close.min(sig.len())];
+    let mut out = Vec::new();
+    let mut seg_start = 0usize;
+    let (mut par, mut ang, mut sq) = (0i32, 0i32, 0i32);
+    let flush = |seg: &[Token], out: &mut Vec<String>| {
+        // `[mut] name : <type>` — callback iff the type mentions FnMut or
+        // a generic name bounded by FnMut.
+        let mut it = seg.iter();
+        let mut name = None;
+        for t in it.by_ref() {
+            if t.is_ident("mut") {
+                continue;
+            }
+            if t.kind == TokKind::Ident {
+                name = Some(t.text.clone());
+            }
+            break;
+        }
+        let Some(name) = name else { return };
+        if !seg.iter().any(|t| t.is_punct(':')) {
+            return; // bare `self`
+        }
+        let is_cb = seg.iter().any(|t| {
+            t.is_ident("FnMut") || (t.kind == TokKind::Ident && bound_names.contains(&t.text))
+        });
+        if is_cb {
+            out.push(name);
+        }
+    };
+    for (i, t) in params.iter().enumerate() {
+        if t.is_punct('(') {
+            par += 1;
+        } else if t.is_punct(')') {
+            par -= 1;
+        } else if t.is_punct('<') {
+            ang += 1;
+        } else if t.is_punct('>') {
+            ang -= 1;
+        } else if t.is_punct('[') {
+            sq += 1;
+        } else if t.is_punct(']') {
+            sq -= 1;
+        } else if t.is_punct(',') && par == 0 && ang == 0 && sq == 0 {
+            flush(&params[seg_start..i], &mut out);
+            seg_start = i + 1;
+        }
+    }
+    if seg_start < params.len() {
+        flush(&params[seg_start..], &mut out);
+    }
+    out
+}
+
+/// Finds the receiver's last field name for the `.lock(` / `.try_lock(`
+/// call at `k` and computes the hold span.
+fn acquisition_at(toks: &[Token], k: usize, owner: &str, body_hi: usize) -> Option<Acquisition> {
+    // Walk the receiver chain backward from the `.` before the call.
+    let mut j = k.checked_sub(2)?;
+    let field = loop {
+        let t = &toks[j];
+        if t.is_punct(']') {
+            // Skip an index expression backward to its '['.
+            let mut depth = 0usize;
+            loop {
+                if toks[j].is_punct(']') {
+                    depth += 1;
+                } else if toks[j].is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j = j.checked_sub(1)?;
+            }
+            j = j.checked_sub(1)?;
+            continue;
+        }
+        if t.kind == TokKind::Ident && !t.is_ident("self") {
+            break t.text.clone();
+        }
+        if t.is_punct('.') || t.is_ident("self") {
+            j = j.checked_sub(1)?;
+            continue;
+        }
+        return None;
+    };
+    // Chain start: keep walking back over the full receiver expression.
+    let mut start = j;
+    while start > 0 {
+        let t = &toks[start - 1];
+        if t.kind == TokKind::Ident || t.is_punct('.') {
+            start -= 1;
+        } else if t.is_punct(']') {
+            let mut depth = 0usize;
+            let mut p = start - 1;
+            loop {
+                if toks[p].is_punct(']') {
+                    depth += 1;
+                } else if toks[p].is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                p = p.checked_sub(1)?;
+            }
+            start = p;
+        } else {
+            break;
+        }
+    }
+    // Binder: `let [mut] g = <chain>.lock()` or `if let Some(g) = ...`.
+    let binder = if start > 0 && toks[start - 1].is_punct('=') {
+        let mut b = start - 1;
+        let mut found = None;
+        while b > 0 {
+            b -= 1;
+            let t = &toks[b];
+            if t.kind == TokKind::Ident {
+                if matches!(t.text.as_str(), "mut" | "Some" | "Ok") {
+                    continue;
+                }
+                if matches!(t.text.as_str(), "let" | "if" | "while" | "else") {
+                    break;
+                }
+                found = Some(t.text.clone());
+                // Keep scanning: the ident nearest to `let` wins for
+                // destructures, but the common cases bind one name.
+                break;
+            }
+            if t.is_punct('(') || t.is_punct(')') {
+                continue;
+            }
+            break;
+        }
+        found.filter(|b| b != "_")
+    } else {
+        None
+    };
+    // Find the call's closing paren.
+    let open = k + 1;
+    let mut depth = 0usize;
+    let mut close = open;
+    while close < toks.len() {
+        if toks[close].is_punct('(') {
+            depth += 1;
+        } else if toks[close].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        close += 1;
+    }
+    let span_end = match &binder {
+        None => {
+            // Temporary: held to the end of the statement.
+            let mut p = close;
+            let mut brace = 0i32;
+            while p < body_hi.min(toks.len()) {
+                let t = &toks[p];
+                if t.is_punct('{') {
+                    brace += 1;
+                } else if t.is_punct('}') {
+                    brace -= 1;
+                    if brace < 0 {
+                        break;
+                    }
+                } else if t.is_punct(';') && brace == 0 {
+                    break;
+                }
+                p += 1;
+            }
+            p
+        }
+        Some(g) => {
+            // Bound guard: held to `drop(g)` or the end of the enclosing
+            // block (over-approximates `if let` binders toward flagging).
+            let block_end = enclosing_block_end(toks, k, body_hi);
+            let mut p = close;
+            let mut end = block_end;
+            while p + 3 < block_end {
+                if toks[p].is_ident("drop")
+                    && toks[p + 1].is_punct('(')
+                    && toks[p + 2].is_ident(g)
+                    && toks[p + 3].is_punct(')')
+                {
+                    end = p;
+                    break;
+                }
+                p += 1;
+            }
+            end
+        }
+    };
+    Some(Acquisition {
+        class: format!("{owner}.{field}"),
+        line: toks[k].line,
+        span: (k, span_end),
+    })
+}
+
+/// End (exclusive) of the innermost `{ ... }` block containing `at`.
+fn enclosing_block_end(toks: &[Token], at: usize, body_hi: usize) -> usize {
+    let mut stack: Vec<usize> = Vec::new();
+    let mut innermost_close = body_hi;
+    for (p, t) in toks.iter().enumerate().take(body_hi) {
+        if t.is_punct('{') {
+            stack.push(p);
+        } else if t.is_punct('}') {
+            if let Some(open) = stack.pop() {
+                if open < at && p > at && p < innermost_close {
+                    innermost_close = p;
+                }
+            }
+        }
+    }
+    innermost_close
+}
+
+/// Per-file and per-crate field-name → type-head indexes from `struct`
+/// definitions. Ambiguous names map to `None` so resolution falls back.
+#[allow(clippy::type_complexity)]
+fn index_fields(
+    files: &[SourceFile],
+) -> (
+    HashMap<(usize, String), Option<String>>,
+    HashMap<(String, String), Option<String>>,
+) {
+    let mut per_file: HashMap<(usize, String), Option<String>> = HashMap::new();
+    let mut per_crate: HashMap<(String, String), Option<String>> = HashMap::new();
+    for (file_idx, f) in files.iter().enumerate() {
+        if f.is_test_file {
+            continue;
+        }
+        let toks = &f.lexed.tokens;
+        let mut i = 0;
+        while i < toks.len() {
+            if !toks[i].is_ident("struct") || f.in_test_region(i) {
+                i += 1;
+                continue;
+            }
+            // Find the body brace (tuple structs and unit structs have a
+            // ';' first — skip those).
+            let mut b = i + 1;
+            let mut brace = None;
+            while b < toks.len() {
+                if toks[b].is_punct(';') {
+                    break;
+                }
+                if toks[b].is_punct('(') {
+                    break;
+                }
+                if toks[b].is_punct('{') {
+                    brace = Some(b);
+                    break;
+                }
+                b += 1;
+            }
+            let Some(open) = brace else {
+                i = b + 1;
+                continue;
+            };
+            let close = matching_brace(toks, open);
+            let mut p = open + 1;
+            while p < close {
+                // A field is `ident :` at depth 1 of the struct body.
+                if toks[p].kind == TokKind::Ident
+                    && toks.get(p + 1).is_some_and(|t| t.is_punct(':'))
+                    && !toks.get(p + 2).is_some_and(|t| t.is_punct(':'))
+                {
+                    let name = toks[p].text.clone();
+                    let ty_end = field_end(toks, p + 2, close);
+                    let head = type_head(&toks[p + 2..ty_end]);
+                    let fk = (file_idx, name.clone());
+                    match per_file.get(&fk) {
+                        None => {
+                            per_file.insert(fk, head.clone());
+                        }
+                        Some(existing) if *existing != head => {
+                            per_file.insert(fk, None);
+                        }
+                        _ => {}
+                    }
+                    let ck = (f.krate.clone(), name);
+                    match per_crate.get(&ck) {
+                        None => {
+                            per_crate.insert(ck, head);
+                        }
+                        Some(existing) if *existing != head => {
+                            per_crate.insert(ck, None);
+                        }
+                        _ => {}
+                    }
+                    p = ty_end;
+                    continue;
+                }
+                p += 1;
+            }
+            i = close + 1;
+        }
+    }
+    (per_file, per_crate)
+}
+
+fn matching_brace(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (p, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return p;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// End of a struct field's type: the ',' at bracket depth zero, or the
+/// struct's closing brace.
+fn field_end(toks: &[Token], from: usize, close: usize) -> usize {
+    let (mut par, mut ang, mut sq) = (0i32, 0i32, 0i32);
+    let mut p = from;
+    while p < close {
+        let t = &toks[p];
+        if t.is_punct('(') {
+            par += 1;
+        } else if t.is_punct(')') {
+            par -= 1;
+        } else if t.is_punct('<') {
+            ang += 1;
+        } else if t.is_punct('>') {
+            ang -= 1;
+        } else if t.is_punct('[') {
+            sq += 1;
+        } else if t.is_punct(']') {
+            sq -= 1;
+        } else if t.is_punct(',') && par == 0 && ang == 0 && sq == 0 {
+            return p;
+        }
+        p += 1;
+    }
+    close
+}
+
+/// Innermost named type of a field declaration: unwraps references and the
+/// [`TYPE_WRAPPERS`] containers; rejects generic single-letter heads.
+fn type_head(ty: &[Token]) -> Option<String> {
+    let mut idx = 0usize;
+    loop {
+        // Skip reference/mutability/dyn noise.
+        while idx < ty.len()
+            && (ty[idx].is_punct('&')
+                || ty[idx].kind == TokKind::Lifetime
+                || ty[idx].is_ident("mut")
+                || ty[idx].is_ident("dyn")
+                || ty[idx].is_ident("impl"))
+        {
+            idx += 1;
+        }
+        // Walk a path `a::b::C` to its last segment.
+        let mut head = None;
+        while idx < ty.len() && ty[idx].kind == TokKind::Ident {
+            head = Some(idx);
+            if ty.get(idx + 1).is_some_and(|t| t.is_punct(':'))
+                && ty.get(idx + 2).is_some_and(|t| t.is_punct(':'))
+            {
+                idx += 3;
+            } else {
+                idx += 1;
+                break;
+            }
+        }
+        let head = head?;
+        let name = ty[head].text.as_str();
+        if TYPE_WRAPPERS.contains(&name) && ty.get(idx).is_some_and(|t| t.is_punct('<')) {
+            idx += 1; // descend into the generic argument
+            continue;
+        }
+        // Generic parameters (single uppercase letters) and primitives are
+        // not resolvable receivers.
+        let first = name.chars().next()?;
+        if !first.is_ascii_uppercase() || name.len() == 1 {
+            return None;
+        }
+        return Some(name.to_string());
+    }
+}

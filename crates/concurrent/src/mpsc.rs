@@ -162,7 +162,6 @@ impl<T> MpscWheel<T> {
             .load(Ordering::Acquire)
             .checked_add(interval.as_u64())
             .ok_or(TimerError::DeadlineOverflow)?;
-        // tw-analyze: allow(TW004, reason = "the admission-queue push is the entire start_timer design (Appendix A.2 message passing); it is producer-side work, reached from tick only through the BFS name overlap with the inner wheel's start_timer")
         self.shared.pending.push(Entry {
             payload,
             state: Arc::clone(&state),
@@ -196,6 +195,7 @@ impl<T> MpscWheel<T> {
             }
         }
         // One wheel tick; lazily reap cancelled records.
+        // tw-analyze: allow(TW009, reason = "single-consumer design: the inner mutex is uncontended by construction (producers touch only the lock-free queue), and the closure merely moves entries into the consumer-owned batch; delivery to user code happens after the lock is released")
         inner.wheel.tick(&mut |e| {
             let entry = e.payload;
             if entry.state.load(Ordering::Acquire) != STATE_CANCELLED {

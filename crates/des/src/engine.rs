@@ -125,6 +125,7 @@ impl<E> EventDrivenDes<E> {
                 break;
             }
             self.heap.pop();
+            // tw-analyze: allow(TW010, reason = "t is the minimum key of a BinaryHeap<Reverse<..>>, so successive pops are non-decreasing; the DES clock advances by heap order, not by an arithmetic step the dataflow pass can see")
             self.now = Tick(t);
             let event = self.slots[slot as usize]
                 .1

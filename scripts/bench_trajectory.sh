@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Perf-trajectory series: one BENCH_<nn>.json per PR, so regressions in
+# the analyzer gate and the headline wheel numbers show up as a series,
+# not an anecdote. BENCH_06 starts the series with:
+#   * tw-analyze wall time over the workspace (the CI gate's cost), and
+#   * the bitmap_sparse headline rows (sparse-regime batched advance —
+#     DESIGN.md section 7.4).
+#
+# Usage: scripts/bench_trajectory.sh [out.json]   (default BENCH_06.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_06.json}"
+
+cargo build --release -p tw-analyze -p tw-bench >&2
+
+# tw-analyze wall time: the binary reports its own measurement on stderr.
+analyze_ms=$(./target/release/tw-analyze --workspace 2>&1 >/dev/null |
+    sed -n 's/.*analysis completed in \([0-9.]*\) ms.*/\1/p')
+files=$(./target/release/tw-analyze --workspace 2>/dev/null |
+    sed -n 's/tw-analyze: \([0-9]*\) file(s).*/\1/p')
+
+bitmap_txt=$(mktemp)
+trap 'rm -f "$bitmap_txt"' EXIT
+./target/release/bitmap_sparse >"$bitmap_txt"
+
+python3 - "$out" "$analyze_ms" "$files" "$bitmap_txt" <<'EOF'
+import json
+import sys
+
+out, analyze_ms, files = sys.argv[1], float(sys.argv[2]), int(sys.argv[3])
+rows = []
+for line in open(sys.argv[4]):
+    parts = line.split()
+    # Data rows: "<scheme> <n> <occ%> <loop us> <batch us> <speedup> ..."
+    if len(parts) >= 9 and "/" in parts[0] and parts[1].isdigit():
+        rows.append(
+            {
+                "scheme": parts[0],
+                "timers": int(parts[1]),
+                "occupancy": parts[2],
+                "loop_us": float(parts[3]),
+                "batch_us": float(parts[4]),
+                "speedup": float(parts[5]),
+            }
+        )
+assert rows, "no bitmap_sparse data rows parsed"
+doc = {
+    "series": "bench-trajectory",
+    "pr": 6,
+    "tw_analyze": {"files_scanned": files, "wall_ms": analyze_ms},
+    "bitmap_sparse": rows,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}: tw-analyze {analyze_ms} ms over {files} files, "
+      f"{len(rows)} bitmap_sparse rows")
+EOF
