@@ -1,0 +1,226 @@
+//! Conditional-compilation evaluation: the shipped cfg matrix and a tiny
+//! `#[cfg(...)]` expression evaluator over the lexer's token stream.
+//!
+//! The workspace ships four build legs (root `Cargo.toml` features):
+//! the default build (`std` + `bitmap-cursor` + `obs`), the paper-faithful
+//! `bitmap-cursor`-off leg, the `obs`-off leg (which drops the `tw-obs`
+//! crate entirely — the feature is dependency-gating, not in-source), and
+//! the `checked` diagnostic leg. A rule that holds in the default build but
+//! breaks inside a feature-gated region would previously ship silently;
+//! TW013 re-runs the whole analysis once per leg and fails the gate on any
+//! violation the default leg cannot see.
+//!
+//! Evaluation is deliberately conservative: `feature = "x"` checks the
+//! leg's feature set, `not`/`all`/`any` compose, `test`/`loom`/`miri`
+//! predicates are handled by the test-region scan (an attribute mentioning
+//! them gates a test region in *every* leg), and any unknown predicate
+//! (`target_os`, `doc`, ...) evaluates to *true* so the guarded code stays
+//! under analysis rather than silently dropping out.
+
+use crate::lexer::{TokKind, Token};
+
+/// One build configuration the analyzer replays the rule set under.
+pub struct CfgLeg {
+    /// Short leg name used in TW013 messages (`cursor_off`, ...).
+    pub name: &'static str,
+    /// Cargo features enabled in this leg.
+    pub features: &'static [&'static str],
+    /// Crates that do not build at all in this leg (dependency-gated).
+    pub exclude_crates: &'static [&'static str],
+}
+
+/// The shipped cfg matrix. The first leg is the default build — its
+/// violations are reported under their own rule IDs; every later leg only
+/// contributes leg-exclusive findings, re-reported as TW013.
+pub const LEGS: [CfgLeg; 4] = [
+    CfgLeg {
+        name: "default",
+        features: DEFAULT_FEATURES,
+        exclude_crates: &[],
+    },
+    CfgLeg {
+        name: "cursor_off",
+        features: &["std", "obs", "default"],
+        exclude_crates: &[],
+    },
+    CfgLeg {
+        name: "obs_off",
+        features: &["std", "bitmap-cursor", "default"],
+        exclude_crates: &["tw-obs"],
+    },
+    CfgLeg {
+        name: "checked_on",
+        features: &["std", "bitmap-cursor", "obs", "checked", "default"],
+        exclude_crates: &[],
+    },
+];
+
+/// Features of the default build (root manifest: `default = ["bitmap-cursor",
+/// "obs"]` plus tw-core's always-on `std`).
+pub const DEFAULT_FEATURES: &[&str] = &["std", "bitmap-cursor", "obs", "default"];
+
+/// Evaluates the token stream between the parentheses of a `#[cfg(...)]`
+/// attribute against an enabled-feature set. Unknown predicates are true.
+pub fn eval_cfg(toks: &[Token], features: &[&str]) -> bool {
+    let mut pos = 0usize;
+    let v = eval_expr(toks, &mut pos, features);
+    v.unwrap_or(true)
+}
+
+/// Recursive-descent evaluation of one cfg predicate starting at `*pos`.
+/// Returns `None` on malformed input (treated as true by the caller).
+fn eval_expr(toks: &[Token], pos: &mut usize, features: &[&str]) -> Option<bool> {
+    let head = toks.get(*pos)?;
+    if head.kind != TokKind::Ident {
+        return None;
+    }
+    let name = head.text.clone();
+    *pos += 1;
+    match toks.get(*pos) {
+        // `name ( ... )` — a combinator or parameterized predicate.
+        Some(t) if t.is_punct('(') => {
+            *pos += 1; // consume '('
+            let value = match name.as_str() {
+                "not" => {
+                    let inner = eval_expr(toks, pos, features)?;
+                    Some(!inner)
+                }
+                "all" | "any" => {
+                    let mut acc: Vec<bool> = Vec::new();
+                    loop {
+                        match toks.get(*pos) {
+                            Some(t) if t.is_punct(')') => break,
+                            Some(t) if t.is_punct(',') => {
+                                *pos += 1;
+                            }
+                            Some(_) => acc.push(eval_expr(toks, pos, features)?),
+                            None => return None,
+                        }
+                    }
+                    Some(if name == "all" {
+                        acc.iter().all(|&b| b)
+                    } else {
+                        acc.iter().any(|&b| b)
+                    })
+                }
+                // `target_os("..")`-style call forms don't exist, but any
+                // unknown parameterized predicate skips to its ')' as true.
+                _ => {
+                    skip_group(toks, pos);
+                    return consume_close(toks, pos).then_some(true);
+                }
+            };
+            consume_close(toks, pos);
+            value
+        }
+        // `name = "value"` — key/value predicate.
+        Some(t) if t.is_punct('=') => {
+            *pos += 1;
+            let val = toks.get(*pos)?;
+            *pos += 1;
+            let text = val.text.trim_matches('"');
+            match name.as_str() {
+                "feature" => Some(features.contains(&text)),
+                // target_os / target_pointer_width / ... — keep the code.
+                _ => Some(true),
+            }
+        }
+        // Bare predicate: `test` / `loom` / `miri` are false outside test
+        // harness builds (and already excluded by the test-region scan);
+        // anything else (`std`, `unix`, `doc`) is conservatively true.
+        _ => Some(!matches!(name.as_str(), "test" | "loom" | "miri")),
+    }
+}
+
+/// Skips a balanced `( ... )` group whose '(' was already consumed.
+fn skip_group(toks: &[Token], pos: &mut usize) {
+    let mut depth = 1usize;
+    while let Some(t) = toks.get(*pos) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return; // leave the ')' for consume_close
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// Consumes a ')' if present; returns whether one was there.
+fn consume_close(toks: &[Token], pos: &mut usize) -> bool {
+    if toks.get(*pos).is_some_and(|t| t.is_punct(')')) {
+        *pos += 1;
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn eval(src: &str, features: &[&str]) -> bool {
+        let l = lex(src);
+        eval_cfg(&l.tokens, features)
+    }
+
+    #[test]
+    fn feature_predicates_check_the_leg() {
+        assert!(eval("feature = \"bitmap-cursor\"", &["bitmap-cursor"]));
+        assert!(!eval("feature = \"bitmap-cursor\"", &["std"]));
+    }
+
+    #[test]
+    fn not_all_any_compose() {
+        assert!(eval("not(feature = \"checked\")", &["std"]));
+        assert!(!eval("not(feature = \"checked\")", &["checked"]));
+        assert!(eval(
+            "all(feature = \"std\", not(feature = \"checked\"))",
+            &["std"]
+        ));
+        assert!(eval("any(feature = \"obs\", feature = \"std\")", &["std"]));
+        assert!(!eval(
+            "any(feature = \"obs\", feature = \"checked\")",
+            &["std"]
+        ));
+    }
+
+    #[test]
+    fn unknown_predicates_keep_code_under_analysis() {
+        assert!(eval("target_os = \"linux\"", &[]));
+        assert!(eval("unix", &[]));
+        assert!(eval("doc", &[]));
+    }
+
+    #[test]
+    fn test_like_predicates_are_false() {
+        assert!(!eval("test", &[]));
+        assert!(!eval("loom", &[]));
+        assert!(eval("not(miri)", &[]));
+    }
+
+    #[test]
+    fn malformed_input_defaults_to_true() {
+        assert!(eval("", &[]));
+        assert!(eval("= 3", &[]));
+    }
+
+    #[test]
+    fn the_matrix_ships_default_first() {
+        assert_eq!(LEGS[0].name, "default");
+        assert!(LEGS[0].features.contains(&"bitmap-cursor"));
+        assert!(LEGS
+            .iter()
+            .any(|l| l.name == "cursor_off" && !l.features.contains(&"bitmap-cursor")));
+        assert!(LEGS
+            .iter()
+            .any(|l| l.name == "obs_off" && l.exclude_crates.contains(&"tw-obs")));
+        assert!(LEGS
+            .iter()
+            .any(|l| l.name == "checked_on" && l.features.contains(&"checked")));
+    }
+}

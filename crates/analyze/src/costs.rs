@@ -1,0 +1,227 @@
+//! The cost-certification passes: TW012 (static per-routine complexity
+//! bounds), TW014 (update-path purity), and the FACT audit (reasonless
+//! `fact(loop_bounded)` assertions).
+//!
+//! §7 of the paper prices every routine in VAX instructions; the dynamic
+//! counters (`OpCounters::vax_instructions`) replay that cost model at run
+//! time. TW012 is the static half: every `TimerScheme` impl in `tw-core`
+//! must *provably* meet the paper's asymptotic envelope —
+//!
+//! * START (`start_timer`), STOP (`stop_timer`), and UPDATE
+//!   (`restart_timer`) resolve to `O(1)` or `O(levels)`;
+//! * PER_TICK (`tick` / `advance_to_with`) resolves to
+//!   `O(levels + expired)` — const-bounded cursor movement plus one unit
+//!   of work per expired timer.
+//!
+//! The proof object is the [`Cost`] lattice from [`crate::summaries`]:
+//! loop structure classified per function, joined over the typed call
+//! graph. Bounds the lattice can't see (amortized arguments, list lengths
+//! bounded by construction) are asserted with
+//! `// tw-analyze: fact(loop_bounded, reason = "...")` — and the FACT pass
+//! rejects any such assertion that arrives without a written reason.
+//!
+//! TW014 polices the UPDATE contract from the opposite side: a restart is
+//! an unlink + relink on the arena's generational handles. Allocation,
+//! free, and wheel-rebuild calls reachable from `restart_timer` /
+//! `modify_timer` mean the "update" is secretly a stop+start (invalidating
+//! outstanding handles) or worse, a structure rebuild — both banned.
+
+use std::collections::BTreeMap;
+
+use crate::rules::{alloc_token, Violation};
+use crate::summaries::{cost_exempt, Cost, WorkspaceModel};
+
+/// Names of the §2 routines TW012 certifies, with each one's bound.
+const BOUNDS: [(&str, Cost); 5] = [
+    ("start_timer", Cost::OLevels),
+    ("stop_timer", Cost::OLevels),
+    ("restart_timer", Cost::OLevels),
+    ("tick", Cost::OExpired),
+    ("advance_to_with", Cost::OExpired),
+];
+
+/// One scheme's certified-bound row for the report table.
+#[derive(Debug, Clone)]
+pub struct CertRow {
+    /// Implementing type (`BasicWheel`, `Checked`, ...).
+    pub scheme: String,
+    pub start: String,
+    pub stop: String,
+    pub restart: String,
+    pub per_tick: String,
+}
+
+/// TW012 — static cost certification of every `TimerScheme` impl in
+/// `tw-core`, plus the trait's own default bodies. Returns the
+/// certified-bound table alongside any violations.
+pub fn tw012(model: &WorkspaceModel<'_>, out: &mut Vec<Violation>) -> Vec<CertRow> {
+    // scheme -> routine -> certified cost.
+    let mut table: BTreeMap<String, BTreeMap<&'static str, Cost>> = BTreeMap::new();
+    for (i, n) in model.nodes.iter().enumerate() {
+        if n.file.krate != "tw-core" {
+            continue;
+        }
+        let Some(&(routine, bound)) = BOUNDS
+            .iter()
+            .find(|(name, _)| *name == n.item.name.as_str())
+        else {
+            continue;
+        };
+        // Scope: trait impls, and the trait's default bodies (free-standing
+        // fns with a routine's name are the `trait TimerScheme` defaults —
+        // every scheme that doesn't override inherits them verbatim).
+        let in_scope =
+            n.item.impl_trait.as_deref() == Some("TimerScheme") || n.item.impl_type.is_none();
+        if !in_scope {
+            continue;
+        }
+        let cost = model.summaries[i].cost;
+        let scheme = n
+            .item
+            .impl_type
+            .clone()
+            .unwrap_or_else(|| String::from("<trait default>"));
+        table
+            .entry(scheme.clone())
+            .or_default()
+            .insert(routine, cost);
+        if cost > bound {
+            let witness = model.summaries[i]
+                .cost_witness
+                .clone()
+                .unwrap_or_else(|| String::from("no witness recorded"));
+            out.push(Violation::new(
+                "TW012",
+                &n.file.path,
+                n.item.line,
+                format!(
+                    "`{routine}` for `{scheme}` certifies as {} but the §7 envelope \
+                     requires ≤ {}; witness: {witness}. Restructure the loop or, if \
+                     the bound is real but invisible to the lattice, annotate it with \
+                     `// tw-analyze: fact(loop_bounded, reason = \"...\")`",
+                    cost.display(),
+                    bound.display()
+                ),
+            ));
+        }
+    }
+    table
+        .into_iter()
+        .map(|(scheme, routines)| {
+            let show = |name: &str| -> String {
+                routines.get(name).map_or_else(
+                    || String::from("unsupported"),
+                    |c| String::from(c.display()),
+                )
+            };
+            // PER_TICK is the join of the tick and batched-advance paths,
+            // displayed against the paper's O(levels + expired) envelope.
+            let per_tick = match routines
+                .get("tick")
+                .copied()
+                .into_iter()
+                .chain(routines.get("advance_to_with").copied())
+                .max()
+            {
+                None => String::from("unsupported"),
+                Some(c) if c <= Cost::OExpired => String::from("O(levels + expired)"),
+                Some(c) => String::from(c.display()),
+            };
+            CertRow {
+                scheme,
+                start: show("start_timer"),
+                stop: show("stop_timer"),
+                restart: show("restart_timer"),
+                per_tick,
+            }
+        })
+        .collect()
+}
+
+/// Idents that indicate a wheel-structure rebuild when called.
+const REBUILD_NAMES: [&str; 3] = ["rebuild", "rebuild_wheel", "reinitialize"];
+
+/// TW014 — update-path purity: everything reachable from a
+/// `restart_timer` / `modify_timer` implementation must neither allocate,
+/// nor free arena nodes, nor rebuild the wheel. The handle a client holds
+/// stays valid across a restart precisely because the node is never freed;
+/// an alloc/free pair on this path is a disguised stop+start.
+pub fn tw014(model: &WorkspaceModel<'_>, krate: &str, out: &mut Vec<Violation>) {
+    let seeds = model.seed_indices(|f, item| {
+        f.krate == krate
+            && matches!(item.name.as_str(), "restart_timer" | "modify_timer")
+            && item.impl_type.is_some()
+    });
+    if seeds.is_empty() {
+        return;
+    }
+    for i in model.reachable_in_crate(seeds, krate) {
+        let n = &model.nodes[i];
+        if cost_exempt(n) {
+            // Invariant checkers run under the `checked` harness only;
+            // their scratch allocations are not the update path.
+            continue;
+        }
+        let (file, item) = (n.file, n.item);
+        let toks = &file.lexed.tokens;
+        for k in item.body.0..item.body.1 {
+            let t = &toks[k];
+            let mut flag = |what: &str, why: &str| {
+                out.push(Violation::new(
+                    "TW014",
+                    &file.path,
+                    t.line,
+                    format!(
+                        "{why} (`{what}`) in `{}`, reachable from the update path; \
+                         restart_timer must be a pure unlink + relink on the arena's \
+                         generational handles",
+                        item.name
+                    ),
+                ));
+            };
+            if let Some(what) = alloc_token(toks, k) {
+                let what = what.to_string();
+                flag(&what, "heap allocation");
+                continue;
+            }
+            if t.kind != crate::lexer::TokKind::Ident {
+                continue;
+            }
+            let is_method_call = k > 0
+                && toks[k - 1].is_punct('.')
+                && toks.get(k + 1).is_some_and(|n| n.is_punct('('));
+            if is_method_call && matches!(t.text.as_str(), "alloc" | "free") {
+                let what = t.text.clone();
+                flag(&what, "arena node churn");
+                continue;
+            }
+            let called = toks.get(k + 1).is_some_and(|n| n.is_punct('('));
+            if called && REBUILD_NAMES.contains(&t.text.as_str()) {
+                let what = t.text.clone();
+                flag(&what, "wheel rebuild");
+            }
+        }
+    }
+}
+
+/// FACT — a `fact(loop_bounded)` without a reason is rejected: it would
+/// demote a loop out of TW012's sight on nothing but an author's say-so.
+/// (Mirrors the reasonless-waiver rule: exceptions must be auditable.)
+pub fn fact_audit(files: &[crate::model::SourceFile], out: &mut Vec<Violation>) {
+    for f in files {
+        for fact in &f.lexed.facts {
+            if fact.name == "loop_bounded" && fact.reason.is_none() {
+                out.push(Violation::new(
+                    "FACT",
+                    &f.path,
+                    fact.line,
+                    String::from(
+                        "fact(loop_bounded) without a reason; the assertion demotes a \
+                         loop to const-bounded for TW012, so it must carry a written \
+                         argument: fact(loop_bounded, reason = \"...\")",
+                    ),
+                ));
+            }
+        }
+    }
+}

@@ -23,20 +23,28 @@
 //! | TW009 | the lock graph over `tick_gate` / bucket mutexes is acyclic, and no lock is held across a blocking op or callback delivery |
 //! | TW010 | clock stores are provably non-decreasing; every slot index flows through a `% table_size`/mask choke point |
 //! | TW011 | no `_ =>` arms swallowing `TimerError`/`Expired` values |
+//! | TW012 | static cost certification: START/STOP/UPDATE ≤ O(levels), PER_TICK ≤ O(levels + expired), via the loop-cost lattice |
+//! | TW013 | the full rule set holds under every shipped cfg leg (`bitmap-cursor` off, `obs` off, `checked` on), not just the default build |
+//! | TW014 | update-path purity: nothing reachable from `restart_timer`/`modify_timer` allocates, frees, or rebuilds the wheel |
 //!
 //! Exceptions are in-source and auditable:
 //! `// tw-analyze: allow(RULE_ID, reason = "...")` on the offending line or
-//! the line above. A waiver without a reason is itself a violation. The
-//! whole-program passes additionally consume in-source *facts*
-//! (`// tw-analyze: fact(nonblocking)`, `fact(slot_bounded)`) — assertions
-//! the analyzer trusts at use sites and, where possible, verifies at
-//! definition sites.
+//! the line above. A waiver without a reason is itself a violation; a
+//! waiver for a rule also covers that rule's TW013 re-reports from
+//! non-default cfg legs. The whole-program passes additionally consume
+//! in-source *facts* (`// tw-analyze: fact(nonblocking)`,
+//! `fact(slot_bounded)`, `fact(loop_bounded, reason = "...")`) —
+//! assertions the analyzer trusts at use sites and, where possible,
+//! verifies at definition sites. A `fact(loop_bounded)` without a reason
+//! is itself a violation (rule `FACT`).
 //!
 //! Run as a gate: `cargo run -p tw-analyze -- --workspace` (exit 1 on any
 //! unwaived violation), `--json` for the machine-readable summary,
 //! `--sarif PATH` for SARIF 2.1.0, `--ratchet PATH` to enforce the waiver
 //! debt baseline, `--waivers` for the deduplicated waiver inventory.
 
+pub mod cfg;
+pub mod costs;
 pub mod dataflow;
 pub mod lexer;
 pub mod lockgraph;
@@ -45,11 +53,13 @@ pub mod report;
 pub mod rules;
 pub mod summaries;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 use std::fs;
 use std::io;
 use std::path::Path;
+use std::time::Instant;
 
+use costs::CertRow;
 use model::SourceFile;
 use report::{Report, WaiverRecord};
 use rules::Violation;
@@ -57,25 +67,34 @@ use summaries::WorkspaceModel;
 
 /// The set of files under analysis.
 pub struct Workspace {
+    /// Parsed under the default build leg's feature set.
     pub files: Vec<SourceFile>,
+    /// Raw `(path, crate, source)` triples, retained so the TW013 matrix
+    /// can re-parse each non-default cfg leg.
+    sources: Vec<(String, String, String)>,
 }
 
 impl Workspace {
     /// Builds a workspace from in-memory `(path, crate, source)` triples —
     /// the fixture-test entry point.
     pub fn from_files(files: &[(&str, &str, &str)]) -> Workspace {
+        let sources: Vec<(String, String, String)> = files
+            .iter()
+            .map(|(p, k, s)| (p.to_string(), k.to_string(), s.to_string()))
+            .collect();
         Workspace {
-            files: files
+            files: sources
                 .iter()
                 .map(|(path, krate, src)| SourceFile::parse(path, krate, src))
                 .collect(),
+            sources,
         }
     }
 
     /// Scans `root/crates/*/{src,tests}` for Rust sources, reading each
     /// package's name from its `Cargo.toml`.
     pub fn scan(root: &Path) -> io::Result<Workspace> {
-        let mut files = Vec::new();
+        let mut sources: Vec<(String, String, String)> = Vec::new();
         let crates_dir = root.join("crates");
         let mut entries: Vec<_> = fs::read_dir(&crates_dir)?
             .filter_map(Result::ok)
@@ -103,44 +122,80 @@ impl Workspace {
                             .unwrap_or(path)
                             .to_string_lossy()
                             .replace('\\', "/");
-                        files.push(SourceFile::parse(&rel, &krate, src));
+                        sources.push((rel, krate.clone(), src.to_string()));
                     })?;
                 }
             }
         }
-        Ok(Workspace { files })
+        let files = sources
+            .iter()
+            .map(|(path, krate, src)| SourceFile::parse(path, krate, src))
+            .collect();
+        Ok(Workspace { files, sources })
     }
 
-    /// Runs every rule pass and resolves waivers.
+    /// Runs every rule pass — on the default build and then once per
+    /// non-default cfg leg (TW013) — and resolves waivers.
     pub fn analyze(&self) -> Report {
-        let mut violations: Vec<Violation> = Vec::new();
-        for file in &self.files {
-            rules::tw001(file, &mut violations);
-            rules::tw003(file, &mut violations);
-            rules::tw005(file, &mut violations);
-            rules::tw006(file, &mut violations);
-            rules::tw011(file, &mut violations);
+        let mut timings: Vec<(String, f64)> = Vec::new();
+        let (mut violations, certified) = run_leg_rules(&self.files, Some(&mut timings));
+        // The cfg matrix: re-parse and re-run every non-default leg. A
+        // finding the default leg also reports keeps its own rule ID; a
+        // leg-exclusive finding is re-reported as TW013 with the
+        // underlying rule recorded for waiver matching.
+        let mut seen: HashSet<(&'static str, String, u32)> = violations
+            .iter()
+            .map(|v| (v.rule, v.path.clone(), v.line))
+            .collect();
+        for leg in &cfg::LEGS[1..] {
+            let t0 = Instant::now();
+            let leg_files: Vec<SourceFile> = self
+                .sources
+                .iter()
+                .filter(|(_, krate, _)| !leg.exclude_crates.contains(&krate.as_str()))
+                .map(|(path, krate, src)| SourceFile::parse_with(path, krate, src, leg.features))
+                .collect();
+            let (leg_violations, _) = run_leg_rules(&leg_files, None);
+            for v in leg_violations {
+                let key = (v.rule, v.path.clone(), v.line);
+                if seen.contains(&key) {
+                    continue;
+                }
+                seen.insert(key);
+                violations.push(Violation {
+                    rule: "TW013",
+                    message: format!(
+                        "[leg {}] {}: {} (holds in the default build only)",
+                        leg.name, v.rule, v.message
+                    ),
+                    underlying: Some(v.rule),
+                    path: v.path,
+                    line: v.line,
+                    waived: false,
+                    waive_reason: None,
+                });
+            }
+            timings.push((
+                format!("leg:{}", leg.name),
+                t0.elapsed().as_secs_f64() * 1e3,
+            ));
         }
-        // Pass 1: the interprocedural model (typed call graph, summaries).
-        let model = WorkspaceModel::build(&self.files);
-        let crates: BTreeSet<&str> = self.files.iter().map(|f| f.krate.as_str()).collect();
-        for krate in crates {
-            rules::tw002(&model, krate, &mut violations);
-            rules::tw004(&model, krate, &mut violations);
-            rules::tw008(&model, krate, &mut violations);
-        }
-        rules::tw007(&self.files, &mut violations);
-        // Pass 2: the whole-program properties.
-        lockgraph::tw009(&model, &mut violations);
-        dataflow::tw010(&model, &mut violations);
         violations.sort_by(|a, b| (a.rule, &a.path, a.line).cmp(&(b.rule, &b.path, b.line)));
-        self.resolve_waivers(violations)
+        self.resolve_waivers(violations, certified, timings)
     }
 
     /// Marks violations covered by a same-rule waiver on the same line or
     /// the line above; reports reason-less waivers as violations and unused
-    /// ones as stale.
-    fn resolve_waivers(&self, mut violations: Vec<Violation>) -> Report {
+    /// ones as stale. A waiver matches a TW013 re-report when it names the
+    /// *underlying* rule, so one exception covers the whole cfg matrix.
+    /// Waivers come from comments, which the lexer collects regardless of
+    /// cfg gating — an exception inside a feature-off region still counts.
+    fn resolve_waivers(
+        &self,
+        mut violations: Vec<Violation>,
+        certified: Vec<CertRow>,
+        timings: Vec<(String, f64)>,
+    ) -> Report {
         let mut waivers = Vec::new();
         for file in &self.files {
             for w in &file.lexed.waivers {
@@ -154,6 +209,7 @@ impl Workspace {
                              auditable (reason = \"...\")",
                             w.rule
                         ),
+                        underlying: None,
                         waived: false,
                         waive_reason: None,
                     });
@@ -168,8 +224,9 @@ impl Workspace {
                 }
                 let mut used = false;
                 for v in violations.iter_mut() {
+                    let rule_match = v.rule == w.rule || v.underlying.is_some_and(|u| u == w.rule);
                     if v.path == file.path
-                        && v.rule == w.rule
+                        && rule_match
                         && (v.line == w.line || v.line == w.line + 1)
                     {
                         v.waived = true;
@@ -190,8 +247,61 @@ impl Workspace {
             violations,
             files_scanned: self.files.len(),
             waivers,
+            certified,
+            timings,
         }
     }
+}
+
+/// Runs the full rule set over one leg's parsed files. For the default leg
+/// (`timings: Some`), records the per-pass wall-time split the benchmark
+/// trajectory tracks: per-file rules, the pass-1 interprocedural model,
+/// and the interprocedural rules.
+fn run_leg_rules(
+    files: &[SourceFile],
+    timings: Option<&mut Vec<(String, f64)>>,
+) -> (Vec<Violation>, Vec<CertRow>) {
+    let t0 = Instant::now();
+    let mut violations: Vec<Violation> = Vec::new();
+    for file in files {
+        rules::tw001(file, &mut violations);
+        rules::tw003(file, &mut violations);
+        rules::tw005(file, &mut violations);
+        rules::tw006(file, &mut violations);
+        rules::tw011(file, &mut violations);
+    }
+    costs::fact_audit(files, &mut violations);
+    let t1 = Instant::now();
+    // Pass 1: the interprocedural model (typed call graph, summaries,
+    // cost lattice).
+    let model = WorkspaceModel::build(files);
+    let t2 = Instant::now();
+    let crates: BTreeSet<&str> = files.iter().map(|f| f.krate.as_str()).collect();
+    for krate in crates {
+        rules::tw002(&model, krate, &mut violations);
+        rules::tw004(&model, krate, &mut violations);
+        rules::tw008(&model, krate, &mut violations);
+        costs::tw014(&model, krate, &mut violations);
+    }
+    rules::tw007(files, &mut violations);
+    // Pass 2: the whole-program properties.
+    lockgraph::tw009(&model, &mut violations);
+    dataflow::tw010(&model, &mut violations);
+    let certified = costs::tw012(&model, &mut violations);
+    violations.sort_by(|a, b| (a.rule, &a.path, a.line).cmp(&(b.rule, &b.path, b.line)));
+    if let Some(timings) = timings {
+        let t3 = Instant::now();
+        timings.push((
+            String::from("per_file_rules"),
+            (t1 - t0).as_secs_f64() * 1e3,
+        ));
+        timings.push((String::from("summaries"), (t2 - t1).as_secs_f64() * 1e3));
+        timings.push((
+            String::from("interproc_rules"),
+            (t3 - t2).as_secs_f64() * 1e3,
+        ));
+    }
+    (violations, certified)
 }
 
 /// Pulls `name = "..."` out of a manifest's `[package]` table.

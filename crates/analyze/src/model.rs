@@ -1,7 +1,9 @@
-//! Structural model extracted from the token stream: per-file test regions,
-//! `impl` contexts, and function items with body spans — the skeleton the
-//! rule passes walk instead of a full AST.
+//! Structural model extracted from the token stream: per-file excluded
+//! regions (test-gated or cfg-false for the active build leg), `impl`
+//! contexts, and function items with body spans — the skeleton the rule
+//! passes walk instead of a full AST.
 
+use crate::cfg;
 use crate::lexer::{lex, Lexed, TokKind, Token};
 
 /// One analyzed source file.
@@ -13,8 +15,10 @@ pub struct SourceFile {
     /// True for files under a crate's `tests/` directory.
     pub is_test_file: bool,
     pub lexed: Lexed,
-    /// Token-index ranges gated behind `#[cfg(test)]` / `#[test]` (excluded
-    /// from every rule except TW007 registration scanning).
+    /// Token-index ranges excluded from analysis: gated behind
+    /// `#[cfg(test)]` / `#[test]` in every leg, or behind a `#[cfg(...)]`
+    /// expression that evaluates false for this leg's feature set. TW007's
+    /// registration scan is the only pass that ignores these.
     pub test_regions: Vec<(usize, usize)>,
     /// Function items found outside test regions.
     pub fns: Vec<FnItem>,
@@ -52,10 +56,19 @@ pub struct ImplItem {
 }
 
 impl SourceFile {
+    /// Parses under the default build leg's feature set.
     pub fn parse(path: &str, krate: &str, src: &str) -> SourceFile {
+        SourceFile::parse_with(path, krate, src, cfg::DEFAULT_FEATURES)
+    }
+
+    /// Parses with an explicit enabled-feature set: `#[cfg(...)]`-gated items
+    /// whose predicate evaluates false for `features` are excluded, exactly
+    /// like test regions. This is how the TW013 matrix re-analyzes the
+    /// workspace once per shipped build leg.
+    pub fn parse_with(path: &str, krate: &str, src: &str, features: &[&str]) -> SourceFile {
         let lexed = lex(src);
         let is_test_file = path.contains("/tests/");
-        let test_regions = find_test_regions(&lexed.tokens);
+        let test_regions = find_excluded_regions(&lexed.tokens, features);
         let mut file = SourceFile {
             path: path.to_string(),
             krate: krate.to_string(),
@@ -69,7 +82,8 @@ impl SourceFile {
         file
     }
 
-    /// True if token index `i` is inside a `#[cfg(test)]`-gated region.
+    /// True if token index `i` is inside an excluded region: `#[cfg(test)]`
+    /// gated, or cfg-false for the feature set this file was parsed under.
     pub fn in_test_region(&self, i: usize) -> bool {
         self.test_regions.iter().any(|&(a, b)| i >= a && i < b)
     }
@@ -109,10 +123,15 @@ impl SourceFile {
     }
 }
 
-/// Finds regions gated by test-only attributes: `#[cfg(test)]`,
-/// `#[cfg(all(test, ...))]`, `#[test]`, and the `#[cfg(loom)]`-style
-/// variants that only build under a test harness.
-fn find_test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
+/// Finds regions excluded from analysis under a given feature set:
+///
+/// * test-only attributes — `#[cfg(test)]`, `#[cfg(all(test, ...))]`,
+///   `#[test]`, and `#[cfg(loom)]`-style variants that only build under a
+///   test harness — excluded in *every* leg (matching the historical
+///   behavior, these are recognized by mention rather than evaluation);
+/// * `#[cfg(...)]` attributes whose predicate evaluates *false* for
+///   `features` (see [`cfg::eval_cfg`]) — the feature-matrix half of TW013.
+fn find_excluded_regions(toks: &[Token], features: &[&str]) -> Vec<(usize, usize)> {
     let mut regions = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -122,12 +141,20 @@ fn find_test_regions(toks: &[Token]) -> Vec<(usize, usize)> {
                 None => break,
             };
             let attr = &toks[i + 2..attr_end];
+            let is_cfg = attr.first().is_some_and(|t| t.is_ident("cfg"));
             let is_test_attr = attr.first().is_some_and(|t| t.is_ident("test"))
-                || (attr.first().is_some_and(|t| t.is_ident("cfg"))
+                || (is_cfg
                     && attr
                         .iter()
                         .any(|t| t.is_ident("test") || t.is_ident("loom")));
-            if is_test_attr {
+            // `#[cfg(feature = "x")]` and friends: strip `cfg (` and the
+            // trailing `)`, then evaluate against the leg's feature set.
+            let cfg_false = !is_test_attr
+                && is_cfg
+                && attr.get(1).is_some_and(|t| t.is_punct('('))
+                && attr.last().is_some_and(|t| t.is_punct(')'))
+                && !cfg::eval_cfg(&attr[2..attr.len() - 1], features);
+            if is_test_attr || cfg_false {
                 // Skip any further attributes, then the item they decorate.
                 let mut j = attr_end + 1;
                 while toks.get(j).is_some_and(|t| t.is_punct('#'))
@@ -308,5 +335,25 @@ mod tests {
         let f = SourceFile::parse("crates/x/src/a.rs", "tw-x", src);
         assert_eq!(f.fns.len(), 1);
         assert_eq!(f.fns[0].name, "live");
+    }
+
+    #[test]
+    fn cfg_false_regions_are_excluded_per_leg() {
+        let src = "#[cfg(feature = \"bitmap-cursor\")]\nfn fast() {}\n#[cfg(not(feature = \"bitmap-cursor\"))]\nfn slow() {}\n";
+        // Default leg ships bitmap-cursor on: only the fast path is live.
+        let on = SourceFile::parse("crates/x/src/a.rs", "tw-x", src);
+        let names: Vec<&str> = on.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["fast"]);
+        // The cursor_off leg sees only the fallback.
+        let off = SourceFile::parse_with("crates/x/src/a.rs", "tw-x", src, &["std"]);
+        let names: Vec<&str> = off.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["slow"]);
+    }
+
+    #[test]
+    fn non_cfg_attributes_do_not_exclude() {
+        let src = "#[inline]\n#[must_use]\nfn hot() -> u32 { 1 }\n#[cfg_attr(docsrs, doc(cfg(feature = \"x\")))]\nfn documented() {}\n";
+        let f = SourceFile::parse_with("crates/x/src/a.rs", "tw-x", src, &[]);
+        assert_eq!(f.fns.len(), 2);
     }
 }

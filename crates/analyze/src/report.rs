@@ -4,6 +4,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::costs::CertRow;
 use crate::rules::Violation;
 
 /// One `// tw-analyze: allow(..)` comment found anywhere in the tree.
@@ -18,7 +19,7 @@ pub struct WaiverRecord {
 }
 
 /// Short catalog text per rule, used by SARIF `tool.driver.rules`.
-pub const RULE_CATALOG: [(&str, &str); 12] = [
+pub const RULE_CATALOG: [(&str, &str); 16] = [
     ("TW001", "no raw `as` casts between tick/index integers"),
     (
         "TW002",
@@ -54,6 +55,22 @@ pub const RULE_CATALOG: [(&str, &str); 12] = [
         "TW011",
         "no wildcard arms swallowing TimerError/Expired values",
     ),
+    (
+        "TW012",
+        "static cost certification: START/STOP/UPDATE ≤ O(levels), PER_TICK ≤ O(levels + expired)",
+    ),
+    (
+        "TW013",
+        "every rule holds under every shipped cfg leg, not just the default build",
+    ),
+    (
+        "TW014",
+        "update-path purity: no alloc/free/rebuild reachable from restart_timer/modify_timer",
+    ),
+    (
+        "FACT",
+        "every fact(loop_bounded) assertion carries an auditable reason",
+    ),
     ("WAIVER", "every waiver carries an auditable reason"),
 ];
 
@@ -64,6 +81,11 @@ pub struct Report {
     pub files_scanned: usize,
     /// Every waiver comment in the tree, with use status.
     pub waivers: Vec<WaiverRecord>,
+    /// TW012's certified-bound table: one row per `TimerScheme` impl type.
+    pub certified: Vec<CertRow>,
+    /// Per-pass wall times in milliseconds (`per_file_rules`, `summaries`,
+    /// `interproc_rules`, then `leg:<name>` per non-default cfg leg).
+    pub timings: Vec<(String, f64)>,
 }
 
 impl Report {
@@ -118,6 +140,19 @@ impl Report {
                 "stale waiver for {rule} (\"{reason}\") matches no violation at: {}\n",
                 sites.join(", ")
             ));
+        }
+        if !self.certified.is_empty() {
+            out.push_str("certified bounds (TW012):\n");
+            out.push_str(&format!(
+                "  {:<24} {:<12} {:<12} {:<12} {}\n",
+                "scheme", "START", "STOP", "UPDATE", "PER_TICK"
+            ));
+            for row in &self.certified {
+                out.push_str(&format!(
+                    "  {:<24} {:<12} {:<12} {:<12} {}\n",
+                    row.scheme, row.start, row.stop, row.restart, row.per_tick
+                ));
+            }
         }
         let active = self.active().count();
         let waived = self.violations.iter().filter(|v| v.waived).count();
@@ -198,6 +233,32 @@ impl Report {
                 "\"{rule}\":{{\"active\":{active},\"waived\":{waived}}}"
             ));
         }
+        s.push_str("},\"certified\":[");
+        let mut first = true;
+        for row in &self.certified {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "{{\"scheme\":\"{}\",\"start\":\"{}\",\"stop\":\"{}\",\
+                 \"restart\":\"{}\",\"per_tick\":\"{}\"}}",
+                escape(&row.scheme),
+                escape(&row.start),
+                escape(&row.stop),
+                escape(&row.restart),
+                escape(&row.per_tick)
+            ));
+        }
+        s.push_str("],\"timings_ms\":{");
+        let mut first = true;
+        for (label, ms) in &self.timings {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!("\"{}\":{ms:.3}", escape(label)));
+        }
         s.push_str("},\"violations\":[");
         let mut first = true;
         for v in &self.violations {
@@ -205,8 +266,12 @@ impl Report {
                 s.push(',');
             }
             first = false;
+            let underlying = v
+                .underlying
+                .map_or(String::from("null"), |u| format!("\"{u}\""));
             s.push_str(&format!(
-                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"waived\":{},\"message\":\"{}\"}}",
+                "{{\"rule\":\"{}\",\"underlying\":{underlying},\"path\":\"{}\",\
+                 \"line\":{},\"waived\":{},\"message\":\"{}\"}}",
                 v.rule,
                 escape(&v.path),
                 v.line,
@@ -226,7 +291,7 @@ impl Report {
         let mut s = String::from(
             "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
              \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
-             \"name\":\"tw-analyze\",\"version\":\"0.2.0\",\"rules\":[",
+             \"name\":\"tw-analyze\",\"version\":\"0.3.0\",\"rules\":[",
         );
         let mut first = true;
         for (id, desc) in RULE_CATALOG {
@@ -341,8 +406,23 @@ mod tests {
             path: "crates/x/src/a.rs".into(),
             line: 3,
             message: "msg with \"quotes\"".into(),
+            underlying: None,
             waived,
             waive_reason: waived.then(|| "because".into()),
+        }
+    }
+
+    fn report(
+        violations: Vec<Violation>,
+        files_scanned: usize,
+        waivers: Vec<WaiverRecord>,
+    ) -> Report {
+        Report {
+            violations,
+            files_scanned,
+            waivers,
+            certified: vec![],
+            timings: vec![],
         }
     }
 
@@ -358,11 +438,11 @@ mod tests {
 
     #[test]
     fn json_counts_active_and_waived() {
-        let r = Report {
-            violations: vec![violation("TW001", false), violation("TW001", true)],
-            files_scanned: 2,
-            waivers: vec![waiver("TW001", 2, true)],
-        };
+        let r = report(
+            vec![violation("TW001", false), violation("TW001", true)],
+            2,
+            vec![waiver("TW001", 2, true)],
+        );
         let j = r.to_json();
         assert!(j.contains("\"active\":1"));
         assert!(j.contains("\"waived\":1"));
@@ -374,21 +454,49 @@ mod tests {
 
     #[test]
     fn clean_report_is_clean() {
-        let r = Report {
-            violations: vec![violation("TW002", true)],
-            files_scanned: 1,
-            waivers: vec![],
-        };
+        let r = report(vec![violation("TW002", true)], 1, vec![]);
         assert!(r.is_clean());
     }
 
     #[test]
+    fn json_emits_certified_table_and_timings() {
+        let mut r = report(vec![], 1, vec![]);
+        r.certified.push(CertRow {
+            scheme: "BasicWheel".into(),
+            start: "O(1)".into(),
+            stop: "O(1)".into(),
+            restart: "O(1)".into(),
+            per_tick: "O(levels + expired)".into(),
+        });
+        r.timings.push(("summaries".into(), 1.25));
+        let j = r.to_json();
+        assert!(j.contains(
+            "\"certified\":[{\"scheme\":\"BasicWheel\",\"start\":\"O(1)\",\
+             \"stop\":\"O(1)\",\"restart\":\"O(1)\",\
+             \"per_tick\":\"O(levels + expired)\"}]"
+        ));
+        assert!(j.contains("\"timings_ms\":{\"summaries\":1.250}"));
+        let h = r.human();
+        assert!(h.contains("certified bounds (TW012):"));
+        assert!(h.contains("BasicWheel"));
+    }
+
+    #[test]
+    fn sarif_declares_the_new_rules() {
+        let r = report(vec![], 1, vec![]);
+        let s = r.to_sarif();
+        for id in ["TW012", "TW013", "TW014", "FACT"] {
+            assert!(s.contains(&format!("\"id\":\"{id}\"")), "{id} missing");
+        }
+    }
+
+    #[test]
     fn sarif_marks_waived_results_suppressed() {
-        let r = Report {
-            violations: vec![violation("TW001", false), violation("TW002", true)],
-            files_scanned: 1,
-            waivers: vec![],
-        };
+        let r = report(
+            vec![violation("TW001", false), violation("TW002", true)],
+            1,
+            vec![],
+        );
         let s = r.to_sarif();
         assert!(s.contains("\"version\":\"2.1.0\""));
         assert!(s.contains("\"ruleId\":\"TW001\""));
@@ -401,11 +509,11 @@ mod tests {
 
     #[test]
     fn ratchet_fails_only_when_debt_rises() {
-        let r = Report {
-            violations: vec![],
-            files_scanned: 1,
-            waivers: vec![waiver("TW002", 1, true), waiver("TW004", 9, true)],
-        };
+        let r = report(
+            vec![],
+            1,
+            vec![waiver("TW002", 1, true), waiver("TW004", 9, true)],
+        );
         assert!(r.ratchet_check("total = 2\n").is_ok());
         assert!(r.ratchet_check("total = 3\nTW002 = 1\n").is_ok());
         let err = r.ratchet_check("total = 1\n").unwrap_err();
@@ -417,11 +525,11 @@ mod tests {
 
     #[test]
     fn stale_waivers_dedupe_in_human_output() {
-        let r = Report {
-            violations: vec![],
-            files_scanned: 1,
-            waivers: vec![waiver("TW003", 4, false), waiver("TW003", 9, false)],
-        };
+        let r = report(
+            vec![],
+            1,
+            vec![waiver("TW003", 4, false), waiver("TW003", 9, false)],
+        );
         let h = r.human();
         assert_eq!(h.matches("stale waiver for TW003").count(), 1);
         assert!(h.contains("a.rs:4, crates/x/src/a.rs:9"));

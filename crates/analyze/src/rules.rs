@@ -19,6 +19,11 @@ pub struct Violation {
     pub path: String,
     pub line: u32,
     pub message: String,
+    /// For TW013 (cfg-matrix) findings: the rule that actually fired in the
+    /// non-default leg. A waiver written for the underlying rule also
+    /// covers its TW013 re-report, so one audited exception spans the
+    /// whole matrix.
+    pub underlying: Option<&'static str>,
     /// Set during waiver resolution.
     pub waived: bool,
     pub waive_reason: Option<String>,
@@ -31,6 +36,7 @@ impl Violation {
             path: path.to_string(),
             line,
             message,
+            underlying: None,
             waived: false,
             waive_reason: None,
         }
@@ -56,9 +62,9 @@ pub struct RoutineSpec {
     pub counted: bool,
 }
 
-/// The §2 routine set. `restart_timer` is prospective — no implementation
-/// exists yet — so the update-op PR lands with TW002/TW005 coverage from
-/// day one.
+/// The §2 routine set. `restart_timer` (the dynamic UPDATE routine) now
+/// has real implementations — the serial oracle and `BasicWheel` — and is
+/// additionally policed by TW014's update-path purity walk.
 pub const ROUTINES: [RoutineSpec; 7] = [
     RoutineSpec {
         name: "start_timer",
@@ -299,9 +305,9 @@ pub fn tw004(model: &WorkspaceModel<'_>, krate: &str, out: &mut Vec<Violation>) 
     }
 }
 
-/// Heap-allocation token at position `k`, shared by TW004 and TW008:
-/// growing-container methods, `Box::new`, `vec!`, and `with_capacity`.
-fn alloc_token(toks: &[lexer::Token], k: usize) -> Option<&str> {
+/// Heap-allocation token at position `k`, shared by TW004, TW008, and
+/// TW014: growing-container methods, `Box::new`, `vec!`, `with_capacity`.
+pub(crate) fn alloc_token(toks: &[lexer::Token], k: usize) -> Option<&str> {
     let t = &toks[k];
     if t.kind != TokKind::Ident {
         return None;

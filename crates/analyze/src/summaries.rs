@@ -18,6 +18,17 @@
 //! 3. **In-source facts** (`// tw-analyze: fact(nonblocking, ...)`): trait
 //!    hook declarations can assert a contract the analyzer both *assumes*
 //!    at call sites and *verifies* against every implementation.
+//! 4. **An abstract cost lattice** (`O(1) ⊑ O(levels) ⊑ O(expired) ⊑
+//!    unbounded`) seeded from each function's loop structure and closed
+//!    over the call graph — the §7-style static complexity certificates
+//!    TW012 checks against the paper's per-routine bounds. Loops are
+//!    classified *const-bounded* (literal/`SCREAMING_CONST` range bounds,
+//!    wheel-level iteration, `trailing_zeros`-style bitmap word hops),
+//!    *data-bounded* (each iteration retires one queue entry — legal in
+//!    PER_TICK's drain), or *unbounded*; a
+//!    `// tw-analyze: fact(loop_bounded, reason = "...")` on the loop's
+//!    line (or the line above) demotes an otherwise-unbounded loop to
+//!    const-bounded, with the reason required and audited.
 //!
 //! Soundness posture: candidate sets over-approximate except where a
 //! receiver type is positively known, and the *blocking* verdict only
@@ -83,6 +94,85 @@ const TYPE_WRAPPERS: [&str; 16] = [
     "ManuallyDrop",
 ];
 
+/// The abstract cost lattice, ordered by inclusion: joining along call
+/// edges takes the max, so a function's certified cost is the worst loop
+/// reachable from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Cost {
+    /// Straight-line (loop-free) work.
+    #[default]
+    O1,
+    /// Bounded by a compile-time constant: wheel levels, slot-table words,
+    /// a literal range — the §7 `j` factor.
+    OLevels,
+    /// Bounded by the number of timers retired: each iteration pops one
+    /// queue entry. Legal only on the PER_TICK path.
+    OExpired,
+    /// No bound the lattice can see.
+    Unbounded,
+}
+
+impl Cost {
+    /// Display form used in reports and the certified-bound table.
+    #[must_use]
+    pub fn display(self) -> &'static str {
+        match self {
+            Cost::O1 => "O(1)",
+            Cost::OLevels => "O(levels)",
+            Cost::OExpired => "O(expired)",
+            Cost::Unbounded => "unbounded",
+        }
+    }
+}
+
+/// `while let` heads draining a queue: each iteration retires one entry,
+/// so the loop is bounded by the expired/outstanding population.
+const POP_NAMES: [&str; 7] = [
+    "pop",
+    "pop_front",
+    "pop_back",
+    "pop_first",
+    "pop_last",
+    "next",
+    "take_expired",
+];
+
+/// Method calls that walk a whole collection without `for`/`while` syntax —
+/// implicit data-bounded loops.
+const CONSUMING_ADAPTERS: [&str; 19] = [
+    "position",
+    "rposition",
+    "retain",
+    "for_each",
+    "fold",
+    "any",
+    "all",
+    "find",
+    "find_map",
+    "count",
+    "sum",
+    "max_by_key",
+    "min_by_key",
+    "extend",
+    "collect",
+    "sort",
+    "sort_by",
+    "sort_unstable",
+    "contains",
+];
+
+/// Method names whose cost never propagates from same-named workspace
+/// impls. The field-type index unwraps containers (`Vec<ListHead>` types
+/// the field as `ListHead`), which is right for lock receivers but wrong
+/// for container methods: `self.slots.len()` is `Vec::len`, O(1), not
+/// `ListHead::len`'s list walk. Treating these ubiquitous accessors as
+/// leaves trades a sliver of soundness (a genuinely expensive workspace
+/// `len` used on a hot path would be missed) for not poisoning every
+/// routine that asks a container its size.
+const COST_LEAF_NAMES: [&str; 7] = [
+    "len", "is_empty", "iter", "iter_mut", "keys", "values", "capacity",
+];
+
 /// One lock acquisition found in a function body.
 #[derive(Debug, Clone)]
 pub struct Acquisition {
@@ -116,6 +206,13 @@ pub struct FnSummary {
     pub nonblocking_fact: bool,
     /// Names of `FnMut`-typed parameters (callback arguments).
     pub callback_params: Vec<String>,
+    /// Certified worst-case cost: own loop structure joined with every
+    /// callee's cost over the call graph.
+    pub cost: Cost,
+    /// Root cause of a non-O(1) cost — the loop or implicit walk that set
+    /// it, with its source location. Propagates unchanged along call edges
+    /// so a TW012 message points at the original loop, not the call chain.
+    pub cost_witness: Option<String>,
 }
 
 /// One function in the workspace-wide index.
@@ -192,6 +289,7 @@ impl<'a> WorkspaceModel<'a> {
         model.collect_facts(files);
         model.seed_summaries();
         model.fixpoint();
+        model.cost_fixpoint();
         model
     }
 
@@ -243,6 +341,11 @@ impl<'a> WorkspaceModel<'a> {
             }
             let toks = &n.file.lexed.tokens;
             s.returns_guard = sig_returns_guard(&toks[n.item.sig.0..n.item.sig.1]);
+            if !cost_exempt(n) {
+                let (cost, witness) = body_cost(n);
+                s.cost = cost;
+                s.cost_witness = witness;
+            }
             // `for_each_*` visitors hand internal state to a diagnostic
             // closure; they are not expiry delivery, so their FnMut params
             // don't count as callbacks for TW009.
@@ -349,6 +452,57 @@ impl<'a> WorkspaceModel<'a> {
                 }
                 if s.delivers_callback.is_none() && add_callback.is_some() {
                     s.delivers_callback = add_callback;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Closes `cost` over the call graph: a caller's certified cost is its
+    /// own loop structure joined with the worst candidate at every call
+    /// site. Runs after [`Self::fixpoint`] as a separate pass because its
+    /// skip set differs — `nonblocking_fact` functions still accumulate
+    /// cost (the fact asserts non-*parking*, not cheapness), while
+    /// cost-exempt functions (primitives, invariant checkers) stay O(1)
+    /// leaves. Cost crosses fallback edges too — over-approximation is the
+    /// honest direction for a certifier — except through
+    /// [`COST_LEAF_NAMES`] accessors, where the field-type index's
+    /// container unwrapping would misresolve `Vec::len` to a workspace
+    /// type's same-named list walk.
+    fn cost_fixpoint(&mut self) {
+        for _ in 0..self.nodes.len().max(1) {
+            let mut changed = false;
+            for i in 0..self.nodes.len() {
+                if cost_exempt(&self.nodes[i]) || is_primitive(&self.nodes[i]) {
+                    continue;
+                }
+                let n = &self.nodes[i];
+                let toks = &n.file.lexed.tokens;
+                let mut cost = self.summaries[i].cost;
+                let mut witness = self.summaries[i].cost_witness.clone();
+                for k in n.item.body.0..n.item.body.1 {
+                    if !is_call_site(toks, k) || COST_LEAF_NAMES.contains(&toks[k].text.as_str()) {
+                        continue;
+                    }
+                    let Some(res) = self.resolve_call(i, k) else {
+                        continue;
+                    };
+                    for &c in &res.candidates {
+                        if c == i || cost_exempt(&self.nodes[c]) {
+                            continue;
+                        }
+                        if self.summaries[c].cost > cost {
+                            cost = self.summaries[c].cost;
+                            witness = self.summaries[c].cost_witness.clone();
+                        }
+                    }
+                }
+                if cost > self.summaries[i].cost {
+                    self.summaries[i].cost = cost;
+                    self.summaries[i].cost_witness = witness;
                     changed = true;
                 }
             }
@@ -531,6 +685,214 @@ pub fn is_call_site(toks: &[Token], k: usize) -> bool {
 /// The sync abstraction layer and anything *named* like a lock primitive.
 fn is_primitive(n: &FnNode<'_>) -> bool {
     n.file.path.ends_with("/sync.rs") || matches!(n.item.name.as_str(), "lock" | "try_lock")
+}
+
+/// Functions whose bodies the cost pass treats as O(1) leaves: lock
+/// primitives, and the structure validators (`InvariantCheck` impls,
+/// `check_*` helpers) that legitimately walk everything — they are a
+/// test/debug facility TW004 already exempts, never a §2 routine.
+pub fn cost_exempt(n: &FnNode<'_>) -> bool {
+    is_primitive(n)
+        || n.item.impl_trait.as_deref() == Some("InvariantCheck")
+        || n.item.name.starts_with("check_")
+}
+
+/// Seeds one function's cost from its own loop structure: explicit
+/// `for`/`while`/`loop` constructs plus the [`CONSUMING_ADAPTERS`] that
+/// walk a collection without loop syntax. Returns the join with a witness
+/// describing the worst construct.
+fn body_cost(n: &FnNode<'_>) -> (Cost, Option<String>) {
+    let toks = &n.file.lexed.tokens;
+    let (lo, hi) = n.item.body;
+    let mut cost = Cost::O1;
+    let mut witness: Option<String> = None;
+    let raise = |cost: &mut Cost, witness: &mut Option<String>, c: Cost, w: String| {
+        if c > *cost {
+            *cost = c;
+            *witness = Some(w);
+        }
+    };
+    let mut k = lo;
+    while k < hi.min(toks.len()) {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident {
+            k += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            // `for<'a>` higher-ranked bounds are types, not loops.
+            "for" if !toks.get(k + 1).is_some_and(|t| t.is_punct('<')) => {
+                let head_end = loop_head_end(toks, k + 1, hi);
+                let (c, w) = classify_loop(n, toks, k, head_end, "for");
+                raise(&mut cost, &mut witness, c, w);
+                k = head_end; // heads are classified once; bodies keep scanning
+                continue;
+            }
+            "while" => {
+                let head_end = loop_head_end(toks, k + 1, hi);
+                let (c, w) = classify_loop(n, toks, k, head_end, "while");
+                raise(&mut cost, &mut witness, c, w);
+                k = head_end;
+                continue;
+            }
+            "loop" if toks.get(k + 1).is_some_and(|t| t.is_punct('{')) => {
+                let (c, w) = classify_loop(n, toks, k, k + 1, "loop");
+                raise(&mut cost, &mut witness, c, w);
+            }
+            name if CONSUMING_ADAPTERS.contains(&name)
+                && k > 0
+                && toks[k - 1].is_punct('.')
+                && toks.get(k + 1).is_some_and(|t| t.is_punct('(')) =>
+            {
+                if has_bounded_fact(n, t.line) {
+                    raise(
+                        &mut cost,
+                        &mut witness,
+                        Cost::OLevels,
+                        format!(
+                            "`.{name}(..)` walk at {}:{} demoted by fact(loop_bounded)",
+                            n.file.path, t.line
+                        ),
+                    );
+                } else {
+                    raise(
+                        &mut cost,
+                        &mut witness,
+                        Cost::OExpired,
+                        format!(
+                            "implicit `.{name}(..)` collection walk at {}:{}",
+                            n.file.path, t.line
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    (cost, witness)
+}
+
+/// Classifies one loop whose keyword sits at `kw` and whose body brace (if
+/// any) sits at `head_end`.
+fn classify_loop(
+    n: &FnNode<'_>,
+    toks: &[Token],
+    kw: usize,
+    head_end: usize,
+    kind: &str,
+) -> (Cost, String) {
+    let line = toks[kw].line;
+    let at = format!("{}:{}", n.file.path, line);
+    // An audited fact is the escape hatch for bounds the lattice can't
+    // see (amortized arguments, list lengths bounded by construction).
+    if has_bounded_fact(n, line) {
+        return (
+            Cost::OLevels,
+            format!("`{kind}` at {at} demoted by fact(loop_bounded)"),
+        );
+    }
+    let head = &toks[kw + 1..head_end.min(toks.len())];
+    // `while let Some(x) = q.pop_front()`: every iteration retires one
+    // queue entry — the PER_TICK drain shape.
+    if kind != "loop"
+        && head.iter().enumerate().any(|(i, t)| {
+            t.kind == TokKind::Ident
+                && POP_NAMES.contains(&t.text.as_str())
+                && head.get(i + 1).is_some_and(|t| t.is_punct('('))
+        })
+    {
+        return (
+            Cost::OExpired,
+            format!("`{kind}` drain loop at {at} (one entry retired per iteration)"),
+        );
+    }
+    if kind != "loop" && const_bounded_head(head) {
+        return (Cost::OLevels, format!("const-bounded `{kind}` at {at}"));
+    }
+    // A loop that advances by bitmap word scans (`trailing_zeros` cursor
+    // hops) visits at most word-count positions — const-bounded.
+    if toks.get(head_end).is_some_and(|t| t.is_punct('{')) {
+        let close = matching_brace(toks, head_end);
+        if toks[head_end..close.min(toks.len())].iter().any(|t| {
+            t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "trailing_zeros" | "leading_zeros" | "count_ones"
+                )
+        }) {
+            return (Cost::OLevels, format!("bitmap word-scan `{kind}` at {at}"));
+        }
+    }
+    if kind == "for" {
+        return (
+            Cost::OExpired,
+            format!("data-bounded `for` at {at} (iterates a runtime collection)"),
+        );
+    }
+    (
+        Cost::Unbounded,
+        format!("`{kind}` at {at} with no bound the cost lattice can see"),
+    )
+}
+
+/// First `{` at paren/bracket depth zero — the loop body's opening brace.
+fn loop_head_end(toks: &[Token], from: usize, hi: usize) -> usize {
+    let (mut par, mut sq) = (0i32, 0i32);
+    let mut p = from;
+    while p < hi.min(toks.len()) {
+        let t = &toks[p];
+        if t.is_punct('(') {
+            par += 1;
+        } else if t.is_punct(')') {
+            par -= 1;
+        } else if t.is_punct('[') {
+            sq += 1;
+        } else if t.is_punct(']') {
+            sq -= 1;
+        } else if t.is_punct('{') && par == 0 && sq == 0 {
+            return p;
+        }
+        p += 1;
+    }
+    hi.min(toks.len())
+}
+
+/// A loop head bounded by a compile-time constant: a `SCREAMING_CONST`
+/// bound, wheel-level iteration (`self.levels`), or a literal range end.
+fn const_bounded_head(head: &[Token]) -> bool {
+    for (i, t) in head.iter().enumerate() {
+        if t.kind == TokKind::Ident {
+            let s = t.text.as_str();
+            let screaming = s.len() > 1
+                && s.chars()
+                    .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+                && s.chars().any(|c| c.is_ascii_uppercase());
+            if screaming || s.to_ascii_lowercase().contains("level") {
+                return true;
+            }
+        }
+        // `.. N` / `..= N` with a literal end.
+        if t.is_punct('.') && head.get(i + 1).is_some_and(|t| t.is_punct('.')) {
+            let mut j = i + 2;
+            if head.get(j).is_some_and(|t| t.is_punct('=')) {
+                j += 1;
+            }
+            if head.get(j).is_some_and(|t| t.kind == TokKind::Num) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Is there an audited (reason-carrying) `fact(loop_bounded)` on `line` or
+/// the line above? Reasonless facts never demote — they are themselves
+/// reported by the FACT rule.
+fn has_bounded_fact(n: &FnNode<'_>, line: u32) -> bool {
+    n.file.lexed.facts.iter().any(|f| {
+        f.name == "loop_bounded" && f.reason.is_some() && (f.line == line || f.line + 1 == line)
+    })
 }
 
 fn sig_returns_guard(sig: &[Token]) -> bool {

@@ -456,6 +456,194 @@ fn helper() { let x: Option<u32> = None; x.unwrap(); }
     );
 }
 
+// ---------------------------------------------------------------- TW012
+
+#[test]
+fn tw012_flags_an_unbounded_loop_in_start() {
+    // A `while` with no bound the lattice can see certifies start_timer as
+    // unbounded, breaching the ≤ O(levels) envelope. `W` dodges TW007's
+    // registration rules; the counter touch dodges TW005.
+    let src = "\
+impl<T> TimerScheme<T> for W<T> {
+    fn start_timer(&mut self) {
+        self.counters.starts += 1;
+        while self.busy() { self.step(); }
+    }
+}
+";
+    assert_eq!(
+        rules_hit(&[("crates/core/src/a.rs", "tw-core", src)]),
+        ["TW012"]
+    );
+}
+
+#[test]
+fn tw012_accepts_const_bounded_and_fact_demoted_loops() {
+    // A loop over the const level count is O(levels) by the head scan.
+    let const_bounded = "\
+impl<T> TimerScheme<T> for W<T> {
+    fn start_timer(&mut self) {
+        self.counters.starts += 1;
+        for level in 0..LEVELS { self.step(level); }
+    }
+}
+";
+    assert!(rules_hit(&[("crates/core/src/a.rs", "tw-core", const_bounded)]).is_empty());
+    // The same unbounded-looking `while`, demoted by an audited fact.
+    let fact_demoted = "\
+impl<T> TimerScheme<T> for W<T> {
+    fn start_timer(&mut self) {
+        self.counters.starts += 1;
+        // tw-analyze: fact(loop_bounded, reason = \"fixture bound\")
+        while self.busy() { self.step(); }
+    }
+}
+";
+    let report =
+        Workspace::from_files(&[("crates/core/src/a.rs", "tw-core", fact_demoted)]).analyze();
+    assert!(report.is_clean(), "{}", report.human());
+    // The certified-bound table records the demoted cost.
+    let row = report
+        .certified
+        .iter()
+        .find(|r| r.scheme == "W")
+        .expect("certified row for W");
+    assert_eq!(row.start, "O(levels)");
+}
+
+#[test]
+fn tw012_certifies_per_tick_against_the_joint_envelope() {
+    // tick may pop one expired timer per iteration: O(expired) is within
+    // the O(levels + expired) PER_TICK envelope.
+    let src = "\
+impl<T> TimerScheme<T> for W<T> {
+    fn tick(&mut self) {
+        self.counters.ticks += 1;
+        while let Some(idx) = self.list.pop_front() { self.expire(idx); }
+    }
+}
+";
+    let report = Workspace::from_files(&[("crates/core/src/a.rs", "tw-core", src)]).analyze();
+    assert!(report.is_clean(), "{}", report.human());
+    let row = report
+        .certified
+        .iter()
+        .find(|r| r.scheme == "W")
+        .expect("certified row for W");
+    assert_eq!(row.per_tick, "O(levels + expired)");
+}
+
+// ---------------------------------------------------------------- TW013
+
+#[test]
+fn tw013_flags_a_violation_hidden_behind_a_cfg_gate() {
+    // The raw cast only compiles when `bitmap-cursor` is off, so the
+    // default build never sees it; the cursor_off leg does, and the
+    // divergence is reported as TW013 (carrying the underlying rule).
+    let src = "\
+#[cfg(not(feature = \"bitmap-cursor\"))]
+fn fallback_slot(x: u64) -> usize { x as usize }
+";
+    let report = Workspace::from_files(&[("crates/core/src/a.rs", "tw-core", src)]).analyze();
+    let rules: Vec<&str> = report
+        .violations
+        .iter()
+        .filter(|v| !v.waived)
+        .map(|v| v.rule)
+        .collect();
+    assert_eq!(rules, ["TW013"], "{}", report.human());
+    assert_eq!(report.violations[0].underlying, Some("TW001"));
+}
+
+#[test]
+fn tw013_waived_by_the_underlying_rules_waiver() {
+    // A waiver for the underlying rule covers the cfg-leg divergence too:
+    // the author already audited that line for TW001 in every build.
+    let src = "\
+#[cfg(not(feature = \"bitmap-cursor\"))]
+// tw-analyze: allow(TW001, reason = \"fixture: audited in the cursor-off leg\")
+fn fallback_slot(x: u64) -> usize { x as usize }
+";
+    let report = Workspace::from_files(&[("crates/core/src/a.rs", "tw-core", src)]).analyze();
+    assert!(report.is_clean(), "{}", report.human());
+}
+
+#[test]
+fn tw013_silent_when_every_leg_agrees() {
+    // An ungated violation fires in the default leg under its own rule;
+    // the legs re-finding it must not re-badge it as TW013.
+    let src = "fn slot(x: u64) -> usize { x as usize }\n";
+    assert_eq!(
+        rules_hit(&[("crates/core/src/a.rs", "tw-core", src)]),
+        ["TW001"]
+    );
+}
+
+// ---------------------------------------------------------------- TW014
+
+#[test]
+fn tw014_flags_allocation_on_the_update_path() {
+    let src = "\
+impl<T> TimerScheme<T> for W<T> {
+    fn restart_timer(&mut self) {
+        self.counters.restarts += 1;
+        let idx = self.arena.alloc(1);
+        self.relink(idx);
+    }
+}
+";
+    assert_eq!(rules_hit(&[("crates/x/src/a.rs", "tw-x", src)]), ["TW014"]);
+}
+
+#[test]
+fn tw014_accepts_a_pure_unlink_relink_restart() {
+    let src = "\
+impl<T> TimerScheme<T> for W<T> {
+    fn restart_timer(&mut self) {
+        self.counters.restarts += 1;
+        self.arena.unlink(self.slot, 1);
+        self.arena.push_back(self.slot, 1);
+    }
+}
+";
+    assert!(rules_hit(&[("crates/x/src/a.rs", "tw-x", src)]).is_empty());
+}
+
+#[test]
+fn tw014_flags_a_reachable_wheel_rebuild() {
+    let src = "\
+impl<T> TimerScheme<T> for W<T> {
+    fn restart_timer(&mut self) { self.counters.restarts += 1; self.refile(); }
+}
+impl<T> W<T> {
+    fn refile(&mut self) { self.rebuild_wheel(); }
+}
+";
+    assert_eq!(rules_hit(&[("crates/x/src/a.rs", "tw-x", src)]), ["TW014"]);
+}
+
+// ---------------------------------------------------------------- FACT
+
+#[test]
+fn reasonless_loop_bounded_facts_are_rejected() {
+    // A bare fact would demote a loop out of TW012's sight on nothing but
+    // an author's say-so — exactly the reasonless-waiver failure mode.
+    let src = "\
+fn drain(&mut self) {
+    // tw-analyze: fact(loop_bounded)
+    while self.busy() { self.step(); }
+}
+";
+    assert_eq!(rules_hit(&[("crates/x/src/a.rs", "tw-x", src)]), ["FACT"]);
+    let with_reason = "\
+fn drain(&mut self) {
+    // tw-analyze: fact(loop_bounded, reason = \"fixture bound\")
+    while self.busy() { self.step(); }
+}
+";
+    assert!(rules_hit(&[("crates/x/src/a.rs", "tw-x", with_reason)]).is_empty());
+}
+
 // ------------------------------------------------------------ self-check
 
 #[test]

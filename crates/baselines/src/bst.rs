@@ -80,10 +80,12 @@ impl<T> UnbalancedBstScheme<T> {
             self.nodes[i as usize] = node;
             i
         } else {
-            // tw-analyze: allow(TW002, reason = "capacity ceiling of u32::MAX tree nodes is a hard structural limit mirroring TimerArena's documented alloc panic; no TimerError variant expresses exhaustion")
-            let i = u32::try_from(self.nodes.len()).expect("bst node count exceeds u32");
-            // tw-analyze: allow(TW002, reason = "same capacity ceiling: u32::MAX is the NIL sentinel and must never name a real node")
-            assert!(i != NIL, "bst node count exceeds u32");
+            let i = match u32::try_from(self.nodes.len()) {
+                // NIL (u32::MAX) is the sentinel and must never name a node.
+                Ok(i) if i != NIL => i,
+                // tw-analyze: allow(TW002, reason = "capacity ceiling of NIL - 1 tree nodes is a hard structural limit mirroring TimerArena's documented alloc panic; no TimerError variant expresses exhaustion")
+                _ => panic!("bst node count exceeds u32"),
+            };
             self.nodes.push(node);
             i
         }
@@ -100,6 +102,7 @@ impl<T> UnbalancedBstScheme<T> {
         }
         let mut steps = 0;
         let mut cur = self.root;
+        // tw-analyze: fact(loop_bounded, reason = "descends one tree level per iteration, bounded by tree height; the unbalanced-BST walk is the section 3.1 comparison baseline's documented O(log n) average cost, never a wheel routine")
         loop {
             steps += 1;
             let ck = self.nodes[cur as usize].key;
@@ -234,6 +237,7 @@ impl<T> TimerScheme<T> for UnbalancedBstScheme<T> {
                 break;
             }
             let tn = self.min;
+            // tw-analyze: fact(loop_bounded, reason = "pops one expired timer per iteration from the due node's intrusive list; the pop sits in a block the head-scan cannot see")
             while let Some(idx) = {
                 let list = &mut self.nodes[tn as usize].list;
                 self.arena.pop_front(list)

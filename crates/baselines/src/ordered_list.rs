@@ -114,6 +114,7 @@ impl<T> OrderedListScheme<T> {
                 // before the first strictly later one.
                 let mut steps = 0;
                 let mut at = self.queue.first();
+                // tw-analyze: fact(loop_bounded, reason = "ordered-list insertion walk: the section 3.2 comparison baseline's documented O(n) START cost, priced by the steps counter and never a wheel routine")
                 while let Some(cur) = at {
                     steps += 1;
                     if self.arena.node(cur).deadline > deadline {
@@ -132,6 +133,7 @@ impl<T> OrderedListScheme<T> {
                 // first with deadline ≤ ours (keeps FIFO ties too).
                 let mut steps = 0;
                 let mut at = self.queue.last();
+                // tw-analyze: fact(loop_bounded, reason = "ordered-list rear-search walk: the section 3.2 comparison baseline's documented O(n) START cost, priced by the steps counter and never a wheel routine")
                 while let Some(cur) = at {
                     if self.arena.node(cur).deadline <= deadline {
                         break;
@@ -183,6 +185,7 @@ impl<T> TimerScheme<T> for OrderedListScheme<T> {
         self.counters.ticks += 1;
         self.counters.vax_instructions += self.cost.skip_empty;
         // Compare the head with the time of day; delete while due (§3.2).
+        // tw-analyze: fact(loop_bounded, reason = "pops due heads only: the list is sorted, so the loop exits at the first not-yet-due entry after one O(1) compare; iterations = expiries + 1")
         while let Some(idx) = self.queue.first() {
             self.counters.decrements += 1;
             self.counters.vax_instructions += self.cost.decrement_step;

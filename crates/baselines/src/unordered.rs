@@ -93,6 +93,7 @@ impl<T> TimerScheme<T> for UnorderedScheme<T> {
         self.counters.vax_instructions += self.cost.skip_empty;
         // Decrement every outstanding timer — the defining O(n) cost.
         let mut cur = self.active.first();
+        // tw-analyze: fact(loop_bounded, reason = "decrements every outstanding timer: the defining O(n) PER_TICK cost of the section 6.1 straightforward scheme, priced by the decrements counter; a comparison baseline, never a wheel")
         while let Some(idx) = cur {
             cur = self.arena.next(idx);
             self.counters.decrements += 1;

@@ -266,14 +266,26 @@ impl TimerService {
         interval: TickDelta,
     ) -> Result<TimerHandle, TimerError> {
         let (tx, rx) = bounded(1);
-        self.cmd
-            .send(Cmd::Start {
+        self.round_trip(
+            Cmd::Start {
                 id: id.into(),
                 interval,
                 reply: tx,
-            })
-            // tw-analyze: allow(TW002, reason = "documented # Panics contract: a dead service thread is unrecoverable infrastructure failure, not a timer-domain error the TimerError enum can express")
-            .expect("timer service alive");
+            },
+            &rx,
+        )
+    }
+
+    /// Sends `cmd` and blocks for the single reply — the one message
+    /// round-trip every client call is made of.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service thread has died; this is the audited choke
+    /// point every client round-trip routes through.
+    fn round_trip<R>(&self, cmd: Cmd, rx: &Receiver<R>) -> R {
+        // tw-analyze: allow(TW002, reason = "documented # Panics contract: a dead service thread is unrecoverable infrastructure failure, not a timer-domain error the TimerError enum can express; every client round-trip routes through this one choke point")
+        self.cmd.send(cmd).expect("timer service alive");
         // tw-analyze: allow(TW002, reason = "same dead-service-thread contract as the send above")
         rx.recv().expect("timer service alive")
     }
@@ -289,12 +301,7 @@ impl TimerService {
     /// Panics if the service thread has died.
     pub fn stop_timer(&self, handle: TimerHandle) -> Result<RequestId, TimerError> {
         let (tx, rx) = bounded(1);
-        self.cmd
-            .send(Cmd::Stop { handle, reply: tx })
-            // tw-analyze: allow(TW002, reason = "documented # Panics contract: a dead service thread is unrecoverable infrastructure failure, not a timer-domain error the TimerError enum can express")
-            .expect("timer service alive");
-        // tw-analyze: allow(TW002, reason = "same dead-service-thread contract as the send above")
-        rx.recv().expect("timer service alive")
+        self.round_trip(Cmd::Stop { handle, reply: tx }, &rx)
     }
 
     /// Advances virtual time by `ticks`; returns how many timers fired.
@@ -304,10 +311,7 @@ impl TimerService {
     /// Panics if the service thread has died.
     pub fn advance(&self, ticks: u64) -> u64 {
         let (tx, rx) = bounded(1);
-        self.cmd
-            .send(Cmd::Advance { ticks, reply: tx })
-            .expect("timer service alive");
-        rx.recv().expect("timer service alive")
+        self.round_trip(Cmd::Advance { ticks, reply: tx }, &rx)
     }
 
     /// Number of outstanding timers.
@@ -317,10 +321,7 @@ impl TimerService {
     /// Panics if the service thread has died.
     pub fn outstanding(&self) -> usize {
         let (tx, rx) = bounded(1);
-        self.cmd
-            .send(Cmd::Outstanding { reply: tx })
-            .expect("timer service alive");
-        rx.recv().expect("timer service alive")
+        self.round_trip(Cmd::Outstanding { reply: tx }, &rx)
     }
 
     /// The expiry notification channel.

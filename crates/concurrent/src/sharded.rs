@@ -157,6 +157,7 @@ impl<T, O: Observer> ShardedWheel<T, O> {
         }
         let n = ticks_of(self.shared.buckets.len());
         let j = interval.as_u64();
+        // tw-analyze: fact(loop_bounded, reason = "optimistic-retry loop: repeats only when the shared clock advanced past the target slot during lock acquisition, a bounded race window; under a quiescent clock it runs exactly once")
         loop {
             let t = self.shared.now.load(Ordering::Acquire);
             let slot = Tick(t)
@@ -240,6 +241,7 @@ impl<T, O: Observer> ShardedWheel<T, O> {
             let mut bucket = self.lock_shard(slot);
             let mut list = std::mem::take(&mut bucket.list);
             let mut cur = list.first();
+            // tw-analyze: fact(loop_bounded, reason = "walks one hash bucket, decrementing each resident exactly as section 6.1.2 prices PER_TICK: worst case n/slots entries per visit")
             while let Some(idx) = cur {
                 cur = bucket.arena.next(idx);
                 let rounds = bucket.arena.node(idx).aux;

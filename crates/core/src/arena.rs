@@ -40,6 +40,17 @@ fn slab_index(raw: u32) -> usize {
     raw as usize
 }
 
+/// The one liveness panic, shared by [`TimerArena::node`] and
+/// [`TimerArena::node_mut`]: `NodeIdx` liveness is the scheme's
+/// responsibility (documented `# Panics` contract); client-facing paths
+/// resolve a `TimerHandle` first and get `TimerError::Stale` instead.
+#[cold]
+#[inline(never)]
+fn not_live(idx: NodeIdx) -> ! {
+    // tw-analyze: allow(TW002, reason = "documented # Panics contract routed through one audited choke point: NodeIdx liveness is the scheme's responsibility; client-facing paths resolve TimerHandle first and get TimerError::Stale instead")
+    panic!("arena node {} is not live", idx.0)
+}
+
 /// Index of a live node inside a [`TimerArena`].
 ///
 /// Unlike [`TimerHandle`], a `NodeIdx` is not generation-checked; it is only
@@ -230,10 +241,12 @@ impl<T> TimerArena<T> {
             self.slots[slab_index(idx)].1 = Slot::Occupied(node);
             idx
         } else {
-            // tw-analyze: allow(TW002, reason = "capacity ceiling of u32::MAX - 1 live timers is a documented hard limit (see # Panics); no TimerError variant can express resource exhaustion mid-alloc")
-            let idx = u32::try_from(self.slots.len()).expect("arena capacity exceeded");
-            // tw-analyze: allow(TW002, reason = "same documented capacity ceiling: index u32::MAX is the NIL sentinel and must never be allocated")
-            assert!(idx != NIL, "arena capacity exceeded");
+            let idx = match u32::try_from(self.slots.len()) {
+                // NIL (u32::MAX) is the sentinel and must never be allocated.
+                Ok(idx) if idx != NIL => idx,
+                // tw-analyze: allow(TW002, reason = "capacity ceiling of NIL - 1 live timers is a documented hard limit (see # Panics); no TimerError variant can express resource exhaustion mid-alloc")
+                _ => panic!("arena capacity exceeded"),
+            };
             // tw-analyze: allow(TW004, reason = "amortized slab growth on the alloc path only; steady-state traffic recycles the free list and never reaches this branch (verified by the slot_count plateau tests)")
             self.slots.push((0, Slot::Occupied(node)));
             idx
@@ -309,8 +322,7 @@ impl<T> TimerArena<T> {
     pub fn node(&self, idx: NodeIdx) -> &Node<T> {
         match &self.slots[slab_index(idx.0)].1 {
             Slot::Occupied(node) => node,
-            // tw-analyze: allow(TW002, reason = "documented # Panics contract: NodeIdx liveness is the scheme's responsibility; client-facing paths resolve TimerHandle first and get TimerError::Stale instead")
-            Slot::Free { .. } => panic!("arena node {} is not live", idx.0),
+            Slot::Free { .. } => not_live(idx),
         }
     }
 
@@ -323,8 +335,7 @@ impl<T> TimerArena<T> {
     pub fn node_mut(&mut self, idx: NodeIdx) -> &mut Node<T> {
         match &mut self.slots[slab_index(idx.0)].1 {
             Slot::Occupied(node) => node,
-            // tw-analyze: allow(TW002, reason = "documented # Panics contract, same liveness argument as node(): stale client handles are rejected earlier via resolve()")
-            Slot::Free { .. } => panic!("arena node {} is not live", idx.0),
+            Slot::Free { .. } => not_live(idx),
         }
     }
 

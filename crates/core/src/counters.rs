@@ -72,6 +72,9 @@ pub struct OpCounters {
     pub starts: u64,
     /// Calls to `stop_timer` that succeeded.
     pub stops: u64,
+    /// Calls to `restart_timer` that succeeded (the dynamic UPDATE routine;
+    /// modeled as one §7 delete plus one insert).
+    pub restarts: u64,
     /// Calls to `tick` (`PER_TICK_BOOKKEEPING` invocations).
     pub ticks: u64,
     /// Timers delivered to `EXPIRY_PROCESSING`.
@@ -122,6 +125,7 @@ impl OpCounters {
         OpCounters {
             starts: d(self.starts, earlier.starts),
             stops: d(self.stops, earlier.stops),
+            restarts: d(self.restarts, earlier.restarts),
             ticks: d(self.ticks, earlier.ticks),
             expiries: d(self.expiries, earlier.expiries),
             start_steps: d(self.start_steps, earlier.start_steps),

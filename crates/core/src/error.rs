@@ -46,6 +46,11 @@ pub enum TimerError {
     /// are absorbed rather than wrapping, and the snapshot is a lower
     /// bound. Reported by `tw-obs` saturation checks.
     Saturated,
+    /// The scheme does not implement the dynamic-update routine
+    /// (`restart_timer`). Returned by the trait's default body; schemes
+    /// that support update-in-place override it (see ROADMAP item 1 for
+    /// the full-sweep plan).
+    UpdateUnsupported,
     /// A [`WheelConfig`](crate::wheel::WheelConfig) build was rejected:
     /// the knobs describe a wheel no scheme can construct (zero slots,
     /// empty hierarchy, a `max_interval` beyond the range). Carries the
@@ -78,6 +83,9 @@ impl fmt::Display for TimerError {
                     "telemetry accumulator saturated; snapshot is a lower bound"
                 )
             }
+            TimerError::UpdateUnsupported => {
+                write!(f, "scheme does not support restarting an outstanding timer")
+            }
             TimerError::InvalidConfig { reason } => {
                 write!(f, "invalid wheel configuration: {reason}")
             }
@@ -105,6 +113,7 @@ mod tests {
             TimerError::UnknownRequestId.to_string(),
             TimerError::DeadlineOverflow.to_string(),
             TimerError::Saturated.to_string(),
+            TimerError::UpdateUnsupported.to_string(),
             TimerError::InvalidConfig {
                 reason: "zero slots",
             }
@@ -114,7 +123,7 @@ mod tests {
             assert!(!m.is_empty());
         }
         assert!(msgs[1].contains("256"));
-        assert!(msgs[7].contains("zero slots"));
+        assert!(msgs[8].contains("zero slots"));
     }
 
     #[test]

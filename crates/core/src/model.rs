@@ -1,16 +1,18 @@
 //! A trivially-correct reference timer module used as the property-test
 //! oracle.
 //!
-//! [`OracleScheme`] keeps a `BTreeMap` from deadline to the timers due at
-//! that tick (in start order). It makes no attempt to be fast — `tick` is a
-//! map lookup, `stop_timer` scans one deadline's vector — but its correctness
-//! is obvious by inspection, which is the point: every real scheme in the
-//! workspace is proptest-checked for trace equivalence against it.
+//! [`OracleScheme`] keeps a `BTreeMap` from deadline to an intrusive list
+//! of the timers due at that tick (in start order). It makes no attempt to
+//! be fast — `tick` is a map lookup — but its correctness is obvious by
+//! inspection, which is the point: every real scheme in the workspace is
+//! proptest-checked for trace equivalence against it. Buckets are the
+//! arena's intrusive lists (§3.2), so stop and restart are an O(1) unlink
+//! (plus the map lookup) and the update path never allocates.
 
 use alloc::collections::BTreeMap;
 use alloc::vec::Vec;
 
-use crate::arena::{NodeIdx, TimerArena};
+use crate::arena::{ListHead, NodeIdx, TimerArena};
 use crate::counters::OpCounters;
 use crate::handle::TimerHandle;
 use crate::scheme::{DeadlinePeek, Expired, TimerScheme};
@@ -20,7 +22,7 @@ use crate::TimerError;
 /// The reference implementation. See the [module docs](self).
 pub struct OracleScheme<T> {
     now: Tick,
-    by_deadline: BTreeMap<Tick, Vec<NodeIdx>>,
+    by_deadline: BTreeMap<Tick, ListHead>,
     arena: TimerArena<T>,
     counters: OpCounters,
 }
@@ -67,8 +69,8 @@ impl<T> TimerScheme<T> for OracleScheme<T> {
             .checked_add_delta(interval)
             .ok_or(TimerError::DeadlineOverflow)?;
         let (idx, handle) = self.arena.alloc(payload, deadline);
-        // tw-analyze: allow(TW004, reason = "OracleScheme is the executable-specification reference model the equivalence suites diff against, never a measured scheme; its BTreeMap-of-Vecs representation allocates by design")
-        self.by_deadline.entry(deadline).or_default().push(idx);
+        let due = self.by_deadline.entry(deadline).or_default();
+        self.arena.push_back(due, idx);
         self.counters.starts += 1;
         Ok(handle)
     }
@@ -81,10 +83,7 @@ impl<T> TimerScheme<T> for OracleScheme<T> {
         let Some(due) = self.by_deadline.get_mut(&deadline) else {
             return Err(TimerError::Stale);
         };
-        let Some(pos) = due.iter().position(|i| *i == idx) else {
-            return Err(TimerError::Stale);
-        };
-        due.remove(pos);
+        self.arena.unlink(due, idx);
         if due.is_empty() {
             self.by_deadline.remove(&deadline);
         }
@@ -92,11 +91,45 @@ impl<T> TimerScheme<T> for OracleScheme<T> {
         Ok(self.arena.free(idx))
     }
 
+    fn restart_timer(
+        &mut self,
+        handle: TimerHandle,
+        interval: TickDelta,
+    ) -> Result<(), TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let new_deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
+        let idx = self.arena.resolve(handle)?;
+        let old_deadline = self.arena.node(idx).deadline;
+        // Unlink from the old bucket; the node itself stays allocated, so
+        // the client's handle (and its generation) remain valid throughout.
+        let Some(due) = self.by_deadline.get_mut(&old_deadline) else {
+            return Err(TimerError::Stale);
+        };
+        self.arena.unlink(due, idx);
+        if due.is_empty() {
+            self.by_deadline.remove(&old_deadline);
+        }
+        self.arena.node_mut(idx).deadline = new_deadline;
+        // Relink at the new deadline, appending so the restart behaves like
+        // a fresh start for FIFO purposes (same order every scheme's
+        // update path must reproduce). Intrusive push_back never allocates,
+        // keeping the update path a pure unlink + relink.
+        let due = self.by_deadline.entry(new_deadline).or_default();
+        self.arena.push_back(due, idx);
+        self.counters.restarts += 1;
+        Ok(())
+    }
+
     fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
         self.now = self.now.next();
         self.counters.ticks += 1;
-        if let Some(due) = self.by_deadline.remove(&self.now) {
-            for idx in due {
+        if let Some(mut due) = self.by_deadline.remove(&self.now) {
+            while let Some(idx) = self.arena.pop_front(&mut due) {
                 let handle = self.arena.handle_of(idx);
                 let deadline = self.arena.node(idx).deadline;
                 let payload = self.arena.free(idx);
@@ -159,7 +192,11 @@ impl<T> crate::validate::InvariantCheck for OracleScheme<T> {
                     deadline.as_u64()
                 ));
             }
-            for &idx in due {
+            let idxs = match self.arena.check_list(due) {
+                Ok(idxs) => idxs,
+                Err(detail) => return fail(detail),
+            };
+            for &idx in &idxs {
                 if !self.arena.is_live(idx) {
                     return fail(alloc::format!(
                         "map references freed node under deadline {}",
@@ -180,7 +217,7 @@ impl<T> crate::validate::InvariantCheck for OracleScheme<T> {
                 }
                 seen.push(idx);
             }
-            total += due.len();
+            total += idxs.len();
         }
         if total != self.arena.len() {
             return fail(alloc::format!(
@@ -266,6 +303,32 @@ mod tests {
         assert_eq!(c.expiries, 1);
         o.reset_counters();
         assert_eq!(o.counters().starts, 0);
+    }
+
+    #[test]
+    fn restart_rearms_and_keeps_fifo_append_order() {
+        let mut o: OracleScheme<&str> = OracleScheme::new();
+        let h = o.start_timer(TickDelta(2), "moved").unwrap();
+        o.start_timer(TickDelta(5), "fixed").unwrap();
+        o.restart_timer(h, TickDelta(5)).unwrap();
+        // The restarted timer appends behind the one already due at tick 5.
+        let fired = o.collect_ticks(5);
+        let order: Vec<&str> = fired.iter().map(|e| e.payload).collect();
+        assert_eq!(order, vec!["fixed", "moved"]);
+        assert_eq!(o.counters().restarts, 1);
+    }
+
+    #[test]
+    fn restart_rejects_stale_and_zero_without_side_effects() {
+        let mut o: OracleScheme<()> = OracleScheme::new();
+        let h = o.start_timer(TickDelta(3), ()).unwrap();
+        assert_eq!(
+            o.restart_timer(h, TickDelta::ZERO),
+            Err(TimerError::ZeroInterval)
+        );
+        crate::validate::InvariantCheck::check_invariants(&o).unwrap();
+        assert_eq!(o.collect_ticks(3).len(), 1);
+        assert_eq!(o.restart_timer(h, TickDelta(1)), Err(TimerError::Stale));
     }
 
     #[test]

@@ -235,6 +235,18 @@ impl<T, S: TimerScheme<T>, O: Observer> TimerScheme<T> for Observed<S, O> {
         result
     }
 
+    fn restart_timer(
+        &mut self,
+        handle: TimerHandle,
+        interval: TickDelta,
+    ) -> Result<(), TimerError> {
+        // Delegation only: the Observer trait is sealed and stays at its
+        // nine hooks, so a restart is visible to telemetry as neither a
+        // stop nor a start (it frees and allocates nothing). A dedicated
+        // on_restart hook can ride the ROADMAP item 1 full sweep.
+        self.inner.restart_timer(handle, interval)
+    }
+
     fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
         self.observer.on_tick_begin(self.inner.now());
         let mut fired = 0usize;

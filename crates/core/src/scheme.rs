@@ -74,6 +74,37 @@ pub trait TimerScheme<T> {
     /// [`TimerError::Stale`] if the timer already expired or was stopped.
     fn stop_timer(&mut self, handle: TimerHandle) -> Result<T, TimerError>;
 
+    /// UPDATE (the dynamic-update routine of "Design of a Timer Queue
+    /// Supporting Dynamic Update Operations"): re-arms an outstanding timer
+    /// to expire `interval` ticks after the current time, keeping the same
+    /// handle valid — the node is unlinked from its current position and
+    /// relinked at the new deadline without passing through the arena's
+    /// free list, so no generation bump and no allocation occur.
+    ///
+    /// Validation happens *before* any unlink: a failed restart leaves the
+    /// timer exactly where it was, still armed for its original deadline.
+    ///
+    /// The default body rejects the call; schemes gain update support one
+    /// by one (currently the oracle and `BasicWheel`; the full sweep is
+    /// ROADMAP item 1).
+    ///
+    /// # Errors
+    ///
+    /// * [`TimerError::UpdateUnsupported`] if the scheme has no update path.
+    /// * [`TimerError::Stale`] if the timer already expired or was stopped.
+    /// * The same [`TimerError::ZeroInterval`] /
+    ///   [`TimerError::IntervalOutOfRange`] /
+    ///   [`TimerError::DeadlineOverflow`] contract as `start_timer` for the
+    ///   new interval.
+    fn restart_timer(
+        &mut self,
+        handle: TimerHandle,
+        interval: TickDelta,
+    ) -> Result<(), TimerError> {
+        let _ = (handle, interval);
+        Err(TimerError::UpdateUnsupported)
+    }
+
     /// `PER_TICK_BOOKKEEPING` (§2): advances the clock by one tick and
     /// delivers every timer expiring at the new time to `expired`
     /// (`EXPIRY_PROCESSING`).
@@ -90,6 +121,7 @@ pub trait TimerScheme<T> {
     /// test entirely; the trace delivered to `expired` must be identical
     /// either way (pinned by the oracle-equivalence differential suite).
     fn advance_to_with(&mut self, deadline: Tick, expired: &mut dyn FnMut(Expired<T>)) {
+        // tw-analyze: fact(loop_bounded, reason = "one tick() per elapsed virtual tick; the paper's PER_TICK envelope is priced per tick, and a batched advance is exactly (deadline - now) of them")
         while self.now() < deadline {
             self.tick(expired);
         }

@@ -135,6 +135,16 @@ impl<T, S: TimerScheme<T> + InvariantCheck> TimerScheme<T> for Checked<S> {
         result
     }
 
+    fn restart_timer(
+        &mut self,
+        handle: TimerHandle,
+        interval: TickDelta,
+    ) -> Result<(), TimerError> {
+        let result = self.inner.restart_timer(handle, interval);
+        self.assert_valid();
+        result
+    }
+
     fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
         self.inner.tick(expired);
         self.assert_valid();

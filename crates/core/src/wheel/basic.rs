@@ -134,6 +134,7 @@ impl<T> BasicWheel<T> {
     fn drain_overflow(&mut self) {
         let range = self.max_interval();
         let mut cur = self.overflow.first();
+        // tw-analyze: fact(loop_bounded, reason = "walks the overflow list once per revolution; amortized over the revolution's slot-count ticks, each resident is examined once per revolution exactly as the section 4 overflow argument prices it")
         while let Some(idx) = cur {
             cur = self.arena.next(idx);
             let remaining = self.arena.node(idx).deadline.since(self.now);
@@ -212,6 +213,55 @@ impl<T> TimerScheme<T> for BasicWheel<T> {
         Ok(self.arena.free(idx))
     }
 
+    fn restart_timer(
+        &mut self,
+        handle: TimerHandle,
+        interval: TickDelta,
+    ) -> Result<(), TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let max = self.max_interval();
+        let (interval, park) = if interval <= max {
+            (interval, false)
+        } else {
+            match self.overflow_policy.apply(max)? {
+                Some(clamped) => (clamped, false),
+                None => (interval, true),
+            }
+        };
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
+        let idx = self.arena.resolve(handle)?;
+        // All validation passed — from here the restart cannot fail. Unlink
+        // from the current home; the node never touches the free list, so
+        // the client's handle (and its generation) stay valid.
+        let bucket = self.arena.node(idx).bucket;
+        if bucket == OVERFLOW_BUCKET {
+            self.arena.unlink(&mut self.overflow, idx);
+        } else {
+            self.arena.unlink(&mut self.slots[bucket], idx);
+            if self.slots[bucket].is_empty() {
+                let ops = self.occupancy.clear(bucket);
+                self.counters.charge_bitmap(ops);
+            }
+        }
+        self.arena.node_mut(idx).deadline = deadline;
+        if park {
+            self.arena.node_mut(idx).bucket = OVERFLOW_BUCKET;
+            self.arena.push_back(&mut self.overflow, idx);
+        } else {
+            self.enqueue(idx);
+        }
+        self.counters.restarts += 1;
+        // Modeled as one §7 delete followed by one insert, matching the
+        // unlink+relink the update actually performs.
+        self.counters.vax_instructions += self.cost.delete + self.cost.insert;
+        Ok(())
+    }
+
     fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
         self.cursor = (self.cursor + 1) % self.slots.len();
         self.now = self.now.next();
@@ -224,6 +274,7 @@ impl<T> TimerScheme<T> for BasicWheel<T> {
             self.counters.vax_instructions += self.cost.skip_empty;
             // Every resident timer's deadline is within one revolution, so
             // everything in the slot the cursor landed on is due now.
+            // tw-analyze: fact(loop_bounded, reason = "pops one expired timer per iteration from the flushed slot; the pop sits in a block the head-scan cannot see")
             while let Some(idx) = {
                 let slot = &mut self.slots[self.cursor];
                 self.arena.pop_front(slot)
@@ -252,6 +303,7 @@ impl<T> TimerScheme<T> for BasicWheel<T> {
 
     #[cfg(feature = "bitmap-cursor")]
     fn advance_to_with(&mut self, deadline: Tick, expired: &mut dyn FnMut(Expired<T>)) {
+        // tw-analyze: fact(loop_bounded, reason = "each iteration either lands the cursor on an occupied slot (charging its expiries) or jumps a whole empty stretch via the occupancy bitmap; iterations are bounded by occupied-slot visits, not elapsed ticks")
         while self.now < deadline {
             let remaining = deadline.since(self.now).as_u64();
             // Next tick that does real work: the cursor landing on an
@@ -566,6 +618,61 @@ mod tests {
         assert_eq!(got, want);
         assert_eq!(fast.now(), slow.now());
         assert_eq!(fast.outstanding(), 0);
+    }
+
+    #[test]
+    fn restart_rearms_to_a_new_deadline_with_the_same_handle() {
+        let mut w: BasicWheel<&str> = BasicWheel::new(16);
+        let h = w.start_timer(TickDelta(3), "x").unwrap();
+        w.restart_timer(h, TickDelta(10)).unwrap();
+        // Nothing fires at the original deadline.
+        assert!(w.collect_ticks(3).is_empty());
+        let fired = w.collect_ticks(7);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(10));
+        assert_eq!(fired[0].deadline, Tick(10));
+        assert_eq!(fired[0].handle, h);
+        let c = w.counters();
+        assert_eq!(c.restarts, 1);
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+    }
+
+    #[test]
+    fn restart_moves_between_wheel_and_overflow() {
+        let mut w: BasicWheel<u32> = BasicWheel::build(8, OverflowPolicy::OverflowList);
+        let h = w.start_timer(TickDelta(2), 7).unwrap();
+        // In-range → overflow-parked.
+        w.restart_timer(h, TickDelta(30)).unwrap();
+        assert_eq!(w.overflow_len(), 1);
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+        // Overflow-parked → back in range.
+        w.restart_timer(h, TickDelta(5)).unwrap();
+        assert_eq!(w.overflow_len(), 0);
+        let fired = w.collect_ticks(5);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(5));
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+    }
+
+    #[test]
+    fn failed_restart_leaves_the_timer_armed() {
+        let mut w: BasicWheel<u32> = BasicWheel::new(8);
+        let h = w.start_timer(TickDelta(4), 4).unwrap();
+        // Each rejection happens before any unlink...
+        assert_eq!(
+            w.restart_timer(h, TickDelta::ZERO),
+            Err(TimerError::ZeroInterval)
+        );
+        assert_eq!(
+            w.restart_timer(h, TickDelta(9)),
+            Err(TimerError::IntervalOutOfRange { max: TickDelta(8) })
+        );
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+        // ...so the original deadline still stands.
+        let fired = w.collect_ticks(4);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(4));
+        assert_eq!(w.restart_timer(h, TickDelta(1)), Err(TimerError::Stale));
     }
 
     #[test]

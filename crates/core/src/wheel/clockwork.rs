@@ -136,6 +136,7 @@ impl<T> ClockworkWheel<T> {
         let level = self
             .levels
             .iter()
+            // tw-analyze: fact(loop_bounded, reason = "walks self.levels, whose length is the const level count fixed at construction; this is the paper's O(levels) digit scan")
             .rposition(|l| target / l.granularity != now / l.granularity)
             .unwrap_or(0);
         self.place_at_level(idx, target, level);
@@ -160,6 +161,7 @@ impl<T> ClockworkWheel<T> {
         // Level 0 has base 0, so every bucket tag matches at least level 0.
         self.levels
             .iter()
+            // tw-analyze: fact(loop_bounded, reason = "walks self.levels, whose length is the const level count fixed at construction; O(levels) by definition")
             .rposition(|l| l.base <= bucket)
             .unwrap_or(0)
     }

@@ -120,6 +120,7 @@ impl<T> TimerScheme<T> for HashedWheelSorted<T> {
         // inserting after existing equal deadlines.
         let mut at = self.slots[slot].first();
         let mut steps = 0u64;
+        // tw-analyze: fact(loop_bounded, reason = "sorted-insert walk of one hash bucket: worst case n/slots entries, O(1) average per section 6.1.1 -- the documented START trade-off of Scheme 5, priced by the steps counter")
         while let Some(cur) = at {
             steps += 1;
             if self.arena.node(cur).deadline > deadline {
@@ -164,6 +165,7 @@ impl<T> TimerScheme<T> for HashedWheelSorted<T> {
         self.counters.nonempty_slot_visits += 1;
         // Only the head needs examining: the bucket is sorted, and anything
         // due this revolution has deadline == now when the cursor arrives.
+        // tw-analyze: fact(loop_bounded, reason = "pops expired heads only: the bucket is sorted, so the loop exits at the first not-yet-due entry after one O(1) compare; iterations = expiries + 1")
         while let Some(idx) = self.slots[self.cursor].first() {
             self.counters.decrements += 1;
             self.counters.vax_instructions += self.cost.decrement_step;
@@ -195,6 +197,7 @@ impl<T> TimerScheme<T> for HashedWheelSorted<T> {
         // Every occupied bucket must still be visited each revolution (the
         // head compare is the §6.1.1 per-visit work), but runs of empty
         // buckets are jumped in one go.
+        // tw-analyze: fact(loop_bounded, reason = "each iteration either visits an occupied bucket or jumps a whole empty stretch via the occupancy bitmap; iterations are bounded by occupied-bucket visits, not elapsed ticks")
         while self.now < deadline {
             let remaining = deadline.since(self.now).as_u64();
             let probe = self.occupancy.next_occupied_delta(self.cursor);

@@ -199,6 +199,7 @@ impl<T> TimerScheme<T> for HashedWheelUnsorted<T> {
         // Walk the whole bucket, decrementing every element exactly as in
         // Scheme 1 (§6.1.2), expiring those whose rounds reach zero.
         let mut cur = self.slots[self.cursor].first();
+        // tw-analyze: fact(loop_bounded, reason = "walks one hash bucket, decrementing each resident exactly as section 6.1.2 prices PER_TICK: worst case n/slots entries per visit, charged to the decrements counter")
         while let Some(idx) = cur {
             cur = self.arena.next(idx);
             self.counters.decrements += 1;
@@ -233,6 +234,7 @@ impl<T> TimerScheme<T> for HashedWheelUnsorted<T> {
         // Every visit of an occupied bucket decrements its residents'
         // rounds (§6.1.2), so none may be skipped — the bitmap only jumps
         // the runs of provably empty buckets in between.
+        // tw-analyze: fact(loop_bounded, reason = "each iteration either visits an occupied bucket or jumps a whole empty stretch via the occupancy bitmap; iterations are bounded by occupied-bucket visits, not elapsed ticks")
         while self.now < deadline {
             let remaining = deadline.since(self.now).as_u64();
             let probe = self.occupancy.next_occupied_delta(self.cursor);

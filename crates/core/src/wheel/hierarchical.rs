@@ -243,6 +243,7 @@ impl<T> HierarchicalWheel<T> {
         // level 0.
         self.levels
             .iter()
+            // tw-analyze: fact(loop_bounded, reason = "walks self.levels, whose length is the const level count fixed at construction; O(levels) by definition")
             .rposition(|l| l.base <= bucket)
             .unwrap_or(0)
     }
@@ -390,6 +391,7 @@ impl<T> HierarchicalWheel<T> {
     fn drain_overflow(&mut self) {
         let now = self.now.as_u64();
         let mut cur = self.overflow.first();
+        // tw-analyze: fact(loop_bounded, reason = "walks the overflow list once per top-level revolution; the amortized section 6.2 cascade argument charges each resident one move per level, and the revolution period divides the walk across range ticks")
         while let Some(idx) = cur {
             cur = self.arena.next(idx);
             let target = self.arena.node(idx).aux & !MIGRATED_FLAG;
@@ -509,6 +511,7 @@ impl<T> TimerScheme<T> for HierarchicalWheel<T> {
 
     #[cfg(feature = "bitmap-cursor")]
     fn advance_to_with(&mut self, deadline: Tick, expired: &mut dyn FnMut(Expired<T>)) {
+        // tw-analyze: fact(loop_bounded, reason = "each iteration either does real per-tick work (an occupied slot on some level) or jumps a whole empty stretch via the per-level occupancy bitmaps; iterations are bounded by occupied-slot events, not elapsed ticks")
         while self.now < deadline {
             let now = self.now.as_u64();
             let remaining = deadline.since(self.now).as_u64();

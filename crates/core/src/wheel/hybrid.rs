@@ -125,6 +125,7 @@ impl<T> HybridWheel<T> {
         self.arena.node_mut(idx).bucket = FAR_BUCKET;
         let mut at = self.far.first();
         let mut steps = 0u64;
+        // tw-analyze: fact(loop_bounded, reason = "sorted-insert walk of the far list: only timers beyond one wheel revolution land here, so the walk prices the Scheme 2 half of the hybrid exactly as section 6.1.1 documents -- O(1) average, charged to the steps counter")
         while let Some(cur) = at {
             steps += 1;
             if self.arena.node(cur).deadline > deadline {
@@ -187,6 +188,7 @@ impl<T> TimerScheme<T> for HybridWheel<T> {
             self.counters.empty_slot_skips += 1;
         } else {
             self.counters.nonempty_slot_visits += 1;
+            // tw-analyze: fact(loop_bounded, reason = "pops one expired timer per iteration from the flushed slot; the pop sits in a block the head-scan cannot see")
             while let Some(idx) = {
                 let slot = &mut self.slots[self.cursor];
                 self.arena.pop_front(slot)
@@ -212,6 +214,7 @@ impl<T> TimerScheme<T> for HybridWheel<T> {
         // come within a revolution. Sorted order means at most a prefix
         // moves, and the common case is one compare and done.
         let range = self.wheel_range();
+        // tw-analyze: fact(loop_bounded, reason = "migrates the due prefix of the sorted far list: the loop exits at the first head beyond one revolution after one O(1) compare; iterations = migrations + 1")
         while let Some(head) = self.far.first() {
             self.counters.decrements += 1;
             self.counters.vax_instructions += self.cost.decrement_step;
@@ -231,6 +234,7 @@ impl<T> TimerScheme<T> for HybridWheel<T> {
     #[cfg(feature = "bitmap-cursor")]
     fn advance_to_with(&mut self, deadline: Tick, expired: &mut dyn FnMut(Expired<T>)) {
         let range = ticks_of(self.slots.len());
+        // tw-analyze: fact(loop_bounded, reason = "each iteration either visits an occupied slot, migrates the due far-list head, or jumps a whole empty stretch via the occupancy bitmap; iterations are bounded by real work events, not elapsed ticks")
         while self.now < deadline {
             let remaining = deadline.since(self.now).as_u64();
             // Next tick with real work: an occupied wheel slot, or the far

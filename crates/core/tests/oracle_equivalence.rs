@@ -142,6 +142,98 @@ fn check_equivalence<S: TimerScheme<u64>>(
     Ok(())
 }
 
+/// One step of a restart-heavy workload: the [`Op`] alphabet plus the
+/// dynamic UPDATE routine re-arming a random outstanding timer.
+#[derive(Debug, Clone)]
+enum UpdateOp {
+    Start(u64),
+    Stop(usize),
+    /// Restart the k-th (mod live count) outstanding timer with this
+    /// interval.
+    Restart(usize, u64),
+    Tick,
+}
+
+fn update_op_strategy(max_interval: u64) -> impl Strategy<Value = UpdateOp> {
+    prop_oneof![
+        3 => (1..=max_interval).prop_map(UpdateOp::Start),
+        1 => any::<usize>().prop_map(UpdateOp::Stop),
+        4 => (any::<usize>(), 1..=max_interval).prop_map(|(k, j)| UpdateOp::Restart(k, j)),
+        4 => Just(UpdateOp::Tick),
+    ]
+}
+
+/// Runs the same restart-heavy sequence against `scheme` and the oracle.
+/// A restarted timer must keep its original handle on both sides, vanish
+/// from its old deadline, and fire exactly once at the re-armed one.
+fn check_update_equivalence<S: TimerScheme<u64>>(
+    mut scheme: S,
+    ops: Vec<UpdateOp>,
+) -> Result<(), TestCaseError> {
+    let mut oracle = harness(OracleScheme::<u64>::new());
+    let mut live: Vec<(tw_core::TimerHandle, tw_core::TimerHandle, u64)> = Vec::new();
+    let mut next_id = 0u64;
+    for op in ops {
+        match op {
+            UpdateOp::Start(interval) => {
+                let a = scheme.start_timer(TickDelta(interval), next_id);
+                let b = oracle.start_timer(TickDelta(interval), next_id);
+                prop_assert_eq!(a.is_ok(), b.is_ok(), "start_timer disagreement");
+                if let (Ok(ha), Ok(hb)) = (a, b) {
+                    live.push((ha, hb, next_id));
+                }
+                next_id += 1;
+            }
+            UpdateOp::Stop(k) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (ha, hb, id) = live.swap_remove(k % live.len());
+                prop_assert_eq!(scheme.stop_timer(ha), Ok(id));
+                prop_assert_eq!(oracle.stop_timer(hb), Ok(id));
+            }
+            UpdateOp::Restart(k, interval) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (ha, hb, id) = live[k % live.len()];
+                let ra = scheme.restart_timer(ha, TickDelta(interval));
+                let rb = oracle.restart_timer(hb, TickDelta(interval));
+                prop_assert_eq!(ra, Ok(()), "scheme restart of {} failed", id);
+                prop_assert_eq!(rb, Ok(()), "oracle restart of {} failed", id);
+                // The handles stay valid — nothing to update in the book.
+            }
+            UpdateOp::Tick => {
+                let mut got = Vec::new();
+                scheme.tick(&mut |e| got.push((e.payload, e.fired_at, e.deadline, e.error())));
+                let mut want = Vec::new();
+                oracle.tick(&mut |e| want.push((e.payload, e.fired_at, e.deadline, e.error())));
+                got.sort_unstable();
+                want.sort_unstable();
+                prop_assert_eq!(&got, &want, "expiry divergence at t={}", scheme.now());
+                live.retain(|(_, _, id)| !got.iter().any(|(p, ..)| p == id));
+            }
+        }
+        prop_assert_eq!(scheme.outstanding(), oracle.outstanding());
+        prop_assert_eq!(scheme.now(), oracle.now());
+    }
+    // Drain.
+    let mut guard = 0u64;
+    while scheme.outstanding() > 0 {
+        let mut got = Vec::new();
+        scheme.tick(&mut |e| got.push((e.payload, e.error())));
+        let mut want = Vec::new();
+        oracle.tick(&mut |e| want.push((e.payload, e.error())));
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(&got, &want);
+        guard += 1;
+        prop_assert!(guard < 2_000_000, "drain did not terminate");
+    }
+    prop_assert_eq!(oracle.outstanding(), 0);
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -157,6 +249,24 @@ proptest! {
     ) {
         // Intervals up to 200 on an 8-slot wheel: heavy overflow traffic.
         check_equivalence(harness(basic_overflow(8)), ops)?;
+    }
+
+    /// Restart-heavy differential for the two schemes with an update path:
+    /// in-range restarts on a plain Scheme 4 wheel…
+    #[test]
+    fn basic_wheel_restart_matches_oracle(
+        ops in proptest::collection::vec(update_op_strategy(32), 1..300),
+    ) {
+        check_update_equivalence(harness(BasicWheel::<u64>::new(32)), ops)?;
+    }
+
+    /// …and restarts that shuttle timers between the wheel proper and the
+    /// overflow list (intervals up to 200 on an 8-slot wheel).
+    #[test]
+    fn basic_wheel_overflow_restart_matches_oracle(
+        ops in proptest::collection::vec(update_op_strategy(200), 1..300),
+    ) {
+        check_update_equivalence(harness(basic_overflow(8)), ops)?;
     }
 
     #[test]

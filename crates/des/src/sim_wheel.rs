@@ -96,6 +96,7 @@ impl<T> SimWheel<T> {
     fn rotate(&mut self) {
         self.window_end = self.now.as_u64() + ticks_of(self.slots.len());
         let mut cur = self.overflow.first();
+        // tw-analyze: fact(loop_bounded, reason = "walks the overflow list once per rotation; amortized over the rotation's slot-count ticks, each resident is examined once per revolution exactly as the section 4 overflow argument prices it")
         while let Some(idx) = cur {
             cur = self.arena.next(idx);
             self.counters.decrements += 1;
@@ -164,6 +165,7 @@ impl<T> TimerScheme<T> for SimWheel<T> {
             self.counters.empty_slot_skips += 1;
         } else {
             self.counters.nonempty_slot_visits += 1;
+            // tw-analyze: fact(loop_bounded, reason = "pops one expired timer per iteration from the flushed slot; the pop sits in a block the head-scan cannot see")
             while let Some(idx) = {
                 let slot = &mut self.slots[cursor];
                 self.arena.pop_front(slot)

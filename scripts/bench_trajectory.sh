@@ -1,35 +1,42 @@
 #!/usr/bin/env bash
 # Perf-trajectory series: one BENCH_<nn>.json per PR, so regressions in
 # the analyzer gate and the headline wheel numbers show up as a series,
-# not an anecdote. BENCH_06 starts the series with:
-#   * tw-analyze wall time over the workspace (the CI gate's cost), and
-#   * the bitmap_sparse headline rows (sparse-regime batched advance —
-#     DESIGN.md section 7.4).
+# not an anecdote. BENCH_06 started the series with tw-analyze wall time
+# and the bitmap_sparse headline rows (DESIGN.md section 7.4); BENCH_07
+# adds the per-pass analyzer split (per-file rules vs summaries vs
+# interprocedural cost rules vs each cfg-matrix leg) now that the cost
+# lattice and the TW013 matrix dominate the gate's budget.
 #
-# Usage: scripts/bench_trajectory.sh [out.json]   (default BENCH_06.json)
+# Usage: scripts/bench_trajectory.sh [out.json]   (default BENCH_07.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_06.json}"
+out="${1:-BENCH_07.json}"
 
 cargo build --release -p tw-analyze -p tw-bench >&2
 
-# tw-analyze wall time: the binary reports its own measurement on stderr.
-analyze_ms=$(./target/release/tw-analyze --workspace 2>&1 >/dev/null |
-    sed -n 's/.*analysis completed in \([0-9.]*\) ms.*/\1/p')
+# tw-analyze wall time: the binary reports its own measurement on stderr,
+# and --json carries the per-pass timings_ms split.
+analyze_json=$(mktemp)
+analyze_err=$(mktemp)
+bitmap_txt=$(mktemp)
+trap 'rm -f "$analyze_json" "$analyze_err" "$bitmap_txt"' EXIT
+./target/release/tw-analyze --workspace --json >"$analyze_json" 2>"$analyze_err"
+analyze_ms=$(sed -n 's/.*analysis completed in \([0-9.]*\) ms.*/\1/p' "$analyze_err")
 files=$(./target/release/tw-analyze --workspace 2>/dev/null |
     sed -n 's/tw-analyze: \([0-9]*\) file(s).*/\1/p')
 
-bitmap_txt=$(mktemp)
-trap 'rm -f "$bitmap_txt"' EXIT
 ./target/release/bitmap_sparse >"$bitmap_txt"
 
-python3 - "$out" "$analyze_ms" "$files" "$bitmap_txt" <<'EOF'
+python3 - "$out" "$analyze_ms" "$files" "$analyze_json" "$bitmap_txt" <<'EOF'
 import json
 import sys
 
 out, analyze_ms, files = sys.argv[1], float(sys.argv[2]), int(sys.argv[3])
+passes = json.load(open(sys.argv[4]))["timings_ms"]
+assert "per_file_rules" in passes and "summaries" in passes, passes
+assert any(k.startswith("leg:") for k in passes), passes
 rows = []
-for line in open(sys.argv[4]):
+for line in open(sys.argv[5]):
     parts = line.split()
     # Data rows: "<scheme> <n> <occ%> <loop us> <batch us> <speedup> ..."
     if len(parts) >= 9 and "/" in parts[0] and parts[1].isdigit():
@@ -46,13 +53,17 @@ for line in open(sys.argv[4]):
 assert rows, "no bitmap_sparse data rows parsed"
 doc = {
     "series": "bench-trajectory",
-    "pr": 6,
-    "tw_analyze": {"files_scanned": files, "wall_ms": analyze_ms},
+    "pr": 7,
+    "tw_analyze": {
+        "files_scanned": files,
+        "wall_ms": analyze_ms,
+        "passes_ms": passes,
+    },
     "bitmap_sparse": rows,
 }
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
-print(f"wrote {out}: tw-analyze {analyze_ms} ms over {files} files, "
-      f"{len(rows)} bitmap_sparse rows")
+print(f"wrote {out}: tw-analyze {analyze_ms} ms over {files} files "
+      f"({len(passes)} passes), {len(rows)} bitmap_sparse rows")
 EOF
