@@ -456,6 +456,38 @@ fn helper() { let x: Option<u32> = None; x.unwrap(); }
     );
 }
 
+#[test]
+fn tw011_restart_error_handling_must_name_the_stale_case() {
+    // The restart sweep's stale-ID edge: callers that dispatch on
+    // `restart_timer`'s error must spell out the variants — a wildcard
+    // would silently eat `Stale` (and `UpdateUnsupported`) the same way
+    // it would eat any future failure mode.
+    let swallowed = "\
+fn rearm(r: Result<(), TimerError>) -> bool {
+    match r {
+        Ok(()) => true,
+        Err(TimerError::UpdateUnsupported) => false,
+        _ => false,
+    }
+}
+";
+    assert_eq!(
+        rules_hit(&[("crates/x/src/a.rs", "tw-x", swallowed)]),
+        ["TW011"]
+    );
+    let exhaustive = "\
+fn rearm(r: Result<(), TimerError>) -> bool {
+    match r {
+        Ok(()) => true,
+        Err(TimerError::Stale) => false,
+        Err(TimerError::UpdateUnsupported) => false,
+        Err(e) => never(e),
+    }
+}
+";
+    assert!(rules_hit(&[("crates/x/src/a.rs", "tw-x", exhaustive)]).is_empty());
+}
+
 // ---------------------------------------------------------------- TW012
 
 #[test]
@@ -509,6 +541,45 @@ impl<T> TimerScheme<T> for W<T> {
         .find(|r| r.scheme == "W")
         .expect("certified row for W");
     assert_eq!(row.start, "O(levels)");
+}
+
+#[test]
+fn tw012_flags_an_unbounded_update_loop_without_a_fact() {
+    // The UPDATE envelope is ≤ O(levels), same as START: a relink loop the
+    // lattice cannot bound certifies restart_timer as unbounded and
+    // breaches it. The counter touch dodges TW005.
+    let src = "\
+impl<T> TimerScheme<T> for W<T> {
+    fn restart_timer(&mut self) {
+        self.counters.restarts += 1;
+        while self.displaced() { self.relink_once(); }
+    }
+}
+";
+    assert_eq!(
+        rules_hit(&[("crates/core/src/a.rs", "tw-core", src)]),
+        ["TW012"]
+    );
+    // The identical loop under an audited fact certifies within the
+    // envelope, and the table records the demoted UPDATE cost.
+    let fact_demoted = "\
+impl<T> TimerScheme<T> for W<T> {
+    fn restart_timer(&mut self) {
+        self.counters.restarts += 1;
+        // tw-analyze: fact(loop_bounded, reason = \"fixture bound\")
+        while self.displaced() { self.relink_once(); }
+    }
+}
+";
+    let report =
+        Workspace::from_files(&[("crates/core/src/a.rs", "tw-core", fact_demoted)]).analyze();
+    assert!(report.is_clean(), "{}", report.human());
+    let row = report
+        .certified
+        .iter()
+        .find(|r| r.scheme == "W")
+        .expect("certified row for W");
+    assert_eq!(row.restart, "O(levels)");
 }
 
 #[test]

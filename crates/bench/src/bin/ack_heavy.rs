@@ -1,0 +1,165 @@
+//! T-RESTART — ACK-heavy workload: UPDATE (restart in place) vs the
+//! STOP + START pair it replaces, per update-capable scheme.
+//!
+//! The motivating shape is a transport sender under a healthy link: every
+//! cumulative ack pushes the retransmission deadline out, so the dominant
+//! timer operation is *re-arming a pending timer*, not starting a fresh
+//! one. Here each timer is started once and then re-armed ten times
+//! (update:start = 10:1), with the clock advancing between bursts so the
+//! relink crosses slot/level boundaries. Both modes replay the same LCG
+//! interval sequence; the only difference is one relink vs a full
+//! free + realloc round trip through the arena.
+//!
+//! `scripts/bench_trajectory.sh` parses the data rows into
+//! `BENCH_<nn>.json` (the `ack_heavy` section of the perf-trajectory
+//! series).
+
+// Measurement harness: wall-clock math and abort-on-error are the point;
+// the audited tick/index domain is enforced in the library crates.
+#![allow(
+    clippy::unwrap_used,
+    clippy::cast_possible_truncation,
+    clippy::cast_precision_loss
+)]
+
+use std::time::{Duration, Instant};
+use tw_bench::table::{f2, Table};
+use tw_core::wheel::{
+    BasicWheel, ClockworkWheel, HashedWheelSorted, HashedWheelUnsorted, HierarchicalWheel,
+    HybridWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy, WheelConfig,
+};
+use tw_core::{OracleScheme, Tick, TickDelta, TimerHandle, TimerScheme};
+
+/// Concurrent timers (the paper's "hundreds of connections" scaled up).
+const TIMERS: usize = 4_096;
+/// Re-arms per timer: update:start = `ROUNDS` : 1.
+const ROUNDS: usize = 10;
+/// Intervals are drawn from `[MAX_INTERVAL/4, 3*MAX_INTERVAL/4)`.
+const MAX_INTERVAL: u64 = 1 << 14;
+/// Clock ticks between update bursts (acks arrive while time passes).
+const ADVANCE: u64 = 64;
+
+fn lcg(x: &mut u64) -> u64 {
+    *x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+    *x
+}
+
+fn draw_interval(x: &mut u64) -> TickDelta {
+    TickDelta(lcg(x) % (MAX_INTERVAL / 2) + MAX_INTERVAL / 4)
+}
+
+/// Every scheme in the workspace that overrides `restart_timer` with a
+/// real update path (the comparison-only baselines keep the
+/// `UpdateUnsupported` default and are out of scope here).
+fn schemes() -> Vec<Box<dyn TimerScheme<u64>>> {
+    let levels = LevelSizes(vec![32, 32, 32]); // range 32768 > MAX_INTERVAL
+    vec![
+        Box::new(OracleScheme::new()),
+        Box::new(
+            BasicWheel::try_from(
+                WheelConfig::new()
+                    .slots(MAX_INTERVAL as usize)
+                    .overflow(OverflowPolicy::Reject),
+            )
+            .unwrap(),
+        ),
+        Box::new(HashedWheelSorted::new(256)),
+        Box::new(HashedWheelUnsorted::new(256)),
+        Box::new(
+            HierarchicalWheel::try_from(
+                WheelConfig::new()
+                    .granularities(levels.clone())
+                    .insert_rule(InsertRule::Covering)
+                    .migration(MigrationPolicy::Full)
+                    .overflow(OverflowPolicy::Reject),
+            )
+            .unwrap(),
+        ),
+        Box::new(ClockworkWheel::new(levels)),
+        // The hybrid's wheel must cover the RTO band, exactly as §5 sizes
+        // it: with a small wheel every ack-band timer would sit on the far
+        // *sorted list*, and the O(n) walk would swamp the arena round trip
+        // in both modes, measuring Scheme 2 rather than the update path.
+        Box::new(HybridWheel::new(MAX_INTERVAL as usize)),
+    ]
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Restart,
+    StopStart,
+}
+
+/// Runs the ACK-heavy workload; returns mean ns per update operation.
+///
+/// No timer ever expires inside the measured region: the minimum interval
+/// (`MAX_INTERVAL/4`) dwarfs the total clock advance (`ROUNDS * ADVANCE`),
+/// so every handle stays live and the two modes do identical relink work
+/// modulo the arena round trip under test.
+fn run(s: &mut dyn TimerScheme<u64>, mode: Mode) -> f64 {
+    let mut x = 0x5EED_1987u64;
+    let mut handles: Vec<TimerHandle> = (0..TIMERS)
+        .map(|i| s.start_timer(draw_interval(&mut x), i as u64).unwrap())
+        .collect();
+    let mut spent = Duration::ZERO;
+    for _ in 0..ROUNDS {
+        let deadline = Tick(s.now().as_u64() + ADVANCE);
+        s.advance_to_with(deadline, &mut |e| {
+            panic!("timer fired mid-benchmark: {e:?}")
+        });
+        let t0 = Instant::now();
+        for (i, h) in handles.iter_mut().enumerate() {
+            let j = draw_interval(&mut x);
+            match mode {
+                Mode::Restart => s.restart_timer(*h, j).unwrap(),
+                Mode::StopStart => {
+                    s.stop_timer(*h).unwrap();
+                    *h = s.start_timer(j, i as u64).unwrap();
+                }
+            }
+        }
+        spent += t0.elapsed();
+    }
+    assert_eq!(s.outstanding(), TIMERS);
+    spent.as_nanos() as f64 / (TIMERS * ROUNDS) as f64
+}
+
+fn main() {
+    println!("T-RESTART — ACK-heavy workload: UPDATE vs STOP+START");
+    println!(
+        "workload: {TIMERS} timers x {ROUNDS} re-arms each (update:start = {ROUNDS}:1), \
+         clock advances {ADVANCE} ticks between bursts\n"
+    );
+    let mut table = Table::new(vec![
+        "scheme",
+        "timers",
+        "updates",
+        "restart-ns/op",
+        "stopstart-ns/op",
+        "speedup",
+    ]);
+    for mut s in schemes() {
+        // Warm both paths once so the first measured round is not paying
+        // allocator cold-start for either mode.
+        let restart_ns = run(s.as_mut(), Mode::Restart);
+        let name = s.name();
+        let mut fresh = schemes()
+            .into_iter()
+            .find(|c| c.name() == name)
+            .expect("scheme list is stable");
+        let stopstart_ns = run(fresh.as_mut(), Mode::StopStart);
+        table.row(vec![
+            name.to_string(),
+            TIMERS.to_string(),
+            (TIMERS * ROUNDS).to_string(),
+            f2(restart_ns),
+            f2(stopstart_ns),
+            f2(stopstart_ns / restart_ns),
+        ]);
+    }
+    table.print();
+    println!("\nexpected shape: speedup > 1 everywhere the arena round trip costs more");
+    println!("than the relink — most visibly on the hierarchical and hybrid schemes,");
+    println!("where STOP+START repeats level selection and free-list traffic that the");
+    println!("in-place UPDATE skips entirely.");
+}

@@ -49,6 +49,25 @@ impl<T, S: TimerScheme<T>> CoarseLocked<S, T> {
         self.inner.lock().stop_timer(handle)
     }
 
+    /// `UPDATE`, serialized: re-arms `handle` to expire `interval` ticks
+    /// from now, keeping the handle valid. Delegates to the wrapped
+    /// scheme's relink, so the cost under the lock is the scheme's own
+    /// UPDATE bound — not a stop + start pair.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the wrapped scheme's `restart_timer` returns —
+    /// [`TimerError::Stale`] for fired/stopped handles,
+    /// [`TimerError::ZeroInterval`], overflow-policy errors, or
+    /// [`TimerError::UpdateUnsupported`] for schemes without UPDATE.
+    pub fn restart_timer(
+        &self,
+        handle: TimerHandle,
+        interval: TickDelta,
+    ) -> Result<(), TimerError> {
+        self.inner.lock().restart_timer(handle, interval)
+    }
+
     /// `PER_TICK_BOOKKEEPING`, serialized; returns the expired batch.
     pub fn tick(&self) -> Vec<Expired<T>> {
         let mut out = Vec::new();
@@ -97,6 +116,56 @@ mod tests {
         assert_eq!(fired.len(), 1);
         assert_eq!(fired[0].payload, 9);
         assert_eq!(m.now(), Tick(2));
+    }
+
+    #[test]
+    fn restart_is_serialized_and_keeps_the_handle() {
+        let m = CoarseLocked::new(HashedWheelUnsorted::<u32>::new(64));
+        let h = m.start_timer(TickDelta(3), 7).unwrap();
+        m.restart_timer(h, TickDelta(10)).unwrap();
+        for _ in 0..9 {
+            assert!(m.tick().is_empty(), "old deadline must not fire");
+        }
+        let fired = m.tick();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].payload, 7);
+        assert_eq!(
+            m.restart_timer(h, TickDelta(5)),
+            Err(TimerError::Stale),
+            "fired handle is stale"
+        );
+    }
+
+    #[test]
+    fn concurrent_restarts_race_safely() {
+        let m = CoarseLocked::new(HashedWheelUnsorted::<u64>::new(128));
+        let handles: Vec<TimerHandle> = (0..100u64)
+            .map(|i| m.start_timer(TickDelta(1_000), i).unwrap())
+            .collect();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let m = m.clone();
+                let handles = handles.clone();
+                thread::spawn(move || {
+                    for (i, &h) in handles.iter().enumerate() {
+                        m.restart_timer(h, TickDelta(50 + (t + i as u64) % 40))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(m.outstanding(), 100, "restarts never change residency");
+        let mut fired = 0usize;
+        for _ in 0..100 {
+            fired += m.tick().len();
+        }
+        assert_eq!(
+            fired, 100,
+            "every timer fires once at some restarted deadline"
+        );
     }
 
     #[test]

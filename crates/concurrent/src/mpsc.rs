@@ -1,44 +1,76 @@
 //! A message-passing concurrent wheel: the third Appendix A.2 design point,
 //! and the one modern async runtimes (tokio, Netty, Kafka) actually ship.
 //!
-//! Instead of locking shared structure (coarse or sharded), producers push
-//! `start` operations onto an admission queue and mark cancellations in a
-//! shared flag; a single ticker owns the wheel outright and drains the
-//! queue at each tick. (The queue is a [`sync::Queue`](crate::sync::Queue):
+//! Instead of locking shared structure (coarse or sharded), producers send
+//! operations onto an admission queue and mark cancellations in a shared
+//! word; a single ticker owns the wheel outright and drains the queue at
+//! each tick. (The queue is a [`sync::Queue`](crate::sync::Queue):
 //! mutex-backed so loom can model it, lock-free in the seed's original
 //! crossbeam form — the protocol is identical either way.) This is the software form of the Appendix A.1
 //! observation that host and chip need only interrupts between them — here
 //! the "interrupts" are queue entries.
 //!
-//! Semantics differ from [`ShardedWheel`] in two documented ways:
+//! Semantics differ from [`ShardedWheel`] in three documented ways:
 //!
 //! * **Admission latency** — a start is not in the wheel until the next
 //!   `tick` drains it. The deadline is still computed from the clock at the
 //!   moment of the call, so a timer never fires *early*; if the queue sits
 //!   undrained past the deadline it fires at the first tick that sees it
 //!   (late by the drain latency, never lost).
-//! * **Lazy cancellation** — `cancel` flips a flag; the record is discarded
-//!   when its wheel slot is next visited. This is exactly the
+//! * **Lazy cancellation** — `cancel` flips the state word; the record is
+//!   discarded when its wheel slot is next visited. This is exactly the
 //!   simulation-style cancellation whose memory the paper warns about
 //!   (§4.2: "such an approach can cause the memory needs to grow
 //!   unboundedly"); here the growth is bounded by the cancelled timer's
 //!   own interval, since the visit that would have fired it reclaims it.
+//! * **Message-borne restart** — [`MpscWheel::restart_timer`] publishes the
+//!   new deadline into the record's shared word (bumping a reschedule
+//!   generation) and sends a relink message; the ticker performs the actual
+//!   unlink+relink on its wheel at the next drain. Delivery re-checks the
+//!   authoritative deadline under a generation-guarded CAS, so a restarted
+//!   timer fires exactly once, at its newest deadline — never at a
+//!   superseded one — no matter how the restart races the sweep.
 //!
 //! [`ShardedWheel`]: crate::sharded::ShardedWheel
 
-use crate::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::{Arc, Mutex, Queue};
 use tw_core::wheel::HashedWheelUnsorted;
-use tw_core::{Tick, TickDelta, TimerError, TimerScheme};
+use tw_core::{Tick, TickDelta, TimerError, TimerHandle, TimerScheme};
 
-const STATE_PENDING: u8 = 0;
-const STATE_CANCELLED: u8 = 1;
-const STATE_FIRED: u8 = 2;
+const STATE_PENDING: u64 = 0;
+const STATE_CANCELLED: u64 = 1;
+const STATE_FIRED: u64 = 2;
+const STATE_MASK: u64 = 0b11;
+/// One reschedule-generation step; the generation lives above the state
+/// bits of [`TimerShared::word`].
+const GEN_ONE: u64 = 0b100;
+/// [`TimerShared::wheel_handle`] value meaning "not resident in the wheel"
+/// (still queued, delivered, or reaped).
+const NO_HANDLE: u64 = u64::MAX;
+
+/// The record both halves share: the producer-side handle and the
+/// ticker-side wheel entry point at the same `TimerShared`.
+struct TimerShared {
+    /// Lifecycle state in the low two bits, reschedule generation above.
+    /// Every successful restart bumps the generation, which makes a
+    /// concurrent delivery CAS fail and re-read the deadline; the
+    /// state transitions (`cancel`, fire) are CASes on the same word, so
+    /// all three races linearize here.
+    word: AtomicU64,
+    /// Authoritative deadline. A restart rewrites it *before* bumping the
+    /// generation, so whoever observes the bump also observes the new
+    /// deadline.
+    deadline: AtomicU64,
+    /// Raw inner-wheel handle (`index << 32 | generation`) once admitted.
+    /// Ticker-owned: only the drain/sweep mutate it, under the wheel lock.
+    wheel_handle: AtomicU64,
+}
 
 /// Cancellation handle for a timer started on an [`MpscWheel`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct MpscHandle {
-    state: Arc<AtomicU8>,
+    shared: Arc<TimerShared>,
 }
 
 impl MpscHandle {
@@ -47,27 +79,48 @@ impl MpscHandle {
     /// Unlike handle-based schemes the payload is not returned — it is
     /// reclaimed by the ticker when the dead record's slot comes around.
     pub fn cancel(&self) -> bool {
-        self.state
-            .compare_exchange(
-                STATE_PENDING,
-                STATE_CANCELLED,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            )
-            .is_ok()
+        // tw-analyze: fact(loop_bounded, reason = "optimistic CAS retry: repeats only while concurrent restarts bump the reschedule generation; exits as soon as the state is anything but pending")
+        loop {
+            let w = self.shared.word.load(Ordering::Acquire);
+            if w & STATE_MASK != STATE_PENDING {
+                return false;
+            }
+            if self
+                .shared
+                .word
+                .compare_exchange(
+                    w,
+                    (w & !STATE_MASK) | STATE_CANCELLED,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return true;
+            }
+        }
     }
 
     /// Returns `true` once the timer has been delivered.
     #[must_use]
     pub fn has_fired(&self) -> bool {
-        self.state.load(Ordering::Acquire) == STATE_FIRED
+        self.shared.word.load(Ordering::Acquire) & STATE_MASK == STATE_FIRED
     }
 }
 
 struct Entry<T> {
     payload: T,
-    state: Arc<AtomicU8>,
-    deadline: u64,
+    shared: Arc<TimerShared>,
+}
+
+/// An operation message from a producer to the ticker.
+enum Op<T> {
+    /// Put this record into the wheel at its authoritative deadline
+    /// (fresh starts, and sweep-time re-parks of restarted records).
+    Admit(Entry<T>),
+    /// A restart happened: relink the resident record at its new
+    /// authoritative deadline.
+    Relink(Arc<TimerShared>),
 }
 
 struct Inner<T> {
@@ -75,7 +128,7 @@ struct Inner<T> {
 }
 
 struct Shared<T> {
-    pending: Queue<Entry<T>>,
+    pending: Queue<Op<T>>,
     now: AtomicU64,
     inner: Mutex<Inner<T>>,
 }
@@ -85,7 +138,8 @@ struct Shared<T> {
 pub struct MpscExpired<T> {
     /// The client payload.
     pub payload: T,
-    /// The deadline computed when `start_timer` was called.
+    /// The deadline computed when `start_timer` (or the latest successful
+    /// `restart_timer`) was called.
     pub deadline: Tick,
     /// The tick it was delivered at (≥ `deadline`; equal when the queue is
     /// drained promptly).
@@ -143,7 +197,7 @@ impl<T> MpscWheel<T> {
         Tick(self.shared.now.load(Ordering::Acquire))
     }
 
-    /// `START_TIMER`: one clock read plus one queue push — the caller
+    /// `START_TIMER`: one clock read plus one queue send — the caller
     /// never touches the wheel itself.
     ///
     /// # Errors
@@ -155,51 +209,155 @@ impl<T> MpscWheel<T> {
         if interval.is_zero() {
             return Err(TimerError::ZeroInterval);
         }
-        let state = Arc::new(AtomicU8::new(STATE_PENDING));
         let deadline = self
             .shared
             .now
             .load(Ordering::Acquire)
             .checked_add(interval.as_u64())
             .ok_or(TimerError::DeadlineOverflow)?;
-        self.shared.pending.push(Entry {
-            payload,
-            state: Arc::clone(&state),
-            deadline,
+        let shared = Arc::new(TimerShared {
+            word: AtomicU64::new(STATE_PENDING),
+            deadline: AtomicU64::new(deadline),
+            wheel_handle: AtomicU64::new(NO_HANDLE),
         });
-        Ok(MpscHandle { state })
+        self.shared.pending.enqueue(Op::Admit(Entry {
+            payload,
+            shared: Arc::clone(&shared),
+        }));
+        Ok(MpscHandle { shared })
     }
 
-    /// `PER_TICK_BOOKKEEPING`: drains newly started timers into the wheel,
+    /// UPDATE: re-arms an outstanding timer to expire `interval` ticks
+    /// after the current time, keeping the same handle. The new deadline is
+    /// published into the shared word immediately (the linearization point
+    /// against `cancel` and delivery); the ticker performs the wheel relink
+    /// at its next drain, with the same visibility latency as a start.
+    ///
+    /// Concurrent restarts of one handle race; one of them supplies the
+    /// surviving deadline and both report success.
+    ///
+    /// # Errors
+    ///
+    /// [`TimerError::ZeroInterval`] for a zero interval;
+    /// [`TimerError::DeadlineOverflow`] on tick-domain overflow;
+    /// [`TimerError::Stale`] if the timer already fired or was cancelled.
+    /// A failed restart leaves the timer armed at its previous deadline.
+    pub fn restart_timer(
+        &self,
+        handle: &MpscHandle,
+        interval: TickDelta,
+    ) -> Result<(), TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let deadline = self
+            .shared
+            .now
+            .load(Ordering::Acquire)
+            .checked_add(interval.as_u64())
+            .ok_or(TimerError::DeadlineOverflow)?;
+        // tw-analyze: fact(loop_bounded, reason = "optimistic CAS retry: repeats only when a concurrent cancel, fire, or restart moves the word between the read and the CAS; each retry re-validates the state and exits on anything but pending")
+        loop {
+            let w = handle.shared.word.load(Ordering::Acquire);
+            if w & STATE_MASK != STATE_PENDING {
+                return Err(TimerError::Stale);
+            }
+            // Publish the deadline first, then bump the generation: anyone
+            // who sees the bump (delivery's CAS failure path) re-reads the
+            // deadline and sees this value or a newer one.
+            handle.shared.deadline.store(deadline, Ordering::Release);
+            if handle
+                .shared
+                .word
+                .compare_exchange(w, w + GEN_ONE, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        self.shared
+            .pending
+            .enqueue(Op::Relink(Arc::clone(&handle.shared)));
+        Ok(())
+    }
+
+    /// `PER_TICK_BOOKKEEPING`: drains queued operations into the wheel,
     /// advances the clock one tick, and delivers what is due. Single ticker
     /// assumed (concurrent tickers serialize on the internal mutex).
     pub fn tick(&self) -> Vec<MpscExpired<T>> {
         let mut inner = self.shared.inner.lock();
         let t = self.shared.now.fetch_add(1, Ordering::AcqRel) + 1;
         let mut fired = Vec::new();
-        // Admit the queue backlog. Anything already due (drain latency
+        // Drain the operation backlog. Starts are parked at their
+        // authoritative deadline (a restart may have raced admission);
+        // relinks move residents in place; anything already due (latency
         // exceeded its interval) is delivered this tick rather than lost.
-        while let Some(entry) = self.shared.pending.pop() {
-            if entry.state.load(Ordering::Acquire) == STATE_CANCELLED {
-                continue;
-            }
-            if entry.deadline <= t {
-                deliver(&mut fired, entry, t);
-            } else {
-                let remaining = TickDelta(entry.deadline - (t - 1));
-                inner
-                    .wheel
-                    .start_timer(remaining, entry)
-                    // tw-analyze: allow(TW002, reason = "deadline > t here, so remaining >= 1 and the inner clock sits at t-1 with the same overflow-checked deadline the producer computed; a rejection is internal corruption, not client input")
-                    .expect("remaining interval is nonzero");
+        // tw-analyze: fact(loop_bounded, reason = "drains the finite operation backlog: each iteration removes one queued op, producers enqueue at most one op per start/restart call, and the single consumer owns the drain -- iterations are bounded by the ops submitted since the previous tick, the module's documented admission-latency unit")
+        while let Some(op) = self.shared.pending.dequeue() {
+            match op {
+                Op::Admit(entry) => admit(&mut inner, &mut fired, entry, t),
+                Op::Relink(shared) => {
+                    let raw = shared.wheel_handle.load(Ordering::Acquire);
+                    if raw == NO_HANDLE {
+                        // Not resident: the record fired or was reaped, or
+                        // its Admit (which FIFO-precedes every Relink for
+                        // the same record and already reads the
+                        // authoritative deadline) delivered it this drain.
+                        continue;
+                    }
+                    // Unpacking the `index << 32 | generation` word: both
+                    // halves are 32 bits by construction, so the fallback
+                    // arms are unreachable.
+                    let handle = TimerHandle::from_raw(
+                        u32::try_from(raw >> 32).unwrap_or(u32::MAX),
+                        u32::try_from(raw & u64::from(u32::MAX)).unwrap_or(u32::MAX),
+                    );
+                    let state = shared.word.load(Ordering::Acquire) & STATE_MASK;
+                    if state != STATE_PENDING {
+                        // Cancelled in the meantime: reap eagerly while the
+                        // handle is at hand instead of waiting for the slot
+                        // visit.
+                        if inner.wheel.stop_timer(handle).is_ok() {
+                            shared.wheel_handle.store(NO_HANDLE, Ordering::Release);
+                        }
+                        continue;
+                    }
+                    let deadline = shared.deadline.load(Ordering::Acquire);
+                    if deadline <= t {
+                        // Restarted to a deadline already reached: deliver
+                        // now, late by at most the drain latency (the
+                        // module's admission contract).
+                        if let Ok(entry) = inner.wheel.stop_timer(handle) {
+                            shared.wheel_handle.store(NO_HANDLE, Ordering::Release);
+                            if let Some(entry) = deliver(&mut fired, entry, t) {
+                                // A still-newer restart pushed the deadline
+                                // back out: run it through admission again.
+                                admit(&mut inner, &mut fired, entry, t);
+                            }
+                        }
+                    } else {
+                        // The pure relink: the inner clock still sits at
+                        // t-1 until the sweep below.
+                        let _ = inner
+                            .wheel
+                            .restart_timer(handle, TickDelta(deadline - (t - 1)));
+                    }
+                }
             }
         }
-        // One wheel tick; lazily reap cancelled records.
+        // One wheel tick; lazily reap cancelled records, and bounce records
+        // whose authoritative deadline a racing restart moved into the
+        // future back through the admission queue (they re-park at the next
+        // drain — restart shares the start path's visibility latency).
         // tw-analyze: allow(TW009, reason = "single-consumer design: the inner mutex is uncontended by construction (producers touch only the lock-free queue), and the closure merely moves entries into the consumer-owned batch; delivery to user code happens after the lock is released")
         inner.wheel.tick(&mut |e| {
             let entry = e.payload;
-            if entry.state.load(Ordering::Acquire) != STATE_CANCELLED {
-                deliver(&mut fired, entry, t);
+            entry
+                .shared
+                .wheel_handle
+                .store(NO_HANDLE, Ordering::Release);
+            if let Some(entry) = deliver(&mut fired, entry, t) {
+                self.shared.pending.enqueue(Op::Admit(entry));
             }
         });
         fired
@@ -226,25 +384,75 @@ impl<T> MpscWheel<T> {
     }
 }
 
-fn deliver<T>(fired: &mut Vec<MpscExpired<T>>, entry: Entry<T>, t: u64) {
-    // Fire only if no concurrent cancel won the race: the state transition
-    // is the linearization point between `cancel` and delivery.
-    let won = entry
-        .state
-        .compare_exchange(
-            STATE_PENDING,
-            STATE_FIRED,
-            Ordering::AcqRel,
-            Ordering::Acquire,
-        )
-        .is_ok();
-    if won {
-        // tw-analyze: allow(TW004, reason = "appends to the tick-owned delivery batch that the single consumer returns; batch length is bounded by the tick's due timers, the same contract as the sharded wheel's buffer")
-        fired.push(MpscExpired {
-            payload: entry.payload,
-            deadline: Tick(entry.deadline),
-            fired_at: Tick(t),
-        });
+/// Parks `entry` in the wheel at its authoritative deadline, delivering it
+/// instead if that deadline has already been reached. Called with the inner
+/// clock at `t - 1` (before the tick's sweep).
+fn admit<T>(inner: &mut Inner<T>, fired: &mut Vec<MpscExpired<T>>, entry: Entry<T>, t: u64) {
+    let mut entry = entry;
+    // tw-analyze: fact(loop_bounded, reason = "alternates between deliver and park only while concurrent restarts keep flipping the authoritative deadline across the current tick; each iteration re-reads state and deadline and exits on the first stable observation")
+    loop {
+        let w = entry.shared.word.load(Ordering::Acquire);
+        if w & STATE_MASK != STATE_PENDING {
+            // Cancelled while queued: reclaim without touching the wheel.
+            return;
+        }
+        let deadline = entry.shared.deadline.load(Ordering::Acquire);
+        if deadline <= t {
+            match deliver(fired, entry, t) {
+                None => return,
+                // Restarted into the future between the reads: re-evaluate.
+                Some(e) => {
+                    entry = e;
+                    continue;
+                }
+            }
+        }
+        let shared = Arc::clone(&entry.shared);
+        let handle = inner
+            .wheel
+            .start_timer(TickDelta(deadline - (t - 1)), entry)
+            // tw-analyze: allow(TW002, reason = "deadline > t here, so the interval is nonzero and the inner clock sits at t-1 with the same overflow-checked deadline the producer computed; a rejection is internal corruption, not client input")
+            .expect("remaining interval is nonzero");
+        let (index, generation) = handle.into_raw();
+        shared.wheel_handle.store(
+            u64::from(index) << 32 | u64::from(generation),
+            Ordering::Release,
+        );
+        return;
+    }
+}
+
+/// The delivery linearization point: fires the record only if it is still
+/// pending *and* its authoritative deadline is due. A concurrent cancel or
+/// restart wins by moving the word (state or generation) before the CAS;
+/// a restart that moved the deadline into the future hands the entry back
+/// for re-parking.
+fn deliver<T>(fired: &mut Vec<MpscExpired<T>>, entry: Entry<T>, t: u64) -> Option<Entry<T>> {
+    // tw-analyze: fact(loop_bounded, reason = "optimistic CAS retry: repeats only when a concurrent cancel or restart moves the word between the read and the CAS; each retry re-reads state and deadline")
+    loop {
+        let w = entry.shared.word.load(Ordering::Acquire);
+        if w & STATE_MASK != STATE_PENDING {
+            // Cancelled: reclaim silently.
+            return None;
+        }
+        let deadline = entry.shared.deadline.load(Ordering::Acquire);
+        if deadline > t {
+            return Some(entry);
+        }
+        if entry
+            .shared
+            .word
+            .compare_exchange(w, w | STATE_FIRED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            // tw-analyze: allow(TW004, reason = "appends to the tick-owned delivery batch that the single consumer returns; batch length is bounded by the tick's due timers, the same contract as the sharded wheel's buffer")
+            fired.push(MpscExpired {
+                payload: entry.payload,
+                deadline: Tick(deadline),
+                fired_at: Tick(t),
+            });
+            return None;
+        }
     }
 }
 
@@ -274,7 +482,7 @@ impl<T> tw_core::validate::InvariantCheck for MpscWheel<T> {
         }
         let mut fired_resident = 0usize;
         inner.wheel.for_each_resident(&mut |entry: &Entry<T>| {
-            if entry.state.load(Ordering::Acquire) == STATE_FIRED {
+            if entry.shared.word.load(Ordering::Acquire) & STATE_MASK == STATE_FIRED {
                 fired_resident += 1;
             }
         });
@@ -354,6 +562,106 @@ mod tests {
     }
 
     #[test]
+    fn restart_moves_the_deadline_keeping_the_handle() {
+        let w: MpscWheel<u64> = MpscWheel::new(8);
+        let h = w.start_timer(TickDelta(3), 7).unwrap();
+        let _ = w.tick(); // admit
+        w.restart_timer(&h, TickDelta(30)).unwrap();
+        let mut fired = Vec::new();
+        for _ in 0..40 {
+            fired.extend(w.tick());
+        }
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].payload, 7);
+        assert_eq!(fired[0].deadline, Tick(31), "deadline from restart time");
+        assert_eq!(
+            fired[0].fired_at,
+            Tick(31),
+            "fires at the new deadline only"
+        );
+        assert!(h.has_fired());
+    }
+
+    #[test]
+    fn restart_to_earlier_deadline_fires_early() {
+        let w: MpscWheel<u64> = MpscWheel::new(8);
+        let h = w.start_timer(TickDelta(100), 1).unwrap();
+        let _ = w.tick();
+        w.restart_timer(&h, TickDelta(2)).unwrap();
+        let fired = w.drain(10);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].deadline, Tick(3), "1 (admit tick) + 2");
+        assert_eq!(fired[0].fired_at, Tick(3), "never waits for the old slot");
+    }
+
+    #[test]
+    fn restart_while_still_queued_uses_the_new_deadline() {
+        let w: MpscWheel<u64> = MpscWheel::new(8);
+        let h = w.start_timer(TickDelta(2), 9).unwrap();
+        // Not drained yet: the restart must still win.
+        w.restart_timer(&h, TickDelta(6)).unwrap();
+        let fired = w.drain(20);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].deadline, Tick(6));
+        assert_eq!(fired[0].fired_at, Tick(6));
+    }
+
+    #[test]
+    fn restart_after_fire_or_cancel_is_stale() {
+        let w: MpscWheel<u64> = MpscWheel::new(8);
+        let h = w.start_timer(TickDelta(1), 1).unwrap();
+        assert_eq!(
+            w.restart_timer(&h, TickDelta::ZERO),
+            Err(TimerError::ZeroInterval)
+        );
+        let fired = w.drain(5);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(
+            w.restart_timer(&h, TickDelta(5)),
+            Err(TimerError::Stale),
+            "fired handles cannot be re-armed"
+        );
+        let h2 = w.start_timer(TickDelta(10), 2).unwrap();
+        assert!(h2.cancel());
+        assert_eq!(
+            w.restart_timer(&h2, TickDelta(5)),
+            Err(TimerError::Stale),
+            "cancelled handles cannot be re-armed"
+        );
+        assert!(w.drain(20).is_empty());
+    }
+
+    #[test]
+    fn restart_racing_fire_is_atomic() {
+        // Whatever the interleaving, the timer fires exactly once, and a
+        // successful restart means it fired at (or after) the new deadline.
+        for trial in 0..50u64 {
+            let w: MpscWheel<u64> = MpscWheel::new(4);
+            let h = w.start_timer(TickDelta(2), trial).unwrap();
+            let w2 = w.clone();
+            let ticker = thread::spawn(move || w2.drain(30));
+            let h2 = h.clone();
+            let w3 = w.clone();
+            let restarter = thread::spawn(move || w3.restart_timer(&h2, TickDelta(20)).is_ok());
+            let restarted = restarter.join().unwrap();
+            let mut fired = ticker.join().unwrap();
+            fired.extend(w.drain(40));
+            assert_eq!(fired.len(), 1, "trial {trial}: exactly one delivery");
+            assert!(h.has_fired());
+            if restarted {
+                assert!(
+                    fired[0].deadline.as_u64() >= 20,
+                    "trial {trial}: a successful restart supersedes the old deadline"
+                );
+            }
+            assert!(
+                fired[0].fired_at >= fired[0].deadline,
+                "trial {trial}: never early"
+            );
+        }
+    }
+
+    #[test]
     fn cancel_racing_fire_is_atomic() {
         // Whatever the interleaving, exactly one of {fired, cancelled} wins.
         for trial in 0..50u64 {
@@ -389,6 +697,9 @@ mod tests {
                         if id % 4 == 0 {
                             assert!(h.cancel());
                         } else {
+                            if id % 3 == 0 {
+                                w.restart_timer(&h, TickDelta(30 + id % 50)).unwrap();
+                            }
                             kept.push(id);
                         }
                     }

@@ -58,6 +58,11 @@ enum Cmd {
         handle: TimerHandle,
         reply: Sender<Result<RequestId, TimerError>>,
     },
+    Restart {
+        handle: TimerHandle,
+        interval: TickDelta,
+        reply: Sender<Result<(), TimerError>>,
+    },
     Advance {
         ticks: u64,
         reply: Sender<u64>,
@@ -189,6 +194,61 @@ impl TimerService {
                             armed.remove(&handle);
                             let _ = reply.send(scheme.stop_timer(handle));
                         }
+                        Some(Cmd::Restart {
+                            handle,
+                            interval,
+                            reply,
+                        }) => {
+                            // Coalesce a burst of queued Restart commands:
+                            // UPDATE semantics make the newest interval per
+                            // handle the only one that takes effect, so one
+                            // relink serves the whole burst. Every command
+                            // for a handle observes the surviving restart's
+                            // result — a superseded interval's deadline
+                            // never takes effect, so neither does its
+                            // error, except zero intervals, which are
+                            // settled per command (they are pure failures
+                            // that mutate nothing).
+                            let mut burst = vec![(handle, interval, reply)];
+                            loop {
+                                match cmd_rx.try_recv() {
+                                    Ok(Cmd::Restart {
+                                        handle,
+                                        interval,
+                                        reply,
+                                    }) => burst.push((handle, interval, reply)),
+                                    Ok(other) => {
+                                        pending = Some(other);
+                                        break;
+                                    }
+                                    Err(_) => break,
+                                }
+                            }
+                            observer.on_batch(burst.len());
+                            let mut newest: HashMap<TimerHandle, TickDelta> = HashMap::new();
+                            for (h, interval, _) in &burst {
+                                if !interval.is_zero() {
+                                    newest.insert(*h, *interval);
+                                }
+                            }
+                            let mut outcome: HashMap<TimerHandle, Result<(), TimerError>> =
+                                HashMap::new();
+                            for (&h, &interval) in &newest {
+                                let r = scheme.restart_timer(h, interval);
+                                if r.is_ok() {
+                                    armed.insert(h, scheme.now());
+                                }
+                                outcome.insert(h, r);
+                            }
+                            for (h, interval, reply) in burst {
+                                let result = if interval.is_zero() {
+                                    Err(TimerError::ZeroInterval)
+                                } else {
+                                    outcome.get(&h).cloned().unwrap_or(Err(TimerError::Stale))
+                                };
+                                let _ = reply.send(result);
+                            }
+                        }
                         Some(Cmd::Advance { ticks, reply }) => {
                             // Coalesce a burst of queued Advance commands
                             // into one batched advance over the scheme's
@@ -304,6 +364,38 @@ impl TimerService {
         self.round_trip(Cmd::Stop { handle, reply: tx }, &rx)
     }
 
+    /// `UPDATE` by message round-trip: re-arms `handle` to expire
+    /// `interval` ticks after the service's current time, keeping the
+    /// handle valid. Bursts of queued restarts are coalesced by the service
+    /// loop — the newest interval per handle wins, which is exactly what
+    /// executing them in arrival order would leave behind.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the owned scheme's `restart_timer` returns —
+    /// [`TimerError::Stale`] for fired/stopped handles,
+    /// [`TimerError::ZeroInterval`], overflow-policy errors, or
+    /// [`TimerError::UpdateUnsupported`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service thread has died.
+    pub fn restart_timer(
+        &self,
+        handle: TimerHandle,
+        interval: TickDelta,
+    ) -> Result<(), TimerError> {
+        let (tx, rx) = bounded(1);
+        self.round_trip(
+            Cmd::Restart {
+                handle,
+                interval,
+                reply: tx,
+            },
+            &rx,
+        )
+    }
+
     /// Advances virtual time by `ticks`; returns how many timers fired.
     ///
     /// # Panics
@@ -370,6 +462,71 @@ mod tests {
         assert_eq!(svc.stop_timer(h), Err(TimerError::Stale));
         assert_eq!(svc.advance(200), 0);
         assert!(svc.expiries().try_recv().is_err());
+    }
+
+    #[test]
+    fn restart_via_service() {
+        let svc = TimerService::spawn(HierarchicalWheel::<RequestId>::new(LevelSizes(vec![
+            16, 16,
+        ])));
+        let h = svc.start_timer(42, TickDelta(10)).unwrap();
+        svc.restart_timer(h, TickDelta(40)).unwrap();
+        assert_eq!(svc.advance(30), 0, "old deadline must not fire");
+        assert_eq!(svc.advance(10), 1, "fires at the restarted deadline");
+        let e = svc.expiries().try_recv().unwrap();
+        assert_eq!((e.id, e.fired_at), (RequestId(42), Tick(40)));
+        assert_eq!(
+            svc.restart_timer(h, TickDelta(5)),
+            Err(TimerError::Stale),
+            "fired handle is stale"
+        );
+        assert_eq!(
+            svc.restart_timer(h, TickDelta::ZERO),
+            Err(TimerError::ZeroInterval)
+        );
+    }
+
+    #[test]
+    fn restart_bursts_coalesce_to_the_newest_interval() {
+        use std::sync::Arc;
+        let svc = Arc::new(TimerService::spawn(HashedWheelUnsorted::<RequestId>::new(
+            64,
+        )));
+        let handles: Vec<TimerHandle> = (0..20u64)
+            .map(|i| svc.start_timer(i, TickDelta(500)).unwrap())
+            .collect();
+        // Four clients hammer restarts on the same handles; the service
+        // may coalesce any burst shape, but every call must succeed and
+        // each timer must end on *some* successful restart's schedule,
+        // never the original one.
+        let clients: Vec<_> = (0..4u64)
+            .map(|c| {
+                let svc = Arc::clone(&svc);
+                let handles = handles.clone();
+                std::thread::spawn(move || {
+                    for round in 0..10u64 {
+                        for &h in &handles {
+                            svc.restart_timer(h, TickDelta(50 + (c * 10 + round) % 40))
+                                .unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        assert_eq!(svc.outstanding(), 20);
+        let fired = svc.advance(100);
+        assert_eq!(
+            fired, 20,
+            "every timer fires once, inside the restart range"
+        );
+        for e in svc.expiries().try_iter() {
+            assert!(e.deadline.as_u64() < 500, "original schedule superseded");
+            assert_eq!(e.error(), 0);
+        }
+        assert_eq!(svc.outstanding(), 0);
     }
 
     #[test]

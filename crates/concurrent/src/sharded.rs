@@ -219,6 +219,251 @@ impl<T, O: Observer> ShardedWheel<T, O> {
         Ok(payload)
     }
 
+    /// `UPDATE`: re-arms an outstanding timer to expire `interval` ticks
+    /// after the clock observed under the owning bucket's lock.
+    ///
+    /// Named `restart` — not `restart_timer` — because the contract
+    /// deliberately differs from the handle-preserving relink the
+    /// single-threaded schemes certify under the TW014 lint: each bucket
+    /// owns its own arena, so a restart whose new deadline hashes to a
+    /// *different* bucket must re-home the node (free in the old slab,
+    /// allocate in the new), which re-issues the handle. The returned
+    /// [`ShardHandle`] is therefore the timer's handle from here on; when
+    /// the new deadline stays in the same bucket it equals the argument and
+    /// the operation is a pure in-place rewrite (no unlink, no allocation).
+    ///
+    /// A failed restart leaves the timer armed at its old deadline. A
+    /// concurrent `stop_timer` through the old handle races the re-homing:
+    /// whichever loses observes [`TimerError::Stale`], exactly as if the
+    /// operations had happened in sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`TimerError::ZeroInterval`] for a zero interval;
+    /// [`TimerError::DeadlineOverflow`] on tick-domain overflow;
+    /// [`TimerError::Stale`] if the timer fired or was stopped.
+    pub fn restart(
+        &self,
+        handle: ShardHandle,
+        interval: TickDelta,
+    ) -> Result<ShardHandle, TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let table = self.shared.buckets.len();
+        let n = ticks_of(table);
+        let j = interval.as_u64();
+        let mut bucket = self.lock_shard(handle.bucket);
+        // Validate everything under the old bucket's lock *before* touching
+        // the node, so any error path leaves the timer untouched.
+        let t = self.shared.now.load(Ordering::Acquire);
+        let deadline = Tick(t)
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
+        let idx = bucket.arena.resolve(handle.handle)?;
+        if deadline.slot_in(table) == handle.bucket {
+            // Same bucket: the list is unsorted, so a deadline/rounds
+            // rewrite in place is the whole operation (the same
+            // processed_until reasoning as start_timer decides whether the
+            // in-flight visit of this bucket will sweep the node again).
+            let mut rounds = (j - 1) / n;
+            if j % n == 0 && bucket.processed_until < t {
+                rounds += 1;
+            }
+            let node = bucket.arena.node_mut(idx);
+            node.deadline = deadline;
+            node.aux = rounds;
+            drop(bucket);
+            self.shared.observer.on_restart(Tick(t), interval);
+            return Ok(handle);
+        }
+        // Cross-bucket: unlink from the old slab, then re-home without ever
+        // holding two bucket locks (the per-bucket lock order is thereby
+        // trivially acyclic). Residency is net zero so `outstanding` is
+        // untouched.
+        let mut list = std::mem::take(&mut bucket.list);
+        bucket.arena.unlink(&mut list, idx);
+        bucket.list = list;
+        let payload = bucket.arena.free(idx);
+        drop(bucket);
+        let rehomed = self.reinsert(interval, payload);
+        self.shared.observer.on_restart(Tick(t), interval);
+        Ok(rehomed)
+    }
+
+    /// Re-homes an in-flight restarted timer: the start_timer retry loop,
+    /// made infallible. Overflow was already rejected under the old
+    /// bucket's lock, so the saturating deadline differs from the checked
+    /// one only if the clock crossed the tick horizon mid-call — at which
+    /// point the whole structure is beyond its domain anyway.
+    fn reinsert(&self, interval: TickDelta, payload: T) -> ShardHandle {
+        let table = self.shared.buckets.len();
+        let n = ticks_of(table);
+        let j = interval.as_u64();
+        // tw-analyze: fact(loop_bounded, reason = "optimistic-retry loop: repeats only when the shared clock advanced past the target slot during lock acquisition, a bounded race window; under a quiescent clock it runs exactly once")
+        loop {
+            let t = self.shared.now.load(Ordering::Acquire);
+            let slot = Tick(t.saturating_add(j)).slot_in(table);
+            let mut bucket = self.lock_shard(slot);
+            let t2 = self.shared.now.load(Ordering::Acquire);
+            let deadline = Tick(t2.saturating_add(j));
+            if deadline.slot_in(table) != slot {
+                continue;
+            }
+            let mut rounds = (j - 1) / n;
+            if j % n == 0 && bucket.processed_until < t2 {
+                rounds += 1;
+            }
+            let (idx, handle) = bucket.arena.alloc(payload, deadline);
+            bucket.arena.node_mut(idx).aux = rounds;
+            let mut list = std::mem::take(&mut bucket.list);
+            bucket.arena.push_back(&mut list, idx);
+            bucket.list = list;
+            drop(bucket);
+            return ShardHandle {
+                bucket: slot,
+                handle,
+            };
+        }
+    }
+
+    /// Batched `UPDATE`: restarts every request, locking each *old* bucket
+    /// once per group of same-bucket requests, then each *target* bucket
+    /// once per group of re-homed moves — the restart analogue of
+    /// [`start_timers`](ShardedWheel::start_timers). Results are positional
+    /// and carry the timer's current handle (equal to the request's when
+    /// the new deadline stayed in the same bucket; see
+    /// [`restart`](ShardedWheel::restart) for why cross-bucket moves
+    /// re-issue it).
+    ///
+    /// Moves whose target slot is displaced by a clock advance between the
+    /// clock read and the target-bucket lock fall back to the singular
+    /// re-homing loop, so per-timer semantics are identical to restarting
+    /// them one at a time.
+    pub fn restart_timers(
+        &self,
+        requests: &[(ShardHandle, TickDelta)],
+    ) -> Vec<Result<ShardHandle, TimerError>> {
+        let table = self.shared.buckets.len();
+        let n = ticks_of(table);
+        let mut results: Vec<Option<Result<ShardHandle, TimerError>>> =
+            requests.iter().map(|_| None).collect();
+        // Group by the *owning* bucket — known from the handle without
+        // consulting the clock — settling what cannot succeed regardless.
+        let mut batch: Vec<(usize, usize)> = Vec::with_capacity(requests.len());
+        for (i, (handle, interval)) in requests.iter().enumerate() {
+            if interval.is_zero() {
+                results[i] = Some(Err(TimerError::ZeroInterval));
+            } else {
+                batch.push((handle.bucket, i));
+            }
+        }
+        batch.sort_unstable_by_key(|&(b, _)| b);
+        // (request index, interval, payload) for cross-bucket re-homes.
+        let mut moves: Vec<(usize, TickDelta, Option<T>)> = Vec::new();
+        let mut k = 0usize;
+        while k < batch.len() {
+            let slot = batch[k].0;
+            let run_end = k + batch[k..].iter().take_while(|&&(s, _)| s == slot).count();
+            let mut bucket = self.lock_shard(slot);
+            let t2 = self.shared.now.load(Ordering::Acquire);
+            for &(_, i) in &batch[k..run_end] {
+                let (handle, interval) = requests[i];
+                let j = interval.as_u64();
+                let Some(deadline) = Tick(t2).checked_add_delta(interval) else {
+                    results[i] = Some(Err(TimerError::DeadlineOverflow));
+                    continue;
+                };
+                let idx = match bucket.arena.resolve(handle.handle) {
+                    Ok(idx) => idx,
+                    Err(e) => {
+                        results[i] = Some(Err(e));
+                        continue;
+                    }
+                };
+                if deadline.slot_in(table) == slot {
+                    let mut rounds = (j - 1) / n;
+                    if j % n == 0 && bucket.processed_until < t2 {
+                        rounds += 1;
+                    }
+                    let node = bucket.arena.node_mut(idx);
+                    node.deadline = deadline;
+                    node.aux = rounds;
+                    self.shared.observer.on_restart(Tick(t2), interval);
+                    results[i] = Some(Ok(handle));
+                } else {
+                    let mut list = std::mem::take(&mut bucket.list);
+                    bucket.arena.unlink(&mut list, idx);
+                    bucket.list = list;
+                    let payload = bucket.arena.free(idx);
+                    moves.push((i, interval, Some(payload)));
+                }
+            }
+            drop(bucket);
+            k = run_end;
+        }
+        // Re-home the cross-bucket moves, one lock per group of same-target
+        // moves under a fresh clock read.
+        let t = self.shared.now.load(Ordering::Acquire);
+        let mut homed: Vec<(usize, usize)> = (0..moves.len())
+            .map(|m| {
+                let slot = Tick(t.saturating_add(moves[m].1.as_u64())).slot_in(table);
+                (slot, m)
+            })
+            .collect();
+        homed.sort_unstable_by_key(|&(s, _)| s);
+        let mut k = 0usize;
+        while k < homed.len() {
+            let slot = homed[k].0;
+            let run_end = k + homed[k..].iter().take_while(|&&(s, _)| s == slot).count();
+            let mut bucket = self.lock_shard(slot);
+            let t2 = self.shared.now.load(Ordering::Acquire);
+            for &(_, m) in &homed[k..run_end] {
+                let (i, interval) = (moves[m].0, moves[m].1);
+                let j = interval.as_u64();
+                let deadline = Tick(t2.saturating_add(j));
+                if deadline.slot_in(table) != slot {
+                    // Displaced by a clock advance; the singular loop below
+                    // re-homes it.
+                    continue;
+                }
+                let Some(payload) = moves[m].2.take() else {
+                    continue;
+                };
+                let mut rounds = (j - 1) / n;
+                if j % n == 0 && bucket.processed_until < t2 {
+                    rounds += 1;
+                }
+                let (idx, handle) = bucket.arena.alloc(payload, deadline);
+                bucket.arena.node_mut(idx).aux = rounds;
+                let mut list = std::mem::take(&mut bucket.list);
+                bucket.arena.push_back(&mut list, idx);
+                bucket.list = list;
+                self.shared.observer.on_restart(Tick(t2), interval);
+                results[i] = Some(Ok(ShardHandle {
+                    bucket: slot,
+                    handle,
+                }));
+            }
+            drop(bucket);
+            k = run_end;
+        }
+        for (i, interval, payload) in moves {
+            if let Some(payload) = payload {
+                let handle = self.reinsert(interval, payload);
+                self.shared.observer.on_restart(self.now(), interval);
+                results[i] = Some(Ok(handle));
+            }
+        }
+        // Every slot is filled by construction: settled upfront, settled
+        // under the old bucket's lock, or re-homed above. The placeholder
+        // error is unreachable.
+        results
+            .into_iter()
+            .map(|r| r.unwrap_or(Err(TimerError::Stale)))
+            .collect()
+    }
+
     /// `PER_TICK_BOOKKEEPING`: advances the clock and returns the expired
     /// batch. Concurrent tickers are serialized; callbacks in the caller
     /// run lock-free (the batch is collected first).
@@ -673,6 +918,158 @@ mod tests {
             w.start_timer(TickDelta::ZERO, ()),
             Err(TimerError::ZeroInterval)
         );
+    }
+
+    #[test]
+    fn restart_same_bucket_keeps_the_handle() {
+        use tw_core::validate::InvariantCheck;
+
+        let w: ShardedWheel<u64> = ShardedWheel::new(8);
+        let h = w.start_timer(TickDelta(3), 7).unwrap();
+        // 3 and 11 hash to the same bucket (mod 8): pure in-place rewrite.
+        let h2 = w.restart(h, TickDelta(11)).unwrap();
+        assert_eq!(h2, h, "same-bucket restart preserves the handle");
+        w.check_invariants().unwrap();
+        let mut fired = Vec::new();
+        for _ in 0..20 {
+            fired.extend(w.tick());
+        }
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].deadline, Tick(11), "old deadline superseded");
+        assert_eq!(fired[0].fired_at, Tick(11));
+    }
+
+    #[test]
+    fn restart_cross_bucket_reissues_the_handle() {
+        use tw_core::validate::InvariantCheck;
+
+        let w: ShardedWheel<u64> = ShardedWheel::new(8);
+        let h = w.start_timer(TickDelta(3), 7).unwrap();
+        let h2 = w.restart(h, TickDelta(4)).unwrap();
+        assert_ne!(h2, h, "cross-bucket restart re-homes the node");
+        assert_eq!(w.outstanding(), 1, "residency is net zero");
+        w.check_invariants().unwrap();
+        assert_eq!(
+            w.stop_timer(h),
+            Err(TimerError::Stale),
+            "the superseded handle is dead"
+        );
+        assert_eq!(w.stop_timer(h2), Ok(7), "the new handle owns the timer");
+    }
+
+    #[test]
+    fn restart_error_paths_leave_the_timer_armed() {
+        let w: ShardedWheel<u64> = ShardedWheel::new(8);
+        let h = w.start_timer(TickDelta(10), 1).unwrap();
+        assert_eq!(w.restart(h, TickDelta::ZERO), Err(TimerError::ZeroInterval));
+        assert!(w.advance_to(Tick(5)).is_empty());
+        assert_eq!(
+            w.restart(h, TickDelta(u64::MAX)),
+            Err(TimerError::DeadlineOverflow),
+            "5 + u64::MAX leaves the tick domain"
+        );
+        let fired = w.advance_to(Tick(10));
+        assert_eq!(fired.len(), 1, "failed restarts never disturb the timer");
+        assert_eq!(fired[0].fired_at, Tick(10));
+        assert_eq!(
+            w.restart(h, TickDelta(5)),
+            Err(TimerError::Stale),
+            "fired handle is stale"
+        );
+    }
+
+    #[test]
+    fn restart_timers_batch_is_positional_and_exact() {
+        use tw_core::validate::InvariantCheck;
+
+        let w: ShardedWheel<u64> = ShardedWheel::new(16);
+        let reqs: Vec<(TickDelta, u64)> = (0..200u64).map(|i| (TickDelta(i % 50 + 1), i)).collect();
+        let handles: Vec<ShardHandle> = w
+            .start_timers(&reqs)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        // Restart everything to a fresh schedule; sprinkle error cases.
+        let mut restarts: Vec<(ShardHandle, TickDelta)> = handles
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (h, TickDelta(100 + (i as u64 * 7) % 60)))
+            .collect();
+        restarts[17].1 = TickDelta::ZERO;
+        let stopped = w.stop_timer(handles[33]).unwrap();
+        assert_eq!(stopped, 33);
+        let results = w.restart_timers(&restarts);
+        assert_eq!(results.len(), 200);
+        assert_eq!(results[17], Err(TimerError::ZeroInterval));
+        assert_eq!(results[33], Err(TimerError::Stale));
+        // 199 armed: the zero-interval failure left timer 17 on its
+        // original schedule, and 33 was stopped before the batch.
+        assert_eq!(w.outstanding(), 199, "restarts are residency-neutral");
+        w.check_invariants().unwrap();
+        // Every successful restart fires exactly once at its new deadline.
+        let fired = w.advance_to(Tick(200));
+        assert_eq!(fired.len(), 199);
+        for e in &fired {
+            assert_eq!(e.fired_at, e.deadline, "exact at the restarted deadline");
+            if e.payload == 17 {
+                assert_eq!(e.deadline, Tick(18), "failed restart kept the old schedule");
+            } else {
+                assert!(
+                    e.deadline.as_u64() >= 100,
+                    "no timer fires at a superseded deadline"
+                );
+            }
+        }
+        assert_eq!(w.outstanding(), 0);
+    }
+
+    #[test]
+    fn restart_timers_interleave_with_concurrent_ticker() {
+        let w: ShardedWheel<u64> = ShardedWheel::new(8);
+        let handles: Vec<ShardHandle> = (0..160u64)
+            .map(|i| w.start_timer(TickDelta(2_000 + i % 16), i).unwrap())
+            .collect();
+        let restarter = {
+            let w = w.clone();
+            thread::spawn(move || {
+                let mut current = handles;
+                for round in 0..30u64 {
+                    let reqs: Vec<(ShardHandle, TickDelta)> = current
+                        .iter()
+                        .map(|&h| (h, TickDelta(2_000 + round * 3 % 64)))
+                        .collect();
+                    current = w
+                        .restart_timers(&reqs)
+                        .into_iter()
+                        .map(|r| r.unwrap())
+                        .collect();
+                }
+            })
+        };
+        let ticker = {
+            let w = w.clone();
+            thread::spawn(move || {
+                let mut fired = Vec::new();
+                for _ in 0..1_000 {
+                    w.tick_into(&mut fired);
+                }
+                fired
+            })
+        };
+        restarter.join().unwrap();
+        let early = ticker.join().unwrap();
+        assert!(
+            early.is_empty(),
+            "all deadlines sit beyond the churn window"
+        );
+        assert_eq!(w.outstanding(), 160);
+        // Drain: everything fires exactly once, exactly on schedule.
+        let target = w.now().as_u64() + 3_000;
+        let fired = w.advance_to(Tick(target));
+        assert_eq!(fired.len(), 160);
+        for e in &fired {
+            assert_eq!(e.fired_at, e.deadline, "exact under restart churn");
+        }
     }
 
     #[test]

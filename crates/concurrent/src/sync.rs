@@ -96,6 +96,14 @@ impl<T> Mutex<T> {
 /// traffic. Producers still touch nothing but this queue, so the
 /// wait-free-*progress* claim weakens to lock-free-in-practice; the
 /// admission-latency semantics are unchanged.
+///
+/// The API speaks `enqueue`/`dequeue` rather than `send`/`recv`: both
+/// operations complete in a bounded number of steps (one short critical
+/// section around the ring), so neither can park the caller — the names
+/// keep them visibly outside the blocking channel vocabulary while the
+/// queue still serves as the one-way message fabric of the Appendix A.1
+/// model ("the only communication between the host and chip is through
+/// interrupts").
 pub struct Queue<T> {
     inner: Mutex<VecDeque<T>>,
 }
@@ -108,13 +116,15 @@ impl<T> Queue<T> {
         }
     }
 
-    /// Appends an element at the tail.
-    pub fn push(&self, value: T) {
+    /// Enqueues a message at the tail. Never blocks beyond the ring's own
+    /// short critical section.
+    pub fn enqueue(&self, value: T) {
         self.inner.lock().push_back(value);
     }
 
-    /// Removes the head element, if any.
-    pub fn pop(&self) -> Option<T> {
+    /// Dequeues the head message, if any. Never blocks: an empty queue
+    /// returns `None` instead of parking the caller.
+    pub fn dequeue(&self) -> Option<T> {
         self.inner.lock().pop_front()
     }
 
@@ -422,14 +432,14 @@ mod tests {
     fn queue_is_fifo() {
         let q: Queue<u32> = Queue::new();
         assert!(q.is_empty());
-        q.push(1);
-        q.push(2);
-        q.push(3);
+        q.enqueue(1);
+        q.enqueue(2);
+        q.enqueue(3);
         assert_eq!(q.len(), 3);
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), Some(2));
-        assert_eq!(q.pop(), Some(3));
-        assert_eq!(q.pop(), None);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), Some(3));
+        assert_eq!(q.dequeue(), None);
     }
 
     #[test]

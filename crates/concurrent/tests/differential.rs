@@ -51,6 +51,9 @@ const MAX_INTERVAL: u64 = 200;
 enum Op {
     /// Start a timer with this interval.
     Start(u64),
+    /// Restart (UPDATE) the k-th (mod live count) timer started by this
+    /// same thread to this interval.
+    Restart(usize, u64),
     /// Stop the k-th (mod live count) timer started by this same thread.
     Stop(usize),
 }
@@ -58,6 +61,7 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         3 => (1..=MAX_INTERVAL).prop_map(Op::Start),
+        2 => (any::<usize>(), 1..=MAX_INTERVAL).prop_map(|(k, j)| Op::Restart(k, j)),
         2 => any::<usize>().prop_map(Op::Stop),
     ]
 }
@@ -98,15 +102,19 @@ fn batch_schedule_strategy() -> impl Strategy<Value = Vec<(Vec<Vec<Op>>, u64)>> 
 enum ReplayCall<H> {
     /// `start_timer(interval, id)`; the closure returns the handle.
     Start(u64, u64),
+    /// `restart(handle, interval)`; the closure returns the timer's handle
+    /// from here on (re-issued by the sharded cross-bucket re-home,
+    /// unchanged by the single-threaded schemes).
+    Restart(H, u64),
     /// `stop_timer(handle)`, expected to return `Ok(id)`.
     Stop(H, u64),
 }
 
 /// Replays one round in batch order — every start first (the order
-/// `start_timers` settles a batch), then the stops — so the per-thread
-/// books evolve identically to a thread that issued one `start_timers`
-/// call followed by its stops.
-fn replay_round_batch_order<H>(
+/// `start_timers` settles a batch), then the restarts in op order, then the
+/// stops — so the per-thread books evolve identically to a thread that
+/// issued one `start_timers` call followed by its restarts and stops.
+fn replay_round_batch_order<H: Copy>(
     books: &mut [Vec<(H, u64)>],
     round: usize,
     ops: &[Vec<Op>],
@@ -121,6 +129,16 @@ fn replay_round_batch_order<H>(
             }
         }
         for op in thread_ops {
+            if let Op::Restart(k, j) = op {
+                if !books[ti].is_empty() {
+                    let idx = k % books[ti].len();
+                    let (h, id) = books[ti][idx];
+                    let h = call(ReplayCall::Restart(h, *j)).expect("restart returns a handle");
+                    books[ti][idx] = (h, id);
+                }
+            }
+        }
+        for op in thread_ops {
             if let Op::Stop(k) = op {
                 if !books[ti].is_empty() {
                     let (h, id) = books[ti].swap_remove(k % books[ti].len());
@@ -131,9 +149,9 @@ fn replay_round_batch_order<H>(
     }
 }
 
-/// Replays one round of ops serially into the oracle. Per-thread stop
-/// indices resolve against per-thread books, so the outcome matches the
-/// concurrent run regardless of how its threads interleaved.
+/// Replays one round of ops serially into the oracle. Per-thread stop and
+/// restart indices resolve against per-thread books, so the outcome matches
+/// the concurrent run regardless of how its threads interleaved.
 fn replay_round(
     oracle: &mut BasicWheel<u64>,
     books: &mut [Vec<(tw_core::TimerHandle, u64)>],
@@ -147,6 +165,15 @@ fn replay_round(
                     let id = op_id(round, ti, oi);
                     let h = oracle.start_timer(TickDelta(*j), id).unwrap();
                     books[ti].push((h, id));
+                }
+                Op::Restart(k, j) => {
+                    if !books[ti].is_empty() {
+                        let idx = k % books[ti].len();
+                        // tw-core UPDATE is a pure relink: same handle after.
+                        oracle
+                            .restart_timer(books[ti][idx].0, TickDelta(*j))
+                            .unwrap();
+                    }
                 }
                 Op::Stop(k) => {
                     if !books[ti].is_empty() {
@@ -200,6 +227,15 @@ proptest! {
                                     let id = op_id(r, ti, oi);
                                     let h = w.start_timer(TickDelta(*j), id).unwrap();
                                     book.push((h, id));
+                                }
+                                Op::Restart(k, j) => {
+                                    if !book.is_empty() {
+                                        let idx = k % book.len();
+                                        // Cross-bucket restarts re-issue the
+                                        // handle; the book tracks the newest.
+                                        book[idx].0 =
+                                            w.restart(book[idx].0, TickDelta(*j)).unwrap();
+                                    }
                                 }
                                 Op::Stop(k) => {
                                     if !book.is_empty() {
@@ -300,11 +336,20 @@ proptest! {
                             .enumerate()
                             .filter_map(|(oi, op)| match op {
                                 Op::Start(j) => Some((TickDelta(*j), op_id(r, ti, oi))),
-                                Op::Stop(_) => None,
+                                _ => None,
                             })
                             .collect();
                         for (req, res) in starts.iter().zip(wb.start_timers(&starts)) {
                             book.push((res.unwrap(), req.1));
+                        }
+                        for op in &thread_ops {
+                            if let Op::Restart(k, j) = op {
+                                if !book.is_empty() {
+                                    let idx = k % book.len();
+                                    book[idx].0 =
+                                        wb.restart(book[idx].0, TickDelta(*j)).unwrap();
+                                }
+                            }
                         }
                         for op in &thread_ops {
                             if let Op::Stop(k) = op {
@@ -324,6 +369,7 @@ proptest! {
             // Serial comparators replay the same batch-ordered schedule.
             replay_round_batch_order(&mut singular_books, r, round, |c| match c {
                 ReplayCall::Start(j, id) => Some(ws.start_timer(TickDelta(j), id).unwrap()),
+                ReplayCall::Restart(h, j) => Some(ws.restart(h, TickDelta(j)).unwrap()),
                 ReplayCall::Stop(h, id) => {
                     assert_eq!(ws.stop_timer(h), Ok(id));
                     None
@@ -331,6 +377,10 @@ proptest! {
             });
             replay_round_batch_order(&mut oracle_books, r, round, |c| match c {
                 ReplayCall::Start(j, id) => Some(oracle.start_timer(TickDelta(j), id).unwrap()),
+                ReplayCall::Restart(h, j) => {
+                    oracle.restart_timer(h, TickDelta(j)).unwrap();
+                    Some(h)
+                }
                 ReplayCall::Stop(h, id) => {
                     assert_eq!(oracle.stop_timer(h), Ok(id));
                     None
@@ -410,6 +460,179 @@ proptest! {
         ws.check_invariants().unwrap();
     }
 
+    /// The restart analogue of the batch campaign, three ways at once: one
+    /// sharded wheel coalesces each thread's round of restarts into a
+    /// single `restart_timers` batch (concurrently with the other
+    /// threads'), a second sharded wheel replays the same schedule through
+    /// the singular `restart` calls in op order, and a serial
+    /// [`BasicWheel`] replays it through its pure-relink `restart_timer`.
+    /// Because no tick overlaps a round, only the newest interval per
+    /// timer determines its deadline, so all three must produce the same
+    /// `(id, firing tick)` set over every window — every fire exact, no
+    /// timer firing at a superseded deadline, and residency conserved.
+    #[test]
+    fn sharded_restart_timers_batch_matches_singular_and_oracle(
+        schedule in batch_schedule_strategy()
+    ) {
+        let wb: ShardedWheel<u64> = ShardedWheel::new(TABLE_SIZE);
+        let ws: ShardedWheel<u64> = ShardedWheel::new(TABLE_SIZE);
+        let mut oracle: BasicWheel<u64> = BasicWheel::try_from(
+            WheelConfig::new()
+                .slots(TABLE_SIZE)
+                .overflow(OverflowPolicy::OverflowList),
+        )
+        .unwrap();
+        let mut batch_books: Vec<Vec<(tw_concurrent::ShardHandle, u64)>> =
+            vec![Vec::new(); THREADS];
+        let mut singular_books: Vec<Vec<(tw_concurrent::ShardHandle, u64)>> =
+            vec![Vec::new(); THREADS];
+        let mut oracle_books: Vec<Vec<(tw_core::TimerHandle, u64)>> =
+            vec![Vec::new(); THREADS];
+
+        for (r, (round, jump)) in schedule.iter().enumerate() {
+            // Concurrent phase: each thread starts its round's timers as
+            // one batch, then submits its restarts as ONE `restart_timers`
+            // batch — coalesced to the newest interval per timer, which is
+            // what executing them in op order would leave behind — then
+            // issues its stops singly.
+            let workers: Vec<_> = round
+                .iter()
+                .enumerate()
+                .map(|(ti, thread_ops)| {
+                    let wb = wb.clone();
+                    let mut book = std::mem::take(&mut batch_books[ti]);
+                    let thread_ops = thread_ops.clone();
+                    thread::spawn(move || {
+                        let starts: Vec<(TickDelta, u64)> = thread_ops
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(oi, op)| match op {
+                                Op::Start(j) => Some((TickDelta(*j), op_id(r, ti, oi))),
+                                _ => None,
+                            })
+                            .collect();
+                        for (req, res) in starts.iter().zip(wb.start_timers(&starts)) {
+                            book.push((res.unwrap(), req.1));
+                        }
+                        let mut newest: Vec<Option<u64>> = vec![None; book.len()];
+                        for op in &thread_ops {
+                            if let Op::Restart(k, j) = op {
+                                if !book.is_empty() {
+                                    newest[k % book.len()] = Some(*j);
+                                }
+                            }
+                        }
+                        let targets: Vec<usize> = newest
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(i, j)| j.map(|_| i))
+                            .collect();
+                        let reqs: Vec<(tw_concurrent::ShardHandle, TickDelta)> = targets
+                            .iter()
+                            .map(|&i| (book[i].0, TickDelta(newest[i].unwrap())))
+                            .collect();
+                        for (&i, res) in targets.iter().zip(wb.restart_timers(&reqs)) {
+                            // Cross-bucket moves re-issue the handle.
+                            book[i].0 = res.unwrap();
+                        }
+                        for op in &thread_ops {
+                            if let Op::Stop(k) = op {
+                                if !book.is_empty() {
+                                    let (h, id) = book.swap_remove(k % book.len());
+                                    assert_eq!(wb.stop_timer(h), Ok(id));
+                                }
+                            }
+                        }
+                        book
+                    })
+                })
+                .collect();
+            for (ti, worker) in workers.into_iter().enumerate() {
+                batch_books[ti] = worker.join().unwrap();
+            }
+            replay_round_batch_order(&mut singular_books, r, round, |c| match c {
+                ReplayCall::Start(j, id) => Some(ws.start_timer(TickDelta(j), id).unwrap()),
+                ReplayCall::Restart(h, j) => Some(ws.restart(h, TickDelta(j)).unwrap()),
+                ReplayCall::Stop(h, id) => {
+                    assert_eq!(ws.stop_timer(h), Ok(id));
+                    None
+                }
+            });
+            replay_round_batch_order(&mut oracle_books, r, round, |c| match c {
+                ReplayCall::Start(j, id) => Some(oracle.start_timer(TickDelta(j), id).unwrap()),
+                ReplayCall::Restart(h, j) => {
+                    oracle.restart_timer(h, TickDelta(j)).unwrap();
+                    Some(h)
+                }
+                ReplayCall::Stop(h, id) => {
+                    assert_eq!(oracle.stop_timer(h), Ok(id));
+                    None
+                }
+            });
+
+            wb.check_invariants().unwrap();
+            ws.check_invariants().unwrap();
+            prop_assert_eq!(wb.outstanding(), oracle.outstanding(), "restart residency drift");
+            prop_assert_eq!(ws.outstanding(), oracle.outstanding());
+
+            let target = Tick(oracle.now().as_u64() + jump);
+            let mut got: Vec<(u64, u64)> = wb
+                .advance_to(target)
+                .into_iter()
+                .map(|e| {
+                    prop_assert_eq!(e.fired_at, e.deadline, "inexact restarted fire");
+                    Ok((e.payload, e.fired_at.as_u64()))
+                })
+                .collect::<Result<_, TestCaseError>>()?;
+            let mut singular: Vec<(u64, u64)> = Vec::new();
+            while ws.now() < target {
+                singular.extend(ws.tick().into_iter().map(|e| (e.payload, e.fired_at.as_u64())));
+            }
+            let mut want: Vec<(u64, u64)> = oracle
+                .advance_to(target)
+                .into_iter()
+                .map(|e| (e.payload, e.fired_at.as_u64()))
+                .collect();
+            got.sort_unstable();
+            singular.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(&got, &want, "batched restarts diverged from oracle in round {}", r);
+            prop_assert_eq!(&singular, &want, "singular restarts diverged in round {}", r);
+            drop_fired(&mut batch_books, &got);
+            drop_fired(&mut singular_books, &got);
+            drop_fired(&mut oracle_books, &got);
+        }
+
+        // Drain all three to empty through the same batched windows.
+        let mut guard = 0u32;
+        while oracle.outstanding() > 0 || wb.outstanding() > 0 || ws.outstanding() > 0 {
+            let target = Tick(oracle.now().as_u64() + MAX_INTERVAL);
+            let mut got: Vec<(u64, u64)> = wb
+                .advance_to(target)
+                .into_iter()
+                .map(|e| (e.payload, e.fired_at.as_u64()))
+                .collect();
+            let mut singular: Vec<(u64, u64)> = Vec::new();
+            while ws.now() < target {
+                singular.extend(ws.tick().into_iter().map(|e| (e.payload, e.fired_at.as_u64())));
+            }
+            let mut want: Vec<(u64, u64)> = oracle
+                .advance_to(target)
+                .into_iter()
+                .map(|e| (e.payload, e.fired_at.as_u64()))
+                .collect();
+            got.sort_unstable();
+            singular.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(&got, &want);
+            prop_assert_eq!(&singular, &want);
+            guard += 1;
+            prop_assert!(guard < 100, "drain did not terminate");
+        }
+        wb.check_invariants().unwrap();
+        ws.check_invariants().unwrap();
+    }
+
     /// Message-passing wheel vs oracle. Cancellation is lazy and the
     /// outstanding counts are incomparable by design (cancelled records
     /// stay resident until their slot comes around), so the comparison is
@@ -445,6 +668,16 @@ proptest! {
                                     let id = op_id(r, ti, oi);
                                     let h = w.start_timer(TickDelta(*j), id).unwrap();
                                     book.push((h, id));
+                                }
+                                Op::Restart(k, j) => {
+                                    if !book.is_empty() {
+                                        // No tick is concurrent, so the timer
+                                        // is still pending and the restart
+                                        // must succeed; the MPSC handle is
+                                        // never re-issued.
+                                        let idx = k % book.len();
+                                        w.restart_timer(&book[idx].0, TickDelta(*j)).unwrap();
+                                    }
                                 }
                                 Op::Stop(k) => {
                                     if !book.is_empty() {

@@ -21,7 +21,13 @@
 //! 5. the coarse-locked baseline's big-lock serialization;
 //! 6. start racing the batched multi-tick drain — `advance_into`
 //!    publishes the new clock before sweeping, so a racing insert either
-//!    parks beyond the window or is caught by the sweep.
+//!    parks beyond the window or is caught by the sweep;
+//! 7. a batched `restart_timers` racing the batched drain — whichever
+//!    side the bucket lock arbitrates for, the timer fires exactly once,
+//!    at its newest surviving deadline and never a superseded one;
+//! 8. an MPSC `restart_timer` racing the ticker's sweep — the
+//!    generation-bumping CAS on the shared word linearizes restart
+//!    against delivery.
 
 #![cfg(loom)]
 
@@ -193,6 +199,103 @@ fn coarse_start_vs_tick_serializes() {
         assert_eq!(fired[0].payload, 5);
         assert_eq!(fired[0].fired_at, fired[0].deadline);
         assert_eq!(m.outstanding(), 0);
+    });
+}
+
+/// Model 7 (the acceptance-critical restart model): a batched
+/// `restart_timers` racing the batched drain at the timer's original
+/// deadline. The owning bucket's lock arbitrates: if the restart wins, the
+/// node is rewritten (or re-homed) before the sweep reaches it and must
+/// fire exactly once at the *new* deadline — never the superseded one; if
+/// the sweep wins, the timer fires at its original deadline and the
+/// restart observes a clean `Stale`. No schedule may lose the timer or
+/// fire it twice.
+#[test]
+fn sharded_restart_timers_vs_batched_drain_race() {
+    loom::model(|| {
+        let w: ShardedWheel<u32> = ShardedWheel::new(2);
+        let h = w.start_timer(TickDelta(1), 11).unwrap();
+        let restarter = {
+            let w = w.clone();
+            thread::spawn(move || w.restart_timers(&[(h, TickDelta(3))]).pop().unwrap())
+        };
+        let mut fired = Vec::new();
+        w.advance_into(Tick(1), &mut fired); // races the relink
+        let restarted = restarter.join().unwrap();
+        // Drain far enough for any restarted deadline (observed clock ≤ 1,
+        // so the new deadline is at most 4).
+        let mut guard = 0;
+        while w.outstanding() > 0 {
+            w.advance_into(Tick(w.now().as_u64() + 4), &mut fired);
+            guard += 1;
+            assert!(guard <= 2, "drain did not terminate");
+        }
+        assert_eq!(fired.len(), 1, "timer fired exactly once");
+        assert_eq!(fired[0].fired_at, fired[0].deadline, "exact firing");
+        match restarted {
+            Ok(_) => assert!(
+                fired[0].deadline.as_u64() >= 3,
+                "a successful restart supersedes the old deadline (fired at {})",
+                fired[0].deadline.as_u64()
+            ),
+            Err(e) => {
+                assert_eq!(e, tw_core::TimerError::Stale, "only loss mode is Stale");
+                assert_eq!(
+                    fired[0].deadline,
+                    Tick(1),
+                    "sweep won: the original schedule stood"
+                );
+            }
+        }
+        assert_eq!(w.outstanding(), 0);
+        w.check_invariants().unwrap();
+    });
+}
+
+/// Model 8: an MPSC `restart_timer` racing the ticker's sweep of the
+/// timer's old slot. The restart publishes the new deadline and bumps the
+/// reschedule generation in one CAS-guarded protocol; delivery re-checks
+/// the authoritative deadline under its own CAS, so on every schedule the
+/// timer fires exactly once — at the new deadline if the restart
+/// succeeded, at the old one (with the restart observing `Stale`) if
+/// delivery linearized first.
+#[test]
+fn mpsc_restart_vs_sweep_race() {
+    loom::model(|| {
+        let w: MpscWheel<u32> = MpscWheel::new(2);
+        let h = w.start_timer(TickDelta(1), 13).unwrap();
+        let restarter = {
+            let w = w.clone();
+            let h = h.clone();
+            thread::spawn(move || w.restart_timer(&h, TickDelta(3)))
+        };
+        let mut fired = w.tick(); // admits, then sweeps deadline 1
+        let restarted = restarter.join().unwrap();
+        for _ in 0..8 {
+            if fired.len() == 1 {
+                break;
+            }
+            fired.extend(w.tick());
+        }
+        assert_eq!(fired.len(), 1, "timer fired exactly once");
+        assert!(h.has_fired());
+        match restarted {
+            Ok(()) => assert!(
+                fired[0].deadline.as_u64() >= 3,
+                "a successful restart supersedes the old deadline (fired at {})",
+                fired[0].deadline.as_u64()
+            ),
+            Err(e) => {
+                assert_eq!(e, tw_core::TimerError::Stale, "only loss mode is Stale");
+                assert_eq!(fired[0].deadline, Tick(1));
+            }
+        }
+        assert!(
+            fired[0].fired_at >= fired[0].deadline,
+            "never early, even under restart races"
+        );
+        assert_eq!(w.resident(), 0);
+        w.check_invariants().unwrap();
     });
 }
 

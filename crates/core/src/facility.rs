@@ -155,6 +155,31 @@ impl<S: TimerScheme<(RequestId, ExpiryAction)>> TimerFacility<S> {
         Ok(())
     }
 
+    /// UPDATE: re-arms `request_id`'s outstanding timer to expire `interval`
+    /// ticks from now, keeping its id, handle, and expiry action. For a
+    /// periodic timer only the in-flight deadline moves; the period is
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// * [`TimerError::UnknownRequestId`] if no timer is outstanding under
+    ///   `request_id`.
+    /// * Any error of the underlying scheme's
+    ///   [`restart_timer`](TimerScheme::restart_timer); the timer stays
+    ///   armed at its original deadline in that case.
+    pub fn restart_timer(
+        &mut self,
+        request_id: RequestId,
+        interval: TickDelta,
+    ) -> Result<(), TimerError> {
+        let handle = self
+            .by_request
+            .get(&request_id)
+            .copied()
+            .ok_or(TimerError::UnknownRequestId)?;
+        self.scheme.restart_timer(handle, interval)
+    }
+
     /// `PER_TICK_BOOKKEEPING` (§2): advances the clock one tick, performs
     /// every due timer's `Expiry_Action`, and returns their records.
     pub fn per_tick_bookkeeping(&mut self) -> Vec<ExpiryRecord> {
@@ -391,6 +416,49 @@ mod tests {
             m.per_tick_bookkeeping();
         }
         assert_eq!(hits.lock().unwrap().as_slice(), &[4, 8, 12]);
+    }
+
+    #[test]
+    fn restart_moves_the_deadline_keeping_the_request_id() {
+        let mut m = facility();
+        m.start_timer(TickDelta(3), RequestId(7), ExpiryAction::Nop)
+            .unwrap();
+        m.restart_timer(RequestId(7), TickDelta(6)).unwrap();
+        for _ in 0..3 {
+            assert!(m.per_tick_bookkeeping().is_empty());
+        }
+        let mut fired = Vec::new();
+        for _ in 0..3 {
+            fired.extend(m.per_tick_bookkeeping());
+        }
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].request_id, RequestId(7));
+        assert_eq!(fired[0].fired_at, Tick(6));
+        assert!(!m.is_outstanding(RequestId(7)));
+    }
+
+    #[test]
+    fn restart_unknown_or_fired_id_fails_without_side_effects() {
+        let mut m = facility();
+        assert_eq!(
+            m.restart_timer(RequestId(9), TickDelta(2)),
+            Err(TimerError::UnknownRequestId)
+        );
+        m.start_timer(TickDelta(1), RequestId(9), ExpiryAction::Nop)
+            .unwrap();
+        m.per_tick_bookkeeping();
+        assert_eq!(
+            m.restart_timer(RequestId(9), TickDelta(2)),
+            Err(TimerError::UnknownRequestId)
+        );
+        // A failed scheme-level restart leaves the map and timer intact.
+        m.start_timer(TickDelta(4), RequestId(1), ExpiryAction::Nop)
+            .unwrap();
+        assert_eq!(
+            m.restart_timer(RequestId(1), TickDelta::ZERO),
+            Err(TimerError::ZeroInterval)
+        );
+        assert!(m.is_outstanding(RequestId(1)));
     }
 
     #[test]

@@ -41,7 +41,8 @@ use crate::{TimerError, TimerHandle};
 /// be cheap and **allocation-free** when reachable from the per-tick path
 /// (enforced by the TW008 lint) and must not call back into the scheme.
 ///
-/// The first five hooks are raised by [`Observed`] around the §2 routines;
+/// The first six hooks are raised by [`Observed`] around the §2 routines
+/// (plus the UPDATE extension);
 /// the service-level hooks (`on_lock`, `on_queue_depth`, `on_batch`,
 /// `on_command_latency`) are raised by `tw-concurrent`'s sharded wheel and
 /// timer service.
@@ -54,6 +55,14 @@ pub trait Observer {
     /// `STOP_TIMER` succeeded at `now`.
     fn on_stop(&self, now: Tick) {
         let _ = now;
+    }
+
+    /// UPDATE succeeded: an outstanding timer was re-armed to expire
+    /// `interval` after `now`, keeping its handle. Raised instead of (never
+    /// alongside) `on_stop`/`on_start`, so recorders can distinguish the
+    /// ACK-driven restart traffic of a transport from genuine churn.
+    fn on_restart(&self, now: Tick, interval: TickDelta) {
+        let _ = (now, interval);
     }
 
     /// `EXPIRY_PROCESSING`: a timer scheduled for `deadline` fired at
@@ -117,6 +126,9 @@ impl<O: Observer + ?Sized> Observer for &O {
     fn on_stop(&self, now: Tick) {
         (**self).on_stop(now);
     }
+    fn on_restart(&self, now: Tick, interval: TickDelta) {
+        (**self).on_restart(now, interval);
+    }
     fn on_fire(&self, deadline: Tick, fired_at: Tick) {
         (**self).on_fire(deadline, fired_at);
     }
@@ -149,6 +161,9 @@ impl<O: Observer + ?Sized> Observer for std::sync::Arc<O> {
     }
     fn on_stop(&self, now: Tick) {
         (**self).on_stop(now);
+    }
+    fn on_restart(&self, now: Tick, interval: TickDelta) {
+        (**self).on_restart(now, interval);
     }
     fn on_fire(&self, deadline: Tick, fired_at: Tick) {
         (**self).on_fire(deadline, fired_at);
@@ -240,11 +255,11 @@ impl<T, S: TimerScheme<T>, O: Observer> TimerScheme<T> for Observed<S, O> {
         handle: TimerHandle,
         interval: TickDelta,
     ) -> Result<(), TimerError> {
-        // Delegation only: the Observer trait is sealed and stays at its
-        // nine hooks, so a restart is visible to telemetry as neither a
-        // stop nor a start (it frees and allocates nothing). A dedicated
-        // on_restart hook can ride the ROADMAP item 1 full sweep.
-        self.inner.restart_timer(handle, interval)
+        let result = self.inner.restart_timer(handle, interval);
+        if result.is_ok() {
+            self.observer.on_restart(self.inner.now(), interval);
+        }
+        result
     }
 
     fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
@@ -321,6 +336,7 @@ mod tests {
     struct Recorder {
         starts: Cell<u64>,
         stops: Cell<u64>,
+        restarts: Cell<u64>,
         fires: Cell<u64>,
         windows: Cell<u64>,
         window_ticks: Cell<u64>,
@@ -333,6 +349,9 @@ mod tests {
         }
         fn on_stop(&self, _now: Tick) {
             self.stops.set(self.stops.get() + 1);
+        }
+        fn on_restart(&self, _now: Tick, _interval: TickDelta) {
+            self.restarts.set(self.restarts.get() + 1);
         }
         fn on_fire(&self, deadline: Tick, fired_at: Tick) {
             assert_eq!(deadline, fired_at, "oracle fires exactly");
@@ -372,10 +391,29 @@ mod tests {
             Err(TimerError::ZeroInterval)
         );
         let h = w.start_timer(TickDelta(1), 1).unwrap();
+        assert_eq!(
+            w.restart_timer(h, TickDelta::ZERO),
+            Err(TimerError::ZeroInterval)
+        );
         w.stop_timer(h).unwrap();
         assert_eq!(w.stop_timer(h), Err(TimerError::Stale));
+        assert_eq!(w.restart_timer(h, TickDelta(1)), Err(TimerError::Stale));
         assert_eq!(rec.starts.get(), 1);
         assert_eq!(rec.stops.get(), 1);
+        assert_eq!(rec.restarts.get(), 0);
+    }
+
+    #[test]
+    fn restart_raises_its_own_hook_not_stop_plus_start() {
+        let rec = Recorder::default();
+        let mut w = Observed::new(OracleScheme::<u32>::new(), &rec);
+        let h = w.start_timer(TickDelta(5), 1).unwrap();
+        w.restart_timer(h, TickDelta(9)).unwrap();
+        w.restart_timer(h, TickDelta(2)).unwrap();
+        assert_eq!(rec.starts.get(), 1);
+        assert_eq!(rec.stops.get(), 0);
+        assert_eq!(rec.restarts.get(), 2);
+        assert_eq!(w.collect_ticks(2).len(), 1);
     }
 
     #[test]

@@ -84,9 +84,9 @@ pub trait TimerScheme<T> {
     /// Validation happens *before* any unlink: a failed restart leaves the
     /// timer exactly where it was, still armed for its original deadline.
     ///
-    /// The default body rejects the call; schemes gain update support one
-    /// by one (currently the oracle and `BasicWheel`; the full sweep is
-    /// ROADMAP item 1).
+    /// The default body rejects the call so external implementors opt in
+    /// explicitly; every scheme in this workspace (the oracle and all seven
+    /// wheels) overrides it with a pure unlink+relink.
     ///
     /// # Errors
     ///

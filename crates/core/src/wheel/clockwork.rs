@@ -266,6 +266,48 @@ impl<T> TimerScheme<T> for ClockworkWheel<T> {
         }
     }
 
+    fn restart_timer(
+        &mut self,
+        handle: TimerHandle,
+        interval: TickDelta,
+    ) -> Result<(), TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        if interval > self.max_interval() {
+            return Err(TimerError::IntervalOutOfRange {
+                max: self.max_interval(),
+            });
+        }
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
+        let idx = self.arena.resolve(handle)?;
+        if matches!(self.arena.node(idx).payload, Record::Update { .. }) {
+            // As in stop_timer: update-timer handles never escape, but a
+            // forged handle must not be able to re-aim the clockwork.
+            return Err(TimerError::Stale);
+        }
+        // All validation passed — from here the restart cannot fail. Unlink
+        // from the current level; the node never touches the free list, so
+        // the client's handle (and its generation) stay valid.
+        let bucket = self.arena.node(idx).bucket;
+        let level = self.level_of_bucket(bucket);
+        // tw-analyze: fact(slot_bounded, reason = "bucket tags are only written by place_at_level from slot_in-style modular arithmetic, and level_of_bucket proves base <= bucket < base + size, so the difference is a valid in-level slot")
+        let slot = bucket - self.levels[level].base;
+        self.arena.unlink(&mut self.levels[level].slots[slot], idx);
+        self.arena.node_mut(idx).deadline = deadline;
+        // `place` re-runs the digit rule for the new target and overwrites
+        // `aux` wholesale.
+        self.place(idx, deadline.as_u64());
+        self.counters.restarts += 1;
+        // Modeled as one §7 delete followed by one insert, matching the
+        // unlink+relink the update actually performs.
+        self.counters.vax_instructions += self.cost.delete + self.cost.insert;
+        Ok(())
+    }
+
     fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
         self.now = self.now.next();
         self.counters.ticks += 1;
@@ -523,5 +565,54 @@ mod tests {
         w.run_ticks(500);
         assert_eq!(w.counters().expiries, 1);
         assert!(w.counters().migrations <= 2, "m - 1 = 2 migrations max");
+    }
+
+    #[test]
+    fn restart_rearms_across_levels_with_the_same_handle() {
+        let mut w: ClockworkWheel<&str> = ClockworkWheel::new(LevelSizes(vec![8, 8, 8]));
+        let h = w.start_timer(TickDelta(3), "x").unwrap();
+        w.restart_timer(h, TickDelta(400)).unwrap();
+        assert!(w.collect_ticks(3).is_empty());
+        let fired = w.collect_ticks(397);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(400));
+        assert_eq!(fired[0].handle, h);
+        assert_eq!(fired[0].error(), 0);
+        assert_eq!(w.counters().restarts, 1);
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+    }
+
+    #[test]
+    fn restart_to_earlier_deadline_fires_exactly() {
+        let mut w: ClockworkWheel<()> = ClockworkWheel::new(LevelSizes(vec![8, 8]));
+        w.run_ticks(13); // misalign the clock
+        let h = w.start_timer(TickDelta(60), ()).unwrap();
+        w.restart_timer(h, TickDelta(2)).unwrap();
+        let fired = w.collect_ticks(2);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(15));
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+    }
+
+    #[test]
+    fn failed_restart_leaves_the_timer_armed_and_clockwork_safe() {
+        let mut w: ClockworkWheel<()> = ClockworkWheel::new(LevelSizes(vec![4, 4]));
+        let h = w.start_timer(TickDelta(4), ()).unwrap();
+        assert_eq!(
+            w.restart_timer(h, TickDelta::ZERO),
+            Err(TimerError::ZeroInterval)
+        );
+        assert_eq!(
+            w.restart_timer(h, TickDelta(16)),
+            Err(TimerError::IntervalOutOfRange { max: TickDelta(15) })
+        );
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+        let fired = w.collect_ticks(4);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(4));
+        assert_eq!(w.restart_timer(h, TickDelta(1)), Err(TimerError::Stale));
+        // The clockwork keeps turning after all of it.
+        w.start_timer(TickDelta(10), ()).unwrap();
+        assert_eq!(w.collect_ticks(16).len(), 1);
     }
 }

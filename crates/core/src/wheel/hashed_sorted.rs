@@ -21,7 +21,7 @@
 
 use alloc::vec::Vec;
 
-use crate::arena::{ListHead, TimerArena};
+use crate::arena::{ListHead, NodeIdx, TimerArena};
 use crate::bitmap::SlotBitmap;
 use crate::counters::{OpCounters, VaxCostModel};
 use crate::handle::TimerHandle;
@@ -96,6 +96,32 @@ impl<T> HashedWheelSorted<T> {
         self.cursor = self.now.slot_in(self.slots.len());
         self.counters.ticks += k;
     }
+
+    /// Sorted insert of a node into `slot` (front search; ties keep FIFO
+    /// order by inserting after existing equal deadlines). Returns the walk
+    /// length, which the caller prices. Shared by the start and restart
+    /// paths so both keep the same Scheme 5 trade-off. The caller tags the
+    /// node's `bucket` field — it owns the choke-pointed slot computation.
+    fn sorted_link(&mut self, idx: NodeIdx, slot: usize, deadline: Tick) -> u64 {
+        let mut at = self.slots[slot].first();
+        let mut steps = 0u64;
+        // tw-analyze: fact(loop_bounded, reason = "sorted-insert walk of one hash bucket: worst case n/slots entries, O(1) average per section 6.1.1 -- the documented START trade-off of Scheme 5, priced by the steps counter")
+        while let Some(cur) = at {
+            steps += 1;
+            if self.arena.node(cur).deadline > deadline {
+                break;
+            }
+            at = self.arena.next(cur);
+        }
+        match at {
+            Some(before) => self.arena.insert_before(&mut self.slots[slot], before, idx),
+            None => self.arena.push_back(&mut self.slots[slot], idx),
+        }
+        let ops = self.occupancy.set(slot);
+        self.counters.charge_bitmap(ops);
+        self.counters.start_steps += steps;
+        steps
+    }
 }
 
 impl<T> TimerScheme<T> for HashedWheelSorted<T> {
@@ -116,26 +142,8 @@ impl<T> TimerScheme<T> for HashedWheelSorted<T> {
         };
         let (idx, handle) = self.arena.alloc(payload, deadline);
         self.arena.node_mut(idx).bucket = slot;
-        // Sorted insert from the front; ties keep FIFO start order by
-        // inserting after existing equal deadlines.
-        let mut at = self.slots[slot].first();
-        let mut steps = 0u64;
-        // tw-analyze: fact(loop_bounded, reason = "sorted-insert walk of one hash bucket: worst case n/slots entries, O(1) average per section 6.1.1 -- the documented START trade-off of Scheme 5, priced by the steps counter")
-        while let Some(cur) = at {
-            steps += 1;
-            if self.arena.node(cur).deadline > deadline {
-                break;
-            }
-            at = self.arena.next(cur);
-        }
-        match at {
-            Some(before) => self.arena.insert_before(&mut self.slots[slot], before, idx),
-            None => self.arena.push_back(&mut self.slots[slot], idx),
-        }
-        let ops = self.occupancy.set(slot);
-        self.counters.charge_bitmap(ops);
+        let steps = self.sorted_link(idx, slot, deadline);
         self.counters.starts += 1;
-        self.counters.start_steps += steps;
         self.counters.vax_instructions += self.cost.insert + steps * self.cost.decrement_step;
         Ok(handle)
     }
@@ -151,6 +159,42 @@ impl<T> TimerScheme<T> for HashedWheelSorted<T> {
         self.counters.stops += 1;
         self.counters.vax_instructions += self.cost.delete;
         Ok(self.arena.free(idx))
+    }
+
+    fn restart_timer(
+        &mut self,
+        handle: TimerHandle,
+        interval: TickDelta,
+    ) -> Result<(), TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
+        let idx = self.arena.resolve(handle)?;
+        // All validation passed — from here the restart cannot fail. Unlink
+        // from the current bucket; the node never touches the free list, so
+        // the client's handle (and its generation) stay valid.
+        let bucket = self.arena.node(idx).bucket;
+        self.arena.unlink(&mut self.slots[bucket], idx);
+        if self.slots[bucket].is_empty() {
+            let ops = self.occupancy.clear(bucket);
+            self.counters.charge_bitmap(ops);
+        }
+        let slot = match self.mask {
+            Some(mask) => deadline.slot_masked(mask),
+            None => deadline.slot_in(self.slots.len()),
+        };
+        self.arena.node_mut(idx).deadline = deadline;
+        self.arena.node_mut(idx).bucket = slot;
+        let steps = self.sorted_link(idx, slot, deadline);
+        self.counters.restarts += 1;
+        // One §7 delete plus the same sorted insert a fresh start would pay.
+        self.counters.vax_instructions +=
+            self.cost.delete + self.cost.insert + steps * self.cost.decrement_step;
+        Ok(())
     }
 
     fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
@@ -434,5 +478,50 @@ mod tests {
             w.start_timer(TickDelta::ZERO, ()),
             Err(TimerError::ZeroInterval)
         );
+    }
+
+    #[test]
+    fn restart_rearms_to_a_new_deadline_with_the_same_handle() {
+        let mut w: HashedWheelSorted<&str> = HashedWheelSorted::new(8);
+        let h = w.start_timer(TickDelta(3), "x").unwrap();
+        w.restart_timer(h, TickDelta(20)).unwrap();
+        assert!(w.collect_ticks(3).is_empty());
+        let fired = w.collect_ticks(17);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(20));
+        assert_eq!(fired[0].handle, h);
+        assert_eq!(w.counters().restarts, 1);
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+    }
+
+    #[test]
+    fn restart_keeps_the_bucket_sorted() {
+        let mut w: HashedWheelSorted<u64> = HashedWheelSorted::new(4);
+        // All in slot 0 with different rounds; then move the farthest to
+        // the middle, which must re-insert in sorted position.
+        let h = w.start_timer(TickDelta(16), 16).unwrap();
+        w.start_timer(TickDelta(4), 4).unwrap();
+        w.start_timer(TickDelta(12), 12).unwrap();
+        w.restart_timer(h, TickDelta(8)).unwrap();
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+        let fired = w.collect_ticks(12);
+        let got: Vec<u64> = fired.iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![4, 16, 12]);
+        assert_eq!(fired[1].fired_at, Tick(8));
+    }
+
+    #[test]
+    fn failed_restart_leaves_the_timer_armed() {
+        let mut w: HashedWheelSorted<()> = HashedWheelSorted::new(8);
+        let h = w.start_timer(TickDelta(4), ()).unwrap();
+        assert_eq!(
+            w.restart_timer(h, TickDelta::ZERO),
+            Err(TimerError::ZeroInterval)
+        );
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+        let fired = w.collect_ticks(4);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(4));
+        assert_eq!(w.restart_timer(h, TickDelta(1)), Err(TimerError::Stale));
     }
 }

@@ -184,6 +184,49 @@ impl<T> TimerScheme<T> for HashedWheelUnsorted<T> {
         Ok(self.arena.free(idx))
     }
 
+    fn restart_timer(
+        &mut self,
+        handle: TimerHandle,
+        interval: TickDelta,
+    ) -> Result<(), TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
+        let idx = self.arena.resolve(handle)?;
+        // All validation passed — from here the restart cannot fail. Unlink
+        // from the current bucket; the node never touches the free list, so
+        // the client's handle (and its generation) stay valid.
+        let bucket = self.arena.node(idx).bucket;
+        self.arena.unlink(&mut self.slots[bucket], idx);
+        if self.slots[bucket].is_empty() {
+            let ops = self.occupancy.clear(bucket);
+            self.counters.charge_bitmap(ops);
+        }
+        let slot = match self.mask {
+            Some(mask) => deadline.slot_masked(mask),
+            None => deadline.slot_in(self.slots.len()),
+        };
+        let rounds = (interval.as_u64() - 1) / ticks_of(self.slots.len());
+        {
+            let node = self.arena.node_mut(idx);
+            node.deadline = deadline;
+            node.aux = rounds;
+            node.bucket = slot;
+        }
+        self.arena.push_back(&mut self.slots[slot], idx);
+        let ops = self.occupancy.set(slot);
+        self.counters.charge_bitmap(ops);
+        self.counters.restarts += 1;
+        // Modeled as one §7 delete followed by one insert, matching the
+        // unlink+relink the update actually performs.
+        self.counters.vax_instructions += self.cost.delete + self.cost.insert;
+        Ok(())
+    }
+
     fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
         self.cursor = (self.cursor + 1) % self.slots.len();
         self.now = self.now.next();
@@ -530,5 +573,49 @@ mod tests {
     #[should_panic(expected = "at least one bucket")]
     fn zero_buckets_rejected() {
         let _: HashedWheelUnsorted<()> = HashedWheelUnsorted::new(0);
+    }
+
+    #[test]
+    fn restart_rearms_to_a_new_deadline_with_the_same_handle() {
+        let mut w: HashedWheelUnsorted<&str> = HashedWheelUnsorted::new(8);
+        let h = w.start_timer(TickDelta(3), "x").unwrap();
+        // Move across a rounds boundary: 3 ticks away → 20 ticks away.
+        w.restart_timer(h, TickDelta(20)).unwrap();
+        assert!(w.collect_ticks(3).is_empty());
+        let fired = w.collect_ticks(17);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(20));
+        assert_eq!(fired[0].handle, h);
+        assert_eq!(w.counters().restarts, 1);
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+    }
+
+    #[test]
+    fn restart_to_earlier_deadline_sheds_rounds() {
+        let mut w: HashedWheelUnsorted<()> = HashedWheelUnsorted::new(4);
+        // 3 rounds out, then pulled in to fire next tick.
+        let h = w.start_timer(TickDelta(13), ()).unwrap();
+        w.restart_timer(h, TickDelta(1)).unwrap();
+        let fired = w.collect_ticks(1);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(1));
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+    }
+
+    #[test]
+    fn failed_restart_leaves_the_timer_armed() {
+        let mut w: HashedWheelUnsorted<()> = HashedWheelUnsorted::new(8);
+        let h = w.start_timer(TickDelta(4), ()).unwrap();
+        assert_eq!(
+            w.restart_timer(h, TickDelta::ZERO),
+            Err(TimerError::ZeroInterval)
+        );
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+        let fired = w.collect_ticks(4);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(4));
+        // After firing the handle's generation is dead: restart must report
+        // staleness, never relink a freed node.
+        assert_eq!(w.restart_timer(h, TickDelta(1)), Err(TimerError::Stale));
     }
 }

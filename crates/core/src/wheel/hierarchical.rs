@@ -484,6 +484,73 @@ impl<T> TimerScheme<T> for HierarchicalWheel<T> {
         Ok(self.arena.free(idx))
     }
 
+    fn restart_timer(
+        &mut self,
+        handle: TimerHandle,
+        interval: TickDelta,
+    ) -> Result<(), TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let max = self.max_interval();
+        let (interval, park) = if interval <= max {
+            (interval, false)
+        } else {
+            match self.overflow_policy.apply(max)? {
+                Some(clamped) => (clamped, false),
+                None => (interval, true),
+            }
+        };
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
+        let idx = self.arena.resolve(handle)?;
+        // All validation passed — from here the restart cannot fail. Unlink
+        // from the current home (any level, or the overflow list); the node
+        // never touches the free list, so the client's handle (and its
+        // generation) stay valid.
+        let bucket = self.arena.node(idx).bucket;
+        if bucket == OVERFLOW_BUCKET {
+            self.arena.unlink(&mut self.overflow, idx);
+        } else {
+            let level = self.level_of_bucket(bucket);
+            // tw-analyze: fact(slot_bounded, reason = "bucket tags are only written by the insert paths from modular placement, and level_of_bucket proves base <= bucket < base + size, so the difference is a valid in-level slot")
+            let slot = bucket - self.levels[level].base;
+            self.arena.unlink(&mut self.levels[level].slots[slot], idx);
+            if self.levels[level].slots[slot].is_empty() {
+                let ops = self.levels[level].occupancy.clear(slot);
+                self.counters.charge_bitmap(ops);
+            }
+        }
+        self.arena.node_mut(idx).deadline = deadline;
+        self.counters.restarts += 1;
+        // Modeled as one §7 delete followed by one insert, matching the
+        // unlink+relink the update actually performs.
+        self.counters.vax_instructions += self.cost.delete + self.cost.insert;
+        if park {
+            let node = self.arena.node_mut(idx);
+            node.aux = deadline.as_u64();
+            node.bucket = OVERFLOW_BUCKET;
+            self.arena.push_back(&mut self.overflow, idx);
+            return Ok(());
+        }
+        let target = match self.migration_policy {
+            MigrationPolicy::Full | MigrationPolicy::Single => deadline.as_u64(),
+            MigrationPolicy::None => {
+                let level = self.pick_level(deadline.as_u64());
+                let g = self.levels[level].granularity;
+                Self::round_nearest(deadline.as_u64(), g).max(self.now.as_u64() + 1)
+            }
+        };
+        // A restart behaves like a fresh start, so the one-migration budget
+        // of `MigrationPolicy::Single` is granted anew: clear the flag
+        // before `place` (which preserves whatever flag bit is present).
+        self.arena.node_mut(idx).aux = 0;
+        self.place(idx, target);
+        Ok(())
+    }
+
     fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
         self.now = self.now.next();
         self.counters.ticks += 1;
@@ -1049,5 +1116,86 @@ mod tests {
             w.start_timer(TickDelta::ZERO, ()),
             Err(TimerError::ZeroInterval)
         );
+    }
+
+    #[test]
+    fn restart_rearms_across_levels_with_the_same_handle() {
+        let mut w: HierarchicalWheel<&str> = HierarchicalWheel::new(small());
+        // Starts at level 0, restarted into level 2 territory.
+        let h = w.start_timer(TickDelta(3), "x").unwrap();
+        w.restart_timer(h, TickDelta(400)).unwrap();
+        assert!(w.collect_ticks(3).is_empty());
+        let fired = w.collect_ticks(397);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(400));
+        assert_eq!(fired[0].handle, h);
+        assert_eq!(fired[0].error(), 0);
+        assert_eq!(w.counters().restarts, 1);
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+    }
+
+    #[test]
+    fn restart_moves_between_levels_and_overflow() {
+        let mut w: HierarchicalWheel<u32> = HierarchicalWheel::build(
+            small(),
+            InsertRule::Digit,
+            MigrationPolicy::Full,
+            OverflowPolicy::OverflowList,
+        );
+        let h = w.start_timer(TickDelta(2), 7).unwrap();
+        // In-range → overflow-parked (range is 512).
+        w.restart_timer(h, TickDelta(10_000)).unwrap();
+        assert_eq!(w.overflow_len(), 1);
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+        // Overflow-parked → back in range, pulled earlier.
+        w.restart_timer(h, TickDelta(5)).unwrap();
+        assert_eq!(w.overflow_len(), 0);
+        let fired = w.collect_ticks(5);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(5));
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+    }
+
+    #[test]
+    fn restart_grants_a_fresh_single_migration_budget() {
+        let sizes = LevelSizes(vec![16, 16, 16]);
+        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::build(
+            sizes,
+            InsertRule::Digit,
+            MigrationPolicy::Single,
+            OverflowPolicy::Reject,
+        );
+        let j = 256 * 3 + 37;
+        let h = w.start_timer(TickDelta(j), j).unwrap();
+        // Let the timer take its one allowed migration, then restart it:
+        // the budget resets, so the rounding error stays within the
+        // one-migration bound (|error| ≤ 8 for a 16-tick middle level).
+        w.advance_to(Tick(512));
+        w.restart_timer(h, TickDelta(256 * 2 + 37)).unwrap();
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+        let fired = w.advance_to(Tick(512 + 256 * 3));
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].error().abs() <= 8, "error {}", fired[0].error());
+    }
+
+    #[test]
+    fn failed_restart_leaves_the_timer_armed() {
+        let mut w: HierarchicalWheel<()> = HierarchicalWheel::new(small());
+        let h = w.start_timer(TickDelta(4), ()).unwrap();
+        assert_eq!(
+            w.restart_timer(h, TickDelta::ZERO),
+            Err(TimerError::ZeroInterval)
+        );
+        assert_eq!(
+            w.restart_timer(h, TickDelta(512)),
+            Err(TimerError::IntervalOutOfRange {
+                max: TickDelta(511)
+            })
+        );
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+        let fired = w.collect_ticks(4);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(4));
+        assert_eq!(w.restart_timer(h, TickDelta(1)), Err(TimerError::Stale));
     }
 }

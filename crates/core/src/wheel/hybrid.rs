@@ -179,6 +179,47 @@ impl<T> TimerScheme<T> for HybridWheel<T> {
         Ok(self.arena.free(idx))
     }
 
+    fn restart_timer(
+        &mut self,
+        handle: TimerHandle,
+        interval: TickDelta,
+    ) -> Result<(), TimerError> {
+        if interval.is_zero() {
+            return Err(TimerError::ZeroInterval);
+        }
+        let deadline = self
+            .now
+            .checked_add_delta(interval)
+            .ok_or(TimerError::DeadlineOverflow)?;
+        let idx = self.arena.resolve(handle)?;
+        // All validation passed — from here the restart cannot fail. Unlink
+        // from the current side (wheel slot or far list); the node never
+        // touches the free list, so the client's handle (and its
+        // generation) stay valid.
+        let bucket = self.arena.node(idx).bucket;
+        if bucket == FAR_BUCKET {
+            self.arena.unlink(&mut self.far, idx);
+        } else {
+            self.arena.unlink(&mut self.slots[bucket], idx);
+            if self.slots[bucket].is_empty() {
+                let ops = self.occupancy.clear(bucket);
+                self.counters.charge_bitmap(ops);
+            }
+        }
+        self.arena.node_mut(idx).deadline = deadline;
+        if interval <= self.wheel_range() {
+            self.enqueue_wheel(idx);
+        } else {
+            self.insert_far(idx, deadline);
+        }
+        self.counters.restarts += 1;
+        // Modeled as one §7 delete followed by one insert (plus any
+        // sorted-walk steps `insert_far` charged), matching the
+        // unlink+relink the update actually performs.
+        self.counters.vax_instructions += self.cost.delete + self.cost.insert;
+        Ok(())
+    }
+
     fn tick(&mut self, expired: &mut dyn FnMut(Expired<T>)) {
         self.cursor = (self.cursor + 1) % self.slots.len();
         self.now = self.now.next();
@@ -473,5 +514,54 @@ mod tests {
             w.start_timer(TickDelta::ZERO, ()),
             Err(TimerError::ZeroInterval)
         );
+    }
+
+    #[test]
+    fn restart_rearms_to_a_new_deadline_with_the_same_handle() {
+        let mut w: HybridWheel<&str> = HybridWheel::new(8);
+        let h = w.start_timer(TickDelta(3), "x").unwrap();
+        w.restart_timer(h, TickDelta(6)).unwrap();
+        assert!(w.collect_ticks(3).is_empty());
+        let fired = w.collect_ticks(3);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(6));
+        assert_eq!(fired[0].handle, h);
+        assert_eq!(w.counters().restarts, 1);
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+    }
+
+    #[test]
+    fn restart_moves_between_wheel_and_far_list() {
+        let mut w: HybridWheel<u32> = HybridWheel::new(8);
+        // Keep the far list non-trivial so the sorted re-insert is real.
+        w.start_timer(TickDelta(40), 40).unwrap();
+        w.start_timer(TickDelta(90), 90).unwrap();
+        let h = w.start_timer(TickDelta(2), 7).unwrap();
+        // Wheel → far list, landing between the two residents.
+        w.restart_timer(h, TickDelta(60)).unwrap();
+        assert_eq!(w.far_len(), 3);
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+        // Far list → back onto the wheel.
+        w.restart_timer(h, TickDelta(5)).unwrap();
+        assert_eq!(w.far_len(), 2);
+        let fired = w.collect_ticks(5);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(5));
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+    }
+
+    #[test]
+    fn failed_restart_leaves_the_timer_armed() {
+        let mut w: HybridWheel<()> = HybridWheel::new(8);
+        let h = w.start_timer(TickDelta(4), ()).unwrap();
+        assert_eq!(
+            w.restart_timer(h, TickDelta::ZERO),
+            Err(TimerError::ZeroInterval)
+        );
+        crate::validate::InvariantCheck::check_invariants(&w).unwrap();
+        let fired = w.collect_ticks(4);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].fired_at, Tick(4));
+        assert_eq!(w.restart_timer(h, TickDelta(1)), Err(TimerError::Stale));
     }
 }

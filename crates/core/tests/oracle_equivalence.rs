@@ -152,6 +152,9 @@ enum UpdateOp {
     /// interval.
     Restart(usize, u64),
     Tick,
+    /// Jump the clock forward by this many ticks via `advance_to_with`, so
+    /// restarts interleave with the batched-advance path too.
+    Advance(u64),
 }
 
 fn update_op_strategy(max_interval: u64) -> impl Strategy<Value = UpdateOp> {
@@ -159,7 +162,8 @@ fn update_op_strategy(max_interval: u64) -> impl Strategy<Value = UpdateOp> {
         3 => (1..=max_interval).prop_map(UpdateOp::Start),
         1 => any::<usize>().prop_map(UpdateOp::Stop),
         4 => (any::<usize>(), 1..=max_interval).prop_map(|(k, j)| UpdateOp::Restart(k, j)),
-        4 => Just(UpdateOp::Tick),
+        3 => Just(UpdateOp::Tick),
+        1 => (1..=40u64).prop_map(UpdateOp::Advance),
     ]
 }
 
@@ -211,6 +215,21 @@ fn check_update_equivalence<S: TimerScheme<u64>>(
                 got.sort_unstable();
                 want.sort_unstable();
                 prop_assert_eq!(&got, &want, "expiry divergence at t={}", scheme.now());
+                live.retain(|(_, _, id)| !got.iter().any(|(p, ..)| p == id));
+            }
+            UpdateOp::Advance(gap) => {
+                let deadline = Tick(scheme.now().as_u64() + gap);
+                let mut got = Vec::new();
+                scheme.advance_to_with(deadline, &mut |e| {
+                    got.push((e.payload, e.fired_at, e.deadline, e.error()));
+                });
+                let mut want = Vec::new();
+                oracle.advance_to_with(deadline, &mut |e| {
+                    want.push((e.payload, e.fired_at, e.deadline, e.error()));
+                });
+                got.sort_unstable();
+                want.sort_unstable();
+                prop_assert_eq!(&got, &want, "advance divergence at t={}", scheme.now());
                 live.retain(|(_, _, id)| !got.iter().any(|(p, ..)| p == id));
             }
         }
@@ -471,6 +490,205 @@ fn env_cases(default: u32) -> u32 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(env_cases(64)))]
+
+    // T-RESTART campaign: every update-capable scheme (not just BasicWheel)
+    // runs the mixed start/stop/restart/advance alphabet against the serial
+    // oracle. Interval ceilings are chosen so restarts cross every structural
+    // boundary the scheme has — slot rows, levels, the overflow list, the
+    // hybrid far list. `TW_PROPTEST_CASES` elevates the sweep in scheduled CI.
+
+    #[test]
+    fn hashed_sorted_restart_matches_oracle(
+        ops in proptest::collection::vec(update_op_strategy(500), 1..300),
+    ) {
+        check_update_equivalence(harness(HashedWheelSorted::<u64>::new(16)), ops)?;
+    }
+
+    #[test]
+    fn hashed_unsorted_restart_matches_oracle(
+        ops in proptest::collection::vec(update_op_strategy(500), 1..300),
+    ) {
+        check_update_equivalence(harness(HashedWheelUnsorted::<u64>::new(16)), ops)?;
+    }
+
+    /// Table size 1 degenerates to a single sorted list: restart becomes a
+    /// remove + ordered re-insert in the same row, the worst case for the
+    /// sorted scheme's relink.
+    #[test]
+    fn hashed_sorted_tiny_table_restart_matches_oracle(
+        ops in proptest::collection::vec(update_op_strategy(100), 1..200),
+    ) {
+        check_update_equivalence(harness(HashedWheelSorted::<u64>::new(1)), ops)?;
+    }
+
+    #[test]
+    fn hierarchical_digit_restart_matches_oracle(
+        ops in proptest::collection::vec(update_op_strategy(511), 1..300),
+    ) {
+        check_update_equivalence(
+            harness(HierarchicalWheel::<u64>::new(LevelSizes(vec![8, 8, 8]))),
+            ops,
+        )?;
+    }
+
+    #[test]
+    fn hierarchical_covering_restart_matches_oracle(
+        ops in proptest::collection::vec(update_op_strategy(511), 1..300),
+    ) {
+        check_update_equivalence(
+            harness(hierarchy888(
+                InsertRule::Covering,
+                MigrationPolicy::Full,
+                OverflowPolicy::Reject,
+            )),
+            ops,
+        )?;
+    }
+
+    /// Restart-past-overflow: range 512, intervals up to 4000, so restarts
+    /// shuttle timers between the wheel levels and the overflow list in both
+    /// directions.
+    #[test]
+    fn hierarchical_overflow_restart_matches_oracle(
+        ops in proptest::collection::vec(update_op_strategy(4000), 1..200),
+    ) {
+        check_update_equivalence(
+            harness(hierarchy888(
+                InsertRule::Digit,
+                MigrationPolicy::Full,
+                OverflowPolicy::OverflowList,
+            )),
+            ops,
+        )?;
+    }
+
+    /// 8-slot wheel with intervals up to 500: most restarts move timers
+    /// between the wheel proper and the sorted far list.
+    #[test]
+    fn hybrid_restart_matches_oracle(
+        ops in proptest::collection::vec(update_op_strategy(500), 1..300),
+    ) {
+        check_update_equivalence(harness(HybridWheel::<u64>::new(8)), ops)?;
+    }
+
+    #[test]
+    fn clockwork_restart_matches_oracle(
+        ops in proptest::collection::vec(update_op_strategy(511), 1..300),
+    ) {
+        check_update_equivalence(
+            harness(ClockworkWheel::<u64>::new(LevelSizes(vec![8, 8, 8]))),
+            ops,
+        )?;
+    }
+
+    /// The observer wrapper must forward restarts transparently (and fire
+    /// its `on_restart` hook without perturbing the trace).
+    #[test]
+    fn observed_restart_matches_oracle(
+        ops in proptest::collection::vec(update_op_strategy(500), 1..300),
+    ) {
+        check_update_equivalence(
+            harness(Observed::new(HashedWheelUnsorted::<u64>::new(16), NoopObserver)),
+            ops,
+        )?;
+    }
+}
+
+/// Restart-to-earlier-deadline, deterministically, on every scheme: a timer
+/// armed far out and re-armed to (now + 3) must fire at exactly that earlier
+/// tick — the relink cannot leave a ghost at the original deadline.
+#[test]
+fn restart_to_earlier_deadline_fires_early_everywhere() {
+    // Callers pass the scheme pre-wrapped through `harness`, so the same
+    // body serves both the bare and the `--features checked` builds.
+    fn check<S: TimerScheme<u64>>(mut s: S, name: &str) {
+        let h = s.start_timer(TickDelta(400), 7).unwrap();
+        s.restart_timer(h, TickDelta(3)).unwrap();
+        let mut fired = Vec::new();
+        s.advance_to_with(Tick(3), &mut |e| fired.push((e.payload, e.fired_at)));
+        assert_eq!(fired, vec![(7, Tick(3))], "{name}: early restart misfired");
+        assert_eq!(s.outstanding(), 0, "{name}: ghost left at the old deadline");
+        // The old deadline must stay silent.
+        s.advance_to_with(Tick(500), &mut |e| {
+            panic!(
+                "{name}: ghost fired payload {} at {:?}",
+                e.payload, e.fired_at
+            )
+        });
+    }
+    check(harness(OracleScheme::<u64>::new()), "oracle");
+    check(harness(BasicWheel::<u64>::new(512)), "basic");
+    check(harness(basic_overflow(8)), "basic+overflow");
+    check(harness(HashedWheelSorted::<u64>::new(16)), "hashed-sorted");
+    check(
+        harness(HashedWheelUnsorted::<u64>::new(16)),
+        "hashed-unsorted",
+    );
+    check(
+        harness(HierarchicalWheel::<u64>::new(LevelSizes(vec![8, 8, 8]))),
+        "hierarchical",
+    );
+    check(
+        harness(hierarchy888(
+            InsertRule::Covering,
+            MigrationPolicy::Full,
+            OverflowPolicy::Reject,
+        )),
+        "hierarchical-covering",
+    );
+    check(
+        harness(hierarchy888(
+            InsertRule::Digit,
+            MigrationPolicy::Full,
+            OverflowPolicy::OverflowList,
+        )),
+        "hierarchical+overflow",
+    );
+    check(harness(HybridWheel::<u64>::new(8)), "hybrid");
+    check(
+        harness(ClockworkWheel::<u64>::new(LevelSizes(vec![8, 8, 8]))),
+        "clockwork",
+    );
+    check(
+        harness(Observed::new(
+            HashedWheelUnsorted::<u64>::new(16),
+            NoopObserver,
+        )),
+        "observed",
+    );
+}
+
+/// Restart-past-overflow round trip: an in-range timer pushed beyond the
+/// hierarchy's 512-tick span onto the overflow list, then pulled back to an
+/// immediate deadline. Both relinks must be exact — no firing from the old
+/// positions, one firing at the final one.
+#[test]
+fn restart_across_overflow_boundary_round_trips() {
+    let mut s = harness(hierarchy888(
+        InsertRule::Digit,
+        MigrationPolicy::Full,
+        OverflowPolicy::OverflowList,
+    ));
+    let h = s.start_timer(TickDelta(5), 1).unwrap();
+    // Out past the wheel span: the relink must land on the overflow list.
+    s.restart_timer(h, TickDelta(4000)).unwrap();
+    s.advance_to_with(Tick(600), &mut |e| {
+        panic!("fired {} inside the vacated window", e.payload)
+    });
+    assert_eq!(s.outstanding(), 1);
+    // And back in range: the overflow entry must unlink cleanly.
+    s.restart_timer(h, TickDelta(2)).unwrap();
+    let mut fired = Vec::new();
+    s.advance_to_with(Tick(602), &mut |e| fired.push((e.payload, e.fired_at)));
+    assert_eq!(fired, vec![(1, Tick(602))]);
+    assert_eq!(s.outstanding(), 0);
+    s.advance_to_with(Tick(5000), &mut |e| {
+        panic!("ghost fired {} from the overflow list", e.payload)
+    });
 }
 
 /// One step of a random workload for the batched-advance differential:
@@ -764,7 +982,7 @@ fn checked_schemes_survive_10k_op_churn() {
         let mut live: Vec<TimerHandle> = Vec::new();
         let mut id = 0u64;
         for _ in 0..10_000 {
-            match rng.gen_range(0u32..9) {
+            match rng.gen_range(0u32..12) {
                 // Start (weight 3): any interval in the scheme's range.
                 0..=2 => {
                     let j = rng.gen_range(1..=max_interval);
@@ -780,6 +998,17 @@ fn checked_schemes_survive_10k_op_churn() {
                         let k = rng.gen_range(0usize..live.len());
                         let h = live.swap_remove(k);
                         w.stop_timer(h).unwrap();
+                    }
+                }
+                // Restart (weight 3): re-arm a uniformly random outstanding
+                // timer to a fresh in-range interval; the handle survives.
+                5..=7 => {
+                    if !live.is_empty() {
+                        let k = rng.gen_range(0usize..live.len());
+                        let j = rng.gen_range(1..=max_interval);
+                        w.restart_timer(live[k], TickDelta(j)).unwrap_or_else(|e| {
+                            panic!("{name}: restart_timer({j}) rejected in range: {e:?}")
+                        });
                     }
                 }
                 // Tick (weight 4).

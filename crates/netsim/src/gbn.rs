@@ -82,8 +82,12 @@ pub struct GbnMetrics {
     pub delivered: u64,
     /// Data transmissions beyond each segment's first send.
     pub retransmissions: u64,
-    /// Timer starts (arm + restart).
+    /// Fresh timer arms (first send of a window, or re-arm after a stale
+    /// handle).
     pub timer_starts: u64,
+    /// Timer UPDATEs: the retransmission timer re-armed in place by a
+    /// cumulative ack — one relink, not a stop + start pair.
+    pub timer_restarts: u64,
     /// Timers stopped before expiry.
     pub timer_stops: u64,
     /// Retransmission timeouts that fired.
@@ -194,6 +198,23 @@ impl<S: TimerScheme<GbnEvent>> GbnSim<S> {
         }
     }
 
+    /// UPDATE on ack progress: re-arms the connection's single timer for a
+    /// fresh RTO with one relink, keeping the handle. Falls back to a fresh
+    /// arm only when there is no timer or the handle went stale (its
+    /// timeout fired in the same expiry batch as the ack).
+    fn restart_or_arm(&mut self, conn: u32) {
+        if let Some(h) = self.conns[conn as usize].timer {
+            match self.scheme.restart_timer(h, TickDelta(self.cfg.rto)) {
+                Ok(()) => {
+                    self.metrics.timer_restarts += 1;
+                    return;
+                }
+                Err(_) => self.conns[conn as usize].timer = None,
+            }
+        }
+        self.arm_timer(conn);
+    }
+
     /// Sends fresh segments up to the window limit; arms the timer if
     /// anything is in flight and it is not already running.
     fn fill_window(&mut self, conn: u32) {
@@ -235,15 +256,17 @@ impl<S: TimerScheme<GbnEvent>> GbnSim<S> {
                     return;
                 }
                 c.base = n;
-                // The single timer covers the oldest unacked segment:
-                // restart it on progress, drop it when the window empties.
-                self.disarm_timer(conn);
-                if self.conns[conn as usize].base >= self.cfg.segments_per_conn {
+                if c.base >= self.cfg.segments_per_conn {
+                    self.disarm_timer(conn);
                     self.conns[conn as usize].done = true;
                     self.metrics.finished += 1;
                     self.metrics.finished_at = self.scheme.now().as_u64();
                     return;
                 }
+                // The single timer covers the oldest unacked segment: every
+                // ack with progress UPDATEs it in place — the §1 "restart
+                // on every ack" discipline — instead of stop + start.
+                self.restart_or_arm(conn);
                 self.fill_window(conn);
             }
             GbnEvent::ToServer(_, GbnSegment::Ack(_))
@@ -327,7 +350,8 @@ mod tests {
 
     #[test]
     fn single_timer_per_connection_restarted_on_progress() {
-        // Timer churn = one start per window progress, not per segment.
+        // Timer discipline: ONE fresh arm per connection, every subsequent
+        // ack an UPDATE in place, one stop at completion.
         let cfg = GbnConfig {
             loss: 0.0,
             window: 16,
@@ -336,11 +360,13 @@ mod tests {
         };
         let mut sim = GbnSim::new(wheel(), 1, cfg);
         let m = sim.run(Tick(1_000_000)).clone();
-        // With cumulative acks arriving per segment, restarts ≤ acks; what
-        // matters is starts ≪ 1/segment of stop-and-wait-with-per-segment
-        // timers would give for the same delivery count under window 16.
-        assert!(m.timer_starts <= m.delivered + 1);
-        assert!(m.timer_stops >= m.timer_starts - 1, "almost all stopped");
+        assert_eq!(m.timer_starts, 1, "one fresh arm for the whole transfer");
+        assert_eq!(
+            m.timer_restarts,
+            m.delivered - 1,
+            "every progressing ack but the last restarts the timer in place"
+        );
+        assert_eq!(m.timer_stops, 1, "one disarm when the window empties");
     }
 
     #[test]

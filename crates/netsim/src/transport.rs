@@ -5,9 +5,10 @@
 //! server with 200 connections and 3 timers per connection". Each
 //! connection here uses four timers —
 //!
-//! * **retransmission** (started per segment, usually stopped by the ack:
-//!   the "rarely expire" failure-recovery class),
-//! * **keepalive** (restarted on every ack),
+//! * **retransmission** (armed with the first segment, then *re-armed in
+//!   place* by every ack that advances the window: the "rarely expire"
+//!   failure-recovery class, driven by UPDATE rather than STOP + START),
+//! * **keepalive** (likewise restarted in place on every ack),
 //! * **delayed ack** (receiver side),
 //! * **time-wait** (connection teardown: always expires),
 //!
@@ -130,8 +131,12 @@ pub struct NetMetrics {
     pub probes: u64,
     /// Acks sent by the receiver side.
     pub acks_sent: u64,
-    /// Protocol timers started.
+    /// Protocol timers started fresh (first arm, or re-arm after the old
+    /// handle went stale).
     pub timer_starts: u64,
+    /// Timer UPDATEs: a pending retransmission or keepalive timer re-armed
+    /// in place by an ack — one relink, not a stop + start pair.
+    pub timer_restarts: u64,
     /// Protocol timers stopped before expiry.
     pub timer_stops: u64,
     /// Protocol timers that expired.
@@ -243,11 +248,42 @@ impl<S: TimerScheme<Event>> NetSim<S> {
         self.conns[conn as usize].retransmit = Some(h);
     }
 
+    /// Re-arms the keepalive: a pure relink (UPDATE) when a probe timer is
+    /// still pending, a fresh START otherwise.
     fn restart_keepalive(&mut self, conn: u32) {
-        let old = self.conns[conn as usize].keepalive.take();
-        self.stop_protocol_timer(old);
+        if let Some(h) = self.conns[conn as usize].keepalive {
+            if self
+                .scheme
+                .restart_timer(h, TickDelta(self.cfg.keepalive))
+                .is_ok()
+            {
+                self.metrics.timer_restarts += 1;
+                return;
+            }
+            // Stale handle: the keepalive fired in the same expiry batch as
+            // this ack. Fall through to a fresh arm.
+            self.conns[conn as usize].keepalive = None;
+        }
         let h = self.start_protocol_timer(conn, TimerKind::KeepAlive, self.cfg.keepalive);
         self.conns[conn as usize].keepalive = Some(h);
+    }
+
+    /// Transmits `seq` and re-arms the retransmission timer: a pure relink
+    /// (UPDATE) when the previous segment's timer is still pending, a fresh
+    /// START only when it is not (the timeout fired in the same expiry batch
+    /// as the ack that advanced the window).
+    fn send_next_data(&mut self, conn: u32, seq: u64) {
+        if let Some(h) = self.conns[conn as usize].retransmit {
+            let backoff = self.conns[conn as usize].backoff.min(self.cfg.max_backoff);
+            let rto = self.cfg.rto << backoff;
+            if self.scheme.restart_timer(h, TickDelta(rto)).is_ok() {
+                self.metrics.timer_restarts += 1;
+                self.transmit(Event::ToServer(conn, Segment::Data(seq)));
+                return;
+            }
+            self.conns[conn as usize].retransmit = None;
+        }
+        self.send_data(conn, seq);
     }
 
     fn handle(&mut self, event: Event) {
@@ -308,21 +344,23 @@ impl<S: TimerScheme<Event>> NetSim<S> {
         }
         c.acked = n;
         c.backoff = 0;
-        let rt = c.retransmit.take();
-        self.stop_protocol_timer(rt);
-        self.restart_keepalive(conn);
         if n >= self.cfg.segments_per_conn {
-            // All data acknowledged: enter TIME-WAIT.
+            // All data acknowledged: enter TIME-WAIT. The retransmission
+            // and keepalive timers die for real here — the one place STOP
+            // is still the right operation.
             let c = &mut self.conns[conn as usize];
             c.state = ConnState::TimeWait;
+            let rt = c.retransmit.take();
             let ka = c.keepalive.take();
+            self.stop_protocol_timer(rt);
             self.stop_protocol_timer(ka);
             let h = self.start_protocol_timer(conn, TimerKind::TimeWait, self.cfg.time_wait);
             self.conns[conn as usize].time_wait = Some(h);
         } else {
-            let seq = n;
-            self.conns[conn as usize].next_seq = seq;
-            self.send_data(conn, seq);
+            // Progress: both ack-driven timers are re-armed in place.
+            self.restart_keepalive(conn);
+            self.conns[conn as usize].next_seq = n;
+            self.send_next_data(conn, n);
         }
     }
 
@@ -407,9 +445,10 @@ mod tests {
     }
 
     #[test]
-    fn most_timers_are_stopped_not_expired() {
-        // §1: acknowledgment timers are "almost always" stopped before they
-        // expire; under mild loss, stops dominate expiries.
+    fn most_timers_are_defused_not_expired() {
+        // §1: acknowledgment timers "almost always" never expire. With
+        // restart-on-ack the dominant defusing operation is UPDATE (re-arm
+        // in place), not STOP; together they dwarf expiries under mild loss.
         let cfg = NetConfig {
             loss: 0.02,
             ..quick_cfg()
@@ -417,11 +456,36 @@ mod tests {
         let mut sim = NetSim::new(HashedWheelUnsorted::new(256), 16, cfg);
         let m = sim.run(Tick(5_000_000)).clone();
         assert!(
-            m.timer_stops > m.timer_expiries,
-            "stops {} vs expiries {}",
+            m.timer_restarts + m.timer_stops > m.timer_expiries,
+            "restarts {} + stops {} vs expiries {}",
+            m.timer_restarts,
             m.timer_stops,
             m.timer_expiries
         );
+        assert!(
+            m.timer_restarts > m.timer_stops,
+            "acks re-arm in place: restarts {} should dominate stops {}",
+            m.timer_restarts,
+            m.timer_stops
+        );
+    }
+
+    #[test]
+    fn acks_restart_timers_in_place() {
+        // Lossless single connection, 20 segments: the first segment STARTs
+        // the retransmission and keepalive timers; acks 1..=19 each re-arm
+        // both in place (38 UPDATEs); the final ack STOPs both on the way
+        // into TIME-WAIT. No retransmissions, exactly two stops.
+        let cfg = NetConfig {
+            loss: 0.0,
+            ..quick_cfg()
+        };
+        let mut sim = NetSim::new(HashedWheelUnsorted::new(256), 1, cfg);
+        let m = sim.run(Tick(1_000_000)).clone();
+        assert_eq!(m.closed, 1);
+        assert_eq!(m.timer_restarts, 38, "19 acks x (retransmit + keepalive)");
+        assert_eq!(m.timer_stops, 2, "only TIME-WAIT entry stops timers");
+        assert_eq!(m.retransmissions, 0);
     }
 
     #[test]
@@ -481,7 +545,18 @@ mod tests {
         assert_eq!(m.closed, 200);
         assert_eq!(m.delivered, 200 * 5);
         // 200 conns × (per-segment retransmit + keepalives + acks + final
-        // time-wait): thousands of timer ops through the wheel.
-        assert!(m.timer_starts > 2_000, "starts {}", m.timer_starts);
+        // time-wait): thousands of timer ops through the wheel, most of
+        // them in-place UPDATEs now that acks re-arm rather than stop+start.
+        assert!(
+            m.timer_starts + m.timer_restarts > 2_000,
+            "starts {} + restarts {}",
+            m.timer_starts,
+            m.timer_restarts
+        );
+        // Every window-advancing ack re-arms two timers in place: with 200
+        // conns × 5 segments that is on the order of 200 × 4 × 2 UPDATEs
+        // (delayed-ack timers still START fresh each delivery, so raw starts
+        // stay comparable).
+        assert!(m.timer_restarts > 1_000, "restarts {}", m.timer_restarts);
     }
 }

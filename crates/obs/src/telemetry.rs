@@ -64,6 +64,10 @@ pub struct SchemeTelemetry {
     pub starts: Counter,
     /// Successful `STOP_TIMER` calls.
     pub stops: Counter,
+    /// Successful `UPDATE` (restart) calls. Restarts are counted on their
+    /// own — never as a stop plus a start — so a transport's ACK-driven
+    /// re-arm traffic is distinguishable from genuine timer churn.
+    pub restarts: Counter,
     /// Timers delivered to `EXPIRY_PROCESSING`.
     pub fires: Counter,
     /// Tick windows closed (one per `tick` call or batched sweep).
@@ -86,6 +90,7 @@ impl SchemeTelemetry {
         SchemeTelemetry {
             starts: Counter::new(),
             stops: Counter::new(),
+            restarts: Counter::new(),
             fires: Counter::new(),
             windows: Counter::new(),
             ticks: Counter::new(),
@@ -106,6 +111,7 @@ impl SchemeTelemetry {
     pub fn reset(&self) {
         self.starts.reset();
         self.stops.reset();
+        self.restarts.reset();
         self.fires.reset();
         self.windows.reset();
         self.ticks.reset();
@@ -120,6 +126,7 @@ impl SchemeTelemetry {
         let mut s = Snapshot::new("scheme");
         s.counter("starts", self.starts.get());
         s.counter("stops", self.stops.get());
+        s.counter("restarts", self.restarts.get());
         s.counter("fires", self.fires.get());
         s.counter("windows", self.windows.get());
         s.counter("ticks", self.ticks.get());
@@ -136,6 +143,10 @@ impl Observer for SchemeTelemetry {
 
     fn on_stop(&self, _now: Tick) {
         self.stops.incr();
+    }
+
+    fn on_restart(&self, _now: Tick, _interval: TickDelta) {
+        self.restarts.incr();
     }
 
     fn on_fire(&self, deadline: Tick, fired_at: Tick) {
@@ -229,6 +240,10 @@ impl Observer for ServiceTelemetry {
         self.scheme.on_stop(now);
     }
 
+    fn on_restart(&self, now: Tick, interval: TickDelta) {
+        self.scheme.on_restart(now, interval);
+    }
+
     fn on_fire(&self, deadline: Tick, fired_at: Tick) {
         self.scheme.on_fire(deadline, fired_at);
     }
@@ -281,9 +296,11 @@ mod tests {
         }
         let stopped = w.stop_timer(handles[4]).unwrap();
         assert_eq!(stopped, 5);
+        w.restart_timer(handles[5], TickDelta(30)).unwrap();
         let fired = w.collect_ticks(64);
         assert_eq!(tele.starts.get(), 20);
         assert_eq!(tele.stops.get(), 1);
+        assert_eq!(tele.restarts.get(), 1, "UPDATE is its own counter");
         assert_eq!(tele.fires.get(), fired.len() as u64);
         assert_eq!(tele.fires.get(), 19);
         assert_eq!(tele.windows.get(), 64);

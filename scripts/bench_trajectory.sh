@@ -5,12 +5,14 @@
 # and the bitmap_sparse headline rows (DESIGN.md section 7.4); BENCH_07
 # adds the per-pass analyzer split (per-file rules vs summaries vs
 # interprocedural cost rules vs each cfg-matrix leg) now that the cost
-# lattice and the TW013 matrix dominate the gate's budget.
+# lattice and the TW013 matrix dominate the gate's budget; BENCH_08 adds
+# the T-RESTART ack_heavy rows (UPDATE vs STOP+START per scheme) now that
+# restart_timer is a first-class operation everywhere.
 #
-# Usage: scripts/bench_trajectory.sh [out.json]   (default BENCH_07.json)
+# Usage: scripts/bench_trajectory.sh [out.json]   (default BENCH_08.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_07.json}"
+out="${1:-BENCH_08.json}"
 
 cargo build --release -p tw-analyze -p tw-bench >&2
 
@@ -19,15 +21,17 @@ cargo build --release -p tw-analyze -p tw-bench >&2
 analyze_json=$(mktemp)
 analyze_err=$(mktemp)
 bitmap_txt=$(mktemp)
-trap 'rm -f "$analyze_json" "$analyze_err" "$bitmap_txt"' EXIT
+ack_txt=$(mktemp)
+trap 'rm -f "$analyze_json" "$analyze_err" "$bitmap_txt" "$ack_txt"' EXIT
 ./target/release/tw-analyze --workspace --json >"$analyze_json" 2>"$analyze_err"
 analyze_ms=$(sed -n 's/.*analysis completed in \([0-9.]*\) ms.*/\1/p' "$analyze_err")
 files=$(./target/release/tw-analyze --workspace 2>/dev/null |
     sed -n 's/tw-analyze: \([0-9]*\) file(s).*/\1/p')
 
 ./target/release/bitmap_sparse >"$bitmap_txt"
+./target/release/ack_heavy >"$ack_txt"
 
-python3 - "$out" "$analyze_ms" "$files" "$analyze_json" "$bitmap_txt" <<'EOF'
+python3 - "$out" "$analyze_ms" "$files" "$analyze_json" "$bitmap_txt" "$ack_txt" <<'EOF'
 import json
 import sys
 
@@ -51,19 +55,44 @@ for line in open(sys.argv[5]):
             }
         )
 assert rows, "no bitmap_sparse data rows parsed"
+ack_rows = []
+for line in open(sys.argv[6]):
+    parts = line.split()
+    # Data rows: "<scheme> <timers> <updates> <restart> <stopstart> <speedup>"
+    if len(parts) == 6 and "(" in parts[0] and parts[1].isdigit():
+        ack_rows.append(
+            {
+                "scheme": parts[0],
+                "timers": int(parts[1]),
+                "updates": int(parts[2]),
+                "restart_ns": float(parts[3]),
+                "stopstart_ns": float(parts[4]),
+                "speedup": float(parts[5]),
+            }
+        )
+assert ack_rows, "no ack_heavy data rows parsed"
+# T-RESTART acceptance: the in-place update must beat the stop+start pair
+# on the hierarchical and hybrid schemes at minimum.
+for must_win in ("hier", "hybrid"):
+    winners = [r for r in ack_rows if must_win in r["scheme"]]
+    assert winners, f"ack_heavy rows missing a {must_win} scheme"
+    for r in winners:
+        assert r["speedup"] > 1.0, f"restart lost on {r['scheme']}: {r}"
 doc = {
     "series": "bench-trajectory",
-    "pr": 7,
+    "pr": 8,
     "tw_analyze": {
         "files_scanned": files,
         "wall_ms": analyze_ms,
         "passes_ms": passes,
     },
     "bitmap_sparse": rows,
+    "ack_heavy": ack_rows,
 }
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {out}: tw-analyze {analyze_ms} ms over {files} files "
-      f"({len(passes)} passes), {len(rows)} bitmap_sparse rows")
+      f"({len(passes)} passes), {len(rows)} bitmap_sparse rows, "
+      f"{len(ack_rows)} ack_heavy rows")
 EOF
