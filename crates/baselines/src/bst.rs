@@ -68,7 +68,7 @@ impl<T> UnbalancedBstScheme<T> {
         h(&self.nodes, self.root)
     }
 
-    fn alloc_node(&mut self, key: Tick, parent: u32) -> u32 {
+    fn alloc_node(&mut self, key: Tick, parent: u32) -> Result<u32, TimerError> {
         let node = BstNode {
             key,
             left: NIL,
@@ -78,27 +78,29 @@ impl<T> UnbalancedBstScheme<T> {
         };
         if let Some(i) = self.free.pop() {
             self.nodes[i as usize] = node;
-            i
+            Ok(i)
         } else {
             let i = match u32::try_from(self.nodes.len()) {
                 // NIL (u32::MAX) is the sentinel and must never name a node.
                 Ok(i) if i != NIL => i,
-                // tw-analyze: allow(TW002, reason = "capacity ceiling of NIL - 1 tree nodes is a hard structural limit mirroring TimerArena's documented alloc panic; no TimerError variant expresses exhaustion")
-                _ => panic!("bst node count exceeds u32"),
+                // The tree shares the arena's degradation contract: at the
+                // NIL - 1 structural ceiling the insert is refused, not the
+                // process aborted.
+                _ => return Err(TimerError::Exhausted),
             };
             self.nodes.push(node);
-            i
+            Ok(i)
         }
     }
 
     /// Finds the tree node for `key`, creating it if absent. Returns the
     /// node index and the number of comparisons made.
-    fn find_or_insert(&mut self, key: Tick) -> (u32, u64) {
+    fn find_or_insert(&mut self, key: Tick) -> Result<(u32, u64), TimerError> {
         if self.root == NIL {
-            let n = self.alloc_node(key, NIL);
+            let n = self.alloc_node(key, NIL)?;
             self.root = n;
             self.min = n;
-            return (n, 0);
+            return Ok((n, 0));
         }
         let mut steps = 0;
         let mut cur = self.root;
@@ -107,7 +109,7 @@ impl<T> UnbalancedBstScheme<T> {
             steps += 1;
             let ck = self.nodes[cur as usize].key;
             if key == ck {
-                return (cur, steps);
+                return Ok((cur, steps));
             }
             let child = if key < ck {
                 self.nodes[cur as usize].left
@@ -115,7 +117,7 @@ impl<T> UnbalancedBstScheme<T> {
                 self.nodes[cur as usize].right
             };
             if child == NIL {
-                let n = self.alloc_node(key, cur);
+                let n = self.alloc_node(key, cur)?;
                 if key < ck {
                     self.nodes[cur as usize].left = n;
                 } else {
@@ -124,7 +126,7 @@ impl<T> UnbalancedBstScheme<T> {
                 if self.min == NIL || key < self.nodes[self.min as usize].key {
                     self.min = n;
                 }
-                return (n, steps);
+                return Ok((n, steps));
             }
             cur = child;
         }
@@ -202,8 +204,16 @@ impl<T> TimerScheme<T> for UnbalancedBstScheme<T> {
             .now
             .checked_add_delta(interval)
             .ok_or(TimerError::DeadlineOverflow)?;
-        let (idx, handle) = self.arena.alloc(payload, deadline);
-        let (tn, steps) = self.find_or_insert(deadline);
+        let (idx, handle) = self.arena.alloc(payload, deadline)?;
+        let (tn, steps) = match self.find_or_insert(deadline) {
+            Ok(found) => found,
+            Err(e) => {
+                // Roll back the record so a refused insert leaves no
+                // unlinked resident behind.
+                self.arena.free(idx);
+                return Err(e);
+            }
+        };
         self.arena.node_mut(idx).bucket = tn as usize;
         self.arena.push_back(&mut self.nodes[tn as usize].list, idx);
         self.counters.starts += 1;

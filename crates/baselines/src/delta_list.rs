@@ -79,7 +79,7 @@ impl<T> TimerScheme<T> for DeltaListScheme<T> {
             .now
             .checked_add_delta(interval)
             .ok_or(TimerError::DeadlineOverflow)?;
-        let (idx, handle) = self.arena.alloc(payload, deadline);
+        let (idx, handle) = self.arena.alloc(payload, deadline)?;
         // Walk forward consuming deltas; insert where the remaining interval
         // no longer covers the next element. Equal deadlines chain as
         // zero-delta runs in FIFO order.

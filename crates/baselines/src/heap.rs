@@ -217,7 +217,7 @@ impl<T> TimerScheme<T> for BinaryHeapScheme<T> {
             .now
             .checked_add_delta(interval)
             .ok_or(TimerError::DeadlineOverflow)?;
-        let (idx, handle) = self.arena.alloc(payload, deadline);
+        let (idx, handle) = self.arena.alloc(payload, deadline)?;
         self.heap.push(idx);
         let pos = self.heap.len() - 1;
         self.set_pos(pos);

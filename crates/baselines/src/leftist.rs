@@ -214,7 +214,7 @@ impl<T> TimerScheme<T> for LeftistScheme<T> {
             .now
             .checked_add_delta(interval)
             .ok_or(TimerError::DeadlineOverflow)?;
-        let (idx, handle) = self.arena.alloc(payload, deadline);
+        let (idx, handle) = self.arena.alloc(payload, deadline)?;
         self.ensure_link(idx);
         let root = self.root;
         // A singleton merge walks at most the root's right spine, whose

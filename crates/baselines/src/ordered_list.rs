@@ -163,7 +163,7 @@ impl<T> TimerScheme<T> for OrderedListScheme<T> {
             .now
             .checked_add_delta(interval)
             .ok_or(TimerError::DeadlineOverflow)?;
-        let (idx, handle) = self.arena.alloc(payload, deadline);
+        let (idx, handle) = self.arena.alloc(payload, deadline)?;
         let steps = self.insert_sorted(idx, deadline);
         self.last_steps = steps;
         self.counters.starts += 1;

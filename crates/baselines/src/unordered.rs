@@ -69,7 +69,7 @@ impl<T> TimerScheme<T> for UnorderedScheme<T> {
             .now
             .checked_add_delta(interval)
             .ok_or(TimerError::DeadlineOverflow)?;
-        let (idx, handle) = self.arena.alloc(payload, deadline);
+        let (idx, handle) = self.arena.alloc(payload, deadline)?;
         // `aux` holds the remaining interval, decremented in place (§3.1's
         // DECREMENT option).
         self.arena.node_mut(idx).aux = interval.as_u64();

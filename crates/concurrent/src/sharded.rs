@@ -185,7 +185,7 @@ impl<T, O: Observer> ShardedWheel<T, O> {
             if j % n == 0 && bucket.processed_until < t2 {
                 rounds += 1;
             }
-            let (idx, handle) = bucket.arena.alloc(payload, deadline);
+            let (idx, handle) = bucket.arena.alloc(payload, deadline)?;
             bucket.arena.node_mut(idx).aux = rounds;
             let list = std::mem::take(&mut bucket.list);
             let mut list = list;
@@ -314,7 +314,15 @@ impl<T, O: Observer> ShardedWheel<T, O> {
             if j % n == 0 && bucket.processed_until < t2 {
                 rounds += 1;
             }
-            let (idx, handle) = bucket.arena.alloc(payload, deadline);
+            // A restart must not lose the timer it just unlinked, so this
+            // path keeps the "reinsert is infallible" contract: per-bucket
+            // arenas always run at the default u32-slab limit (ShardedWheel
+            // exposes no capacity knob), so exhaustion here would require
+            // ~2^32 live records in a single bucket.
+            let (idx, handle) = bucket
+                .arena
+                .alloc(payload, deadline)
+                .expect("per-bucket arenas are uncapped; a bucket cannot hold 2^32 records");
             bucket.arena.node_mut(idx).aux = rounds;
             let mut list = std::mem::take(&mut bucket.list);
             bucket.arena.push_back(&mut list, idx);
@@ -434,7 +442,14 @@ impl<T, O: Observer> ShardedWheel<T, O> {
                 if j % n == 0 && bucket.processed_until < t2 {
                     rounds += 1;
                 }
-                let (idx, handle) = bucket.arena.alloc(payload, deadline);
+                // Same infallibility argument as `reinsert`: the batch holds
+                // payloads already unlinked from their old buckets, and the
+                // uncapped per-bucket arenas cannot exhaust before a bucket
+                // reaches ~2^32 live records.
+                let (idx, handle) = bucket
+                    .arena
+                    .alloc(payload, deadline)
+                    .expect("per-bucket arenas are uncapped; a bucket cannot hold 2^32 records");
                 bucket.arena.node_mut(idx).aux = rounds;
                 let mut list = std::mem::take(&mut bucket.list);
                 bucket.arena.push_back(&mut list, idx);
@@ -654,7 +669,13 @@ impl<T, O: Observer> ShardedWheel<T, O> {
                 if j % n == 0 && bucket.processed_until < t2 {
                     rounds += 1;
                 }
-                let (idx, handle) = bucket.arena.alloc(requests[i].1.clone(), deadline);
+                let (idx, handle) = match bucket.arena.alloc(requests[i].1.clone(), deadline) {
+                    Ok(pair) => pair,
+                    Err(e) => {
+                        results[i] = Some(Err(e));
+                        continue;
+                    }
+                };
                 bucket.arena.node_mut(idx).aux = rounds;
                 let mut list = std::mem::take(&mut bucket.list);
                 bucket.arena.push_back(&mut list, idx);

@@ -35,7 +35,7 @@ const NIL: u32 = u32::MAX;
 /// entries and every supported target has `usize` of at least 32 bits, so
 /// the widening is lossless; all other arena code routes through here.
 #[inline]
-fn slab_index(raw: u32) -> usize {
+const fn slab_index(raw: u32) -> usize {
     // tw-analyze: allow(TW001, reason = "audited choke point: lossless u32 -> usize widening of a slab key; the rest of the arena routes every widening through this helper")
     raw as usize
 }
@@ -168,9 +168,19 @@ pub struct TimerArena<T> {
     slots: Vec<(u32, Slot<T>)>, // (generation, slot)
     free_head: u32,
     live: u32,
+    /// Live-record ceiling: `alloc` returns [`TimerError::Exhausted`] once
+    /// `live` reaches it. Defaults to [`TimerArena::MAX_CAPACITY`] (the slab
+    /// index domain minus the NIL sentinel) and can be lowered to bound the
+    /// facility's memory, e.g. per tenant or per shard.
+    limit: u32,
 }
 
 impl<T> TimerArena<T> {
+    /// The hard ceiling on live records: the `u32` index domain minus the
+    /// NIL sentinel. [`set_capacity_limit`](Self::set_capacity_limit) can
+    /// only lower the limit below this, never raise it above.
+    pub const MAX_CAPACITY: usize = slab_index(NIL - 1);
+
     /// Creates an empty arena.
     #[must_use]
     pub fn new() -> TimerArena<T> {
@@ -178,6 +188,7 @@ impl<T> TimerArena<T> {
             slots: Vec::new(),
             free_head: NIL,
             live: 0,
+            limit: NIL - 1,
         }
     }
 
@@ -188,7 +199,27 @@ impl<T> TimerArena<T> {
             slots: Vec::with_capacity(cap),
             free_head: NIL,
             live: 0,
+            limit: NIL - 1,
         }
+    }
+
+    /// Caps the number of live records at `limit` (clamped to
+    /// [`MAX_CAPACITY`](Self::MAX_CAPACITY)). Once `len()` reaches the
+    /// limit, `alloc` returns [`TimerError::Exhausted`] until a `free`
+    /// brings the population back under it — allocation degrades gracefully
+    /// instead of aborting the facility.
+    ///
+    /// Lowering the limit below the current `len()` does not evict records;
+    /// it only refuses new ones until the population drains.
+    pub fn set_capacity_limit(&mut self, limit: usize) {
+        self.limit = u32::try_from(limit.min(Self::MAX_CAPACITY)).unwrap_or(NIL - 1);
+    }
+
+    /// The current live-record ceiling (see
+    /// [`set_capacity_limit`](Self::set_capacity_limit)).
+    #[must_use]
+    pub fn capacity_limit(&self) -> usize {
+        slab_index(self.limit)
     }
 
     /// Number of live (outstanding) records.
@@ -216,10 +247,21 @@ impl<T> TimerArena<T> {
     /// The new record is not on any list; the caller links it with
     /// [`push_back`](Self::push_back) or a sorted insert.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if more than `u32::MAX - 1` records are live.
-    pub fn alloc(&mut self, payload: T, deadline: Tick) -> (NodeIdx, TimerHandle) {
+    /// [`TimerError::Exhausted`] when the live population has reached the
+    /// [capacity limit](Self::set_capacity_limit) (or the `u32::MAX - 1`
+    /// slab ceiling — NIL is the sentinel and is never allocated). The
+    /// arena recovers as soon as a record is freed: the freed slot heads
+    /// the free list and the next `alloc` reuses it.
+    pub fn alloc(
+        &mut self,
+        payload: T,
+        deadline: Tick,
+    ) -> Result<(NodeIdx, TimerHandle), TimerError> {
+        if self.live >= self.limit {
+            return Err(TimerError::Exhausted);
+        }
         let node = Node {
             payload,
             deadline,
@@ -244,8 +286,11 @@ impl<T> TimerArena<T> {
             let idx = match u32::try_from(self.slots.len()) {
                 // NIL (u32::MAX) is the sentinel and must never be allocated.
                 Ok(idx) if idx != NIL => idx,
-                // tw-analyze: allow(TW002, reason = "capacity ceiling of NIL - 1 live timers is a documented hard limit (see # Panics); no TimerError variant can express resource exhaustion mid-alloc")
-                _ => panic!("arena capacity exceeded"),
+                // live < limit <= NIL - 1 and every slab slot is live or
+                // free-listed, so a full slab implies a non-empty free list
+                // and this branch is unreachable; report it as exhaustion
+                // rather than aborting the facility.
+                _ => return Err(TimerError::Exhausted),
             };
             // tw-analyze: allow(TW004, reason = "amortized slab growth on the alloc path only; steady-state traffic recycles the free list and never reaches this branch (verified by the slot_count plateau tests)")
             self.slots.push((0, Slot::Occupied(node)));
@@ -253,13 +298,13 @@ impl<T> TimerArena<T> {
         };
         self.live += 1;
         let generation = self.slots[slab_index(idx)].0;
-        (
+        Ok((
             NodeIdx(idx),
             TimerHandle {
                 index: idx,
                 generation,
             },
-        )
+        ))
     }
 
     /// Frees a record that has already been unlinked from its list, bumping
@@ -619,14 +664,14 @@ mod tests {
     #[test]
     fn alloc_free_recycles_with_new_generation() {
         let mut arena: TimerArena<u32> = TimerArena::new();
-        let (idx, h1) = arena.alloc(1, Tick(5));
+        let (idx, h1) = arena.alloc(1, Tick(5)).unwrap();
         assert_eq!(arena.len(), 1);
         assert_eq!(arena.resolve(h1).unwrap(), idx);
         assert_eq!(arena.free(idx), 1);
         assert_eq!(arena.len(), 0);
         assert_eq!(arena.resolve(h1), Err(TimerError::Stale));
 
-        let (idx2, h2) = arena.alloc(2, Tick(9));
+        let (idx2, h2) = arena.alloc(2, Tick(9)).unwrap();
         assert_eq!(idx2, idx, "slot should be recycled");
         assert_ne!(h1, h2, "generation must differ");
         assert_eq!(arena.resolve(h1), Err(TimerError::Stale));
@@ -637,9 +682,9 @@ mod tests {
     fn push_front_back_and_order() {
         let mut arena: TimerArena<u32> = TimerArena::new();
         let mut list = ListHead::new();
-        let (a, _) = arena.alloc(0, Tick(1));
-        let (b, _) = arena.alloc(0, Tick(2));
-        let (c, _) = arena.alloc(0, Tick(3));
+        let (a, _) = arena.alloc(0, Tick(1)).unwrap();
+        let (b, _) = arena.alloc(0, Tick(2)).unwrap();
+        let (c, _) = arena.alloc(0, Tick(3)).unwrap();
         arena.push_back(&mut list, b);
         arena.push_front(&mut list, a);
         arena.push_back(&mut list, c);
@@ -655,7 +700,7 @@ mod tests {
         let mut list = ListHead::new();
         let nodes: Vec<NodeIdx> = (0..5)
             .map(|i| {
-                let (idx, _) = arena.alloc(i, Tick(u64::from(i)));
+                let (idx, _) = arena.alloc(i, Tick(u64::from(i))).unwrap();
                 arena.push_back(&mut list, idx);
                 idx
             })
@@ -678,14 +723,14 @@ mod tests {
     fn insert_before_head_and_interior() {
         let mut arena: TimerArena<u32> = TimerArena::new();
         let mut list = ListHead::new();
-        let (a, _) = arena.alloc(0, Tick(10));
-        let (c, _) = arena.alloc(0, Tick(30));
+        let (a, _) = arena.alloc(0, Tick(10)).unwrap();
+        let (c, _) = arena.alloc(0, Tick(30)).unwrap();
         arena.push_back(&mut list, a);
         arena.push_back(&mut list, c);
-        let (b, _) = arena.alloc(0, Tick(20));
+        let (b, _) = arena.alloc(0, Tick(20)).unwrap();
         arena.insert_before(&mut list, c, b);
         assert_eq!(deadlines(&arena, &list), vec![10, 20, 30]);
-        let (z, _) = arena.alloc(0, Tick(5));
+        let (z, _) = arena.alloc(0, Tick(5)).unwrap();
         arena.insert_before(&mut list, a, z);
         assert_eq!(deadlines(&arena, &list), vec![5, 10, 20, 30]);
         assert_eq!(list.first().unwrap(), z);
@@ -696,7 +741,7 @@ mod tests {
         let mut arena: TimerArena<u32> = TimerArena::new();
         let mut list = ListHead::new();
         for i in 0..4 {
-            let (idx, _) = arena.alloc(i, Tick(u64::from(i)));
+            let (idx, _) = arena.alloc(i, Tick(u64::from(i))).unwrap();
             arena.push_back(&mut list, idx);
         }
         let mut seen = Vec::new();
@@ -714,7 +759,7 @@ mod tests {
         let mut arena: TimerArena<u32> = TimerArena::new();
         let mut l1 = ListHead::new();
         let mut l2 = ListHead::new();
-        let (a, _) = arena.alloc(7, Tick(1));
+        let (a, _) = arena.alloc(7, Tick(1)).unwrap();
         arena.push_back(&mut l1, a);
         arena.unlink(&mut l1, a);
         arena.push_back(&mut l2, a);
@@ -728,7 +773,7 @@ mod tests {
     fn double_link_panics() {
         let mut arena: TimerArena<u32> = TimerArena::new();
         let mut list = ListHead::new();
-        let (a, _) = arena.alloc(0, Tick(1));
+        let (a, _) = arena.alloc(0, Tick(1)).unwrap();
         arena.push_back(&mut list, a);
         arena.push_back(&mut list, a);
     }
@@ -738,7 +783,7 @@ mod tests {
     fn free_while_linked_panics() {
         let mut arena: TimerArena<u32> = TimerArena::new();
         let mut list = ListHead::new();
-        let (a, _) = arena.alloc(0, Tick(1));
+        let (a, _) = arena.alloc(0, Tick(1)).unwrap();
         arena.push_back(&mut list, a);
         arena.free(a);
     }
@@ -747,7 +792,7 @@ mod tests {
     #[should_panic(expected = "double free")]
     fn double_free_panics() {
         let mut arena: TimerArena<u32> = TimerArena::new();
-        let (a, _) = arena.alloc(0, Tick(1));
+        let (a, _) = arena.alloc(0, Tick(1)).unwrap();
         arena.free(a);
         arena.free(a);
     }
@@ -762,14 +807,54 @@ mod tests {
     #[test]
     fn handle_of_roundtrips() {
         let mut arena: TimerArena<u32> = TimerArena::new();
-        let (idx, h) = arena.alloc(0, Tick(1));
+        let (idx, h) = arena.alloc(0, Tick(1)).unwrap();
         assert_eq!(arena.handle_of(idx), h);
+    }
+
+    #[test]
+    fn full_arena_rejects_cleanly_and_recovers_after_free() {
+        let mut arena: TimerArena<u32> = TimerArena::new();
+        arena.set_capacity_limit(2);
+        assert_eq!(arena.capacity_limit(), 2);
+        let (idx1, h1) = arena.alloc(1, Tick(1)).unwrap();
+        let (_, h2) = arena.alloc(2, Tick(2)).unwrap();
+        // At the limit: rejection is an error, not an abort, and repeats
+        // without growing the slab or corrupting storage.
+        assert_eq!(arena.alloc(3, Tick(3)).unwrap_err(), TimerError::Exhausted);
+        assert_eq!(arena.alloc(3, Tick(3)).unwrap_err(), TimerError::Exhausted);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.slot_count(), 2);
+        assert!(arena.resolve(h1).is_ok());
+        assert!(arena.resolve(h2).is_ok());
+        // One free brings the arena back under the limit; the freed slot is
+        // recycled, so recovery allocates without slab growth.
+        assert_eq!(arena.free(idx1), 1);
+        let (_, h3) = arena.alloc(3, Tick(3)).unwrap();
+        assert_eq!(
+            arena.slot_count(),
+            2,
+            "recovered alloc reuses the freed slot"
+        );
+        assert!(arena.resolve(h3).is_ok());
+        assert_eq!(arena.resolve(h1), Err(TimerError::Stale));
+        arena.check_storage().unwrap();
+    }
+
+    #[test]
+    fn capacity_limit_clamps_to_the_slab_ceiling() {
+        let mut arena: TimerArena<u32> = TimerArena::new();
+        assert_eq!(arena.capacity_limit(), TimerArena::<u32>::MAX_CAPACITY);
+        arena.set_capacity_limit(usize::MAX);
+        assert_eq!(arena.capacity_limit(), TimerArena::<u32>::MAX_CAPACITY);
+        arena.set_capacity_limit(0);
+        assert_eq!(arena.capacity_limit(), 0);
+        assert_eq!(arena.alloc(0, Tick(1)).unwrap_err(), TimerError::Exhausted);
     }
 
     #[test]
     fn scratch_fields_are_scheme_writable() {
         let mut arena: TimerArena<u32> = TimerArena::new();
-        let (idx, _) = arena.alloc(0, Tick(1));
+        let (idx, _) = arena.alloc(0, Tick(1)).unwrap();
         arena.node_mut(idx).aux = 42;
         arena.node_mut(idx).bucket = 7;
         assert_eq!(arena.node(idx).aux, 42);
@@ -820,14 +905,14 @@ mod proptests {
                 match op {
                     Op::PushFront(l) => {
                         let l = l as usize % LISTS;
-                        let (idx, _) = arena.alloc(next_tag, Tick(next_tag));
+                        let (idx, _) = arena.alloc(next_tag, Tick(next_tag)).unwrap();
                         arena.push_front(&mut lists[l], idx);
                         model[l].push_front(next_tag);
                         next_tag += 1;
                     }
                     Op::PushBack(l) => {
                         let l = l as usize % LISTS;
-                        let (idx, _) = arena.alloc(next_tag, Tick(next_tag));
+                        let (idx, _) = arena.alloc(next_tag, Tick(next_tag)).unwrap();
                         arena.push_back(&mut lists[l], idx);
                         model[l].push_back(next_tag);
                         next_tag += 1;
@@ -880,7 +965,7 @@ mod proptests {
             let mut arena: TimerArena<u32> = TimerArena::new();
             let mut stale = Vec::new();
             for r in 0..rounds {
-                let (idx, h) = arena.alloc(r as u32, Tick(0));
+                let (idx, h) = arena.alloc(r as u32, Tick(0)).unwrap();
                 for old in &stale {
                     prop_assert_eq!(arena.resolve(*old), Err(TimerError::Stale));
                 }

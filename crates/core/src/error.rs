@@ -60,6 +60,13 @@ pub enum TimerError {
         /// What the validator objected to.
         reason: &'static str,
     },
+    /// The arena's live-record population has reached its
+    /// [capacity limit](crate::arena::TimerArena::set_capacity_limit) (or
+    /// the `u32` slab ceiling): `START_TIMER` cannot admit another timer
+    /// until one stops or expires. The facility degrades gracefully — the
+    /// rejection is transient and allocation recovers as soon as a record
+    /// is freed — instead of aborting a million-timer run at its peak.
+    Exhausted,
 }
 
 impl fmt::Display for TimerError {
@@ -88,6 +95,12 @@ impl fmt::Display for TimerError {
             }
             TimerError::InvalidConfig { reason } => {
                 write!(f, "invalid wheel configuration: {reason}")
+            }
+            TimerError::Exhausted => {
+                write!(
+                    f,
+                    "timer capacity exhausted; stop or expire a timer to admit another"
+                )
             }
         }
     }
@@ -118,12 +131,14 @@ mod tests {
                 reason: "zero slots",
             }
             .to_string(),
+            TimerError::Exhausted.to_string(),
         ];
         for m in &msgs {
             assert!(!m.is_empty());
         }
         assert!(msgs[1].contains("256"));
         assert!(msgs[8].contains("zero slots"));
+        assert!(msgs[9].contains("exhausted"));
     }
 
     #[test]

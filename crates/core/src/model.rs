@@ -68,7 +68,7 @@ impl<T> TimerScheme<T> for OracleScheme<T> {
             .now
             .checked_add_delta(interval)
             .ok_or(TimerError::DeadlineOverflow)?;
-        let (idx, handle) = self.arena.alloc(payload, deadline);
+        let (idx, handle) = self.arena.alloc(payload, deadline)?;
         let due = self.by_deadline.entry(deadline).or_default();
         self.arena.push_back(due, idx);
         self.counters.starts += 1;

@@ -184,7 +184,7 @@ impl<T> TimerScheme<T> for BasicWheel<T> {
             .now
             .checked_add_delta(interval)
             .ok_or(TimerError::DeadlineOverflow)?;
-        let (idx, handle) = self.arena.alloc(payload, deadline);
+        let (idx, handle) = self.arena.alloc(payload, deadline)?;
         if park {
             self.arena.node_mut(idx).bucket = OVERFLOW_BUCKET;
             self.arena.push_back(&mut self.overflow, idx);

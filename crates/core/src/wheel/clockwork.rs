@@ -107,7 +107,10 @@ impl<T> ClockworkWheel<T> {
         // 60-minute timer an ordinary minute-array record, and so on).
         for level in 1..wheel.levels.len() {
             let g = wheel.levels[level].granularity;
-            let (idx, _) = wheel.arena.alloc(Record::Update { level }, Tick(g));
+            let (idx, _) = wheel
+                .arena
+                .alloc(Record::Update { level }, Tick(g))
+                .expect("a fresh arena cannot be exhausted by m - 1 updaters");
             wheel.place_at_level(idx, g, level - 1);
         }
         wheel
@@ -180,45 +183,49 @@ impl<T> ClockworkWheel<T> {
             self.place(idx, target);
             return;
         }
+        if let Record::Update { level } = self.arena.node(idx).payload {
+            // "Increment the current minute timer, do any required
+            // EXPIRY_PROCESSING for the minute timers, and re-insert
+            // another 60 second timer."
+            let l = &mut self.levels[level];
+            l.cursor = (l.cursor + 1) % l.slots.len();
+            let cursor = l.cursor;
+            debug_assert_eq!(ticks_of(cursor), (now / l.granularity) % l.size);
+            let mut due = core::mem::take(&mut self.levels[level].slots[cursor]);
+            self.counters.vax_instructions += self.cost.skip_empty;
+            if due.is_empty() {
+                self.counters.empty_slot_skips += 1;
+            } else {
+                self.counters.nonempty_slot_visits += 1;
+            }
+            while let Some(rec) = self.arena.pop_front(&mut due) {
+                self.counters.decrements += 1;
+                self.counters.vax_instructions += self.cost.decrement_step;
+                self.dispatch(rec, expired);
+            }
+            // Re-arm the updater one granularity ahead, back into the level
+            // below (its home array). The updater was popped from its slot
+            // (already unlinked), so re-aiming it is a pure relink: the
+            // clockwork never touches the allocator on the tick path, and
+            // an exhausted arena can never stall the clock.
+            let g = self.levels[level].granularity;
+            self.arena.node_mut(idx).deadline = Tick(now + g);
+            self.place_at_level(idx, now + g, level - 1);
+            return;
+        }
         let handle = self.arena.handle_of(idx);
         let deadline = self.arena.node(idx).deadline;
-        match self.arena.free(idx) {
-            Record::User(payload) => {
-                self.counters.expiries += 1;
-                self.counters.vax_instructions += self.cost.expire;
-                expired(Expired {
-                    handle,
-                    payload,
-                    deadline,
-                    fired_at: self.now,
-                });
-            }
-            Record::Update { level } => {
-                // "Increment the current minute timer, do any required
-                // EXPIRY_PROCESSING for the minute timers, and re-insert
-                // another 60 second timer."
-                let l = &mut self.levels[level];
-                l.cursor = (l.cursor + 1) % l.slots.len();
-                let cursor = l.cursor;
-                debug_assert_eq!(ticks_of(cursor), (now / l.granularity) % l.size);
-                let mut due = core::mem::take(&mut self.levels[level].slots[cursor]);
-                self.counters.vax_instructions += self.cost.skip_empty;
-                if due.is_empty() {
-                    self.counters.empty_slot_skips += 1;
-                } else {
-                    self.counters.nonempty_slot_visits += 1;
-                }
-                while let Some(rec) = self.arena.pop_front(&mut due) {
-                    self.counters.decrements += 1;
-                    self.counters.vax_instructions += self.cost.decrement_step;
-                    self.dispatch(rec, expired);
-                }
-                // Re-arm the updater one granularity ahead, back into the
-                // level below (its home array).
-                let g = self.levels[level].granularity;
-                let (updater, _) = self.arena.alloc(Record::Update { level }, Tick(now + g));
-                self.place_at_level(updater, now + g, level - 1);
-            }
+        // Updaters re-armed above without freeing; only user records reach
+        // the arena round trip and the expiry callback.
+        if let Record::User(payload) = self.arena.free(idx) {
+            self.counters.expiries += 1;
+            self.counters.vax_instructions += self.cost.expire;
+            expired(Expired {
+                handle,
+                payload,
+                deadline,
+                fired_at: self.now,
+            });
         }
     }
 }
@@ -237,7 +244,7 @@ impl<T> TimerScheme<T> for ClockworkWheel<T> {
             .now
             .checked_add_delta(interval)
             .ok_or(TimerError::DeadlineOverflow)?;
-        let (idx, handle) = self.arena.alloc(Record::User(payload), deadline);
+        let (idx, handle) = self.arena.alloc(Record::User(payload), deadline)?;
         self.place(idx, deadline.as_u64());
         self.counters.starts += 1;
         self.counters.vax_instructions += self.cost.insert;

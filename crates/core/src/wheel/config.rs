@@ -343,6 +343,28 @@ impl<O: Observer> WheelConfig<O> {
         Ok(wheel)
     }
 
+    fn make_lawn<T>(&self) -> Result<super::LawnWheel<T>, TimerError> {
+        // One bucket per representable TTL: `max_interval` is the natural
+        // knob (the lawn has no hash table, so `slots` means nothing here).
+        let max = self.max_interval.ok_or(TimerError::InvalidConfig {
+            reason: "a lawn needs `max_interval` (one bucket per distinct TTL)",
+        })?;
+        let n = usize::try_from(max.as_u64()).map_err(|_| TimerError::InvalidConfig {
+            reason: "max_interval exceeds the address space",
+        })?;
+        if n == 0 {
+            return Err(TimerError::InvalidConfig {
+                reason: "wheel needs at least one slot",
+            });
+        }
+        if self.overflow == OverflowPolicy::OverflowList {
+            return Err(TimerError::InvalidConfig {
+                reason: "the lawn has no overflow list; use Reject or Cap",
+            });
+        }
+        Ok(super::LawnWheel::build(n, self.overflow))
+    }
+
     fn make_clockwork<T>(&self) -> Result<super::ClockworkWheel<T>, TimerError> {
         let sizes = self
             .granularities
@@ -425,6 +447,18 @@ impl<O: Observer> WheelConfig<O> {
         let wheel = self.make_clockwork()?;
         Ok(Observed::new(wheel, self.observer))
     }
+
+    /// Builds Scheme 8 (the Lawn: per-TTL append-ordered buckets).
+    ///
+    /// # Errors
+    ///
+    /// [`TimerError::InvalidConfig`] when `max_interval` is missing or
+    /// zero, or the overflow policy is `OverflowList` (the lawn has no
+    /// overflow list — use `Reject` or `Cap`).
+    pub fn build_lawn<T>(self) -> Result<Observed<super::LawnWheel<T>, O>, TimerError> {
+        let wheel = self.make_lawn()?;
+        Ok(Observed::new(wheel, self.observer))
+    }
 }
 
 impl<T> TryFrom<WheelConfig> for super::BasicWheel<T> {
@@ -466,6 +500,13 @@ impl<T> TryFrom<WheelConfig> for super::ClockworkWheel<T> {
     type Error = TimerError;
     fn try_from(cfg: WheelConfig) -> Result<Self, TimerError> {
         cfg.make_clockwork()
+    }
+}
+
+impl<T> TryFrom<WheelConfig> for super::LawnWheel<T> {
+    type Error = TimerError;
+    fn try_from(cfg: WheelConfig) -> Result<Self, TimerError> {
+        cfg.make_lawn()
     }
 }
 

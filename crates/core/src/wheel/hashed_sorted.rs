@@ -140,7 +140,7 @@ impl<T> TimerScheme<T> for HashedWheelSorted<T> {
             Some(mask) => deadline.slot_masked(mask),
             None => deadline.slot_in(self.slots.len()),
         };
-        let (idx, handle) = self.arena.alloc(payload, deadline);
+        let (idx, handle) = self.arena.alloc(payload, deadline)?;
         self.arena.node_mut(idx).bucket = slot;
         let steps = self.sorted_link(idx, slot, deadline);
         self.counters.starts += 1;

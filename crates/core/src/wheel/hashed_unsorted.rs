@@ -157,7 +157,7 @@ impl<T> TimerScheme<T> for HashedWheelUnsorted<T> {
             None => deadline.slot_in(self.slots.len()),
         };
         let rounds = (interval.as_u64() - 1) / ticks_of(self.slots.len());
-        let (idx, handle) = self.arena.alloc(payload, deadline);
+        let (idx, handle) = self.arena.alloc(payload, deadline)?;
         {
             let node = self.arena.node_mut(idx);
             node.aux = rounds;

@@ -440,7 +440,7 @@ impl<T> TimerScheme<T> for HierarchicalWheel<T> {
             .now
             .checked_add_delta(interval)
             .ok_or(TimerError::DeadlineOverflow)?;
-        let (idx, handle) = self.arena.alloc(payload, deadline);
+        let (idx, handle) = self.arena.alloc(payload, deadline)?;
         self.counters.starts += 1;
         self.counters.vax_instructions += self.cost.insert;
         if park {

@@ -107,6 +107,13 @@ impl<T> HybridWheel<T> {
         TickDelta::table_span(self.slots.len())
     }
 
+    /// Arena slots ever allocated — the storage high-water mark. See
+    /// [`TimerArena::slot_count`](crate::arena::TimerArena::slot_count).
+    #[must_use]
+    pub fn arena_slots(&self) -> usize {
+        self.arena.slot_count()
+    }
+
     fn enqueue_wheel(&mut self, idx: NodeIdx) {
         let deadline = self.arena.node(idx).deadline;
         let remaining = deadline.since(self.now);
@@ -151,7 +158,7 @@ impl<T> TimerScheme<T> for HybridWheel<T> {
             .now
             .checked_add_delta(interval)
             .ok_or(TimerError::DeadlineOverflow)?;
-        let (idx, handle) = self.arena.alloc(payload, deadline);
+        let (idx, handle) = self.arena.alloc(payload, deadline)?;
         if interval <= self.wheel_range() {
             self.enqueue_wheel(idx);
         } else {

@@ -9,6 +9,8 @@
 //!   update timers exactly as the §6.2 prose describes.
 //! * [`HybridWheel`] — the §5 strawman: a bounded wheel backed by a Scheme 2
 //!   ordered list for far timers.
+//! * [`LawnWheel`] — Scheme 8 (beyond the paper): per-TTL append-ordered
+//!   buckets for the few-distinct-TTLs, millions-of-timers regime.
 
 pub mod basic;
 pub mod clockwork;
@@ -17,6 +19,7 @@ pub mod hashed_sorted;
 pub mod hashed_unsorted;
 pub mod hierarchical;
 pub mod hybrid;
+pub mod lawn;
 
 pub use basic::BasicWheel;
 pub use clockwork::ClockworkWheel;
@@ -25,3 +28,4 @@ pub use hashed_sorted::HashedWheelSorted;
 pub use hashed_unsorted::HashedWheelUnsorted;
 pub use hierarchical::{HierarchicalWheel, InsertRule};
 pub use hybrid::HybridWheel;
+pub use lawn::LawnWheel;

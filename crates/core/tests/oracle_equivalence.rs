@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 use tw_core::wheel::{
     BasicWheel, ClockworkWheel, HashedWheelSorted, HashedWheelUnsorted, HierarchicalWheel,
-    HybridWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy, WheelConfig,
+    HybridWheel, InsertRule, LawnWheel, LevelSizes, MigrationPolicy, OverflowPolicy, WheelConfig,
 };
 use tw_core::{NoopObserver, Observed, OracleScheme, Tick, TickDelta, TimerScheme};
 
@@ -342,6 +342,20 @@ proptest! {
         check_equivalence(harness(ClockworkWheel::<u64>::new(LevelSizes(vec![8, 8, 8]))), ops)?;
     }
 
+    #[test]
+    fn lawn_matches_oracle(ops in proptest::collection::vec(op_strategy(500), 1..300)) {
+        check_equivalence(harness(LawnWheel::<u64>::new(500)), ops)?;
+    }
+
+    /// A tiny lawn (one TTL bucket) degenerates to a single FIFO and must
+    /// still trace the oracle exactly.
+    #[test]
+    fn lawn_single_ttl_matches_oracle(
+        ops in proptest::collection::vec(op_strategy(1), 1..200),
+    ) {
+        check_equivalence(harness(LawnWheel::<u64>::new(1)), ops)?;
+    }
+
     /// The observer wrapper must be behaviourally transparent: an
     /// [`Observed`] scheme (here with the default no-op hooks) produces the
     /// exact oracle trace of the wheel it wraps.
@@ -596,6 +610,16 @@ proptest! {
             ops,
         )?;
     }
+
+    /// Restarts are the lawn's hot path (session refresh = relink to the
+    /// tail of the same or a new TTL bucket); the restart-heavy alphabet
+    /// exercises exactly that, interleaved with the batched advance.
+    #[test]
+    fn lawn_restart_matches_oracle(
+        ops in proptest::collection::vec(update_op_strategy(500), 1..300),
+    ) {
+        check_update_equivalence(harness(LawnWheel::<u64>::new(500)), ops)?;
+    }
 }
 
 /// Restart-to-earlier-deadline, deterministically, on every scheme: a timer
@@ -660,6 +684,28 @@ fn restart_to_earlier_deadline_fires_early_everywhere() {
         )),
         "observed",
     );
+    check(harness(LawnWheel::<u64>::new(512)), "lawn");
+}
+
+/// Stale-handle regression on the lawn: once a timer fires (or is stopped),
+/// its generational handle must be dead for every routine — even after the
+/// arena recycles the slot for a new timer in the same TTL bucket.
+#[test]
+fn lawn_stale_handles_stay_dead_after_recycling() {
+    use tw_core::TimerError;
+    let mut s = harness(LawnWheel::<u64>::new(64));
+    let h1 = s.start_timer(TickDelta(2), 1).unwrap();
+    let mut fired = Vec::new();
+    s.advance_to_with(Tick(2), &mut |e| fired.push(e.payload));
+    assert_eq!(fired, vec![1]);
+    // Recycle the slot: the new handle shares the index, not the generation.
+    let h2 = s.start_timer(TickDelta(2), 2).unwrap();
+    assert_eq!(s.stop_timer(h1), Err(TimerError::Stale));
+    assert_eq!(s.restart_timer(h1, TickDelta(5)), Err(TimerError::Stale));
+    assert_eq!(s.outstanding(), 1);
+    // The live timer is untouched by the stale attempts.
+    assert_eq!(s.stop_timer(h2), Ok(2));
+    assert_eq!(s.stop_timer(h2), Err(TimerError::Stale));
 }
 
 /// Restart-past-overflow round trip: an in-range timer pushed beyond the
@@ -863,6 +909,19 @@ proptest! {
         )?;
     }
 
+    /// The lawn's event-driven `advance_to_with` (jump straight to the
+    /// earliest bucket head) against the tick-by-tick path and the oracle.
+    #[test]
+    fn lawn_advance_matches_tick_loop_and_oracle(
+        ops in proptest::collection::vec(jump_op_strategy(600, 400), 1..60),
+    ) {
+        check_advance_equivalence(
+            harness(LawnWheel::<u64>::new(600)),
+            harness(LawnWheel::<u64>::new(600)),
+            ops,
+        )?;
+    }
+
     /// After every operation the two-tier occupancy bitmap must agree with
     /// per-slot (and, for the hierarchy, per-level) list emptiness — the
     /// `agrees_with` clause of each wheel's invariant catalog.
@@ -1049,6 +1108,7 @@ fn checked_schemes_survive_10k_op_churn() {
         0xA7,
     );
     churn(HybridWheel::<u64>::new(8), 500, 0xA8);
+    churn(LawnWheel::<u64>::new(500), 500, 0xAB);
     churn(
         ClockworkWheel::<u64>::new(LevelSizes(vec![8, 8, 8])),
         511,

@@ -122,7 +122,7 @@ impl<T> TimerScheme<T> for SimWheel<T> {
             .now
             .checked_add_delta(interval)
             .ok_or(TimerError::DeadlineOverflow)?;
-        let (idx, handle) = self.arena.alloc(payload, deadline);
+        let (idx, handle) = self.arena.alloc(payload, deadline)?;
         if deadline.as_u64() < self.window_end {
             self.enqueue_direct(idx, deadline);
         } else {

@@ -54,6 +54,18 @@ pub enum IntervalDist {
         /// Probability of drawing `fast`.
         p_fast: f64,
     },
+    /// Zipf-distributed choice over a *finite* TTL table: entry `r`
+    /// (1-indexed) is drawn with probability ∝ `r^-s`. This is the
+    /// session/TTL-store workload the Lawn (Scheme 8) targets — a handful
+    /// of distinct TTLs, wildly skewed popularity. Build with
+    /// [`IntervalDist::zipf`], which precomputes the normalized CDF so
+    /// sampling is an exact inverse-CDF binary search (no rejection loop).
+    Zipf {
+        /// The distinct TTLs, most popular first (rank order).
+        ttls: Vec<u64>,
+        /// `cdf[i]` = P(rank ≤ i + 1); last entry is 1.0.
+        cdf: Vec<f64>,
+    },
 }
 
 /// The audited `f64 -> u64` bridge for sampled tick quantities: clamps into
@@ -64,6 +76,33 @@ pub(crate) fn f64_to_ticks(x: f64) -> u64 {
 }
 
 impl IntervalDist {
+    /// Builds a [`Zipf`](IntervalDist::Zipf) table of `ranks` distinct TTLs
+    /// with exponent `s`: rank `r ∈ 1..=ranks` has weight `r^-s` and TTL
+    /// `scale · r` ticks. `s = 0` degenerates to uniform over the table;
+    /// `s ≈ 1` is the classic web/session skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` is zero, `scale` is zero, or `s` is negative/NaN.
+    #[must_use]
+    pub fn zipf(s: f64, ranks: usize, scale: u64) -> IntervalDist {
+        assert!(ranks >= 1, "zipf needs at least one rank");
+        assert!(scale >= 1, "zipf scale must be at least one tick");
+        assert!(s >= 0.0, "zipf exponent must be non-negative");
+        let ranks_u64 = u64::try_from(ranks).expect("rank count fits u64");
+        let ttls: Vec<u64> = (1..=ranks_u64).map(|r| r.saturating_mul(scale)).collect();
+        let mut cdf: Vec<f64> = Vec::with_capacity(ranks);
+        let mut acc = 0.0f64;
+        for r in 1..=ranks {
+            acc += (r as f64).powf(-s);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        IntervalDist::Zipf { ttls, cdf }
+    }
+
     /// Draws one interval.
     ///
     /// # Panics
@@ -72,6 +111,16 @@ impl IntervalDist {
     /// `lo > hi`, non-positive mean/alpha, `p` outside `(0, 1]`).
     pub fn sample<R: Rng>(&self, rng: &mut R) -> TickDelta {
         let ticks = match *self {
+            IntervalDist::Zipf { ref ttls, ref cdf } => {
+                assert!(
+                    !ttls.is_empty() && ttls.len() == cdf.len(),
+                    "invalid zipf table; build with IntervalDist::zipf"
+                );
+                let u: f64 = rng.gen_range(0.0..1.0);
+                // Exact inverse-CDF draw: first entry with cdf ≥ u.
+                let i = cdf.partition_point(|&c| c < u).min(ttls.len() - 1);
+                ttls[i].max(1)
+            }
             IntervalDist::Constant(c) => {
                 assert!(c >= 1, "constant interval must be at least one tick");
                 c
@@ -131,6 +180,15 @@ impl IntervalDist {
             }
             IntervalDist::Bimodal { fast, slow, p_fast } => {
                 p_fast * fast as f64 + (1.0 - p_fast) * slow as f64
+            }
+            IntervalDist::Zipf { ref ttls, ref cdf } => {
+                let mut acc = 0.0;
+                let mut prev = 0.0;
+                for (ttl, c) in ttls.iter().zip(cdf) {
+                    acc += (c - prev) * *ttl as f64;
+                    prev = *c;
+                }
+                acc
             }
         }
     }
@@ -238,5 +296,61 @@ mod tests {
     fn invalid_uniform_rejected() {
         let mut rng = SmallRng::seed_from_u64(1);
         IntervalDist::Uniform { lo: 5, hi: 2 }.sample(&mut rng);
+    }
+
+    #[test]
+    fn zipf_popularity_is_rank_skewed() {
+        // s = 1 over 8 ranks: rank 1 must dominate, and empirical rank
+        // frequencies must track r^-1 / H_8 within sampling noise.
+        let d = IntervalDist::zipf(1.0, 8, 10);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut counts = [0u64; 8];
+        let n = 100_000;
+        for _ in 0..n {
+            let t = d.sample(&mut rng).as_u64();
+            assert_eq!(t % 10, 0, "TTL {t} is not scale-aligned");
+            counts[(t / 10 - 1) as usize] += 1;
+        }
+        let h8: f64 = (1..=8).map(|r| 1.0 / r as f64).sum();
+        for (i, &c) in counts.iter().enumerate() {
+            let want = 1.0 / ((i + 1) as f64 * h8);
+            let got = c as f64 / n as f64;
+            assert!(
+                (got - want).abs() < 0.01,
+                "rank {}: freq {got} vs zipf {want}",
+                i + 1
+            );
+        }
+        assert!(counts[0] > counts[7] * 5, "rank 1 should dominate rank 8");
+    }
+
+    #[test]
+    fn zipf_mean_matches_empirical() {
+        let d = IntervalDist::zipf(1.2, 16, 25);
+        let got = empirical_mean(&d, 50_000);
+        let want = d.mean();
+        assert!(
+            (got - want).abs() / want < 0.05,
+            "zipf mean {got} vs theoretical {want}"
+        );
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform_over_the_table() {
+        let d = IntervalDist::zipf(0.0, 4, 1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut counts = [0u64; 4];
+        for _ in 0..40_000 {
+            counts[(d.sample(&mut rng).as_u64() - 1) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "not uniform: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty_table() {
+        let _ = IntervalDist::zipf(1.0, 0, 10);
     }
 }

@@ -7,12 +7,18 @@
 # interprocedural cost rules vs each cfg-matrix leg) now that the cost
 # lattice and the TW013 matrix dominate the gate's budget; BENCH_08 adds
 # the T-RESTART ack_heavy rows (UPDATE vs STOP+START per scheme) now that
-# restart_timer is a first-class operation everywhere.
+# restart_timer is a first-class operation everywhere; BENCH_09 adds the
+# T-LAWN lawn_scale rows (Scheme 8 vs hierarchy vs hybrid under Zipf TTLs
+# at up to a million live timers).
 #
-# Usage: scripts/bench_trajectory.sh [out.json]   (default BENCH_08.json)
+# Usage: scripts/bench_trajectory.sh [out.json]   (default BENCH_09.json)
+# The PR number in the JSON is derived from the digits in the output
+# filename. LAWN_N (default 1000000) sizes the lawn_scale population —
+# CI's smoke leg passes LAWN_N=100000 to keep the job quick.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_08.json}"
+out="${1:-BENCH_09.json}"
+lawn_n="${LAWN_N:-1000000}"
 
 cargo build --release -p tw-analyze -p tw-bench >&2
 
@@ -22,7 +28,8 @@ analyze_json=$(mktemp)
 analyze_err=$(mktemp)
 bitmap_txt=$(mktemp)
 ack_txt=$(mktemp)
-trap 'rm -f "$analyze_json" "$analyze_err" "$bitmap_txt" "$ack_txt"' EXIT
+lawn_txt=$(mktemp)
+trap 'rm -f "$analyze_json" "$analyze_err" "$bitmap_txt" "$ack_txt" "$lawn_txt"' EXIT
 ./target/release/tw-analyze --workspace --json >"$analyze_json" 2>"$analyze_err"
 analyze_ms=$(sed -n 's/.*analysis completed in \([0-9.]*\) ms.*/\1/p' "$analyze_err")
 files=$(./target/release/tw-analyze --workspace 2>/dev/null |
@@ -30,12 +37,19 @@ files=$(./target/release/tw-analyze --workspace 2>/dev/null |
 
 ./target/release/bitmap_sparse >"$bitmap_txt"
 ./target/release/ack_heavy >"$ack_txt"
+./target/release/lawn_scale "$lawn_n" >"$lawn_txt"
 
-python3 - "$out" "$analyze_ms" "$files" "$analyze_json" "$bitmap_txt" "$ack_txt" <<'EOF'
+python3 - "$out" "$analyze_ms" "$files" "$analyze_json" "$bitmap_txt" "$ack_txt" "$lawn_txt" <<'EOF'
 import json
+import re
 import sys
 
 out, analyze_ms, files = sys.argv[1], float(sys.argv[2]), int(sys.argv[3])
+# The series index comes from the output filename (BENCH_09.json -> 9),
+# so the next PR only renames the artifact instead of editing this script.
+m = re.search(r"(\d+)", out.rsplit("/", 1)[-1])
+assert m, f"output filename {out} carries no series number"
+pr = int(m.group(1))
 passes = json.load(open(sys.argv[4]))["timings_ms"]
 assert "per_file_rules" in passes and "summaries" in passes, passes
 assert any(k.startswith("leg:") for k in passes), passes
@@ -78,9 +92,43 @@ for must_win in ("hier", "hybrid"):
     assert winners, f"ack_heavy rows missing a {must_win} scheme"
     for r in winners:
         assert r["speedup"] > 1.0, f"restart lost on {r['scheme']}: {r}"
+lawn_rows = []
+for line in open(sys.argv[7]):
+    parts = line.split()
+    # Data rows: "<scheme> <n> <fill> <churn> <drain> <slots@fill>
+    #             <slots@churn> <ovh/tick> <err-p99> <err-max>"
+    if len(parts) == 10 and "(" in parts[0] and parts[1].isdigit():
+        lawn_rows.append(
+            {
+                "scheme": parts[0],
+                "timers": int(parts[1]),
+                "fill_ns": float(parts[2]),
+                "churn_ns": float(parts[3]),
+                "drain_ns": float(parts[4]),
+                "slots_fill": int(parts[5]),
+                "slots_churn": int(parts[6]),
+                "overhead_per_tick": float(parts[7]),
+                "err_p99": int(parts[8]),
+                "err_max": int(parts[9]),
+            }
+        )
+assert lawn_rows, "no lawn_scale data rows parsed"
+# T-LAWN acceptance: Scheme 8's per-tick bookkeeping stays flat at the
+# distinct-TTL bound while the hierarchy's grows with the population.
+lawns = [r for r in lawn_rows if "lawn" in r["scheme"]]
+hiers = sorted(
+    (r for r in lawn_rows if "hier" in r["scheme"]), key=lambda r: r["timers"]
+)
+assert lawns and len(hiers) >= 2, f"lawn_scale rows incomplete: {lawn_rows}"
+for r in lawns:
+    assert r["overhead_per_tick"] <= 8.0, f"lawn overhead not flat: {r}"
+    assert r["slots_churn"] <= r["slots_fill"], f"lawn arena grew under churn: {r}"
+assert hiers[-1]["overhead_per_tick"] > 1.3 * hiers[0]["overhead_per_tick"], (
+    f"hierarchy overhead should grow with population: {hiers}"
+)
 doc = {
     "series": "bench-trajectory",
-    "pr": 8,
+    "pr": pr,
     "tw_analyze": {
         "files_scanned": files,
         "wall_ms": analyze_ms,
@@ -88,11 +136,12 @@ doc = {
     },
     "bitmap_sparse": rows,
     "ack_heavy": ack_rows,
+    "lawn_scale": lawn_rows,
 }
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {out}: tw-analyze {analyze_ms} ms over {files} files "
       f"({len(passes)} passes), {len(rows)} bitmap_sparse rows, "
-      f"{len(ack_rows)} ack_heavy rows")
+      f"{len(ack_rows)} ack_heavy rows, {len(lawn_rows)} lawn_scale rows")
 EOF

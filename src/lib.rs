@@ -62,7 +62,8 @@ pub mod prelude {
     pub use tw_core::facility::{ExpiryAction, TimerFacility};
     pub use tw_core::wheel::{
         BasicWheel, ClockworkWheel, HashedWheelSorted, HashedWheelUnsorted, HierarchicalWheel,
-        HybridWheel, InsertRule, LevelSizes, MigrationPolicy, OverflowPolicy, WheelConfig,
+        HybridWheel, InsertRule, LawnWheel, LevelSizes, MigrationPolicy, OverflowPolicy,
+        WheelConfig,
     };
     pub use tw_core::{
         DeadlinePeek, Expired, NoopObserver, Observed, Observer, OracleScheme, RequestId, Tick,
