@@ -62,10 +62,14 @@ pub struct RoutineSpec {
     pub counted: bool,
 }
 
-/// The §2 routine set. `restart_timer` (the dynamic UPDATE routine) now
-/// has real implementations — the serial oracle and `BasicWheel` — and is
+/// The §2 routine set, plus the `tw-async` waker-slot hot path. The async
+/// rows (`register_waker`, `take_for_fire`, `poll_armed`) are the
+/// poll/wake fast path the futures layer promises is allocation-free:
+/// their names are unique to `tw-async`, so `alloc_any` seeding confines
+/// the walk there. `restart_timer` (the dynamic UPDATE routine) has real
+/// implementations — the serial oracle and `BasicWheel` — and is
 /// additionally policed by TW014's update-path purity walk.
-pub const ROUTINES: [RoutineSpec; 7] = [
+pub const ROUTINES: [RoutineSpec; 10] = [
     RoutineSpec {
         name: "start_timer",
         panic_seed: true,
@@ -120,6 +124,36 @@ pub const ROUTINES: [RoutineSpec; 7] = [
         alloc_any: false,
         alloc_scheme_impl: false,
         alloc_concurrent_inherent: true,
+        counted: false,
+    },
+    // tw-async hot path: the steady-state re-poll of an armed Sleep. One
+    // generation-checked slot lookup plus a `will_wake` test — panic-free
+    // and allocation-free on every reachable line.
+    RoutineSpec {
+        name: "register_waker",
+        panic_seed: true,
+        alloc_any: true,
+        alloc_scheme_impl: false,
+        alloc_concurrent_inherent: false,
+        counted: false,
+    },
+    // tw-async wake path: the drain routing one expiry to its waker slot.
+    RoutineSpec {
+        name: "take_for_fire",
+        panic_seed: true,
+        alloc_any: true,
+        alloc_scheme_impl: false,
+        alloc_concurrent_inherent: false,
+        counted: false,
+    },
+    // Sleep::poll's armed arm (the only one a long-lived pending future
+    // re-enters); arming and exhaustion-parking are cold paths by design.
+    RoutineSpec {
+        name: "poll_armed",
+        panic_seed: true,
+        alloc_any: true,
+        alloc_scheme_impl: false,
+        alloc_concurrent_inherent: false,
         counted: false,
     },
 ];

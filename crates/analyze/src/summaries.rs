@@ -45,8 +45,12 @@ use crate::model::{FnItem, SourceFile};
 /// Method names excluded from *fallback* (receiver-unknown) resolution:
 /// ubiquitous names whose same-name matches are overwhelmingly std types.
 /// Typed resolution ignores this list — a positively-identified callee is
-/// followed no matter what it is called.
-pub const CALL_DENYLIST: [&str; 8] = [
+/// followed no matter what it is called. `drop` earns its slot twice over:
+/// a bare `drop(x)` is `std::mem::drop` (guard-scope management, already
+/// tracked by the acquisition-span scan), and explicit `Drop::drop` calls
+/// are impossible in Rust — so a name-match against a workspace `impl
+/// Drop` body is categorically a false edge, not an over-approximation.
+pub const CALL_DENYLIST: [&str; 9] = [
     "new",
     "default",
     "clone",
@@ -55,6 +59,7 @@ pub const CALL_DENYLIST: [&str; 8] = [
     "try_from",
     "try_into",
     "with_capacity",
+    "drop",
 ];
 
 /// Operations that can park the calling thread. Holding any bucket or gate
@@ -496,7 +501,15 @@ impl<'a> WorkspaceModel<'a> {
                         }
                         if self.summaries[c].cost > cost {
                             cost = self.summaries[c].cost;
-                            witness = self.summaries[c].cost_witness.clone();
+                            // Append the hop so a TW012 report shows the
+                            // call chain from the certified routine down to
+                            // the offending loop, not just the loop.
+                            witness = self.summaries[c].cost_witness.clone().map(|w| {
+                                format!(
+                                    "{w} [via `{}` ({})]",
+                                    self.nodes[c].item.name, self.nodes[c].file.path
+                                )
+                            });
                         }
                     }
                 }

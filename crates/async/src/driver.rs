@@ -1,0 +1,446 @@
+//! The timer driver: owns a [`TimerService`] (and through it, any
+//! [`TimerScheme`]) plus the [`WakerTable`], and converts service expiries
+//! into task wakeups.
+//!
+//! Two clocking modes, mirroring the service's own:
+//!
+//! * **Virtual time** (default) — the caller owns the clock and calls
+//!   [`TimerDriver::advance`]; each advance batch-drains the expiry channel
+//!   and delivers the whole coalesced wake storm before returning. This is
+//!   the deterministic mode the tests, the differential suite and the
+//!   million-sleep benchmark run in.
+//! * **Realtime** ([`TimerDriverBuilder::realtime`]) — the service thread
+//!   ticks on a wall-clock period and a dispatcher thread owned by the
+//!   driver drains expiries as they arrive, waking tasks with no caller
+//!   involvement.
+//!
+//! The fire path is allocation-free: an expiry's `Request_ID` *is* the
+//! packed waker-slot handle ([`slot_to_request`]), so dispatch is one
+//! generation-checked arena lookup ([`WakerTable::take_for_fire`]) and a
+//! `Waker::wake` outside the table lock. Wheel-side events (start, restart,
+//! per-tick costs) flow through the observer installed on the service; the
+//! driver adds the async-specific [`Observer::on_wake_latency`] hook,
+//! recording arm→wake elapsed ticks per fire.
+//!
+//! # Backpressure
+//!
+//! When either arena is at its [`arena_capacity`](TimerDriverBuilder::arena_capacity)
+//! cap, arming reports [`TimerError::Exhausted`] internally. The driver
+//! converts that into *recoverable pending*: the sleep's waker is parked,
+//! the arm retried once (a fire may have raced the failure), and on the
+//! next capacity release — any fire or cancel — all parked wakers are
+//! woken so their sleeps re-poll and re-try the arm. No task ever observes
+//! the error.
+
+use std::future::Future;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::task::Waker;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use tw_concurrent::sync::channel::RecvTimeoutError;
+use tw_concurrent::sync::{Arc, Mutex};
+use tw_concurrent::{Expiry, TimerService};
+use tw_core::{Observer, RequestId, TickDelta, TimerError, TimerHandle, TimerScheme};
+
+use crate::interval::Interval;
+use crate::sleep::Sleep;
+use crate::slots::{request_to_slot, slot_to_request, RegisterOutcome, WakerTable};
+use crate::timeout::Timeout;
+
+/// How long the realtime dispatcher sleeps in `recv_timeout` before
+/// re-checking the shutdown flag.
+const DISPATCH_POLL: Duration = Duration::from_millis(5);
+
+/// State shared between driver handles, polling tasks, and the realtime
+/// dispatcher thread.
+pub(crate) struct DriverShared {
+    svc: TimerService,
+    table: WakerTable<Waker>,
+    /// Wakers of sleeps that hit `Exhausted` while arming; woken (to
+    /// re-poll and retry) whenever capacity is released.
+    parked: Mutex<Vec<Waker>>,
+    observer: Option<Arc<dyn Observer + Send + Sync>>,
+    shutdown: AtomicBool,
+}
+
+impl DriverShared {
+    /// Routes one expiry to its waker slot. Returns `true` if a live sleep
+    /// was completed (stale expiries — the sleep was dropped or reset while
+    /// the notification was in flight — are dropped silently).
+    fn fire(&self, expiry: &Expiry) -> bool {
+        let slot = request_to_slot(expiry.id);
+        let Some((waker, interval)) = self.table.take_for_fire(slot) else {
+            return false;
+        };
+        if let Some(obs) = &self.observer {
+            // Arm tick reconstructed from the slot's recorded interval;
+            // saturating because reduced-precision schemes may round the
+            // deadline below `armed + interval`.
+            let armed = expiry.deadline.as_u64().saturating_sub(interval.as_u64());
+            let elapsed = expiry.fired_at.as_u64().saturating_sub(armed);
+            obs.on_wake_latency(TickDelta(elapsed));
+        }
+        if let Some(w) = waker {
+            w.wake();
+        }
+        true
+    }
+
+    /// Batch-drains the expiry channel — the coalesced wake storm after an
+    /// `advance` — then gives exhaustion-parked sleeps a retry chance.
+    fn drain_expiries(&self) -> u64 {
+        let mut woken = 0u64;
+        for expiry in self.svc.expiries().try_iter() {
+            if self.fire(&expiry) {
+                woken += 1;
+            }
+        }
+        if woken > 0 {
+            // Fires freed slots: let parked sleeps contend for them.
+            self.wake_parked();
+        }
+        woken
+    }
+
+    fn park(&self, waker: &Waker) {
+        self.parked.lock().push(waker.clone());
+    }
+
+    fn wake_parked(&self) {
+        let drained = std::mem::take(&mut *self.parked.lock());
+        for w in drained {
+            w.wake();
+        }
+    }
+}
+
+/// The realtime dispatcher: blocks on the expiry channel, fires each
+/// notification, and opportunistically drains any burst behind it.
+fn dispatch_loop(shared: &DriverShared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match shared.svc.expiries().recv_timeout(DISPATCH_POLL) {
+            Ok(expiry) => {
+                shared.fire(&expiry);
+                shared.drain_expiries();
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle beat: cancels release capacity without pushing an
+                // expiry, so parked sleeps get a periodic retry.
+                shared.wake_parked();
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// Owns the shared state and the dispatcher thread; dropped when the last
+/// driver handle goes away.
+struct DriverCore {
+    shared: Arc<DriverShared>,
+    dispatcher: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Drop for DriverCore {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Take the handle out, release the lock, then join: the join can
+        // outlast a dispatch round and must not hold `dispatcher` while
+        // it blocks.
+        let mut slot = self.dispatcher.lock();
+        let handle = slot.take();
+        drop(slot);
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Builder for a [`TimerDriver`]; the async layer's single construction
+/// entry point, delegating every service knob to
+/// [`TimerService::builder`](tw_concurrent::TimerService::builder).
+///
+/// ```
+/// use tw_async::TimerDriver;
+/// use tw_core::wheel::HashedWheelUnsorted;
+/// use tw_core::RequestId;
+///
+/// let driver = TimerDriver::builder(HashedWheelUnsorted::<RequestId>::new(256))
+///     .arena_capacity(1 << 20)
+///     .build();
+/// let sleep = driver.sleep(tw_core::TickDelta(10));
+/// # drop(sleep);
+/// ```
+pub struct TimerDriverBuilder<S> {
+    scheme: S,
+    period: Option<Duration>,
+    observer: Option<Arc<dyn Observer + Send + Sync>>,
+    arena_capacity: Option<usize>,
+    channel_depth: Option<usize>,
+}
+
+impl<S> TimerDriverBuilder<S>
+where
+    S: TimerScheme<RequestId> + Send + 'static,
+{
+    /// Ticks the wheel on a wall-clock `period` (service thread) and
+    /// dispatches wakes from a driver-owned thread. Without this, the
+    /// driver runs in virtual time and [`TimerDriver::advance`] is the
+    /// clock.
+    #[must_use]
+    pub fn realtime(mut self, period: Duration) -> Self {
+        self.period = Some(period);
+        self
+    }
+
+    /// Installs `observer` on both layers: the service raises the wheel
+    /// and lock/queue hooks, the driver raises
+    /// [`Observer::on_wake_latency`] per delivered wake.
+    #[must_use]
+    pub fn observer(mut self, observer: Arc<dyn Observer + Send + Sync>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Caps both arenas — the scheme's timer records and the waker table —
+    /// at `limit` live entries. Past the cap, arming parks instead of
+    /// erroring (see the module docs on backpressure).
+    #[must_use]
+    pub fn arena_capacity(mut self, limit: usize) -> Self {
+        self.arena_capacity = Some(limit);
+        self
+    }
+
+    /// Sizes the service's expiry channel for bursts of `depth`.
+    #[must_use]
+    pub fn channel_depth(mut self, depth: usize) -> Self {
+        self.channel_depth = Some(depth);
+        self
+    }
+
+    /// Spawns the service (and the dispatcher, in realtime mode) and
+    /// returns the cloneable driver handle.
+    #[must_use]
+    pub fn build(self) -> TimerDriver {
+        let TimerDriverBuilder {
+            scheme,
+            period,
+            observer,
+            arena_capacity,
+            channel_depth,
+        } = self;
+        let mut builder = TimerService::builder(scheme);
+        if let Some(p) = period {
+            builder = builder.realtime(p);
+        }
+        if let Some(o) = &observer {
+            builder = builder.observer(Arc::clone(o));
+        }
+        if let Some(limit) = arena_capacity {
+            builder = builder.arena_capacity(limit);
+        }
+        if let Some(depth) = channel_depth {
+            builder = builder.channel_depth(depth);
+        }
+        let svc = builder.spawn();
+        let table = WakerTable::new();
+        if let Some(limit) = arena_capacity {
+            table.set_capacity(limit);
+        }
+        let shared = Arc::new(DriverShared {
+            svc,
+            table,
+            parked: Mutex::new(Vec::new()),
+            observer,
+            shutdown: AtomicBool::new(false),
+        });
+        let dispatcher = period.map(|_| {
+            let worker = Arc::clone(&shared);
+            std::thread::spawn(move || dispatch_loop(&worker))
+        });
+        TimerDriver {
+            inner: Arc::new(DriverCore {
+                shared,
+                dispatcher: Mutex::new(dispatcher),
+            }),
+        }
+    }
+}
+
+/// Result of arming a sleep's timer.
+pub(crate) enum ArmOutcome {
+    /// Timer started; the sleep holds both handles until fire/drop/reset.
+    Armed {
+        /// Waker-table slot (packed into the service `Request_ID`).
+        slot: TimerHandle,
+        /// Service-side timer handle, for `restart_timer`/`stop_timer`.
+        timer: TimerHandle,
+    },
+    /// Capacity exhausted; the waker is parked and the sleep stays
+    /// pending — it re-arms on the wake that follows a capacity release.
+    Parked,
+}
+
+/// Cloneable handle to the async timer driver. All sleeps created from
+/// clones share one service, one wheel, and one waker table.
+#[derive(Clone)]
+pub struct TimerDriver {
+    inner: Arc<DriverCore>,
+}
+
+impl TimerDriver {
+    /// Starts building a driver over `scheme`. See [`TimerDriverBuilder`].
+    pub fn builder<S>(scheme: S) -> TimerDriverBuilder<S>
+    where
+        S: TimerScheme<RequestId> + Send + 'static,
+    {
+        TimerDriverBuilder {
+            scheme,
+            period: None,
+            observer: None,
+            arena_capacity: None,
+            channel_depth: None,
+        }
+    }
+
+    /// Virtual-time driver with default knobs; shorthand for
+    /// `TimerDriver::builder(scheme).build()`.
+    #[must_use]
+    pub fn new<S>(scheme: S) -> TimerDriver
+    where
+        S: TimerScheme<RequestId> + Send + 'static,
+    {
+        TimerDriver::builder(scheme).build()
+    }
+
+    /// A future that completes after `interval` ticks (`START_TIMER` on
+    /// first poll, `STOP_TIMER` on drop, `UPDATE` on
+    /// [`reset`](Sleep::reset)).
+    #[must_use]
+    pub fn sleep(&self, interval: TickDelta) -> Sleep {
+        Sleep::new(self.clone(), interval)
+    }
+
+    /// Races `future` against an `interval`-tick deadline.
+    #[must_use]
+    pub fn timeout<F: Future>(&self, interval: TickDelta, future: F) -> Timeout<F> {
+        Timeout::new(self.sleep(interval), future)
+    }
+
+    /// A stream of ticks every `period` ticks; each completed tick re-arms
+    /// via `UPDATE` on the same waker slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero — an interval must make forward progress.
+    #[must_use]
+    pub fn interval(&self, period: TickDelta) -> Interval {
+        assert!(!period.is_zero(), "interval period must be non-zero");
+        Interval::new(self.sleep(period), period)
+    }
+
+    /// Advances virtual time by `ticks`, fires due timers, and delivers
+    /// the entire coalesced wake storm before returning. Returns the
+    /// number of timers the wheel fired.
+    ///
+    /// In realtime mode the dispatcher delivers wakes instead; calling
+    /// this still nudges parked sleeps but the clock is the service's.
+    pub fn advance(&self, ticks: u64) -> u64 {
+        let fired = self.inner.shared.svc.advance(ticks);
+        self.inner.shared.drain_expiries();
+        fired
+    }
+
+    /// Outstanding timers in the wheel (armed sleeps, from the scheme's
+    /// point of view).
+    #[must_use]
+    pub fn outstanding(&self) -> usize {
+        self.inner.shared.svc.outstanding()
+    }
+
+    /// Live waker slots — pending sleeps currently armed or mid-fire.
+    #[must_use]
+    pub fn pending_sleeps(&self) -> usize {
+        self.inner.shared.table.live()
+    }
+
+    /// Waker-table slots ever allocated (the memory high-water mark);
+    /// plateaus under steady-state churn.
+    #[must_use]
+    pub fn waker_slots(&self) -> usize {
+        self.inner.shared.table.slot_count()
+    }
+
+    /// Arms a sleep: allocate the waker slot *first* (so a fire racing the
+    /// return can already find the waker), then `START_TIMER` with the
+    /// packed slot as the `Request_ID`.
+    pub(crate) fn arm(&self, interval: TickDelta, waker: &Waker) -> ArmOutcome {
+        if let Some(armed) = self.try_arm(interval, waker) {
+            return armed;
+        }
+        // Exhausted: park, then retry once — a fire may have released
+        // capacity between the failure and the park, and without the
+        // retry that release's wake_parked would already have passed us
+        // by. A leftover parked clone after a successful retry is a
+        // harmless spurious wake.
+        self.inner.shared.park(waker);
+        match self.try_arm(interval, waker) {
+            Some(armed) => armed,
+            None => ArmOutcome::Parked,
+        }
+    }
+
+    fn try_arm(&self, interval: TickDelta, waker: &Waker) -> Option<ArmOutcome> {
+        let shared = &self.inner.shared;
+        let slot = match shared.table.alloc(interval, waker.clone()) {
+            Ok(slot) => slot,
+            Err(_) => return None,
+        };
+        match shared.svc.start_timer(slot_to_request(slot), interval) {
+            Ok(timer) => Some(ArmOutcome::Armed { slot, timer }),
+            Err(TimerError::Exhausted) => {
+                shared.table.cancel(slot);
+                None
+            }
+            Err(err) => {
+                shared.table.cancel(slot);
+                // Config-shaped rejections (zero interval is screened by
+                // Sleep, so this is out-of-range/overflow): surface at the
+                // call site rather than parking forever.
+                panic!("timer driver could not arm sleep: {err}");
+            }
+        }
+    }
+
+    /// Poll-time waker re-registration on an armed sleep's slot.
+    pub(crate) fn register(&self, slot: TimerHandle, waker: &Waker) -> RegisterOutcome {
+        self.inner.shared.table.register_waker(slot, waker)
+    }
+
+    /// `UPDATE` path for [`Sleep::reset`]: one `restart_timer` round-trip
+    /// (never stop+start), then refresh the slot's recorded interval.
+    pub(crate) fn restart(
+        &self,
+        timer: TimerHandle,
+        slot: TimerHandle,
+        interval: TickDelta,
+    ) -> Result<(), TimerError> {
+        self.inner.shared.svc.restart_timer(timer, interval)?;
+        self.inner.shared.table.set_interval(slot, interval);
+        Ok(())
+    }
+
+    /// Cancellation path (drop, or reset of an already-fired sleep): stop
+    /// the wheel timer, free the waker slot, and hand the released
+    /// capacity to any exhaustion-parked sleeps.
+    pub(crate) fn release(&self, timer: TimerHandle, slot: TimerHandle) {
+        let shared = &self.inner.shared;
+        // Either call may report Stale — the timer fired and the expiry
+        // is (or was) in flight; freeing the slot here makes that expiry
+        // route to a stale slot and drop silently.
+        let _ = shared.svc.stop_timer(timer);
+        if shared.table.cancel(slot) {
+            shared.wake_parked();
+        }
+    }
+}

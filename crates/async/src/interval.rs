@@ -1,0 +1,68 @@
+//! [`Interval`]: a periodic tick stream over one recycled timer's worth
+//! of capacity.
+//!
+//! A fire consumes both the wheel record and the waker slot, so each
+//! delivered tick re-arms with a fresh `START_TIMER` — but both
+//! allocations come straight off their arenas' free lists, so a
+//! long-lived interval occupies exactly one record and one slot at a
+//! time and never grows either slab
+//! ([`TimerDriver::waker_slots`](crate::TimerDriver::waker_slots)
+//! plateaus). Resetting the period mid-flight, by contrast, *is* the
+//! paper's `UPDATE` relink: [`Sleep::reset`] on the armed sleep.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use tw_core::TickDelta;
+
+use crate::sleep::Sleep;
+
+/// Periodic tick stream returned by
+/// [`TimerDriver::interval`](crate::TimerDriver::interval).
+pub struct Interval {
+    sleep: Sleep,
+    period: TickDelta,
+    ticks: u64,
+}
+
+impl Interval {
+    pub(crate) fn new(sleep: Sleep, period: TickDelta) -> Interval {
+        Interval {
+            sleep,
+            period,
+            ticks: 0,
+        }
+    }
+
+    /// The period between ticks.
+    #[must_use]
+    pub fn period(&self) -> TickDelta {
+        self.period
+    }
+
+    /// Ticks delivered so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Polls for the next tick; on delivery, re-arms the underlying sleep
+    /// for the next period and returns the 1-based tick count.
+    pub fn poll_tick(&mut self, cx: &mut Context<'_>) -> Poll<u64> {
+        match Pin::new(&mut self.sleep).poll(cx) {
+            Poll::Ready(()) => {
+                self.ticks += 1;
+                self.sleep.reset(self.period);
+                Poll::Ready(self.ticks)
+            }
+            Poll::Pending => Poll::Pending,
+        }
+    }
+
+    /// Completes on the next tick. Equivalent to awaiting
+    /// [`poll_tick`](Self::poll_tick) once.
+    pub async fn tick(&mut self) -> u64 {
+        std::future::poll_fn(|cx| self.poll_tick(cx)).await
+    }
+}

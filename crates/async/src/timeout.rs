@@ -1,0 +1,72 @@
+//! [`Timeout`]: races an inner future against a [`Sleep`] deadline.
+//!
+//! The deadline is one wheel timer — armed on first poll, `STOP_TIMER`ed
+//! (via `Sleep`'s drop) the moment the inner future wins. Under the
+//! paper's workload model most timeouts never expire, so the common-case
+//! cost is exactly a start/stop pair on the wheel, which is what the
+//! schemes optimize for.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use crate::sleep::Sleep;
+
+/// Error returned by [`Timeout`] when the deadline elapses before the
+/// inner future completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline elapsed before the future completed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Future returned by [`TimerDriver::timeout`](crate::TimerDriver::timeout).
+pub struct Timeout<F> {
+    sleep: Sleep,
+    future: F,
+}
+
+impl<F> Timeout<F> {
+    pub(crate) fn new(sleep: Sleep, future: F) -> Timeout<F> {
+        Timeout { sleep, future }
+    }
+
+    /// The inner future, by reference.
+    pub fn get_ref(&self) -> &F {
+        &self.future
+    }
+
+    /// Consumes the timeout, returning the inner future and cancelling
+    /// the deadline timer.
+    pub fn into_inner(self) -> F {
+        self.future
+    }
+}
+
+impl<F: Future> Future for Timeout<F> {
+    type Output = Result<F::Output, Elapsed>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural pin projection. `self` is pinned; `future` is
+        // never moved out of it (only polled through the reborrowed pin)
+        // and `Timeout` has no Drop impl of its own that could move it.
+        let this = unsafe { self.get_unchecked_mut() };
+        // SAFETY: projecting the pin to the `future` field; the field
+        // lives in the pinned place and is not repositioned.
+        let future = unsafe { Pin::new_unchecked(&mut this.future) };
+        // Inner future first: if both are ready in the same wake storm the
+        // value beats the deadline, matching tokio's bias.
+        if let Poll::Ready(value) = future.poll(cx) {
+            return Poll::Ready(Ok(value));
+        }
+        match Pin::new(&mut this.sleep).poll(cx) {
+            Poll::Ready(()) => Poll::Ready(Err(Elapsed)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}

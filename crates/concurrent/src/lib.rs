@@ -37,5 +37,5 @@ pub mod sync;
 pub use coarse::CoarseLocked;
 pub use mpsc::{MpscExpired, MpscHandle, MpscWheel};
 #[cfg(not(loom))]
-pub use service::{Expiry, TimerService};
+pub use service::{Expiry, TimerService, TimerServiceBuilder};
 pub use sharded::{ShardHandle, ShardedWheel};

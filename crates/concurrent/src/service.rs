@@ -11,7 +11,7 @@
 //!
 //! * **virtual** — clients call [`TimerService::advance`], which is
 //!   deterministic and what the tests and experiments use;
-//! * **real** — [`TimerService::spawn_realtime`] runs a wall-clock ticker
+//! * **real** — [`TimerServiceBuilder::realtime`] runs a wall-clock ticker
 //!   at a fixed tick period.
 //!
 //! Expirations are delivered on a channel as [`Expiry`] records.
@@ -73,6 +73,97 @@ enum Cmd {
     Shutdown,
 }
 
+/// Configures and spawns a [`TimerService`]: the single construction
+/// entry point for the service thread.
+///
+/// One builder covers what used to be three `spawn*` constructors plus the
+/// knobs they never exposed — wall-clock ticking, a shared [`Observer`],
+/// an arena admission ceiling, and the expiry-channel depth hint:
+///
+/// ```
+/// use tw_concurrent::TimerService;
+/// use tw_core::wheel::HashedWheelUnsorted;
+/// use tw_core::{RequestId, TickDelta};
+///
+/// let svc = TimerService::builder(HashedWheelUnsorted::<RequestId>::new(64))
+///     .arena_capacity(1 << 20)
+///     .spawn();
+/// svc.start_timer(7, TickDelta(3)).unwrap();
+/// assert_eq!(svc.advance(3), 1);
+/// ```
+#[must_use = "the builder does nothing until `spawn`"]
+pub struct TimerServiceBuilder<S> {
+    scheme: S,
+    period: Option<Duration>,
+    observer: Option<Arc<dyn Observer + Send + Sync>>,
+    arena_capacity: Option<usize>,
+    channel_depth: Option<usize>,
+}
+
+impl<S> TimerServiceBuilder<S>
+where
+    S: TimerScheme<RequestId> + Send + 'static,
+{
+    /// Drives the clock from wall time: one scheme tick every `period`.
+    /// Without this the service keeps virtual time and only moves on
+    /// [`TimerService::advance`].
+    pub fn realtime(mut self, period: Duration) -> Self {
+        self.period = Some(period);
+        self
+    }
+
+    /// Reports service events to `observer` (typically a `tw-obs`
+    /// `ServiceTelemetry` behind the `Arc`): the scheme hooks via
+    /// [`Observed`], plus [`Observer::on_queue_depth`] per command picked
+    /// up, [`Observer::on_batch`] per coalesced burst, and
+    /// [`Observer::on_command_latency`] with the command→fire tick
+    /// distance when an armed timer fires.
+    pub fn observer(mut self, observer: Arc<dyn Observer + Send + Sync>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Caps the scheme's arena at `limit` live timers before spawning;
+    /// past the cap, `start_timer` reports [`TimerError::Exhausted`] until
+    /// a stop or expiry frees a slot. Ignored by schemes without an arena
+    /// (every wheel in this workspace has one; see
+    /// [`TimerScheme::set_arena_capacity`]).
+    pub fn arena_capacity(mut self, limit: usize) -> Self {
+        self.arena_capacity = Some(limit);
+        self
+    }
+
+    /// Sizes the expiry channel for an expected burst of `depth`
+    /// notifications (a preallocation hint with the vendored channel, a
+    /// hard bound with a backpressured one).
+    pub fn channel_depth(mut self, depth: usize) -> Self {
+        self.channel_depth = Some(depth);
+        self
+    }
+
+    /// Spawns the owning service thread and returns the client handle.
+    #[must_use]
+    pub fn spawn(self) -> TimerService {
+        let TimerServiceBuilder {
+            mut scheme,
+            period,
+            observer,
+            arena_capacity,
+            channel_depth,
+        } = self;
+        if let Some(limit) = arena_capacity {
+            let _ = scheme.set_arena_capacity(limit);
+        }
+        // Dispatch keeps the unobserved path monomorphized over
+        // `NoopObserver` — zero-sized, every hook inlined away — instead of
+        // paying dyn dispatch for no recorder.
+        match observer {
+            Some(o) => TimerService::spawn_inner(scheme, period, o, channel_depth),
+            None => TimerService::spawn_inner(scheme, period, NoopObserver, channel_depth),
+        }
+    }
+}
+
 /// Handle to a running timer-service thread. See the [module docs](self).
 pub struct TimerService {
     cmd: Sender<Cmd>,
@@ -81,29 +172,55 @@ pub struct TimerService {
 }
 
 impl TimerService {
+    /// Starts configuring a service around `scheme`; finish with
+    /// [`TimerServiceBuilder::spawn`]. The default build keeps virtual
+    /// time, observes nothing, and leaves the arena uncapped.
+    pub fn builder<S>(scheme: S) -> TimerServiceBuilder<S>
+    where
+        S: TimerScheme<RequestId> + Send + 'static,
+    {
+        TimerServiceBuilder {
+            scheme,
+            period: None,
+            observer: None,
+            arena_capacity: None,
+            channel_depth: None,
+        }
+    }
+
     /// Spawns a service around `scheme` with virtual time: the clock only
     /// advances on [`advance`](Self::advance).
+    #[deprecated(
+        since = "0.3.0",
+        note = "build through `TimerService::builder(scheme).spawn()`, the single \
+                construction entry point; this shim lasts one release"
+    )]
     pub fn spawn<S>(scheme: S) -> TimerService
     where
         S: TimerScheme<RequestId> + Send + 'static,
     {
-        TimerService::spawn_inner(scheme, None, NoopObserver)
+        TimerService::builder(scheme).spawn()
     }
 
     /// Spawns a service whose clock ticks every `period` of wall time.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build through `TimerService::builder(scheme).realtime(period).spawn()`; \
+                this shim lasts one release"
+    )]
     pub fn spawn_realtime<S>(scheme: S, period: Duration) -> TimerService
     where
         S: TimerScheme<RequestId> + Send + 'static,
     {
-        TimerService::spawn_inner(scheme, Some(period), NoopObserver)
+        TimerService::builder(scheme).realtime(period).spawn()
     }
 
-    /// Spawns a virtual-time service whose events report to `observer`
-    /// (typically a `tw-obs` `ServiceTelemetry` behind the `Arc`): the five
-    /// scheme hooks, plus [`Observer::on_queue_depth`] per command picked
-    /// up, [`Observer::on_batch`] per coalesced `Advance` sweep, and
-    /// [`Observer::on_command_latency`] with the command→fire tick distance
-    /// when an armed timer fires.
+    /// Spawns a virtual-time service whose events report to `observer`.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build through `TimerService::builder(scheme).observer(o).spawn()`; \
+                this shim lasts one release"
+    )]
     pub fn spawn_with_observer<S>(
         scheme: S,
         observer: Arc<dyn Observer + Send + Sync>,
@@ -111,10 +228,15 @@ impl TimerService {
     where
         S: TimerScheme<RequestId> + Send + 'static,
     {
-        TimerService::spawn_inner(scheme, None, observer)
+        TimerService::builder(scheme).observer(observer).spawn()
     }
 
-    fn spawn_inner<S, O>(scheme: S, period: Option<Duration>, observer: O) -> TimerService
+    fn spawn_inner<S, O>(
+        scheme: S,
+        period: Option<Duration>,
+        observer: O,
+        channel_depth: Option<usize>,
+    ) -> TimerService
     where
         S: TimerScheme<RequestId> + Send + 'static,
         O: Observer + Clone + Send + 'static,
@@ -125,7 +247,10 @@ impl TimerService {
         // Tick each armed timer was started at, for command→fire latency.
         let mut armed: HashMap<TimerHandle, Tick> = HashMap::new();
         let (cmd_tx, cmd_rx) = unbounded::<Cmd>();
-        let (exp_tx, exp_rx) = unbounded::<Expiry>();
+        let (exp_tx, exp_rx) = match channel_depth {
+            Some(depth) => bounded::<Expiry>(depth),
+            None => unbounded::<Expiry>(),
+        };
         let join = std::thread::Builder::new()
             .name("timer-service".into())
             .spawn(move || {
@@ -438,7 +563,7 @@ mod tests {
 
     #[test]
     fn virtual_time_flow() {
-        let svc = TimerService::spawn(HashedWheelUnsorted::<RequestId>::new(64));
+        let svc = TimerService::builder(HashedWheelUnsorted::<RequestId>::new(64)).spawn();
         svc.start_timer(1, TickDelta(5)).unwrap();
         svc.start_timer(2, TickDelta(3)).unwrap();
         assert_eq!(svc.outstanding(), 2);
@@ -454,9 +579,10 @@ mod tests {
 
     #[test]
     fn stop_via_service() {
-        let svc = TimerService::spawn(HierarchicalWheel::<RequestId>::new(LevelSizes(vec![
+        let svc = TimerService::builder(HierarchicalWheel::<RequestId>::new(LevelSizes(vec![
             16, 16,
-        ])));
+        ])))
+        .spawn();
         let h = svc.start_timer(42, TickDelta(100)).unwrap();
         assert_eq!(svc.stop_timer(h), Ok(RequestId(42)));
         assert_eq!(svc.stop_timer(h), Err(TimerError::Stale));
@@ -466,9 +592,10 @@ mod tests {
 
     #[test]
     fn restart_via_service() {
-        let svc = TimerService::spawn(HierarchicalWheel::<RequestId>::new(LevelSizes(vec![
+        let svc = TimerService::builder(HierarchicalWheel::<RequestId>::new(LevelSizes(vec![
             16, 16,
-        ])));
+        ])))
+        .spawn();
         let h = svc.start_timer(42, TickDelta(10)).unwrap();
         svc.restart_timer(h, TickDelta(40)).unwrap();
         assert_eq!(svc.advance(30), 0, "old deadline must not fire");
@@ -489,9 +616,8 @@ mod tests {
     #[test]
     fn restart_bursts_coalesce_to_the_newest_interval() {
         use std::sync::Arc;
-        let svc = Arc::new(TimerService::spawn(HashedWheelUnsorted::<RequestId>::new(
-            64,
-        )));
+        let svc =
+            Arc::new(TimerService::builder(HashedWheelUnsorted::<RequestId>::new(64)).spawn());
         let handles: Vec<TimerHandle> = (0..20u64)
             .map(|i| svc.start_timer(i, TickDelta(500)).unwrap())
             .collect();
@@ -532,9 +658,8 @@ mod tests {
     #[test]
     fn many_clients_share_the_service() {
         use std::sync::Arc;
-        let svc = Arc::new(TimerService::spawn(HashedWheelUnsorted::<RequestId>::new(
-            256,
-        )));
+        let svc =
+            Arc::new(TimerService::builder(HashedWheelUnsorted::<RequestId>::new(256)).spawn());
         let threads: Vec<_> = (0..4u64)
             .map(|t| {
                 let svc = Arc::clone(&svc);
@@ -558,9 +683,8 @@ mod tests {
     #[test]
     fn concurrent_advance_bursts_attribute_each_fire_once() {
         use std::sync::Arc;
-        let svc = Arc::new(TimerService::spawn(HashedWheelUnsorted::<RequestId>::new(
-            64,
-        )));
+        let svc =
+            Arc::new(TimerService::builder(HashedWheelUnsorted::<RequestId>::new(64)).spawn());
         for i in 0..40u64 {
             svc.start_timer(i, TickDelta(i % 20 + 1)).unwrap();
         }
@@ -581,10 +705,9 @@ mod tests {
 
     #[test]
     fn realtime_ticker_fires() {
-        let svc = TimerService::spawn_realtime(
-            HashedWheelUnsorted::<RequestId>::new(64),
-            Duration::from_millis(1),
-        );
+        let svc = TimerService::builder(HashedWheelUnsorted::<RequestId>::new(64))
+            .realtime(Duration::from_millis(1))
+            .spawn();
         svc.start_timer(7, TickDelta(3)).unwrap();
         let e = svc
             .expiries()

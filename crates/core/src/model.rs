@@ -160,6 +160,11 @@ impl<T> TimerScheme<T> for OracleScheme<T> {
         self.counters.reset();
     }
 
+    fn set_arena_capacity(&mut self, limit: usize) -> bool {
+        self.arena.set_capacity_limit(limit);
+        true
+    }
+
     fn name(&self) -> &'static str {
         "oracle(btreemap)"
     }

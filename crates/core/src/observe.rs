@@ -108,6 +108,15 @@ pub trait Observer {
     fn on_command_latency(&self, elapsed: TickDelta) {
         let _ = elapsed;
     }
+
+    /// Poll→wake latency of the async layer: the elapsed ticks between a
+    /// sleep future registering its waker and the driver waking it. Sits
+    /// next to [`on_command_latency`](Observer::on_command_latency): that
+    /// one measures the command channel, this one the full futures round
+    /// trip through the waker table.
+    fn on_wake_latency(&self, elapsed: TickDelta) {
+        let _ = elapsed;
+    }
 }
 
 /// The do-nothing observer: a zero-sized type whose hooks are all the
@@ -150,6 +159,9 @@ impl<O: Observer + ?Sized> Observer for &O {
     fn on_command_latency(&self, elapsed: TickDelta) {
         (**self).on_command_latency(elapsed);
     }
+    fn on_wake_latency(&self, elapsed: TickDelta) {
+        (**self).on_wake_latency(elapsed);
+    }
 }
 
 /// `Arc<O>` observes by delegating to the shared recorder, which is how
@@ -185,6 +197,9 @@ impl<O: Observer + ?Sized> Observer for std::sync::Arc<O> {
     }
     fn on_command_latency(&self, elapsed: TickDelta) {
         (**self).on_command_latency(elapsed);
+    }
+    fn on_wake_latency(&self, elapsed: TickDelta) {
+        (**self).on_wake_latency(elapsed);
     }
 }
 
@@ -289,6 +304,10 @@ impl<T, S: TimerScheme<T>, O: Observer> TimerScheme<T> for Observed<S, O> {
             expired(e);
         });
         self.observer.on_tick_end(self.inner.now(), fired);
+    }
+
+    fn set_arena_capacity(&mut self, limit: usize) -> bool {
+        self.inner.set_arena_capacity(limit)
     }
 
     fn now(&self) -> Tick {

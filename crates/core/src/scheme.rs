@@ -127,6 +127,21 @@ pub trait TimerScheme<T> {
         }
     }
 
+    /// Caps the scheme's node arena at `limit` live timers, returning `true`
+    /// when the scheme supports a ceiling. Once the cap is reached,
+    /// `start_timer` reports [`TimerError::Exhausted`] instead of growing —
+    /// the admission-control knob a bounded host (or the tw-async driver)
+    /// turns before accepting work.
+    ///
+    /// The default reports `false` (no arena to cap), so baselines and
+    /// external implementors opt in explicitly; every arena-backed wheel in
+    /// this workspace overrides it with a delegation to
+    /// [`TimerArena::set_capacity_limit`](crate::arena::TimerArena::set_capacity_limit).
+    fn set_arena_capacity(&mut self, limit: usize) -> bool {
+        let _ = limit;
+        false
+    }
+
     /// The current absolute time (number of `tick` calls so far).
     fn now(&self) -> Tick;
 

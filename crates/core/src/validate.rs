@@ -174,6 +174,10 @@ impl<T, S: TimerScheme<T> + InvariantCheck> TimerScheme<T> for Checked<S> {
         self.inner.reset_counters();
     }
 
+    fn set_arena_capacity(&mut self, limit: usize) -> bool {
+        self.inner.set_arena_capacity(limit)
+    }
+
     fn name(&self) -> &'static str {
         self.inner.name()
     }

@@ -67,23 +67,8 @@ impl<T> BasicWheel<T> {
         BasicWheel::build(max_interval, OverflowPolicy::default())
     }
 
-    /// Creates a wheel with an explicit [`OverflowPolicy`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `max_interval` is zero.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build through `wheel::WheelConfig` (`WheelConfig::new().slots(n).overflow(p)`), \
-                which validates instead of panicking; this shim lasts one release"
-    )]
-    #[must_use]
-    pub fn with_policy(max_interval: usize, overflow_policy: OverflowPolicy) -> BasicWheel<T> {
-        BasicWheel::build(max_interval, overflow_policy)
-    }
-
-    /// Shared constructor behind `new`, the deprecated `with_policy` shim,
-    /// and the validated [`WheelConfig`](crate::wheel::WheelConfig) path
+    /// Shared constructor behind `new` and the validated
+    /// [`WheelConfig`](crate::wheel::WheelConfig) path
     /// (which checks `max_interval > 0` before calling).
     pub(crate) fn build(max_interval: usize, overflow_policy: OverflowPolicy) -> BasicWheel<T> {
         assert!(max_interval > 0, "wheel needs at least one slot");
@@ -341,6 +326,11 @@ impl<T> TimerScheme<T> for BasicWheel<T> {
         self.counters.reset();
     }
 
+    fn set_arena_capacity(&mut self, limit: usize) -> bool {
+        self.arena.set_capacity_limit(limit);
+        true
+    }
+
     fn name(&self) -> &'static str {
         "scheme4(basic-wheel)"
     }
@@ -469,16 +459,6 @@ mod tests {
             w.start_timer(TickDelta::ZERO, ()),
             Err(TimerError::ZeroInterval)
         );
-    }
-
-    /// The deprecated `with_policy` shim must keep routing through `build`
-    /// until its removal.
-    #[test]
-    #[allow(deprecated)]
-    fn with_policy_shim_still_constructs() {
-        let mut w: BasicWheel<u32> = BasicWheel::with_policy(8, OverflowPolicy::OverflowList);
-        w.start_timer(TickDelta(100), 7).unwrap();
-        assert_eq!(w.collect_ticks(100).len(), 1);
     }
 
     #[test]

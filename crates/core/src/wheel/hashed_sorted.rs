@@ -272,6 +272,11 @@ impl<T> TimerScheme<T> for HashedWheelSorted<T> {
         self.counters.reset();
     }
 
+    fn set_arena_capacity(&mut self, limit: usize) -> bool {
+        self.arena.set_capacity_limit(limit);
+        true
+    }
+
     fn name(&self) -> &'static str {
         "scheme5(hashed-sorted)"
     }

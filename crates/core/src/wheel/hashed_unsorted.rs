@@ -308,6 +308,11 @@ impl<T> TimerScheme<T> for HashedWheelUnsorted<T> {
         self.counters.reset();
     }
 
+    fn set_arena_capacity(&mut self, limit: usize) -> bool {
+        self.arena.set_capacity_limit(limit);
+        true
+    }
+
     fn name(&self) -> &'static str {
         "scheme6(hashed-unsorted)"
     }

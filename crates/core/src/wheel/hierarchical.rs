@@ -119,31 +119,9 @@ impl<T> HierarchicalWheel<T> {
         )
     }
 
-    /// Creates a hierarchy with explicit policies.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `sizes` is invalid or its total slot count exceeds `u32`
-    /// range.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build through `wheel::WheelConfig` \
-                (`WheelConfig::new().granularities(sizes).insert_rule(r).migration(m).overflow(p)`), \
-                which validates instead of panicking; this shim lasts one release"
-    )]
-    #[must_use]
-    pub fn with_policies(
-        sizes: LevelSizes,
-        insert_rule: InsertRule,
-        migration_policy: MigrationPolicy,
-        overflow_policy: OverflowPolicy,
-    ) -> HierarchicalWheel<T> {
-        HierarchicalWheel::build(sizes, insert_rule, migration_policy, overflow_policy)
-    }
-
-    /// Shared constructor behind `new`, the deprecated `with_policies`
-    /// shim, and the validated [`WheelConfig`](crate::wheel::WheelConfig)
-    /// path (which runs [`LevelSizes::try_validate`] before calling).
+    /// Shared constructor behind `new` and the validated
+    /// [`WheelConfig`](crate::wheel::WheelConfig) path (which runs
+    /// [`LevelSizes::try_validate`] before calling).
     pub(crate) fn build(
         sizes: LevelSizes,
         insert_rule: InsertRule,
@@ -632,6 +610,11 @@ impl<T> TimerScheme<T> for HierarchicalWheel<T> {
         self.counters.reset();
     }
 
+    fn set_arena_capacity(&mut self, limit: usize) -> bool {
+        self.arena.set_capacity_limit(limit);
+        true
+    }
+
     fn name(&self) -> &'static str {
         match (self.insert_rule, self.migration_policy) {
             (InsertRule::Digit, MigrationPolicy::Full) => "scheme7(hier-digit)",
@@ -776,21 +759,6 @@ mod tests {
 
     fn small() -> LevelSizes {
         LevelSizes(vec![8, 8, 8]) // range 512
-    }
-
-    /// The deprecated `with_policies` shim must keep routing through `build`
-    /// until its removal.
-    #[test]
-    #[allow(deprecated)]
-    fn with_policies_shim_still_constructs() {
-        let mut w: HierarchicalWheel<u64> = HierarchicalWheel::with_policies(
-            small(),
-            InsertRule::Digit,
-            MigrationPolicy::Full,
-            OverflowPolicy::Reject,
-        );
-        w.start_timer(TickDelta(100), 100).unwrap();
-        assert_eq!(w.collect_ticks(100).len(), 1);
     }
 
     #[test]

@@ -144,14 +144,6 @@ impl<T> LawnWheel<T> {
         self.arena.slot_count()
     }
 
-    /// Caps the arena's live-record population; once reached, `start_timer`
-    /// returns [`TimerError::Exhausted`] until a stop or expiry frees a
-    /// record (see
-    /// [`TimerArena::set_capacity_limit`](crate::arena::TimerArena::set_capacity_limit)).
-    pub fn set_arena_capacity(&mut self, limit: usize) {
-        self.arena.set_capacity_limit(limit);
-    }
-
     /// Number of timers currently in the bucket for `ttl` (test/experiment
     /// introspection). Returns 0 for TTLs beyond `max_interval`.
     #[must_use]
@@ -402,6 +394,11 @@ impl<T> TimerScheme<T> for LawnWheel<T> {
 
     fn reset_counters(&mut self) {
         self.counters.reset();
+    }
+
+    fn set_arena_capacity(&mut self, limit: usize) -> bool {
+        self.arena.set_capacity_limit(limit);
+        true
     }
 
     fn name(&self) -> &'static str {

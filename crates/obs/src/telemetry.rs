@@ -184,6 +184,10 @@ pub struct ServiceTelemetry {
     pub batch_size: LogHistogram,
     /// Ticks from a start command being processed to the timer firing.
     pub command_latency: LogHistogram,
+    /// Ticks from a sleep future registering its waker to the driver
+    /// waking it — the async layer's poll→fire round trip, recorded by
+    /// `tw-async` next to the command-channel latency above.
+    pub wake_latency: LogHistogram,
 }
 
 impl ServiceTelemetry {
@@ -196,6 +200,7 @@ impl ServiceTelemetry {
             queue_depth: LogHistogram::new(),
             batch_size: LogHistogram::new(),
             command_latency: LogHistogram::new(),
+            wake_latency: LogHistogram::new(),
         }
     }
 
@@ -204,7 +209,8 @@ impl ServiceTelemetry {
         self.scheme.check_saturation()?;
         self.queue_depth.check_saturation()?;
         self.batch_size.check_saturation()?;
-        self.command_latency.check_saturation()
+        self.command_latency.check_saturation()?;
+        self.wake_latency.check_saturation()
     }
 
     /// Resets every counter and histogram.
@@ -215,6 +221,7 @@ impl ServiceTelemetry {
         self.queue_depth.reset();
         self.batch_size.reset();
         self.command_latency.reset();
+        self.wake_latency.reset();
     }
 
     /// Summarizes current contents for export.
@@ -227,6 +234,7 @@ impl ServiceTelemetry {
         s.histogram("queue_depth", self.queue_depth.snapshot());
         s.histogram("batch_size", self.batch_size.snapshot());
         s.histogram("command_latency", self.command_latency.snapshot());
+        s.histogram("wake_latency", self.wake_latency.snapshot());
         s
     }
 }
@@ -273,6 +281,10 @@ impl Observer for ServiceTelemetry {
 
     fn on_command_latency(&self, elapsed: TickDelta) {
         self.command_latency.record(elapsed.as_u64());
+    }
+
+    fn on_wake_latency(&self, elapsed: TickDelta) {
+        self.wake_latency.record(elapsed.as_u64());
     }
 }
 

@@ -6,6 +6,8 @@
 //!   Figure 3 G/G/∞ model, deterministic and bursty for stress).
 //! * [`trace`] — deterministic operation traces and the replay driver every
 //!   comparative experiment runs on.
+//! * [`sleeps`] — future-level concurrent-sleeps plans (spawn / reset /
+//!   drop / advance) for the `tw-async` wake-storm experiments.
 //! * [`stats`] — online moments, percentiles, log histograms.
 //! * [`theory`] — the paper's closed forms (insert costs, Little's law,
 //!   residual life, `4 + 15·n/TableSize`, the §6.2 crossover rule).
@@ -20,11 +22,13 @@
 
 pub mod arrivals;
 pub mod dist;
+pub mod sleeps;
 pub mod stats;
 pub mod theory;
 pub mod trace;
 
 pub use arrivals::{ArrivalProcess, Arrivals};
 pub use dist::IntervalDist;
+pub use sleeps::{SleepOp, SleepsConfig, SleepsPlan};
 pub use stats::{percentile, LogHistogram, OnlineStats};
 pub use trace::{replay, ReplayReport, Trace, TraceConfig, TraceOp};

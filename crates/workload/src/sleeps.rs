@@ -1,0 +1,283 @@
+//! Concurrent-sleeps workloads: deterministic plans for driving a fleet
+//! of async sleep futures through ramp, churn, and a coalesced wake
+//! storm.
+//!
+//! Where [`trace`](crate::trace) speaks the scheme-level vocabulary
+//! (start / stop / tick), a sleeps plan speaks the future-level one the
+//! `tw-async` layer exposes: **spawn** a sleep (arms on first poll),
+//! **reset** it (the paper's `UPDATE` — one `restart_timer`, never
+//! stop+start), **drop** it (cancellation), and **advance** virtual time
+//! (each advance delivers one batched wake storm). The plan is generated
+//! up front from a seed, so the million-sleep benchmark and the CI smoke
+//! run replay byte-identical schedules at different scales.
+//!
+//! Shape of a generated plan: all spawns first (the ramp holds the full
+//! population live), then an interleaved churn of resets and drops
+//! against random live sleeps, then advance chunks that sweep time past
+//! the last surviving deadline — so every surviving sleep fires, and
+//! fires inside a storm rather than alone.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use tw_core::TickDelta;
+
+use crate::dist::IntervalDist;
+
+/// One future-level operation in a sleeps plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SleepOp {
+    /// Create sleep `id` with this interval and poll it (arming it).
+    Spawn {
+        /// Plan-unique sleep id, dense from zero.
+        id: u64,
+        /// Interval in ticks.
+        interval: TickDelta,
+    },
+    /// Reset sleep `id` (guaranteed live) to this interval — `UPDATE`.
+    Reset {
+        /// Id of a live, undropped sleep.
+        id: u64,
+        /// The new interval, measured from the current virtual time.
+        interval: TickDelta,
+    },
+    /// Drop sleep `id` (guaranteed live) — cancellation.
+    Drop {
+        /// Id of a live, undropped sleep.
+        id: u64,
+    },
+    /// Advance virtual time, delivering one batched wake storm.
+    Advance {
+        /// Ticks to advance.
+        ticks: u64,
+    },
+}
+
+/// Parameters for [`SleepsPlan::generate`].
+#[derive(Debug, Clone)]
+pub struct SleepsConfig {
+    /// Number of sleeps to hold live at the ramp's peak.
+    pub sleeps: u64,
+    /// Interval distribution for spawns and resets.
+    pub intervals: IntervalDist,
+    /// Fraction of the population reset during churn (resets hit random
+    /// live sleeps; one sleep may be reset more than once).
+    pub reset_fraction: f64,
+    /// Fraction of the population dropped during churn (each drop hits a
+    /// distinct live sleep).
+    pub drop_fraction: f64,
+    /// Number of advance chunks the wake-storm sweep is split into.
+    pub storm_chunks: u64,
+    /// RNG seed: identical configs produce identical plans.
+    pub seed: u64,
+}
+
+impl Default for SleepsConfig {
+    fn default() -> SleepsConfig {
+        SleepsConfig {
+            sleeps: 10_000,
+            intervals: IntervalDist::Uniform { lo: 64, hi: 8_192 },
+            reset_fraction: 0.25,
+            drop_fraction: 0.10,
+            storm_chunks: 16,
+            seed: 0x1987_000A,
+        }
+    }
+}
+
+/// A generated concurrent-sleeps schedule.
+#[derive(Debug, Clone)]
+pub struct SleepsPlan {
+    /// The operation sequence: spawns, then reset/drop churn, then the
+    /// advance sweep.
+    pub ops: Vec<SleepOp>,
+    /// Number of `Spawn` ops (== `config.sleeps`).
+    pub spawns: u64,
+    /// Number of `Reset` ops.
+    pub resets: u64,
+    /// Number of `Drop` ops.
+    pub drops: u64,
+    /// Total ticks across the `Advance` ops; covers every deadline the
+    /// plan can produce, so a full replay fires all surviving sleeps.
+    pub advance_ticks: u64,
+    /// Sleeps still live when the sweep begins (`spawns - drops`) — the
+    /// number of fires a faithful replay must observe.
+    pub survivors: u64,
+}
+
+impl SleepsPlan {
+    /// Generates a deterministic plan from the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sleeps` or `storm_chunks` is zero, or either fraction
+    /// is outside `[0, 1]`.
+    #[must_use]
+    pub fn generate(cfg: &SleepsConfig) -> SleepsPlan {
+        assert!(cfg.sleeps > 0, "need at least one sleep");
+        assert!(cfg.storm_chunks > 0, "need at least one advance chunk");
+        assert!(
+            (0.0..=1.0).contains(&cfg.reset_fraction),
+            "reset_fraction range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.drop_fraction),
+            "drop_fraction range"
+        );
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut ops = Vec::new();
+        let mut span = 0u64; // largest deadline any op can have produced
+
+        // Ramp: the whole population spawns before any time passes, so
+        // every deadline is measured from t=0.
+        for id in 0..cfg.sleeps {
+            let interval = nonzero(cfg.intervals.sample(&mut rng));
+            span = span.max(interval.as_u64());
+            ops.push(SleepOp::Spawn { id, interval });
+        }
+
+        // Churn: resets rebase random live deadlines (still from t=0 —
+        // no advance has happened), drops thin the population. Drop
+        // targets are made distinct by a seeded index shuffle.
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let resets = (cfg.sleeps as f64 * cfg.reset_fraction) as u64;
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let drops = (cfg.sleeps as f64 * cfg.drop_fraction) as u64;
+        let mut order: Vec<u64> = (0..cfg.sleeps).collect();
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let (dropped, kept) = order.split_at(usize::try_from(drops).unwrap_or(0));
+
+        // Interleave: resets target surviving sleeps only, so the replay
+        // never resets a dropped future.
+        let mut drop_iter = dropped.iter();
+        for k in 0..resets.max(drops) {
+            if k < resets && !kept.is_empty() {
+                let id = kept[rng.gen_range(0..kept.len())];
+                let interval = nonzero(cfg.intervals.sample(&mut rng));
+                span = span.max(interval.as_u64());
+                ops.push(SleepOp::Reset { id, interval });
+            }
+            if let Some(&id) = if k < drops { drop_iter.next() } else { None } {
+                ops.push(SleepOp::Drop { id });
+            }
+        }
+
+        // Storm sweep: cover the whole deadline span in chunks, then one
+        // spare tick so boundary deadlines are strictly inside the sweep.
+        let chunk = (span / cfg.storm_chunks).max(1);
+        let mut advanced = 0u64;
+        while advanced <= span {
+            ops.push(SleepOp::Advance { ticks: chunk });
+            advanced += chunk;
+        }
+        let advance_ticks = advanced;
+
+        SleepsPlan {
+            ops,
+            spawns: cfg.sleeps,
+            resets: resets.min(if kept.is_empty() { 0 } else { resets }),
+            drops,
+            advance_ticks,
+            survivors: cfg.sleeps - drops,
+        }
+    }
+}
+
+/// Clamp sampled intervals to at least one tick (a zero-interval sleep
+/// completes inline and never exercises the wheel).
+fn nonzero(interval: TickDelta) -> TickDelta {
+    if interval.is_zero() {
+        TickDelta::ONE
+    } else {
+        interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_and_well_formed() {
+        let cfg = SleepsConfig {
+            sleeps: 500,
+            ..SleepsConfig::default()
+        };
+        let a = SleepsPlan::generate(&cfg);
+        let b = SleepsPlan::generate(&cfg);
+        assert_eq!(a.ops, b.ops, "same seed, same plan");
+        assert_eq!(a.spawns, 500);
+        assert_eq!(a.survivors, a.spawns - a.drops);
+
+        // Replay-validate: ids dense, resets/drops hit live sleeps only,
+        // the sweep covers every surviving deadline.
+        let mut live: HashSet<u64> = HashSet::new();
+        let mut max_deadline = 0u64;
+        let mut deadline: Vec<u64> = vec![0; 500];
+        let mut advanced = 0u64;
+        let (mut spawns, mut resets, mut drops) = (0u64, 0u64, 0u64);
+        for op in &a.ops {
+            match *op {
+                SleepOp::Spawn { id, interval } => {
+                    assert_eq!(id, spawns, "spawn ids dense from zero");
+                    assert!(!interval.is_zero());
+                    live.insert(id);
+                    deadline[usize::try_from(id).unwrap()] = interval.as_u64();
+                    spawns += 1;
+                }
+                SleepOp::Reset { id, interval } => {
+                    assert!(live.contains(&id), "reset targets a live sleep");
+                    assert!(!interval.is_zero());
+                    deadline[usize::try_from(id).unwrap()] = interval.as_u64();
+                    resets += 1;
+                }
+                SleepOp::Drop { id } => {
+                    assert!(live.remove(&id), "drop targets a distinct live sleep");
+                    drops += 1;
+                }
+                SleepOp::Advance { ticks } => advanced += ticks,
+            }
+        }
+        for &id in &live {
+            max_deadline = max_deadline.max(deadline[usize::try_from(id).unwrap()]);
+        }
+        assert_eq!(spawns, a.spawns);
+        assert_eq!(drops, a.drops);
+        assert_eq!(resets, a.resets);
+        assert_eq!(advanced, a.advance_ticks);
+        assert!(
+            advanced > max_deadline,
+            "sweep ({advanced}) must pass the last deadline ({max_deadline})"
+        );
+        assert_eq!(u64::try_from(live.len()).unwrap(), a.survivors);
+    }
+
+    #[test]
+    fn fractions_scale_the_churn() {
+        let quiet = SleepsPlan::generate(&SleepsConfig {
+            sleeps: 1_000,
+            reset_fraction: 0.0,
+            drop_fraction: 0.0,
+            ..SleepsConfig::default()
+        });
+        assert_eq!(quiet.resets, 0);
+        assert_eq!(quiet.drops, 0);
+        assert_eq!(quiet.survivors, 1_000);
+
+        let churny = SleepsPlan::generate(&SleepsConfig {
+            sleeps: 1_000,
+            reset_fraction: 0.5,
+            drop_fraction: 0.5,
+            ..SleepsConfig::default()
+        });
+        assert_eq!(churny.resets, 500);
+        assert_eq!(churny.drops, 500);
+        assert_eq!(churny.survivors, 500);
+    }
+}

@@ -17,9 +17,12 @@ use timing_wheels::core::{RequestId, TickDelta};
 
 fn main() {
     // Virtual-time service for deterministic orchestration.
-    let svc = Arc::new(TimerService::spawn(HierarchicalWheel::<RequestId>::new(
-        LevelSizes(vec![64, 64, 64]),
-    )));
+    let svc = Arc::new(
+        TimerService::builder(HierarchicalWheel::<RequestId>::new(LevelSizes(vec![
+            64, 64, 64,
+        ])))
+        .spawn(),
+    );
 
     // Four client threads schedule batches of work.
     let clients: Vec<_> = (0..4u64)
@@ -66,10 +69,11 @@ fn main() {
     assert_eq!(seen as usize, kept);
 
     // And the same service against the wall clock.
-    let rt = TimerService::spawn_realtime(
-        HierarchicalWheel::<RequestId>::new(LevelSizes(vec![64, 64])),
-        Duration::from_millis(1),
-    );
+    let rt = TimerService::builder(HierarchicalWheel::<RequestId>::new(LevelSizes(vec![
+        64, 64,
+    ])))
+    .realtime(Duration::from_millis(1))
+    .spawn();
     rt.start_timer(42, TickDelta(25)).unwrap();
     let e = rt
         .expiries()

@@ -9,16 +9,21 @@
 # the T-RESTART ack_heavy rows (UPDATE vs STOP+START per scheme) now that
 # restart_timer is a first-class operation everywhere; BENCH_09 adds the
 # T-LAWN lawn_scale rows (Scheme 8 vs hierarchy vs hybrid under Zipf TTLs
-# at up to a million live timers).
+# at up to a million live timers); BENCH_10 adds the T-ASYNC async_sleeps
+# rows (a million concurrent Sleep futures through tw-async: arm / reset
+# churn / wake storm / re-poll per-op costs, with the allocation-free and
+# reset-is-UPDATE claims hard-asserted inside the bench binary).
 #
-# Usage: scripts/bench_trajectory.sh [out.json]   (default BENCH_09.json)
+# Usage: scripts/bench_trajectory.sh [out.json]   (default BENCH_10.json)
 # The PR number in the JSON is derived from the digits in the output
-# filename. LAWN_N (default 1000000) sizes the lawn_scale population —
-# CI's smoke leg passes LAWN_N=100000 to keep the job quick.
+# filename. LAWN_N (default 1000000) sizes the lawn_scale population and
+# ASYNC_N (default 1000000) the async_sleeps fleet — CI's smoke leg passes
+# LAWN_N=100000 / ASYNC_N=100000 to keep the job quick.
 set -euo pipefail
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_09.json}"
+out="${1:-BENCH_10.json}"
 lawn_n="${LAWN_N:-1000000}"
+async_n="${ASYNC_N:-1000000}"
 
 cargo build --release -p tw-analyze -p tw-bench >&2
 
@@ -29,7 +34,8 @@ analyze_err=$(mktemp)
 bitmap_txt=$(mktemp)
 ack_txt=$(mktemp)
 lawn_txt=$(mktemp)
-trap 'rm -f "$analyze_json" "$analyze_err" "$bitmap_txt" "$ack_txt" "$lawn_txt"' EXIT
+async_txt=$(mktemp)
+trap 'rm -f "$analyze_json" "$analyze_err" "$bitmap_txt" "$ack_txt" "$lawn_txt" "$async_txt"' EXIT
 ./target/release/tw-analyze --workspace --json >"$analyze_json" 2>"$analyze_err"
 analyze_ms=$(sed -n 's/.*analysis completed in \([0-9.]*\) ms.*/\1/p' "$analyze_err")
 files=$(./target/release/tw-analyze --workspace 2>/dev/null |
@@ -38,8 +44,9 @@ files=$(./target/release/tw-analyze --workspace 2>/dev/null |
 ./target/release/bitmap_sparse >"$bitmap_txt"
 ./target/release/ack_heavy >"$ack_txt"
 ./target/release/lawn_scale "$lawn_n" >"$lawn_txt"
+./target/release/async_sleeps "$async_n" >"$async_txt"
 
-python3 - "$out" "$analyze_ms" "$files" "$analyze_json" "$bitmap_txt" "$ack_txt" "$lawn_txt" <<'EOF'
+python3 - "$out" "$analyze_ms" "$files" "$analyze_json" "$bitmap_txt" "$ack_txt" "$lawn_txt" "$async_txt" <<'EOF'
 import json
 import re
 import sys
@@ -126,6 +133,31 @@ for r in lawns:
 assert hiers[-1]["overhead_per_tick"] > 1.3 * hiers[0]["overhead_per_tick"], (
     f"hierarchy overhead should grow with population: {hiers}"
 )
+# T-ASYNC rows: the bench binary hard-asserts the allocation-free,
+# reset-is-UPDATE, and exactly-once-wake claims; here we record the
+# headline per-op costs and re-check the waker-slot plateau.
+async_doc = {}
+for line in open(sys.argv[8]):
+    parts = line.split()
+    m = re.match(r"re-poll .*: ([0-9.]+) ns/op", line)
+    if m:
+        async_doc["repoll_ns"] = float(m.group(1))
+    elif len(parts) >= 3 and parts[-2] in ("sleeps", "resets", "fires"):
+        key = {"sleeps": "ramp", "resets": "reset_churn", "fires": "storm"}[parts[-2]]
+        async_doc[key] = {"count": int(parts[-3]), "per_op_ns": float(parts[-1])}
+    elif "waker slots peak/final" in line:
+        peak, final = (int(x) for x in parts[-1].split("/"))
+        async_doc["waker_slots"] = {"peak": peak, "final": final}
+    elif "wake latency" in line:
+        p50, p99 = (int(x) for x in parts[-1].split("/"))
+        async_doc["wake_latency_ticks"] = {"p50": p50, "p99": p99}
+for key in ("repoll_ns", "ramp", "reset_churn", "storm", "waker_slots"):
+    assert key in async_doc, f"async_sleeps output missing {key}: {async_doc}"
+slots = async_doc["waker_slots"]
+assert slots["final"] == slots["peak"], f"waker slab not a plateau: {slots}"
+assert async_doc["repoll_ns"] < async_doc["ramp"]["per_op_ns"], (
+    f"re-registration should be far cheaper than arming: {async_doc}"
+)
 doc = {
     "series": "bench-trajectory",
     "pr": pr,
@@ -137,11 +169,13 @@ doc = {
     "bitmap_sparse": rows,
     "ack_heavy": ack_rows,
     "lawn_scale": lawn_rows,
+    "async_sleeps": async_doc,
 }
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {out}: tw-analyze {analyze_ms} ms over {files} files "
       f"({len(passes)} passes), {len(rows)} bitmap_sparse rows, "
-      f"{len(ack_rows)} ack_heavy rows, {len(lawn_rows)} lawn_scale rows")
+      f"{len(ack_rows)} ack_heavy rows, {len(lawn_rows)} lawn_scale rows, "
+      f"async_sleeps fleet of {async_doc['ramp']['count']}")
 EOF

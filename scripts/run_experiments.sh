@@ -7,7 +7,7 @@ mkdir -p "$out"
 bins=(fig3_queueing fig4_scheme12 fig6_trees fig7_simwheel sec7_vax \
       sec6_crossover burstiness precision hw_interrupts smp all_schemes \
       ablation_insert_rule protocols soak bitmap_sparse firing_error \
-      ack_heavy lawn_scale)
+      ack_heavy lawn_scale async_sleeps)
 for b in "${bins[@]}"; do
   echo "== $b"
   cargo run --quiet --release -p tw-bench --bin "$b" | tee "$out/$b.txt"

@@ -18,6 +18,7 @@
 //! | [`netsim`] | `tw-netsim` | the §1 transport workload and rate-based flow control |
 //! | [`hwsim`] | `tw-hwsim` | Appendix A.1 hardware-assist interrupt models |
 //! | [`concurrent`] | `tw-concurrent` | Appendix A.2: coarse lock, sharded wheel, timer service |
+//! | [`async_timers`] | `tw-async` | futures-based `Sleep`/`Timeout`/`Interval` atop the timer service |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,8 @@
 
 #![warn(missing_docs)]
 
+// `async` is a keyword, so the async layer re-exports as `async_timers`.
+pub use tw_async as async_timers;
 pub use tw_baselines as baselines;
 pub use tw_concurrent as concurrent;
 pub use tw_core as core;

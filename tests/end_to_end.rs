@@ -136,11 +136,12 @@ fn hardware_assist_orderings_hold() {
 fn timer_service_over_three_schemes() {
     for scheme in [0usize, 1, 2] {
         let svc = match scheme {
-            0 => TimerService::spawn(HashedWheelUnsorted::<RequestId>::new(64)),
-            1 => TimerService::spawn(HierarchicalWheel::<RequestId>::new(LevelSizes(vec![
+            0 => TimerService::builder(HashedWheelUnsorted::<RequestId>::new(64)).spawn(),
+            1 => TimerService::builder(HierarchicalWheel::<RequestId>::new(LevelSizes(vec![
                 16, 16,
-            ]))),
-            _ => TimerService::spawn(OracleScheme::<RequestId>::new()),
+            ])))
+            .spawn(),
+            _ => TimerService::builder(OracleScheme::<RequestId>::new()).spawn(),
         };
         for i in 0..20 {
             svc.start_timer(i, TickDelta(i + 1)).unwrap();
